@@ -1,0 +1,100 @@
+// Ablation A5 — the LDP-SGD group size |G| (Section V): the paper argues
+// |G| = Ω(d log d / ε²) keeps the averaged-gradient noise acceptable, while
+// larger groups waste users (fewer iterations). This harness sweeps |G| on a
+// census classification task at several budgets and prints the resulting
+// test error, marking the library's AutoGroupSize choice. Small groups
+// drown each step in noise, large groups starve the iteration count; the
+// trade-off's sweet spot sharpens with the population size.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "data/census.h"
+#include "data/encode.h"
+#include "data/split.h"
+#include "ml/evaluate.h"
+#include "ml/ldp_sgd.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace ldp;  // NOLINT: experiment binary
+
+}  // namespace
+
+int main() {
+  const ldp::bench::BenchConfig config = ldp::bench::ResolveConfig();
+  ldp::bench::PrintHeader(
+      "Ablation: LDP-SGD group size |G| vs the Theta(d log d / eps^2) rule",
+      config);
+
+  auto census = data::MakeBrazilCensus(config.users, 77);
+  LDP_CHECK(census.ok());
+  const uint32_t label_col =
+      census.value().schema().FindColumn(data::kIncomeColumn).value();
+  auto features = data::EncodeFeatures(census.value(), label_col);
+  auto labels = data::EncodeBinaryLabel(census.value(), label_col);
+  LDP_CHECK(features.ok());
+  LDP_CHECK(labels.ok());
+  const uint32_t d = features.value().num_cols();
+
+  Rng split_rng(1);
+  auto split = data::TrainTestSplit(features.value().num_rows(), 0.2,
+                                    &split_rng);
+  LDP_CHECK(split.ok());
+  const data::DesignMatrix train_x = ml::TakeRows(features.value(),
+                                                  split.value().train);
+  const std::vector<double> train_y =
+      ml::TakeLabels(labels.value(), split.value().train);
+  const data::DesignMatrix test_x = ml::TakeRows(features.value(),
+                                                 split.value().test);
+  const std::vector<double> test_y =
+      ml::TakeLabels(labels.value(), split.value().test);
+
+  std::printf("(BR logistic task, %llu training users, d = %u)\n\n",
+              static_cast<unsigned long long>(train_x.num_rows()), d);
+  const std::vector<uint32_t> group_sizes = {16, 50, 150, 400, 1200, 4000};
+  for (const double eps : {0.5, 1.0, 4.0}) {
+    const uint32_t automatic =
+        ml::AutoGroupSize(train_x.num_rows(), d, eps);
+    std::printf("--- eps = %.1f (AutoGroupSize picks |G| = %u) ---\n", eps,
+                automatic);
+    std::printf("%-10s %14s %14s\n", "|G|", "iterations", "test error");
+    auto run = [&](uint32_t group) {
+      double total = 0.0;
+      for (int rep = 0; rep < config.reps; ++rep) {
+        ml::LdpSgdOptions options;
+        options.perturber = ml::GradientPerturber::kHybridSampled;
+        options.epsilon = eps;
+        options.group_size = group;
+        options.seed = 100 + rep;
+        auto beta = ml::TrainLdpSgd(train_x, train_y,
+                                    ml::LossKind::kLogistic, options);
+        LDP_CHECK(beta.ok());
+        total += ml::MisclassificationRate(test_x, test_y, beta.value()) /
+                 config.reps;
+      }
+      return total;
+    };
+    for (const uint32_t group : group_sizes) {
+      if (group > train_x.num_rows()) continue;
+      std::printf("%-10u %14llu %14.4f\n", group,
+                  static_cast<unsigned long long>(train_x.num_rows() / group),
+                  run(group));
+    }
+    std::printf("%-10s %14llu %14.4f   <= AutoGroupSize\n",
+                std::to_string(automatic).c_str(),
+                static_cast<unsigned long long>(train_x.num_rows() /
+                                                automatic),
+                run(automatic));
+    std::printf("\n");
+  }
+  std::printf(
+      "expected: larger |G| averages away gradient noise but starves the\n"
+      "iteration count; the Theta(d log d / eps^2) rule keeps the per-step\n"
+      "noise bounded, and its sweet spot sharpens as the population grows\n"
+      "(rerun with LDP_BENCH_USERS=500000 for paper-like populations, where\n"
+      "the automatic choice tracks the sweep minimum).\n");
+  return 0;
+}

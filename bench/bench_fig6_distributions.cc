@@ -1,0 +1,36 @@
+// Fig. 6: numeric-attribute MSE on 16-dimensional synthetic data drawn from
+// (a) Uniform[-1, 1] and (b) the shifted power law pdf ∝ (x+2)^{-10}, for
+// ε ∈ {0.5, 1, 2, 4}. Conclusions match the Gaussian panels of Fig. 5.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "collection_bench.h"
+#include "data/generators.h"
+
+int main() {
+  const ldp::bench::BenchConfig config = ldp::bench::ResolveConfig();
+  ldp::bench::PrintHeader(
+      "Fig. 6: MSE on uniform and power-law distributed data (16-dim)",
+      config);
+  const std::vector<double> epsilons = ldp::bench::PaperEpsilons();
+
+  ldp::Rng uniform_rng(300);
+  auto uniform = ldp::data::MakeUniform(16, config.users, &uniform_rng);
+  ldp::Rng power_rng(301);
+  auto power =
+      ldp::data::MakePowerLaw(16, config.users, 2.0, 10.0, &power_rng);
+  if (!uniform.ok() || !power.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+
+  std::printf("--- (a) uniform distribution ---\n");
+  ldp::bench::PrintNumericComparison(uniform.value(), epsilons, config);
+  std::printf("\n--- (b) power law distribution ---\n");
+  ldp::bench::PrintNumericComparison(power.value(), epsilons, config);
+  std::printf(
+      "\nexpected shape: same ordering as Fig. 5 (PM/HM < Duchi < "
+      "Laplace/SCDF).\n");
+  return 0;
+}

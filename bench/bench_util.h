@@ -1,0 +1,74 @@
+// Shared helpers for the experiment harnesses in bench/: environment-variable
+// configuration (so the whole suite scales from laptop smoke runs to
+// paper-scale runs), aligned table printing, and repeated-run MSE estimation.
+//
+// Environment knobs (all optional):
+//   LDP_BENCH_USERS   population size per run       (default 50000)
+//   LDP_BENCH_REPS    repetitions averaged per cell (default 3)
+//   LDP_BENCH_FAST=1  shrink both for smoke runs    (10000 users, 2 reps)
+
+#ifndef LDP_BENCH_BENCH_UTIL_H_
+#define LDP_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace ldp::bench {
+
+/// Scale configuration resolved from the environment.
+struct BenchConfig {
+  uint64_t users = 50000;
+  int reps = 3;
+};
+
+inline BenchConfig ResolveConfig() {
+  BenchConfig config;
+  if (const char* fast = std::getenv("LDP_BENCH_FAST");
+      fast != nullptr && std::string(fast) == "1") {
+    config.users = 10000;
+    config.reps = 2;
+  }
+  if (const char* users = std::getenv("LDP_BENCH_USERS")) {
+    config.users = std::strtoull(users, nullptr, 10);
+  }
+  if (const char* reps = std::getenv("LDP_BENCH_REPS")) {
+    config.reps = static_cast<int>(std::strtol(reps, nullptr, 10));
+  }
+  if (config.users == 0) config.users = 100000;
+  if (config.reps <= 0) config.reps = 1;
+  return config;
+}
+
+/// Prints a header like "=== Fig. 4(a): ... ===" plus the scale in use.
+inline void PrintHeader(const std::string& title, const BenchConfig& config) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("(users per run: %llu, repetitions per cell: %d)\n\n",
+              static_cast<unsigned long long>(config.users), config.reps);
+}
+
+/// Prints one row: a label column followed by numeric cells in %.6g.
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& cells) {
+  std::printf("%-14s", label.c_str());
+  for (const double cell : cells) std::printf(" %12.6g", cell);
+  std::printf("\n");
+}
+
+/// Prints the column header row for a sweep over `values` prefixed by a
+/// corner label such as "method \ eps".
+inline void PrintColumns(const std::string& corner,
+                         const std::vector<double>& values) {
+  std::printf("%-14s", corner.c_str());
+  for (const double v : values) std::printf(" %12.6g", v);
+  std::printf("\n");
+}
+
+/// The ε grid used by the paper's Figs. 4–6 and 9–11.
+inline std::vector<double> PaperEpsilons() { return {0.5, 1.0, 2.0, 4.0}; }
+
+}  // namespace ldp::bench
+
+#endif  // LDP_BENCH_BENCH_UTIL_H_

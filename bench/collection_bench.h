@@ -1,0 +1,132 @@
+// Shared driver for the collection-accuracy experiments (Figs. 4–8): runs
+// every competitor over a dataset at each budget, averaging MSE over
+// repetitions, and prints one row per method. Competitors follow
+// Section VI-A:
+//   numeric  — Laplace / SCDF / Staircase (per-attribute split),
+//              Duchi (Algorithm 3 on the numeric group), and the proposed
+//              Algorithm 4 with PM and with HM;
+//   categorical — OUE applied per attribute at ε/d (split baseline) vs the
+//              proposed Section IV-C pipeline.
+
+#ifndef LDP_BENCH_COLLECTION_BENCH_H_
+#define LDP_BENCH_COLLECTION_BENCH_H_
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "aggregate/collector.h"
+#include "aggregate/metrics.h"
+#include "bench_util.h"
+#include "util/check.h"
+#include "util/threadpool.h"
+
+namespace ldp::bench {
+
+inline ThreadPool* SharedPool() {
+  static ThreadPool* pool =
+      new ThreadPool(std::max(2u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+/// Mean numeric and categorical MSE of the proposed pipeline over `reps`
+/// seeded runs.
+struct MsePair {
+  double numeric = 0.0;
+  double categorical = 0.0;
+};
+
+inline MsePair AverageProposed(const data::Dataset& dataset, double epsilon,
+                               MechanismKind kind, int reps,
+                               uint64_t seed_base) {
+  MsePair total;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto output = aggregate::CollectProposed(
+        dataset, epsilon, seed_base + rep, kind, FrequencyOracleKind::kOue,
+        SharedPool());
+    LDP_CHECK_MSG(output.ok(), output.status().message().c_str());
+    total.numeric += aggregate::NumericMse(output.value()) / reps;
+    total.categorical += aggregate::CategoricalMse(output.value()) / reps;
+  }
+  return total;
+}
+
+inline MsePair AverageBaseline(const data::Dataset& dataset, double epsilon,
+                               aggregate::NumericStrategy strategy, int reps,
+                               uint64_t seed_base) {
+  MsePair total;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto output = aggregate::CollectBaseline(
+        dataset, epsilon, seed_base + rep, strategy,
+        FrequencyOracleKind::kOue, SharedPool());
+    LDP_CHECK_MSG(output.ok(), output.status().message().c_str());
+    total.numeric += aggregate::NumericMse(output.value()) / reps;
+    total.categorical += aggregate::CategoricalMse(output.value()) / reps;
+  }
+  return total;
+}
+
+/// Prints the numeric-MSE table (methods x epsilons) for `dataset`.
+/// `include_staircase` matches the paper's per-figure method lists.
+inline void PrintNumericComparison(const data::Dataset& dataset,
+                                   const std::vector<double>& epsilons,
+                                   const BenchConfig& config,
+                                   bool include_staircase = false) {
+  PrintColumns("method \\ eps", epsilons);
+  std::vector<std::pair<const char*, aggregate::NumericStrategy>> baselines =
+      {{"Laplace", aggregate::NumericStrategy::kLaplaceSplit},
+       {"SCDF", aggregate::NumericStrategy::kScdfSplit}};
+  if (include_staircase) {
+    baselines.emplace_back("Staircase",
+                           aggregate::NumericStrategy::kStaircaseSplit);
+  }
+  baselines.emplace_back("Duchi", aggregate::NumericStrategy::kDuchiMulti);
+  uint64_t seed = 1000;
+  for (const auto& [name, strategy] : baselines) {
+    std::vector<double> row;
+    for (const double eps : epsilons) {
+      row.push_back(
+          AverageBaseline(dataset, eps, strategy, config.reps, seed).numeric);
+      seed += 100;
+    }
+    PrintRow(name, row);
+  }
+  for (const auto& [name, kind] :
+       std::vector<std::pair<const char*, MechanismKind>>{
+           {"PM", MechanismKind::kPiecewise},
+           {"HM", MechanismKind::kHybrid}}) {
+    std::vector<double> row;
+    for (const double eps : epsilons) {
+      row.push_back(
+          AverageProposed(dataset, eps, kind, config.reps, seed).numeric);
+      seed += 100;
+    }
+    PrintRow(name, row);
+  }
+}
+
+/// Prints the categorical-MSE table (OUE split vs proposed) for `dataset`.
+inline void PrintCategoricalComparison(const data::Dataset& dataset,
+                                       const std::vector<double>& epsilons,
+                                       const BenchConfig& config) {
+  PrintColumns("method \\ eps", epsilons);
+  uint64_t seed = 5000;
+  std::vector<double> oue_row, proposed_row;
+  for (const double eps : epsilons) {
+    oue_row.push_back(AverageBaseline(dataset, eps,
+                                      aggregate::NumericStrategy::kDuchiMulti,
+                                      config.reps, seed)
+                          .categorical);
+    proposed_row.push_back(AverageProposed(dataset, eps,
+                                           MechanismKind::kHybrid,
+                                           config.reps, seed + 50)
+                               .categorical);
+    seed += 100;
+  }
+  PrintRow("OUE", oue_row);
+  PrintRow("Proposed", proposed_row);
+}
+
+}  // namespace ldp::bench
+
+#endif  // LDP_BENCH_COLLECTION_BENCH_H_

@@ -1,0 +1,88 @@
+// Census analytics: the paper's Section VI-A experiment as an application.
+//
+// An agency holds nothing; 300k simulated residents each hold one census
+// record (the BR-like synthetic microdata). Every resident privatizes her
+// record locally with the Section IV-C collector, and the agency publishes
+// mean ages/incomes and marginal distributions — then compares against the
+// best-effort baseline that splits the budget across attributes
+// (Duchi's Algorithm 3 for the numeric group + per-attribute OUE).
+//
+// Build and run:   ./build/examples/census_analytics
+
+#include <cstdio>
+
+#include "aggregate/collector.h"
+#include "aggregate/metrics.h"
+#include "core/variance.h"
+#include "data/census.h"
+#include "data/encode.h"
+
+int main() {
+  const uint64_t population = 300000;
+  const double epsilon = 1.0;
+  std::printf("census analytics: %llu residents, eps = %g\n\n",
+              static_cast<unsigned long long>(population), epsilon);
+
+  auto census = ldp::data::MakeBrazilCensus(population, 2024);
+  if (!census.ok()) {
+    std::fprintf(stderr, "%s\n", census.status().ToString().c_str());
+    return 1;
+  }
+  const ldp::data::Dataset normalized =
+      ldp::data::NormalizeNumeric(census.value());
+
+  auto proposed = ldp::aggregate::CollectProposed(normalized, epsilon, 1);
+  auto baseline = ldp::aggregate::CollectBaseline(
+      normalized, epsilon, 2, ldp::aggregate::NumericStrategy::kDuchiMulti);
+  if (!proposed.ok() || !baseline.ok()) {
+    std::fprintf(stderr, "collection failed\n");
+    return 1;
+  }
+
+  // Report a few headline statistics in native units.
+  const ldp::data::Schema& raw_schema = census.value().schema();
+  std::printf("%-18s %12s %12s %12s\n", "numeric mean", "true",
+              "proposed", "baseline");
+  for (size_t j = 0; j < proposed.value().numeric_columns.size(); ++j) {
+    const uint32_t col = proposed.value().numeric_columns[j];
+    const ldp::data::ColumnSpec& spec = raw_schema.column(col);
+    const double mid = (spec.hi + spec.lo) / 2.0;
+    const double half = (spec.hi - spec.lo) / 2.0;
+    std::printf("%-18s %12.2f %12.2f %12.2f\n", spec.name.c_str(),
+                mid + half * proposed.value().true_means[j],
+                mid + half * proposed.value().estimated_means[j],
+                mid + half * baseline.value().estimated_means[j]);
+  }
+
+  std::printf("\nmarginal of 'employment_status' (frequencies):\n");
+  const uint32_t employment =
+      raw_schema.FindColumn("employment_status").value();
+  for (size_t c = 0; c < proposed.value().categorical_columns.size(); ++c) {
+    if (proposed.value().categorical_columns[c] != employment) continue;
+    const char* levels[] = {"employed", "self-employed", "unemployed",
+                            "inactive"};
+    std::printf("%-18s %12s %12s %12s\n", "level", "true", "proposed",
+                "baseline");
+    for (size_t v = 0; v < proposed.value().true_frequencies[c].size(); ++v) {
+      std::printf("%-18s %11.2f%% %11.2f%% %11.2f%%\n", levels[v],
+                  100.0 * proposed.value().true_frequencies[c][v],
+                  100.0 * proposed.value().estimated_frequencies[c][v],
+                  100.0 * baseline.value().estimated_frequencies[c][v]);
+    }
+  }
+
+  std::printf("\naggregate error (MSE across all attributes):\n");
+  std::printf("  numeric     proposed %.3e   baseline %.3e\n",
+              ldp::aggregate::NumericMse(proposed.value()),
+              ldp::aggregate::NumericMse(baseline.value()));
+  std::printf("  categorical proposed %.3e   baseline %.3e\n",
+              ldp::aggregate::CategoricalMse(proposed.value()),
+              ldp::aggregate::CategoricalMse(baseline.value()));
+  std::printf(
+      "\nthe proposed collector spends the whole budget on %u sampled "
+      "attribute(s) per user\ninstead of splitting it %u ways — that is the "
+      "paper's Fig. 4 advantage.\n",
+      ldp::AttributeSampleCount(epsilon, raw_schema.num_columns()),
+      raw_schema.num_columns());
+  return 0;
+}

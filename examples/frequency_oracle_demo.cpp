@@ -1,0 +1,107 @@
+// Frequency oracle shoot-out: GRR vs SUE vs OUE vs OLH on one categorical
+// attribute, across domain sizes — the substrate behind the categorical half
+// of the paper's Section IV-C. Shows (i) why the paper picks OUE (best
+// variance at small frequencies once the domain outgrows e^ε + 2), (ii) GRR
+// winning on tiny domains, and (iii) OLH matching OUE with constant-size
+// reports. Also demonstrates the post-processing options on a sparse
+// histogram.
+//
+// Build and run:   ./build/examples/frequency_oracle_demo
+
+#include <cstdio>
+#include <vector>
+
+#include "frequency/frequency_oracle.h"
+#include "frequency/histogram.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ldp;  // NOLINT: example binary
+
+// Zipf-ish truth: frequency of value v proportional to 1/(v+1).
+std::vector<double> ZipfTruth(uint32_t domain) {
+  std::vector<double> truth(domain);
+  double total = 0.0;
+  for (uint32_t v = 0; v < domain; ++v) {
+    truth[v] = 1.0 / (v + 1.0);
+    total += truth[v];
+  }
+  for (double& f : truth) f /= total;
+  return truth;
+}
+
+uint32_t SampleFrom(const std::vector<double>& truth, Rng* rng) {
+  double u = rng->Uniform01();
+  for (uint32_t v = 0; v + 1 < truth.size(); ++v) {
+    if (u < truth[v]) return v;
+    u -= truth[v];
+  }
+  return static_cast<uint32_t>(truth.size() - 1);
+}
+
+double OracleMse(const FrequencyOracle& oracle,
+                 const std::vector<double>& truth, uint64_t n, Rng* rng) {
+  FrequencyEstimator estimator(&oracle);
+  for (uint64_t i = 0; i < n; ++i) {
+    estimator.Add(oracle.Perturb(SampleFrom(truth, rng), rng));
+  }
+  const std::vector<double> estimate = estimator.RawEstimate();
+  double mse = 0.0;
+  for (size_t v = 0; v < truth.size(); ++v) {
+    mse += (estimate[v] - truth[v]) * (estimate[v] - truth[v]) /
+           static_cast<double>(truth.size());
+  }
+  return mse;
+}
+
+}  // namespace
+
+int main() {
+  const double epsilon = 1.0;
+  const uint64_t users = 100000;
+  std::printf("frequency oracle comparison: eps = %g, %llu users, Zipf "
+              "truth\n\n",
+              epsilon, static_cast<unsigned long long>(users));
+
+  std::printf("%-8s %12s %12s %12s %12s\n", "domain", "GRR", "SUE", "OUE",
+              "OLH");
+  Rng rng(1);
+  for (const uint32_t domain : {2u, 4u, 16u, 64u}) {
+    const std::vector<double> truth = ZipfTruth(domain);
+    std::vector<double> row;
+    for (const auto kind :
+         {FrequencyOracleKind::kGrr, FrequencyOracleKind::kSue,
+          FrequencyOracleKind::kOue, FrequencyOracleKind::kOlh}) {
+      auto oracle = MakeFrequencyOracle(kind, epsilon, domain);
+      row.push_back(OracleMse(*oracle.value(), truth, users, &rng));
+    }
+    std::printf("%-8u %12.3e %12.3e %12.3e %12.3e\n", domain, row[0], row[1],
+                row[2], row[3]);
+  }
+  std::printf("\nexpected: GRR best at domain 2, degrading linearly with "
+              "domain size; OUE/OLH flat and close.\n\n");
+
+  // Post-processing demo on a tiny report count.
+  const uint32_t domain = 8;
+  auto oracle = MakeFrequencyOracle(FrequencyOracleKind::kOue, epsilon,
+                                    domain);
+  FrequencyEstimator estimator(oracle.value().get());
+  const std::vector<double> truth = ZipfTruth(domain);
+  for (int i = 0; i < 300; ++i) {
+    estimator.Add(oracle.value()->Perturb(SampleFrom(truth, &rng), &rng));
+  }
+  std::printf("post-processing with only 300 reports (OUE, domain 8):\n");
+  std::printf("%-6s %10s %10s %10s %10s\n", "value", "true", "raw",
+              "clamped", "projected");
+  const auto raw = estimator.RawEstimate();
+  const auto clamped = estimator.ClampedEstimate();
+  const auto projected = estimator.ProjectedEstimate();
+  for (uint32_t v = 0; v < domain; ++v) {
+    std::printf("%-6u %10.3f %10.3f %10.3f %10.3f\n", v, truth[v], raw[v],
+                clamped[v], projected[v]);
+  }
+  std::printf("\nraw is unbiased but strays outside [0,1]; the simplex "
+              "projection restores a true distribution.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// LDP-SGD training: the paper's Section V case study end to end.
+//
+// Train an income classifier (logistic regression) and an income regressor
+// (linear regression) on MX-like census microdata where every training
+// example belongs to a different user and only ε-LDP gradients ever reach
+// the trainer. Compares the four gradient channels of Figs. 9–11 and the
+// non-private reference on a held-out test set.
+//
+// Build and run:   ./build/examples/ldp_sgd_training
+
+#include <cstdio>
+#include <vector>
+
+#include "data/census.h"
+#include "data/encode.h"
+#include "data/split.h"
+#include "ml/evaluate.h"
+#include "ml/ldp_sgd.h"
+
+namespace {
+
+using namespace ldp;  // NOLINT: example binary
+
+void RunTask(const data::DesignMatrix& features,
+             const std::vector<double>& labels, ml::LossKind loss,
+             ml::EvalMetric metric, double epsilon) {
+  Rng rng(99);
+  auto split = data::TrainTestSplit(features.num_rows(), 0.2, &rng);
+  LDP_CHECK(split.ok());
+  const data::DesignMatrix train_x = ml::TakeRows(features,
+                                                  split.value().train);
+  const std::vector<double> train_y =
+      ml::TakeLabels(labels, split.value().train);
+  const data::DesignMatrix test_x = ml::TakeRows(features,
+                                                 split.value().test);
+  const std::vector<double> test_y =
+      ml::TakeLabels(labels, split.value().test);
+
+  const std::vector<std::pair<const char*, ml::GradientPerturber>> channels =
+      {{"Laplace", ml::GradientPerturber::kLaplaceSplit},
+       {"Duchi", ml::GradientPerturber::kDuchiMulti},
+       {"PM", ml::GradientPerturber::kPiecewiseSampled},
+       {"HM", ml::GradientPerturber::kHybridSampled},
+       {"Non-private", ml::GradientPerturber::kNonPrivate}};
+  std::printf("  %-14s %12s\n", "channel",
+              metric == ml::EvalMetric::kMisclassification ? "test error"
+                                                           : "test MSE");
+  for (const auto& [name, perturber] : channels) {
+    ml::LdpSgdOptions options;
+    options.perturber = perturber;
+    options.epsilon = epsilon;
+    options.seed = 7;
+    auto beta = ml::TrainLdpSgd(train_x, train_y, loss, options);
+    LDP_CHECK(beta.ok());
+    const double value =
+        metric == ml::EvalMetric::kMisclassification
+            ? ml::MisclassificationRate(test_x, test_y, beta.value())
+            : ml::RegressionMse(test_x, test_y, beta.value());
+    std::printf("  %-14s %12.4f\n", name, value);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t population = 120000;
+  const double epsilon = 2.0;
+  std::printf("LDP-SGD on MX-like census data: %llu users, eps = %g\n",
+              static_cast<unsigned long long>(population), epsilon);
+
+  auto census = data::MakeMexicoCensus(population, 555);
+  if (!census.ok()) {
+    std::fprintf(stderr, "%s\n", census.status().ToString().c_str());
+    return 1;
+  }
+  const uint32_t label_col =
+      census.value().schema().FindColumn(data::kIncomeColumn).value();
+  auto features = data::EncodeFeatures(census.value(), label_col);
+  LDP_CHECK(features.ok());
+  std::printf("(one-hot encoded feature dimensionality: %u)\n\n",
+              features.value().num_cols());
+
+  std::printf("task 1: logistic regression — income above the mean?\n");
+  auto binary_labels = data::EncodeBinaryLabel(census.value(), label_col);
+  LDP_CHECK(binary_labels.ok());
+  RunTask(features.value(), binary_labels.value(), ml::LossKind::kLogistic,
+          ml::EvalMetric::kMisclassification, epsilon);
+
+  std::printf("\ntask 2: SVM — same label, hinge loss\n");
+  RunTask(features.value(), binary_labels.value(), ml::LossKind::kHinge,
+          ml::EvalMetric::kMisclassification, epsilon);
+
+  std::printf("\ntask 3: linear regression — normalised income\n");
+  auto numeric_labels = data::EncodeNumericLabel(census.value(), label_col);
+  LDP_CHECK(numeric_labels.ok());
+  RunTask(features.value(), numeric_labels.value(), ml::LossKind::kSquared,
+          ml::EvalMetric::kMse, epsilon);
+
+  std::printf(
+      "\neach user contributed one clipped, perturbed gradient to exactly "
+      "one iteration —\nno budget splitting across iterations "
+      "(Section V).\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Telemetry collection: the motivating scenario of the paper's introduction.
+//
+// A software vendor wants daily telemetry from an install base — session
+// length, memory usage, crash count (numeric) plus OS and channel
+// (categorical) — without ever seeing any individual's true values. Each
+// simulated device perturbs its own record with the Section IV-C collector
+// under a per-day budget ε, and the vendor reconstructs population
+// statistics. The demo prints true vs estimated dashboards at three budget
+// levels to show the privacy/utility dial.
+//
+// Build and run:   ./build/examples/telemetry_collection
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/mixed_collector.h"
+#include "core/scaler.h"
+#include "util/random.h"
+
+namespace {
+
+struct DeviceRecord {
+  double session_minutes;  // [0, 720]
+  double memory_mb;        // [0, 4096]
+  double crash_count;      // [0, 20]
+  uint32_t os;             // 0..3: Windows/macOS/Linux/Other
+  uint32_t channel;        // 0..2: stable/beta/dev
+};
+
+DeviceRecord SimulateDevice(ldp::Rng* rng) {
+  DeviceRecord record;
+  // Session length: most sessions short, a long tail of all-day users.
+  record.session_minutes = std::min(720.0, rng->Exponential(1.0 / 90.0));
+  record.memory_mb = std::min(4096.0, 350.0 + rng->Exponential(1.0 / 400.0));
+  record.crash_count =
+      std::min(20.0, static_cast<double>(rng->Geometric(0.7)));
+  const double os_draw = rng->Uniform01();
+  record.os = os_draw < 0.68 ? 0 : os_draw < 0.88 ? 1 : os_draw < 0.97 ? 2 : 3;
+  const double channel_draw = rng->Uniform01();
+  record.channel = channel_draw < 0.9 ? 0 : channel_draw < 0.97 ? 1 : 2;
+  return record;
+}
+
+}  // namespace
+
+int main() {
+  const int num_devices = 200000;
+  std::printf("telemetry demo: %d devices, 3 numeric + 2 categorical "
+              "attributes per report\n\n",
+              num_devices);
+
+  // Native domains for the numeric attributes; devices scale to [-1, 1]
+  // before perturbing and the vendor scales estimates back.
+  const ldp::DomainScaler session_scale =
+      ldp::DomainScaler::Create(0.0, 720.0).value();
+  const ldp::DomainScaler memory_scale =
+      ldp::DomainScaler::Create(0.0, 4096.0).value();
+  const ldp::DomainScaler crash_scale =
+      ldp::DomainScaler::Create(0.0, 20.0).value();
+
+  for (const double epsilon : {0.5, 1.0, 4.0}) {
+    auto collector = ldp::MixedTupleCollector::Create(
+        {ldp::MixedAttribute::Numeric(), ldp::MixedAttribute::Numeric(),
+         ldp::MixedAttribute::Numeric(), ldp::MixedAttribute::Categorical(4),
+         ldp::MixedAttribute::Categorical(3)},
+        epsilon);
+    if (!collector.ok()) {
+      std::fprintf(stderr, "%s\n", collector.status().ToString().c_str());
+      return 1;
+    }
+    ldp::MixedAggregator aggregator(&collector.value());
+
+    ldp::Rng rng(7);  // same population at every budget
+    double true_session = 0.0, true_memory = 0.0, true_crashes = 0.0;
+    std::vector<double> true_os(4, 0.0), true_channel(3, 0.0);
+    for (int i = 0; i < num_devices; ++i) {
+      const DeviceRecord record = SimulateDevice(&rng);
+      true_session += record.session_minutes / num_devices;
+      true_memory += record.memory_mb / num_devices;
+      true_crashes += record.crash_count / num_devices;
+      true_os[record.os] += 1.0 / num_devices;
+      true_channel[record.channel] += 1.0 / num_devices;
+
+      ldp::MixedTuple tuple(5);
+      tuple[0] = ldp::AttributeValue::Numeric(
+          session_scale.ToCanonical(record.session_minutes));
+      tuple[1] = ldp::AttributeValue::Numeric(
+          memory_scale.ToCanonical(record.memory_mb));
+      tuple[2] = ldp::AttributeValue::Numeric(
+          crash_scale.ToCanonical(record.crash_count));
+      tuple[3] = ldp::AttributeValue::Categorical(record.os);
+      tuple[4] = ldp::AttributeValue::Categorical(record.channel);
+      aggregator.Add(collector.value().Perturb(tuple, &rng));
+    }
+
+    std::printf("--- eps = %.1f (each device reports %u of 5 attributes) ---\n",
+                epsilon, collector.value().k());
+    std::printf("  %-18s %10s %10s\n", "metric", "true", "estimated");
+    std::printf("  %-18s %10.1f %10.1f\n", "session (min)", true_session,
+                session_scale.FromCanonical(
+                    aggregator.EstimateMean(0).value()));
+    std::printf("  %-18s %10.1f %10.1f\n", "memory (MB)", true_memory,
+                memory_scale.FromCanonical(aggregator.EstimateMean(1).value()));
+    std::printf("  %-18s %10.2f %10.2f\n", "crashes", true_crashes,
+                crash_scale.FromCanonical(aggregator.EstimateMean(2).value()));
+    const char* os_names[] = {"Windows", "macOS", "Linux", "Other"};
+    const std::vector<double> os_est =
+        aggregator.EstimateFrequencies(3).value();
+    for (int v = 0; v < 4; ++v) {
+      std::printf("  %-18s %9.1f%% %9.1f%%\n", os_names[v],
+                  100.0 * true_os[v], 100.0 * os_est[v]);
+    }
+    const char* channel_names[] = {"stable", "beta", "dev"};
+    const std::vector<double> channel_est =
+        aggregator.EstimateFrequencies(4).value();
+    for (int v = 0; v < 3; ++v) {
+      std::printf("  %-18s %9.1f%% %9.1f%%\n", channel_names[v],
+                  100.0 * true_channel[v], 100.0 * channel_est[v]);
+    }
+    std::printf("\n");
+  }
+  std::printf("note how estimates tighten as eps grows — the privacy/utility "
+              "dial in action.\n");
+  return 0;
+}

@@ -1,0 +1,250 @@
+#include "aggregate/collector.h"
+
+#include <memory>
+#include <mutex>
+
+#include "aggregate/estimators.h"
+#include "baselines/duchi_multi_dim.h"
+#include "frequency/histogram.h"
+#include "util/check.h"
+
+namespace ldp::aggregate {
+
+namespace {
+
+// Every simulated user gets her own generator derived from (seed, row), so
+// results are identical whether or not a thread pool is used.
+Rng MakeUserRng(uint64_t seed, uint64_t row) {
+  return Rng(seed ^ ((row + 1) * 0x9e3779b97f4a7c15ULL));
+}
+
+Status ValidateNormalized(const data::Schema& schema) {
+  for (uint32_t col = 0; col < schema.num_columns(); ++col) {
+    const data::ColumnSpec& spec = schema.column(col);
+    if (spec.type == data::ColumnType::kNumeric &&
+        (spec.lo != -1.0 || spec.hi != 1.0)) {
+      return Status::FailedPrecondition(
+          "numeric column '" + spec.name +
+          "' is not normalised to [-1, 1]; apply data::NormalizeNumeric "
+          "first");
+    }
+  }
+  return Status::OK();
+}
+
+// Fills the column index lists and the exact means/frequencies.
+Status FillGroundTruth(const data::Dataset& dataset, CollectionOutput* out) {
+  const data::Schema& schema = dataset.schema();
+  out->numeric_columns = schema.NumericColumnIndices();
+  out->categorical_columns = schema.CategoricalColumnIndices();
+  for (const uint32_t col : out->numeric_columns) {
+    double mean = 0.0;
+    LDP_ASSIGN_OR_RETURN(mean, dataset.ColumnMean(col));
+    out->true_means.push_back(mean);
+  }
+  for (const uint32_t col : out->categorical_columns) {
+    std::vector<double> freqs;
+    LDP_ASSIGN_OR_RETURN(freqs, dataset.ColumnFrequencies(col));
+    out->true_frequencies.push_back(std::move(freqs));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* NumericStrategyToString(NumericStrategy strategy) {
+  switch (strategy) {
+    case NumericStrategy::kLaplaceSplit:
+      return "Laplace";
+    case NumericStrategy::kScdfSplit:
+      return "SCDF";
+    case NumericStrategy::kStaircaseSplit:
+      return "Staircase";
+    case NumericStrategy::kDuchiMulti:
+      return "Duchi";
+  }
+  return "unknown";
+}
+
+Result<std::vector<MixedAttribute>> ToMixedSchema(const data::Schema& schema) {
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("schema has no columns");
+  }
+  std::vector<MixedAttribute> mixed;
+  mixed.reserve(schema.num_columns());
+  for (uint32_t col = 0; col < schema.num_columns(); ++col) {
+    const data::ColumnSpec& spec = schema.column(col);
+    if (spec.type == data::ColumnType::kNumeric) {
+      mixed.push_back(MixedAttribute::Numeric());
+    } else {
+      mixed.push_back(MixedAttribute::Categorical(spec.domain_size));
+    }
+  }
+  return mixed;
+}
+
+Result<CollectionOutput> CollectProposed(const data::Dataset& dataset,
+                                         double epsilon, uint64_t seed,
+                                         MechanismKind numeric_kind,
+                                         FrequencyOracleKind categorical_kind,
+                                         ThreadPool* pool) {
+  LDP_RETURN_IF_ERROR(ValidateNormalized(dataset.schema()));
+  if (dataset.num_rows() == 0) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  std::vector<MixedAttribute> mixed_schema;
+  LDP_ASSIGN_OR_RETURN(mixed_schema, ToMixedSchema(dataset.schema()));
+  Result<MixedTupleCollector> collector_result = MixedTupleCollector::Create(
+      std::move(mixed_schema), epsilon, numeric_kind, categorical_kind);
+  if (!collector_result.ok()) return collector_result.status();
+  const MixedTupleCollector& collector = collector_result.value();
+
+  CollectionOutput out;
+  LDP_RETURN_IF_ERROR(FillGroundTruth(dataset, &out));
+
+  const data::Schema& schema = dataset.schema();
+  const uint32_t d = schema.num_columns();
+  MixedAggregator total(&collector);
+  std::mutex merge_mutex;
+  ParallelFor(pool, dataset.num_rows(),
+              [&](unsigned /*chunk*/, uint64_t begin, uint64_t end) {
+                MixedAggregator local(&collector);
+                MixedTuple tuple(d);
+                for (uint64_t row = begin; row < end; ++row) {
+                  for (uint32_t col = 0; col < d; ++col) {
+                    if (schema.column(col).type == data::ColumnType::kNumeric) {
+                      tuple[col].numeric = dataset.numeric(row, col);
+                    } else {
+                      tuple[col].category = dataset.category(row, col);
+                    }
+                  }
+                  Rng rng = MakeUserRng(seed, row);
+                  local.Add(collector.Perturb(tuple, &rng));
+                }
+                std::lock_guard<std::mutex> lock(merge_mutex);
+                total.Merge(local);
+              });
+
+  for (const uint32_t col : out.numeric_columns) {
+    double mean = 0.0;
+    LDP_ASSIGN_OR_RETURN(mean, total.EstimateMean(col));
+    out.estimated_means.push_back(mean);
+  }
+  for (const uint32_t col : out.categorical_columns) {
+    std::vector<double> freqs;
+    LDP_ASSIGN_OR_RETURN(freqs, total.EstimateFrequencies(col));
+    out.estimated_frequencies.push_back(std::move(freqs));
+  }
+  return out;
+}
+
+Result<CollectionOutput> CollectBaseline(const data::Dataset& dataset,
+                                         double epsilon, uint64_t seed,
+                                         NumericStrategy strategy,
+                                         FrequencyOracleKind categorical_kind,
+                                         ThreadPool* pool) {
+  LDP_RETURN_IF_ERROR(ValidateNormalized(dataset.schema()));
+  LDP_RETURN_IF_ERROR(ValidateEpsilon(epsilon));
+  if (dataset.num_rows() == 0) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  CollectionOutput out;
+  LDP_RETURN_IF_ERROR(FillGroundTruth(dataset, &out));
+
+  const uint32_t dn = static_cast<uint32_t>(out.numeric_columns.size());
+  const uint32_t dc = static_cast<uint32_t>(out.categorical_columns.size());
+  const uint32_t d = dn + dc;
+  const double per_attribute_epsilon = epsilon / d;
+  const double numeric_group_epsilon = epsilon * dn / d;
+  const uint64_t n = dataset.num_rows();
+
+  // Numeric group machinery.
+  std::unique_ptr<ScalarMechanism> scalar;
+  std::unique_ptr<DuchiMultiDimMechanism> duchi;
+  if (dn > 0) {
+    if (strategy == NumericStrategy::kDuchiMulti) {
+      duchi = std::make_unique<DuchiMultiDimMechanism>(numeric_group_epsilon,
+                                                       dn);
+    } else {
+      MechanismKind kind = MechanismKind::kLaplace;
+      if (strategy == NumericStrategy::kScdfSplit) kind = MechanismKind::kScdf;
+      if (strategy == NumericStrategy::kStaircaseSplit) {
+        kind = MechanismKind::kStaircase;
+      }
+      LDP_ASSIGN_OR_RETURN(scalar,
+                           MakeScalarMechanism(kind, per_attribute_epsilon));
+    }
+  }
+
+  // Categorical group machinery: one oracle per categorical column.
+  std::vector<std::unique_ptr<FrequencyOracle>> oracles;
+  for (const uint32_t col : out.categorical_columns) {
+    std::unique_ptr<FrequencyOracle> oracle;
+    LDP_ASSIGN_OR_RETURN(
+        oracle, MakeFrequencyOracle(categorical_kind, per_attribute_epsilon,
+                                    dataset.schema().column(col).domain_size));
+    oracles.push_back(std::move(oracle));
+  }
+
+  VectorMeanEstimator total_means(dn);
+  std::vector<std::vector<double>> total_supports;
+  for (const uint32_t col : out.categorical_columns) {
+    total_supports.emplace_back(dataset.schema().column(col).domain_size, 0.0);
+  }
+  // Shapes of the per-chunk support tables, captured before the parallel
+  // region: chunks must NOT read total_supports, which other chunks merge
+  // into concurrently.
+  std::vector<size_t> support_sizes;
+  support_sizes.reserve(total_supports.size());
+  for (const std::vector<double>& support : total_supports) {
+    support_sizes.push_back(support.size());
+  }
+  std::mutex merge_mutex;
+  ParallelFor(pool, n, [&](unsigned /*chunk*/, uint64_t begin, uint64_t end) {
+    VectorMeanEstimator local_means(dn);
+    std::vector<std::vector<double>> local_supports;
+    local_supports.reserve(support_sizes.size());
+    for (const size_t size : support_sizes) {
+      local_supports.emplace_back(size, 0.0);
+    }
+    std::vector<double> numeric_tuple(dn, 0.0);
+    std::vector<double> dense(dn, 0.0);
+    for (uint64_t row = begin; row < end; ++row) {
+      Rng rng = MakeUserRng(seed, row);
+      if (dn > 0) {
+        for (uint32_t j = 0; j < dn; ++j) {
+          numeric_tuple[j] = dataset.numeric(row, out.numeric_columns[j]);
+        }
+        if (duchi != nullptr) {
+          dense = duchi->Perturb(numeric_tuple, &rng);
+        } else {
+          for (uint32_t j = 0; j < dn; ++j) {
+            dense[j] = scalar->Perturb(numeric_tuple[j], &rng);
+          }
+        }
+        local_means.Add(dense);
+      }
+      for (uint32_t c = 0; c < dc; ++c) {
+        const uint32_t value = dataset.category(row, out.categorical_columns[c]);
+        oracles[c]->Accumulate(oracles[c]->Perturb(value, &rng),
+                               &local_supports[c]);
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    total_means.Merge(local_means);
+    for (uint32_t c = 0; c < dc; ++c) {
+      for (size_t v = 0; v < total_supports[c].size(); ++v) {
+        total_supports[c][v] += local_supports[c][v];
+      }
+    }
+  });
+
+  out.estimated_means = total_means.Estimate();
+  for (uint32_t c = 0; c < dc; ++c) {
+    out.estimated_frequencies.push_back(
+        oracles[c]->Estimate(total_supports[c], n));
+  }
+  return out;
+}
+
+}  // namespace ldp::aggregate

@@ -1,0 +1,80 @@
+// End-to-end collection simulations over a Dataset: every row plays one
+// user, perturbs her tuple under ε-LDP, and the aggregator estimates the
+// mean of every numeric attribute and the value frequencies of every
+// categorical attribute. Two pipelines are provided, matching the two sides
+// of the paper's Section VI-A comparison:
+//
+//  - CollectProposed: the paper's solution — Algorithm 4 attribute sampling
+//    with PM/HM for numeric attributes and a frequency oracle (OUE) for
+//    categorical ones, all under one budget ε without splitting.
+//  - CollectBaseline: the best-effort combination of prior work — the budget
+//    is split as dn·ε/d to the numeric group and dc·ε/d to the categorical
+//    group; numeric attributes are handled by Duchi et al.'s Algorithm 3 or
+//    by per-attribute Laplace/SCDF/Staircase at ε/d each, categorical ones by
+//    a per-attribute frequency oracle at ε/d each.
+
+#ifndef LDP_AGGREGATE_COLLECTOR_H_
+#define LDP_AGGREGATE_COLLECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "core/mixed_collector.h"
+#include "data/dataset.h"
+#include "frequency/frequency_oracle.h"
+#include "util/result.h"
+#include "util/threadpool.h"
+
+namespace ldp::aggregate {
+
+/// Ground truth and LDP estimates from one collection run.
+struct CollectionOutput {
+  /// Schema indices of the numeric columns, in schema order.
+  std::vector<uint32_t> numeric_columns;
+  /// Schema indices of the categorical columns, in schema order.
+  std::vector<uint32_t> categorical_columns;
+  /// Exact and estimated means, parallel to numeric_columns.
+  std::vector<double> true_means;
+  std::vector<double> estimated_means;
+  /// Exact and estimated value frequencies, parallel to categorical_columns.
+  std::vector<std::vector<double>> true_frequencies;
+  std::vector<std::vector<double>> estimated_frequencies;
+};
+
+/// How the baseline pipeline handles the numeric attribute group.
+enum class NumericStrategy {
+  kLaplaceSplit,    ///< Laplace mechanism per attribute at ε/d each.
+  kScdfSplit,       ///< SCDF per attribute at ε/d each.
+  kStaircaseSplit,  ///< Staircase per attribute at ε/d each.
+  kDuchiMulti,      ///< Duchi et al.'s Algorithm 3 at the group budget.
+};
+
+/// Human-readable strategy name ("Laplace", "SCDF", "Staircase", "Duchi").
+const char* NumericStrategyToString(NumericStrategy strategy);
+
+/// Runs the paper's proposed pipeline over `dataset`, whose numeric columns
+/// must already be normalised to [-1, 1] (see data::NormalizeNumeric).
+/// Deterministic in `seed`; `pool` optionally shards users across threads
+/// (results then depend on the pool's thread count as chunk RNGs differ).
+Result<CollectionOutput> CollectProposed(
+    const data::Dataset& dataset, double epsilon, uint64_t seed,
+    MechanismKind numeric_kind = MechanismKind::kHybrid,
+    FrequencyOracleKind categorical_kind = FrequencyOracleKind::kOue,
+    ThreadPool* pool = nullptr);
+
+/// Runs the split-budget baseline pipeline over `dataset` (numeric columns
+/// normalised to [-1, 1]).
+Result<CollectionOutput> CollectBaseline(
+    const data::Dataset& dataset, double epsilon, uint64_t seed,
+    NumericStrategy strategy,
+    FrequencyOracleKind categorical_kind = FrequencyOracleKind::kOue,
+    ThreadPool* pool = nullptr);
+
+/// Builds the core-collector schema for `dataset` (numeric columns must be
+/// normalised). Exposed for tests and custom pipelines.
+Result<std::vector<MixedAttribute>> ToMixedSchema(const data::Schema& schema);
+
+}  // namespace ldp::aggregate
+
+#endif  // LDP_AGGREGATE_COLLECTOR_H_

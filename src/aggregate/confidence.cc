@@ -1,0 +1,71 @@
+#include "aggregate/confidence.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace ldp::aggregate {
+
+namespace {
+
+// Standard normal CDF via the complementary error function.
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+Status ValidateArguments(uint64_t num_reports, double confidence) {
+  if (num_reports == 0) {
+    return Status::InvalidArgument("need at least one report");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+ConfidenceInterval FromVariance(double estimate, double per_report_variance,
+                                uint64_t num_reports, double confidence) {
+  const double z = NormalQuantile(confidence);
+  const double half_width =
+      z * std::sqrt(per_report_variance / static_cast<double>(num_reports));
+  return ConfidenceInterval{estimate, estimate - half_width,
+                            estimate + half_width};
+}
+
+}  // namespace
+
+double NormalQuantile(double confidence) {
+  // Two-sided: find z with CDF(z) = (1 + confidence) / 2.
+  const double target = (1.0 + confidence) / 2.0;
+  return Bisect([&](double z) { return NormalCdf(z) - target; }, 0.0, 40.0,
+                1e-12);
+}
+
+Result<ConfidenceInterval> MeanConfidenceInterval(
+    double estimate, const ScalarMechanism& mechanism, uint64_t num_reports,
+    double confidence) {
+  LDP_RETURN_IF_ERROR(ValidateArguments(num_reports, confidence));
+  return FromVariance(estimate, mechanism.WorstCaseVariance(), num_reports,
+                      confidence);
+}
+
+Result<ConfidenceInterval> SampledMeanConfidenceInterval(
+    double estimate, const SampledNumericMechanism& mechanism,
+    uint64_t num_reports, double confidence) {
+  LDP_RETURN_IF_ERROR(ValidateArguments(num_reports, confidence));
+  return FromVariance(estimate, mechanism.WorstCaseCoordinateVariance(),
+                      num_reports, confidence);
+}
+
+Result<ConfidenceInterval> FrequencyConfidenceInterval(
+    double estimate, const FrequencyOracle& oracle, uint64_t num_reports,
+    double confidence) {
+  LDP_RETURN_IF_ERROR(ValidateArguments(num_reports, confidence));
+  const double f = Clamp(estimate, 0.0, 1.0);
+  // EstimateVariance already divides by the report count.
+  const double z = NormalQuantile(confidence);
+  const double half_width =
+      z * std::sqrt(oracle.EstimateVariance(f, num_reports));
+  return ConfidenceInterval{estimate, estimate - half_width,
+                            estimate + half_width};
+}
+
+}  // namespace ldp::aggregate

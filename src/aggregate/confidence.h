@@ -1,0 +1,57 @@
+// Confidence intervals for LDP estimates, turning the mechanisms'
+// closed-form variances (Lemma 1, Eqs. 4/8/13–15 and the oracle variance
+// formulas) into per-estimate error bars. Because every estimator is an
+// average of n independent bounded-variance reports, a normal approximation
+// is accurate for the population sizes LDP needs anyway — this is the
+// practical face of the paper's Lemma 2 / Lemma 5 accuracy guarantees.
+
+#ifndef LDP_AGGREGATE_CONFIDENCE_H_
+#define LDP_AGGREGATE_CONFIDENCE_H_
+
+#include <cstdint>
+
+#include "core/mechanism.h"
+#include "core/sampled_numeric.h"
+#include "frequency/frequency_oracle.h"
+#include "util/result.h"
+
+namespace ldp::aggregate {
+
+/// A two-sided interval [lo, hi] around an estimate.
+struct ConfidenceInterval {
+  double estimate = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  /// Half-width of the interval.
+  double HalfWidth() const { return (hi - lo) / 2.0; }
+};
+
+/// The z-score for a two-sided normal interval at `confidence` ∈ (0, 1)
+/// (e.g. 0.95 → 1.96), computed by bisection on the normal CDF.
+double NormalQuantile(double confidence);
+
+/// Interval for a mean estimated from `num_reports` scalar-mechanism reports.
+/// Uses the mechanism's worst-case variance, so the interval is conservative
+/// for every input distribution. Fails unless num_reports > 0 and
+/// confidence ∈ (0, 1).
+Result<ConfidenceInterval> MeanConfidenceInterval(
+    double estimate, const ScalarMechanism& mechanism, uint64_t num_reports,
+    double confidence);
+
+/// Interval for a per-attribute mean estimated by Algorithm 4 from
+/// `num_reports` tuple reports (worst-case per-coordinate variance).
+Result<ConfidenceInterval> SampledMeanConfidenceInterval(
+    double estimate, const SampledNumericMechanism& mechanism,
+    uint64_t num_reports, double confidence);
+
+/// Interval for a value's frequency estimated from `num_reports` oracle
+/// reports; uses the oracle's variance at the estimated frequency (clamped
+/// into [0, 1] for the variance evaluation).
+Result<ConfidenceInterval> FrequencyConfidenceInterval(
+    double estimate, const FrequencyOracle& oracle, uint64_t num_reports,
+    double confidence);
+
+}  // namespace ldp::aggregate
+
+#endif  // LDP_AGGREGATE_CONFIDENCE_H_

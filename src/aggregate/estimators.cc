@@ -1,0 +1,39 @@
+#include "aggregate/estimators.h"
+
+#include "util/check.h"
+
+namespace ldp::aggregate {
+
+VectorMeanEstimator::VectorMeanEstimator(uint32_t dimension)
+    : sums_(dimension, 0.0) {}
+
+void VectorMeanEstimator::Add(const std::vector<double>& report) {
+  LDP_DCHECK(report.size() == sums_.size());
+  for (size_t j = 0; j < sums_.size(); ++j) sums_[j] += report[j];
+  ++count_;
+}
+
+void VectorMeanEstimator::AddSparse(const SampledNumericReport& report) {
+  for (const SampledValue& entry : report) {
+    LDP_DCHECK(entry.attribute < sums_.size());
+    sums_[entry.attribute] += entry.value;
+  }
+  ++count_;
+}
+
+void VectorMeanEstimator::Merge(const VectorMeanEstimator& other) {
+  LDP_CHECK(sums_.size() == other.sums_.size());
+  for (size_t j = 0; j < sums_.size(); ++j) sums_[j] += other.sums_[j];
+  count_ += other.count_;
+}
+
+std::vector<double> VectorMeanEstimator::Estimate() const {
+  std::vector<double> means(sums_.size(), 0.0);
+  if (count_ == 0) return means;
+  for (size_t j = 0; j < sums_.size(); ++j) {
+    means[j] = sums_[j] / static_cast<double>(count_);
+  }
+  return means;
+}
+
+}  // namespace ldp::aggregate

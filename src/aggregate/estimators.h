@@ -1,0 +1,49 @@
+// Server-side accumulators for numeric report streams. The aggregator's
+// estimator in the paper is a plain average over the (implicitly
+// zero-padded) reports; these classes implement it incrementally and
+// mergeably so simulations can shard users across threads.
+
+#ifndef LDP_AGGREGATE_ESTIMATORS_H_
+#define LDP_AGGREGATE_ESTIMATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sampled_numeric.h"
+
+namespace ldp::aggregate {
+
+/// Accumulates per-user numeric report vectors (dense or Algorithm-4 sparse)
+/// and estimates the componentwise population means.
+class VectorMeanEstimator {
+ public:
+  /// Estimates means of `dimension` attributes.
+  explicit VectorMeanEstimator(uint32_t dimension);
+
+  /// Adds one dense report (size must equal the dimension).
+  void Add(const std::vector<double>& report);
+
+  /// Adds one Algorithm-4 sparse report; unsampled attributes count as 0.
+  void AddSparse(const SampledNumericReport& report);
+
+  /// Merges another estimator of the same dimension (parallel shards).
+  void Merge(const VectorMeanEstimator& other);
+
+  /// The per-attribute mean estimates: sums / count (zeros when empty).
+  std::vector<double> Estimate() const;
+
+  /// Number of reports accumulated.
+  uint64_t count() const { return count_; }
+
+  uint32_t dimension() const {
+    return static_cast<uint32_t>(sums_.size());
+  }
+
+ private:
+  std::vector<double> sums_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace ldp::aggregate
+
+#endif  // LDP_AGGREGATE_ESTIMATORS_H_

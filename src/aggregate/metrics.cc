@@ -1,0 +1,61 @@
+#include "aggregate/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ldp::aggregate {
+
+double NumericMse(const CollectionOutput& output) {
+  LDP_CHECK(output.true_means.size() == output.estimated_means.size());
+  if (output.true_means.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t j = 0; j < output.true_means.size(); ++j) {
+    const double err = output.estimated_means[j] - output.true_means[j];
+    sum += err * err;
+  }
+  return sum / static_cast<double>(output.true_means.size());
+}
+
+double CategoricalMse(const CollectionOutput& output) {
+  LDP_CHECK(output.true_frequencies.size() ==
+            output.estimated_frequencies.size());
+  double sum = 0.0;
+  size_t entries = 0;
+  for (size_t c = 0; c < output.true_frequencies.size(); ++c) {
+    LDP_CHECK(output.true_frequencies[c].size() ==
+              output.estimated_frequencies[c].size());
+    for (size_t v = 0; v < output.true_frequencies[c].size(); ++v) {
+      const double err =
+          output.estimated_frequencies[c][v] - output.true_frequencies[c][v];
+      sum += err * err;
+      ++entries;
+    }
+  }
+  return entries == 0 ? 0.0 : sum / static_cast<double>(entries);
+}
+
+double NumericMaxAbsError(const CollectionOutput& output) {
+  LDP_CHECK(output.true_means.size() == output.estimated_means.size());
+  double worst = 0.0;
+  for (size_t j = 0; j < output.true_means.size(); ++j) {
+    worst = std::max(worst,
+                     std::abs(output.estimated_means[j] - output.true_means[j]));
+  }
+  return worst;
+}
+
+double CategoricalMaxAbsError(const CollectionOutput& output) {
+  LDP_CHECK(output.true_frequencies.size() ==
+            output.estimated_frequencies.size());
+  double worst = 0.0;
+  for (size_t c = 0; c < output.true_frequencies.size(); ++c) {
+    for (size_t v = 0; v < output.true_frequencies[c].size(); ++v) {
+      worst = std::max(worst, std::abs(output.estimated_frequencies[c][v] -
+                                       output.true_frequencies[c][v]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace ldp::aggregate

@@ -1,0 +1,29 @@
+// Error metrics over CollectionOutput — the quantities plotted in the
+// paper's Figs. 4–8: mean squared error of the numeric mean estimates and of
+// the categorical frequency estimates.
+
+#ifndef LDP_AGGREGATE_METRICS_H_
+#define LDP_AGGREGATE_METRICS_H_
+
+#include "aggregate/collector.h"
+
+namespace ldp::aggregate {
+
+/// Mean over numeric attributes of (estimated mean − true mean)²; 0 when the
+/// dataset has no numeric columns.
+double NumericMse(const CollectionOutput& output);
+
+/// Mean over every (categorical attribute, value) pair of
+/// (estimated frequency − true frequency)²; 0 without categorical columns.
+double CategoricalMse(const CollectionOutput& output);
+
+/// Largest |estimated − true| over the numeric means — the max-error form of
+/// Lemma 5's guarantee.
+double NumericMaxAbsError(const CollectionOutput& output);
+
+/// Largest |estimated − true| over all frequency entries.
+double CategoricalMaxAbsError(const CollectionOutput& output);
+
+}  // namespace ldp::aggregate
+
+#endif  // LDP_AGGREGATE_METRICS_H_

@@ -1,0 +1,85 @@
+#include "baselines/duchi_multi_dim.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace ldp {
+
+double DuchiMultiDimMechanism::ComputeCd(uint32_t d) {
+  LDP_CHECK(d >= 1);
+  // Log-space evaluation keeps this exact for d in the thousands.
+  const double ln2 = std::log(2.0);
+  if (d % 2 == 1) {
+    // 2^{d-1} / C(d-1, (d-1)/2)
+    return std::exp(static_cast<double>(d - 1) * ln2 -
+                    LogBinomial(d - 1, (d - 1) / 2));
+  }
+  // (2^{d-1} + C(d, d/2)/2) / C(d-1, d/2)
+  const double log_denominator = LogBinomial(d - 1, d / 2);
+  const double first =
+      std::exp(static_cast<double>(d - 1) * ln2 - log_denominator);
+  const double second =
+      0.5 * std::exp(LogBinomial(d, d / 2) - log_denominator);
+  return first + second;
+}
+
+DuchiMultiDimMechanism::DuchiMultiDimMechanism(double epsilon,
+                                               uint32_t dimension)
+    : epsilon_(epsilon), dimension_(dimension) {
+  LDP_CHECK_MSG(std::isfinite(epsilon) && epsilon > 0.0,
+                "epsilon must be positive and finite");
+  LDP_CHECK(dimension >= 1);
+  const double e = std::exp(epsilon);
+  bound_ = (e + 1.0) / (e - 1.0) * ComputeCd(dimension);
+  flip_prob_ = e / (e + 1.0);
+
+  // T+ contains the sign vectors agreeing with v on m >= ceil(d/2)
+  // coordinates; |{s : agree = m}| = C(d, m). Normalise by the largest
+  // binomial to avoid overflow.
+  const uint32_t d = dimension_;
+  upper_count_offset_ = (d + 1) / 2;  // ceil(d/2)
+  const double log_peak = LogBinomial(d, d / 2);
+  std::vector<double> weights;
+  weights.reserve(d - upper_count_offset_ + 1);
+  for (uint32_t m = upper_count_offset_; m <= d; ++m) {
+    weights.push_back(std::exp(LogBinomial(d, m) - log_peak));
+  }
+  upper_count_sampler_ = std::make_unique<AliasSampler>(weights);
+}
+
+uint32_t DuchiMultiDimMechanism::SampleAgreementCount(bool positive,
+                                                      Rng* rng) const {
+  const uint32_t m = upper_count_offset_ + upper_count_sampler_->Sample(rng);
+  // T- is the mirror image: s agrees with v on m coordinates iff -s agrees on
+  // d - m, so a uniform element of T- has agreement count d - m.
+  return positive ? m : dimension_ - m;
+}
+
+std::vector<double> DuchiMultiDimMechanism::Perturb(
+    const std::vector<double>& t, Rng* rng) const {
+  LDP_CHECK(t.size() == dimension_);
+  const uint32_t d = dimension_;
+
+  // Step 1: random sign vector v with Pr[v_j = 1] = (1 + t_j) / 2.
+  std::vector<int8_t> v(d);
+  for (uint32_t j = 0; j < d; ++j) {
+    LDP_DCHECK(t[j] >= -1.0 && t[j] <= 1.0);
+    v[j] = rng->Bernoulli(0.5 + 0.5 * t[j]) ? 1 : -1;
+  }
+
+  // Steps 2-7: return a uniform element of T+ with prob e^eps/(e^eps+1),
+  // else a uniform element of T-.
+  const bool positive = rng->Bernoulli(flip_prob_);
+  const uint32_t agree = SampleAgreementCount(positive, rng);
+
+  std::vector<double> out(d);
+  for (uint32_t j = 0; j < d; ++j) out[j] = -bound_ * static_cast<double>(v[j]);
+  for (uint32_t j : SampleWithoutReplacement(d, agree, rng)) {
+    out[j] = bound_ * static_cast<double>(v[j]);
+  }
+  return out;
+}
+
+}  // namespace ldp

@@ -1,0 +1,67 @@
+// Duchi et al.'s mechanism for d-dimensional numeric tuples (Algorithm 3 of
+// the reproduced paper). Given t ∈ [-1,1]^d it emits a vertex of the cube
+// {-B, B}^d, where B = C_d (e^eps + 1)/(e^eps - 1) and C_d (Eq. 9) is chosen
+// so every coordinate is an unbiased estimate of the corresponding input.
+//
+// The sampling step "pick a uniform element of T+ = {s : <s, v> >= 0}" is
+// implemented exactly: the number of coordinates of s agreeing with v is
+// drawn from the binomial-tail distribution P(m) ∝ C(d, m) restricted to the
+// half-space, then the agreeing positions are chosen uniformly without
+// replacement. This is O(d) per tuple after O(d) setup.
+
+#ifndef LDP_BASELINES_DUCHI_MULTI_DIM_H_
+#define LDP_BASELINES_DUCHI_MULTI_DIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/random.h"
+#include "util/sampling.h"
+
+namespace ldp {
+
+/// Duchi et al.'s d-dimensional mechanism; every output coordinate is ±B.
+class DuchiMultiDimMechanism {
+ public:
+  /// `epsilon` > 0, `dimension` >= 1.
+  DuchiMultiDimMechanism(double epsilon, uint32_t dimension);
+
+  /// Perturbs a tuple with all coordinates in [-1, 1]; the result has every
+  /// coordinate equal to +B or -B and is componentwise unbiased.
+  std::vector<double> Perturb(const std::vector<double>& t, Rng* rng) const;
+
+  double epsilon() const { return epsilon_; }
+  uint32_t dimension() const { return dimension_; }
+
+  /// The output magnitude B (Eq. 10).
+  double bound() const { return bound_; }
+
+  /// Per-coordinate output variance for input coordinate value `tj`
+  /// (Eq. 13): B^2 - tj^2.
+  double CoordinateVariance(double tj) const { return bound_ * bound_ - tj * tj; }
+
+  /// Worst-case per-coordinate variance, attained at tj = 0.
+  double WorstCaseCoordinateVariance() const { return bound_ * bound_; }
+
+  /// The combinatorial constant C_d of Eq. 9 (Θ(√d)).
+  static double ComputeCd(uint32_t dimension);
+
+ private:
+  /// Draws the number of coordinates agreeing with v for a uniform element of
+  /// T+ (positive = true) or T- (positive = false).
+  uint32_t SampleAgreementCount(bool positive, Rng* rng) const;
+
+  double epsilon_;
+  uint32_t dimension_;
+  double bound_;
+  double flip_prob_;  // e^eps / (e^eps + 1): probability of returning from T+
+  // Distribution of the agreement count m over the upper half-space
+  // (m = ceil(d/2) .. d, weights C(d, m)); the lower half-space is symmetric.
+  std::unique_ptr<AliasSampler> upper_count_sampler_;
+  uint32_t upper_count_offset_;
+};
+
+}  // namespace ldp
+
+#endif  // LDP_BASELINES_DUCHI_MULTI_DIM_H_

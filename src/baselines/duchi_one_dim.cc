@@ -1,0 +1,31 @@
+#include "baselines/duchi_one_dim.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ldp {
+
+DuchiOneDimMechanism::DuchiOneDimMechanism(double epsilon) : epsilon_(epsilon) {
+  LDP_CHECK_MSG(std::isfinite(epsilon) && epsilon > 0.0,
+                "epsilon must be positive and finite");
+  const double e = std::exp(epsilon);
+  bound_ = (e + 1.0) / (e - 1.0);
+  head_slope_ = (e - 1.0) / (2.0 * e + 2.0);
+}
+
+double DuchiOneDimMechanism::Perturb(double t, Rng* rng) const {
+  LDP_DCHECK(t >= -1.0 && t <= 1.0);
+  const double head_prob = head_slope_ * t + 0.5;
+  return rng->Bernoulli(head_prob) ? bound_ : -bound_;
+}
+
+double DuchiOneDimMechanism::Variance(double t) const {
+  return bound_ * bound_ - t * t;  // Eq. 4 of the paper
+}
+
+double DuchiOneDimMechanism::WorstCaseVariance() const {
+  return bound_ * bound_;
+}
+
+}  // namespace ldp

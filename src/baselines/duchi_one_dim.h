@@ -1,0 +1,36 @@
+// Duchi et al.'s minimax-optimal mechanism for one numeric value
+// (Algorithm 1 of the reproduced paper; Duchi, Jordan, Wainwright, JASA 2018).
+// The output is two-point: ±(e^eps + 1)/(e^eps - 1).
+
+#ifndef LDP_BASELINES_DUCHI_ONE_DIM_H_
+#define LDP_BASELINES_DUCHI_ONE_DIM_H_
+
+#include "core/mechanism.h"
+
+namespace ldp {
+
+/// Duchi et al. 1-D: unbiased, output in {-B, B} with B = (e^eps+1)/(e^eps-1);
+/// Var = B^2 - t^2 (largest at t = 0, never below B^2 - 1 > 1).
+class DuchiOneDimMechanism final : public ScalarMechanism {
+ public:
+  explicit DuchiOneDimMechanism(double epsilon);
+
+  double Perturb(double t, Rng* rng) const override;
+  double epsilon() const override { return epsilon_; }
+  const char* name() const override { return "Duchi"; }
+  double Variance(double t) const override;
+  double WorstCaseVariance() const override;
+  double OutputBound() const override { return bound_; }
+
+  /// The two-point magnitude B = (e^eps + 1)/(e^eps - 1).
+  double bound() const { return bound_; }
+
+ private:
+  double epsilon_;
+  double bound_;
+  double head_slope_;  // (e^eps - 1) / (2 e^eps + 2)
+};
+
+}  // namespace ldp
+
+#endif  // LDP_BASELINES_DUCHI_ONE_DIM_H_

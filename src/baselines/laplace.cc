@@ -1,0 +1,31 @@
+#include "baselines/laplace.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ldp {
+
+LaplaceMechanism::LaplaceMechanism(double epsilon)
+    : epsilon_(epsilon), scale_(2.0 / epsilon) {
+  LDP_CHECK_MSG(std::isfinite(epsilon) && epsilon > 0.0,
+                "epsilon must be positive and finite");
+}
+
+double LaplaceMechanism::Perturb(double t, Rng* rng) const {
+  LDP_DCHECK(t >= -1.0 && t <= 1.0);
+  return t + rng->Laplace(scale_);
+}
+
+double LaplaceMechanism::Variance(double /*t*/) const {
+  return 2.0 * scale_ * scale_;  // = 8 / eps^2
+}
+
+double LaplaceMechanism::WorstCaseVariance() const { return Variance(0.0); }
+
+double LaplaceMechanism::OutputBound() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace ldp

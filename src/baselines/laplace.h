@@ -1,0 +1,35 @@
+// The classic Laplace mechanism specialised to the LDP setting: a value
+// t ∈ [-1, 1] has sensitivity 2, so t* = t + Lap(2/ε) satisfies ε-LDP
+// (Dwork et al., TCC 2006; Section III-A of the reproduced paper).
+
+#ifndef LDP_BASELINES_LAPLACE_H_
+#define LDP_BASELINES_LAPLACE_H_
+
+#include "core/mechanism.h"
+
+namespace ldp {
+
+/// Laplace mechanism: unbiased, unbounded output, Var = 8/ε² for every input.
+class LaplaceMechanism final : public ScalarMechanism {
+ public:
+  /// Builds the mechanism; `epsilon` must be positive and finite.
+  explicit LaplaceMechanism(double epsilon);
+
+  double Perturb(double t, Rng* rng) const override;
+  double epsilon() const override { return epsilon_; }
+  const char* name() const override { return "Laplace"; }
+  double Variance(double t) const override;
+  double WorstCaseVariance() const override;
+  double OutputBound() const override;
+
+  /// The Laplace scale parameter 2/ε.
+  double scale() const { return scale_; }
+
+ private:
+  double epsilon_;
+  double scale_;
+};
+
+}  // namespace ldp
+
+#endif  // LDP_BASELINES_LAPLACE_H_

@@ -1,0 +1,60 @@
+#include "baselines/piecewise_constant_noise.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ldp {
+
+PiecewiseConstantNoise::PiecewiseConstantNoise(double epsilon, double m,
+                                               double a)
+    : epsilon_(epsilon), m_(m), a_(a) {
+  LDP_CHECK_MSG(std::isfinite(epsilon) && epsilon > 0.0, "epsilon > 0 required");
+  LDP_CHECK_MSG(m > 0.0 && m <= 1.0, "m must be in (0, 1] for eps-LDP");
+  LDP_CHECK(a > 0.0);
+  decay_ = std::exp(-epsilon_);
+  center_mass_ = 2.0 * m_ * a_;
+  const double total = center_mass_ + 4.0 * a_ * decay_ / (1.0 - decay_);
+  LDP_CHECK_MSG(std::fabs(total - 1.0) < 1e-9,
+                "(m, a) do not normalise the density");
+  variance_ = ComputeVariance();
+}
+
+double PiecewiseConstantNoise::Sample(Rng* rng) const {
+  if (rng->Bernoulli(center_mass_)) {
+    return rng->Uniform(-m_, m_);
+  }
+  // Tail: piece j >= 0 carries mass proportional to e^{-(j+1) eps}; the piece
+  // index is therefore geometric with success probability 1 - e^{-eps}.
+  const auto j = static_cast<double>(rng->Geometric(1.0 - decay_));
+  const double lo = m_ + 2.0 * j;
+  const double x = rng->Uniform(lo, lo + 2.0);
+  return rng->Bernoulli(0.5) ? x : -x;
+}
+
+double PiecewiseConstantNoise::Pdf(double x) const {
+  const double ax = std::fabs(x);
+  if (ax <= m_) return a_;
+  const double j = std::floor((ax - m_) / 2.0);
+  return a_ * std::exp(-(j + 1.0) * epsilon_);
+}
+
+double PiecewiseConstantNoise::ComputeVariance() const {
+  // Central piece: a * \int_{-m}^{m} x^2 dx = 2 a m^3 / 3.
+  double var = 2.0 * a_ * m_ * m_ * m_ / 3.0;
+  // Tails: 2 * sum_j a e^{-(j+1) eps} * \int_{m+2j}^{m+2j+2} x^2 dx.
+  double weight = a_ * decay_;
+  for (int j = 0;; ++j) {
+    const double lo = m_ + 2.0 * static_cast<double>(j);
+    const double hi = lo + 2.0;
+    const double piece = (hi * hi * hi - lo * lo * lo) / 3.0;
+    const double contribution = 2.0 * weight * piece;
+    var += contribution;
+    if (contribution < 1e-15 * var && j > 2) break;
+    weight *= decay_;
+    LDP_CHECK_MSG(j < 100000, "variance series failed to converge");
+  }
+  return var;
+}
+
+}  // namespace ldp

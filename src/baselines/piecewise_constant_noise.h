@@ -1,0 +1,53 @@
+// Shared machinery for the SCDF (Soria-Comas & Domingo-Ferrer) and Staircase
+// (Geng et al.) mechanisms. Both add data-independent noise drawn from a
+// symmetric piecewise-constant density (Eq. 2 of the reproduced paper):
+//
+//   pdf(x) = a                      for x in [-m, m]
+//   pdf(x) = a * e^{-(j+1) eps}     for |x| in [m + 2j, m + 2(j+1)], j = 0,1,...
+//
+// The density steps down by a factor e^eps every 2 units (the diameter of the
+// input domain [-1, 1]), which yields eps-LDP as long as m <= 1. The two
+// mechanisms differ only in their choice of (m, a).
+
+#ifndef LDP_BASELINES_PIECEWISE_CONSTANT_NOISE_H_
+#define LDP_BASELINES_PIECEWISE_CONSTANT_NOISE_H_
+
+#include "util/random.h"
+
+namespace ldp {
+
+/// Sampler and analytic moments for the two-parameter piecewise-constant
+/// noise family above.
+class PiecewiseConstantNoise {
+ public:
+  /// `epsilon` > 0; `m` in (0, 1]; `a` must normalise the density:
+  /// 2 m a + 4 a e^{-eps} / (1 - e^{-eps}) = 1 (checked at construction).
+  PiecewiseConstantNoise(double epsilon, double m, double a);
+
+  /// Draws one noise variate.
+  double Sample(Rng* rng) const;
+
+  /// Density at x (exact, from the closed form).
+  double Pdf(double x) const;
+
+  /// Var of the noise = E[noise^2] (the density is symmetric, mean 0).
+  double Variance() const { return variance_; }
+
+  double epsilon() const { return epsilon_; }
+  double m() const { return m_; }
+  double a() const { return a_; }
+
+ private:
+  double ComputeVariance() const;
+
+  double epsilon_;
+  double m_;
+  double a_;
+  double center_mass_;   // probability of the central piece = 2 m a
+  double decay_;         // e^{-eps}
+  double variance_;
+};
+
+}  // namespace ldp
+
+#endif  // LDP_BASELINES_PIECEWISE_CONSTANT_NOISE_H_

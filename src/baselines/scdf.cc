@@ -1,0 +1,32 @@
+#include "baselines/scdf.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ldp {
+
+double ScdfMechanism::ComputeM(double epsilon) {
+  const double e = std::exp(-epsilon);
+  return 2.0 * (1.0 - e - epsilon * e) / (epsilon * (1.0 - e));
+}
+
+ScdfMechanism::ScdfMechanism(double epsilon)
+    : epsilon_(epsilon),
+      noise_(epsilon, ComputeM(epsilon), epsilon / 4.0) {}
+
+double ScdfMechanism::Perturb(double t, Rng* rng) const {
+  LDP_DCHECK(t >= -1.0 && t <= 1.0);
+  return t + noise_.Sample(rng);
+}
+
+double ScdfMechanism::Variance(double /*t*/) const { return noise_.Variance(); }
+
+double ScdfMechanism::WorstCaseVariance() const { return noise_.Variance(); }
+
+double ScdfMechanism::OutputBound() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace ldp

@@ -1,0 +1,41 @@
+// SCDF mechanism (Soria-Comas & Domingo-Ferrer, Information Sciences 2013):
+// data-independent piecewise-constant noise that is optimal among symmetric
+// data-independent distributions for unbounded domains. Parameters (Section
+// III-A of the reproduced paper):
+//
+//   m = 2 (1 - e^{-eps} - eps e^{-eps}) / (eps (1 - e^{-eps})),   a = eps / 4.
+
+#ifndef LDP_BASELINES_SCDF_H_
+#define LDP_BASELINES_SCDF_H_
+
+#include "baselines/piecewise_constant_noise.h"
+#include "core/mechanism.h"
+
+namespace ldp {
+
+/// SCDF: unbiased, unbounded output, input-independent variance.
+class ScdfMechanism final : public ScalarMechanism {
+ public:
+  explicit ScdfMechanism(double epsilon);
+
+  double Perturb(double t, Rng* rng) const override;
+  double epsilon() const override { return epsilon_; }
+  const char* name() const override { return "SCDF"; }
+  double Variance(double t) const override;
+  double WorstCaseVariance() const override;
+  double OutputBound() const override;
+
+  /// The underlying noise distribution (for tests).
+  const PiecewiseConstantNoise& noise() const { return noise_; }
+
+  /// The SCDF central-piece half-width m for the given budget.
+  static double ComputeM(double epsilon);
+
+ private:
+  double epsilon_;
+  PiecewiseConstantNoise noise_;
+};
+
+}  // namespace ldp
+
+#endif  // LDP_BASELINES_SCDF_H_

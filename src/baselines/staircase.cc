@@ -1,0 +1,41 @@
+#include "baselines/staircase.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ldp {
+
+double StaircaseMechanism::ComputeM(double epsilon) {
+  return 2.0 / (1.0 + std::exp(epsilon / 2.0));
+}
+
+double StaircaseMechanism::ComputeA(double epsilon) {
+  const double e = std::exp(-epsilon);
+  const double m = ComputeM(epsilon);
+  return (1.0 - e) / (2.0 * m + 4.0 * e - 2.0 * m * e);
+}
+
+StaircaseMechanism::StaircaseMechanism(double epsilon)
+    : epsilon_(epsilon),
+      noise_(epsilon, ComputeM(epsilon), ComputeA(epsilon)) {}
+
+double StaircaseMechanism::Perturb(double t, Rng* rng) const {
+  LDP_DCHECK(t >= -1.0 && t <= 1.0);
+  return t + noise_.Sample(rng);
+}
+
+double StaircaseMechanism::Variance(double /*t*/) const {
+  return noise_.Variance();
+}
+
+double StaircaseMechanism::WorstCaseVariance() const {
+  return noise_.Variance();
+}
+
+double StaircaseMechanism::OutputBound() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace ldp

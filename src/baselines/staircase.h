@@ -1,0 +1,46 @@
+// Staircase mechanism (Geng, Kairouz, Oh, Viswanath, IEEE JSTSP 2015),
+// instantiated for sensitivity-2 inputs. Parameters (Section III-A of the
+// reproduced paper):
+//
+//   m = 2 / (1 + e^{eps/2}),
+//   a = (1 - e^{-eps}) / (2 m + 4 e^{-eps} - 2 m e^{-eps}).
+
+#ifndef LDP_BASELINES_STAIRCASE_H_
+#define LDP_BASELINES_STAIRCASE_H_
+
+#include "baselines/piecewise_constant_noise.h"
+#include "core/mechanism.h"
+
+namespace ldp {
+
+/// Staircase: unbiased, unbounded output, input-independent variance. Optimal
+/// for unbounded input domains; the optimality does not carry over to the
+/// bounded domain [-1, 1] targeted by PM/HM.
+class StaircaseMechanism final : public ScalarMechanism {
+ public:
+  explicit StaircaseMechanism(double epsilon);
+
+  double Perturb(double t, Rng* rng) const override;
+  double epsilon() const override { return epsilon_; }
+  const char* name() const override { return "Staircase"; }
+  double Variance(double t) const override;
+  double WorstCaseVariance() const override;
+  double OutputBound() const override;
+
+  /// The underlying noise distribution (for tests).
+  const PiecewiseConstantNoise& noise() const { return noise_; }
+
+  /// The staircase central-piece half-width m for the given budget.
+  static double ComputeM(double epsilon);
+
+  /// The staircase density level a for the given budget.
+  static double ComputeA(double epsilon);
+
+ private:
+  double epsilon_;
+  PiecewiseConstantNoise noise_;
+};
+
+}  // namespace ldp
+
+#endif  // LDP_BASELINES_STAIRCASE_H_

@@ -1,0 +1,52 @@
+#include "core/accountant.h"
+
+#include <cmath>
+
+namespace ldp {
+
+namespace {
+
+// Absorbs floating-point drift when users spend exactly their budget across
+// several charges.
+constexpr double kSlack = 1e-12;
+
+}  // namespace
+
+Result<PrivacyAccountant> PrivacyAccountant::Create(double lifetime_budget) {
+  if (!(std::isfinite(lifetime_budget) && lifetime_budget > 0.0)) {
+    return Status::InvalidArgument(
+        "lifetime budget must be finite and positive");
+  }
+  return PrivacyAccountant(lifetime_budget);
+}
+
+Status PrivacyAccountant::Charge(uint64_t user, double epsilon) {
+  if (!(std::isfinite(epsilon) && epsilon > 0.0)) {
+    return Status::InvalidArgument("charge must be finite and positive");
+  }
+  double& spent = spent_[user];
+  if (spent + epsilon > lifetime_budget_ + kSlack) {
+    return Status::FailedPrecondition(
+        "charge would exceed the user's lifetime budget");
+  }
+  spent += epsilon;
+  return Status::OK();
+}
+
+double PrivacyAccountant::Remaining(uint64_t user) const {
+  const auto it = spent_.find(user);
+  const double spent = it == spent_.end() ? 0.0 : it->second;
+  return std::max(0.0, lifetime_budget_ - spent);
+}
+
+double PrivacyAccountant::Spent(uint64_t user) const {
+  const auto it = spent_.find(user);
+  return it == spent_.end() ? 0.0 : it->second;
+}
+
+bool PrivacyAccountant::CanCharge(uint64_t user, double epsilon) const {
+  if (!(std::isfinite(epsilon) && epsilon > 0.0)) return false;
+  return Spent(user) + epsilon <= lifetime_budget_ + kSlack;
+}
+
+}  // namespace ldp

@@ -1,0 +1,60 @@
+// PrivacyAccountant: per-user budget bookkeeping under sequential
+// composition. An LDP deployment typically answers many collection rounds
+// against the same population; by the composition property of differential
+// privacy (Section V uses it for SGD), the budgets of everything one user
+// participates in add up. The accountant enforces a lifetime cap per user
+// and refuses charges that would exceed it — the control knob behind the
+// paper's observation that a user should power at most one SGD iteration.
+
+#ifndef LDP_CORE_ACCOUNTANT_H_
+#define LDP_CORE_ACCOUNTANT_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ldp {
+
+/// Tracks cumulative ε spent per user against a lifetime budget.
+///
+/// Thread-compatibility: not internally synchronised; guard with a mutex if
+/// charged from multiple threads.
+class PrivacyAccountant {
+ public:
+  /// `lifetime_budget` is the maximum total ε any one user may spend; must
+  /// be positive and finite.
+  static Result<PrivacyAccountant> Create(double lifetime_budget);
+
+  /// Charges `epsilon` to `user`. Fails with FailedPrecondition (and charges
+  /// nothing) if the charge would push the user past the lifetime budget;
+  /// fails with InvalidArgument for a non-positive/non-finite epsilon.
+  Status Charge(uint64_t user, double epsilon);
+
+  /// The budget `user` has left (full budget for unseen users).
+  double Remaining(uint64_t user) const;
+
+  /// Total ε charged to `user` so far (0 for unseen users).
+  double Spent(uint64_t user) const;
+
+  /// True iff `user` can still afford a charge of `epsilon`.
+  bool CanCharge(uint64_t user, double epsilon) const;
+
+  /// The per-user lifetime budget.
+  double lifetime_budget() const { return lifetime_budget_; }
+
+  /// Number of users with a non-zero charge.
+  size_t num_charged_users() const { return spent_.size(); }
+
+ private:
+  explicit PrivacyAccountant(double lifetime_budget)
+      : lifetime_budget_(lifetime_budget) {}
+
+  double lifetime_budget_;
+  std::unordered_map<uint64_t, double> spent_;
+};
+
+}  // namespace ldp
+
+#endif  // LDP_CORE_ACCOUNTANT_H_

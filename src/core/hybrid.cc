@@ -1,0 +1,62 @@
+#include "core/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace ldp {
+
+double HybridMechanism::OptimalAlpha(double epsilon) {
+  if (epsilon <= EpsilonStar()) return 0.0;
+  return 1.0 - std::exp(-epsilon / 2.0);
+}
+
+double HybridMechanism::OptimalWorstCaseVariance(double epsilon) {
+  const double e_half = std::exp(epsilon / 2.0);
+  const double e_full = std::exp(epsilon);
+  if (epsilon <= EpsilonStar()) {
+    const double b = (e_full + 1.0) / (e_full - 1.0);
+    return b * b;
+  }
+  return (e_half + 3.0) / (3.0 * e_half * (e_half - 1.0)) +
+         (e_full + 1.0) * (e_full + 1.0) /
+             (e_half * (e_full - 1.0) * (e_full - 1.0));
+}
+
+HybridMechanism::HybridMechanism(double epsilon)
+    : HybridMechanism(epsilon, OptimalAlpha(epsilon)) {}
+
+HybridMechanism::HybridMechanism(double epsilon, double alpha)
+    : epsilon_(epsilon), alpha_(alpha), pm_(epsilon), duchi_(epsilon) {
+  LDP_CHECK_MSG(ValidateEpsilon(epsilon).ok(), "epsilon must be positive/finite");
+  LDP_CHECK_MSG(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0, 1]");
+}
+
+double HybridMechanism::Perturb(double t, Rng* rng) const {
+  LDP_DCHECK(t >= -1.0 && t <= 1.0);
+  if (rng->Bernoulli(alpha_)) return pm_.Perturb(t, rng);
+  return duchi_.Perturb(t, rng);
+}
+
+double HybridMechanism::Variance(double t) const {
+  // Both components are unbiased at t, so the mixture variance is the convex
+  // combination of the component variances.
+  return alpha_ * pm_.Variance(t) + (1.0 - alpha_) * duchi_.Variance(t);
+}
+
+double HybridMechanism::WorstCaseVariance() const {
+  // Var(t) is quadratic in t² with coefficient α/(e^{ε/2}−1) − (1−α); the
+  // maximum over [-1, 1] is at |t| = 1 when that coefficient is positive and
+  // at t = 0 otherwise. (At the optimal α it is exactly 0.)
+  return std::max(Variance(0.0), Variance(1.0));
+}
+
+double HybridMechanism::OutputBound() const {
+  // PM emits in [-C, C]; Duchi emits ±(e^ε+1)/(e^ε−1) < C. When α = 0 only
+  // the Duchi component is ever invoked.
+  return alpha_ > 0.0 ? pm_.OutputBound() : duchi_.OutputBound();
+}
+
+}  // namespace ldp

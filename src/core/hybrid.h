@@ -1,0 +1,63 @@
+// Hybrid Mechanism (HM) — the paper's second contribution (Section III-C).
+//
+// HM flips a coin with head probability α; on heads it perturbs with the
+// Piecewise Mechanism, on tails with Duchi et al.'s two-point mechanism, both
+// at the full budget ε. Because both components are unbiased, the mixture is
+// unbiased with variance α·σ²_PM(t) + (1−α)·σ²_Duchi(t). Lemma 3 shows the
+// worst-case variance is minimised by α = 1 − e^{−ε/2} when ε > ε* ≈ 0.61 and
+// by α = 0 (pure Duchi) otherwise; with the optimal α the t² terms of the two
+// components cancel exactly, so HM's variance is input-independent.
+
+#ifndef LDP_CORE_HYBRID_H_
+#define LDP_CORE_HYBRID_H_
+
+#include "baselines/duchi_one_dim.h"
+#include "core/mechanism.h"
+#include "core/piecewise.h"
+
+namespace ldp {
+
+/// Hybrid Mechanism: α-mixture of PM and Duchi-1D, worst-case variance never
+/// above either component's (Corollary 1), given by Eq. 8.
+class HybridMechanism final : public ScalarMechanism {
+ public:
+  /// Builds HM with the paper's optimal α (Eq. 7).
+  explicit HybridMechanism(double epsilon);
+
+  /// Builds HM with an explicit mixing weight α ∈ [0, 1]; used by the
+  /// ablation benchmark that sweeps α to verify Lemma 3.
+  HybridMechanism(double epsilon, double alpha);
+
+  double Perturb(double t, Rng* rng) const override;
+  double epsilon() const override { return epsilon_; }
+  const char* name() const override { return "HM"; }
+  double Variance(double t) const override;
+  double WorstCaseVariance() const override;
+  double OutputBound() const override;
+
+  /// The mixing weight: probability of invoking PM rather than Duchi.
+  double alpha() const { return alpha_; }
+
+  /// The paper's optimal mixing weight for budget ε (Eq. 7):
+  /// 1 − e^{−ε/2} if ε > ε*, else 0.
+  static double OptimalAlpha(double epsilon);
+
+  /// Eq. 8: the worst-case variance of HM under the *optimal* α.
+  static double OptimalWorstCaseVariance(double epsilon);
+
+  /// The PM component (for tests).
+  const PiecewiseMechanism& piecewise() const { return pm_; }
+
+  /// The Duchi component (for tests).
+  const DuchiOneDimMechanism& duchi() const { return duchi_; }
+
+ private:
+  double epsilon_;
+  double alpha_;
+  PiecewiseMechanism pm_;
+  DuchiOneDimMechanism duchi_;
+};
+
+}  // namespace ldp
+
+#endif  // LDP_CORE_HYBRID_H_

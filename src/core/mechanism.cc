@@ -1,0 +1,62 @@
+#include "core/mechanism.h"
+
+#include <cmath>
+
+#include "baselines/duchi_one_dim.h"
+#include "baselines/laplace.h"
+#include "baselines/scdf.h"
+#include "baselines/staircase.h"
+#include "core/hybrid.h"
+#include "core/piecewise.h"
+
+namespace ldp {
+
+const char* MechanismKindToString(MechanismKind kind) {
+  switch (kind) {
+    case MechanismKind::kLaplace:
+      return "Laplace";
+    case MechanismKind::kScdf:
+      return "SCDF";
+    case MechanismKind::kStaircase:
+      return "Staircase";
+    case MechanismKind::kDuchi:
+      return "Duchi";
+    case MechanismKind::kPiecewise:
+      return "PM";
+    case MechanismKind::kHybrid:
+      return "HM";
+  }
+  return "Unknown";
+}
+
+Status ValidateEpsilon(double epsilon) {
+  if (!std::isfinite(epsilon)) {
+    return Status::InvalidArgument("privacy budget must be finite");
+  }
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("privacy budget must be positive");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ScalarMechanism>> MakeScalarMechanism(
+    MechanismKind kind, double epsilon) {
+  LDP_RETURN_IF_ERROR(ValidateEpsilon(epsilon));
+  switch (kind) {
+    case MechanismKind::kLaplace:
+      return std::unique_ptr<ScalarMechanism>(new LaplaceMechanism(epsilon));
+    case MechanismKind::kScdf:
+      return std::unique_ptr<ScalarMechanism>(new ScdfMechanism(epsilon));
+    case MechanismKind::kStaircase:
+      return std::unique_ptr<ScalarMechanism>(new StaircaseMechanism(epsilon));
+    case MechanismKind::kDuchi:
+      return std::unique_ptr<ScalarMechanism>(new DuchiOneDimMechanism(epsilon));
+    case MechanismKind::kPiecewise:
+      return std::unique_ptr<ScalarMechanism>(new PiecewiseMechanism(epsilon));
+    case MechanismKind::kHybrid:
+      return std::unique_ptr<ScalarMechanism>(new HybridMechanism(epsilon));
+  }
+  return Status::InvalidArgument("unknown mechanism kind");
+}
+
+}  // namespace ldp

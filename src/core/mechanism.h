@@ -1,0 +1,72 @@
+// ScalarMechanism: the common interface of every ε-LDP perturbation primitive
+// for one numeric value in [-1, 1]. Implementations are unbiased
+// (E[Perturb(t)] = t) and expose their closed-form output variance so that the
+// analysis layer (core/variance.h) and the benchmarks can compare mechanisms
+// without Monte-Carlo runs.
+
+#ifndef LDP_CORE_MECHANISM_H_
+#define LDP_CORE_MECHANISM_H_
+
+#include <memory>
+#include <string>
+
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ldp {
+
+/// Identifies a scalar numeric mechanism; used by factories and configs.
+enum class MechanismKind {
+  kLaplace,     ///< Dwork et al. — unbounded Laplace noise, scale 2/ε.
+  kScdf,        ///< Soria-Comas & Domingo-Ferrer piecewise-constant noise.
+  kStaircase,   ///< Geng et al. staircase noise.
+  kDuchi,       ///< Duchi et al. two-point mechanism (Algorithm 1).
+  kPiecewise,   ///< This paper's Piecewise Mechanism (Algorithm 2).
+  kHybrid,      ///< This paper's Hybrid Mechanism (Lemma 3).
+};
+
+/// Human-readable mechanism name ("Laplace", "PM", ...).
+const char* MechanismKindToString(MechanismKind kind);
+
+/// Validates a privacy budget: must be finite and strictly positive.
+Status ValidateEpsilon(double epsilon);
+
+/// An ε-LDP randomizer for a single numeric value t ∈ [-1, 1].
+///
+/// Thread-safety: implementations are immutable after construction; Perturb
+/// only mutates the caller-supplied Rng, so one instance may be shared across
+/// threads as long as each thread owns its Rng.
+class ScalarMechanism {
+ public:
+  virtual ~ScalarMechanism() = default;
+
+  /// Perturbs `t` (must lie in [-1, 1]); the output is an unbiased estimate
+  /// of `t` under ε-LDP.
+  virtual double Perturb(double t, Rng* rng) const = 0;
+
+  /// The privacy budget this instance was built with.
+  virtual double epsilon() const = 0;
+
+  /// Short mechanism name for reports.
+  virtual const char* name() const = 0;
+
+  /// Closed-form Var[Perturb(t)] for input t ∈ [-1, 1].
+  virtual double Variance(double t) const = 0;
+
+  /// max_{t ∈ [-1,1]} Variance(t).
+  virtual double WorstCaseVariance() const = 0;
+
+  /// Smallest b such that |Perturb(t)| <= b almost surely, or +infinity for
+  /// mechanisms with unbounded output (Laplace/SCDF/Staircase).
+  virtual double OutputBound() const = 0;
+};
+
+/// Creates a scalar mechanism of the given kind with budget `epsilon`.
+/// Returns InvalidArgument for a non-positive or non-finite budget.
+Result<std::unique_ptr<ScalarMechanism>> MakeScalarMechanism(
+    MechanismKind kind, double epsilon);
+
+}  // namespace ldp
+
+#endif  // LDP_CORE_MECHANISM_H_

@@ -1,0 +1,167 @@
+#include "core/mixed_collector.h"
+
+#include <map>
+
+#include "core/variance.h"
+#include "frequency/histogram.h"
+#include "util/check.h"
+#include "util/sampling.h"
+
+namespace ldp {
+
+Result<MixedTupleCollector> MixedTupleCollector::Create(
+    std::vector<MixedAttribute> schema, double epsilon,
+    MechanismKind numeric_kind, FrequencyOracleKind categorical_kind) {
+  if (schema.empty()) {
+    return Status::InvalidArgument("schema must have at least one attribute");
+  }
+  LDP_RETURN_IF_ERROR(ValidateEpsilon(epsilon));
+  const uint32_t dimension = static_cast<uint32_t>(schema.size());
+  const uint32_t k = AttributeSampleCount(epsilon, dimension);
+  const double per_attribute_epsilon = epsilon / k;
+
+  std::unique_ptr<ScalarMechanism> scalar;
+  LDP_ASSIGN_OR_RETURN(scalar,
+                       MakeScalarMechanism(numeric_kind, per_attribute_epsilon));
+
+  // Attributes with equal domain sizes share one oracle instance.
+  std::map<uint32_t, std::shared_ptr<const FrequencyOracle>> oracle_cache;
+  std::vector<std::shared_ptr<const FrequencyOracle>> oracles(dimension);
+  for (uint32_t j = 0; j < dimension; ++j) {
+    if (schema[j].type != AttributeType::kCategorical) continue;
+    const uint32_t domain = schema[j].domain_size;
+    auto it = oracle_cache.find(domain);
+    if (it == oracle_cache.end()) {
+      std::unique_ptr<FrequencyOracle> oracle;
+      LDP_ASSIGN_OR_RETURN(oracle,
+                           MakeFrequencyOracle(categorical_kind,
+                                               per_attribute_epsilon, domain));
+      it = oracle_cache.emplace(domain, std::move(oracle)).first;
+    }
+    oracles[j] = it->second;
+  }
+  return MixedTupleCollector(std::move(schema), epsilon, k,
+                             std::shared_ptr<const ScalarMechanism>(
+                                 std::move(scalar)),
+                             std::move(oracles));
+}
+
+MixedReport MixedTupleCollector::Perturb(const MixedTuple& tuple,
+                                         Rng* rng) const {
+  LDP_CHECK(tuple.size() == schema_.size());
+  const double scale = static_cast<double>(dimension()) / k_;
+  const std::vector<uint32_t> sampled =
+      SampleWithoutReplacement(dimension(), k_, rng);
+  MixedReport report;
+  report.reserve(k_);
+  for (const uint32_t attribute : sampled) {
+    MixedReportEntry entry;
+    entry.attribute = attribute;
+    if (schema_[attribute].type == AttributeType::kNumeric) {
+      const double t = tuple[attribute].numeric;
+      LDP_DCHECK(t >= -1.0 && t <= 1.0);
+      entry.numeric_value = scale * scalar_->Perturb(t, rng);
+    } else {
+      const uint32_t v = tuple[attribute].category;
+      LDP_DCHECK(v < schema_[attribute].domain_size);
+      entry.categorical_report = oracles_[attribute]->Perturb(v, rng);
+    }
+    report.push_back(std::move(entry));
+  }
+  return report;
+}
+
+MixedAggregator::MixedAggregator(const MixedTupleCollector* collector)
+    : collector_(collector) {
+  LDP_CHECK(collector != nullptr);
+  const uint32_t d = collector_->dimension();
+  attribute_reports_.assign(d, 0);
+  numeric_sums_.assign(d, 0.0);
+  supports_.resize(d);
+  for (uint32_t j = 0; j < d; ++j) {
+    if (collector_->schema()[j].type == AttributeType::kCategorical) {
+      supports_[j].assign(collector_->schema()[j].domain_size, 0.0);
+    }
+  }
+}
+
+void MixedAggregator::Add(const MixedReport& report) {
+  ++num_reports_;
+  for (const MixedReportEntry& entry : report) {
+    LDP_DCHECK(entry.attribute < collector_->dimension());
+    const uint32_t j = entry.attribute;
+    ++attribute_reports_[j];
+    if (collector_->schema()[j].type == AttributeType::kNumeric) {
+      numeric_sums_[j] += entry.numeric_value;
+    } else {
+      collector_->oracle_for(j)->Accumulate(entry.categorical_report,
+                                            &supports_[j]);
+    }
+  }
+}
+
+void MixedAggregator::Merge(const MixedAggregator& other) {
+  LDP_CHECK(collector_ == other.collector_);
+  num_reports_ += other.num_reports_;
+  for (uint32_t j = 0; j < collector_->dimension(); ++j) {
+    attribute_reports_[j] += other.attribute_reports_[j];
+    numeric_sums_[j] += other.numeric_sums_[j];
+    for (size_t v = 0; v < supports_[j].size(); ++v) {
+      supports_[j][v] += other.supports_[j][v];
+    }
+  }
+}
+
+Result<double> MixedAggregator::EstimateMean(uint32_t attribute) const {
+  if (attribute >= collector_->dimension()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  if (collector_->schema()[attribute].type != AttributeType::kNumeric) {
+    return Status::InvalidArgument("attribute is not numeric");
+  }
+  if (num_reports_ == 0) return 0.0;
+  // Algorithm 4's estimator: average of the dense (zero-padded) reports.
+  return numeric_sums_[attribute] / static_cast<double>(num_reports_);
+}
+
+Result<std::vector<double>> MixedAggregator::EstimateFrequencies(
+    uint32_t attribute) const {
+  if (attribute >= collector_->dimension()) {
+    return Status::OutOfRange("attribute index out of range");
+  }
+  if (collector_->schema()[attribute].type != AttributeType::kCategorical) {
+    return Status::InvalidArgument("attribute is not categorical");
+  }
+  const FrequencyOracle* oracle = collector_->oracle_for(attribute);
+  const uint64_t n_j = attribute_reports_[attribute];
+  // The oracle's Estimate debiases relative to the n_j reports that sampled
+  // this attribute; the Section IV-C estimator rescales the debiased counts
+  // by d/(k·n): f̂ = (d·n_j)/(k·n) · per-reporter estimate.
+  std::vector<double> estimates = oracle->Estimate(supports_[attribute], n_j);
+  if (num_reports_ == 0) return estimates;
+  const double scale = static_cast<double>(collector_->dimension()) *
+                       static_cast<double>(n_j) /
+                       (static_cast<double>(collector_->k()) *
+                        static_cast<double>(num_reports_));
+  for (double& f : estimates) f *= scale;
+  return estimates;
+}
+
+Result<std::vector<double>> MixedAggregator::EstimateFrequenciesProjected(
+    uint32_t attribute) const {
+  std::vector<double> raw;
+  LDP_ASSIGN_OR_RETURN(raw, EstimateFrequencies(attribute));
+  return ProjectOntoSimplex(raw);
+}
+
+std::vector<double> MixedAggregator::EstimateAllMeans() const {
+  std::vector<double> means(collector_->dimension(), 0.0);
+  for (uint32_t j = 0; j < collector_->dimension(); ++j) {
+    if (collector_->schema()[j].type == AttributeType::kNumeric) {
+      means[j] = EstimateMean(j).value();
+    }
+  }
+  return means;
+}
+
+}  // namespace ldp

@@ -1,0 +1,186 @@
+// Section IV-C: the extension of Algorithm 4 to tuples mixing numeric and
+// categorical attributes — the first LDP collector that handles both under a
+// single budget without per-attribute splitting.
+//
+// Each user samples k = max(1, min(d, ⌊ε/2.5⌋)) of her d attributes. A
+// sampled numeric attribute is perturbed with PM/HM at budget ε/k and scaled
+// by d/k (exactly as in Algorithm 4); a sampled categorical attribute is
+// perturbed with a frequency oracle (OUE by default, the paper's choice) at
+// budget ε/k. The aggregator estimates
+//   - the mean of numeric attribute j as (1/n) Σ_i reported_scaled_value, and
+//   - the frequency of value v of categorical attribute j as
+//     (d/(k·n)) · (debiased support of v over the reports that sampled j),
+// both unbiased (Lemma 4 and the Section IV-C estimator).
+
+#ifndef LDP_CORE_MIXED_COLLECTOR_H_
+#define LDP_CORE_MIXED_COLLECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "frequency/frequency_oracle.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace ldp {
+
+/// Type tag of one attribute in a mixed tuple.
+enum class AttributeType {
+  kNumeric,      ///< Value in [-1, 1].
+  kCategorical,  ///< Value in {0, ..., domain_size-1}.
+};
+
+/// Describes one attribute of the tuples being collected.
+struct MixedAttribute {
+  AttributeType type = AttributeType::kNumeric;
+  /// Number of distinct values; meaningful for categorical attributes only.
+  uint32_t domain_size = 0;
+
+  static MixedAttribute Numeric() { return {AttributeType::kNumeric, 0}; }
+  static MixedAttribute Categorical(uint32_t domain_size) {
+    return {AttributeType::kCategorical, domain_size};
+  }
+};
+
+/// One attribute value of a mixed tuple: numeric attributes read `numeric`,
+/// categorical attributes read `category`.
+struct AttributeValue {
+  double numeric = 0.0;
+  uint32_t category = 0;
+
+  static AttributeValue Numeric(double v) { return {v, 0}; }
+  static AttributeValue Categorical(uint32_t v) { return {0.0, v}; }
+};
+
+/// A full user tuple: one AttributeValue per schema attribute.
+using MixedTuple = std::vector<AttributeValue>;
+
+/// One sampled attribute inside a privatized mixed report.
+struct MixedReportEntry {
+  uint32_t attribute = 0;
+  /// d/k-scaled noisy value (numeric attributes).
+  double numeric_value = 0.0;
+  /// Oracle report (categorical attributes).
+  FrequencyOracle::Report categorical_report;
+};
+
+/// A user's privatized report: exactly k sampled attributes.
+using MixedReport = std::vector<MixedReportEntry>;
+
+/// The client half of the Section IV-C protocol.
+///
+/// Thread-safety: immutable after construction; share across threads with one
+/// Rng per thread.
+class MixedTupleCollector {
+ public:
+  /// Builds a collector for the given schema and total budget ε.
+  /// `numeric_kind` is the scalar mechanism for numeric attributes (HM in the
+  /// paper's experiments); `categorical_kind` is the frequency oracle for
+  /// categorical attributes (OUE in the paper). Fails on an empty schema, a
+  /// bad budget, or a categorical attribute with fewer than 2 values.
+  static Result<MixedTupleCollector> Create(
+      std::vector<MixedAttribute> schema, double epsilon,
+      MechanismKind numeric_kind = MechanismKind::kHybrid,
+      FrequencyOracleKind categorical_kind = FrequencyOracleKind::kOue);
+
+  /// Perturbs one user tuple (size d, numeric coordinates in [-1, 1],
+  /// categorical coordinates within their domains) into a k-entry report.
+  MixedReport Perturb(const MixedTuple& tuple, Rng* rng) const;
+
+  double epsilon() const { return epsilon_; }
+  uint32_t dimension() const { return static_cast<uint32_t>(schema_.size()); }
+
+  /// The number of attributes each user reports (Eq. 12).
+  uint32_t k() const { return k_; }
+
+  /// The per-attribute budget ε/k.
+  double per_attribute_epsilon() const { return per_attribute_epsilon_; }
+
+  /// The collection schema.
+  const std::vector<MixedAttribute>& schema() const { return schema_; }
+
+  /// The scalar mechanism shared by all numeric attributes.
+  const ScalarMechanism& scalar_mechanism() const { return *scalar_; }
+
+  /// The oracle used for categorical attribute `attribute`; null for numeric
+  /// attributes.
+  const FrequencyOracle* oracle_for(uint32_t attribute) const {
+    return oracles_[attribute].get();
+  }
+
+ private:
+  MixedTupleCollector(
+      std::vector<MixedAttribute> schema, double epsilon, uint32_t k,
+      std::shared_ptr<const ScalarMechanism> scalar,
+      std::vector<std::shared_ptr<const FrequencyOracle>> oracles)
+      : schema_(std::move(schema)),
+        epsilon_(epsilon),
+        k_(k),
+        per_attribute_epsilon_(epsilon / k),
+        scalar_(std::move(scalar)),
+        oracles_(std::move(oracles)) {}
+
+  std::vector<MixedAttribute> schema_;
+  double epsilon_;
+  uint32_t k_;
+  double per_attribute_epsilon_;
+  std::shared_ptr<const ScalarMechanism> scalar_;
+  // One oracle per attribute (null at numeric positions); oracles with equal
+  // domain sizes are shared.
+  std::vector<std::shared_ptr<const FrequencyOracle>> oracles_;
+};
+
+/// The server half: accumulates MixedReports and produces estimates.
+class MixedAggregator {
+ public:
+  /// `collector` must outlive the aggregator (it borrows the schema and the
+  /// oracles to decode reports).
+  explicit MixedAggregator(const MixedTupleCollector* collector);
+
+  /// Folds in one user's report.
+  void Add(const MixedReport& report);
+
+  /// Merges another aggregator built from the same collector.
+  void Merge(const MixedAggregator& other);
+
+  /// Unbiased mean estimate of numeric attribute `attribute`; fails if the
+  /// attribute is categorical.
+  Result<double> EstimateMean(uint32_t attribute) const;
+
+  /// Unbiased frequency estimates for every value of categorical attribute
+  /// `attribute`; fails if the attribute is numeric. Entries may fall outside
+  /// [0, 1]; see EstimateFrequenciesProjected for consistent estimates.
+  Result<std::vector<double>> EstimateFrequencies(uint32_t attribute) const;
+
+  /// EstimateFrequencies post-processed by Euclidean projection onto the
+  /// probability simplex: non-negative, sums to 1 (slightly biased, usually
+  /// lower error on skewed histograms).
+  Result<std::vector<double>> EstimateFrequenciesProjected(
+      uint32_t attribute) const;
+
+  /// Mean estimates for all numeric attributes, indexed by attribute; entries
+  /// at categorical positions are 0.
+  std::vector<double> EstimateAllMeans() const;
+
+  /// Number of reports accumulated.
+  uint64_t num_reports() const { return num_reports_; }
+
+  /// Number of reports that sampled `attribute`.
+  uint64_t attribute_report_count(uint32_t attribute) const {
+    return attribute_reports_[attribute];
+  }
+
+ private:
+  const MixedTupleCollector* collector_;
+  uint64_t num_reports_ = 0;
+  std::vector<uint64_t> attribute_reports_;   // reports sampling each attr
+  std::vector<double> numeric_sums_;          // Σ scaled noisy values
+  std::vector<std::vector<double>> supports_;  // per-categorical supports
+};
+
+}  // namespace ldp
+
+#endif  // LDP_CORE_MIXED_COLLECTOR_H_

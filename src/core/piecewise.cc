@@ -1,0 +1,60 @@
+#include "core/piecewise.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math.h"
+#include "util/sampling.h"
+
+namespace ldp {
+
+PiecewiseMechanism::PiecewiseMechanism(double epsilon) : epsilon_(epsilon) {
+  LDP_CHECK_MSG(ValidateEpsilon(epsilon).ok(), "epsilon must be positive/finite");
+  const double e_half = std::exp(epsilon_ / 2.0);
+  c_ = (e_half + 1.0) / (e_half - 1.0);
+  high_density_ = (std::exp(epsilon_) - e_half) / (2.0 * e_half + 2.0);
+  center_prob_ = e_half / (e_half + 1.0);
+}
+
+double PiecewiseMechanism::CenterLeft(double t) const {
+  return (c_ + 1.0) / 2.0 * t - (c_ - 1.0) / 2.0;
+}
+
+double PiecewiseMechanism::CenterRight(double t) const {
+  return CenterLeft(t) + c_ - 1.0;
+}
+
+double PiecewiseMechanism::Perturb(double t, Rng* rng) const {
+  LDP_DCHECK(t >= -1.0 && t <= 1.0);
+  const double l = CenterLeft(t);
+  const double r = CenterRight(t);
+  if (rng->Uniform01() < center_prob_) {
+    return rng->Uniform(l, r);
+  }
+  // The side pieces [-C, ℓ) and (r, C]; one of them is empty when |t| = 1.
+  return UniformFromTwoIntervals(-c_, l, r, c_, rng);
+}
+
+double PiecewiseMechanism::OutputPdf(double t, double x) const {
+  LDP_DCHECK(t >= -1.0 && t <= 1.0);
+  if (x < -c_ || x > c_) return 0.0;
+  const double l = CenterLeft(t);
+  const double r = CenterRight(t);
+  if (x >= l && x <= r) return high_density_;
+  return high_density_ / std::exp(epsilon_);
+}
+
+double PiecewiseMechanism::Variance(double t) const {
+  const double e_half = std::exp(epsilon_ / 2.0);
+  return t * t / (e_half - 1.0) +
+         (e_half + 3.0) / (3.0 * (e_half - 1.0) * (e_half - 1.0));
+}
+
+double PiecewiseMechanism::WorstCaseVariance() const {
+  // Variance(t) is increasing in t², so the maximum is at |t| = 1, where it
+  // simplifies to 4 e^{ε/2} / (3 (e^{ε/2} - 1)²).
+  const double e_half = std::exp(epsilon_ / 2.0);
+  return 4.0 * e_half / (3.0 * (e_half - 1.0) * (e_half - 1.0));
+}
+
+}  // namespace ldp

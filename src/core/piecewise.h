@@ -1,0 +1,58 @@
+// Piecewise Mechanism (PM) — the paper's first contribution (Algorithm 2).
+//
+// PM perturbs one numeric value t ∈ [-1, 1] into t* ∈ [-C, C] with
+// C = (e^{ε/2} + 1)/(e^{ε/2} - 1). The output density is a step function with
+// up to three pieces: a high-probability central piece [ℓ(t), r(t)] of width
+// C - 1 centred around (C+1)/2 · t, and two low-probability side pieces that
+// are exactly a factor e^ε less likely. Unlike Laplace/SCDF/Staircase the
+// output is bounded, and unlike Duchi et al. the output can be close to the
+// input, which makes PM's variance *decrease* as |t| decreases (Lemma 1).
+
+#ifndef LDP_CORE_PIECEWISE_H_
+#define LDP_CORE_PIECEWISE_H_
+
+#include "core/mechanism.h"
+
+namespace ldp {
+
+/// Piecewise Mechanism: unbiased, output bounded by C, and
+/// Var[t*] = t²/(e^{ε/2}-1) + (e^{ε/2}+3)/(3 (e^{ε/2}-1)²)  (Lemma 1).
+class PiecewiseMechanism final : public ScalarMechanism {
+ public:
+  /// Builds the mechanism; `epsilon` must be positive and finite.
+  explicit PiecewiseMechanism(double epsilon);
+
+  double Perturb(double t, Rng* rng) const override;
+  double epsilon() const override { return epsilon_; }
+  const char* name() const override { return "PM"; }
+  double Variance(double t) const override;
+  double WorstCaseVariance() const override;
+  double OutputBound() const override { return c_; }
+
+  /// The output half-range C = (e^{ε/2} + 1)/(e^{ε/2} - 1).
+  double c() const { return c_; }
+
+  /// Left endpoint ℓ(t) = (C+1)/2 · t − (C−1)/2 of the central piece.
+  double CenterLeft(double t) const;
+
+  /// Right endpoint r(t) = ℓ(t) + C − 1 of the central piece.
+  double CenterRight(double t) const;
+
+  /// The density of the output at x given input t (Eq. 5); 0 outside [-C, C].
+  /// Exposed so tests can verify normalisation and the ε-LDP density ratio.
+  double OutputPdf(double t, double x) const;
+
+  /// Probability that the output lands in the central piece,
+  /// e^{ε/2} / (e^{ε/2} + 1).
+  double CenterProbability() const { return center_prob_; }
+
+ private:
+  double epsilon_;
+  double c_;             // output half-range C
+  double high_density_;  // p = (e^ε − e^{ε/2}) / (2 e^{ε/2} + 2)
+  double center_prob_;   // e^{ε/2} / (e^{ε/2} + 1)
+};
+
+}  // namespace ldp
+
+#endif  // LDP_CORE_PIECEWISE_H_

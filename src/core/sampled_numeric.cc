@@ -1,0 +1,70 @@
+#include "core/sampled_numeric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/variance.h"
+#include "util/check.h"
+#include "util/sampling.h"
+
+namespace ldp {
+
+Result<SampledNumericMechanism> SampledNumericMechanism::Create(
+    MechanismKind kind, double epsilon, uint32_t dimension) {
+  if (dimension == 0) {
+    return Status::InvalidArgument("dimension must be >= 1");
+  }
+  return CreateWithSampleCount(kind, epsilon, dimension,
+                               AttributeSampleCount(epsilon, dimension));
+}
+
+Result<SampledNumericMechanism> SampledNumericMechanism::CreateWithSampleCount(
+    MechanismKind kind, double epsilon, uint32_t dimension, uint32_t k) {
+  if (dimension == 0) {
+    return Status::InvalidArgument("dimension must be >= 1");
+  }
+  if (k < 1 || k > dimension) {
+    return Status::InvalidArgument("sample count k must be in [1, dimension]");
+  }
+  std::unique_ptr<ScalarMechanism> scalar;
+  LDP_ASSIGN_OR_RETURN(scalar, MakeScalarMechanism(kind, epsilon / k));
+  return SampledNumericMechanism(std::move(scalar), epsilon, dimension, k);
+}
+
+SampledNumericReport SampledNumericMechanism::Perturb(
+    const std::vector<double>& tuple, Rng* rng) const {
+  LDP_CHECK(tuple.size() == dimension_);
+  const double scale = static_cast<double>(dimension_) / k_;
+  const std::vector<uint32_t> sampled =
+      SampleWithoutReplacement(dimension_, k_, rng);
+  SampledNumericReport report;
+  report.reserve(k_);
+  for (const uint32_t attribute : sampled) {
+    LDP_DCHECK(tuple[attribute] >= -1.0 && tuple[attribute] <= 1.0);
+    const double noisy = scalar_->Perturb(tuple[attribute], rng);
+    report.push_back(SampledValue{attribute, scale * noisy});
+  }
+  return report;
+}
+
+std::vector<double> SampledNumericMechanism::PerturbDense(
+    const std::vector<double>& tuple, Rng* rng) const {
+  std::vector<double> dense(dimension_, 0.0);
+  for (const SampledValue& entry : Perturb(tuple, rng)) {
+    dense[entry.attribute] = entry.value;
+  }
+  return dense;
+}
+
+double SampledNumericMechanism::CoordinateVariance(double tj) const {
+  const double d_over_k = static_cast<double>(dimension_) / k_;
+  return d_over_k * (scalar_->Variance(tj) + tj * tj) - tj * tj;
+}
+
+double SampledNumericMechanism::WorstCaseCoordinateVariance() const {
+  // The tj² coefficient of CoordinateVariance is monotone in tj², so the
+  // maximum is at one of the endpoints tj = 0 or |tj| = 1.
+  return std::max(CoordinateVariance(0.0), CoordinateVariance(1.0));
+}
+
+}  // namespace ldp

@@ -1,0 +1,27 @@
+#include "core/scaler.h"
+
+#include <cmath>
+
+#include "util/math.h"
+
+namespace ldp {
+
+Result<DomainScaler> DomainScaler::Create(double lo, double hi) {
+  if (!std::isfinite(lo) || !std::isfinite(hi)) {
+    return Status::InvalidArgument("domain bounds must be finite");
+  }
+  if (lo >= hi) {
+    return Status::InvalidArgument("domain must satisfy lo < hi");
+  }
+  return DomainScaler(lo, hi);
+}
+
+double DomainScaler::ToCanonical(double x) const {
+  return Clamp((x - mid_) / half_width_, -1.0, 1.0);
+}
+
+double DomainScaler::FromCanonical(double y) const {
+  return y * half_width_ + mid_;
+}
+
+}  // namespace ldp

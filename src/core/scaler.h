@@ -1,0 +1,51 @@
+// DomainScaler: maps an attribute's native domain [lo, hi] to the mechanisms'
+// canonical input domain [-1, 1] and back. Perturbing a value in [lo, hi] is
+// (i) scale to [-1, 1], (ii) perturb, (iii) scale the *output* back; because
+// the map is affine, unbiasedness is preserved and the output variance picks
+// up a factor ((hi − lo)/2)².
+
+#ifndef LDP_CORE_SCALER_H_
+#define LDP_CORE_SCALER_H_
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ldp {
+
+/// Affine bijection between [lo, hi] and [-1, 1].
+class DomainScaler {
+ public:
+  /// Creates a scaler for the domain [lo, hi]; fails unless lo < hi and both
+  /// are finite.
+  static Result<DomainScaler> Create(double lo, double hi);
+
+  /// The canonical scaler for the already-normalised domain [-1, 1].
+  DomainScaler() : lo_(-1.0), hi_(1.0), half_width_(1.0), mid_(0.0) {}
+
+  /// Maps x ∈ [lo, hi] to [-1, 1]; values outside are clamped.
+  double ToCanonical(double x) const;
+
+  /// Maps a canonical (possibly perturbed, out-of-[-1,1]) value back to the
+  /// native scale. Does NOT clamp: perturbed values legitimately exceed the
+  /// domain, and clamping would bias the aggregate mean.
+  double FromCanonical(double y) const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// The variance multiplier ((hi − lo)/2)² incurred by the round trip.
+  double VarianceScale() const { return half_width_ * half_width_; }
+
+ private:
+  DomainScaler(double lo, double hi)
+      : lo_(lo), hi_(hi), half_width_((hi - lo) / 2.0), mid_((hi + lo) / 2.0) {}
+
+  double lo_;
+  double hi_;
+  double half_width_;
+  double mid_;
+};
+
+}  // namespace ldp
+
+#endif  // LDP_CORE_SCALER_H_

@@ -1,0 +1,113 @@
+#include "core/variance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/duchi_multi_dim.h"
+#include "core/hybrid.h"
+#include "util/check.h"
+#include "util/math.h"
+
+namespace ldp {
+
+double LaplaceVariance(double epsilon) { return 8.0 / (epsilon * epsilon); }
+
+double DuchiVariance(double epsilon, double t) {
+  const double b = (std::exp(epsilon) + 1.0) / (std::exp(epsilon) - 1.0);
+  return b * b - t * t;
+}
+
+double DuchiWorstCaseVariance(double epsilon) {
+  return DuchiVariance(epsilon, 0.0);
+}
+
+double PiecewiseVariance(double epsilon, double t) {
+  const double e_half = std::exp(epsilon / 2.0);
+  return t * t / (e_half - 1.0) +
+         (e_half + 3.0) / (3.0 * (e_half - 1.0) * (e_half - 1.0));
+}
+
+double PiecewiseWorstCaseVariance(double epsilon) {
+  const double e_half = std::exp(epsilon / 2.0);
+  return 4.0 * e_half / (3.0 * (e_half - 1.0) * (e_half - 1.0));
+}
+
+double HybridVariance(double epsilon, double t) {
+  const double alpha = HybridMechanism::OptimalAlpha(epsilon);
+  return alpha * PiecewiseVariance(epsilon, t) +
+         (1.0 - alpha) * DuchiVariance(epsilon, t);
+}
+
+double HybridWorstCaseVariance(double epsilon) {
+  return HybridMechanism::OptimalWorstCaseVariance(epsilon);
+}
+
+uint32_t AttributeSampleCount(double epsilon, uint32_t dimension) {
+  LDP_DCHECK(dimension >= 1);
+  const uint32_t by_budget =
+      static_cast<uint32_t>(std::max(0.0, std::floor(epsilon / 2.5)));
+  return std::max(1u, std::min(dimension, by_budget));
+}
+
+double DuchiMultiVariance(double epsilon, uint32_t dimension, double tj) {
+  const double cd = DuchiMultiDimMechanism::ComputeCd(dimension);
+  const double b =
+      cd * (std::exp(epsilon) + 1.0) / (std::exp(epsilon) - 1.0);
+  return b * b - tj * tj;
+}
+
+double DuchiMultiWorstCaseVariance(double epsilon, uint32_t dimension) {
+  return DuchiMultiVariance(epsilon, dimension, 0.0);
+}
+
+double SampledPiecewiseVariance(double epsilon, uint32_t dimension, double tj) {
+  const uint32_t k = AttributeSampleCount(epsilon, dimension);
+  const double d_over_k = static_cast<double>(dimension) / k;
+  const double eps_k = epsilon / k;
+  // Var = (d/k)(σ²_PM(tj; ε/k) + tj²) − tj², which expands to Eq. 14.
+  return d_over_k * (PiecewiseVariance(eps_k, tj) + tj * tj) - tj * tj;
+}
+
+double SampledPiecewiseWorstCaseVariance(double epsilon, uint32_t dimension) {
+  // The tj² coefficient (d/k)·e^{ε/2k}/(e^{ε/2k}−1) − 1 is positive for all
+  // d ≥ k ≥ 1, so the maximum is at |tj| = 1.
+  return SampledPiecewiseVariance(epsilon, dimension, 1.0);
+}
+
+double SampledHybridVariance(double epsilon, uint32_t dimension, double tj) {
+  const uint32_t k = AttributeSampleCount(epsilon, dimension);
+  const double d_over_k = static_cast<double>(dimension) / k;
+  const double eps_k = epsilon / k;
+  // Var = (d/k)(σ²_HM(tj; ε/k) + tj²) − tj². For ε/k > ε*, σ²_HM is the
+  // input-independent Eq.-8 value and this matches Eq. 15's first branch; for
+  // ε/k ≤ ε*, σ²_HM(tj) = B₁² − tj² and the expression collapses to
+  // (d/k)·B₁² − tj² (the derived form documented in DESIGN.md).
+  return d_over_k * (HybridVariance(eps_k, tj) + tj * tj) - tj * tj;
+}
+
+double SampledHybridWorstCaseVariance(double epsilon, uint32_t dimension) {
+  const uint32_t k = AttributeSampleCount(epsilon, dimension);
+  // For ε/k > ε* the tj² coefficient is d/k − 1 ≥ 0 (max at |tj| = 1); for
+  // ε/k ≤ ε* the coefficient is −1 (max at tj = 0).
+  if (epsilon / k > EpsilonStar()) {
+    return SampledHybridVariance(epsilon, dimension, 1.0);
+  }
+  return SampledHybridVariance(epsilon, dimension, 0.0);
+}
+
+std::string TableOneRegime(double epsilon, uint32_t dimension) {
+  LDP_DCHECK(dimension >= 1);
+  if (dimension > 1) {
+    // Corollary 2: HM < PM < Duchi for every d > 1 and ε > 0.
+    return "HM < PM < Duchi";
+  }
+  const double sharp = EpsilonSharp();
+  const double star = EpsilonStar();
+  constexpr double kTol = 1e-9;
+  if (epsilon > sharp + kTol) return "HM < PM < Duchi";
+  if (std::abs(epsilon - sharp) <= kTol) return "HM < PM = Duchi";
+  if (epsilon > star + kTol) return "HM < Duchi < PM";
+  return "HM = Duchi < PM";
+}
+
+}  // namespace ldp

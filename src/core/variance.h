@@ -1,0 +1,79 @@
+// Closed-form variance analysis for every mechanism in the paper, in both the
+// one-dimensional setting (Lemma 1, Eq. 4, Eq. 8) and the d-dimensional
+// Algorithm-4 setting (Eqs. 13–15). These are the formulas behind Table I,
+// Fig. 1 and Fig. 3; tests cross-check them against Monte-Carlo simulation of
+// the actual mechanisms.
+
+#ifndef LDP_CORE_VARIANCE_H_
+#define LDP_CORE_VARIANCE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ldp {
+
+// ---------------------------------------------------------------------------
+// One-dimensional closed forms (budget ε, input t ∈ [-1, 1]).
+// ---------------------------------------------------------------------------
+
+/// Laplace: Var = 8/ε² for every input.
+double LaplaceVariance(double epsilon);
+
+/// Duchi-1D (Eq. 4): Var(t) = ((e^ε+1)/(e^ε−1))² − t².
+double DuchiVariance(double epsilon, double t);
+
+/// Duchi-1D worst case, attained at t = 0.
+double DuchiWorstCaseVariance(double epsilon);
+
+/// PM (Lemma 1): Var(t) = t²/(e^{ε/2}−1) + (e^{ε/2}+3)/(3(e^{ε/2}−1)²).
+double PiecewiseVariance(double epsilon, double t);
+
+/// PM worst case 4e^{ε/2}/(3(e^{ε/2}−1)²), attained at |t| = 1.
+double PiecewiseWorstCaseVariance(double epsilon);
+
+/// HM with the optimal α of Eq. 7; input-independent for ε > ε*.
+double HybridVariance(double epsilon, double t);
+
+/// HM worst case (Eq. 8).
+double HybridWorstCaseVariance(double epsilon);
+
+// ---------------------------------------------------------------------------
+// d-dimensional closed forms (total budget ε, per-coordinate input tj).
+// Algorithm 4 reports k = max(1, min(d, ⌊ε/2.5⌋)) attributes with budget ε/k
+// each, scaled by d/k; Duchi's Algorithm 3 reports all coordinates as ±B.
+// ---------------------------------------------------------------------------
+
+/// The Algorithm-4 sampling parameter k (Eq. 12).
+uint32_t AttributeSampleCount(double epsilon, uint32_t dimension);
+
+/// Duchi multi-dim (Eq. 13): Var = B² − tj², B = C_d (e^ε+1)/(e^ε−1).
+double DuchiMultiVariance(double epsilon, uint32_t dimension, double tj);
+
+/// Duchi multi-dim worst case, attained at tj = 0.
+double DuchiMultiWorstCaseVariance(double epsilon, uint32_t dimension);
+
+/// Algorithm 4 with PM (Eq. 14).
+double SampledPiecewiseVariance(double epsilon, uint32_t dimension, double tj);
+
+/// Algorithm 4 with PM, worst case (|tj| = 1).
+double SampledPiecewiseWorstCaseVariance(double epsilon, uint32_t dimension);
+
+/// Algorithm 4 with HM (Eq. 15; the ε/k ≤ ε* branch uses the derived form
+/// (d/k)·B₁² − tj² — see DESIGN.md for the discrepancy with the paper text).
+double SampledHybridVariance(double epsilon, uint32_t dimension, double tj);
+
+/// Algorithm 4 with HM, worst case.
+double SampledHybridWorstCaseVariance(double epsilon, uint32_t dimension);
+
+// ---------------------------------------------------------------------------
+// Table I: the regime classification of worst-case variances.
+// ---------------------------------------------------------------------------
+
+/// The strict ordering of {HM, PM, Duchi} worst-case variances predicted by
+/// Table I for the given setting, e.g. "HM < PM < Duchi" or
+/// "HM = Duchi < PM". Defined for d ≥ 1 and ε > 0.
+std::string TableOneRegime(double epsilon, uint32_t dimension);
+
+}  // namespace ldp
+
+#endif  // LDP_CORE_VARIANCE_H_

@@ -1,0 +1,225 @@
+#include "core/wire.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace ldp {
+
+namespace {
+
+// Little-endian primitive writers/readers over a std::string buffer. The
+// reader tracks a cursor and fails closed on truncation.
+
+void PutU8(std::string* out, uint8_t value) {
+  out->push_back(static_cast<char>(value));
+}
+
+void PutU16(std::string* out, uint16_t value) {
+  out->push_back(static_cast<char>(value & 0xff));
+  out->push_back(static_cast<char>((value >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((bits >> shift) & 0xff));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  Result<uint8_t> U8() {
+    if (cursor_ + 1 > bytes_.size()) return Truncated();
+    return static_cast<uint8_t>(bytes_[cursor_++]);
+  }
+
+  Result<uint16_t> U16() {
+    if (cursor_ + 2 > bytes_.size()) return Truncated();
+    uint16_t value = 0;
+    for (int i = 0; i < 2; ++i) {
+      value = static_cast<uint16_t>(
+          value | (static_cast<uint16_t>(
+                       static_cast<uint8_t>(bytes_[cursor_ + i]))
+                   << (8 * i)));
+    }
+    cursor_ += 2;
+    return value;
+  }
+
+  Result<uint32_t> U32() {
+    if (cursor_ + 4 > bytes_.size()) return Truncated();
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<uint32_t>(
+                   static_cast<uint8_t>(bytes_[cursor_ + i]))
+               << (8 * i);
+    }
+    cursor_ += 4;
+    return value;
+  }
+
+  Result<double> F64() {
+    if (cursor_ + 8 > bytes_.size()) return Truncated();
+    uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[cursor_ + i]))
+              << (8 * i);
+    }
+    cursor_ += 8;
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  bool AtEnd() const { return cursor_ == bytes_.size(); }
+
+ private:
+  static Status Truncated() {
+    return Status::InvalidArgument("truncated report");
+  }
+
+  const std::string& bytes_;
+  size_t cursor_ = 0;
+};
+
+constexpr uint8_t kNumericEntry = 0;
+constexpr uint8_t kCategoricalEntry = 1;
+
+}  // namespace
+
+std::string EncodeSampledNumericReport(const SampledNumericReport& report) {
+  std::string out;
+  out.reserve(2 + report.size() * 12);
+  PutU16(&out, static_cast<uint16_t>(report.size()));
+  for (const SampledValue& entry : report) {
+    PutU32(&out, entry.attribute);
+    PutF64(&out, entry.value);
+  }
+  return out;
+}
+
+Result<SampledNumericReport> DecodeSampledNumericReport(
+    const std::string& bytes, const SampledNumericMechanism& mechanism) {
+  Reader reader(bytes);
+  uint16_t count = 0;
+  LDP_ASSIGN_OR_RETURN(count, reader.U16());
+  if (count != mechanism.k()) {
+    return Status::InvalidArgument("report must carry exactly k entries");
+  }
+  const double bound = static_cast<double>(mechanism.dimension()) /
+                       mechanism.k() *
+                       mechanism.scalar_mechanism().OutputBound();
+  SampledNumericReport report;
+  report.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    SampledValue entry;
+    LDP_ASSIGN_OR_RETURN(entry.attribute, reader.U32());
+    LDP_ASSIGN_OR_RETURN(entry.value, reader.F64());
+    if (entry.attribute >= mechanism.dimension()) {
+      return Status::InvalidArgument("attribute index out of range");
+    }
+    if (!std::isfinite(entry.value) ||
+        std::abs(entry.value) > bound * (1.0 + 1e-9)) {
+      return Status::InvalidArgument("value outside the mechanism's range");
+    }
+    for (const SampledValue& previous : report) {
+      if (previous.attribute == entry.attribute) {
+        return Status::InvalidArgument("duplicate attribute in report");
+      }
+    }
+    report.push_back(entry);
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after report");
+  }
+  return report;
+}
+
+std::string EncodeMixedReport(const MixedReport& report,
+                              const MixedTupleCollector& collector) {
+  std::string out;
+  PutU16(&out, static_cast<uint16_t>(report.size()));
+  for (const MixedReportEntry& entry : report) {
+    PutU32(&out, entry.attribute);
+    const bool numeric =
+        entry.attribute < collector.dimension() &&
+        collector.schema()[entry.attribute].type == AttributeType::kNumeric;
+    if (numeric) {
+      PutU8(&out, kNumericEntry);
+      PutF64(&out, entry.numeric_value);
+    } else {
+      PutU8(&out, kCategoricalEntry);
+      PutU16(&out, static_cast<uint16_t>(entry.categorical_report.size()));
+      for (const uint32_t payload : entry.categorical_report) {
+        PutU32(&out, payload);
+      }
+    }
+  }
+  return out;
+}
+
+Result<MixedReport> DecodeMixedReport(const std::string& bytes,
+                                      const MixedTupleCollector& collector) {
+  Reader reader(bytes);
+  uint16_t count = 0;
+  LDP_ASSIGN_OR_RETURN(count, reader.U16());
+  if (count != collector.k()) {
+    return Status::InvalidArgument("report must carry exactly k entries");
+  }
+  MixedReport report;
+  report.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    MixedReportEntry entry;
+    LDP_ASSIGN_OR_RETURN(entry.attribute, reader.U32());
+    if (entry.attribute >= collector.dimension()) {
+      return Status::InvalidArgument("attribute index out of range");
+    }
+    const MixedAttribute& spec = collector.schema()[entry.attribute];
+    uint8_t kind = 0;
+    LDP_ASSIGN_OR_RETURN(kind, reader.U8());
+    if (kind == kNumericEntry) {
+      if (spec.type != AttributeType::kNumeric) {
+        return Status::InvalidArgument("numeric entry for categorical attribute");
+      }
+      LDP_ASSIGN_OR_RETURN(entry.numeric_value, reader.F64());
+      if (!std::isfinite(entry.numeric_value)) {
+        return Status::InvalidArgument("non-finite numeric value");
+      }
+    } else if (kind == kCategoricalEntry) {
+      if (spec.type != AttributeType::kCategorical) {
+        return Status::InvalidArgument("categorical entry for numeric attribute");
+      }
+      uint16_t payload_count = 0;
+      LDP_ASSIGN_OR_RETURN(payload_count, reader.U16());
+      entry.categorical_report.reserve(payload_count);
+      for (uint16_t p = 0; p < payload_count; ++p) {
+        uint32_t payload = 0;
+        LDP_ASSIGN_OR_RETURN(payload, reader.U32());
+        entry.categorical_report.push_back(payload);
+      }
+    } else {
+      return Status::InvalidArgument("unknown entry kind");
+    }
+    for (const MixedReportEntry& previous : report) {
+      if (previous.attribute == entry.attribute) {
+        return Status::InvalidArgument("duplicate attribute in report");
+      }
+    }
+    report.push_back(std::move(entry));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after report");
+  }
+  return report;
+}
+
+}  // namespace ldp

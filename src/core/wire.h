@@ -1,0 +1,52 @@
+// Wire format for privatized reports: a compact, validated byte encoding so
+// the client half (user devices) and the server half (aggregator) of the
+// protocols can actually be deployed across a network. Encoding is
+// little-endian with explicit lengths; decoding validates every length and
+// range against the collector's schema and returns Status on malformed or
+// truncated input (never trusting the payload).
+//
+// Layout (all integers little-endian):
+//   SampledNumericReport: u16 entry_count, then per entry
+//     u32 attribute, f64 value.
+//   MixedReport: u16 entry_count, then per entry
+//     u32 attribute, u8 kind (0 numeric / 1 categorical),
+//     numeric:     f64 value
+//     categorical: u16 payload_count, u32 payload[...]
+
+#ifndef LDP_CORE_WIRE_H_
+#define LDP_CORE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mixed_collector.h"
+#include "core/sampled_numeric.h"
+#include "util/result.h"
+
+namespace ldp {
+
+/// Serialises an Algorithm-4 numeric report.
+std::string EncodeSampledNumericReport(const SampledNumericReport& report);
+
+/// Parses a serialised numeric report, validating attribute indices against
+/// `mechanism`'s dimension, the entry count against its k, and every value
+/// against the mechanism's scaled output bound.
+Result<SampledNumericReport> DecodeSampledNumericReport(
+    const std::string& bytes, const SampledNumericMechanism& mechanism);
+
+/// Serialises a Section IV-C mixed report; `collector` supplies the schema
+/// that tags each entry as numeric or categorical (an empty categorical
+/// oracle report is legal and indistinguishable from a numeric entry without
+/// the schema).
+std::string EncodeMixedReport(const MixedReport& report,
+                              const MixedTupleCollector& collector);
+
+/// Parses a serialised mixed report, validating entry kinds and attribute
+/// indices against `collector`'s schema and the entry count against its k.
+Result<MixedReport> DecodeMixedReport(const std::string& bytes,
+                                      const MixedTupleCollector& collector);
+
+}  // namespace ldp
+
+#endif  // LDP_CORE_WIRE_H_

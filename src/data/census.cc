@@ -1,0 +1,221 @@
+#include "data/census.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "util/check.h"
+#include "util/math.h"
+#include "util/random.h"
+
+namespace ldp::data {
+
+namespace {
+
+// A categorical attribute whose per-row distribution is the base weight
+// vector exponentially tilted by the row's latent socioeconomic factor s:
+// Pr[v] ∝ base[v] · exp(tilt[v] · s). Positive tilt makes the value more
+// likely for better-off rows, which is what couples the categorical columns
+// to income and makes the downstream classification tasks learnable.
+struct TiltedCategorical {
+  const char* name;
+  std::vector<double> base;
+  std::vector<double> tilt;
+};
+
+uint32_t SampleTilted(const TiltedCategorical& spec, double s, Rng* rng) {
+  double total = 0.0;
+  double weights[16];
+  LDP_DCHECK(spec.base.size() <= 16);
+  for (size_t v = 0; v < spec.base.size(); ++v) {
+    weights[v] = spec.base[v] * std::exp(spec.tilt[v] * s);
+    total += weights[v];
+  }
+  double u = rng->Uniform01() * total;
+  for (size_t v = 0; v + 1 < spec.base.size(); ++v) {
+    if (u < weights[v]) return static_cast<uint32_t>(v);
+    u -= weights[v];
+  }
+  return static_cast<uint32_t>(spec.base.size() - 1);
+}
+
+// Poisson via Knuth's product method; fine for the small means used here.
+uint32_t SamplePoisson(double mean, Rng* rng) {
+  const double limit = std::exp(-mean);
+  double product = rng->Uniform01();
+  uint32_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= rng->Uniform01();
+  }
+  return count;
+}
+
+// Gamma(2, scale)-shaped adult age: 16 + Exp + Exp, clamped to [16, 95].
+double SampleAge(Rng* rng) {
+  const double raw =
+      16.0 + rng->Exponential(1.0 / 12.0) + rng->Exponential(1.0 / 12.0);
+  return Clamp(raw, 16.0, 95.0);
+}
+
+struct RowCore {
+  double s;          // latent socioeconomic factor, N(0, 1)
+  double age;        // years
+  double schooling;  // years of education
+  double hours;      // weekly work hours (0 when not working)
+  double children;   // number of children
+  double income;     // currency units, log-normal and heavily right-skewed
+  bool working;
+};
+
+RowCore SampleRowCore(double income_cap, Rng* rng) {
+  RowCore row;
+  row.s = rng->Gaussian();
+  row.age = SampleAge(rng);
+  row.schooling = Clamp(std::round(9.0 + 3.5 * row.s + rng->Gaussian(0.0, 2.0)),
+                        0.0, 18.0);
+  // Employment: better-off and prime-age rows are more likely to work.
+  const double prime_age = (row.age >= 22.0 && row.age <= 60.0) ? 0.8 : -0.8;
+  row.working = rng->Bernoulli(Sigmoid(0.9 + 0.5 * row.s + prime_age));
+  row.hours = row.working
+                  ? Clamp(40.0 + 4.0 * row.s + rng->Gaussian(0.0, 9.0), 1.0,
+                          99.0)
+                  : 0.0;
+  const double fertile = (row.age >= 25.0 && row.age <= 55.0) ? 0.4 : -0.3;
+  row.children = static_cast<double>(std::min<uint32_t>(
+      12, SamplePoisson(std::exp(0.45 - 0.18 * row.s + fertile), rng)));
+  // Log-normal income with returns to schooling/hours and an age hump.
+  const double hump = (row.age - 45.0) / 30.0;
+  double log_income = 7.2 + 0.85 * row.s + 0.055 * row.schooling +
+                      0.008 * row.hours - 0.6 * hump * hump +
+                      rng->Gaussian(0.0, 0.45);
+  if (!row.working) log_income -= 1.1;
+  row.income = Clamp(std::exp(log_income), 0.0, income_cap);
+  return row;
+}
+
+Result<Dataset> MakeCensus(uint64_t n, uint64_t seed,
+                           const std::vector<ColumnSpec>& numeric_specs,
+                           const std::vector<TiltedCategorical>& categoricals,
+                           double income_cap) {
+  std::vector<ColumnSpec> specs = numeric_specs;
+  for (const TiltedCategorical& cat : categoricals) {
+    LDP_CHECK(cat.base.size() == cat.tilt.size());
+    specs.push_back(ColumnSpec::Categorical(
+        cat.name, static_cast<uint32_t>(cat.base.size())));
+  }
+  Schema schema;
+  LDP_ASSIGN_OR_RETURN(schema, Schema::Create(std::move(specs)));
+  Dataset dataset(std::move(schema));
+  dataset.Resize(n);
+
+  const uint32_t num_numeric = static_cast<uint32_t>(numeric_specs.size());
+  Rng rng(seed);
+  for (uint64_t row = 0; row < n; ++row) {
+    const RowCore core = SampleRowCore(income_cap, &rng);
+    // Numeric columns are matched by name so BR and MX can pick subsets.
+    for (uint32_t col = 0; col < num_numeric; ++col) {
+      const ColumnSpec& spec = dataset.schema().column(col);
+      double value = 0.0;
+      if (std::strcmp(spec.name.c_str(), "age") == 0) {
+        value = core.age;
+      } else if (std::strcmp(spec.name.c_str(), "years_schooling") == 0) {
+        value = core.schooling;
+      } else if (std::strcmp(spec.name.c_str(), "hours_per_week") == 0) {
+        value = core.hours;
+      } else if (std::strcmp(spec.name.c_str(), "num_children") == 0) {
+        value = core.children;
+      } else if (std::strcmp(spec.name.c_str(), kIncomeColumn) == 0) {
+        value = core.income;
+      } else if (std::strcmp(spec.name.c_str(), "rooms") == 0) {
+        value = Clamp(std::round(4.0 + 1.6 * core.s + rng.Gaussian(0.0, 1.5)),
+                      1.0, 20.0);
+      } else {
+        LDP_CHECK_MSG(false, "unknown census numeric column");
+      }
+      dataset.set_numeric(row, col, Clamp(value, spec.lo, spec.hi));
+    }
+    for (uint32_t c = 0; c < categoricals.size(); ++c) {
+      dataset.set_category(row, num_numeric + c,
+                           SampleTilted(categoricals[c], core.s, &rng));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace
+
+Result<Dataset> MakeBrazilCensus(uint64_t n, uint64_t seed) {
+  const std::vector<ColumnSpec> numeric_specs = {
+      ColumnSpec::Numeric("age", 16.0, 95.0),
+      ColumnSpec::Numeric("years_schooling", 0.0, 18.0),
+      ColumnSpec::Numeric("hours_per_week", 0.0, 99.0),
+      ColumnSpec::Numeric("num_children", 0.0, 12.0),
+      ColumnSpec::Numeric("rooms", 1.0, 20.0),
+      ColumnSpec::Numeric(kIncomeColumn, 0.0, 50000.0),
+  };
+  const std::vector<TiltedCategorical> categoricals = {
+      {"gender", {0.49, 0.51}, {0.05, -0.05}},
+      {"marital_status",
+       {0.36, 0.44, 0.08, 0.07, 0.05},
+       {-0.10, 0.15, 0.05, -0.20, -0.05}},
+      {"race", {0.45, 0.40, 0.08, 0.05, 0.02}, {0.30, -0.15, -0.20, -0.10, 0.0}},
+      {"region",
+       {0.42, 0.27, 0.15, 0.09, 0.07},
+       {0.20, -0.30, 0.15, -0.15, 0.05}},
+      {"urban", {0.85, 0.15}, {0.25, -0.25}},
+      {"employment_status",
+       {0.55, 0.18, 0.09, 0.18},
+       {0.35, 0.10, -0.40, -0.30}},
+      {"occupation",
+       {0.17, 0.15, 0.13, 0.12, 0.11, 0.09, 0.08, 0.07, 0.05, 0.03},
+       {-0.35, -0.20, -0.10, 0.0, 0.10, 0.15, 0.25, 0.35, 0.45, 0.60}},
+      {"owns_home", {0.70, 0.30}, {0.15, -0.15}},
+      {"literacy", {0.91, 0.09}, {0.45, -0.45}},
+      {"religion",
+       {0.50, 0.22, 0.13, 0.08, 0.05, 0.02},
+       {0.05, -0.10, 0.0, 0.10, -0.05, 0.15}},
+  };
+  return MakeCensus(n, seed, numeric_specs, categoricals,
+                    /*income_cap=*/50000.0);
+}
+
+Result<Dataset> MakeMexicoCensus(uint64_t n, uint64_t seed) {
+  const std::vector<ColumnSpec> numeric_specs = {
+      ColumnSpec::Numeric("age", 16.0, 95.0),
+      ColumnSpec::Numeric("years_schooling", 0.0, 18.0),
+      ColumnSpec::Numeric("hours_per_week", 0.0, 99.0),
+      ColumnSpec::Numeric("num_children", 0.0, 12.0),
+      ColumnSpec::Numeric(kIncomeColumn, 0.0, 40000.0),
+  };
+  const std::vector<TiltedCategorical> categoricals = {
+      {"gender", {0.49, 0.51}, {0.05, -0.05}},
+      {"marital_status",
+       {0.34, 0.46, 0.07, 0.08, 0.05},
+       {-0.10, 0.15, 0.05, -0.20, -0.05}},
+      {"religion", {0.78, 0.11, 0.08, 0.03}, {0.0, 0.05, -0.10, 0.10}},
+      {"indigenous", {0.15, 0.85}, {-0.40, 0.40}},
+      {"state_region",
+       {0.21, 0.17, 0.15, 0.13, 0.11, 0.10, 0.08, 0.05},
+       {0.25, 0.10, -0.05, -0.15, -0.20, 0.05, -0.25, 0.30}},
+      {"urban", {0.79, 0.21}, {0.25, -0.25}},
+      {"employment_status",
+       {0.53, 0.20, 0.08, 0.19},
+       {0.35, 0.10, -0.40, -0.30}},
+      {"occupation",
+       {0.16, 0.14, 0.12, 0.11, 0.10, 0.09, 0.08, 0.08, 0.06, 0.04, 0.02},
+       {-0.35, -0.25, -0.10, 0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.65}},
+      {"owns_home", {0.68, 0.32}, {0.15, -0.15}},
+      {"literacy", {0.93, 0.07}, {0.45, -0.45}},
+      {"health_insurance", {0.55, 0.35, 0.10}, {0.30, -0.20, -0.10}},
+      {"internet_access", {0.52, 0.48}, {0.50, -0.50}},
+      {"owns_vehicle", {0.44, 0.56}, {0.40, -0.40}},
+      {"education_level",
+       {0.12, 0.28, 0.26, 0.18, 0.11, 0.05},
+       {-0.60, -0.25, 0.0, 0.25, 0.50, 0.80}},
+  };
+  return MakeCensus(n, seed, numeric_specs, categoricals,
+                    /*income_cap=*/40000.0);
+}
+
+}  // namespace ldp::data

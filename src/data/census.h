@@ -1,0 +1,41 @@
+// Synthetic census generators standing in for the paper's IPUMS extracts.
+//
+// The paper evaluates on two census datasets: BR (Brazil, 4M tuples, 16
+// attributes: 6 numeric + 10 categorical) and MX (Mexico, 4M tuples, 19
+// attributes: 5 numeric + 14 categorical), with the numeric attribute
+// "total_income" as the dependent variable of the regression tasks. IPUMS
+// microdata cannot be redistributed, so these generators produce datasets
+// with the same shape and the statistical properties the experiments depend
+// on: matching attribute counts and types, realistic marginals (log-normal
+// incomes, gamma-shaped ages, low-cardinality categoricals with skewed
+// frequencies), and a latent socioeconomic factor that links income to
+// education, hours worked and the categorical attributes — so the ERM tasks
+// of Section VI-B are learnable and the LDP-vs-accuracy trade-off behaves as
+// in the paper. See DESIGN.md for the substitution rationale.
+
+#ifndef LDP_DATA_CENSUS_H_
+#define LDP_DATA_CENSUS_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/result.h"
+
+namespace ldp::data {
+
+/// Name of the income column (the regression tasks' dependent variable) in
+/// both census datasets.
+inline constexpr char kIncomeColumn[] = "total_income";
+
+/// A BR-like census table: `n` rows, 16 attributes (6 numeric +
+/// 10 categorical), numeric columns in native units (see the schema bounds).
+/// Deterministic in `seed`.
+Result<Dataset> MakeBrazilCensus(uint64_t n, uint64_t seed);
+
+/// An MX-like census table: `n` rows, 19 attributes (5 numeric +
+/// 14 categorical). Deterministic in `seed`.
+Result<Dataset> MakeMexicoCensus(uint64_t n, uint64_t seed);
+
+}  // namespace ldp::data
+
+#endif  // LDP_DATA_CENSUS_H_

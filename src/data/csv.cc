@@ -1,0 +1,123 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace ldp::data {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream stream(line);
+  while (std::getline(stream, cell, ',')) cells.push_back(cell);
+  // A trailing comma denotes one final empty cell.
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+}  // namespace
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const Schema& schema = dataset.schema();
+  for (uint32_t col = 0; col < schema.num_columns(); ++col) {
+    if (col > 0) out << ',';
+    out << schema.column(col).name;
+  }
+  out << '\n';
+  out.precision(17);
+  for (uint64_t row = 0; row < dataset.num_rows(); ++row) {
+    for (uint32_t col = 0; col < schema.num_columns(); ++col) {
+      if (col > 0) out << ',';
+      if (schema.column(col).type == ColumnType::kNumeric) {
+        out << dataset.numeric(row, col);
+      } else {
+        out << dataset.category(row, col);
+      }
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Dataset> ReadCsv(const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty file: " + path);
+  }
+  const std::vector<std::string> header = SplitLine(line);
+  if (header.size() != schema.num_columns()) {
+    return Status::InvalidArgument("header has " +
+                                   std::to_string(header.size()) +
+                                   " columns, schema expects " +
+                                   std::to_string(schema.num_columns()));
+  }
+  for (uint32_t col = 0; col < schema.num_columns(); ++col) {
+    if (header[col] != schema.column(col).name) {
+      return Status::InvalidArgument("header column " + std::to_string(col) +
+                                     " is '" + header[col] + "', expected '" +
+                                     schema.column(col).name + "'");
+    }
+  }
+
+  Dataset dataset(schema);
+  uint64_t row_index = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = SplitLine(line);
+    if (cells.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(row_index) + " has " +
+          std::to_string(cells.size()) + " cells, expected " +
+          std::to_string(schema.num_columns()));
+    }
+    dataset.Resize(row_index + 1);
+    for (uint32_t col = 0; col < schema.num_columns(); ++col) {
+      const ColumnSpec& spec = schema.column(col);
+      const std::string& cell = cells[col];
+      char* end = nullptr;
+      errno = 0;
+      if (spec.type == ColumnType::kNumeric) {
+        const double value = std::strtod(cell.c_str(), &end);
+        if (end == cell.c_str() || *end != '\0' || errno == ERANGE ||
+            !std::isfinite(value)) {
+          return Status::InvalidArgument("row " + std::to_string(row_index) +
+                                         ", column '" + spec.name +
+                                         "': bad numeric cell '" + cell + "'");
+        }
+        dataset.set_numeric(row_index, col, value);
+      } else {
+        const long code = std::strtol(cell.c_str(), &end, 10);
+        if (end == cell.c_str() || *end != '\0' || errno == ERANGE ||
+            code < 0 || static_cast<uint64_t>(code) >= spec.domain_size) {
+          return Status::InvalidArgument("row " + std::to_string(row_index) +
+                                         ", column '" + spec.name +
+                                         "': bad categorical cell '" + cell +
+                                         "'");
+        }
+        dataset.set_category(row_index, col, static_cast<uint32_t>(code));
+      }
+    }
+    ++row_index;
+  }
+  return dataset;
+}
+
+}  // namespace ldp::data

@@ -1,0 +1,28 @@
+// CSV import/export for Dataset: a header row of column names followed by
+// one row per tuple; numeric cells as decimal literals, categorical cells as
+// their integer codes. Lets users bring their own extracts (e.g. real IPUMS
+// data they are licensed for) into the collection pipeline.
+
+#ifndef LDP_DATA_CSV_H_
+#define LDP_DATA_CSV_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ldp::data {
+
+/// Writes `dataset` to `path`, overwriting any existing file.
+Status WriteCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a CSV written in the format above. The file's header must match
+/// `schema`'s column names exactly (order included); cells are validated
+/// against the schema (numeric parseable and finite, categorical codes in
+/// range).
+Result<Dataset> ReadCsv(const Schema& schema, const std::string& path);
+
+}  // namespace ldp::data
+
+#endif  // LDP_DATA_CSV_H_

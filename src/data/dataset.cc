@@ -1,0 +1,109 @@
+#include "data/dataset.h"
+
+#include <utility>
+
+namespace ldp::data {
+
+Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {
+  slot_of_column_.reserve(schema_.num_columns());
+  for (uint32_t col = 0; col < schema_.num_columns(); ++col) {
+    if (schema_.column(col).type == ColumnType::kNumeric) {
+      slot_of_column_.push_back(static_cast<uint32_t>(numeric_store_.size()));
+      numeric_store_.emplace_back();
+    } else {
+      slot_of_column_.push_back(
+          static_cast<uint32_t>(categorical_store_.size()));
+      categorical_store_.emplace_back();
+    }
+  }
+}
+
+void Dataset::Resize(uint64_t n) {
+  num_rows_ = n;
+  for (std::vector<double>& column : numeric_store_) column.resize(n, 0.0);
+  for (std::vector<uint32_t>& column : categorical_store_) column.resize(n, 0);
+}
+
+Result<double> Dataset::ColumnMean(uint32_t col) const {
+  if (col >= schema_.num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  if (schema_.column(col).type != ColumnType::kNumeric) {
+    return Status::InvalidArgument("column is not numeric");
+  }
+  if (num_rows_ == 0) {
+    return Status::FailedPrecondition("dataset is empty");
+  }
+  double sum = 0.0;
+  for (const double v : numeric_column(col)) sum += v;
+  return sum / static_cast<double>(num_rows_);
+}
+
+Result<std::vector<double>> Dataset::ColumnFrequencies(uint32_t col) const {
+  if (col >= schema_.num_columns()) {
+    return Status::OutOfRange("column index out of range");
+  }
+  if (schema_.column(col).type != ColumnType::kCategorical) {
+    return Status::InvalidArgument("column is not categorical");
+  }
+  if (num_rows_ == 0) {
+    return Status::FailedPrecondition("dataset is empty");
+  }
+  std::vector<double> freqs(schema_.column(col).domain_size, 0.0);
+  for (const uint32_t v : categorical_column(col)) freqs[v] += 1.0;
+  for (double& f : freqs) f /= static_cast<double>(num_rows_);
+  return freqs;
+}
+
+Dataset Dataset::Take(const std::vector<uint64_t>& rows) const {
+  Dataset out(schema_);
+  out.Resize(rows.size());
+  for (uint32_t col = 0; col < schema_.num_columns(); ++col) {
+    if (schema_.column(col).type == ColumnType::kNumeric) {
+      const std::vector<double>& src = numeric_column(col);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        LDP_DCHECK(rows[i] < num_rows_);
+        out.set_numeric(i, col, src[rows[i]]);
+      }
+    } else {
+      const std::vector<uint32_t>& src = categorical_column(col);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        LDP_DCHECK(rows[i] < num_rows_);
+        out.set_category(i, col, src[rows[i]]);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Dataset> Dataset::SelectColumns(const std::vector<uint32_t>& cols) const {
+  std::vector<ColumnSpec> specs;
+  specs.reserve(cols.size());
+  for (const uint32_t col : cols) {
+    if (col >= schema_.num_columns()) {
+      return Status::OutOfRange("column index out of range");
+    }
+    specs.push_back(schema_.column(col));
+  }
+  Schema selected;
+  LDP_ASSIGN_OR_RETURN(selected, Schema::Create(std::move(specs)));
+  Dataset out(std::move(selected));
+  out.Resize(num_rows_);
+  for (uint32_t new_col = 0; new_col < cols.size(); ++new_col) {
+    const uint32_t old_col = cols[new_col];
+    if (schema_.column(old_col).type == ColumnType::kNumeric) {
+      const std::vector<double>& src = numeric_column(old_col);
+      for (uint64_t row = 0; row < num_rows_; ++row) {
+        out.set_numeric(row, new_col, src[row]);
+      }
+    } else {
+      const std::vector<uint32_t>& src = categorical_column(old_col);
+      for (uint64_t row = 0; row < num_rows_; ++row) {
+        out.set_category(row, new_col, src[row]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ldp::data

@@ -1,0 +1,104 @@
+// Dataset: columnar storage for mixed numeric/categorical tabular data.
+// Numeric columns are stored as contiguous double vectors and categorical
+// columns as contiguous uint32 vectors, which keeps per-attribute scans
+// (the dominant access pattern of collection simulations) cache-friendly.
+
+#ifndef LDP_DATA_DATASET_H_
+#define LDP_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/schema.h"
+#include "util/check.h"
+#include "util/result.h"
+
+namespace ldp::data {
+
+/// A table of `num_rows` rows laid out column-major according to a Schema.
+class Dataset {
+ public:
+  /// An empty dataset with the given schema.
+  explicit Dataset(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+
+  uint64_t num_rows() const { return num_rows_; }
+
+  /// Grows or shrinks to exactly `n` rows; new cells are zero.
+  void Resize(uint64_t n);
+
+  /// Reads a numeric cell; `col` must be a numeric column.
+  double numeric(uint64_t row, uint32_t col) const {
+    LDP_DCHECK(row < num_rows_);
+    return numeric_store_[numeric_slot(col)][row];
+  }
+
+  /// Writes a numeric cell; `col` must be a numeric column.
+  void set_numeric(uint64_t row, uint32_t col, double value) {
+    LDP_DCHECK(row < num_rows_);
+    numeric_store_[numeric_slot(col)][row] = value;
+  }
+
+  /// Reads a categorical cell; `col` must be a categorical column.
+  uint32_t category(uint64_t row, uint32_t col) const {
+    LDP_DCHECK(row < num_rows_);
+    return categorical_store_[categorical_slot(col)][row];
+  }
+
+  /// Writes a categorical cell; `col` must be a categorical column.
+  void set_category(uint64_t row, uint32_t col, uint32_t value) {
+    LDP_DCHECK(row < num_rows_);
+    LDP_DCHECK(value < schema_.column(col).domain_size);
+    categorical_store_[categorical_slot(col)][row] = value;
+  }
+
+  /// Whole-column view of a numeric column.
+  const std::vector<double>& numeric_column(uint32_t col) const {
+    return numeric_store_[numeric_slot(col)];
+  }
+
+  /// Whole-column view of a categorical column.
+  const std::vector<uint32_t>& categorical_column(uint32_t col) const {
+    return categorical_store_[categorical_slot(col)];
+  }
+
+  /// Exact mean of a numeric column (the ground truth the LDP estimates are
+  /// compared against). Fails for a categorical column or an empty dataset.
+  Result<double> ColumnMean(uint32_t col) const;
+
+  /// Exact value frequencies of a categorical column (sums to 1). Fails for
+  /// a numeric column or an empty dataset.
+  Result<std::vector<double>> ColumnFrequencies(uint32_t col) const;
+
+  /// A new dataset containing the given rows (in the given order); indices
+  /// must be < num_rows(). Used by fold splitting and subsampling.
+  Dataset Take(const std::vector<uint64_t>& rows) const;
+
+  /// A new dataset restricted to the given columns (in the given order).
+  /// Used by the dimensionality sweep (Fig. 8).
+  Result<Dataset> SelectColumns(const std::vector<uint32_t>& cols) const;
+
+ private:
+  uint32_t numeric_slot(uint32_t col) const {
+    LDP_DCHECK(col < schema_.num_columns());
+    LDP_DCHECK(schema_.column(col).type == ColumnType::kNumeric);
+    return slot_of_column_[col];
+  }
+  uint32_t categorical_slot(uint32_t col) const {
+    LDP_DCHECK(col < schema_.num_columns());
+    LDP_DCHECK(schema_.column(col).type == ColumnType::kCategorical);
+    return slot_of_column_[col];
+  }
+
+  Schema schema_;
+  uint64_t num_rows_ = 0;
+  // slot_of_column_[col] indexes into the store matching the column's type.
+  std::vector<uint32_t> slot_of_column_;
+  std::vector<std::vector<double>> numeric_store_;
+  std::vector<std::vector<uint32_t>> categorical_store_;
+};
+
+}  // namespace ldp::data
+
+#endif  // LDP_DATA_DATASET_H_

@@ -1,0 +1,97 @@
+#include "data/generators.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/check.h"
+
+namespace ldp::data {
+
+Schema MakeNumericSchema(uint32_t dimension) {
+  std::vector<ColumnSpec> specs;
+  specs.reserve(dimension);
+  for (uint32_t j = 0; j < dimension; ++j) {
+    specs.push_back(ColumnSpec::Numeric("x" + std::to_string(j), -1.0, 1.0));
+  }
+  auto schema = Schema::Create(std::move(specs));
+  LDP_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+double SampleTruncatedGaussian(double mean, double stddev, Rng* rng) {
+  // Rejection sampling; the callers guarantee the acceptance probability is
+  // bounded away from zero (|mean| <= 3, stddev <= 10).
+  for (;;) {
+    const double x = rng->Gaussian(mean, stddev);
+    if (x >= -1.0 && x <= 1.0) return x;
+  }
+}
+
+double SamplePowerLaw(double offset, double exponent, Rng* rng) {
+  // pdf(x) ∝ (x + c)^{-γ} on [-1, 1]. With γ > 1 and c > 1 the CDF inverts
+  // in closed form: for u ~ U[0,1),
+  //   x = (a + u (b − a))^{1/(1−γ)} − c,
+  // where a = (c − 1)^{1−γ}, b = (c + 1)^{1−γ}.
+  const double c = offset;
+  const double gamma = exponent;
+  const double one_minus_gamma = 1.0 - gamma;
+  const double a = std::pow(c - 1.0, one_minus_gamma);
+  const double b = std::pow(c + 1.0, one_minus_gamma);
+  const double u = rng->Uniform01();
+  const double x = std::pow(a + u * (b - a), 1.0 / one_minus_gamma) - c;
+  // Guard against floating-point drift at the domain edges.
+  return std::min(1.0, std::max(-1.0, x));
+}
+
+namespace {
+
+/// Fills `dimension` x `n` i.i.d. coordinates using `sample`.
+template <typename SampleFn>
+Dataset FillIid(uint32_t dimension, uint64_t n, Rng* rng, SampleFn sample) {
+  Dataset dataset(MakeNumericSchema(dimension));
+  dataset.Resize(n);
+  for (uint32_t col = 0; col < dimension; ++col) {
+    for (uint64_t row = 0; row < n; ++row) {
+      dataset.set_numeric(row, col, sample(rng));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace
+
+Result<Dataset> MakeTruncatedGaussian(uint32_t dimension, uint64_t n,
+                                      double mean, double stddev, Rng* rng) {
+  if (dimension == 0) return Status::InvalidArgument("dimension must be >= 1");
+  if (!(std::isfinite(mean) && std::abs(mean) <= 3.0)) {
+    return Status::InvalidArgument("|mean| must be <= 3 for truncation");
+  }
+  if (!(stddev > 0.0 && stddev <= 10.0)) {
+    return Status::InvalidArgument("stddev must be in (0, 10]");
+  }
+  return FillIid(dimension, n, rng, [&](Rng* r) {
+    return SampleTruncatedGaussian(mean, stddev, r);
+  });
+}
+
+Result<Dataset> MakeUniform(uint32_t dimension, uint64_t n, Rng* rng) {
+  if (dimension == 0) return Status::InvalidArgument("dimension must be >= 1");
+  return FillIid(dimension, n, rng,
+                 [](Rng* r) { return r->Uniform(-1.0, 1.0); });
+}
+
+Result<Dataset> MakePowerLaw(uint32_t dimension, uint64_t n, double offset,
+                             double exponent, Rng* rng) {
+  if (dimension == 0) return Status::InvalidArgument("dimension must be >= 1");
+  if (!(offset > 1.0)) {
+    return Status::InvalidArgument("offset must be > 1");
+  }
+  if (!(exponent > 1.0)) {
+    return Status::InvalidArgument("exponent must be > 1");
+  }
+  return FillIid(dimension, n, rng, [&](Rng* r) {
+    return SamplePowerLaw(offset, exponent, r);
+  });
+}
+
+}  // namespace ldp::data

@@ -1,0 +1,47 @@
+// Synthetic numeric dataset generators matching the paper's Section VI
+// synthetic experiments: d-dimensional tuples whose coordinates are drawn
+// i.i.d. from a truncated Gaussian (Fig. 5), the uniform distribution on
+// [-1, 1], or a shifted power law pdf ∝ (x + 2)^{-10} (Fig. 6). All columns
+// are generated directly in the canonical [-1, 1] domain.
+
+#ifndef LDP_DATA_GENERATORS_H_
+#define LDP_DATA_GENERATORS_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace ldp::data {
+
+/// A schema of `dimension` numeric columns named "x0", "x1", ... with the
+/// canonical domain [-1, 1].
+Schema MakeNumericSchema(uint32_t dimension);
+
+/// `n` rows of `dimension` i.i.d. coordinates from N(mean, stddev²)
+/// truncated (by rejection) to [-1, 1]. The paper's Fig. 5 uses
+/// mean ∈ {0, 1/3, 2/3, 1} with stddev = 1/4. Fails unless the acceptance
+/// region has non-trivial mass (|mean| <= 3, stddev in (0, 10]).
+Result<Dataset> MakeTruncatedGaussian(uint32_t dimension, uint64_t n,
+                                      double mean, double stddev, Rng* rng);
+
+/// `n` rows of `dimension` i.i.d. Uniform[-1, 1] coordinates (Fig. 6a).
+Result<Dataset> MakeUniform(uint32_t dimension, uint64_t n, Rng* rng);
+
+/// `n` rows of `dimension` i.i.d. coordinates with density proportional to
+/// (x + offset)^{-exponent} on [-1, 1], sampled by inverse CDF. The paper's
+/// Fig. 6b uses offset = 2, exponent = 10. Requires offset > 1 (so the
+/// density is finite on the domain) and exponent > 1.
+Result<Dataset> MakePowerLaw(uint32_t dimension, uint64_t n, double offset,
+                             double exponent, Rng* rng);
+
+/// One draw from the truncated Gaussian above (exposed for tests).
+double SampleTruncatedGaussian(double mean, double stddev, Rng* rng);
+
+/// One draw from the power law above via inverse CDF (exposed for tests).
+double SamplePowerLaw(double offset, double exponent, Rng* rng);
+
+}  // namespace ldp::data
+
+#endif  // LDP_DATA_GENERATORS_H_

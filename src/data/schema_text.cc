@@ -1,0 +1,121 @@
+#include "data/schema_text.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace ldp::data {
+
+namespace {
+
+Status LineError(int line_number, const std::string& message) {
+  return Status::InvalidArgument("schema line " +
+                                 std::to_string(line_number) + ": " + message);
+}
+
+Result<double> ParseDouble(const std::string& token, int line_number) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(value)) {
+    return LineError(line_number, "bad number '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<Schema> ParseSchemaText(const std::string& text) {
+  std::vector<ColumnSpec> specs;
+  std::stringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    std::stringstream tokens(line);
+    std::string kind;
+    if (!(tokens >> kind) || kind[0] == '#') continue;
+    std::string name;
+    if (!(tokens >> name)) {
+      return LineError(line_number, "missing column name");
+    }
+    if (kind == "numeric") {
+      std::string lo_token, hi_token;
+      if (!(tokens >> lo_token >> hi_token)) {
+        return LineError(line_number, "numeric needs '<name> <lo> <hi>'");
+      }
+      double lo = 0.0, hi = 0.0;
+      LDP_ASSIGN_OR_RETURN(lo, ParseDouble(lo_token, line_number));
+      LDP_ASSIGN_OR_RETURN(hi, ParseDouble(hi_token, line_number));
+      specs.push_back(ColumnSpec::Numeric(name, lo, hi));
+    } else if (kind == "categorical") {
+      std::string domain_token;
+      if (!(tokens >> domain_token)) {
+        return LineError(line_number,
+                         "categorical needs '<name> <domain_size>'");
+      }
+      char* end = nullptr;
+      errno = 0;
+      const long domain = std::strtol(domain_token.c_str(), &end, 10);
+      if (end == domain_token.c_str() || *end != '\0' || errno == ERANGE ||
+          domain < 0) {
+        return LineError(line_number,
+                         "bad domain size '" + domain_token + "'");
+      }
+      specs.push_back(
+          ColumnSpec::Categorical(name, static_cast<uint32_t>(domain)));
+    } else {
+      return LineError(line_number, "unknown column kind '" + kind +
+                                        "' (want numeric|categorical)");
+    }
+    std::string extra;
+    if (tokens >> extra) {
+      return LineError(line_number, "trailing token '" + extra + "'");
+    }
+  }
+  return Schema::Create(std::move(specs));
+}
+
+Result<Schema> ReadSchemaFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open schema file: " + path);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseSchemaText(buffer.str());
+}
+
+std::string FormatSchemaText(const Schema& schema) {
+  std::stringstream out;
+  out.precision(17);
+  for (uint32_t col = 0; col < schema.num_columns(); ++col) {
+    const ColumnSpec& spec = schema.column(col);
+    if (spec.type == ColumnType::kNumeric) {
+      out << "numeric " << spec.name << ' ' << spec.lo << ' ' << spec.hi
+          << '\n';
+    } else {
+      out << "categorical " << spec.name << ' ' << spec.domain_size << '\n';
+    }
+  }
+  return out.str();
+}
+
+Status WriteSchemaFile(const Schema& schema, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << FormatSchemaText(schema);
+  out.flush();
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace ldp::data

@@ -1,0 +1,35 @@
+// Text serialisation of Schema, used by the command-line tools so a schema
+// can live in a sidecar file next to its CSV. Format: one column per line,
+//
+//   numeric <name> <lo> <hi>
+//   categorical <name> <domain_size>
+//
+// Blank lines and lines starting with '#' are ignored.
+
+#ifndef LDP_DATA_SCHEMA_TEXT_H_
+#define LDP_DATA_SCHEMA_TEXT_H_
+
+#include <string>
+
+#include "data/schema.h"
+#include "util/result.h"
+
+namespace ldp::data {
+
+/// Parses the textual schema format above. Returns InvalidArgument with a
+/// line-numbered message on malformed input.
+Result<Schema> ParseSchemaText(const std::string& text);
+
+/// Reads and parses a schema file.
+Result<Schema> ReadSchemaFile(const std::string& path);
+
+/// Serialises a schema to the textual format (round-trips through
+/// ParseSchemaText).
+std::string FormatSchemaText(const Schema& schema);
+
+/// Writes FormatSchemaText(schema) to `path`.
+Status WriteSchemaFile(const Schema& schema, const std::string& path);
+
+}  // namespace ldp::data
+
+#endif  // LDP_DATA_SCHEMA_TEXT_H_

@@ -1,0 +1,64 @@
+#include "data/split.h"
+
+#include <numeric>
+
+#include "util/sampling.h"
+
+namespace ldp::data {
+
+namespace {
+
+std::vector<uint64_t> ShuffledIndices(uint64_t n, Rng* rng) {
+  std::vector<uint64_t> indices(n);
+  std::iota(indices.begin(), indices.end(), 0);
+  Shuffle(&indices, rng);
+  return indices;
+}
+
+}  // namespace
+
+Result<std::vector<Split>> KFoldSplit(uint64_t n, uint32_t num_folds,
+                                      Rng* rng) {
+  if (num_folds < 2) {
+    return Status::InvalidArgument("need at least 2 folds");
+  }
+  if (num_folds > n) {
+    return Status::InvalidArgument("more folds than rows");
+  }
+  const std::vector<uint64_t> indices = ShuffledIndices(n, rng);
+  // Fold i covers [bounds[i], bounds[i+1]); sizes differ by at most one.
+  std::vector<uint64_t> bounds(num_folds + 1);
+  for (uint32_t i = 0; i <= num_folds; ++i) {
+    bounds[i] = n * i / num_folds;
+  }
+  std::vector<Split> splits(num_folds);
+  for (uint32_t i = 0; i < num_folds; ++i) {
+    Split& split = splits[i];
+    split.test.assign(indices.begin() + bounds[i],
+                      indices.begin() + bounds[i + 1]);
+    split.train.reserve(n - split.test.size());
+    split.train.insert(split.train.end(), indices.begin(),
+                       indices.begin() + bounds[i]);
+    split.train.insert(split.train.end(), indices.begin() + bounds[i + 1],
+                       indices.end());
+  }
+  return splits;
+}
+
+Result<Split> TrainTestSplit(uint64_t n, double test_fraction, Rng* rng) {
+  if (!(test_fraction > 0.0 && test_fraction < 1.0)) {
+    return Status::InvalidArgument("test_fraction must be in (0, 1)");
+  }
+  const uint64_t test_size =
+      static_cast<uint64_t>(static_cast<double>(n) * test_fraction);
+  if (test_size == 0 || test_size >= n) {
+    return Status::InvalidArgument("split would leave an empty side");
+  }
+  const std::vector<uint64_t> indices = ShuffledIndices(n, rng);
+  Split split;
+  split.test.assign(indices.begin(), indices.begin() + test_size);
+  split.train.assign(indices.begin() + test_size, indices.end());
+  return split;
+}
+
+}  // namespace ldp::data

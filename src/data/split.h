@@ -1,0 +1,33 @@
+// Train/test and k-fold splitting for the cross-validation harness of the
+// Section VI-B experiments (10-fold CV repeated 5 times in the paper).
+
+#ifndef LDP_DATA_SPLIT_H_
+#define LDP_DATA_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+#include "util/result.h"
+
+namespace ldp::data {
+
+/// A partition of row indices into a training set and a test set.
+struct Split {
+  std::vector<uint64_t> train;
+  std::vector<uint64_t> test;
+};
+
+/// Shuffles {0, ..., n-1} and cuts it into `num_folds` folds of (nearly)
+/// equal size; fold i's test set is the i-th cut, its training set the rest.
+/// Fails unless 2 <= num_folds <= n.
+Result<std::vector<Split>> KFoldSplit(uint64_t n, uint32_t num_folds,
+                                      Rng* rng);
+
+/// A single random split holding out `test_fraction` of the rows. Fails
+/// unless test_fraction ∈ (0, 1) and both sides end up non-empty.
+Result<Split> TrainTestSplit(uint64_t n, double test_fraction, Rng* rng);
+
+}  // namespace ldp::data
+
+#endif  // LDP_DATA_SPLIT_H_

@@ -1,0 +1,117 @@
+// Frequency oracles: ε-LDP primitives for a single categorical attribute.
+//
+// A frequency oracle lets each user submit a randomized report about her
+// value v ∈ {0, ..., k-1} such that the aggregator can estimate the frequency
+// of every value over the population, while each individual report satisfies
+// ε-LDP. This is the categorical counterpart of core/mechanism.h and the
+// plug-in point of the paper's Section IV-C: the mixed-attribute collector
+// routes each sampled categorical attribute through an oracle at budget ε/k.
+//
+// The protocol is split into the client half (Perturb) and the server half
+// (Accumulate + Estimate) so that simulation harnesses can route reports
+// through arbitrary collection topologies. All four oracles from the
+// literature are provided: GRR (generalized randomized response), SUE (basic
+// RAPPOR), OUE (optimized unary encoding — the paper's choice), and OLH
+// (optimized local hashing).
+
+#ifndef LDP_FREQUENCY_FREQUENCY_ORACLE_H_
+#define LDP_FREQUENCY_FREQUENCY_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ldp {
+
+/// Identifies a frequency oracle; used by factories and configs.
+enum class FrequencyOracleKind {
+  kGrr,  ///< Generalized randomized response (k-RR).
+  kSue,  ///< Symmetric unary encoding (basic one-round RAPPOR).
+  kOue,  ///< Optimized unary encoding (Wang et al., USENIX Sec. 2017).
+  kOlh,  ///< Optimized local hashing (Wang et al., USENIX Sec. 2017).
+  kHe,   ///< Histogram encoding: noisy one-hot vector (summation variant).
+  kThe,  ///< Histogram encoding with thresholding.
+};
+
+/// Human-readable oracle name ("GRR", "SUE", "OUE", "OLH", "HE", "THE").
+const char* FrequencyOracleKindToString(FrequencyOracleKind kind);
+
+/// An ε-LDP randomizer for one categorical value with domain {0, ..., k-1}.
+///
+/// Thread-safety: instances are immutable after construction; Perturb only
+/// mutates the caller-supplied Rng, so one instance may be shared across
+/// threads as long as each thread owns its Rng.
+class FrequencyOracle {
+ public:
+  /// A single user's privatized report. The encoding is oracle-specific
+  /// (GRR: one perturbed value; SUE/OUE: indices of set bits; OLH: packed
+  /// 64-bit hash seed plus one hashed value) and only meaningful to the
+  /// oracle that produced it.
+  using Report = std::vector<uint32_t>;
+
+  virtual ~FrequencyOracle() = default;
+
+  /// Produces the privatized report for true value `value` (< domain_size).
+  virtual Report Perturb(uint32_t value, Rng* rng) const = 0;
+
+  /// Folds one report into per-value support counts. `support` must have
+  /// domain_size() entries; entry v counts reports consistent with value v.
+  virtual void Accumulate(const Report& report,
+                          std::vector<double>* support) const = 0;
+
+  /// Turns support counts over `num_reports` reports into unbiased frequency
+  /// estimates, one per domain value. Estimates may fall outside [0, 1];
+  /// see FrequencyEstimator for clamping / simplex projection.
+  virtual std::vector<double> Estimate(const std::vector<double>& support,
+                                       uint64_t num_reports) const = 0;
+
+  /// Variance of a single value's frequency estimate when its true frequency
+  /// is `f` and `num_reports` reports were collected.
+  virtual double EstimateVariance(double f, uint64_t num_reports) const = 0;
+
+  /// Short oracle name for reports.
+  virtual const char* name() const = 0;
+
+  /// The privacy budget this instance was built with.
+  double epsilon() const { return epsilon_; }
+
+  /// The categorical domain size k.
+  uint32_t domain_size() const { return domain_size_; }
+
+ protected:
+  FrequencyOracle(double epsilon, uint32_t domain_size)
+      : epsilon_(epsilon), domain_size_(domain_size) {}
+
+ private:
+  double epsilon_;
+  uint32_t domain_size_;
+};
+
+/// Creates an oracle of the given kind. Returns InvalidArgument for a
+/// non-positive/non-finite budget or a domain with fewer than 2 values.
+Result<std::unique_ptr<FrequencyOracle>> MakeFrequencyOracle(
+    FrequencyOracleKind kind, double epsilon, uint32_t domain_size);
+
+namespace internal_frequency {
+
+/// Debiases per-value support counts for an oracle where a report supports
+/// the user's true value with probability p and any other fixed value with
+/// probability q: f̂_v = (support_v / n - q) / (p - q).
+std::vector<double> DebiasSupportCounts(const std::vector<double>& support,
+                                        uint64_t num_reports, double p,
+                                        double q);
+
+/// Variance of the debiased estimator above at true frequency f:
+/// μ(1-μ) / (n (p-q)²) with μ = f p + (1-f) q.
+double SupportEstimateVariance(double f, uint64_t num_reports, double p,
+                               double q);
+
+}  // namespace internal_frequency
+
+}  // namespace ldp
+
+#endif  // LDP_FREQUENCY_FREQUENCY_ORACLE_H_

@@ -1,0 +1,146 @@
+#include "frequency/histogram_encoding.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace ldp {
+
+namespace {
+
+// Laplace(b) upper tail: Pr[X > x].
+double LaplaceUpperTail(double x, double b) {
+  if (x >= 0.0) return 0.5 * std::exp(-x / b);
+  return 1.0 - 0.5 * std::exp(x / b);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HE
+// ---------------------------------------------------------------------------
+
+HeOracle::HeOracle(double epsilon, uint32_t domain_size)
+    : FrequencyOracle(epsilon, domain_size), noise_scale_(2.0 / epsilon) {
+  LDP_CHECK(std::isfinite(epsilon) && epsilon > 0.0);
+  LDP_CHECK(domain_size >= 2);
+}
+
+FrequencyOracle::Report HeOracle::Perturb(uint32_t value, Rng* rng) const {
+  LDP_DCHECK(value < domain_size());
+  Report packed(domain_size());
+  for (uint32_t v = 0; v < domain_size(); ++v) {
+    const double one_hot = (v == value) ? 1.0 : 0.0;
+    double noisy = one_hot + rng->Laplace(noise_scale_);
+    // Clamp into the packable range; at scale 2/ε this tail is negligible
+    // for any practical budget.
+    noisy = Clamp(noisy, -kOffset, kOffset);
+    packed[v] = static_cast<uint32_t>(
+        std::llround((noisy + kOffset) * kFixedPointScale));
+  }
+  return packed;
+}
+
+void HeOracle::Accumulate(const Report& report,
+                          std::vector<double>* support) const {
+  LDP_DCHECK(report.size() == domain_size());
+  LDP_DCHECK(support->size() == domain_size());
+  for (uint32_t v = 0; v < domain_size(); ++v) {
+    (*support)[v] +=
+        static_cast<double>(report[v]) / kFixedPointScale - kOffset;
+  }
+}
+
+std::vector<double> HeOracle::Estimate(const std::vector<double>& support,
+                                       uint64_t num_reports) const {
+  LDP_DCHECK(support.size() == domain_size());
+  std::vector<double> estimates(domain_size(), 0.0);
+  if (num_reports == 0) return estimates;
+  for (uint32_t v = 0; v < domain_size(); ++v) {
+    estimates[v] = support[v] / static_cast<double>(num_reports);
+  }
+  return estimates;
+}
+
+double HeOracle::EstimateVariance(double f, uint64_t num_reports) const {
+  if (num_reports == 0) return 0.0;
+  // Per-report component variance: Laplace noise (2 b²) plus the one-hot
+  // indicator's own variance f(1-f).
+  return (2.0 * noise_scale_ * noise_scale_ + f * (1.0 - f)) /
+         static_cast<double>(num_reports);
+}
+
+// ---------------------------------------------------------------------------
+// THE
+// ---------------------------------------------------------------------------
+
+double TheOracle::OptimalTheta(double epsilon) {
+  const double b = 2.0 / epsilon;
+  auto variance_proxy = [&](double theta) {
+    const double p = LaplaceUpperTail(theta - 1.0, b);
+    const double q = LaplaceUpperTail(theta, b);
+    const double gap = p - q;
+    return q * (1.0 - q) / (gap * gap);
+  };
+  // Ternary search on (0.5, 1): the proxy is unimodal in θ.
+  double lo = 0.5, hi = 1.0;
+  for (int iter = 0; iter < 200 && hi - lo > 1e-12; ++iter) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (variance_proxy(m1) < variance_proxy(m2)) {
+      hi = m2;
+    } else {
+      lo = m1;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+TheOracle::TheOracle(double epsilon, uint32_t domain_size)
+    : TheOracle(epsilon, domain_size, OptimalTheta(epsilon)) {}
+
+TheOracle::TheOracle(double epsilon, uint32_t domain_size, double theta)
+    : FrequencyOracle(epsilon, domain_size),
+      theta_(theta),
+      noise_scale_(2.0 / epsilon) {
+  LDP_CHECK(std::isfinite(epsilon) && epsilon > 0.0);
+  LDP_CHECK(domain_size >= 2);
+  LDP_CHECK_MSG(theta > 0.5 && theta < 1.0, "theta must be in (0.5, 1)");
+  p_ = LaplaceUpperTail(theta_ - 1.0, noise_scale_);
+  q_ = LaplaceUpperTail(theta_, noise_scale_);
+}
+
+FrequencyOracle::Report TheOracle::Perturb(uint32_t value, Rng* rng) const {
+  LDP_DCHECK(value < domain_size());
+  Report set_bits;
+  for (uint32_t v = 0; v < domain_size(); ++v) {
+    const double one_hot = (v == value) ? 1.0 : 0.0;
+    if (one_hot + rng->Laplace(noise_scale_) > theta_) {
+      set_bits.push_back(v);
+    }
+  }
+  return set_bits;
+}
+
+void TheOracle::Accumulate(const Report& report,
+                           std::vector<double>* support) const {
+  LDP_DCHECK(support->size() == domain_size());
+  for (const uint32_t bit : report) {
+    LDP_DCHECK(bit < domain_size());
+    (*support)[bit] += 1.0;
+  }
+}
+
+std::vector<double> TheOracle::Estimate(const std::vector<double>& support,
+                                        uint64_t num_reports) const {
+  LDP_DCHECK(support.size() == domain_size());
+  return internal_frequency::DebiasSupportCounts(support, num_reports, p_,
+                                                 q_);
+}
+
+double TheOracle::EstimateVariance(double f, uint64_t num_reports) const {
+  return internal_frequency::SupportEstimateVariance(f, num_reports, p_, q_);
+}
+
+}  // namespace ldp

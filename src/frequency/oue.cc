@@ -1,0 +1,11 @@
+#include "frequency/oue.h"
+
+#include <cmath>
+
+namespace ldp {
+
+OueOracle::OueOracle(double epsilon, uint32_t domain_size)
+    : UnaryEncodingOracle(epsilon, domain_size, /*p=*/0.5,
+                          /*q=*/1.0 / (std::exp(epsilon) + 1.0)) {}
+
+}  // namespace ldp

@@ -1,0 +1,24 @@
+// Optimized unary encoding (Wang et al., USENIX Security 2017) — the paper's
+// chosen frequency oracle for categorical attributes in Section IV-C. Keeps
+// the true bit with probability p = 1/2 and flips a zero bit on with
+// probability q = 1/(e^ε + 1); this asymmetric choice minimises the variance
+// term q(1−q)/(p−q)², which dominates when true frequencies are small.
+
+#ifndef LDP_FREQUENCY_OUE_H_
+#define LDP_FREQUENCY_OUE_H_
+
+#include "frequency/unary_encoding.h"
+
+namespace ldp {
+
+/// OUE: unary encoding with p = 1/2, q = 1/(e^ε + 1).
+class OueOracle final : public UnaryEncodingOracle {
+ public:
+  OueOracle(double epsilon, uint32_t domain_size);
+
+  const char* name() const override { return "OUE"; }
+};
+
+}  // namespace ldp
+
+#endif  // LDP_FREQUENCY_OUE_H_

@@ -1,0 +1,20 @@
+#include "frequency/sue.h"
+
+#include <cmath>
+
+namespace ldp {
+
+namespace {
+
+double SueP(double epsilon) {
+  const double e_half = std::exp(epsilon / 2.0);
+  return e_half / (e_half + 1.0);
+}
+
+}  // namespace
+
+SueOracle::SueOracle(double epsilon, uint32_t domain_size)
+    : UnaryEncodingOracle(epsilon, domain_size, SueP(epsilon),
+                          1.0 - SueP(epsilon)) {}
+
+}  // namespace ldp

@@ -1,0 +1,23 @@
+// Symmetric unary encoding (basic one-round RAPPOR, Erlingsson et al. 2014):
+// unary encoding with the symmetric bit probabilities
+// p = e^{ε/2}/(e^{ε/2}+1), q = 1 − p. Included as the classic baseline that
+// OUE improves on.
+
+#ifndef LDP_FREQUENCY_SUE_H_
+#define LDP_FREQUENCY_SUE_H_
+
+#include "frequency/unary_encoding.h"
+
+namespace ldp {
+
+/// SUE: unary encoding with p = e^{ε/2}/(e^{ε/2}+1), q = 1 − p.
+class SueOracle final : public UnaryEncodingOracle {
+ public:
+  SueOracle(double epsilon, uint32_t domain_size);
+
+  const char* name() const override { return "SUE"; }
+};
+
+}  // namespace ldp
+
+#endif  // LDP_FREQUENCY_SUE_H_

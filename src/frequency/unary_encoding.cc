@@ -1,0 +1,48 @@
+#include "frequency/unary_encoding.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ldp {
+
+UnaryEncodingOracle::UnaryEncodingOracle(double epsilon, uint32_t domain_size,
+                                         double p, double q)
+    : FrequencyOracle(epsilon, domain_size), p_(p), q_(q) {
+  LDP_CHECK(std::isfinite(epsilon) && epsilon > 0.0);
+  LDP_CHECK(domain_size >= 2);
+  LDP_CHECK(0.0 < q && q < p && p <= 1.0);
+}
+
+FrequencyOracle::Report UnaryEncodingOracle::Perturb(uint32_t value,
+                                                     Rng* rng) const {
+  LDP_DCHECK(value < domain_size());
+  Report set_bits;
+  for (uint32_t bit = 0; bit < domain_size(); ++bit) {
+    const double keep_prob = (bit == value) ? p_ : q_;
+    if (rng->Bernoulli(keep_prob)) set_bits.push_back(bit);
+  }
+  return set_bits;
+}
+
+void UnaryEncodingOracle::Accumulate(const Report& report,
+                                     std::vector<double>* support) const {
+  LDP_DCHECK(support->size() == domain_size());
+  for (const uint32_t bit : report) {
+    LDP_DCHECK(bit < domain_size());
+    (*support)[bit] += 1.0;
+  }
+}
+
+std::vector<double> UnaryEncodingOracle::Estimate(
+    const std::vector<double>& support, uint64_t num_reports) const {
+  LDP_DCHECK(support.size() == domain_size());
+  return internal_frequency::DebiasSupportCounts(support, num_reports, p_, q_);
+}
+
+double UnaryEncodingOracle::EstimateVariance(double f,
+                                             uint64_t num_reports) const {
+  return internal_frequency::SupportEstimateVariance(f, num_reports, p_, q_);
+}
+
+}  // namespace ldp

@@ -1,0 +1,44 @@
+// Shared implementation of unary-encoding frequency oracles (SUE and OUE).
+//
+// The user one-hot encodes her value into a k-bit vector, then flips each bit
+// independently: a 1-bit stays 1 with probability p, a 0-bit becomes 1 with
+// probability q. Reporting bit ratios (p, q) with p(1−q) / (q(1−p)) ≤ e^ε
+// yields ε-LDP. SUE uses the symmetric choice p = e^{ε/2}/(e^{ε/2}+1),
+// q = 1 − p; OUE fixes p = 1/2 and q = 1/(e^ε+1), which minimises the
+// estimate variance at small true frequencies (Wang et al. 2017).
+
+#ifndef LDP_FREQUENCY_UNARY_ENCODING_H_
+#define LDP_FREQUENCY_UNARY_ENCODING_H_
+
+#include "frequency/frequency_oracle.h"
+
+namespace ldp {
+
+/// Base for SUE/OUE; report payload is the sorted indices of the set bits.
+class UnaryEncodingOracle : public FrequencyOracle {
+ public:
+  Report Perturb(uint32_t value, Rng* rng) const override;
+  void Accumulate(const Report& report,
+                  std::vector<double>* support) const override;
+  std::vector<double> Estimate(const std::vector<double>& support,
+                               uint64_t num_reports) const override;
+  double EstimateVariance(double f, uint64_t num_reports) const override;
+
+  /// Probability that the true value's bit is reported as 1.
+  double p() const { return p_; }
+
+  /// Probability that any other bit is reported as 1.
+  double q() const { return q_; }
+
+ protected:
+  /// `epsilon` > 0 and finite, `domain_size` >= 2, 0 < q < p <= 1.
+  UnaryEncodingOracle(double epsilon, uint32_t domain_size, double p, double q);
+
+ private:
+  double p_;
+  double q_;
+};
+
+}  // namespace ldp
+
+#endif  // LDP_FREQUENCY_UNARY_ENCODING_H_

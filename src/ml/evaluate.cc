@@ -1,0 +1,109 @@
+#include "ml/evaluate.h"
+
+#include <cmath>
+
+#include "data/split.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace ldp::ml {
+
+namespace {
+
+double Score(const data::DesignMatrix& features, uint64_t row,
+             const std::vector<double>& beta) {
+  LDP_DCHECK(features.num_cols() == beta.size());
+  const double* x = features.row(row);
+  double score = 0.0;
+  for (size_t j = 0; j < beta.size(); ++j) score += x[j] * beta[j];
+  return score;
+}
+
+}  // namespace
+
+double MisclassificationRate(const data::DesignMatrix& features,
+                             const std::vector<double>& labels,
+                             const std::vector<double>& beta) {
+  LDP_CHECK(features.num_rows() == labels.size());
+  if (features.num_rows() == 0) return 0.0;
+  uint64_t wrong = 0;
+  for (uint64_t row = 0; row < features.num_rows(); ++row) {
+    const double predicted = Score(features, row, beta) >= 0.0 ? 1.0 : -1.0;
+    if (predicted != labels[row]) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(features.num_rows());
+}
+
+double RegressionMse(const data::DesignMatrix& features,
+                     const std::vector<double>& labels,
+                     const std::vector<double>& beta) {
+  LDP_CHECK(features.num_rows() == labels.size());
+  if (features.num_rows() == 0) return 0.0;
+  double sum = 0.0;
+  for (uint64_t row = 0; row < features.num_rows(); ++row) {
+    const double residual = Score(features, row, beta) - labels[row];
+    sum += residual * residual;
+  }
+  return sum / static_cast<double>(features.num_rows());
+}
+
+data::DesignMatrix TakeRows(const data::DesignMatrix& features,
+                            const std::vector<uint64_t>& indices) {
+  data::DesignMatrix out(indices.size(), features.num_cols());
+  for (uint64_t i = 0; i < indices.size(); ++i) {
+    LDP_DCHECK(indices[i] < features.num_rows());
+    const double* src = features.row(indices[i]);
+    for (uint32_t j = 0; j < features.num_cols(); ++j) {
+      out.set(i, j, src[j]);
+    }
+  }
+  return out;
+}
+
+std::vector<double> TakeLabels(const std::vector<double>& labels,
+                               const std::vector<uint64_t>& indices) {
+  std::vector<double> out;
+  out.reserve(indices.size());
+  for (const uint64_t i : indices) {
+    LDP_DCHECK(i < labels.size());
+    out.push_back(labels[i]);
+  }
+  return out;
+}
+
+Result<CrossValidationResult> CrossValidate(
+    const data::DesignMatrix& features, const std::vector<double>& labels,
+    uint32_t folds, uint32_t repeats, EvalMetric metric,
+    const Trainer& trainer, Rng* rng) {
+  if (features.num_rows() != labels.size()) {
+    return Status::InvalidArgument("features/labels row count mismatch");
+  }
+  if (repeats == 0) {
+    return Status::InvalidArgument("need at least one repeat");
+  }
+  CrossValidationResult result;
+  RunningStats stats;
+  for (uint32_t repeat = 0; repeat < repeats; ++repeat) {
+    std::vector<data::Split> splits;
+    LDP_ASSIGN_OR_RETURN(splits,
+                         data::KFoldSplit(features.num_rows(), folds, rng));
+    for (const data::Split& split : splits) {
+      const data::DesignMatrix train_x = TakeRows(features, split.train);
+      const std::vector<double> train_y = TakeLabels(labels, split.train);
+      std::vector<double> beta;
+      LDP_ASSIGN_OR_RETURN(beta, trainer(train_x, train_y));
+      const data::DesignMatrix test_x = TakeRows(features, split.test);
+      const std::vector<double> test_y = TakeLabels(labels, split.test);
+      const double value = metric == EvalMetric::kMisclassification
+                               ? MisclassificationRate(test_x, test_y, beta)
+                               : RegressionMse(test_x, test_y, beta);
+      result.fold_metrics.push_back(value);
+      stats.Add(value);
+    }
+  }
+  result.mean = stats.Mean();
+  result.stddev = stats.StdDev();
+  return result;
+}
+
+}  // namespace ldp::ml

@@ -1,0 +1,67 @@
+// Model evaluation and the cross-validation harness of Section VI-B:
+// misclassification rate for logistic regression / SVM, mean squared error
+// for linear regression, and repeated k-fold cross-validation over any
+// trainer (the paper uses 10-fold CV repeated 5 times).
+
+#ifndef LDP_ML_EVALUATE_H_
+#define LDP_ML_EVALUATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/encode.h"
+#include "ml/loss.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace ldp::ml {
+
+/// Fraction of rows where sign(xᵀβ) disagrees with the ±1 label (a zero
+/// score counts as +1).
+double MisclassificationRate(const data::DesignMatrix& features,
+                             const std::vector<double>& labels,
+                             const std::vector<double>& beta);
+
+/// Mean of (xᵀβ − y)² over all rows.
+double RegressionMse(const data::DesignMatrix& features,
+                     const std::vector<double>& labels,
+                     const std::vector<double>& beta);
+
+/// Rows `indices` of `features` as a new matrix (paired with TakeLabels for
+/// fold extraction).
+data::DesignMatrix TakeRows(const data::DesignMatrix& features,
+                            const std::vector<uint64_t>& indices);
+
+/// Elements `indices` of `labels`.
+std::vector<double> TakeLabels(const std::vector<double>& labels,
+                               const std::vector<uint64_t>& indices);
+
+/// Which test metric CrossValidate reports.
+enum class EvalMetric {
+  kMisclassification,
+  kMse,
+};
+
+/// A trainer maps (training features, training labels) to a model β.
+using Trainer = std::function<Result<std::vector<double>>(
+    const data::DesignMatrix&, const std::vector<double>&)>;
+
+/// Per-fold metrics and their summary statistics.
+struct CrossValidationResult {
+  std::vector<double> fold_metrics;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Runs `repeats` rounds of `folds`-fold cross-validation: trains on each
+/// fold's training split, evaluates `metric` on its test split. Fails if a
+/// split is infeasible or the trainer fails.
+Result<CrossValidationResult> CrossValidate(
+    const data::DesignMatrix& features, const std::vector<double>& labels,
+    uint32_t folds, uint32_t repeats, EvalMetric metric,
+    const Trainer& trainer, Rng* rng);
+
+}  // namespace ldp::ml
+
+#endif  // LDP_ML_EVALUATE_H_

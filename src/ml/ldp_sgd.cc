@@ -1,0 +1,177 @@
+#include "ml/ldp_sgd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "baselines/duchi_multi_dim.h"
+#include "baselines/laplace.h"
+#include "core/sampled_numeric.h"
+#include "util/check.h"
+#include "util/sampling.h"
+
+namespace ldp::ml {
+
+namespace {
+
+// Guardrails for the automatic group size: leave at least this many
+// iterations, and never form groups smaller than this.
+constexpr uint32_t kMinIterations = 10;
+constexpr uint32_t kMinGroupSize = 16;
+
+// Perturbs one clipped gradient; a thin strategy wrapper so the training
+// loop is mechanism-agnostic.
+class GradientChannel {
+ public:
+  GradientChannel(GradientPerturber perturber, double epsilon, uint32_t d)
+      : perturber_(perturber) {
+    switch (perturber_) {
+      case GradientPerturber::kNonPrivate:
+        break;
+      case GradientPerturber::kLaplaceSplit:
+        laplace_ = std::make_unique<LaplaceMechanism>(epsilon / d);
+        break;
+      case GradientPerturber::kDuchiMulti:
+        duchi_ = std::make_unique<DuchiMultiDimMechanism>(epsilon, d);
+        break;
+      case GradientPerturber::kPiecewiseSampled:
+      case GradientPerturber::kHybridSampled: {
+        const MechanismKind kind =
+            perturber_ == GradientPerturber::kPiecewiseSampled
+                ? MechanismKind::kPiecewise
+                : MechanismKind::kHybrid;
+        auto sampled = SampledNumericMechanism::Create(kind, epsilon, d);
+        LDP_CHECK(sampled.ok());
+        sampled_ = std::make_unique<SampledNumericMechanism>(
+            std::move(sampled).value());
+        break;
+      }
+    }
+  }
+
+  // Adds the privatized gradient into `sum` (coordinatewise).
+  void AccumulatePerturbed(const std::vector<double>& gradient, Rng* rng,
+                           std::vector<double>* sum) const {
+    switch (perturber_) {
+      case GradientPerturber::kNonPrivate:
+        for (size_t j = 0; j < gradient.size(); ++j) {
+          (*sum)[j] += gradient[j];
+        }
+        return;
+      case GradientPerturber::kLaplaceSplit:
+        for (size_t j = 0; j < gradient.size(); ++j) {
+          (*sum)[j] += laplace_->Perturb(gradient[j], rng);
+        }
+        return;
+      case GradientPerturber::kDuchiMulti: {
+        const std::vector<double> noisy = duchi_->Perturb(gradient, rng);
+        for (size_t j = 0; j < noisy.size(); ++j) (*sum)[j] += noisy[j];
+        return;
+      }
+      case GradientPerturber::kPiecewiseSampled:
+      case GradientPerturber::kHybridSampled:
+        for (const SampledValue& entry : sampled_->Perturb(gradient, rng)) {
+          (*sum)[entry.attribute] += entry.value;
+        }
+        return;
+    }
+  }
+
+ private:
+  GradientPerturber perturber_;
+  std::unique_ptr<LaplaceMechanism> laplace_;
+  std::unique_ptr<DuchiMultiDimMechanism> duchi_;
+  std::unique_ptr<SampledNumericMechanism> sampled_;
+};
+
+}  // namespace
+
+const char* GradientPerturberToString(GradientPerturber perturber) {
+  switch (perturber) {
+    case GradientPerturber::kNonPrivate:
+      return "Non-private";
+    case GradientPerturber::kLaplaceSplit:
+      return "Laplace";
+    case GradientPerturber::kDuchiMulti:
+      return "Duchi";
+    case GradientPerturber::kPiecewiseSampled:
+      return "PM";
+    case GradientPerturber::kHybridSampled:
+      return "HM";
+  }
+  return "unknown";
+}
+
+uint32_t AutoGroupSize(uint64_t num_users, uint32_t dimension,
+                       double epsilon) {
+  // |G| = Ω(d log d / ε²) makes the gradient noise O(√(d log d)/(ε√|G|))
+  // acceptable; cap so at least kMinIterations iterations remain.
+  const double theory = static_cast<double>(dimension) *
+                        std::log(static_cast<double>(dimension) + 1.0) /
+                        (epsilon * epsilon);
+  uint64_t group = std::max<uint64_t>(
+      kMinGroupSize, static_cast<uint64_t>(std::llround(theory)));
+  group = std::min<uint64_t>(group,
+                             std::max<uint64_t>(1, num_users / kMinIterations));
+  return static_cast<uint32_t>(std::max<uint64_t>(1, group));
+}
+
+Result<std::vector<double>> TrainLdpSgd(const data::DesignMatrix& features,
+                                        const std::vector<double>& labels,
+                                        LossKind loss,
+                                        const LdpSgdOptions& options) {
+  if (features.num_rows() == 0) {
+    return Status::InvalidArgument("no training examples");
+  }
+  if (features.num_rows() != labels.size()) {
+    return Status::InvalidArgument("features/labels row count mismatch");
+  }
+  if (options.perturber != GradientPerturber::kNonPrivate) {
+    LDP_RETURN_IF_ERROR(ValidateEpsilon(options.epsilon));
+  }
+  if (!(options.learning_rate > 0.0)) {
+    return Status::InvalidArgument("learning rate must be positive");
+  }
+  const uint64_t n = features.num_rows();
+  const uint32_t d = features.num_cols();
+  const uint32_t group_size =
+      options.group_size > 0
+          ? options.group_size
+          : AutoGroupSize(n, d, options.epsilon);
+  if (group_size > n) {
+    return Status::InvalidArgument("group size exceeds population");
+  }
+
+  const ErmObjective objective(loss, options.lambda);
+  const GradientChannel channel(options.perturber, options.epsilon, d);
+  Rng rng(options.seed);
+
+  // Disjoint groups: shuffle once, consume group_size users per iteration.
+  std::vector<uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Shuffle(&order, &rng);
+  const uint64_t num_iterations = n / group_size;
+
+  std::vector<double> beta(d, 0.0);
+  std::vector<double> gradient(d, 0.0);
+  std::vector<double> gradient_sum(d, 0.0);
+  for (uint64_t t = 1; t <= num_iterations; ++t) {
+    gradient_sum.assign(d, 0.0);
+    const uint64_t begin = (t - 1) * group_size;
+    for (uint64_t i = begin; i < begin + group_size; ++i) {
+      const uint64_t row = order[i];
+      objective.ExampleGradient(features.row(row), labels[row], beta,
+                                &gradient);
+      ClipGradient(&gradient);
+      channel.AccumulatePerturbed(gradient, &rng, &gradient_sum);
+    }
+    const double step = options.learning_rate /
+                        std::sqrt(static_cast<double>(t)) /
+                        static_cast<double>(group_size);
+    for (uint32_t j = 0; j < d; ++j) beta[j] -= step * gradient_sum[j];
+  }
+  return beta;
+}
+
+}  // namespace ldp::ml

@@ -1,0 +1,74 @@
+// LDP-SGD (Section V): stochastic gradient descent where gradients are
+// collected from users under ε-LDP.
+//
+// Users are shuffled and partitioned into disjoint groups of |G|; each group
+// powers exactly one iteration (a user participates at most once, so no
+// budget splitting across iterations is needed — Section V shows m > 1
+// participations per user only hurts). In iteration t every user of group t
+// computes her gradient ∇ℓ'(β_t; x, y), clips each coordinate into [-1, 1],
+// perturbs the clipped gradient with a d-dimensional ε-LDP mechanism, and
+// submits it; the server averages the noisy gradients and takes the step
+// β_{t+1} = β_t − γ_t · mean. Supported perturbers mirror the paper's
+// Fig. 9–11 competitors: Algorithm 4 with PM or HM (proposed), Duchi et
+// al.'s Algorithm 3, per-coordinate Laplace at ε/d, and a non-private
+// passthrough for reference.
+
+#ifndef LDP_ML_LDP_SGD_H_
+#define LDP_ML_LDP_SGD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/encode.h"
+#include "ml/loss.h"
+#include "util/result.h"
+
+namespace ldp::ml {
+
+/// How each user's clipped gradient is privatized.
+enum class GradientPerturber {
+  kNonPrivate,       ///< No noise (the reference line).
+  kLaplaceSplit,     ///< Laplace per coordinate at ε/d each.
+  kDuchiMulti,       ///< Duchi et al.'s Algorithm 3.
+  kPiecewiseSampled, ///< Algorithm 4 with PM.
+  kHybridSampled,    ///< Algorithm 4 with HM.
+};
+
+/// Human-readable perturber name ("Non-private", "Laplace", "Duchi", "PM",
+/// "HM").
+const char* GradientPerturberToString(GradientPerturber perturber);
+
+/// Hyperparameters of the LDP trainer.
+struct LdpSgdOptions {
+  /// Per-user privacy budget ε.
+  double epsilon = 1.0;
+  /// Gradient privatization scheme.
+  GradientPerturber perturber = GradientPerturber::kHybridSampled;
+  /// Users per iteration |G|; 0 picks Θ(d log d / ε²) capped to use at least
+  /// kMinIterations groups.
+  uint32_t group_size = 0;
+  /// γ₀ of the learning schedule γ_t = γ₀/√t.
+  double learning_rate = 0.5;
+  /// ℓ2 regularisation weight λ (the paper uses 1e-4).
+  double lambda = 1e-4;
+  /// Generator seed; equal seeds give equal models.
+  uint64_t seed = 1;
+};
+
+/// The group size the trainer uses when options.group_size == 0:
+/// clamp(d·ln(d+1)/ε², n/kMinIterations) into [kMinGroupSize, ...], so small
+/// populations still get several iterations.
+uint32_t AutoGroupSize(uint64_t num_users, uint32_t dimension, double epsilon);
+
+/// Trains β under ε-LDP on (features, labels); every row is one user.
+/// Feature coordinates must lie in [-1, 1] (data::EncodeFeatures guarantees
+/// this). Fails on empty/mismatched inputs, a bad budget, or a group size
+/// exceeding the population.
+Result<std::vector<double>> TrainLdpSgd(const data::DesignMatrix& features,
+                                        const std::vector<double>& labels,
+                                        LossKind loss,
+                                        const LdpSgdOptions& options);
+
+}  // namespace ldp::ml
+
+#endif  // LDP_ML_LDP_SGD_H_

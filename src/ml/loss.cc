@@ -1,0 +1,87 @@
+#include "ml/loss.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace ldp::ml {
+
+const char* LossKindToString(LossKind kind) {
+  switch (kind) {
+    case LossKind::kSquared:
+      return "linear";
+    case LossKind::kLogistic:
+      return "logistic";
+    case LossKind::kHinge:
+      return "svm";
+  }
+  return "unknown";
+}
+
+ErmObjective::ErmObjective(LossKind kind, double lambda)
+    : kind_(kind), lambda_(lambda) {
+  LDP_CHECK(lambda >= 0.0);
+}
+
+double ErmObjective::Score(const double* x,
+                           const std::vector<double>& beta) const {
+  double score = 0.0;
+  for (size_t j = 0; j < beta.size(); ++j) score += x[j] * beta[j];
+  return score;
+}
+
+double ErmObjective::ExampleLoss(const double* x, double y,
+                                 const std::vector<double>& beta) const {
+  const double score = Score(x, beta);
+  double loss = 0.0;
+  switch (kind_) {
+    case LossKind::kSquared: {
+      const double residual = score - y;
+      loss = residual * residual;
+      break;
+    }
+    case LossKind::kLogistic: {
+      // log(1 + e^{-m}) computed stably for large |m|.
+      const double margin = y * score;
+      loss = margin > 0.0 ? std::log1p(std::exp(-margin))
+                          : -margin + std::log1p(std::exp(margin));
+      break;
+    }
+    case LossKind::kHinge:
+      loss = std::max(0.0, 1.0 - y * score);
+      break;
+  }
+  double reg = 0.0;
+  for (const double b : beta) reg += b * b;
+  return loss + 0.5 * lambda_ * reg;
+}
+
+void ErmObjective::ExampleGradient(const double* x, double y,
+                                   const std::vector<double>& beta,
+                                   std::vector<double>* grad) const {
+  const size_t d = beta.size();
+  grad->assign(d, 0.0);
+  const double score = Score(x, beta);
+  double scale = 0.0;  // gradient = scale · x + λ β
+  switch (kind_) {
+    case LossKind::kSquared:
+      scale = 2.0 * (score - y);
+      break;
+    case LossKind::kLogistic:
+      scale = -y * Sigmoid(-y * score);
+      break;
+    case LossKind::kHinge:
+      scale = (y * score < 1.0) ? -y : 0.0;
+      break;
+  }
+  for (size_t j = 0; j < d; ++j) {
+    (*grad)[j] = scale * x[j] + lambda_ * beta[j];
+  }
+}
+
+void ClipGradient(std::vector<double>* grad) {
+  for (double& g : *grad) g = Clamp(g, -1.0, 1.0);
+}
+
+}  // namespace ldp::ml

@@ -1,0 +1,60 @@
+// Empirical-risk-minimisation losses (Section V): squared loss for linear
+// regression, log loss for logistic regression, hinge loss for SVM — each
+// with its (sub)gradient and the ℓ2 regulariser (λ/2)‖β‖². Gradients are the
+// quantities the LDP-SGD protocol collects from users, after clipping every
+// coordinate into [-1, 1].
+
+#ifndef LDP_ML_LOSS_H_
+#define LDP_ML_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ldp::ml {
+
+/// The three tasks evaluated in the paper.
+enum class LossKind {
+  kSquared,   ///< Linear regression: (xᵀβ − y)².
+  kLogistic,  ///< Logistic regression: log(1 + e^{−y xᵀβ}).
+  kHinge,     ///< SVM: max{0, 1 − y xᵀβ}.
+};
+
+/// Human-readable loss name ("linear", "logistic", "svm").
+const char* LossKindToString(LossKind kind);
+
+/// The regularised per-example objective ℓ'(β; x, y) = ℓ(β; x, y) +
+/// (λ/2)‖β‖² and its gradient.
+class ErmObjective {
+ public:
+  /// `lambda` >= 0 is the ℓ2 regularisation weight.
+  ErmObjective(LossKind kind, double lambda);
+
+  /// The linear score xᵀβ; class prediction is its sign, regression
+  /// prediction its value.
+  double Score(const double* x, const std::vector<double>& beta) const;
+
+  /// ℓ'(β; x, y), regulariser included. `x` points at beta.size() doubles.
+  double ExampleLoss(const double* x, double y,
+                     const std::vector<double>& beta) const;
+
+  /// Writes ∇ℓ'(β; x, y) (a subgradient for the hinge loss) into `grad`,
+  /// which is resized to beta.size().
+  void ExampleGradient(const double* x, double y,
+                       const std::vector<double>& beta,
+                       std::vector<double>* grad) const;
+
+  LossKind kind() const { return kind_; }
+  double lambda() const { return lambda_; }
+
+ private:
+  LossKind kind_;
+  double lambda_;
+};
+
+/// Clips every coordinate of `grad` into [-1, 1] — the paper's "gradient
+/// clipping" step that makes gradients valid mechanism inputs.
+void ClipGradient(std::vector<double>* grad);
+
+}  // namespace ldp::ml
+
+#endif  // LDP_ML_LOSS_H_

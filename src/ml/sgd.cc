@@ -1,0 +1,46 @@
+#include "ml/sgd.h"
+
+#include <cmath>
+
+namespace ldp::ml {
+
+Result<std::vector<double>> TrainSgd(const data::DesignMatrix& features,
+                                     const std::vector<double>& labels,
+                                     LossKind loss,
+                                     const SgdOptions& options) {
+  if (features.num_rows() == 0) {
+    return Status::InvalidArgument("no training examples");
+  }
+  if (features.num_rows() != labels.size()) {
+    return Status::InvalidArgument("features/labels row count mismatch");
+  }
+  if (options.num_iterations == 0 || options.batch_size == 0) {
+    return Status::InvalidArgument("iterations and batch size must be >= 1");
+  }
+  if (!(options.learning_rate > 0.0)) {
+    return Status::InvalidArgument("learning rate must be positive");
+  }
+
+  const ErmObjective objective(loss, options.lambda);
+  const uint32_t d = features.num_cols();
+  std::vector<double> beta(d, 0.0);
+  std::vector<double> gradient(d, 0.0);
+  std::vector<double> batch_gradient(d, 0.0);
+  Rng rng(options.seed);
+  for (uint32_t t = 1; t <= options.num_iterations; ++t) {
+    batch_gradient.assign(d, 0.0);
+    for (uint32_t b = 0; b < options.batch_size; ++b) {
+      const uint64_t row = rng.UniformIndex(features.num_rows());
+      objective.ExampleGradient(features.row(row), labels[row], beta,
+                                &gradient);
+      for (uint32_t j = 0; j < d; ++j) batch_gradient[j] += gradient[j];
+    }
+    const double step = options.learning_rate /
+                        std::sqrt(static_cast<double>(t)) /
+                        static_cast<double>(options.batch_size);
+    for (uint32_t j = 0; j < d; ++j) beta[j] -= step * batch_gradient[j];
+  }
+  return beta;
+}
+
+}  // namespace ldp::ml

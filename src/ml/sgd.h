@@ -1,0 +1,40 @@
+// Non-private mini-batch SGD — the "Non-private" reference line of
+// Figs. 9–11 and the template the LDP variant (ml/ldp_sgd.h) instantiates
+// with perturbed gradients. Uses the paper's γ_t = γ₀/√t learning schedule.
+
+#ifndef LDP_ML_SGD_H_
+#define LDP_ML_SGD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/encode.h"
+#include "ml/loss.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace ldp::ml {
+
+/// Hyperparameters of the non-private trainer.
+struct SgdOptions {
+  /// Number of gradient steps.
+  uint32_t num_iterations = 2000;
+  /// Examples averaged per step (sampled with replacement).
+  uint32_t batch_size = 64;
+  /// γ₀ of the learning schedule γ_t = γ₀/√t.
+  double learning_rate = 0.5;
+  /// ℓ2 regularisation weight λ.
+  double lambda = 1e-4;
+  /// Generator seed; equal seeds give equal models.
+  uint64_t seed = 1;
+};
+
+/// Trains β by mini-batch SGD on (features, labels). Fails on empty or
+/// mismatched inputs or non-positive hyperparameters.
+Result<std::vector<double>> TrainSgd(const data::DesignMatrix& features,
+                                     const std::vector<double>& labels,
+                                     LossKind loss, const SgdOptions& options);
+
+}  // namespace ldp::ml
+
+#endif  // LDP_ML_SGD_H_

@@ -1,0 +1,39 @@
+// Lightweight invariant-checking macros (RocksDB/Arrow style).
+//
+// LDP_CHECK fires in all build types and is reserved for preconditions whose
+// violation would make continuing meaningless (programmer error). Library code
+// that can fail for data-dependent reasons returns ldp::Status instead.
+
+#ifndef LDP_UTIL_CHECK_H_
+#define LDP_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define LDP_CHECK(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "LDP_CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define LDP_CHECK_MSG(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "LDP_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define LDP_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define LDP_DCHECK(cond) LDP_CHECK(cond)
+#endif
+
+#endif  // LDP_UTIL_CHECK_H_

@@ -1,0 +1,81 @@
+#include "util/math.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ldp {
+
+double LogBinomial(uint64_t n, uint64_t k) {
+  LDP_CHECK(k <= n);
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+long double BinomialCoefficient(uint64_t n, uint64_t k) {
+  LDP_CHECK(k <= n);
+  if (k > n - k) k = n - k;
+  long double result = 1.0L;
+  for (uint64_t i = 1; i <= k; ++i) {
+    result *= static_cast<long double>(n - k + i);
+    result /= static_cast<long double>(i);
+  }
+  return result;
+}
+
+double EpsilonStar() {
+  const double s = std::sqrt(241.0);
+  const double inner =
+      (-5.0 + 2.0 * std::cbrt(6353.0 - 405.0 * s) +
+       2.0 * std::cbrt(6353.0 + 405.0 * s)) /
+      27.0;
+  return std::log(inner);
+}
+
+double EpsilonSharp() {
+  const double s7 = std::sqrt(7.0);
+  const double inner =
+      (7.0 + 4.0 * s7 + 2.0 * std::sqrt(20.0 + 14.0 * s7)) / 9.0;
+  return std::log(inner);
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double Clamp(double x, double lo, double hi) {
+  LDP_DCHECK(lo <= hi);
+  if (x < lo) return lo;
+  if (x > hi) return hi;
+  return x;
+}
+
+double Bisect(const std::function<double(double)>& f, double lo, double hi,
+              double tol, int max_iter) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  LDP_CHECK_MSG(flo == 0.0 || fhi == 0.0 || (flo < 0.0) != (fhi < 0.0),
+                "Bisect requires a sign change on [lo, hi]");
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  for (int i = 0; i < max_iter && (hi - lo) > tol; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if ((fmid < 0.0) == (flo < 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ldp

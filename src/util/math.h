@@ -1,0 +1,43 @@
+// Numeric helpers shared across the library: stable binomial coefficients,
+// the paper's closed-form privacy-budget thresholds, and a bisection root
+// finder used to cross-check those closed forms.
+
+#ifndef LDP_UTIL_MATH_H_
+#define LDP_UTIL_MATH_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace ldp {
+
+/// log(n choose k) computed via lgamma; exact enough for n up to millions.
+double LogBinomial(uint64_t n, uint64_t k);
+
+/// (n choose k) as a long double; overflows to +inf for very large n — use
+/// LogBinomial for ratios in that regime.
+long double BinomialCoefficient(uint64_t n, uint64_t k);
+
+/// The paper's ε* (Eq. 6): below this budget the Hybrid Mechanism degenerates
+/// to Duchi et al.'s mechanism (α = 0). Closed form
+/// ln((−5 + 2·∛(6353 − 405√241) + 2·∛(6353 + 405√241)) / 27) ≈ 0.610986.
+double EpsilonStar();
+
+/// The paper's ε# (Table I): the budget at which PM's and Duchi et al.'s
+/// worst-case 1-D variances cross. Closed form
+/// ln((7 + 4√7 + 2√(20 + 14√7)) / 9) ≈ 1.29.
+double EpsilonSharp();
+
+/// Logistic sigmoid 1/(1+e^{-x}) with guards against overflow.
+double Sigmoid(double x);
+
+/// Clamps x into [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+/// Finds a root of `f` in [lo, hi] by bisection; requires f(lo) and f(hi) to
+/// have opposite signs. `tol` bounds the width of the final bracket.
+double Bisect(const std::function<double(double)>& f, double lo, double hi,
+              double tol = 1e-12, int max_iter = 200);
+
+}  // namespace ldp
+
+#endif  // LDP_UTIL_MATH_H_

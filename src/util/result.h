@@ -1,0 +1,68 @@
+// Result<T>: a Status or a value (the StatusOr / rocksdb-style pairing of
+// Status with a payload).
+
+#ifndef LDP_UTIL_RESULT_H_
+#define LDP_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace ldp {
+
+/// Holds either an OK status and a T, or a non-OK status and no value.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    LDP_CHECK_MSG(!status_.ok(), "Result constructed from OK status without value");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value; must only be called when ok().
+  const T& value() const& {
+    LDP_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    LDP_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    LDP_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ldp
+
+/// Evaluates a Result expression; on error, propagates the Status, otherwise
+/// assigns the value into `lhs` (which must already be declared).
+#define LDP_ASSIGN_OR_RETURN(lhs, expr)                 \
+  do {                                                  \
+    auto _ldp_result = (expr);                          \
+    if (!_ldp_result.ok()) return _ldp_result.status(); \
+    lhs = std::move(_ldp_result).value();               \
+  } while (0)
+
+#endif  // LDP_UTIL_RESULT_H_

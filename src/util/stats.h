@@ -1,0 +1,71 @@
+// Streaming statistics (Welford) and error metrics used throughout tests,
+// benchmarks and the aggregation pipeline.
+
+#ifndef LDP_UTIL_STATS_H_
+#define LDP_UTIL_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ldp {
+
+/// Numerically stable streaming mean/variance accumulator.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const RunningStats& other);
+
+  /// Number of observations added.
+  uint64_t count() const { return count_; }
+
+  /// Sample mean (0 when empty).
+  double Mean() const { return mean_; }
+
+  /// Population variance (divides by n; 0 when n < 1).
+  double PopulationVariance() const;
+
+  /// Sample variance (divides by n-1; 0 when n < 2).
+  double SampleVariance() const;
+
+  /// Sample standard deviation.
+  double StdDev() const;
+
+  /// Standard error of the mean: stddev / sqrt(n).
+  double StdError() const;
+
+  /// Smallest observation (+inf when empty).
+  double Min() const { return min_; }
+
+  /// Largest observation (-inf when empty).
+  double Max() const { return max_; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Arithmetic mean of a vector (0 for empty input).
+double MeanOf(const std::vector<double>& xs);
+
+/// Mean squared error between two equal-length vectors.
+double MeanSquaredError(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Mean absolute error between two equal-length vectors.
+double MeanAbsoluteError(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Largest absolute componentwise difference.
+double MaxAbsoluteError(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace ldp
+
+#endif  // LDP_UTIL_STATS_H_

@@ -1,0 +1,94 @@
+// Status: value-semantic error signalling for fallible APIs (RocksDB idiom).
+//
+// Library code never throws. Operations that can fail for data-dependent
+// reasons (parsing, validation, I/O) return Status, or Result<T> when they
+// also produce a value.
+
+#ifndef LDP_UTIL_STATUS_H_
+#define LDP_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace ldp {
+
+/// Error category attached to a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category (kOk when ok()).
+  StatusCode code() const { return code_; }
+
+  /// The error message (empty when ok()).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace ldp
+
+/// Propagates a non-OK Status to the caller.
+#define LDP_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::ldp::Status _ldp_status = (expr);      \
+    if (!_ldp_status.ok()) return _ldp_status; \
+  } while (0)
+
+#endif  // LDP_UTIL_STATUS_H_

@@ -1,0 +1,79 @@
+#include "util/threadpool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ldp {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  num_threads = std::max(1u, num_threads);
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    LDP_CHECK_MSG(!shutting_down_, "Submit after shutdown");
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, uint64_t n,
+                 const std::function<void(unsigned, uint64_t, uint64_t)>& body) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    body(0, 0, n);
+    return;
+  }
+  const uint64_t chunks = std::min<uint64_t>(pool->num_threads() * 4, n);
+  const uint64_t chunk_size = (n + chunks - 1) / chunks;
+  for (uint64_t c = 0, begin = 0; begin < n; ++c, begin += chunk_size) {
+    const uint64_t end = std::min(n, begin + chunk_size);
+    pool->Submit([c, begin, end, &body] {
+      body(static_cast<unsigned>(c), begin, end);
+    });
+  }
+  pool->Wait();
+}
+
+}  // namespace ldp

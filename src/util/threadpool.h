@@ -1,0 +1,60 @@
+// A small fixed-size thread pool with a ParallelFor helper. Used by the
+// simulation harnesses to perturb large user populations concurrently; each
+// chunk receives its own forked Rng so results stay deterministic for a fixed
+// seed and thread count.
+
+#ifndef LDP_UTIL_THREADPOOL_H_
+#define LDP_UTIL_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ldp {
+
+/// Fixed-size worker pool executing submitted closures FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Number of worker threads.
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  uint64_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Splits [0, n) into roughly equal chunks and runs
+/// `body(chunk_index, begin, end)` across `pool`'s workers, blocking until all
+/// chunks finish. With a null pool the body runs inline (single chunk).
+void ParallelFor(ThreadPool* pool, uint64_t n,
+                 const std::function<void(unsigned, uint64_t, uint64_t)>& body);
+
+}  // namespace ldp
+
+#endif  // LDP_UTIL_THREADPOOL_H_

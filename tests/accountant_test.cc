@@ -1,0 +1,99 @@
+#include "core/accountant.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ldp {
+namespace {
+
+TEST(PrivacyAccountantTest, CreateValidatesBudget) {
+  EXPECT_TRUE(PrivacyAccountant::Create(1.0).ok());
+  EXPECT_FALSE(PrivacyAccountant::Create(0.0).ok());
+  EXPECT_FALSE(PrivacyAccountant::Create(-1.0).ok());
+  EXPECT_FALSE(
+      PrivacyAccountant::Create(std::numeric_limits<double>::infinity())
+          .ok());
+}
+
+TEST(PrivacyAccountantTest, UnseenUsersHaveFullBudget) {
+  auto accountant = PrivacyAccountant::Create(2.0);
+  ASSERT_TRUE(accountant.ok());
+  EXPECT_DOUBLE_EQ(accountant.value().Remaining(42), 2.0);
+  EXPECT_DOUBLE_EQ(accountant.value().Spent(42), 0.0);
+  EXPECT_EQ(accountant.value().num_charged_users(), 0u);
+}
+
+TEST(PrivacyAccountantTest, ChargesAccumulatePerUser) {
+  auto accountant = PrivacyAccountant::Create(2.0);
+  ASSERT_TRUE(accountant.ok());
+  EXPECT_TRUE(accountant.value().Charge(1, 0.5).ok());
+  EXPECT_TRUE(accountant.value().Charge(1, 0.75).ok());
+  EXPECT_TRUE(accountant.value().Charge(2, 1.0).ok());
+  EXPECT_DOUBLE_EQ(accountant.value().Spent(1), 1.25);
+  EXPECT_DOUBLE_EQ(accountant.value().Remaining(1), 0.75);
+  EXPECT_DOUBLE_EQ(accountant.value().Spent(2), 1.0);
+  EXPECT_EQ(accountant.value().num_charged_users(), 2u);
+}
+
+TEST(PrivacyAccountantTest, RefusesOverdraftWithoutCharging) {
+  auto accountant = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(accountant.ok());
+  EXPECT_TRUE(accountant.value().Charge(7, 0.8).ok());
+  const Status overdraft = accountant.value().Charge(7, 0.3);
+  EXPECT_EQ(overdraft.code(), StatusCode::kFailedPrecondition);
+  // The failed charge must not have consumed anything.
+  EXPECT_DOUBLE_EQ(accountant.value().Spent(7), 0.8);
+  // A smaller charge that fits still works.
+  EXPECT_TRUE(accountant.value().Charge(7, 0.2).ok());
+  EXPECT_NEAR(accountant.value().Remaining(7), 0.0, 1e-12);
+}
+
+TEST(PrivacyAccountantTest, RejectsBadCharges) {
+  auto accountant = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(accountant.ok());
+  EXPECT_EQ(accountant.value().Charge(1, 0.0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(accountant.value().Charge(1, -0.5).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(accountant.value()
+                .Charge(1, std::numeric_limits<double>::quiet_NaN())
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PrivacyAccountantTest, CanChargePredictsChargeOutcome) {
+  auto accountant = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(accountant.ok());
+  EXPECT_TRUE(accountant.value().CanCharge(3, 1.0));
+  EXPECT_FALSE(accountant.value().CanCharge(3, 1.5));
+  EXPECT_FALSE(accountant.value().CanCharge(3, -1.0));
+  ASSERT_TRUE(accountant.value().Charge(3, 0.6).ok());
+  EXPECT_TRUE(accountant.value().CanCharge(3, 0.4));
+  EXPECT_FALSE(accountant.value().CanCharge(3, 0.5));
+}
+
+TEST(PrivacyAccountantTest, ExactBudgetSpendingIsAllowed) {
+  // Spending the budget in several exact slices must not be rejected due to
+  // floating-point drift.
+  auto accountant = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(accountant.ok());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(accountant.value().Charge(9, 0.1).ok()) << "slice " << i;
+  }
+  EXPECT_NEAR(accountant.value().Remaining(9), 0.0, 1e-9);
+  EXPECT_FALSE(accountant.value().Charge(9, 0.01).ok());
+}
+
+TEST(PrivacyAccountantTest, SgdSingleParticipationPattern) {
+  // The Section V rule: each user powers at most one iteration at the full
+  // budget. A second participation must be refused.
+  auto accountant = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(accountant.ok());
+  const double per_iteration = 1.0;
+  EXPECT_TRUE(accountant.value().Charge(100, per_iteration).ok());
+  EXPECT_FALSE(accountant.value().CanCharge(100, per_iteration));
+}
+
+}  // namespace
+}  // namespace ldp

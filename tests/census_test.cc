@@ -1,0 +1,138 @@
+#include "data/census.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace ldp::data {
+namespace {
+
+TEST(BrazilCensusTest, ShapeMatchesPaperDataset) {
+  auto dataset = MakeBrazilCensus(1000, 1);
+  ASSERT_TRUE(dataset.ok());
+  const Schema& schema = dataset.value().schema();
+  EXPECT_EQ(schema.num_columns(), 16u);       // 16 attributes
+  EXPECT_EQ(schema.NumNumericColumns(), 6u);  // 6 numeric
+  EXPECT_EQ(schema.NumCategoricalColumns(), 10u);
+  EXPECT_TRUE(schema.FindColumn(kIncomeColumn).ok());
+}
+
+TEST(MexicoCensusTest, ShapeMatchesPaperDataset) {
+  auto dataset = MakeMexicoCensus(1000, 1);
+  ASSERT_TRUE(dataset.ok());
+  const Schema& schema = dataset.value().schema();
+  EXPECT_EQ(schema.num_columns(), 19u);       // 19 attributes
+  EXPECT_EQ(schema.NumNumericColumns(), 5u);  // 5 numeric
+  EXPECT_EQ(schema.NumCategoricalColumns(), 14u);
+  EXPECT_TRUE(schema.FindColumn(kIncomeColumn).ok());
+}
+
+TEST(CensusTest, DeterministicInSeed) {
+  auto a = MakeBrazilCensus(500, 42);
+  auto b = MakeBrazilCensus(500, 42);
+  auto c = MakeBrazilCensus(500, 43);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a.value().numeric_column(0), b.value().numeric_column(0));
+  EXPECT_NE(a.value().numeric_column(0), c.value().numeric_column(0));
+}
+
+TEST(CensusTest, ValuesRespectSchemaDomains) {
+  auto dataset = MakeMexicoCensus(5000, 2);
+  ASSERT_TRUE(dataset.ok());
+  const Schema& schema = dataset.value().schema();
+  for (uint32_t col = 0; col < schema.num_columns(); ++col) {
+    const ColumnSpec& spec = schema.column(col);
+    if (spec.type == ColumnType::kNumeric) {
+      for (const double x : dataset.value().numeric_column(col)) {
+        ASSERT_GE(x, spec.lo) << spec.name;
+        ASSERT_LE(x, spec.hi) << spec.name;
+      }
+    } else {
+      for (const uint32_t v : dataset.value().categorical_column(col)) {
+        ASSERT_LT(v, spec.domain_size) << spec.name;
+      }
+    }
+  }
+}
+
+TEST(CensusTest, IncomeIsRightSkewed) {
+  auto dataset = MakeBrazilCensus(50000, 3);
+  ASSERT_TRUE(dataset.ok());
+  const uint32_t income = dataset.value().schema().FindColumn(kIncomeColumn)
+                              .value();
+  RunningStats stats;
+  for (const double x : dataset.value().numeric_column(income)) stats.Add(x);
+  // Log-normal-like: mean well above median territory, long right tail.
+  EXPECT_GT(stats.Max(), 5.0 * stats.Mean());
+  EXPECT_GT(stats.Mean(), 0.0);
+}
+
+TEST(CensusTest, IncomeCorrelatesWithSchooling) {
+  // The latent factor must induce a clearly positive correlation, otherwise
+  // the regression tasks of Section VI-B would be unlearnable.
+  auto dataset = MakeBrazilCensus(50000, 4);
+  ASSERT_TRUE(dataset.ok());
+  const auto& d = dataset.value();
+  const uint32_t income = d.schema().FindColumn(kIncomeColumn).value();
+  const uint32_t schooling = d.schema().FindColumn("years_schooling").value();
+  RunningStats inc, sch;
+  for (uint64_t i = 0; i < d.num_rows(); ++i) {
+    inc.Add(d.numeric(i, income));
+    sch.Add(d.numeric(i, schooling));
+  }
+  double cov = 0.0;
+  for (uint64_t i = 0; i < d.num_rows(); ++i) {
+    cov += (d.numeric(i, income) - inc.Mean()) *
+           (d.numeric(i, schooling) - sch.Mean());
+  }
+  cov /= static_cast<double>(d.num_rows());
+  const double corr = cov / (inc.StdDev() * sch.StdDev());
+  EXPECT_GT(corr, 0.2);
+}
+
+TEST(CensusTest, CategoricalMarginalsAreSkewedAndFull) {
+  auto dataset = MakeMexicoCensus(50000, 5);
+  ASSERT_TRUE(dataset.ok());
+  for (const uint32_t col :
+       dataset.value().schema().CategoricalColumnIndices()) {
+    auto freqs = dataset.value().ColumnFrequencies(col);
+    ASSERT_TRUE(freqs.ok());
+    double total = 0.0, max_f = 0.0;
+    for (const double f : freqs.value()) {
+      total += f;
+      max_f = std::max(max_f, f);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // No category should swallow the entire column.
+    EXPECT_LT(max_f, 0.995)
+        << dataset.value().schema().column(col).name;
+  }
+}
+
+TEST(CensusTest, LiteracyCorrelatesWithIncome) {
+  // Spot-check that categorical attributes carry income signal (tilts).
+  auto dataset = MakeBrazilCensus(50000, 6);
+  ASSERT_TRUE(dataset.ok());
+  const auto& d = dataset.value();
+  const uint32_t income = d.schema().FindColumn(kIncomeColumn).value();
+  const uint32_t literacy = d.schema().FindColumn("literacy").value();
+  RunningStats literate, illiterate;
+  for (uint64_t i = 0; i < d.num_rows(); ++i) {
+    (d.category(i, literacy) == 0 ? literate : illiterate)
+        .Add(d.numeric(i, income));
+  }
+  ASSERT_GT(literate.count(), 0u);
+  ASSERT_GT(illiterate.count(), 0u);
+  EXPECT_GT(literate.Mean(), illiterate.Mean());
+}
+
+TEST(CensusTest, ZeroRowsIsValid) {
+  auto dataset = MakeBrazilCensus(0, 7);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset.value().num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace ldp::data

@@ -1,0 +1,204 @@
+#include "aggregate/collector.h"
+
+#include <gtest/gtest.h>
+
+#include "aggregate/metrics.h"
+#include "data/census.h"
+#include "data/encode.h"
+#include "data/generators.h"
+
+namespace ldp::aggregate {
+namespace {
+
+data::Dataset SmallCensus(uint64_t n = 20000) {
+  auto census = data::MakeBrazilCensus(n, 7);
+  EXPECT_TRUE(census.ok());
+  return data::NormalizeNumeric(census.value());
+}
+
+TEST(ToMixedSchemaTest, MapsColumnTypes) {
+  const data::Dataset dataset = SmallCensus(10);
+  auto mixed = ToMixedSchema(dataset.schema());
+  ASSERT_TRUE(mixed.ok());
+  ASSERT_EQ(mixed.value().size(), 16u);
+  EXPECT_EQ(mixed.value()[0].type, AttributeType::kNumeric);
+  EXPECT_EQ(mixed.value()[6].type, AttributeType::kCategorical);
+  EXPECT_EQ(mixed.value()[6].domain_size,
+            dataset.schema().column(6).domain_size);
+}
+
+TEST(ToMixedSchemaTest, RejectsEmptySchema) {
+  EXPECT_FALSE(ToMixedSchema(data::Schema()).ok());
+}
+
+TEST(CollectProposedTest, RequiresNormalizedNumericColumns) {
+  auto census = data::MakeBrazilCensus(100, 1);
+  ASSERT_TRUE(census.ok());
+  auto result = CollectProposed(census.value(), 1.0, 1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CollectProposedTest, RejectsEmptyDatasetAndBadBudget) {
+  data::Dataset empty(SmallCensus(10).schema());
+  EXPECT_FALSE(CollectProposed(empty, 1.0, 1).ok());
+  EXPECT_FALSE(CollectProposed(SmallCensus(100), 0.0, 1).ok());
+}
+
+TEST(CollectProposedTest, OutputsEstimatesForEveryColumn) {
+  const data::Dataset dataset = SmallCensus();
+  auto result = CollectProposed(dataset, 4.0, 1);
+  ASSERT_TRUE(result.ok());
+  const CollectionOutput& out = result.value();
+  EXPECT_EQ(out.numeric_columns.size(), 6u);
+  EXPECT_EQ(out.categorical_columns.size(), 10u);
+  EXPECT_EQ(out.estimated_means.size(), 6u);
+  EXPECT_EQ(out.estimated_frequencies.size(), 10u);
+  for (size_t c = 0; c < out.categorical_columns.size(); ++c) {
+    EXPECT_EQ(out.estimated_frequencies[c].size(),
+              out.true_frequencies[c].size());
+  }
+}
+
+TEST(CollectProposedTest, EstimatesApproachTruthAtLargeBudget) {
+  const data::Dataset dataset = SmallCensus(50000);
+  auto result = CollectProposed(dataset, 8.0, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(NumericMse(result.value()), 0.01);
+  EXPECT_LT(CategoricalMse(result.value()), 0.01);
+}
+
+TEST(CollectProposedTest, DeterministicInSeedAndThreadCountInvariant) {
+  const data::Dataset dataset = SmallCensus(5000);
+  auto serial = CollectProposed(dataset, 1.0, 3);
+  auto serial_again = CollectProposed(dataset, 1.0, 3);
+  ThreadPool pool(4);
+  auto parallel = CollectProposed(dataset, 1.0, 3, MechanismKind::kHybrid,
+                                  FrequencyOracleKind::kOue, &pool);
+  ASSERT_TRUE(serial.ok() && serial_again.ok() && parallel.ok());
+  for (size_t j = 0; j < serial.value().estimated_means.size(); ++j) {
+    EXPECT_DOUBLE_EQ(serial.value().estimated_means[j],
+                     serial_again.value().estimated_means[j]);
+    // Per-user RNGs make results independent of the thread pool.
+    EXPECT_NEAR(serial.value().estimated_means[j],
+                parallel.value().estimated_means[j], 1e-12);
+  }
+}
+
+TEST(CollectProposedTest, DifferentSeedsGiveDifferentNoise) {
+  const data::Dataset dataset = SmallCensus(2000);
+  auto a = CollectProposed(dataset, 1.0, 1);
+  auto b = CollectProposed(dataset, 1.0, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.value().estimated_means[0], b.value().estimated_means[0]);
+}
+
+TEST(CollectBaselineTest, AllStrategiesProduceEstimates) {
+  const data::Dataset dataset = SmallCensus(5000);
+  for (const NumericStrategy strategy :
+       {NumericStrategy::kLaplaceSplit, NumericStrategy::kScdfSplit,
+        NumericStrategy::kStaircaseSplit, NumericStrategy::kDuchiMulti}) {
+    auto result = CollectBaseline(dataset, 1.0, 1, strategy);
+    ASSERT_TRUE(result.ok()) << NumericStrategyToString(strategy);
+    EXPECT_EQ(result.value().estimated_means.size(), 6u);
+    EXPECT_EQ(result.value().estimated_frequencies.size(), 10u);
+  }
+}
+
+TEST(CollectBaselineTest, NumericOnlyDataset) {
+  Rng rng(1);
+  auto numeric = data::MakeUniform(4, 20000, &rng);
+  ASSERT_TRUE(numeric.ok());
+  auto result = CollectBaseline(numeric.value(), 2.0, 1,
+                                NumericStrategy::kDuchiMulti);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().estimated_means.size(), 4u);
+  EXPECT_TRUE(result.value().estimated_frequencies.empty());
+  EXPECT_LT(NumericMse(result.value()), 0.05);
+}
+
+TEST(CollectBaselineTest, ParallelMatchesSerialIncludingCategorical) {
+  // Regression test: chunk-local support tables must start from zero, not
+  // from a racy copy of the partially merged totals.
+  const data::Dataset dataset = SmallCensus(8000);
+  auto serial =
+      CollectBaseline(dataset, 1.0, 5, NumericStrategy::kDuchiMulti);
+  ThreadPool pool(4);
+  auto parallel = CollectBaseline(dataset, 1.0, 5,
+                                  NumericStrategy::kDuchiMulti,
+                                  FrequencyOracleKind::kOue, &pool);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  for (size_t j = 0; j < serial.value().estimated_means.size(); ++j) {
+    EXPECT_NEAR(serial.value().estimated_means[j],
+                parallel.value().estimated_means[j], 1e-12);
+  }
+  for (size_t c = 0; c < serial.value().estimated_frequencies.size(); ++c) {
+    for (size_t v = 0; v < serial.value().estimated_frequencies[c].size();
+         ++v) {
+      EXPECT_NEAR(serial.value().estimated_frequencies[c][v],
+                  parallel.value().estimated_frequencies[c][v], 1e-12);
+    }
+  }
+}
+
+TEST(CollectBaselineTest, StrategyNames) {
+  EXPECT_STREQ(NumericStrategyToString(NumericStrategy::kLaplaceSplit),
+               "Laplace");
+  EXPECT_STREQ(NumericStrategyToString(NumericStrategy::kScdfSplit), "SCDF");
+  EXPECT_STREQ(NumericStrategyToString(NumericStrategy::kStaircaseSplit),
+               "Staircase");
+  EXPECT_STREQ(NumericStrategyToString(NumericStrategy::kDuchiMulti),
+               "Duchi");
+}
+
+TEST(ProposedVsBaselineTest, ProposedWinsOnCensusData) {
+  // The paper's Fig. 4 headline: the proposed pipeline beats the best-effort
+  // split-budget combination on both numeric and categorical error.
+  const data::Dataset dataset = SmallCensus(60000);
+  const double eps = 1.0;
+  // Average over a few seeds to keep this test stable.
+  double proposed_num = 0.0, proposed_cat = 0.0;
+  double baseline_num = 0.0, baseline_cat = 0.0;
+  const int reps = 5;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto proposed = CollectProposed(dataset, eps, 100 + rep);
+    auto baseline =
+        CollectBaseline(dataset, eps, 200 + rep, NumericStrategy::kDuchiMulti);
+    ASSERT_TRUE(proposed.ok() && baseline.ok());
+    proposed_num += NumericMse(proposed.value()) / reps;
+    proposed_cat += CategoricalMse(proposed.value()) / reps;
+    baseline_num += NumericMse(baseline.value()) / reps;
+    baseline_cat += CategoricalMse(baseline.value()) / reps;
+  }
+  EXPECT_LT(proposed_num, baseline_num);
+  EXPECT_LT(proposed_cat, baseline_cat);
+}
+
+TEST(ProposedTest, PmAndHmBothWork) {
+  const data::Dataset dataset = SmallCensus(20000);
+  auto pm = CollectProposed(dataset, 1.0, 1, MechanismKind::kPiecewise);
+  auto hm = CollectProposed(dataset, 1.0, 1, MechanismKind::kHybrid);
+  ASSERT_TRUE(pm.ok() && hm.ok());
+  EXPECT_LT(NumericMse(pm.value()), 0.1);
+  EXPECT_LT(NumericMse(hm.value()), 0.1);
+}
+
+TEST(ProposedTest, MoreUsersReduceError) {
+  // Lemma 5's 1/n decay, checked end-to-end at two population sizes.
+  auto census_small = SmallCensus(4000);
+  auto census_large = SmallCensus(64000);
+  double mse_small = 0.0, mse_large = 0.0;
+  const int reps = 5;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto small = CollectProposed(census_small, 1.0, 300 + rep);
+    auto large = CollectProposed(census_large, 1.0, 400 + rep);
+    ASSERT_TRUE(small.ok() && large.ok());
+    mse_small += NumericMse(small.value()) / reps;
+    mse_large += NumericMse(large.value()) / reps;
+  }
+  // 16x the users should cut MSE by ~16; allow wide slack for stability.
+  EXPECT_LT(mse_large, mse_small / 4.0);
+}
+
+}  // namespace
+}  // namespace ldp::aggregate

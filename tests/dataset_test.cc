@@ -1,0 +1,131 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace ldp::data {
+namespace {
+
+Schema TwoColumnSchema() {
+  auto schema = Schema::Create({ColumnSpec::Numeric("x", -1.0, 1.0),
+                                ColumnSpec::Categorical("c", 3)});
+  EXPECT_TRUE(schema.ok());
+  return schema.value();
+}
+
+TEST(DatasetTest, StartsEmpty) {
+  Dataset dataset(TwoColumnSchema());
+  EXPECT_EQ(dataset.num_rows(), 0u);
+}
+
+TEST(DatasetTest, ResizeAndCellAccess) {
+  Dataset dataset(TwoColumnSchema());
+  dataset.Resize(3);
+  EXPECT_EQ(dataset.num_rows(), 3u);
+  // New cells start zeroed.
+  EXPECT_EQ(dataset.numeric(0, 0), 0.0);
+  EXPECT_EQ(dataset.category(0, 1), 0u);
+  dataset.set_numeric(1, 0, 0.5);
+  dataset.set_category(1, 1, 2);
+  EXPECT_EQ(dataset.numeric(1, 0), 0.5);
+  EXPECT_EQ(dataset.category(1, 1), 2u);
+}
+
+TEST(DatasetTest, ColumnViews) {
+  Dataset dataset(TwoColumnSchema());
+  dataset.Resize(2);
+  dataset.set_numeric(0, 0, 0.25);
+  dataset.set_numeric(1, 0, -0.75);
+  dataset.set_category(0, 1, 1);
+  EXPECT_EQ(dataset.numeric_column(0), (std::vector<double>{0.25, -0.75}));
+  EXPECT_EQ(dataset.categorical_column(1), (std::vector<uint32_t>{1, 0}));
+}
+
+TEST(DatasetTest, ColumnMeanAndValidation) {
+  Dataset dataset(TwoColumnSchema());
+  dataset.Resize(4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    dataset.set_numeric(i, 0, static_cast<double>(i) / 4.0);
+  }
+  auto mean = dataset.ColumnMean(0);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_NEAR(mean.value(), (0.0 + 0.25 + 0.5 + 0.75) / 4.0, 1e-12);
+  EXPECT_FALSE(dataset.ColumnMean(1).ok());   // categorical
+  EXPECT_FALSE(dataset.ColumnMean(9).ok());   // out of range
+}
+
+TEST(DatasetTest, ColumnMeanFailsOnEmptyDataset) {
+  Dataset dataset(TwoColumnSchema());
+  EXPECT_FALSE(dataset.ColumnMean(0).ok());
+}
+
+TEST(DatasetTest, ColumnFrequencies) {
+  Dataset dataset(TwoColumnSchema());
+  dataset.Resize(5);
+  dataset.set_category(0, 1, 0);
+  dataset.set_category(1, 1, 1);
+  dataset.set_category(2, 1, 1);
+  dataset.set_category(3, 1, 2);
+  dataset.set_category(4, 1, 1);
+  auto freqs = dataset.ColumnFrequencies(1);
+  ASSERT_TRUE(freqs.ok());
+  EXPECT_NEAR(freqs.value()[0], 0.2, 1e-12);
+  EXPECT_NEAR(freqs.value()[1], 0.6, 1e-12);
+  EXPECT_NEAR(freqs.value()[2], 0.2, 1e-12);
+  EXPECT_FALSE(dataset.ColumnFrequencies(0).ok());  // numeric
+}
+
+TEST(DatasetTest, TakeSelectsRowsInOrder) {
+  Dataset dataset(TwoColumnSchema());
+  dataset.Resize(4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    dataset.set_numeric(i, 0, static_cast<double>(i));
+    dataset.set_category(i, 1, static_cast<uint32_t>(i % 3));
+  }
+  const Dataset taken = dataset.Take({3, 0, 3});
+  EXPECT_EQ(taken.num_rows(), 3u);
+  EXPECT_EQ(taken.numeric(0, 0), 3.0);
+  EXPECT_EQ(taken.numeric(1, 0), 0.0);
+  EXPECT_EQ(taken.numeric(2, 0), 3.0);
+  EXPECT_EQ(taken.category(0, 1), 0u);
+  EXPECT_TRUE(taken.schema().Equals(dataset.schema()));
+}
+
+TEST(DatasetTest, TakeEmptySelection) {
+  Dataset dataset(TwoColumnSchema());
+  dataset.Resize(2);
+  const Dataset taken = dataset.Take({});
+  EXPECT_EQ(taken.num_rows(), 0u);
+}
+
+TEST(DatasetTest, SelectColumnsReordersAndSubsets) {
+  auto schema = Schema::Create({ColumnSpec::Numeric("a", -1.0, 1.0),
+                                ColumnSpec::Categorical("b", 2),
+                                ColumnSpec::Numeric("c", 0.0, 2.0)});
+  ASSERT_TRUE(schema.ok());
+  Dataset dataset(schema.value());
+  dataset.Resize(2);
+  dataset.set_numeric(0, 0, 0.1);
+  dataset.set_numeric(0, 2, 1.5);
+  dataset.set_category(1, 1, 1);
+  auto selected = dataset.SelectColumns({2, 1});
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected.value().schema().num_columns(), 2u);
+  EXPECT_EQ(selected.value().schema().column(0).name, "c");
+  EXPECT_EQ(selected.value().numeric(0, 0), 1.5);
+  EXPECT_EQ(selected.value().category(1, 1), 1u);
+  EXPECT_FALSE(dataset.SelectColumns({5}).ok());
+}
+
+TEST(DatasetTest, ShrinkingResizeDropsRows) {
+  Dataset dataset(TwoColumnSchema());
+  dataset.Resize(5);
+  dataset.set_numeric(4, 0, 1.0);
+  dataset.Resize(2);
+  EXPECT_EQ(dataset.num_rows(), 2u);
+  dataset.Resize(5);
+  // Regrown cells are zero again.
+  EXPECT_EQ(dataset.numeric(4, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace ldp::data

@@ -1,0 +1,224 @@
+#include "baselines/duchi_multi_dim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "test_util.h"
+#include "util/math.h"
+
+namespace ldp {
+namespace {
+
+using ::ldp::testing::MeanTolerance;
+
+TEST(DuchiMultiDimTest, CdMatchesEquation9ForSmallD) {
+  // Odd d: 2^{d-1} / C(d-1, (d-1)/2).
+  EXPECT_NEAR(DuchiMultiDimMechanism::ComputeCd(1), 1.0, 1e-12);
+  EXPECT_NEAR(DuchiMultiDimMechanism::ComputeCd(3), 4.0 / 2.0, 1e-12);
+  EXPECT_NEAR(DuchiMultiDimMechanism::ComputeCd(5), 16.0 / 6.0, 1e-12);
+  // Even d: (2^{d-1} + C(d, d/2)/2) / C(d-1, d/2).
+  EXPECT_NEAR(DuchiMultiDimMechanism::ComputeCd(2), (2.0 + 1.0) / 1.0, 1e-12);
+  EXPECT_NEAR(DuchiMultiDimMechanism::ComputeCd(4), (8.0 + 3.0) / 3.0, 1e-12);
+  EXPECT_NEAR(DuchiMultiDimMechanism::ComputeCd(6), (32.0 + 10.0) / 10.0,
+              1e-12);
+}
+
+TEST(DuchiMultiDimTest, CdGrowsLikeSqrtD) {
+  // C_d = Θ(√d); check the ratio C_d/√d stays within constant factors.
+  // C_d → √(πd/2) ≈ 1.25√d for odd d; even d adds a +1 correction, so the
+  // ratio peaks around 1.6 at small even d and settles near 1.25.
+  for (const uint32_t d : {10u, 50u, 200u, 1000u}) {
+    const double ratio =
+        DuchiMultiDimMechanism::ComputeCd(d) / std::sqrt(static_cast<double>(d));
+    EXPECT_GT(ratio, 0.8) << "d=" << d;
+    EXPECT_LT(ratio, 1.7) << "d=" << d;
+  }
+}
+
+TEST(DuchiMultiDimTest, OutputCoordinatesAreAllPlusMinusB) {
+  const DuchiMultiDimMechanism mech(1.0, 8);
+  Rng rng(1);
+  const std::vector<double> t(8, 0.25);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<double> out = mech.Perturb(t, &rng);
+    ASSERT_EQ(out.size(), 8u);
+    for (const double v : out) {
+      EXPECT_TRUE(v == mech.bound() || v == -mech.bound());
+    }
+  }
+}
+
+TEST(DuchiMultiDimTest, PerturbIsComponentwiseUnbiased) {
+  const uint32_t d = 6;
+  const DuchiMultiDimMechanism mech(1.5, d);
+  const std::vector<double> t = {-0.8, -0.3, 0.0, 0.2, 0.6, 1.0};
+  Rng rng(2);
+  const uint64_t samples = 150000;
+  std::vector<RunningStats> stats(d);
+  for (uint64_t i = 0; i < samples; ++i) {
+    const std::vector<double> out = mech.Perturb(t, &rng);
+    for (uint32_t j = 0; j < d; ++j) stats[j].Add(out[j]);
+  }
+  for (uint32_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(stats[j].Mean(), t[j], MeanTolerance(stats[j], 6.0))
+        << "coordinate " << j;
+  }
+}
+
+TEST(DuchiMultiDimTest, DimensionOneReducesToTwoPointMechanism) {
+  const double eps = 1.0;
+  const DuchiMultiDimMechanism mech(eps, 1);
+  // C_1 = 1, so B = (e^ε+1)/(e^ε-1), exactly the 1-D mechanism's bound.
+  const double e = std::exp(eps);
+  EXPECT_NEAR(mech.bound(), (e + 1.0) / (e - 1.0), 1e-12);
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(mech.Perturb({0.5}, &rng)[0]);
+  }
+  EXPECT_NEAR(stats.Mean(), 0.5, MeanTolerance(stats, 6.0));
+}
+
+TEST(DuchiMultiDimTest, SatisfiesLdpByExhaustiveEnumeration) {
+  // For small d the full output distribution Pr[t* | t] can be estimated to
+  // high precision analytically: condition on v (2^d equally structured
+  // outcomes) and on the T+/T- choice. Instead of Monte Carlo we compute the
+  // exact distribution by enumerating v and the uniform choice within each
+  // half-space, then check max-ratio <= e^ε over a grid of input pairs.
+  const double eps = 1.0;
+  const uint32_t d = 3;
+  const DuchiMultiDimMechanism mech(eps, d);
+  const double e_eps = std::exp(eps);
+
+  auto output_distribution = [&](const std::vector<double>& t) {
+    std::map<std::vector<int>, double> dist;
+    const uint32_t num_v = 1u << d;
+    // |T+| = |{s : <s,v> >= 0}|; for odd d there are 2^{d-1} such s per v.
+    const double half_count = std::pow(2.0, static_cast<double>(d - 1));
+    for (uint32_t vbits = 0; vbits < num_v; ++vbits) {
+      double pv = 1.0;
+      std::vector<int> v(d);
+      for (uint32_t j = 0; j < d; ++j) {
+        v[j] = (vbits >> j) & 1 ? 1 : -1;
+        pv *= (v[j] == 1) ? 0.5 + 0.5 * t[j] : 0.5 - 0.5 * t[j];
+      }
+      // Enumerate all sign vectors s ∈ {-1,1}^d and their half-space.
+      for (uint32_t sbits = 0; sbits < num_v; ++sbits) {
+        std::vector<int> s(d);
+        int dot = 0;
+        for (uint32_t j = 0; j < d; ++j) {
+          s[j] = (sbits >> j) & 1 ? 1 : -1;
+          dot += s[j] * v[j];
+        }
+        double p_select = 0.0;
+        if (dot >= 0) p_select += e_eps / (e_eps + 1.0) / half_count;
+        if (dot <= 0) p_select += 1.0 / (e_eps + 1.0) / half_count;
+        dist[s] += pv * p_select;
+      }
+    }
+    return dist;
+  };
+
+  const std::vector<std::vector<double>> inputs = {
+      {0.0, 0.0, 0.0}, {1.0, -1.0, 0.5}, {-1.0, -1.0, -1.0},
+      {0.3, 0.7, -0.2}, {1.0, 1.0, 1.0}};
+  for (const auto& t1 : inputs) {
+    const auto d1 = output_distribution(t1);
+    // Sanity: distribution sums to 1.
+    double total = 0.0;
+    for (const auto& [s, p] : d1) total += p;
+    ASSERT_NEAR(total, 1.0, 1e-9);
+    for (const auto& t2 : inputs) {
+      const auto d2 = output_distribution(t2);
+      for (const auto& [s, p1] : d1) {
+        const double p2 = d2.at(s);
+        if (p2 > 0.0) {
+          EXPECT_LE(p1 / p2, e_eps * (1.0 + 1e-9));
+        }
+      }
+    }
+  }
+}
+
+TEST(DuchiMultiDimTest, EmpiricalDistributionMatchesAlgorithmSpec) {
+  // d = 2 exercises the even case where T+ and T- share the dot = 0 boundary.
+  // Compare the implementation's empirical output distribution against the
+  // exact distribution of Algorithm 3 computed by enumeration.
+  const double eps = 1.0;
+  const uint32_t d = 2;
+  const DuchiMultiDimMechanism mech(eps, d);
+  const double e_eps = std::exp(eps);
+  const std::vector<double> t = {0.6, -0.2};
+
+  // Exact: enumerate v and s; |T+| = |T-| = C(2,1) + C(2,2) = 3.
+  std::map<std::vector<int>, double> exact;
+  const double half_count = 3.0;
+  for (uint32_t vbits = 0; vbits < 4; ++vbits) {
+    double pv = 1.0;
+    std::vector<int> v(d);
+    for (uint32_t j = 0; j < d; ++j) {
+      v[j] = (vbits >> j) & 1 ? 1 : -1;
+      pv *= (v[j] == 1) ? 0.5 + 0.5 * t[j] : 0.5 - 0.5 * t[j];
+    }
+    for (uint32_t sbits = 0; sbits < 4; ++sbits) {
+      std::vector<int> s(d);
+      int dot = 0;
+      for (uint32_t j = 0; j < d; ++j) {
+        s[j] = (sbits >> j) & 1 ? 1 : -1;
+        dot += s[j] * v[j];
+      }
+      double p_select = 0.0;
+      if (dot >= 0) p_select += e_eps / (e_eps + 1.0) / half_count;
+      if (dot <= 0) p_select += 1.0 / (e_eps + 1.0) / half_count;
+      exact[s] += pv * p_select;
+    }
+  }
+
+  Rng rng(5);
+  const int samples = 400000;
+  std::map<std::vector<int>, int> counts;
+  for (int i = 0; i < samples; ++i) {
+    const std::vector<double> out = mech.Perturb(t, &rng);
+    std::vector<int> signs(d);
+    for (uint32_t j = 0; j < d; ++j) signs[j] = out[j] > 0.0 ? 1 : -1;
+    ++counts[signs];
+  }
+  for (const auto& [signs, p] : exact) {
+    const double empirical = static_cast<double>(counts[signs]) / samples;
+    const double stderr_p = std::sqrt(p * (1.0 - p) / samples);
+    EXPECT_NEAR(empirical, p, 5.0 * stderr_p + 1e-9);
+  }
+}
+
+TEST(DuchiMultiDimTest, CoordinateVarianceFormula) {
+  const DuchiMultiDimMechanism mech(1.0, 4);
+  const double b = mech.bound();
+  EXPECT_DOUBLE_EQ(mech.CoordinateVariance(0.0), b * b);
+  EXPECT_DOUBLE_EQ(mech.CoordinateVariance(0.5), b * b - 0.25);
+  EXPECT_DOUBLE_EQ(mech.WorstCaseCoordinateVariance(), b * b);
+}
+
+TEST(DuchiMultiDimTest, EmpiricalCoordinateVarianceMatchesEquation13) {
+  const uint32_t d = 4;
+  const DuchiMultiDimMechanism mech(2.0, d);
+  const std::vector<double> t = {0.0, 0.4, -0.6, 1.0};
+  Rng rng(4);
+  const uint64_t samples = 150000;
+  std::vector<RunningStats> stats(d);
+  for (uint64_t i = 0; i < samples; ++i) {
+    const std::vector<double> out = mech.Perturb(t, &rng);
+    for (uint32_t j = 0; j < d; ++j) stats[j].Add(out[j]);
+  }
+  for (uint32_t j = 0; j < d; ++j) {
+    const double expected = mech.CoordinateVariance(t[j]);
+    EXPECT_NEAR(stats[j].SampleVariance(), expected,
+                expected * ldp::testing::VarianceRelTolerance(samples))
+        << "coordinate " << j;
+  }
+}
+
+}  // namespace
+}  // namespace ldp

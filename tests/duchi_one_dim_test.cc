@@ -1,0 +1,115 @@
+#include "baselines/duchi_one_dim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace ldp {
+namespace {
+
+using ::ldp::testing::MeanTolerance;
+using ::ldp::testing::SampleStats;
+using ::ldp::testing::VarianceRelTolerance;
+
+constexpr uint64_t kSamples = 200000;
+
+TEST(DuchiOneDimTest, BoundMatchesFormula) {
+  for (const double eps : {0.5, 1.0, 2.0}) {
+    const double e = std::exp(eps);
+    EXPECT_DOUBLE_EQ(DuchiOneDimMechanism(eps).bound(),
+                     (e + 1.0) / (e - 1.0));
+  }
+}
+
+TEST(DuchiOneDimTest, OutputIsTwoPoint) {
+  const DuchiOneDimMechanism mech(1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double out = mech.Perturb(0.3, &rng);
+    EXPECT_TRUE(out == mech.bound() || out == -mech.bound());
+  }
+}
+
+TEST(DuchiOneDimTest, HeadProbabilityMatchesEquation3) {
+  // Pr[t* = B] = (e^ε-1)/(2e^ε+2)·t + 1/2.
+  const double eps = 1.2;
+  const DuchiOneDimMechanism mech(eps);
+  const double e = std::exp(eps);
+  Rng rng(2);
+  for (const double t : {-1.0, -0.5, 0.0, 0.5, 1.0}) {
+    const double expected = (e - 1.0) / (2.0 * e + 2.0) * t + 0.5;
+    RunningStats stats = SampleStats(kSamples, &rng, [&](Rng* r) {
+      return mech.Perturb(t, r) > 0.0 ? 1.0 : 0.0;
+    });
+    EXPECT_NEAR(stats.Mean(), expected, MeanTolerance(stats)) << "t=" << t;
+  }
+}
+
+TEST(DuchiOneDimTest, PerturbIsUnbiased) {
+  const DuchiOneDimMechanism mech(0.7);
+  Rng rng(3);
+  for (const double t : {-1.0, -0.25, 0.0, 0.6, 1.0}) {
+    RunningStats stats = SampleStats(
+        kSamples, &rng, [&](Rng* r) { return mech.Perturb(t, r); });
+    EXPECT_NEAR(stats.Mean(), t, MeanTolerance(stats)) << "t=" << t;
+  }
+}
+
+TEST(DuchiOneDimTest, VarianceMatchesEquation4) {
+  const DuchiOneDimMechanism mech(1.0);
+  const double b = mech.bound();
+  EXPECT_DOUBLE_EQ(mech.Variance(0.0), b * b);
+  EXPECT_DOUBLE_EQ(mech.Variance(1.0), b * b - 1.0);
+  EXPECT_DOUBLE_EQ(mech.WorstCaseVariance(), b * b);
+  // Variance decreases as |t| grows — the opposite of PM (Section III-B).
+  EXPECT_GT(mech.Variance(0.1), mech.Variance(0.9));
+}
+
+TEST(DuchiOneDimTest, EmpiricalVarianceMatchesClosedForm) {
+  const DuchiOneDimMechanism mech(2.0);
+  Rng rng(4);
+  for (const double t : {0.0, 0.5, 1.0}) {
+    RunningStats stats = SampleStats(
+        kSamples, &rng, [&](Rng* r) { return mech.Perturb(t, r); });
+    EXPECT_NEAR(stats.SampleVariance(), mech.Variance(t),
+                mech.Variance(t) * VarianceRelTolerance(kSamples) + 1e-6)
+        << "t=" << t;
+  }
+}
+
+TEST(DuchiOneDimTest, SatisfiesLdpOnOutputProbabilities) {
+  // Discrete outputs: check Pr[out | t] / Pr[out | t'] <= e^ε for all pairs.
+  const double eps = 0.9;
+  const DuchiOneDimMechanism mech(eps);
+  const double e = std::exp(eps);
+  auto head_prob = [&](double t) {
+    return (e - 1.0) / (2.0 * e + 2.0) * t + 0.5;
+  };
+  for (double t1 = -1.0; t1 <= 1.0; t1 += 0.1) {
+    for (double t2 = -1.0; t2 <= 1.0; t2 += 0.1) {
+      EXPECT_LE(head_prob(t1) / head_prob(t2), e * (1.0 + 1e-12));
+      EXPECT_LE((1.0 - head_prob(t1)) / (1.0 - head_prob(t2)),
+                e * (1.0 + 1e-12));
+    }
+  }
+}
+
+TEST(DuchiOneDimTest, WorstCaseVarianceAlwaysAboveOne) {
+  // Because |t*| = B > 1, Var at t=0 exceeds 1 regardless of ε — the paper's
+  // criticism of this mechanism at large ε.
+  for (const double eps : {0.5, 2.0, 8.0, 20.0}) {
+    EXPECT_GT(DuchiOneDimMechanism(eps).WorstCaseVariance(), 1.0);
+  }
+}
+
+TEST(DuchiOneDimTest, NameAndEpsilon) {
+  const DuchiOneDimMechanism mech(1.0);
+  EXPECT_STREQ(mech.name(), "Duchi");
+  EXPECT_DOUBLE_EQ(mech.epsilon(), 1.0);
+  EXPECT_DOUBLE_EQ(mech.OutputBound(), mech.bound());
+}
+
+}  // namespace
+}  // namespace ldp

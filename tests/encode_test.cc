@@ -1,0 +1,133 @@
+#include "data/encode.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/census.h"
+
+namespace ldp::data {
+namespace {
+
+Dataset SmallDataset() {
+  auto schema = Schema::Create({ColumnSpec::Numeric("x", 0.0, 10.0),
+                                ColumnSpec::Categorical("c", 3),
+                                ColumnSpec::Numeric("y", -5.0, 5.0)});
+  EXPECT_TRUE(schema.ok());
+  Dataset dataset(schema.value());
+  dataset.Resize(3);
+  dataset.set_numeric(0, 0, 0.0);
+  dataset.set_numeric(1, 0, 5.0);
+  dataset.set_numeric(2, 0, 10.0);
+  dataset.set_category(0, 1, 0);
+  dataset.set_category(1, 1, 1);
+  dataset.set_category(2, 1, 2);
+  dataset.set_numeric(0, 2, -5.0);
+  dataset.set_numeric(1, 2, 0.0);
+  dataset.set_numeric(2, 2, 2.5);
+  return dataset;
+}
+
+TEST(NormalizeNumericTest, MapsToCanonicalDomain) {
+  const Dataset normalized = NormalizeNumeric(SmallDataset());
+  EXPECT_EQ(normalized.schema().column(0).lo, -1.0);
+  EXPECT_EQ(normalized.schema().column(0).hi, 1.0);
+  EXPECT_DOUBLE_EQ(normalized.numeric(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(normalized.numeric(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(normalized.numeric(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(normalized.numeric(0, 2), -1.0);
+  EXPECT_DOUBLE_EQ(normalized.numeric(2, 2), 0.5);
+  // Categorical columns pass through untouched.
+  EXPECT_EQ(normalized.category(2, 1), 2u);
+  EXPECT_EQ(normalized.schema().column(1).domain_size, 3u);
+}
+
+TEST(EncodedFeatureCountTest, CountsNumericAndExpandedCategorical) {
+  const Dataset dataset = SmallDataset();
+  // Label = column 2: remaining features are 1 numeric + (3-1) binary.
+  EXPECT_EQ(EncodedFeatureCount(dataset.schema(), 2), 3u);
+  // Label = column 1 (categorical): 2 numeric features remain.
+  EXPECT_EQ(EncodedFeatureCount(dataset.schema(), 1), 2u);
+}
+
+TEST(EncodeFeaturesTest, OneHotDropsLastLevel) {
+  const Dataset dataset = SmallDataset();
+  auto matrix = EncodeFeatures(dataset, 2);
+  ASSERT_TRUE(matrix.ok());
+  ASSERT_EQ(matrix.value().num_rows(), 3u);
+  ASSERT_EQ(matrix.value().num_cols(), 3u);
+  // Row 0: x=0 → -1; c=0 → (1, 0).
+  EXPECT_DOUBLE_EQ(matrix.value().at(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(matrix.value().at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(matrix.value().at(0, 2), 0.0);
+  // Row 1: x=5 → 0; c=1 → (0, 1).
+  EXPECT_DOUBLE_EQ(matrix.value().at(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.value().at(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.value().at(1, 2), 1.0);
+  // Row 2: c=2 (last level) → (0, 0).
+  EXPECT_DOUBLE_EQ(matrix.value().at(2, 1), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.value().at(2, 2), 0.0);
+}
+
+TEST(EncodeFeaturesTest, AllFeatureValuesWithinUnitRange) {
+  auto census = MakeBrazilCensus(2000, 1);
+  ASSERT_TRUE(census.ok());
+  const uint32_t label =
+      census.value().schema().FindColumn(kIncomeColumn).value();
+  auto matrix = EncodeFeatures(census.value(), label);
+  ASSERT_TRUE(matrix.ok());
+  for (const double v : matrix.value().values()) {
+    ASSERT_GE(v, -1.0);
+    ASSERT_LE(v, 1.0);
+  }
+  // BR: 16 attrs → 5 numeric features + Σ(k_i − 1) binaries = 90 − 1 … the
+  // paper's post-encoding dimensionality of 90 includes the label; here the
+  // label (numeric) is excluded, so 5 numeric + 34 binary.
+  EXPECT_EQ(matrix.value().num_cols(),
+            EncodedFeatureCount(census.value().schema(), label));
+}
+
+TEST(EncodeFeaturesTest, RejectsBadLabelColumn) {
+  EXPECT_FALSE(EncodeFeatures(SmallDataset(), 99).ok());
+}
+
+TEST(EncodeNumericLabelTest, NormalizesToCanonical) {
+  auto labels = EncodeNumericLabel(SmallDataset(), 0);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_DOUBLE_EQ(labels.value()[0], -1.0);
+  EXPECT_DOUBLE_EQ(labels.value()[1], 0.0);
+  EXPECT_DOUBLE_EQ(labels.value()[2], 1.0);
+}
+
+TEST(EncodeNumericLabelTest, RejectsCategoricalColumn) {
+  EXPECT_FALSE(EncodeNumericLabel(SmallDataset(), 1).ok());
+  EXPECT_FALSE(EncodeNumericLabel(SmallDataset(), 9).ok());
+}
+
+TEST(EncodeBinaryLabelTest, SplitsAtColumnMean) {
+  auto labels = EncodeBinaryLabel(SmallDataset(), 0);
+  ASSERT_TRUE(labels.ok());
+  // Mean of {0, 5, 10} is 5; only 10 exceeds it.
+  EXPECT_EQ(labels.value(), (std::vector<double>{-1.0, -1.0, 1.0}));
+}
+
+TEST(EncodeBinaryLabelTest, RejectsCategoricalOrEmpty) {
+  EXPECT_FALSE(EncodeBinaryLabel(SmallDataset(), 1).ok());
+  auto schema = Schema::Create({ColumnSpec::Numeric("x", 0.0, 1.0)});
+  ASSERT_TRUE(schema.ok());
+  Dataset empty(schema.value());
+  EXPECT_FALSE(EncodeBinaryLabel(empty, 0).ok());
+}
+
+TEST(DesignMatrixTest, RowPointerIsContiguous) {
+  DesignMatrix matrix(2, 3);
+  matrix.set(1, 0, 4.0);
+  matrix.set(1, 2, 6.0);
+  const double* row = matrix.row(1);
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  EXPECT_DOUBLE_EQ(row[1], 0.0);
+  EXPECT_DOUBLE_EQ(row[2], 6.0);
+}
+
+}  // namespace
+}  // namespace ldp::data

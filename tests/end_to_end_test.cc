@@ -1,0 +1,158 @@
+// Whole-pipeline integration tests: census generation → normalisation →
+// ε-LDP collection → estimation, and the full LDP-SGD learning workflow on
+// census data — the flows behind Figs. 4 and 9–11.
+
+#include <gtest/gtest.h>
+
+#include "aggregate/collector.h"
+#include "aggregate/metrics.h"
+#include "data/census.h"
+#include "data/encode.h"
+#include "data/split.h"
+#include "ml/evaluate.h"
+#include "ml/ldp_sgd.h"
+
+namespace ldp {
+namespace {
+
+TEST(EndToEndCollectionTest, CensusPipelineRecoverStatistics) {
+  auto census = data::MakeMexicoCensus(40000, 1);
+  ASSERT_TRUE(census.ok());
+  const data::Dataset normalized = data::NormalizeNumeric(census.value());
+
+  auto output = aggregate::CollectProposed(normalized, 4.0, 2);
+  ASSERT_TRUE(output.ok());
+  // Every numeric mean within loose absolute error; frequencies too.
+  EXPECT_LT(aggregate::NumericMaxAbsError(output.value()), 0.2);
+  EXPECT_LT(aggregate::CategoricalMaxAbsError(output.value()), 0.2);
+}
+
+TEST(EndToEndCollectionTest, EpsilonMonotonicity) {
+  // Fig. 4's x-axis behaviour: error decreases as ε grows.
+  auto census = data::MakeBrazilCensus(30000, 3);
+  ASSERT_TRUE(census.ok());
+  const data::Dataset normalized = data::NormalizeNumeric(census.value());
+  double previous = 1e9;
+  for (const double eps : {0.5, 2.0, 8.0}) {
+    double mse = 0.0;
+    const int reps = 5;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto output =
+          aggregate::CollectProposed(normalized, eps, 10 * rep + 1);
+      ASSERT_TRUE(output.ok());
+      mse += aggregate::NumericMse(output.value()) / reps;
+    }
+    EXPECT_LT(mse, previous * 1.05) << "eps=" << eps;
+    previous = mse;
+  }
+}
+
+TEST(EndToEndLearningTest, LogisticRegressionOnCensus) {
+  // Train an income classifier under ε-LDP and compare against non-private:
+  // the private model must clearly beat chance and sit within a reasonable
+  // gap of the non-private reference (Fig. 9's qualitative content).
+  auto census = data::MakeBrazilCensus(30000, 4);
+  ASSERT_TRUE(census.ok());
+  const uint32_t label_col =
+      census.value().schema().FindColumn(data::kIncomeColumn).value();
+  auto features = data::EncodeFeatures(census.value(), label_col);
+  auto labels = data::EncodeBinaryLabel(census.value(), label_col);
+  ASSERT_TRUE(features.ok() && labels.ok());
+
+  ml::LdpSgdOptions non_private;
+  non_private.perturber = ml::GradientPerturber::kNonPrivate;
+  non_private.group_size = 200;
+  non_private.seed = 5;
+  auto beta_np = ml::TrainLdpSgd(features.value(), labels.value(),
+                                 ml::LossKind::kLogistic, non_private);
+  ASSERT_TRUE(beta_np.ok());
+  const double error_np = ml::MisclassificationRate(
+      features.value(), labels.value(), beta_np.value());
+  EXPECT_LT(error_np, 0.35);
+
+  ml::LdpSgdOptions private_options;
+  private_options.perturber = ml::GradientPerturber::kHybridSampled;
+  private_options.epsilon = 4.0;
+  private_options.seed = 6;
+  auto beta_hm = ml::TrainLdpSgd(features.value(), labels.value(),
+                                 ml::LossKind::kLogistic, private_options);
+  ASSERT_TRUE(beta_hm.ok());
+  const double error_hm = ml::MisclassificationRate(
+      features.value(), labels.value(), beta_hm.value());
+  EXPECT_LT(error_hm, 0.45);
+  EXPECT_LT(error_np, error_hm + 0.05);
+}
+
+TEST(EndToEndLearningTest, LinearRegressionOnCensus) {
+  auto census = data::MakeMexicoCensus(30000, 7);
+  ASSERT_TRUE(census.ok());
+  const uint32_t label_col =
+      census.value().schema().FindColumn(data::kIncomeColumn).value();
+  auto features = data::EncodeFeatures(census.value(), label_col);
+  auto labels = data::EncodeNumericLabel(census.value(), label_col);
+  ASSERT_TRUE(features.ok() && labels.ok());
+
+  // Baseline MSE of the zero model (predicting 0 for every row).
+  const double zero_mse = ml::RegressionMse(
+      features.value(), labels.value(),
+      std::vector<double>(features.value().num_cols(), 0.0));
+
+  ml::LdpSgdOptions options;
+  options.perturber = ml::GradientPerturber::kHybridSampled;
+  options.epsilon = 4.0;
+  options.seed = 8;
+  auto beta = ml::TrainLdpSgd(features.value(), labels.value(),
+                              ml::LossKind::kSquared, options);
+  ASSERT_TRUE(beta.ok());
+  const double mse =
+      ml::RegressionMse(features.value(), labels.value(), beta.value());
+  // The learned model must explain some variance despite the noise.
+  EXPECT_LT(mse, zero_mse);
+}
+
+TEST(EndToEndLearningTest, CrossValidatedSvmOnCensusSubsample) {
+  auto census = data::MakeBrazilCensus(6000, 9);
+  ASSERT_TRUE(census.ok());
+  const uint32_t label_col =
+      census.value().schema().FindColumn(data::kIncomeColumn).value();
+  auto features = data::EncodeFeatures(census.value(), label_col);
+  auto labels = data::EncodeBinaryLabel(census.value(), label_col);
+  ASSERT_TRUE(features.ok() && labels.ok());
+
+  Rng rng(10);
+  auto trainer = [](const data::DesignMatrix& x,
+                    const std::vector<double>& y)
+      -> Result<std::vector<double>> {
+    ml::LdpSgdOptions options;
+    options.perturber = ml::GradientPerturber::kHybridSampled;
+    options.epsilon = 4.0;
+    options.group_size = 250;
+    options.seed = 11;
+    return ml::TrainLdpSgd(x, y, ml::LossKind::kHinge, options);
+  };
+  auto result =
+      ml::CrossValidate(features.value(), labels.value(), 3, 1,
+                        ml::EvalMetric::kMisclassification, trainer, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().fold_metrics.size(), 3u);
+  EXPECT_LT(result.value().mean, 0.5);
+}
+
+TEST(EndToEndTest, DimensionalitySubsetsStillCollectCorrectly) {
+  // Fig. 8's machinery: restrict the MX schema to its first q columns.
+  auto census = data::MakeMexicoCensus(20000, 12);
+  ASSERT_TRUE(census.ok());
+  const data::Dataset normalized = data::NormalizeNumeric(census.value());
+  std::vector<uint32_t> first_ten(10);
+  for (uint32_t j = 0; j < 10; ++j) first_ten[j] = j;
+  auto subset = normalized.SelectColumns(first_ten);
+  ASSERT_TRUE(subset.ok());
+  auto output = aggregate::CollectProposed(subset.value(), 1.0, 13);
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(output.value().numeric_columns.size() +
+                output.value().categorical_columns.size(),
+            10u);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,59 @@
+#include "aggregate/estimators.h"
+
+#include <gtest/gtest.h>
+
+namespace ldp::aggregate {
+namespace {
+
+TEST(VectorMeanEstimatorTest, EmptyEstimatesZero) {
+  VectorMeanEstimator estimator(3);
+  EXPECT_EQ(estimator.count(), 0u);
+  EXPECT_EQ(estimator.dimension(), 3u);
+  EXPECT_EQ(estimator.Estimate(), (std::vector<double>{0.0, 0.0, 0.0}));
+}
+
+TEST(VectorMeanEstimatorTest, DenseReportsAverage) {
+  VectorMeanEstimator estimator(2);
+  estimator.Add({1.0, -2.0});
+  estimator.Add({3.0, 2.0});
+  EXPECT_EQ(estimator.count(), 2u);
+  EXPECT_EQ(estimator.Estimate(), (std::vector<double>{2.0, 0.0}));
+}
+
+TEST(VectorMeanEstimatorTest, SparseReportsZeroPadUnsampled) {
+  VectorMeanEstimator estimator(3);
+  estimator.AddSparse({SampledValue{0, 3.0}});
+  estimator.AddSparse({SampledValue{2, 6.0}});
+  estimator.AddSparse({SampledValue{0, 3.0}, SampledValue{2, 0.0}});
+  // Attribute 0: (3 + 0 + 3)/3 = 2; attribute 1: 0; attribute 2: 2.
+  EXPECT_EQ(estimator.Estimate(), (std::vector<double>{2.0, 0.0, 2.0}));
+}
+
+TEST(VectorMeanEstimatorTest, MixedDenseAndSparse) {
+  VectorMeanEstimator estimator(2);
+  estimator.Add({2.0, 4.0});
+  estimator.AddSparse({SampledValue{1, 2.0}});
+  EXPECT_EQ(estimator.Estimate(), (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(VectorMeanEstimatorTest, MergeMatchesSequential) {
+  VectorMeanEstimator a(2), b(2), all(2);
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<double> report = {static_cast<double>(i), 1.0};
+    (i % 2 == 0 ? a : b).Add(report);
+    all.Add(report);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.Estimate(), all.Estimate());
+}
+
+TEST(VectorMeanEstimatorTest, MergeWithEmpty) {
+  VectorMeanEstimator a(1), empty(1);
+  a.Add({5.0});
+  a.Merge(empty);
+  EXPECT_EQ(a.Estimate(), std::vector<double>{5.0});
+}
+
+}  // namespace
+}  // namespace ldp::aggregate

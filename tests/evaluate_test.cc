@@ -1,0 +1,139 @@
+#include "ml/evaluate.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/sgd.h"
+#include "util/random.h"
+
+namespace ldp::ml {
+namespace {
+
+TEST(MisclassificationRateTest, CountsSignDisagreements) {
+  data::DesignMatrix features(4, 1);
+  features.set(0, 0, 1.0);
+  features.set(1, 0, -1.0);
+  features.set(2, 0, 0.5);
+  features.set(3, 0, -0.5);
+  const std::vector<double> labels = {1.0, -1.0, -1.0, -1.0};
+  const std::vector<double> beta = {1.0};  // predicts sign(x)
+  // Rows 0, 1, 3 are right; row 2 is wrong.
+  EXPECT_NEAR(MisclassificationRate(features, labels, beta), 0.25, 1e-12);
+}
+
+TEST(MisclassificationRateTest, ZeroScoreCountsAsPositive) {
+  data::DesignMatrix features(1, 1);
+  features.set(0, 0, 0.0);
+  EXPECT_EQ(MisclassificationRate(features, {1.0}, {5.0}), 0.0);
+  EXPECT_EQ(MisclassificationRate(features, {-1.0}, {5.0}), 1.0);
+}
+
+TEST(RegressionMseTest, ComputesResidualMse) {
+  data::DesignMatrix features(2, 1);
+  features.set(0, 0, 1.0);
+  features.set(1, 0, 2.0);
+  const std::vector<double> labels = {1.5, 1.0};
+  const std::vector<double> beta = {1.0};
+  // Residuals: -0.5 and 1.0 → MSE = (0.25 + 1) / 2.
+  EXPECT_NEAR(RegressionMse(features, labels, beta), 0.625, 1e-12);
+}
+
+TEST(TakeRowsTest, ExtractsRowsInOrder) {
+  data::DesignMatrix features(3, 2);
+  for (uint64_t i = 0; i < 3; ++i) {
+    features.set(i, 0, static_cast<double>(i));
+    features.set(i, 1, 10.0 * static_cast<double>(i));
+  }
+  const data::DesignMatrix taken = TakeRows(features, {2, 0});
+  EXPECT_EQ(taken.num_rows(), 2u);
+  EXPECT_EQ(taken.at(0, 0), 2.0);
+  EXPECT_EQ(taken.at(0, 1), 20.0);
+  EXPECT_EQ(taken.at(1, 0), 0.0);
+}
+
+TEST(TakeLabelsTest, ExtractsValues) {
+  EXPECT_EQ(TakeLabels({1.0, 2.0, 3.0}, {2, 2, 0}),
+            (std::vector<double>{3.0, 3.0, 1.0}));
+}
+
+TEST(CrossValidateTest, ValidatesInputs) {
+  data::DesignMatrix features(10, 1);
+  std::vector<double> labels(5, 1.0);
+  Rng rng(1);
+  auto trainer = [](const data::DesignMatrix&, const std::vector<double>&)
+      -> Result<std::vector<double>> { return std::vector<double>{0.0}; };
+  EXPECT_FALSE(CrossValidate(features, labels, 5, 1,
+                             EvalMetric::kMisclassification, trainer, &rng)
+                   .ok());
+  std::vector<double> ok_labels(10, 1.0);
+  EXPECT_FALSE(CrossValidate(features, ok_labels, 5, 0,
+                             EvalMetric::kMisclassification, trainer, &rng)
+                   .ok());
+  EXPECT_FALSE(CrossValidate(features, ok_labels, 1, 1,
+                             EvalMetric::kMisclassification, trainer, &rng)
+                   .ok());
+}
+
+TEST(CrossValidateTest, RunsFoldsTimesRepeats) {
+  data::DesignMatrix features(20, 1);
+  std::vector<double> labels(20, 1.0);
+  Rng rng(2);
+  int calls = 0;
+  auto trainer = [&calls](const data::DesignMatrix& x,
+                          const std::vector<double>& y)
+      -> Result<std::vector<double>> {
+    ++calls;
+    EXPECT_EQ(x.num_rows(), 16u);  // 4/5 of 20
+    EXPECT_EQ(y.size(), 16u);
+    return std::vector<double>{1.0};
+  };
+  auto result = CrossValidate(features, labels, 5, 3,
+                              EvalMetric::kMisclassification, trainer, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(calls, 15);
+  EXPECT_EQ(result.value().fold_metrics.size(), 15u);
+}
+
+TEST(CrossValidateTest, PropagatesTrainerFailure) {
+  data::DesignMatrix features(10, 1);
+  std::vector<double> labels(10, 1.0);
+  Rng rng(3);
+  auto trainer = [](const data::DesignMatrix&, const std::vector<double>&)
+      -> Result<std::vector<double>> {
+    return Status::Internal("trainer exploded");
+  };
+  auto result = CrossValidate(features, labels, 5, 1,
+                              EvalMetric::kMisclassification, trainer, &rng);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(CrossValidateTest, EndToEndWithRealTrainerOnEasyData) {
+  Rng data_rng(4);
+  const uint64_t n = 2000;
+  data::DesignMatrix features(n, 2);
+  std::vector<double> labels(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const double x0 = data_rng.Uniform(-1.0, 1.0);
+    const double x1 = data_rng.Uniform(-1.0, 1.0);
+    features.set(i, 0, x0);
+    features.set(i, 1, x1);
+    labels[i] = (x0 - x1 >= 0.0) ? 1.0 : -1.0;
+  }
+  Rng cv_rng(5);
+  auto trainer = [](const data::DesignMatrix& x, const std::vector<double>& y)
+      -> Result<std::vector<double>> {
+    SgdOptions options;
+    options.num_iterations = 800;
+    options.seed = 6;
+    return TrainSgd(x, y, LossKind::kLogistic, options);
+  };
+  auto result = CrossValidate(features, labels, 5, 1,
+                              EvalMetric::kMisclassification, trainer,
+                              &cv_rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().mean, 0.1);
+  EXPECT_GE(result.value().stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace ldp::ml

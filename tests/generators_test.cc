@@ -1,0 +1,136 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace ldp::data {
+namespace {
+
+using ::ldp::testing::Integrate;
+using ::ldp::testing::MeanTolerance;
+using ::ldp::testing::SampleStats;
+
+TEST(MakeNumericSchemaTest, NamesAndBounds) {
+  const Schema schema = MakeNumericSchema(3);
+  EXPECT_EQ(schema.num_columns(), 3u);
+  EXPECT_EQ(schema.column(0).name, "x0");
+  EXPECT_EQ(schema.column(2).name, "x2");
+  for (uint32_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(schema.column(j).type, ColumnType::kNumeric);
+    EXPECT_EQ(schema.column(j).lo, -1.0);
+    EXPECT_EQ(schema.column(j).hi, 1.0);
+  }
+}
+
+TEST(TruncatedGaussianTest, RespectsBoundsAndMoments) {
+  Rng rng(1);
+  auto dataset = MakeTruncatedGaussian(4, 50000, 0.0, 0.25, &rng);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset.value().num_rows(), 50000u);
+  for (uint32_t col = 0; col < 4; ++col) {
+    RunningStats stats;
+    for (const double x : dataset.value().numeric_column(col)) {
+      ASSERT_GE(x, -1.0);
+      ASSERT_LE(x, 1.0);
+      stats.Add(x);
+    }
+    // σ = 1/4 means truncation at ±4σ barely matters: mean ≈ 0, var ≈ 1/16.
+    EXPECT_NEAR(stats.Mean(), 0.0, MeanTolerance(stats, 6.0));
+    EXPECT_NEAR(stats.SampleVariance(), 1.0 / 16.0, 0.002);
+  }
+}
+
+TEST(TruncatedGaussianTest, ShiftedMeanIsTruncatedUpward) {
+  Rng rng(2);
+  auto dataset = MakeTruncatedGaussian(1, 50000, 1.0, 0.25, &rng);
+  ASSERT_TRUE(dataset.ok());
+  RunningStats stats;
+  for (const double x : dataset.value().numeric_column(0)) stats.Add(x);
+  // Mass above 1 is cut, so the realised mean sits below 1.
+  EXPECT_LT(stats.Mean(), 1.0);
+  EXPECT_GT(stats.Mean(), 0.8);
+  EXPECT_LE(stats.Max(), 1.0);
+}
+
+TEST(TruncatedGaussianTest, ValidatesParameters) {
+  Rng rng(3);
+  EXPECT_FALSE(MakeTruncatedGaussian(0, 10, 0.0, 0.25, &rng).ok());
+  EXPECT_FALSE(MakeTruncatedGaussian(2, 10, 5.0, 0.25, &rng).ok());
+  EXPECT_FALSE(MakeTruncatedGaussian(2, 10, 0.0, 0.0, &rng).ok());
+  EXPECT_FALSE(MakeTruncatedGaussian(2, 10, 0.0, 11.0, &rng).ok());
+}
+
+TEST(UniformTest, MomentsMatch) {
+  Rng rng(4);
+  auto dataset = MakeUniform(2, 100000, &rng);
+  ASSERT_TRUE(dataset.ok());
+  for (uint32_t col = 0; col < 2; ++col) {
+    RunningStats stats;
+    for (const double x : dataset.value().numeric_column(col)) {
+      ASSERT_GE(x, -1.0);
+      ASSERT_LT(x, 1.0);
+      stats.Add(x);
+    }
+    EXPECT_NEAR(stats.Mean(), 0.0, MeanTolerance(stats, 6.0));
+    EXPECT_NEAR(stats.SampleVariance(), 1.0 / 3.0, 0.01);
+  }
+}
+
+TEST(PowerLawTest, MatchesAnalyticMoments) {
+  // pdf ∝ (x+2)^{-10} on [-1, 1] — the paper's Fig. 6b distribution.
+  const double c = 2.0, gamma = 10.0;
+  auto pdf_unnorm = [&](double x) { return std::pow(x + c, -gamma); };
+  const double z = Integrate(pdf_unnorm, -1.0, 1.0, 200000);
+  const double expected_mean =
+      Integrate([&](double x) { return x * pdf_unnorm(x); }, -1.0, 1.0,
+                200000) /
+      z;
+  Rng rng(5);
+  auto dataset = MakePowerLaw(1, 200000, c, gamma, &rng);
+  ASSERT_TRUE(dataset.ok());
+  RunningStats stats;
+  for (const double x : dataset.value().numeric_column(0)) {
+    ASSERT_GE(x, -1.0);
+    ASSERT_LE(x, 1.0);
+    stats.Add(x);
+  }
+  EXPECT_NEAR(stats.Mean(), expected_mean, MeanTolerance(stats, 6.0));
+  // Heavy skew towards -1.
+  EXPECT_LT(stats.Mean(), -0.5);
+}
+
+TEST(PowerLawTest, ValidatesParameters) {
+  Rng rng(6);
+  EXPECT_FALSE(MakePowerLaw(2, 10, 1.0, 10.0, &rng).ok());   // offset <= 1
+  EXPECT_FALSE(MakePowerLaw(2, 10, 2.0, 1.0, &rng).ok());    // exponent <= 1
+  EXPECT_FALSE(MakePowerLaw(0, 10, 2.0, 10.0, &rng).ok());   // dimension 0
+  EXPECT_TRUE(MakePowerLaw(2, 10, 2.0, 10.0, &rng).ok());
+}
+
+TEST(GeneratorsTest, DeterministicInSeed) {
+  Rng rng_a(7), rng_b(7);
+  auto a = MakeUniform(3, 100, &rng_a);
+  auto b = MakeUniform(3, 100, &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (uint32_t col = 0; col < 3; ++col) {
+    EXPECT_EQ(a.value().numeric_column(col), b.value().numeric_column(col));
+  }
+}
+
+TEST(SampleHelpersTest, SingleDraws) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double g = SampleTruncatedGaussian(0.5, 0.25, &rng);
+    EXPECT_GE(g, -1.0);
+    EXPECT_LE(g, 1.0);
+    const double p = SamplePowerLaw(2.0, 10.0, &rng);
+    EXPECT_GE(p, -1.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ldp::data

@@ -1,0 +1,155 @@
+#include "frequency/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "frequency/oue.h"
+#include "test_util.h"
+
+namespace ldp {
+namespace {
+
+TEST(FrequencyEstimatorTest, StartsEmpty) {
+  const OueOracle oracle(1.0, 4);
+  FrequencyEstimator estimator(&oracle);
+  EXPECT_EQ(estimator.count(), 0u);
+  EXPECT_EQ(estimator.support().size(), 4u);
+  const std::vector<double> est = estimator.RawEstimate();
+  EXPECT_EQ(est, (std::vector<double>{0.0, 0.0, 0.0, 0.0}));
+}
+
+TEST(FrequencyEstimatorTest, AccumulatesSupportCounts) {
+  const OueOracle oracle(1.0, 3);
+  FrequencyEstimator estimator(&oracle);
+  estimator.Add({0, 2});
+  estimator.Add({1});
+  EXPECT_EQ(estimator.count(), 2u);
+  EXPECT_EQ(estimator.support()[0], 1.0);
+  EXPECT_EQ(estimator.support()[1], 1.0);
+  EXPECT_EQ(estimator.support()[2], 1.0);
+}
+
+TEST(FrequencyEstimatorTest, ClampedEstimateStaysInUnitInterval) {
+  const OueOracle oracle(0.5, 8);
+  Rng rng(1);
+  FrequencyEstimator estimator(&oracle);
+  // Few reports → raw estimates will stray outside [0, 1].
+  for (int i = 0; i < 20; ++i) estimator.Add(oracle.Perturb(0, &rng));
+  for (const double f : estimator.ClampedEstimate()) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(FrequencyEstimatorTest, ProjectedEstimateIsADistribution) {
+  const OueOracle oracle(0.5, 8);
+  Rng rng(2);
+  FrequencyEstimator estimator(&oracle);
+  for (int i = 0; i < 50; ++i) {
+    estimator.Add(oracle.Perturb(static_cast<uint32_t>(i % 8), &rng));
+  }
+  const std::vector<double> projected = estimator.ProjectedEstimate();
+  double total = 0.0;
+  for (const double f : projected) {
+    EXPECT_GE(f, 0.0);
+    total += f;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ProjectOntoSimplexTest, DistributionIsFixedPoint) {
+  const std::vector<double> p = {0.2, 0.5, 0.3};
+  const std::vector<double> projected = ProjectOntoSimplex(p);
+  for (size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NEAR(projected[i], p[i], 1e-12);
+  }
+}
+
+TEST(ProjectOntoSimplexTest, UniformShiftIsRemoved) {
+  // Projection of p + c·1 equals projection of p when p is a distribution.
+  const std::vector<double> shifted = {0.2 + 0.7, 0.5 + 0.7, 0.3 + 0.7};
+  const std::vector<double> projected = ProjectOntoSimplex(shifted);
+  EXPECT_NEAR(projected[0], 0.2, 1e-12);
+  EXPECT_NEAR(projected[1], 0.5, 1e-12);
+  EXPECT_NEAR(projected[2], 0.3, 1e-12);
+}
+
+TEST(ProjectOntoSimplexTest, NegativeEntriesAreZeroedOut) {
+  const std::vector<double> projected = ProjectOntoSimplex({1.4, -0.5, 0.3});
+  EXPECT_EQ(projected[1], 0.0);
+  EXPECT_NEAR(std::accumulate(projected.begin(), projected.end(), 0.0), 1.0,
+              1e-12);
+}
+
+TEST(ProjectOntoSimplexTest, SingletonProjectsToOne) {
+  EXPECT_EQ(ProjectOntoSimplex({-3.0}), std::vector<double>{1.0});
+  EXPECT_EQ(ProjectOntoSimplex({42.0}), std::vector<double>{1.0});
+}
+
+class SimplexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST_P(SimplexPropertyTest, ProjectionIsValidAndIdempotent) {
+  Rng rng(GetParam());
+  const size_t k = 2 + rng.UniformIndex(20);
+  std::vector<double> v(k);
+  for (double& x : v) x = rng.Uniform(-2.0, 2.0);
+  const std::vector<double> p = ProjectOntoSimplex(v);
+  double total = 0.0;
+  for (const double f : p) {
+    EXPECT_GE(f, 0.0);
+    total += f;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Idempotence.
+  const std::vector<double> p2 = ProjectOntoSimplex(p);
+  for (size_t i = 0; i < k; ++i) EXPECT_NEAR(p2[i], p[i], 1e-9);
+}
+
+TEST_P(SimplexPropertyTest, ProjectionMinimisesEuclideanDistance) {
+  // Compare against random candidate points on the simplex: none may be
+  // closer to v than the projection.
+  Rng rng(GetParam() + 100);
+  const size_t k = 4;
+  std::vector<double> v(k);
+  for (double& x : v) x = rng.Uniform(-1.5, 1.5);
+  const std::vector<double> p = ProjectOntoSimplex(v);
+  auto dist2 = [&](const std::vector<double>& q) {
+    double s = 0.0;
+    for (size_t i = 0; i < k; ++i) s += (q[i] - v[i]) * (q[i] - v[i]);
+    return s;
+  };
+  const double projected_dist = dist2(p);
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Random simplex point via normalised exponentials.
+    std::vector<double> q(k);
+    double total = 0.0;
+    for (double& x : q) {
+      x = rng.Exponential(1.0);
+      total += x;
+    }
+    for (double& x : q) x /= total;
+    EXPECT_GE(dist2(q), projected_dist - 1e-9);
+  }
+}
+
+TEST(EstimateFrequenciesTest, EndToEndMatchesManualAccumulation) {
+  const OueOracle oracle(1.0, 4);
+  const std::vector<uint32_t> values = {0, 1, 2, 3, 0, 0};
+  Rng rng_a(9), rng_b(9);
+  const std::vector<double> via_helper =
+      EstimateFrequencies(oracle, values, &rng_a);
+  FrequencyEstimator estimator(&oracle);
+  for (const uint32_t v : values) estimator.Add(oracle.Perturb(v, &rng_b));
+  const std::vector<double> manual = estimator.RawEstimate();
+  for (size_t v = 0; v < 4; ++v) {
+    EXPECT_DOUBLE_EQ(via_helper[v], manual[v]);
+  }
+}
+
+}  // namespace
+}  // namespace ldp

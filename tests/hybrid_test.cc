@@ -1,0 +1,167 @@
+#include "core/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+#include "util/math.h"
+
+namespace ldp {
+namespace {
+
+using ::ldp::testing::MeanTolerance;
+using ::ldp::testing::SampleStats;
+using ::ldp::testing::VarianceRelTolerance;
+
+constexpr uint64_t kSamples = 200000;
+
+TEST(HybridMechanismTest, OptimalAlphaMatchesEquation7) {
+  // α = 1 − e^{−ε/2} above ε*, 0 below.
+  EXPECT_DOUBLE_EQ(HybridMechanism::OptimalAlpha(0.3), 0.0);
+  EXPECT_DOUBLE_EQ(HybridMechanism::OptimalAlpha(EpsilonStar()), 0.0);
+  const double eps = 2.0;
+  EXPECT_DOUBLE_EQ(HybridMechanism::OptimalAlpha(eps),
+                   1.0 - std::exp(-eps / 2.0));
+  EXPECT_GT(HybridMechanism::OptimalAlpha(EpsilonStar() + 1e-6), 0.0);
+}
+
+TEST(HybridMechanismTest, DefaultConstructorUsesOptimalAlpha) {
+  const HybridMechanism mech(1.5);
+  EXPECT_DOUBLE_EQ(mech.alpha(), HybridMechanism::OptimalAlpha(1.5));
+}
+
+TEST(HybridMechanismTest, BelowEpsilonStarReducesToDuchi) {
+  const HybridMechanism mech(0.4);
+  EXPECT_DOUBLE_EQ(mech.alpha(), 0.0);
+  // All outputs are two-point (Duchi) outputs.
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const double out = mech.Perturb(0.2, &rng);
+    EXPECT_TRUE(out == mech.duchi().bound() || out == -mech.duchi().bound());
+  }
+  EXPECT_DOUBLE_EQ(mech.OutputBound(), mech.duchi().bound());
+}
+
+TEST(HybridMechanismTest, AboveEpsilonStarMixesBothComponents) {
+  const HybridMechanism mech(2.0);
+  Rng rng(2);
+  int two_point = 0, continuous = 0;
+  const double b = mech.duchi().bound();
+  for (int i = 0; i < 20000; ++i) {
+    const double out = mech.Perturb(0.0, &rng);
+    if (out == b || out == -b) {
+      ++two_point;
+    } else {
+      ++continuous;
+    }
+  }
+  EXPECT_GT(two_point, 0);
+  EXPECT_GT(continuous, 0);
+  // The PM share should be close to α.
+  EXPECT_NEAR(static_cast<double>(continuous) / 20000.0, mech.alpha(), 0.02);
+}
+
+class HybridBudgetTest : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Budgets, HybridBudgetTest,
+                         ::testing::Values(0.3, 0.61, 1.0, 1.29, 2.0, 4.0));
+
+TEST_P(HybridBudgetTest, PerturbIsUnbiased) {
+  const HybridMechanism mech(GetParam());
+  Rng rng(3);
+  for (const double t : {-1.0, -0.5, 0.0, 0.5, 1.0}) {
+    RunningStats stats = SampleStats(
+        kSamples, &rng, [&](Rng* r) { return mech.Perturb(t, r); });
+    EXPECT_NEAR(stats.Mean(), t, MeanTolerance(stats, 6.0)) << "t=" << t;
+  }
+}
+
+TEST_P(HybridBudgetTest, EmpiricalVarianceMatchesMixtureFormula) {
+  const HybridMechanism mech(GetParam());
+  Rng rng(4);
+  for (const double t : {0.0, 0.6, 1.0}) {
+    RunningStats stats = SampleStats(
+        kSamples, &rng, [&](Rng* r) { return mech.Perturb(t, r); });
+    EXPECT_NEAR(stats.SampleVariance(), mech.Variance(t),
+                mech.Variance(t) * VarianceRelTolerance(kSamples))
+        << "t=" << t;
+  }
+}
+
+TEST_P(HybridBudgetTest, WorstCaseMatchesEquation8) {
+  const double eps = GetParam();
+  const HybridMechanism mech(eps);
+  EXPECT_NEAR(mech.WorstCaseVariance(),
+              HybridMechanism::OptimalWorstCaseVariance(eps), 1e-9);
+}
+
+TEST_P(HybridBudgetTest, OutputStaysWithinBound) {
+  const HybridMechanism mech(GetParam());
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LE(std::abs(mech.Perturb(0.7, &rng)),
+              mech.OutputBound() * (1.0 + 1e-12));
+  }
+}
+
+TEST(HybridMechanismTest, OptimalAlphaCancelsInputDependence) {
+  // With α = 1 − e^{−ε/2} the t² coefficients of the two components cancel,
+  // so the mixture variance is the same for every input.
+  const HybridMechanism mech(2.0);
+  EXPECT_NEAR(mech.Variance(0.0), mech.Variance(1.0), 1e-12);
+  EXPECT_NEAR(mech.Variance(0.3), mech.Variance(-0.8), 1e-12);
+}
+
+TEST(HybridMechanismTest, Corollary1AboveEpsilonStar) {
+  // For ε > ε*: MaxVar_HM < min(MaxVar_PM, MaxVar_Duchi).
+  for (const double eps : {0.65, 1.0, 1.29, 2.0, 4.0, 8.0}) {
+    const HybridMechanism hm(eps);
+    EXPECT_LT(hm.WorstCaseVariance(), hm.piecewise().WorstCaseVariance())
+        << "eps=" << eps;
+    EXPECT_LT(hm.WorstCaseVariance(), hm.duchi().WorstCaseVariance())
+        << "eps=" << eps;
+  }
+}
+
+TEST(HybridMechanismTest, Corollary1BelowEpsilonStar) {
+  // For ε <= ε*: MaxVar_HM = MaxVar_Duchi < MaxVar_PM. Note ε* ≈ 0.6092, so
+  // 0.61 (the paper's rounded value) is already *above* the threshold.
+  for (const double eps : {0.2, 0.4, 0.609}) {
+    const HybridMechanism hm(eps);
+    EXPECT_DOUBLE_EQ(hm.WorstCaseVariance(), hm.duchi().WorstCaseVariance());
+    EXPECT_LT(hm.WorstCaseVariance(), hm.piecewise().WorstCaseVariance())
+        << "eps=" << eps;
+  }
+}
+
+TEST(HybridMechanismTest, ExplicitAlphaOverride) {
+  const HybridMechanism pure_pm(2.0, 1.0);
+  const HybridMechanism pure_duchi(2.0, 0.0);
+  EXPECT_DOUBLE_EQ(pure_pm.alpha(), 1.0);
+  EXPECT_NEAR(pure_pm.Variance(0.5), pure_pm.piecewise().Variance(0.5),
+              1e-12);
+  EXPECT_NEAR(pure_duchi.Variance(0.5), pure_duchi.duchi().Variance(0.5),
+              1e-12);
+}
+
+TEST(HybridMechanismTest, OptimalAlphaMinimisesWorstCase) {
+  // Lemma 3: sweeping α on a grid never beats the closed-form optimum.
+  for (const double eps : {0.4, 0.8, 1.5, 3.0}) {
+    const double optimal_worst = HybridMechanism(eps).WorstCaseVariance();
+    for (double alpha = 0.0; alpha <= 1.0; alpha += 0.05) {
+      const HybridMechanism swept(eps, alpha);
+      EXPECT_GE(swept.WorstCaseVariance(), optimal_worst - 1e-9)
+          << "eps=" << eps << " alpha=" << alpha;
+    }
+  }
+}
+
+TEST(HybridMechanismTest, NameAndEpsilon) {
+  const HybridMechanism mech(1.0);
+  EXPECT_STREQ(mech.name(), "HM");
+  EXPECT_DOUBLE_EQ(mech.epsilon(), 1.0);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,82 @@
+#include "baselines/laplace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace ldp {
+namespace {
+
+using ::ldp::testing::MeanTolerance;
+using ::ldp::testing::SampleStats;
+using ::ldp::testing::VarianceRelTolerance;
+
+constexpr uint64_t kSamples = 200000;
+
+TEST(LaplaceMechanismTest, ScaleIsTwoOverEpsilon) {
+  EXPECT_DOUBLE_EQ(LaplaceMechanism(1.0).scale(), 2.0);
+  EXPECT_DOUBLE_EQ(LaplaceMechanism(4.0).scale(), 0.5);
+}
+
+TEST(LaplaceMechanismTest, VarianceIsInputIndependent) {
+  const LaplaceMechanism mech(2.0);
+  EXPECT_DOUBLE_EQ(mech.Variance(0.0), 8.0 / 4.0);
+  EXPECT_DOUBLE_EQ(mech.Variance(1.0), mech.Variance(-0.7));
+  EXPECT_DOUBLE_EQ(mech.WorstCaseVariance(), mech.Variance(0.0));
+}
+
+TEST(LaplaceMechanismTest, UnboundedOutput) {
+  EXPECT_TRUE(std::isinf(LaplaceMechanism(1.0).OutputBound()));
+}
+
+TEST(LaplaceMechanismTest, PerturbIsUnbiased) {
+  const LaplaceMechanism mech(1.0);
+  Rng rng(1);
+  for (const double t : {-1.0, -0.4, 0.0, 0.7, 1.0}) {
+    RunningStats stats = SampleStats(
+        kSamples, &rng, [&](Rng* r) { return mech.Perturb(t, r); });
+    EXPECT_NEAR(stats.Mean(), t, MeanTolerance(stats)) << "t=" << t;
+  }
+}
+
+TEST(LaplaceMechanismTest, EmpiricalVarianceMatchesClosedForm) {
+  for (const double eps : {0.5, 1.0, 4.0}) {
+    const LaplaceMechanism mech(eps);
+    Rng rng(2);
+    RunningStats stats = SampleStats(
+        kSamples, &rng, [&](Rng* r) { return mech.Perturb(0.3, r); });
+    EXPECT_NEAR(stats.SampleVariance(), mech.Variance(0.3),
+                mech.Variance(0.3) * VarianceRelTolerance(kSamples))
+        << "eps=" << eps;
+  }
+}
+
+TEST(LaplaceMechanismTest, SatisfiesLdpDensityRatio) {
+  // The output density at any point x for inputs t, t' differs by at most
+  // e^{ε |t - t'| / scale·...}; with scale 2/ε and |t-t'| <= 2, the ratio is
+  // bounded by e^ε. Verify on a grid using the closed-form Laplace density.
+  const double eps = 1.3;
+  const LaplaceMechanism mech(eps);
+  const double scale = mech.scale();
+  auto pdf = [scale](double t, double x) {
+    return std::exp(-std::abs(x - t) / scale) / (2.0 * scale);
+  };
+  for (double t1 = -1.0; t1 <= 1.0; t1 += 0.25) {
+    for (double t2 = -1.0; t2 <= 1.0; t2 += 0.25) {
+      for (double x = -6.0; x <= 6.0; x += 0.3) {
+        EXPECT_LE(pdf(t1, x) / pdf(t2, x), std::exp(eps) * (1.0 + 1e-12));
+      }
+    }
+  }
+}
+
+TEST(LaplaceMechanismTest, NameAndEpsilonAccessors) {
+  const LaplaceMechanism mech(0.8);
+  EXPECT_STREQ(mech.name(), "Laplace");
+  EXPECT_DOUBLE_EQ(mech.epsilon(), 0.8);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,122 @@
+#include "ml/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ldp::ml {
+namespace {
+
+// Finite-difference gradient check shared by all loss kinds.
+void CheckGradientNumerically(LossKind kind, double lambda,
+                              const std::vector<double>& x, double y,
+                              const std::vector<double>& beta) {
+  const ErmObjective objective(kind, lambda);
+  std::vector<double> grad;
+  objective.ExampleGradient(x.data(), y, beta, &grad);
+  ASSERT_EQ(grad.size(), beta.size());
+  const double h = 1e-6;
+  for (size_t j = 0; j < beta.size(); ++j) {
+    std::vector<double> plus = beta, minus = beta;
+    plus[j] += h;
+    minus[j] -= h;
+    const double numeric =
+        (objective.ExampleLoss(x.data(), y, plus) -
+         objective.ExampleLoss(x.data(), y, minus)) /
+        (2.0 * h);
+    EXPECT_NEAR(grad[j], numeric, 1e-4)
+        << LossKindToString(kind) << " coordinate " << j;
+  }
+}
+
+class LossGradientTest : public ::testing::TestWithParam<LossKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllLosses, LossGradientTest,
+                         ::testing::Values(LossKind::kSquared,
+                                           LossKind::kLogistic,
+                                           LossKind::kHinge));
+
+TEST_P(LossGradientTest, GradientMatchesFiniteDifference) {
+  // Points chosen away from the hinge kink so the subgradient is a gradient.
+  CheckGradientNumerically(GetParam(), 1e-3, {0.5, -0.3, 0.8}, 1.0,
+                           {0.2, 0.1, -0.4});
+  CheckGradientNumerically(GetParam(), 0.0, {0.9, 0.2, -0.1}, -1.0,
+                           {-0.5, 0.3, 0.2});
+  CheckGradientNumerically(GetParam(), 0.1, {0.0, 0.0, 0.0}, 1.0,
+                           {0.4, -0.2, 0.6});
+}
+
+TEST(LossTest, SquaredLossValues) {
+  const ErmObjective objective(LossKind::kSquared, 0.0);
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> beta = {0.5, 0.25};
+  // score = 1.0, y = 0 → loss 1.
+  EXPECT_NEAR(objective.ExampleLoss(x.data(), 0.0, beta), 1.0, 1e-12);
+  EXPECT_NEAR(objective.Score(x.data(), beta), 1.0, 1e-12);
+}
+
+TEST(LossTest, LogisticLossValues) {
+  const ErmObjective objective(LossKind::kLogistic, 0.0);
+  const std::vector<double> x = {1.0};
+  const std::vector<double> beta = {0.0};
+  // score 0 → log(2).
+  EXPECT_NEAR(objective.ExampleLoss(x.data(), 1.0, beta), std::log(2.0),
+              1e-12);
+}
+
+TEST(LossTest, LogisticLossStableAtExtremeScores) {
+  const ErmObjective objective(LossKind::kLogistic, 0.0);
+  const std::vector<double> x = {1.0};
+  const std::vector<double> beta_big = {500.0};
+  // Correctly-classified extreme margin: loss → 0 without overflow.
+  EXPECT_NEAR(objective.ExampleLoss(x.data(), 1.0, beta_big), 0.0, 1e-12);
+  // Misclassified extreme margin: loss ≈ |margin| without overflow.
+  const double loss = objective.ExampleLoss(x.data(), -1.0, beta_big);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 500.0, 1e-6);
+}
+
+TEST(LossTest, HingeLossValues) {
+  const ErmObjective objective(LossKind::kHinge, 0.0);
+  const std::vector<double> x = {1.0};
+  std::vector<double> beta = {2.0};
+  // margin = 2 > 1: no loss, no gradient.
+  EXPECT_EQ(objective.ExampleLoss(x.data(), 1.0, beta), 0.0);
+  std::vector<double> grad;
+  objective.ExampleGradient(x.data(), 1.0, beta, &grad);
+  EXPECT_EQ(grad[0], 0.0);
+  // margin = -2: loss 3, gradient -y·x.
+  EXPECT_EQ(objective.ExampleLoss(x.data(), -1.0, beta), 3.0);
+  objective.ExampleGradient(x.data(), -1.0, beta, &grad);
+  EXPECT_EQ(grad[0], 1.0);
+}
+
+TEST(LossTest, RegularizerAddsLambdaBeta) {
+  const ErmObjective with_reg(LossKind::kSquared, 0.5);
+  const ErmObjective without_reg(LossKind::kSquared, 0.0);
+  const std::vector<double> x = {1.0, 0.0};
+  const std::vector<double> beta = {0.4, -0.6};
+  EXPECT_NEAR(with_reg.ExampleLoss(x.data(), 0.0, beta) -
+                  without_reg.ExampleLoss(x.data(), 0.0, beta),
+              0.25 * (0.16 + 0.36), 1e-12);
+  std::vector<double> g1, g0;
+  with_reg.ExampleGradient(x.data(), 0.0, beta, &g1);
+  without_reg.ExampleGradient(x.data(), 0.0, beta, &g0);
+  EXPECT_NEAR(g1[1] - g0[1], 0.5 * -0.6, 1e-12);
+}
+
+TEST(ClipGradientTest, ClipsEveryCoordinate) {
+  std::vector<double> grad = {-3.0, -1.0, 0.5, 1.0, 7.0};
+  ClipGradient(&grad);
+  EXPECT_EQ(grad, (std::vector<double>{-1.0, -1.0, 0.5, 1.0, 1.0}));
+}
+
+TEST(LossKindTest, Names) {
+  EXPECT_STREQ(LossKindToString(LossKind::kSquared), "linear");
+  EXPECT_STREQ(LossKindToString(LossKind::kLogistic), "logistic");
+  EXPECT_STREQ(LossKindToString(LossKind::kHinge), "svm");
+}
+
+}  // namespace
+}  // namespace ldp::ml

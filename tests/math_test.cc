@@ -1,0 +1,134 @@
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/variance.h"
+
+namespace ldp {
+namespace {
+
+TEST(LogBinomialTest, MatchesSmallExactValues) {
+  EXPECT_NEAR(LogBinomial(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-10);
+  EXPECT_NEAR(LogBinomial(10, 5), std::log(252.0), 1e-10);
+  EXPECT_NEAR(LogBinomial(20, 0), 0.0, 1e-10);
+  EXPECT_NEAR(LogBinomial(20, 20), 0.0, 1e-10);
+}
+
+TEST(LogBinomialTest, LargeArgumentsStayFinite) {
+  const double log_c = LogBinomial(4000000, 2000000);
+  EXPECT_TRUE(std::isfinite(log_c));
+  // C(n, n/2) ~ 2^n / sqrt(pi n / 2).
+  const double approx = 4000000 * std::log(2.0) -
+                        0.5 * std::log(M_PI * 4000000 / 2.0);
+  EXPECT_NEAR(log_c, approx, 1.0);
+}
+
+TEST(BinomialCoefficientTest, SmallExactValues) {
+  EXPECT_EQ(static_cast<double>(BinomialCoefficient(6, 3)), 20.0);
+  EXPECT_EQ(static_cast<double>(BinomialCoefficient(10, 1)), 10.0);
+  EXPECT_EQ(static_cast<double>(BinomialCoefficient(10, 10)), 1.0);
+  EXPECT_NEAR(static_cast<double>(BinomialCoefficient(52, 5)), 2598960.0,
+              1e-3);
+}
+
+TEST(EpsilonStarTest, MatchesPaperValue) {
+  // The paper states ε* ≈ 0.61.
+  EXPECT_NEAR(EpsilonStar(), 0.61, 0.005);
+}
+
+TEST(EpsilonStarTest, IsTheHmRegimeBoundary) {
+  // ε* is where the two branches of HM's worst-case variance (Eq. 8) meet:
+  // just below ε*, pure Duchi is optimal; just above, the mixture wins.
+  const double eps = EpsilonStar();
+  const double below = HybridWorstCaseVariance(eps - 1e-6);
+  const double at = DuchiWorstCaseVariance(eps - 1e-6);
+  EXPECT_DOUBLE_EQ(below, at);
+  // Continuity at the boundary: the two Eq. 8 branches agree at ε*.
+  EXPECT_NEAR(HybridWorstCaseVariance(eps + 1e-9),
+              HybridWorstCaseVariance(eps - 1e-9), 1e-6);
+}
+
+TEST(EpsilonSharpTest, MatchesPaperValue) {
+  // The paper states ε# ≈ 1.29.
+  EXPECT_NEAR(EpsilonSharp(), 1.29, 0.005);
+}
+
+TEST(EpsilonSharpTest, IsThePmDuchiCrossing) {
+  // ε# is defined as the budget where PM's and Duchi's worst-case variances
+  // are equal.
+  const double eps = EpsilonSharp();
+  EXPECT_NEAR(PiecewiseWorstCaseVariance(eps), DuchiWorstCaseVariance(eps),
+              1e-9);
+  // PM is strictly worse below and strictly better above.
+  EXPECT_GT(PiecewiseWorstCaseVariance(eps - 0.1),
+            DuchiWorstCaseVariance(eps - 0.1));
+  EXPECT_LT(PiecewiseWorstCaseVariance(eps + 0.1),
+            DuchiWorstCaseVariance(eps + 0.1));
+}
+
+TEST(SigmoidTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(1.0), 1.0 / (1.0 + std::exp(-1.0)), 1e-12);
+  EXPECT_NEAR(Sigmoid(-1.0), 1.0 - Sigmoid(1.0), 1e-12);
+}
+
+TEST(SigmoidTest, SaturatesWithoutOverflow) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(Sigmoid(710.0)));
+  EXPECT_TRUE(std::isfinite(Sigmoid(-710.0)));
+}
+
+TEST(ClampTest, ClampsBothSides) {
+  EXPECT_EQ(Clamp(5.0, -1.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, -1.0, 1.0), -1.0);
+  EXPECT_EQ(Clamp(0.25, -1.0, 1.0), 0.25);
+  EXPECT_EQ(Clamp(1.0, 1.0, 1.0), 1.0);
+}
+
+TEST(BisectTest, FindsSimpleRoot) {
+  const double root =
+      Bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0, 1e-12);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-10);
+}
+
+TEST(BisectTest, HandlesRootAtEndpoint) {
+  EXPECT_DOUBLE_EQ(Bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Bisect([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(BisectTest, RecoversEpsilonSharpNumerically) {
+  // Cross-check the closed form against a direct numeric solve of
+  // MaxVarPM(ε) = MaxVarDuchi(ε).
+  const double root = Bisect(
+      [](double eps) {
+        return PiecewiseWorstCaseVariance(eps) - DuchiWorstCaseVariance(eps);
+      },
+      0.5, 3.0, 1e-12);
+  EXPECT_NEAR(root, EpsilonSharp(), 1e-9);
+}
+
+TEST(BisectTest, RecoversEpsilonStarNumerically) {
+  // ε* solves: the optimal-α mixture's variance at t=0 equals Duchi's worst
+  // case, i.e. the point below which α = 0 becomes optimal. Equivalently it
+  // is the root of d/dα MaxVar at α=0, which reduces to
+  // MaxVarHM(first branch)(ε) = MaxVarDuchi(ε).
+  const double root = Bisect(
+      [](double eps) {
+        const double e_half = std::exp(eps / 2.0);
+        const double e_full = std::exp(eps);
+        const double mixture =
+            (e_half + 3.0) / (3.0 * e_half * (e_half - 1.0)) +
+            (e_full + 1.0) * (e_full + 1.0) /
+                (e_half * (e_full - 1.0) * (e_full - 1.0));
+        return mixture - DuchiWorstCaseVariance(eps);
+      },
+      0.3, 1.0, 1e-12);
+  EXPECT_NEAR(root, EpsilonStar(), 1e-9);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,84 @@
+#include "core/mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ldp {
+namespace {
+
+TEST(ValidateEpsilonTest, AcceptsPositiveFinite) {
+  EXPECT_TRUE(ValidateEpsilon(0.01).ok());
+  EXPECT_TRUE(ValidateEpsilon(8.0).ok());
+}
+
+TEST(ValidateEpsilonTest, RejectsNonPositive) {
+  EXPECT_FALSE(ValidateEpsilon(0.0).ok());
+  EXPECT_FALSE(ValidateEpsilon(-1.0).ok());
+}
+
+TEST(ValidateEpsilonTest, RejectsNonFinite) {
+  EXPECT_FALSE(ValidateEpsilon(std::numeric_limits<double>::infinity()).ok());
+  EXPECT_FALSE(ValidateEpsilon(std::nan("")).ok());
+}
+
+TEST(MechanismKindTest, NamesAreStable) {
+  EXPECT_STREQ(MechanismKindToString(MechanismKind::kLaplace), "Laplace");
+  EXPECT_STREQ(MechanismKindToString(MechanismKind::kScdf), "SCDF");
+  EXPECT_STREQ(MechanismKindToString(MechanismKind::kStaircase), "Staircase");
+  EXPECT_STREQ(MechanismKindToString(MechanismKind::kDuchi), "Duchi");
+  EXPECT_STREQ(MechanismKindToString(MechanismKind::kPiecewise), "PM");
+  EXPECT_STREQ(MechanismKindToString(MechanismKind::kHybrid), "HM");
+}
+
+class MechanismFactoryTest : public ::testing::TestWithParam<MechanismKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, MechanismFactoryTest,
+                         ::testing::Values(MechanismKind::kLaplace,
+                                           MechanismKind::kScdf,
+                                           MechanismKind::kStaircase,
+                                           MechanismKind::kDuchi,
+                                           MechanismKind::kPiecewise,
+                                           MechanismKind::kHybrid));
+
+TEST_P(MechanismFactoryTest, CreatesMatchingMechanism) {
+  auto result = MakeScalarMechanism(GetParam(), 1.0);
+  ASSERT_TRUE(result.ok());
+  const auto& mech = *result.value();
+  EXPECT_STREQ(mech.name(), MechanismKindToString(GetParam()));
+  EXPECT_DOUBLE_EQ(mech.epsilon(), 1.0);
+}
+
+TEST_P(MechanismFactoryTest, RejectsBadEpsilon) {
+  EXPECT_FALSE(MakeScalarMechanism(GetParam(), 0.0).ok());
+  EXPECT_FALSE(MakeScalarMechanism(GetParam(), -2.0).ok());
+  EXPECT_FALSE(MakeScalarMechanism(
+                   GetParam(), std::numeric_limits<double>::infinity())
+                   .ok());
+}
+
+TEST_P(MechanismFactoryTest, PerturbStaysWithinDeclaredBound) {
+  auto result = MakeScalarMechanism(GetParam(), 1.5);
+  ASSERT_TRUE(result.ok());
+  const auto& mech = *result.value();
+  const double bound = mech.OutputBound();
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const double out = mech.Perturb(0.4, &rng);
+    EXPECT_LE(std::abs(out), bound);
+  }
+}
+
+TEST_P(MechanismFactoryTest, WorstCaseDominatesPointwiseVariance) {
+  auto result = MakeScalarMechanism(GetParam(), 0.8);
+  ASSERT_TRUE(result.ok());
+  const auto& mech = *result.value();
+  for (double t = -1.0; t <= 1.0; t += 0.125) {
+    EXPECT_LE(mech.Variance(t), mech.WorstCaseVariance() * (1.0 + 1e-12))
+        << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,122 @@
+// Unified statistical regression net: one parameterized sweep asserting, for
+// EVERY scalar mechanism at every probed budget, the three contracts of the
+// ScalarMechanism interface — unbiasedness, the closed-form variance, and
+// the output bound. Complements the per-mechanism suites with a single net
+// that automatically covers mechanisms added later (it iterates the
+// MechanismKind factory).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "core/mechanism.h"
+#include "test_util.h"
+
+namespace ldp {
+namespace {
+
+using MechanismStatisticsParam = std::tuple<MechanismKind, double>;
+
+class MechanismStatisticsTest
+    : public ::testing::TestWithParam<MechanismStatisticsParam> {};
+
+std::string ParamName(
+    const ::testing::TestParamInfo<MechanismStatisticsParam>& info) {
+  const auto [kind, eps] = info.param;
+  return std::string(MechanismKindToString(kind)) + "_eps" +
+         std::to_string(static_cast<int>(eps * 10));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechanismsAllBudgets, MechanismStatisticsTest,
+    ::testing::Combine(::testing::Values(MechanismKind::kLaplace,
+                                         MechanismKind::kScdf,
+                                         MechanismKind::kStaircase,
+                                         MechanismKind::kDuchi,
+                                         MechanismKind::kPiecewise,
+                                         MechanismKind::kHybrid),
+                       ::testing::Values(0.3, 1.0, 4.0)),
+    ParamName);
+
+TEST_P(MechanismStatisticsTest, UnbiasedAtEveryProbedInput) {
+  const auto [kind, eps] = GetParam();
+  auto mech = MakeScalarMechanism(kind, eps);
+  ASSERT_TRUE(mech.ok());
+  Rng rng(17);
+  for (const double t : {-1.0, -0.5, 0.0, 0.5, 1.0}) {
+    RunningStats stats = ldp::testing::SampleStats(
+        120000, &rng, [&](Rng* r) { return mech.value()->Perturb(t, r); });
+    EXPECT_NEAR(stats.Mean(), t, ldp::testing::MeanTolerance(stats, 6.0))
+        << "t=" << t;
+  }
+}
+
+TEST_P(MechanismStatisticsTest, VarianceFormulaMatchesSampler) {
+  const auto [kind, eps] = GetParam();
+  auto mech = MakeScalarMechanism(kind, eps);
+  ASSERT_TRUE(mech.ok());
+  Rng rng(18);
+  for (const double t : {0.0, 0.7}) {
+    // Kurtosis-aware tolerance (see piecewise_test.cc): Var(s²)≈(m₄−σ⁴)/n.
+    const uint64_t n = 150000;
+    std::vector<double> samples(n);
+    for (double& x : samples) x = mech.value()->Perturb(t, &rng);
+    double mean = 0.0;
+    for (const double x : samples) mean += x;
+    mean /= static_cast<double>(n);
+    double s2 = 0.0, m4 = 0.0;
+    for (const double x : samples) {
+      const double d2 = (x - mean) * (x - mean);
+      s2 += d2;
+      m4 += d2 * d2;
+    }
+    s2 /= static_cast<double>(n - 1);
+    m4 /= static_cast<double>(n);
+    const double stderr_s2 =
+        std::sqrt(std::max(0.0, m4 - s2 * s2) / static_cast<double>(n));
+    // The relative floor covers the O(1/n) bias of the sample variance,
+    // which dominates for two-point outputs (Duchi, low-ε HM) where the
+    // kurtosis term vanishes at t = 0.
+    const double tolerance = 6.0 * stderr_s2 +
+                             mech.value()->Variance(t) * 10.0 /
+                                 static_cast<double>(n);
+    EXPECT_NEAR(s2, mech.value()->Variance(t), tolerance) << "t=" << t;
+  }
+}
+
+TEST_P(MechanismStatisticsTest, OutputsRespectDeclaredBound) {
+  const auto [kind, eps] = GetParam();
+  auto mech = MakeScalarMechanism(kind, eps);
+  ASSERT_TRUE(mech.ok());
+  const double bound = mech.value()->OutputBound();
+  Rng rng(19);
+  for (const double t : {-1.0, 0.0, 1.0}) {
+    for (int i = 0; i < 20000; ++i) {
+      const double out = mech.value()->Perturb(t, &rng);
+      ASSERT_TRUE(std::isfinite(out));
+      ASSERT_LE(std::abs(out), bound * (1.0 + 1e-12));
+    }
+  }
+}
+
+TEST_P(MechanismStatisticsTest, AveragingConcentratesOnTruth) {
+  // The aggregator's contract: the mean of many reports approaches the true
+  // mean with standard error √(Var/n) — checked at 5σ.
+  const auto [kind, eps] = GetParam();
+  auto mech = MakeScalarMechanism(kind, eps);
+  ASSERT_TRUE(mech.ok());
+  Rng rng(20);
+  const double t = 0.3;
+  const uint64_t n = 80000;
+  double sum = 0.0;
+  for (uint64_t i = 0; i < n; ++i) sum += mech.value()->Perturb(t, &rng);
+  const double estimate = sum / static_cast<double>(n);
+  const double sigma =
+      std::sqrt(mech.value()->Variance(t) / static_cast<double>(n));
+  EXPECT_NEAR(estimate, t, 5.0 * sigma);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,51 @@
+#include "aggregate/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ldp::aggregate {
+namespace {
+
+CollectionOutput SampleOutput() {
+  CollectionOutput out;
+  out.numeric_columns = {0, 2};
+  out.true_means = {0.5, -0.5};
+  out.estimated_means = {0.6, -0.8};
+  out.categorical_columns = {1};
+  out.true_frequencies = {{0.2, 0.8}};
+  out.estimated_frequencies = {{0.25, 0.7}};
+  return out;
+}
+
+TEST(MetricsTest, NumericMse) {
+  // ((0.1)² + (0.3)²) / 2 = 0.05.
+  EXPECT_NEAR(NumericMse(SampleOutput()), 0.05, 1e-12);
+}
+
+TEST(MetricsTest, CategoricalMse) {
+  // ((0.05)² + (0.1)²) / 2 = 0.00625.
+  EXPECT_NEAR(CategoricalMse(SampleOutput()), 0.00625, 1e-12);
+}
+
+TEST(MetricsTest, MaxAbsErrors) {
+  EXPECT_NEAR(NumericMaxAbsError(SampleOutput()), 0.3, 1e-12);
+  EXPECT_NEAR(CategoricalMaxAbsError(SampleOutput()), 0.1, 1e-12);
+}
+
+TEST(MetricsTest, EmptyOutputsGiveZero) {
+  CollectionOutput out;
+  EXPECT_EQ(NumericMse(out), 0.0);
+  EXPECT_EQ(CategoricalMse(out), 0.0);
+  EXPECT_EQ(NumericMaxAbsError(out), 0.0);
+  EXPECT_EQ(CategoricalMaxAbsError(out), 0.0);
+}
+
+TEST(MetricsTest, PerfectEstimatesGiveZero) {
+  CollectionOutput out = SampleOutput();
+  out.estimated_means = out.true_means;
+  out.estimated_frequencies = out.true_frequencies;
+  EXPECT_EQ(NumericMse(out), 0.0);
+  EXPECT_EQ(CategoricalMse(out), 0.0);
+}
+
+}  // namespace
+}  // namespace ldp::aggregate

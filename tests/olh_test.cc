@@ -1,0 +1,124 @@
+#include "frequency/olh.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "frequency/histogram.h"
+#include "test_util.h"
+
+namespace ldp {
+namespace {
+
+TEST(OlhOracleTest, HashRangeIsRoundExpEpsilonPlusOne) {
+  EXPECT_EQ(OlhOracle(1.0, 10).hash_range(),
+            static_cast<uint32_t>(std::lround(std::exp(1.0))) + 1);
+  EXPECT_EQ(OlhOracle(2.0, 10).hash_range(),
+            static_cast<uint32_t>(std::lround(std::exp(2.0))) + 1);
+  // Tiny budgets still get at least 2 buckets.
+  EXPECT_GE(OlhOracle(0.05, 10).hash_range(), 2u);
+}
+
+TEST(OlhOracleTest, PMatchesGrrOverBuckets) {
+  const double eps = 1.5;
+  const OlhOracle oracle(eps, 10);
+  const double e = std::exp(eps);
+  const double g = oracle.hash_range();
+  EXPECT_NEAR(oracle.p(), e / (e + g - 1.0), 1e-12);
+  EXPECT_NEAR(oracle.q(), 1.0 / g, 1e-12);
+}
+
+TEST(OlhHashTest, IsDeterministic) {
+  for (uint32_t v = 0; v < 50; ++v) {
+    EXPECT_EQ(OlhOracle::HashToBucket(12345, v, 7),
+              OlhOracle::HashToBucket(12345, v, 7));
+  }
+}
+
+TEST(OlhHashTest, BucketsAreNearUniform) {
+  const uint32_t range = 5;
+  std::vector<int> counts(range, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[OlhOracle::HashToBucket(static_cast<uint64_t>(i) * 2654435761u,
+                                     42, range)];
+  }
+  for (uint32_t b = 0; b < range; ++b) {
+    EXPECT_NEAR(counts[b], trials / static_cast<double>(range),
+                5.0 * std::sqrt(trials / static_cast<double>(range)));
+  }
+}
+
+TEST(OlhOracleTest, ReportLayoutIsSeedAndBucket) {
+  const OlhOracle oracle(1.0, 6);
+  Rng rng(1);
+  const auto report = oracle.Perturb(3, &rng);
+  ASSERT_EQ(report.size(), 3u);
+  EXPECT_LT(report[2], oracle.hash_range());
+}
+
+TEST(OlhOracleTest, ReportedBucketMatchesHashWithProbabilityP) {
+  const OlhOracle oracle(1.0, 6);
+  Rng rng(2);
+  const int trials = 60000;
+  int kept = 0;
+  for (int i = 0; i < trials; ++i) {
+    const auto report = oracle.Perturb(2, &rng);
+    const uint64_t seed = static_cast<uint64_t>(report[0]) |
+                          (static_cast<uint64_t>(report[1]) << 32);
+    if (OlhOracle::HashToBucket(seed, 2, oracle.hash_range()) == report[2]) {
+      ++kept;
+    }
+  }
+  EXPECT_NEAR(kept / static_cast<double>(trials), oracle.p(), 0.01);
+}
+
+TEST(OlhOracleTest, SatisfiesLdpOnBucketReports) {
+  // Given the (public) seed, the report is GRR over g buckets: the
+  // probability ratio for any output bucket across inputs is at most
+  // p / ((1-p)/(g-1)) = e^ε.
+  const double eps = 1.1;
+  const OlhOracle oracle(eps, 12);
+  const double worst = oracle.p() /
+                       ((1.0 - oracle.p()) / (oracle.hash_range() - 1.0));
+  EXPECT_NEAR(worst, std::exp(eps), 1e-9);
+}
+
+class OlhEndToEndTest : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Budgets, OlhEndToEndTest,
+                         ::testing::Values(0.5, 1.0, 2.0));
+
+TEST_P(OlhEndToEndTest, FrequencyEstimatesAreUnbiased) {
+  const double eps = GetParam();
+  const OlhOracle oracle(eps, 8);
+  Rng rng(3);
+  const uint64_t n = 60000;
+  std::vector<uint32_t> values;
+  for (uint64_t i = 0; i < n; ++i) {
+    values.push_back(rng.Bernoulli(0.5) ? 0u
+                                        : static_cast<uint32_t>(
+                                              rng.UniformIndex(8)));
+  }
+  std::vector<double> truth(8, 0.5 / 8.0);
+  truth[0] += 0.5;
+  const std::vector<double> est = EstimateFrequencies(oracle, values, &rng);
+  const double tolerance =
+      6.0 * std::sqrt(oracle.EstimateVariance(truth[0], n)) + 0.01;
+  for (uint32_t v = 0; v < 8; ++v) {
+    EXPECT_NEAR(est[v], truth[v], tolerance) << "v=" << v;
+  }
+}
+
+TEST(OlhOracleTest, VarianceComparableToOue) {
+  // With g = e^ε + 1 OLH matches OUE's variance; integer rounding of g keeps
+  // it within a small factor.
+  const double eps = 1.0;
+  const OlhOracle olh(eps, 20);
+  const double e = std::exp(eps);
+  const double oue_var = 4.0 * e / (1000.0 * (e - 1.0) * (e - 1.0));
+  EXPECT_NEAR(olh.EstimateVariance(0.0, 1000), oue_var, oue_var * 0.25);
+}
+
+}  // namespace
+}  // namespace ldp

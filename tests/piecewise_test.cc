@@ -1,0 +1,189 @@
+#include "core/piecewise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace ldp {
+namespace {
+
+using ::ldp::testing::Integrate;
+using ::ldp::testing::MeanTolerance;
+using ::ldp::testing::SampleStats;
+using ::ldp::testing::VarianceRelTolerance;
+
+constexpr uint64_t kSamples = 200000;
+
+TEST(PiecewiseMechanismTest, OutputRangeMatchesFormula) {
+  for (const double eps : {0.5, 1.0, 2.0, 4.0}) {
+    const double e_half = std::exp(eps / 2.0);
+    EXPECT_DOUBLE_EQ(PiecewiseMechanism(eps).c(),
+                     (e_half + 1.0) / (e_half - 1.0));
+  }
+}
+
+TEST(PiecewiseMechanismTest, CenterPieceGeometry) {
+  const PiecewiseMechanism mech(1.0);
+  const double c = mech.c();
+  // ℓ(t) = (C+1)/2·t − (C−1)/2, r(t) = ℓ(t) + C − 1.
+  for (const double t : {-1.0, -0.5, 0.0, 0.5, 1.0}) {
+    EXPECT_NEAR(mech.CenterLeft(t), (c + 1.0) / 2.0 * t - (c - 1.0) / 2.0,
+                1e-12);
+    EXPECT_NEAR(mech.CenterRight(t) - mech.CenterLeft(t), c - 1.0, 1e-12);
+  }
+  // At t = 1 the right piece vanishes: r(1) = C.
+  EXPECT_NEAR(mech.CenterRight(1.0), c, 1e-12);
+  // At t = -1 the left piece vanishes: ℓ(-1) = -C.
+  EXPECT_NEAR(mech.CenterLeft(-1.0), -c, 1e-12);
+}
+
+class PiecewisePdfTest : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Budgets, PiecewisePdfTest,
+                         ::testing::Values(0.3, 0.61, 1.0, 1.29, 2.0, 4.0,
+                                           8.0));
+
+TEST_P(PiecewisePdfTest, DensityIntegratesToOne) {
+  const PiecewiseMechanism mech(GetParam());
+  for (const double t : {-1.0, -0.5, 0.0, 0.3, 1.0}) {
+    const double integral =
+        Integrate([&](double x) { return mech.OutputPdf(t, x); }, -mech.c(),
+                  mech.c(), 200000);
+    // Tolerance is dominated by Simpson error at the two step
+    // discontinuities, which grows with the density level (large ε).
+    EXPECT_NEAR(integral, 1.0, 1e-3) << "t=" << t;
+  }
+}
+
+TEST_P(PiecewisePdfTest, DensityRatioBoundedByExpEpsilon) {
+  // The ε-LDP property: for every output x and inputs t, t', the density
+  // ratio is at most e^ε. The step structure gives max/min = e^ε exactly.
+  const double eps = GetParam();
+  const PiecewiseMechanism mech(eps);
+  const double bound = std::exp(eps) * (1.0 + 1e-12);
+  for (double t1 = -1.0; t1 <= 1.0; t1 += 0.25) {
+    for (double t2 = -1.0; t2 <= 1.0; t2 += 0.25) {
+      for (double x = -mech.c(); x <= mech.c(); x += mech.c() / 50.0) {
+        const double p1 = mech.OutputPdf(t1, x);
+        const double p2 = mech.OutputPdf(t2, x);
+        ASSERT_GT(p2, 0.0);  // support is all of [-C, C]
+        EXPECT_LE(p1 / p2, bound);
+      }
+    }
+  }
+}
+
+TEST_P(PiecewisePdfTest, CenterProbabilityMatchesFormula) {
+  const double eps = GetParam();
+  const PiecewiseMechanism mech(eps);
+  const double e_half = std::exp(eps / 2.0);
+  EXPECT_NEAR(mech.CenterProbability(), e_half / (e_half + 1.0), 1e-12);
+  // Cross-check with the pdf: mass of the centre piece = p · (C − 1).
+  const double t = 0.2;
+  const double mass = Integrate(
+      [&](double x) { return mech.OutputPdf(t, x); }, mech.CenterLeft(t),
+      mech.CenterRight(t), 10000);
+  EXPECT_NEAR(mass, mech.CenterProbability(), 1e-6);
+}
+
+TEST_P(PiecewisePdfTest, PerturbIsUnbiased) {
+  const PiecewiseMechanism mech(GetParam());
+  Rng rng(1);
+  for (const double t : {-1.0, -0.3, 0.0, 0.5, 1.0}) {
+    RunningStats stats = SampleStats(
+        kSamples, &rng, [&](Rng* r) { return mech.Perturb(t, r); });
+    EXPECT_NEAR(stats.Mean(), t, MeanTolerance(stats, 6.0)) << "t=" << t;
+  }
+}
+
+TEST_P(PiecewisePdfTest, EmpiricalVarianceMatchesLemma1) {
+  // At large ε the rare far-away side pieces give the output heavy kurtosis,
+  // so the tolerance must come from the actual fourth moment:
+  // Var(s²) ≈ (m₄ − σ⁴)/n.
+  const PiecewiseMechanism mech(GetParam());
+  Rng rng(2);
+  for (const double t : {0.0, 0.5, 1.0}) {
+    std::vector<double> samples(kSamples);
+    for (double& x : samples) x = mech.Perturb(t, &rng);
+    double mean = 0.0;
+    for (const double x : samples) mean += x;
+    mean /= static_cast<double>(kSamples);
+    double s2 = 0.0, m4 = 0.0;
+    for (const double x : samples) {
+      const double d2 = (x - mean) * (x - mean);
+      s2 += d2;
+      m4 += d2 * d2;
+    }
+    s2 /= static_cast<double>(kSamples - 1);
+    m4 /= static_cast<double>(kSamples);
+    const double stderr_s2 =
+        std::sqrt(std::max(0.0, m4 - s2 * s2) / static_cast<double>(kSamples));
+    EXPECT_NEAR(s2, mech.Variance(t), 6.0 * stderr_s2 + 1e-9) << "t=" << t;
+  }
+}
+
+TEST_P(PiecewisePdfTest, OutputStaysWithinC) {
+  const PiecewiseMechanism mech(GetParam());
+  Rng rng(3);
+  for (const double t : {-1.0, 0.0, 1.0}) {
+    for (int i = 0; i < 20000; ++i) {
+      const double out = mech.Perturb(t, &rng);
+      EXPECT_LE(std::abs(out), mech.c() * (1.0 + 1e-12));
+    }
+  }
+}
+
+TEST(PiecewiseMechanismTest, VarianceGrowsWithInputMagnitude) {
+  // Lemma 1: Var(t) increases in |t| — PM is best on small-magnitude inputs.
+  const PiecewiseMechanism mech(1.0);
+  EXPECT_LT(mech.Variance(0.0), mech.Variance(0.5));
+  EXPECT_LT(mech.Variance(0.5), mech.Variance(1.0));
+  EXPECT_DOUBLE_EQ(mech.Variance(0.5), mech.Variance(-0.5));
+}
+
+TEST(PiecewiseMechanismTest, WorstCaseMatchesClosedForm) {
+  for (const double eps : {0.5, 1.0, 3.0}) {
+    const PiecewiseMechanism mech(eps);
+    const double e_half = std::exp(eps / 2.0);
+    EXPECT_NEAR(mech.WorstCaseVariance(),
+                4.0 * e_half / (3.0 * (e_half - 1.0) * (e_half - 1.0)),
+                1e-12);
+    EXPECT_NEAR(mech.WorstCaseVariance(), mech.Variance(1.0), 1e-12);
+  }
+}
+
+TEST(PiecewiseMechanismTest, WorstCaseBeatsLaplaceEverywhere) {
+  // Claimed in Section III-B: PM's worst-case variance is strictly below the
+  // Laplace mechanism's 8/ε² for every ε.
+  for (double eps = 0.05; eps <= 10.0; eps += 0.05) {
+    EXPECT_LT(PiecewiseMechanism(eps).WorstCaseVariance(),
+              8.0 / (eps * eps))
+        << "eps=" << eps;
+  }
+}
+
+TEST(PiecewiseMechanismTest, VarianceOfMeanShrinksWithUsers) {
+  // Lemma 2 sanity: averaging n reports shrinks the error like 1/√n.
+  const PiecewiseMechanism mech(1.0);
+  Rng rng(4);
+  auto mse_of_mean = [&](uint64_t n) {
+    const int reps = 300;
+    RunningStats err;
+    for (int rep = 0; rep < reps; ++rep) {
+      double sum = 0.0;
+      for (uint64_t i = 0; i < n; ++i) sum += mech.Perturb(0.4, &rng);
+      const double diff = sum / static_cast<double>(n) - 0.4;
+      err.Add(diff * diff);
+    }
+    return err.Mean();
+  };
+  const double mse_small = mse_of_mean(100);
+  const double mse_large = mse_of_mean(1600);
+  // 16x the users should cut the MSE by ~16 (allow 2x slack).
+  EXPECT_LT(mse_large, mse_small / 8.0);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,130 @@
+// Cross-cutting ε-LDP property checks: for every scalar mechanism and a grid
+// of budgets, verify Definition 1 — the worst-case likelihood ratio between
+// any two inputs at any output is at most e^ε. Mechanisms with closed-form
+// densities are checked analytically; the discrete/mixture mechanisms via
+// their exact output probabilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/duchi_one_dim.h"
+#include "baselines/laplace.h"
+#include "baselines/scdf.h"
+#include "baselines/staircase.h"
+#include "core/hybrid.h"
+#include "core/mechanism.h"
+#include "core/piecewise.h"
+
+namespace ldp {
+namespace {
+
+constexpr double kSlack = 1.0 + 1e-9;
+
+class PrivacyGridTest : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Budgets, PrivacyGridTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 2.0, 4.0, 8.0));
+
+TEST_P(PrivacyGridTest, PiecewiseMechanismDensityRatio) {
+  const double eps = GetParam();
+  const PiecewiseMechanism mech(eps);
+  const double bound = std::exp(eps) * kSlack;
+  for (double t1 = -1.0; t1 <= 1.0001; t1 += 0.125) {
+    for (double t2 = -1.0; t2 <= 1.0001; t2 += 0.125) {
+      for (double x = -mech.c(); x <= mech.c(); x += mech.c() / 64.0) {
+        const double p2 = mech.OutputPdf(t2, x);
+        ASSERT_GT(p2, 0.0);
+        EXPECT_LE(mech.OutputPdf(t1, x) / p2, bound)
+            << "t1=" << t1 << " t2=" << t2 << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST_P(PrivacyGridTest, LaplaceMechanismDensityRatio) {
+  const double eps = GetParam();
+  const LaplaceMechanism mech(eps);
+  const double scale = mech.scale();
+  auto pdf = [scale](double t, double x) {
+    return std::exp(-std::abs(x - t) / scale) / (2.0 * scale);
+  };
+  const double bound = std::exp(eps) * kSlack;
+  for (double t1 = -1.0; t1 <= 1.0001; t1 += 0.25) {
+    for (double t2 = -1.0; t2 <= 1.0001; t2 += 0.25) {
+      for (double x = -8.0; x <= 8.0; x += 0.21) {
+        EXPECT_LE(pdf(t1, x) / pdf(t2, x), bound);
+      }
+    }
+  }
+}
+
+TEST_P(PrivacyGridTest, ScdfAndStaircaseDensityRatio) {
+  const double eps = GetParam();
+  const ScdfMechanism scdf(eps);
+  const StaircaseMechanism staircase(eps);
+  const double bound = std::exp(eps) * kSlack;
+  for (double t1 = -1.0; t1 <= 1.0001; t1 += 0.25) {
+    for (double t2 = -1.0; t2 <= 1.0001; t2 += 0.25) {
+      for (double x = -12.0; x <= 12.0; x += 0.37) {
+        EXPECT_LE(scdf.noise().Pdf(x - t1) / scdf.noise().Pdf(x - t2), bound);
+        EXPECT_LE(staircase.noise().Pdf(x - t1) /
+                      staircase.noise().Pdf(x - t2),
+                  bound);
+      }
+    }
+  }
+}
+
+TEST_P(PrivacyGridTest, DuchiOneDimProbabilityRatio) {
+  const double eps = GetParam();
+  const double e = std::exp(eps);
+  auto head = [e](double t) { return (e - 1.0) / (2.0 * e + 2.0) * t + 0.5; };
+  for (double t1 = -1.0; t1 <= 1.0001; t1 += 0.125) {
+    for (double t2 = -1.0; t2 <= 1.0001; t2 += 0.125) {
+      EXPECT_LE(head(t1) / head(t2), e * kSlack);
+      EXPECT_LE((1.0 - head(t1)) / (1.0 - head(t2)), e * kSlack);
+    }
+  }
+}
+
+TEST_P(PrivacyGridTest, HybridMechanismMixtureRatio) {
+  // HM's output "density" is a mixture of a continuous part (α · PM pdf) and
+  // two atoms at ±B_Duchi (weight (1−α) · Duchi pmf). Privacy holds iff both
+  // parts individually satisfy the ratio bound — the mixture weights α are
+  // input-independent.
+  const double eps = GetParam();
+  const HybridMechanism mech(eps);
+  const double e = std::exp(eps);
+  const double bound = e * kSlack;
+  auto duchi_head = [e](double t) {
+    return (e - 1.0) / (2.0 * e + 2.0) * t + 0.5;
+  };
+  for (double t1 = -1.0; t1 <= 1.0001; t1 += 0.2) {
+    for (double t2 = -1.0; t2 <= 1.0001; t2 += 0.2) {
+      // Atom part.
+      EXPECT_LE(duchi_head(t1) / duchi_head(t2), bound);
+      EXPECT_LE((1.0 - duchi_head(t1)) / (1.0 - duchi_head(t2)), bound);
+      // Continuous part.
+      if (mech.alpha() > 0.0) {
+        const PiecewiseMechanism& pm = mech.piecewise();
+        for (double x = -pm.c(); x <= pm.c(); x += pm.c() / 32.0) {
+          EXPECT_LE(pm.OutputPdf(t1, x) / pm.OutputPdf(t2, x), bound);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PrivacyGridTest, PiecewiseRatioIsTightSomewhere) {
+  // The privacy budget should not be wasted: the PM density ratio must reach
+  // e^ε for some (t, t', x) — the centre piece vs a side piece.
+  const double eps = GetParam();
+  const PiecewiseMechanism mech(eps);
+  const double x = mech.CenterLeft(1.0) + 1e-9;  // inside centre for t = 1
+  const double ratio = mech.OutputPdf(1.0, x) / mech.OutputPdf(-1.0, x);
+  EXPECT_NEAR(ratio, std::exp(eps), std::exp(eps) * 1e-9);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,164 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "test_util.h"
+
+namespace ldp {
+namespace {
+
+using ::ldp::testing::MeanTolerance;
+using ::ldp::testing::SampleStats;
+using ::ldp::testing::VarianceRelTolerance;
+
+constexpr uint64_t kSamples = 200000;
+
+TEST(RngTest, EqualSeedsGiveEqualStreams) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng a(7), b(7);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.Next(), fb.Next());
+  // The fork and the parent produce different streams.
+  Rng parent(7);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.Next() == child.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, Uniform01InRangeAndUniform) {
+  Rng rng(11);
+  RunningStats stats =
+      SampleStats(kSamples, &rng, [](Rng* r) { return r->Uniform01(); });
+  EXPECT_GE(stats.Min(), 0.0);
+  EXPECT_LT(stats.Max(), 1.0);
+  EXPECT_NEAR(stats.Mean(), 0.5, MeanTolerance(stats));
+  EXPECT_NEAR(stats.SampleVariance(), 1.0 / 12.0,
+              VarianceRelTolerance(kSamples) / 12.0);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(12);
+  RunningStats stats = SampleStats(
+      kSamples, &rng, [](Rng* r) { return r->Uniform(-3.0, 5.0); });
+  EXPECT_GE(stats.Min(), -3.0);
+  EXPECT_LT(stats.Max(), 5.0);
+  EXPECT_NEAR(stats.Mean(), 1.0, MeanTolerance(stats));
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(RngTest, UniformIndexStaysBelowBound) {
+  Rng rng(14);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.UniformIndex(7), 7u);
+}
+
+TEST(RngTest, UniformIndexSingleton) {
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformIndex(1), 0u);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(16);
+  for (const double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    RunningStats stats = SampleStats(
+        50000, &rng, [p](Rng* r) { return r->Bernoulli(p) ? 1.0 : 0.0; });
+    EXPECT_NEAR(stats.Mean(), p, MeanTolerance(stats)) << "p=" << p;
+  }
+}
+
+TEST(RngTest, BernoulliClampsOutOfRangeProbabilities) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(18);
+  RunningStats stats =
+      SampleStats(kSamples, &rng, [](Rng* r) { return r->Gaussian(); });
+  EXPECT_NEAR(stats.Mean(), 0.0, MeanTolerance(stats));
+  EXPECT_NEAR(stats.SampleVariance(), 1.0, VarianceRelTolerance(kSamples));
+}
+
+TEST(RngTest, GaussianWithParamsMoments) {
+  Rng rng(19);
+  RunningStats stats = SampleStats(
+      kSamples, &rng, [](Rng* r) { return r->Gaussian(2.5, 0.5); });
+  EXPECT_NEAR(stats.Mean(), 2.5, MeanTolerance(stats));
+  EXPECT_NEAR(stats.SampleVariance(), 0.25,
+              0.25 * VarianceRelTolerance(kSamples));
+}
+
+TEST(RngTest, ExponentialMoments) {
+  Rng rng(20);
+  const double lambda = 2.0;
+  RunningStats stats = SampleStats(
+      kSamples, &rng, [lambda](Rng* r) { return r->Exponential(lambda); });
+  EXPECT_GE(stats.Min(), 0.0);
+  EXPECT_NEAR(stats.Mean(), 1.0 / lambda, MeanTolerance(stats));
+  EXPECT_NEAR(stats.SampleVariance(), 1.0 / (lambda * lambda),
+              VarianceRelTolerance(kSamples) / (lambda * lambda));
+}
+
+TEST(RngTest, LaplaceMoments) {
+  Rng rng(21);
+  const double scale = 1.5;
+  RunningStats stats = SampleStats(
+      kSamples, &rng, [scale](Rng* r) { return r->Laplace(scale); });
+  EXPECT_NEAR(stats.Mean(), 0.0, MeanTolerance(stats));
+  // Var[Laplace(b)] = 2 b².
+  EXPECT_NEAR(stats.SampleVariance(), 2.0 * scale * scale,
+              2.0 * scale * scale * VarianceRelTolerance(kSamples));
+}
+
+TEST(RngTest, GeometricMatchesFailureCountDistribution) {
+  Rng rng(22);
+  const double p = 0.3;
+  RunningStats stats = SampleStats(kSamples, &rng, [p](Rng* r) {
+    return static_cast<double>(r->Geometric(p));
+  });
+  // E = (1-p)/p, Var = (1-p)/p².
+  EXPECT_NEAR(stats.Mean(), (1.0 - p) / p, MeanTolerance(stats));
+  EXPECT_NEAR(stats.SampleVariance(), (1.0 - p) / (p * p),
+              (1.0 - p) / (p * p) * VarianceRelTolerance(kSamples));
+}
+
+TEST(RngTest, GeometricWithCertainSuccessIsZero) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Geometric(1.0), 0u);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == std::numeric_limits<uint64_t>::max());
+  Rng rng(24);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace ldp

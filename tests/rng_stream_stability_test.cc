@@ -1,0 +1,60 @@
+// Golden-value tests pinning the exact Rng output streams. The header
+// promises streams that are "stable across standard-library implementations"
+// (every variate transform is implemented in-library); these tests turn that
+// promise into a contract — any change to the generator or a transform that
+// silently re-randomises all seeded experiments fails here.
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ldp {
+namespace {
+
+TEST(RngStreamStabilityTest, RawStreamForSeed12345) {
+  Rng rng(12345);
+  const uint64_t expected[] = {
+      10201931350592234856ULL, 3780764549115216544ULL,
+      1570246627180645737ULL, 3237956550421933520ULL,
+      4899705286669081817ULL};
+  for (const uint64_t value : expected) {
+    EXPECT_EQ(rng.Next(), value);
+  }
+}
+
+TEST(RngStreamStabilityTest, Uniform01StreamForSeed7) {
+  Rng rng(7);
+  const double expected[] = {0.055360436478333108, 0.17211585444811772,
+                             0.71757612835865936, 0.42720981929150526};
+  for (const double value : expected) {
+    EXPECT_DOUBLE_EQ(rng.Uniform01(), value);
+  }
+}
+
+TEST(RngStreamStabilityTest, GaussianStreamForSeed9) {
+  Rng rng(9);
+  const double expected[] = {1.9405181386048689, -1.3768098169664282,
+                             -0.19267113196997382, 0.24539407558762308};
+  for (const double value : expected) {
+    EXPECT_DOUBLE_EQ(rng.Gaussian(), value);
+  }
+}
+
+TEST(RngStreamStabilityTest, LaplaceStreamForSeed11) {
+  Rng rng(11);
+  const double expected[] = {1.9071244812226409, 1.4237412514975114,
+                             3.955153312332528, 0.34683028737913602};
+  for (const double value : expected) {
+    EXPECT_DOUBLE_EQ(rng.Laplace(1.5), value);
+  }
+}
+
+TEST(RngStreamStabilityTest, ForkStreamForSeed13) {
+  Rng rng(13);
+  Rng child = rng.Fork();
+  EXPECT_EQ(child.Next(), 17051041119502934183ULL);
+  EXPECT_EQ(rng.Next(), 1775008064223230197ULL);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,182 @@
+#include "core/sampled_numeric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/variance.h"
+#include "test_util.h"
+
+namespace ldp {
+namespace {
+
+using ::ldp::testing::MeanTolerance;
+
+TEST(SampledNumericTest, CreateValidatesArguments) {
+  EXPECT_FALSE(
+      SampledNumericMechanism::Create(MechanismKind::kHybrid, 1.0, 0).ok());
+  EXPECT_FALSE(
+      SampledNumericMechanism::Create(MechanismKind::kHybrid, 0.0, 4).ok());
+  EXPECT_FALSE(
+      SampledNumericMechanism::Create(MechanismKind::kHybrid, -1.0, 4).ok());
+  EXPECT_TRUE(
+      SampledNumericMechanism::Create(MechanismKind::kHybrid, 1.0, 4).ok());
+}
+
+TEST(SampledNumericTest, CreateWithSampleCountValidatesK) {
+  EXPECT_FALSE(SampledNumericMechanism::CreateWithSampleCount(
+                   MechanismKind::kPiecewise, 1.0, 4, 0)
+                   .ok());
+  EXPECT_FALSE(SampledNumericMechanism::CreateWithSampleCount(
+                   MechanismKind::kPiecewise, 1.0, 4, 5)
+                   .ok());
+  auto ok = SampledNumericMechanism::CreateWithSampleCount(
+      MechanismKind::kPiecewise, 1.0, 4, 3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().k(), 3u);
+  EXPECT_NEAR(ok.value().per_attribute_epsilon(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(SampledNumericTest, DefaultKFollowsEquation12) {
+  for (const double eps : {0.5, 2.6, 5.1, 12.5, 100.0}) {
+    for (const uint32_t d : {1u, 3u, 10u}) {
+      auto mech =
+          SampledNumericMechanism::Create(MechanismKind::kHybrid, eps, d);
+      ASSERT_TRUE(mech.ok());
+      EXPECT_EQ(mech.value().k(), AttributeSampleCount(eps, d))
+          << "eps=" << eps << " d=" << d;
+    }
+  }
+}
+
+TEST(SampledNumericTest, ReportHasExactlyKDistinctAttributes) {
+  auto mech = SampledNumericMechanism::CreateWithSampleCount(
+      MechanismKind::kHybrid, 6.0, 10, 3);
+  ASSERT_TRUE(mech.ok());
+  Rng rng(1);
+  const std::vector<double> t(10, 0.1);
+  for (int i = 0; i < 500; ++i) {
+    const SampledNumericReport report = mech.value().Perturb(t, &rng);
+    ASSERT_EQ(report.size(), 3u);
+    std::set<uint32_t> attrs;
+    for (const SampledValue& entry : report) {
+      EXPECT_LT(entry.attribute, 10u);
+      attrs.insert(entry.attribute);
+    }
+    EXPECT_EQ(attrs.size(), 3u);
+  }
+}
+
+TEST(SampledNumericTest, SampledAttributesAreUniform) {
+  auto mech = SampledNumericMechanism::CreateWithSampleCount(
+      MechanismKind::kPiecewise, 5.0, 8, 2);
+  ASSERT_TRUE(mech.ok());
+  Rng rng(2);
+  const std::vector<double> t(8, 0.0);
+  std::vector<int> counts(8, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    for (const SampledValue& entry : mech.value().Perturb(t, &rng)) {
+      ++counts[entry.attribute];
+    }
+  }
+  const double expected = trials * 2.0 / 8.0;
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_NEAR(counts[j], expected, 5.0 * std::sqrt(expected)) << "j=" << j;
+  }
+}
+
+TEST(SampledNumericTest, DenseReportIsUnbiased) {
+  const uint32_t d = 6;
+  auto mech = SampledNumericMechanism::Create(MechanismKind::kHybrid, 2.0, d);
+  ASSERT_TRUE(mech.ok());
+  const std::vector<double> t = {-0.9, -0.3, 0.0, 0.25, 0.6, 1.0};
+  Rng rng(3);
+  std::vector<RunningStats> stats(d);
+  const uint64_t samples = 200000;
+  for (uint64_t i = 0; i < samples; ++i) {
+    const std::vector<double> dense = mech.value().PerturbDense(t, &rng);
+    for (uint32_t j = 0; j < d; ++j) stats[j].Add(dense[j]);
+  }
+  for (uint32_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(stats[j].Mean(), t[j], MeanTolerance(stats[j], 6.0))
+        << "coordinate " << j;
+  }
+}
+
+TEST(SampledNumericTest, DenseAndSparseAgree) {
+  auto mech = SampledNumericMechanism::Create(MechanismKind::kPiecewise, 1.0,
+                                              5);
+  ASSERT_TRUE(mech.ok());
+  const std::vector<double> t = {0.1, 0.2, 0.3, 0.4, 0.5};
+  // Same seed → same sampling and noise; dense must equal scattered sparse.
+  Rng rng_sparse(7), rng_dense(7);
+  const SampledNumericReport sparse = mech.value().Perturb(t, &rng_sparse);
+  const std::vector<double> dense = mech.value().PerturbDense(t, &rng_dense);
+  std::vector<double> scattered(5, 0.0);
+  for (const SampledValue& entry : sparse) {
+    scattered[entry.attribute] = entry.value;
+  }
+  EXPECT_EQ(scattered, dense);
+}
+
+TEST(SampledNumericTest, ScaledValuesStayWithinScaledMechanismBound) {
+  auto mech =
+      SampledNumericMechanism::Create(MechanismKind::kPiecewise, 1.0, 4);
+  ASSERT_TRUE(mech.ok());
+  const double limit = 4.0 / mech.value().k() *
+                       mech.value().scalar_mechanism().OutputBound();
+  Rng rng(4);
+  const std::vector<double> t = {1.0, -1.0, 0.5, 0.0};
+  for (int i = 0; i < 5000; ++i) {
+    for (const SampledValue& entry : mech.value().Perturb(t, &rng)) {
+      EXPECT_LE(std::abs(entry.value), limit * (1.0 + 1e-12));
+    }
+  }
+}
+
+TEST(SampledNumericTest, CoordinateVarianceMatchesClosedForms) {
+  for (const double eps : {1.0, 4.0, 8.0}) {
+    for (const uint32_t d : {2u, 10u}) {
+      auto pm =
+          SampledNumericMechanism::Create(MechanismKind::kPiecewise, eps, d);
+      auto hm = SampledNumericMechanism::Create(MechanismKind::kHybrid, eps, d);
+      ASSERT_TRUE(pm.ok());
+      ASSERT_TRUE(hm.ok());
+      for (const double t : {0.0, 0.5, 1.0}) {
+        EXPECT_NEAR(pm.value().CoordinateVariance(t),
+                    SampledPiecewiseVariance(eps, d, t), 1e-9);
+        EXPECT_NEAR(hm.value().CoordinateVariance(t),
+                    SampledHybridVariance(eps, d, t), 1e-9);
+      }
+      EXPECT_NEAR(pm.value().WorstCaseCoordinateVariance(),
+                  SampledPiecewiseWorstCaseVariance(eps, d), 1e-9);
+      EXPECT_NEAR(hm.value().WorstCaseCoordinateVariance(),
+                  SampledHybridWorstCaseVariance(eps, d), 1e-9);
+    }
+  }
+}
+
+TEST(SampledNumericTest, Equation12KIsNearOptimalInMeasuredVariance) {
+  // The design-choice check behind the k-ablation: the Eq.-12 k should be at
+  // least as good (in worst-case coordinate variance) as any other k, up to
+  // the coarse granularity of the formula.
+  const double eps = 7.5;
+  const uint32_t d = 10;
+  auto best = SampledNumericMechanism::Create(MechanismKind::kPiecewise, eps,
+                                              d);
+  ASSERT_TRUE(best.ok());
+  const double chosen = best.value().WorstCaseCoordinateVariance();
+  double optimal = chosen;
+  for (uint32_t k = 1; k <= d; ++k) {
+    auto swept = SampledNumericMechanism::CreateWithSampleCount(
+        MechanismKind::kPiecewise, eps, d, k);
+    ASSERT_TRUE(swept.ok());
+    optimal = std::min(optimal, swept.value().WorstCaseCoordinateVariance());
+  }
+  EXPECT_LE(chosen, optimal * 1.25);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,94 @@
+#include "core/scaler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/piecewise.h"
+#include "test_util.h"
+
+namespace ldp {
+namespace {
+
+TEST(DomainScalerTest, CreateValidatesBounds) {
+  EXPECT_TRUE(DomainScaler::Create(0.0, 10.0).ok());
+  EXPECT_FALSE(DomainScaler::Create(5.0, 5.0).ok());
+  EXPECT_FALSE(DomainScaler::Create(5.0, 1.0).ok());
+  EXPECT_FALSE(
+      DomainScaler::Create(0.0, std::numeric_limits<double>::infinity()).ok());
+  EXPECT_FALSE(DomainScaler::Create(std::nan(""), 1.0).ok());
+}
+
+TEST(DomainScalerTest, DefaultIsCanonicalIdentity) {
+  const DomainScaler scaler;
+  EXPECT_DOUBLE_EQ(scaler.lo(), -1.0);
+  EXPECT_DOUBLE_EQ(scaler.hi(), 1.0);
+  EXPECT_DOUBLE_EQ(scaler.ToCanonical(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(scaler.FromCanonical(-0.25), -0.25);
+  EXPECT_DOUBLE_EQ(scaler.VarianceScale(), 1.0);
+}
+
+TEST(DomainScalerTest, MapsEndpointsAndMidpoint) {
+  auto scaler = DomainScaler::Create(10.0, 30.0);
+  ASSERT_TRUE(scaler.ok());
+  EXPECT_DOUBLE_EQ(scaler.value().ToCanonical(10.0), -1.0);
+  EXPECT_DOUBLE_EQ(scaler.value().ToCanonical(30.0), 1.0);
+  EXPECT_DOUBLE_EQ(scaler.value().ToCanonical(20.0), 0.0);
+  EXPECT_DOUBLE_EQ(scaler.value().FromCanonical(-1.0), 10.0);
+  EXPECT_DOUBLE_EQ(scaler.value().FromCanonical(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(scaler.value().FromCanonical(0.0), 20.0);
+}
+
+TEST(DomainScalerTest, RoundTripIsIdentityInsideDomain) {
+  auto scaler = DomainScaler::Create(-7.5, 3.25);
+  ASSERT_TRUE(scaler.ok());
+  for (double x = -7.5; x <= 3.25; x += 0.37) {
+    EXPECT_NEAR(scaler.value().FromCanonical(scaler.value().ToCanonical(x)),
+                x, 1e-12);
+  }
+}
+
+TEST(DomainScalerTest, ToCanonicalClampsOutOfDomainInputs) {
+  auto scaler = DomainScaler::Create(0.0, 1.0);
+  ASSERT_TRUE(scaler.ok());
+  EXPECT_DOUBLE_EQ(scaler.value().ToCanonical(-5.0), -1.0);
+  EXPECT_DOUBLE_EQ(scaler.value().ToCanonical(9.0), 1.0);
+}
+
+TEST(DomainScalerTest, FromCanonicalDoesNotClampPerturbedValues) {
+  // Perturbed outputs legitimately exceed [-1, 1]; clamping them back would
+  // bias the aggregate mean.
+  auto scaler = DomainScaler::Create(0.0, 100.0);
+  ASSERT_TRUE(scaler.ok());
+  EXPECT_DOUBLE_EQ(scaler.value().FromCanonical(1.5), 125.0);
+  EXPECT_DOUBLE_EQ(scaler.value().FromCanonical(-2.0), -50.0);
+}
+
+TEST(DomainScalerTest, VarianceScaleMatchesAffineMap) {
+  auto scaler = DomainScaler::Create(-10.0, 10.0);
+  ASSERT_TRUE(scaler.ok());
+  EXPECT_DOUBLE_EQ(scaler.value().VarianceScale(), 100.0);
+}
+
+TEST(DomainScalerTest, EndToEndUnbiasedPerturbationOnNativeDomain) {
+  // Scale → perturb with PM → unscale: the result must be unbiased for the
+  // native value with variance VarianceScale() · Var_PM(canonical value).
+  auto scaler_result = DomainScaler::Create(0.0, 50.0);
+  ASSERT_TRUE(scaler_result.ok());
+  const DomainScaler& scaler = scaler_result.value();
+  const PiecewiseMechanism mech(1.0);
+  const double native = 35.0;
+  const double canonical = scaler.ToCanonical(native);
+  Rng rng(1);
+  RunningStats stats = ldp::testing::SampleStats(
+      200000, &rng, [&](Rng* r) {
+        return scaler.FromCanonical(mech.Perturb(canonical, r));
+      });
+  EXPECT_NEAR(stats.Mean(), native, ldp::testing::MeanTolerance(stats, 6.0));
+  const double expected_var = scaler.VarianceScale() * mech.Variance(canonical);
+  EXPECT_NEAR(stats.SampleVariance(), expected_var,
+              expected_var * ldp::testing::VarianceRelTolerance(200000));
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,152 @@
+// Tests for the two piecewise-constant-noise baselines (SCDF and Staircase)
+// and the shared PiecewiseConstantNoise machinery.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/piecewise_constant_noise.h"
+#include "baselines/scdf.h"
+#include "baselines/staircase.h"
+#include "test_util.h"
+
+namespace ldp {
+namespace {
+
+using ::ldp::testing::Integrate;
+using ::ldp::testing::MeanTolerance;
+using ::ldp::testing::SampleStats;
+using ::ldp::testing::VarianceRelTolerance;
+
+constexpr uint64_t kSamples = 200000;
+
+class PiecewiseConstantNoiseTest : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Budgets, PiecewiseConstantNoiseTest,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+TEST_P(PiecewiseConstantNoiseTest, ScdfDensityIntegratesToOne) {
+  const double eps = GetParam();
+  const ScdfMechanism mech(eps);
+  const auto& noise = mech.noise();
+  // Integrate far enough into the tails that the truncated mass is tiny.
+  const double integral = Integrate([&](double x) { return noise.Pdf(x); },
+                                    -80.0 / eps, 80.0 / eps, 400000);
+  // Tolerance is dominated by Simpson error at the step discontinuities.
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST_P(PiecewiseConstantNoiseTest, StaircaseDensityIntegratesToOne) {
+  const double eps = GetParam();
+  const StaircaseMechanism mech(eps);
+  const auto& noise = mech.noise();
+  const double integral = Integrate([&](double x) { return noise.Pdf(x); },
+                                    -80.0 / eps, 80.0 / eps, 400000);
+  // Tolerance is dominated by Simpson error at the step discontinuities.
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST_P(PiecewiseConstantNoiseTest, SamplesMatchDensityVariance) {
+  const double eps = GetParam();
+  const StaircaseMechanism mech(eps);
+  Rng rng(1);
+  RunningStats stats = SampleStats(
+      kSamples, &rng, [&](Rng* r) { return mech.noise().Sample(r); });
+  EXPECT_NEAR(stats.Mean(), 0.0, MeanTolerance(stats));
+  EXPECT_NEAR(stats.SampleVariance(), mech.noise().Variance(),
+              mech.noise().Variance() * VarianceRelTolerance(kSamples, 20.0));
+}
+
+TEST_P(PiecewiseConstantNoiseTest, DensityRatioBoundedForUnitShift) {
+  // ε-LDP for inputs in [-1, 1] (diameter 2) needs
+  // pdf(x) / pdf(x + 2) <= e^ε for all x; the step structure guarantees it.
+  const double eps = GetParam();
+  const ScdfMechanism scdf(eps);
+  const StaircaseMechanism staircase(eps);
+  for (const PiecewiseConstantNoise* noise :
+       {&scdf.noise(), &staircase.noise()}) {
+    for (double x = -20.0; x <= 20.0; x += 0.01) {
+      const double ratio = noise->Pdf(x) / noise->Pdf(x + 2.0);
+      EXPECT_LE(ratio, std::exp(eps) * (1.0 + 1e-9)) << "x=" << x;
+    }
+  }
+}
+
+TEST_P(PiecewiseConstantNoiseTest, MechanismLdpRatioOnShiftedInputs) {
+  // Full mechanism check: output t + noise; density at x given t is
+  // Pdf(x - t). Ratio across any t, t' in [-1, 1] must be <= e^ε.
+  const double eps = GetParam();
+  const ScdfMechanism mech(eps);
+  for (double t1 = -1.0; t1 <= 1.0; t1 += 0.5) {
+    for (double t2 = -1.0; t2 <= 1.0; t2 += 0.5) {
+      for (double x = -10.0; x <= 10.0; x += 0.17) {
+        const double ratio =
+            mech.noise().Pdf(x - t1) / mech.noise().Pdf(x - t2);
+        EXPECT_LE(ratio, std::exp(eps) * (1.0 + 1e-9));
+      }
+    }
+  }
+}
+
+TEST(ScdfMechanismTest, PerturbIsUnbiased) {
+  const ScdfMechanism mech(1.0);
+  Rng rng(2);
+  for (const double t : {-1.0, 0.0, 0.6}) {
+    RunningStats stats = SampleStats(
+        kSamples, &rng, [&](Rng* r) { return mech.Perturb(t, r); });
+    EXPECT_NEAR(stats.Mean(), t, MeanTolerance(stats)) << "t=" << t;
+  }
+}
+
+TEST(StaircaseMechanismTest, PerturbIsUnbiased) {
+  const StaircaseMechanism mech(1.0);
+  Rng rng(3);
+  for (const double t : {-0.8, 0.0, 1.0}) {
+    RunningStats stats = SampleStats(
+        kSamples, &rng, [&](Rng* r) { return mech.Perturb(t, r); });
+    EXPECT_NEAR(stats.Mean(), t, MeanTolerance(stats)) << "t=" << t;
+  }
+}
+
+TEST(ScdfMechanismTest, VarianceIsInputIndependentAndUnbounded) {
+  const ScdfMechanism mech(1.5);
+  EXPECT_DOUBLE_EQ(mech.Variance(0.0), mech.Variance(0.9));
+  EXPECT_DOUBLE_EQ(mech.WorstCaseVariance(), mech.Variance(0.0));
+  EXPECT_TRUE(std::isinf(mech.OutputBound()));
+  EXPECT_STREQ(mech.name(), "SCDF");
+}
+
+TEST(StaircaseMechanismTest, VarianceIsInputIndependentAndUnbounded) {
+  const StaircaseMechanism mech(1.5);
+  EXPECT_DOUBLE_EQ(mech.Variance(-0.3), mech.Variance(0.3));
+  EXPECT_TRUE(std::isinf(mech.OutputBound()));
+  EXPECT_STREQ(mech.name(), "Staircase");
+}
+
+TEST(ScdfMechanismTest, CentralWidthStaysWithinLdpBound) {
+  // m <= 1 is required for ε-LDP with diameter-2 inputs.
+  for (const double eps : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    EXPECT_LE(ScdfMechanism::ComputeM(eps), 1.0 + 1e-12) << "eps=" << eps;
+    EXPECT_GT(ScdfMechanism::ComputeM(eps), 0.0);
+  }
+}
+
+TEST(StaircaseMechanismTest, CentralWidthStaysWithinLdpBound) {
+  for (const double eps : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    EXPECT_LE(StaircaseMechanism::ComputeM(eps), 1.0 + 1e-12);
+    EXPECT_GT(StaircaseMechanism::ComputeM(eps), 0.0);
+  }
+}
+
+TEST(ScdfStaircaseTest, BothBeatLaplaceVarianceAtSmallBudget) {
+  // The motivation for these variants: tighter noise than Laplace's 8/ε² at
+  // small ε.
+  for (const double eps : {0.25, 0.5, 1.0}) {
+    const double laplace = 8.0 / (eps * eps);
+    EXPECT_LT(ScdfMechanism(eps).WorstCaseVariance(), laplace);
+    EXPECT_LT(StaircaseMechanism(eps).WorstCaseVariance(), laplace);
+  }
+}
+
+}  // namespace
+}  // namespace ldp

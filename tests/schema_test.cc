@@ -1,0 +1,92 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace ldp::data {
+namespace {
+
+TEST(SchemaTest, CreateValidSchema) {
+  auto schema = Schema::Create({ColumnSpec::Numeric("age", 0.0, 100.0),
+                                ColumnSpec::Categorical("gender", 2)});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value().num_columns(), 2u);
+  EXPECT_EQ(schema.value().NumNumericColumns(), 1u);
+  EXPECT_EQ(schema.value().NumCategoricalColumns(), 1u);
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  EXPECT_FALSE(Schema::Create({ColumnSpec::Numeric("", 0.0, 1.0)}).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  EXPECT_FALSE(Schema::Create({ColumnSpec::Numeric("x", 0.0, 1.0),
+                               ColumnSpec::Categorical("x", 3)})
+                   .ok());
+}
+
+TEST(SchemaTest, RejectsBadNumericBounds) {
+  EXPECT_FALSE(Schema::Create({ColumnSpec::Numeric("x", 1.0, 1.0)}).ok());
+  EXPECT_FALSE(Schema::Create({ColumnSpec::Numeric("x", 2.0, 1.0)}).ok());
+  EXPECT_FALSE(Schema::Create({ColumnSpec::Numeric(
+                                   "x", 0.0,
+                                   std::numeric_limits<double>::infinity())})
+                   .ok());
+}
+
+TEST(SchemaTest, RejectsDegenerateCategoricalDomain) {
+  EXPECT_FALSE(Schema::Create({ColumnSpec::Categorical("x", 0)}).ok());
+  EXPECT_FALSE(Schema::Create({ColumnSpec::Categorical("x", 1)}).ok());
+}
+
+TEST(SchemaTest, EmptySchemaIsAllowed) {
+  auto schema = Schema::Create({});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value().num_columns(), 0u);
+}
+
+TEST(SchemaTest, FindColumnByName) {
+  auto schema = Schema::Create({ColumnSpec::Numeric("a", -1.0, 1.0),
+                                ColumnSpec::Categorical("b", 4),
+                                ColumnSpec::Numeric("c", 0.0, 9.0)});
+  ASSERT_TRUE(schema.ok());
+  auto idx = schema.value().FindColumn("b");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), 1u);
+  EXPECT_FALSE(schema.value().FindColumn("missing").ok());
+}
+
+TEST(SchemaTest, ColumnIndexLists) {
+  auto schema = Schema::Create({ColumnSpec::Numeric("a", -1.0, 1.0),
+                                ColumnSpec::Categorical("b", 4),
+                                ColumnSpec::Numeric("c", 0.0, 9.0),
+                                ColumnSpec::Categorical("d", 2)});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value().NumericColumnIndices(),
+            (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(schema.value().CategoricalColumnIndices(),
+            (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(SchemaTest, EqualsComparesStructure) {
+  auto a = Schema::Create({ColumnSpec::Numeric("x", 0.0, 1.0)});
+  auto b = Schema::Create({ColumnSpec::Numeric("x", 0.0, 1.0)});
+  auto c = Schema::Create({ColumnSpec::Numeric("x", 0.0, 2.0)});
+  auto d = Schema::Create({ColumnSpec::Categorical("x", 2)});
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+  EXPECT_TRUE(a.value().Equals(b.value()));
+  EXPECT_FALSE(a.value().Equals(c.value()));
+  EXPECT_FALSE(a.value().Equals(d.value()));
+  EXPECT_FALSE(a.value().Equals(Schema()));
+}
+
+TEST(SchemaTest, ColumnAccessorReturnsSpec) {
+  auto schema = Schema::Create({ColumnSpec::Categorical("k", 7)});
+  ASSERT_TRUE(schema.ok());
+  const ColumnSpec& spec = schema.value().column(0);
+  EXPECT_EQ(spec.name, "k");
+  EXPECT_EQ(spec.type, ColumnType::kCategorical);
+  EXPECT_EQ(spec.domain_size, 7u);
+}
+
+}  // namespace
+}  // namespace ldp::data

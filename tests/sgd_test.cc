@@ -1,0 +1,145 @@
+#include "ml/sgd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/evaluate.h"
+#include "util/random.h"
+
+namespace ldp::ml {
+namespace {
+
+// y = 0.8 x0 − 0.4 x1 + tiny noise: linear regression must recover the
+// coefficients.
+void FillLinearProblem(data::DesignMatrix* features,
+                       std::vector<double>* labels, uint64_t n, Rng* rng) {
+  for (uint64_t i = 0; i < n; ++i) {
+    const double x0 = rng->Uniform(-1.0, 1.0);
+    const double x1 = rng->Uniform(-1.0, 1.0);
+    features->set(i, 0, x0);
+    features->set(i, 1, x1);
+    (*labels)[i] = 0.8 * x0 - 0.4 * x1 + rng->Gaussian(0.0, 0.01);
+  }
+}
+
+// A linearly separable classification problem: sign(x0 + x1).
+void FillSeparableProblem(data::DesignMatrix* features,
+                          std::vector<double>* labels, uint64_t n, Rng* rng) {
+  for (uint64_t i = 0; i < n; ++i) {
+    const double x0 = rng->Uniform(-1.0, 1.0);
+    const double x1 = rng->Uniform(-1.0, 1.0);
+    features->set(i, 0, x0);
+    features->set(i, 1, x1);
+    (*labels)[i] = (x0 + x1 >= 0.0) ? 1.0 : -1.0;
+  }
+}
+
+TEST(TrainSgdTest, ValidatesInputs) {
+  data::DesignMatrix features(0, 2);
+  std::vector<double> labels;
+  EXPECT_FALSE(TrainSgd(features, labels, LossKind::kSquared, {}).ok());
+
+  data::DesignMatrix some(3, 2);
+  std::vector<double> wrong_size(2, 0.0);
+  EXPECT_FALSE(TrainSgd(some, wrong_size, LossKind::kSquared, {}).ok());
+
+  std::vector<double> ok_labels(3, 0.0);
+  SgdOptions bad;
+  bad.num_iterations = 0;
+  EXPECT_FALSE(TrainSgd(some, ok_labels, LossKind::kSquared, bad).ok());
+  bad = {};
+  bad.batch_size = 0;
+  EXPECT_FALSE(TrainSgd(some, ok_labels, LossKind::kSquared, bad).ok());
+  bad = {};
+  bad.learning_rate = 0.0;
+  EXPECT_FALSE(TrainSgd(some, ok_labels, LossKind::kSquared, bad).ok());
+}
+
+TEST(TrainSgdTest, RecoversLinearRegressionCoefficients) {
+  Rng rng(1);
+  const uint64_t n = 5000;
+  data::DesignMatrix features(n, 2);
+  std::vector<double> labels(n);
+  FillLinearProblem(&features, &labels, n, &rng);
+
+  SgdOptions options;
+  options.num_iterations = 4000;
+  options.batch_size = 32;
+  options.learning_rate = 0.5;
+  options.lambda = 1e-5;
+  options.seed = 2;
+  auto beta = TrainSgd(features, labels, LossKind::kSquared, options);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR(beta.value()[0], 0.8, 0.05);
+  EXPECT_NEAR(beta.value()[1], -0.4, 0.05);
+  EXPECT_LT(RegressionMse(features, labels, beta.value()), 0.005);
+}
+
+TEST(TrainSgdTest, LogisticSeparatesLinearlySeparableData) {
+  Rng rng(3);
+  const uint64_t n = 4000;
+  data::DesignMatrix features(n, 2);
+  std::vector<double> labels(n);
+  FillSeparableProblem(&features, &labels, n, &rng);
+
+  SgdOptions options;
+  options.num_iterations = 3000;
+  options.seed = 4;
+  auto beta = TrainSgd(features, labels, LossKind::kLogistic, options);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_LT(MisclassificationRate(features, labels, beta.value()), 0.05);
+}
+
+TEST(TrainSgdTest, HingeSeparatesLinearlySeparableData) {
+  Rng rng(5);
+  const uint64_t n = 4000;
+  data::DesignMatrix features(n, 2);
+  std::vector<double> labels(n);
+  FillSeparableProblem(&features, &labels, n, &rng);
+
+  SgdOptions options;
+  options.num_iterations = 3000;
+  options.seed = 6;
+  auto beta = TrainSgd(features, labels, LossKind::kHinge, options);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_LT(MisclassificationRate(features, labels, beta.value()), 0.05);
+}
+
+TEST(TrainSgdTest, DeterministicInSeed) {
+  Rng rng(7);
+  const uint64_t n = 500;
+  data::DesignMatrix features(n, 2);
+  std::vector<double> labels(n);
+  FillLinearProblem(&features, &labels, n, &rng);
+  SgdOptions options;
+  options.num_iterations = 100;
+  options.seed = 9;
+  auto a = TrainSgd(features, labels, LossKind::kSquared, options);
+  auto b = TrainSgd(features, labels, LossKind::kSquared, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(TrainSgdTest, StrongRegularizationShrinksModel) {
+  Rng rng(8);
+  const uint64_t n = 2000;
+  data::DesignMatrix features(n, 2);
+  std::vector<double> labels(n);
+  FillLinearProblem(&features, &labels, n, &rng);
+  SgdOptions weak, strong;
+  weak.lambda = 0.0;
+  weak.seed = strong.seed = 10;
+  strong.lambda = 10.0;
+  auto beta_weak = TrainSgd(features, labels, LossKind::kSquared, weak);
+  auto beta_strong = TrainSgd(features, labels, LossKind::kSquared, strong);
+  ASSERT_TRUE(beta_weak.ok() && beta_strong.ok());
+  const double norm_weak = std::abs(beta_weak.value()[0]) +
+                           std::abs(beta_weak.value()[1]);
+  const double norm_strong = std::abs(beta_strong.value()[0]) +
+                             std::abs(beta_strong.value()[1]);
+  EXPECT_LT(norm_strong, norm_weak / 2.0);
+}
+
+}  // namespace
+}  // namespace ldp::ml

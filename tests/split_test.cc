@@ -1,0 +1,114 @@
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ldp::data {
+namespace {
+
+class KFoldTest : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KFoldTest,
+    ::testing::Combine(::testing::Values(10u, 100u, 1003u),
+                       ::testing::Values(2u, 5u, 10u)));
+
+TEST_P(KFoldTest, FoldsPartitionAllRows) {
+  const auto [n, folds] = GetParam();
+  Rng rng(1);
+  auto splits = KFoldSplit(n, folds, &rng);
+  ASSERT_TRUE(splits.ok());
+  ASSERT_EQ(splits.value().size(), folds);
+
+  std::set<uint64_t> all_test_rows;
+  for (const Split& split : splits.value()) {
+    // Each fold: train + test = everything, disjoint.
+    EXPECT_EQ(split.train.size() + split.test.size(), n);
+    std::set<uint64_t> train(split.train.begin(), split.train.end());
+    std::set<uint64_t> test(split.test.begin(), split.test.end());
+    EXPECT_EQ(train.size(), split.train.size());
+    EXPECT_EQ(test.size(), split.test.size());
+    for (const uint64_t row : test) {
+      EXPECT_EQ(train.count(row), 0u);
+      EXPECT_TRUE(all_test_rows.insert(row).second)
+          << "row in two test folds";
+    }
+  }
+  // Every row appears in exactly one test fold.
+  EXPECT_EQ(all_test_rows.size(), n);
+}
+
+TEST_P(KFoldTest, FoldSizesAreBalanced) {
+  const auto [n, folds] = GetParam();
+  Rng rng(2);
+  auto splits = KFoldSplit(n, folds, &rng);
+  ASSERT_TRUE(splits.ok());
+  for (const Split& split : splits.value()) {
+    EXPECT_GE(split.test.size(), n / folds);
+    EXPECT_LE(split.test.size(), n / folds + 1);
+  }
+}
+
+TEST(KFoldTest, ValidatesArguments) {
+  Rng rng(3);
+  EXPECT_FALSE(KFoldSplit(10, 1, &rng).ok());
+  EXPECT_FALSE(KFoldSplit(10, 0, &rng).ok());
+  EXPECT_FALSE(KFoldSplit(3, 5, &rng).ok());
+  EXPECT_TRUE(KFoldSplit(5, 5, &rng).ok());
+}
+
+TEST(KFoldTest, LeaveOneOutWhenFoldsEqualRows) {
+  Rng rng(4);
+  auto splits = KFoldSplit(6, 6, &rng);
+  ASSERT_TRUE(splits.ok());
+  for (const Split& split : splits.value()) {
+    EXPECT_EQ(split.test.size(), 1u);
+    EXPECT_EQ(split.train.size(), 5u);
+  }
+}
+
+TEST(KFoldTest, ShufflesRows) {
+  Rng rng(5);
+  auto splits = KFoldSplit(1000, 2, &rng);
+  ASSERT_TRUE(splits.ok());
+  // If unshuffled, fold 0's test set would be exactly {0..499}.
+  const std::vector<uint64_t>& test = splits.value()[0].test;
+  bool any_large = false;
+  for (const uint64_t row : test) any_large |= (row >= 500);
+  EXPECT_TRUE(any_large);
+}
+
+TEST(TrainTestSplitTest, SplitsByFraction) {
+  Rng rng(6);
+  auto split = TrainTestSplit(100, 0.25, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split.value().test.size(), 25u);
+  EXPECT_EQ(split.value().train.size(), 75u);
+  std::set<uint64_t> all;
+  for (const uint64_t r : split.value().train) all.insert(r);
+  for (const uint64_t r : split.value().test) all.insert(r);
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(TrainTestSplitTest, ValidatesFraction) {
+  Rng rng(7);
+  EXPECT_FALSE(TrainTestSplit(100, 0.0, &rng).ok());
+  EXPECT_FALSE(TrainTestSplit(100, 1.0, &rng).ok());
+  EXPECT_FALSE(TrainTestSplit(100, -0.5, &rng).ok());
+  // A fraction that rounds to an empty test set is rejected.
+  EXPECT_FALSE(TrainTestSplit(3, 0.1, &rng).ok());
+}
+
+TEST(TrainTestSplitTest, DeterministicInSeed) {
+  Rng rng_a(8), rng_b(8);
+  auto a = TrainTestSplit(50, 0.2, &rng_a);
+  auto b = TrainTestSplit(50, 0.2, &rng_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().test, b.value().test);
+  EXPECT_EQ(a.value().train, b.value().train);
+}
+
+}  // namespace
+}  // namespace ldp::data

@@ -1,0 +1,104 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ldp {
+namespace {
+
+TEST(RunningStatsTest, EmptyAccumulator) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.Mean(), 0.0);
+  EXPECT_EQ(stats.PopulationVariance(), 0.0);
+  EXPECT_EQ(stats.SampleVariance(), 0.0);
+  EXPECT_TRUE(std::isinf(stats.Min()));
+  EXPECT_TRUE(std::isinf(stats.Max()));
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 4.0, -2.0, 8.0, 3.5};
+  RunningStats stats;
+  for (const double x : xs) stats.Add(x);
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= xs.size();
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_NEAR(stats.Mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.PopulationVariance(), ss / xs.size(), 1e-12);
+  EXPECT_NEAR(stats.SampleVariance(), ss / (xs.size() - 1), 1e-12);
+  EXPECT_NEAR(stats.StdDev(), std::sqrt(ss / (xs.size() - 1)), 1e-12);
+  EXPECT_NEAR(stats.StdError(),
+              std::sqrt(ss / (xs.size() - 1) / xs.size()), 1e-12);
+  EXPECT_EQ(stats.Min(), -2.0);
+  EXPECT_EQ(stats.Max(), 8.0);
+}
+
+TEST(RunningStatsTest, SingleObservation) {
+  RunningStats stats;
+  stats.Add(3.0);
+  EXPECT_EQ(stats.Mean(), 3.0);
+  EXPECT_EQ(stats.SampleVariance(), 0.0);
+  EXPECT_EQ(stats.PopulationVariance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RunningStats left, right, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    (i < 40 ? left : right).Add(x);
+    all.Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.Mean(), all.Mean(), 1e-12);
+  EXPECT_NEAR(left.SampleVariance(), all.SampleVariance(), 1e-9);
+  EXPECT_EQ(left.Min(), all.Min());
+  EXPECT_EQ(left.Max(), all.Max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats stats, empty;
+  stats.Add(1.0);
+  stats.Add(2.0);
+  stats.Merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_NEAR(stats.Mean(), 1.5, 1e-12);
+  empty.Merge(stats);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_NEAR(empty.Mean(), 1.5, 1e-12);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  // Naive sum-of-squares would lose all precision at offset 1e9.
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) stats.Add(1e9 + (i % 2 == 0 ? 0.5 : -0.5));
+  EXPECT_NEAR(stats.PopulationVariance(), 0.25, 1e-6);
+}
+
+TEST(VectorMetricsTest, MeanOf) {
+  EXPECT_EQ(MeanOf({}), 0.0);
+  EXPECT_NEAR(MeanOf({1.0, 2.0, 6.0}), 3.0, 1e-12);
+}
+
+TEST(VectorMetricsTest, MeanSquaredError) {
+  EXPECT_NEAR(MeanSquaredError({1.0, 2.0}, {0.0, 4.0}), (1.0 + 4.0) / 2.0,
+              1e-12);
+  EXPECT_EQ(MeanSquaredError({3.0}, {3.0}), 0.0);
+}
+
+TEST(VectorMetricsTest, MeanAbsoluteError) {
+  EXPECT_NEAR(MeanAbsoluteError({1.0, -2.0}, {0.0, 2.0}), (1.0 + 4.0) / 2.0,
+              1e-12);
+}
+
+TEST(VectorMetricsTest, MaxAbsoluteError) {
+  EXPECT_NEAR(MaxAbsoluteError({1.0, -2.0, 5.0}, {0.0, 2.0, 5.5}), 4.0,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace ldp

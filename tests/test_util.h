@@ -1,0 +1,51 @@
+// Shared helpers for the test suite: Monte-Carlo moment estimation with
+// sample-size-aware tolerances, and small numeric utilities.
+
+#ifndef LDP_TESTS_TEST_UTIL_H_
+#define LDP_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace ldp::testing {
+
+/// Draws `n` samples from `sample` and returns their running statistics.
+inline RunningStats SampleStats(uint64_t n, Rng* rng,
+                                const std::function<double(Rng*)>& sample) {
+  RunningStats stats;
+  for (uint64_t i = 0; i < n; ++i) stats.Add(sample(rng));
+  return stats;
+}
+
+/// A z-test-style tolerance for a Monte-Carlo mean: `sigmas` standard errors
+/// plus a small absolute floor for exact-zero cases.
+inline double MeanTolerance(const RunningStats& stats, double sigmas = 5.0) {
+  return sigmas * stats.StdError() + 1e-9;
+}
+
+/// Relative-error tolerance for a Monte-Carlo variance estimate: the
+/// variance of the sample variance is ~ (kurtosis-ish)·σ⁴/n; a generous
+/// multiple of 1/√n covers all distributions used in these tests.
+inline double VarianceRelTolerance(uint64_t n, double factor = 12.0) {
+  return factor / std::sqrt(static_cast<double>(n));
+}
+
+/// Numerically integrates `f` over [lo, hi] with the composite Simpson rule
+/// (`intervals` must be even). Used to validate closed-form densities.
+inline double Integrate(const std::function<double(double)>& f, double lo,
+                        double hi, int intervals = 20000) {
+  const double h = (hi - lo) / intervals;
+  double sum = f(lo) + f(hi);
+  for (int i = 1; i < intervals; ++i) {
+    sum += f(lo + i * h) * ((i % 2 == 1) ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+}  // namespace ldp::testing
+
+#endif  // LDP_TESTS_TEST_UTIL_H_

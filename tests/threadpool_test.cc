@@ -1,0 +1,90 @@
+#include "util/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace ldp {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorkerEvenWhenZeroRequested) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  const uint64_t n = 100000;
+  std::vector<std::atomic<int>> touched(n);
+  ParallelFor(&pool, n, [&](unsigned /*chunk*/, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  uint64_t sum = 0;
+  ParallelFor(nullptr, 10, [&](unsigned chunk, uint64_t begin, uint64_t end) {
+    EXPECT_EQ(chunk, 0u);
+    for (uint64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 45u);
+}
+
+TEST(ParallelForTest, EmptyRangeInvokesNothing) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  ParallelFor(&pool, 0, [&](unsigned, uint64_t, uint64_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, ParallelSumMatchesSerial) {
+  ThreadPool pool(8);
+  const uint64_t n = 1 << 18;
+  std::vector<double> values(n);
+  for (uint64_t i = 0; i < n; ++i) values[i] = std::sin(0.001 * i);
+  const double serial = std::accumulate(values.begin(), values.end(), 0.0);
+
+  std::mutex mutex;
+  double parallel = 0.0;
+  ParallelFor(&pool, n, [&](unsigned, uint64_t begin, uint64_t end) {
+    double local = 0.0;
+    for (uint64_t i = begin; i < end; ++i) local += values[i];
+    std::lock_guard<std::mutex> lock(mutex);
+    parallel += local;
+  });
+  EXPECT_NEAR(parallel, serial, 1e-6);
+}
+
+}  // namespace
+}  // namespace ldp

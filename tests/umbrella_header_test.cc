@@ -1,0 +1,54 @@
+// The umbrella header must be self-contained and expose the whole public
+// surface; this test compiles against it alone and runs a miniature
+// end-to-end flow touching each subsystem.
+
+#include "ldp.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeaderTest, EndToEndThroughEverySubsystem) {
+  ldp::Rng rng(1);
+
+  // core + baselines
+  auto mech = ldp::MakeScalarMechanism(ldp::MechanismKind::kHybrid, 1.0);
+  ASSERT_TRUE(mech.ok());
+  const double noisy = mech.value()->Perturb(0.5, &rng);
+  EXPECT_LE(std::abs(noisy), mech.value()->OutputBound());
+
+  // frequency
+  auto oracle = ldp::MakeFrequencyOracle(ldp::FrequencyOracleKind::kOue, 1.0,
+                                         4);
+  ASSERT_TRUE(oracle.ok());
+  ldp::FrequencyEstimator estimator(oracle.value().get());
+  estimator.Add(oracle.value()->Perturb(2, &rng));
+  EXPECT_EQ(estimator.count(), 1u);
+
+  // data
+  auto census = ldp::data::MakeBrazilCensus(50, 2);
+  ASSERT_TRUE(census.ok());
+  const ldp::data::Dataset normalized =
+      ldp::data::NormalizeNumeric(census.value());
+
+  // aggregate
+  auto output = ldp::aggregate::CollectProposed(normalized, 1.0, 3);
+  ASSERT_TRUE(output.ok());
+  EXPECT_GE(ldp::aggregate::NumericMse(output.value()), 0.0);
+
+  // ml
+  const uint32_t label =
+      census.value().schema().FindColumn(ldp::data::kIncomeColumn).value();
+  auto features = ldp::data::EncodeFeatures(census.value(), label);
+  auto labels = ldp::data::EncodeBinaryLabel(census.value(), label);
+  ASSERT_TRUE(features.ok() && labels.ok());
+  ldp::ml::LdpSgdOptions options;
+  options.perturber = ldp::ml::GradientPerturber::kNonPrivate;
+  options.group_size = 10;
+  auto beta = ldp::ml::TrainLdpSgd(features.value(), labels.value(),
+                                   ldp::ml::LossKind::kLogistic, options);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_EQ(beta.value().size(), features.value().num_cols());
+}
+
+}  // namespace

@@ -1,0 +1,210 @@
+// Cross-checks the closed-form variance analysis (core/variance.h) against
+// the actual mechanisms, both analytically and via Monte-Carlo simulation of
+// Algorithm 4 — the formulas behind Table I, Fig. 1 and Fig. 3.
+
+#include "core/variance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/duchi_multi_dim.h"
+#include "core/hybrid.h"
+#include "core/piecewise.h"
+#include "core/sampled_numeric.h"
+#include "test_util.h"
+#include "util/math.h"
+
+namespace ldp {
+namespace {
+
+using ::ldp::testing::VarianceRelTolerance;
+
+TEST(OneDimVarianceTest, MatchesMechanismClosedForms) {
+  for (const double eps : {0.3, 0.61, 1.0, 1.29, 2.5, 6.0}) {
+    const PiecewiseMechanism pm(eps);
+    const HybridMechanism hm(eps);
+    for (const double t : {-1.0, -0.4, 0.0, 0.7, 1.0}) {
+      EXPECT_NEAR(PiecewiseVariance(eps, t), pm.Variance(t), 1e-12);
+      EXPECT_NEAR(HybridVariance(eps, t), hm.Variance(t), 1e-12);
+      EXPECT_NEAR(DuchiVariance(eps, t), hm.duchi().Variance(t), 1e-12);
+    }
+    EXPECT_NEAR(PiecewiseWorstCaseVariance(eps), pm.WorstCaseVariance(),
+                1e-12);
+    EXPECT_NEAR(HybridWorstCaseVariance(eps), hm.WorstCaseVariance(), 1e-9);
+    EXPECT_NEAR(DuchiWorstCaseVariance(eps), hm.duchi().WorstCaseVariance(),
+                1e-12);
+    EXPECT_DOUBLE_EQ(LaplaceVariance(eps), 8.0 / (eps * eps));
+  }
+}
+
+TEST(AttributeSampleCountTest, MatchesEquation12) {
+  // k = max(1, min(d, floor(ε / 2.5))).
+  EXPECT_EQ(AttributeSampleCount(1.0, 10), 1u);
+  EXPECT_EQ(AttributeSampleCount(2.4, 10), 1u);
+  EXPECT_EQ(AttributeSampleCount(2.5, 10), 1u);
+  EXPECT_EQ(AttributeSampleCount(5.0, 10), 2u);
+  EXPECT_EQ(AttributeSampleCount(7.5, 10), 3u);
+  EXPECT_EQ(AttributeSampleCount(25.0, 10), 10u);
+  EXPECT_EQ(AttributeSampleCount(100.0, 4), 4u);
+  EXPECT_EQ(AttributeSampleCount(0.1, 1), 1u);
+}
+
+class SampledVarianceTest
+    : public ::testing::TestWithParam<std::tuple<double, uint32_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SampledVarianceTest,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0),
+                       ::testing::Values(2u, 5u, 10u, 40u)));
+
+TEST_P(SampledVarianceTest, Corollary2Ordering) {
+  // For every d > 1 and ε > 0: MaxVar_HM < MaxVar_PM < MaxVar_Duchi.
+  const auto [eps, d] = GetParam();
+  const double hm = SampledHybridWorstCaseVariance(eps, d);
+  const double pm = SampledPiecewiseWorstCaseVariance(eps, d);
+  const double duchi = DuchiMultiWorstCaseVariance(eps, d);
+  EXPECT_LT(hm, pm);
+  EXPECT_LT(pm, duchi);
+}
+
+TEST_P(SampledVarianceTest, MonteCarloMatchesEquation14ForPm) {
+  const auto [eps, d] = GetParam();
+  auto mech = SampledNumericMechanism::Create(MechanismKind::kPiecewise, eps,
+                                              d);
+  ASSERT_TRUE(mech.ok());
+  const auto& sampled = mech.value();
+  std::vector<double> t(d, 0.0);
+  t[0] = 0.5;
+  Rng rng(1);
+  const uint64_t samples = 120000;
+  RunningStats coord0, coord1;
+  for (uint64_t i = 0; i < samples; ++i) {
+    std::vector<double> dense(d, 0.0);
+    for (const SampledValue& entry : sampled.Perturb(t, &rng)) {
+      dense[entry.attribute] = entry.value;
+    }
+    coord0.Add(dense[0]);
+    coord1.Add(dense[1]);
+  }
+  const double expected0 = SampledPiecewiseVariance(eps, d, 0.5);
+  const double expected1 = SampledPiecewiseVariance(eps, d, 0.0);
+  EXPECT_NEAR(coord0.SampleVariance(), expected0,
+              expected0 * VarianceRelTolerance(samples, 20.0));
+  EXPECT_NEAR(coord1.SampleVariance(), expected1,
+              expected1 * VarianceRelTolerance(samples, 20.0));
+}
+
+TEST_P(SampledVarianceTest, MonteCarloMatchesEquation15ForHm) {
+  const auto [eps, d] = GetParam();
+  auto mech =
+      SampledNumericMechanism::Create(MechanismKind::kHybrid, eps, d);
+  ASSERT_TRUE(mech.ok());
+  const auto& sampled = mech.value();
+  // t = 0.7 on the probed coordinate exercises the derived (d/k)·B₁² − t²
+  // form in the ε/k <= ε* regime — the case where the paper's printed
+  // Eq. 15 disagrees with the actual mechanism (see DESIGN.md).
+  std::vector<double> t(d, 0.0);
+  t[0] = 0.7;
+  Rng rng(2);
+  const uint64_t samples = 120000;
+  RunningStats coord0;
+  for (uint64_t i = 0; i < samples; ++i) {
+    std::vector<double> dense(d, 0.0);
+    for (const SampledValue& entry : sampled.Perturb(t, &rng)) {
+      dense[entry.attribute] = entry.value;
+    }
+    coord0.Add(dense[0]);
+  }
+  const double expected = SampledHybridVariance(eps, d, 0.7);
+  EXPECT_NEAR(coord0.SampleVariance(), expected,
+              expected * VarianceRelTolerance(samples, 20.0));
+}
+
+TEST_P(SampledVarianceTest, MonteCarloMatchesEquation13ForDuchi) {
+  const auto [eps, d] = GetParam();
+  const DuchiMultiDimMechanism mech(eps, d);
+  std::vector<double> t(d, 0.0);
+  t[0] = 0.5;
+  Rng rng(3);
+  const uint64_t samples = 120000;
+  RunningStats coord0;
+  for (uint64_t i = 0; i < samples; ++i) {
+    coord0.Add(mech.Perturb(t, &rng)[0]);
+  }
+  const double expected = DuchiMultiVariance(eps, d, 0.5);
+  EXPECT_NEAR(coord0.SampleVariance(), expected,
+              expected * VarianceRelTolerance(samples, 20.0));
+}
+
+TEST(TableOneRegimeTest, MultidimensionalIsAlwaysHmPmDuchi) {
+  for (const double eps : {0.1, 0.61, 1.29, 5.0}) {
+    EXPECT_EQ(TableOneRegime(eps, 2), "HM < PM < Duchi");
+    EXPECT_EQ(TableOneRegime(eps, 40), "HM < PM < Duchi");
+  }
+}
+
+TEST(TableOneRegimeTest, OneDimensionalRegimesMatchTableOne) {
+  EXPECT_EQ(TableOneRegime(2.0, 1), "HM < PM < Duchi");
+  EXPECT_EQ(TableOneRegime(EpsilonSharp(), 1), "HM < PM = Duchi");
+  EXPECT_EQ(TableOneRegime(1.0, 1), "HM < Duchi < PM");
+  EXPECT_EQ(TableOneRegime(0.4, 1), "HM = Duchi < PM");
+  EXPECT_EQ(TableOneRegime(EpsilonStar(), 1), "HM = Duchi < PM");
+}
+
+TEST(TableOneRegimeTest, RegimesAgreeWithDirectComparison) {
+  // The printed regime string must match the actual ordering of the three
+  // worst-case variances at every probed budget.
+  for (double eps = 0.05; eps <= 8.0; eps += 0.05) {
+    const double hm = HybridWorstCaseVariance(eps);
+    const double pm = PiecewiseWorstCaseVariance(eps);
+    const double duchi = DuchiWorstCaseVariance(eps);
+    const std::string regime = TableOneRegime(eps, 1);
+    if (regime == "HM < PM < Duchi") {
+      EXPECT_LT(hm, pm);
+      EXPECT_LT(pm, duchi);
+    } else if (regime == "HM < Duchi < PM") {
+      EXPECT_LT(hm, duchi);
+      EXPECT_LT(duchi, pm);
+    } else if (regime == "HM = Duchi < PM") {
+      EXPECT_DOUBLE_EQ(hm, duchi);
+      EXPECT_LT(duchi, pm);
+    } else {
+      EXPECT_EQ(regime, "HM < PM = Duchi");
+    }
+  }
+}
+
+TEST(WorstCaseVarianceTest, Figure3RatiosBelowOne) {
+  // Fig. 3: the PM/Duchi and HM/Duchi worst-case ratios stay below 1, and
+  // HM's is at most ~0.77 for the plotted dimensions.
+  for (const uint32_t d : {5u, 10u, 20u, 40u}) {
+    for (double eps = 0.1; eps <= 8.0; eps += 0.1) {
+      const double duchi = DuchiMultiWorstCaseVariance(eps, d);
+      const double pm_ratio =
+          SampledPiecewiseWorstCaseVariance(eps, d) / duchi;
+      const double hm_ratio = SampledHybridWorstCaseVariance(eps, d) / duchi;
+      EXPECT_LT(pm_ratio, 1.0) << "d=" << d << " eps=" << eps;
+      EXPECT_LT(hm_ratio, 1.0) << "d=" << d << " eps=" << eps;
+      EXPECT_LE(hm_ratio, 0.78) << "d=" << d << " eps=" << eps;
+    }
+  }
+}
+
+TEST(WorstCaseVarianceTest, SampledWorstCaseDominatesPointwise) {
+  for (const double eps : {0.5, 2.0, 6.0}) {
+    for (const uint32_t d : {3u, 12u}) {
+      for (double t = -1.0; t <= 1.0; t += 0.2) {
+        EXPECT_LE(SampledPiecewiseVariance(eps, d, t),
+                  SampledPiecewiseWorstCaseVariance(eps, d) + 1e-12);
+        EXPECT_LE(SampledHybridVariance(eps, d, t),
+                  SampledHybridWorstCaseVariance(eps, d) + 1e-12);
+        EXPECT_LE(DuchiMultiVariance(eps, d, t),
+                  DuchiMultiWorstCaseVariance(eps, d) + 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldp

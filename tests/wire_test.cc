@@ -1,0 +1,208 @@
+#include "core/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace ldp {
+namespace {
+
+SampledNumericMechanism MakeNumericMechanism() {
+  auto mech = SampledNumericMechanism::CreateWithSampleCount(
+      MechanismKind::kHybrid, 4.0, 6, 2);
+  EXPECT_TRUE(mech.ok());
+  return std::move(mech).value();
+}
+
+MixedTupleCollector MakeMixedCollector() {
+  auto collector = MixedTupleCollector::Create(
+      {MixedAttribute::Numeric(), MixedAttribute::Categorical(4),
+       MixedAttribute::Numeric(), MixedAttribute::Categorical(6)},
+      6.0);
+  EXPECT_TRUE(collector.ok());
+  return std::move(collector).value();
+}
+
+TEST(SampledNumericWireTest, RoundTripsRealReports) {
+  const SampledNumericMechanism mech = MakeNumericMechanism();
+  Rng rng(1);
+  const std::vector<double> tuple = {0.1, -0.5, 0.9, 0.0, -1.0, 1.0};
+  for (int i = 0; i < 200; ++i) {
+    const SampledNumericReport report = mech.Perturb(tuple, &rng);
+    auto decoded =
+        DecodeSampledNumericReport(EncodeSampledNumericReport(report), mech);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded.value().size(), report.size());
+    for (size_t j = 0; j < report.size(); ++j) {
+      EXPECT_EQ(decoded.value()[j].attribute, report[j].attribute);
+      EXPECT_DOUBLE_EQ(decoded.value()[j].value, report[j].value);
+    }
+  }
+}
+
+TEST(SampledNumericWireTest, RejectsTruncation) {
+  const SampledNumericMechanism mech = MakeNumericMechanism();
+  Rng rng(2);
+  const std::string bytes = EncodeSampledNumericReport(
+      mech.Perturb({0.0, 0.0, 0.0, 0.0, 0.0, 0.0}, &rng));
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeSampledNumericReport(bytes.substr(0, cut), mech).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(SampledNumericWireTest, RejectsTrailingBytes) {
+  const SampledNumericMechanism mech = MakeNumericMechanism();
+  Rng rng(3);
+  std::string bytes = EncodeSampledNumericReport(
+      mech.Perturb({0.0, 0.0, 0.0, 0.0, 0.0, 0.0}, &rng));
+  bytes.push_back('x');
+  EXPECT_FALSE(DecodeSampledNumericReport(bytes, mech).ok());
+}
+
+TEST(SampledNumericWireTest, RejectsWrongEntryCount) {
+  const SampledNumericMechanism mech = MakeNumericMechanism();
+  const SampledNumericReport too_few = {{0, 0.5}};
+  EXPECT_FALSE(
+      DecodeSampledNumericReport(EncodeSampledNumericReport(too_few), mech)
+          .ok());
+}
+
+TEST(SampledNumericWireTest, RejectsOutOfRangeAttributeAndValue) {
+  const SampledNumericMechanism mech = MakeNumericMechanism();
+  const SampledNumericReport bad_attribute = {{0, 0.5}, {99, 0.5}};
+  EXPECT_FALSE(DecodeSampledNumericReport(
+                   EncodeSampledNumericReport(bad_attribute), mech)
+                   .ok());
+  const SampledNumericReport bad_value = {{0, 0.5}, {1, 1e9}};
+  EXPECT_FALSE(
+      DecodeSampledNumericReport(EncodeSampledNumericReport(bad_value), mech)
+          .ok());
+  const SampledNumericReport nan_value = {{0, 0.5}, {1, std::nan("")}};
+  EXPECT_FALSE(
+      DecodeSampledNumericReport(EncodeSampledNumericReport(nan_value), mech)
+          .ok());
+}
+
+TEST(SampledNumericWireTest, RejectsDuplicateAttributes) {
+  const SampledNumericMechanism mech = MakeNumericMechanism();
+  const SampledNumericReport duplicated = {{3, 0.5}, {3, -0.5}};
+  EXPECT_FALSE(
+      DecodeSampledNumericReport(EncodeSampledNumericReport(duplicated), mech)
+          .ok());
+}
+
+TEST(MixedWireTest, RoundTripsRealReports) {
+  const MixedTupleCollector collector = MakeMixedCollector();
+  Rng rng(4);
+  MixedTuple tuple(4);
+  tuple[0] = AttributeValue::Numeric(0.3);
+  tuple[1] = AttributeValue::Categorical(2);
+  tuple[2] = AttributeValue::Numeric(-0.9);
+  tuple[3] = AttributeValue::Categorical(5);
+  for (int i = 0; i < 300; ++i) {
+    const MixedReport report = collector.Perturb(tuple, &rng);
+    auto decoded = DecodeMixedReport(EncodeMixedReport(report, collector),
+                                     collector);
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded.value().size(), report.size());
+    for (size_t j = 0; j < report.size(); ++j) {
+      EXPECT_EQ(decoded.value()[j].attribute, report[j].attribute);
+      EXPECT_DOUBLE_EQ(decoded.value()[j].numeric_value,
+                       report[j].numeric_value);
+      EXPECT_EQ(decoded.value()[j].categorical_report,
+                report[j].categorical_report);
+    }
+  }
+}
+
+TEST(MixedWireTest, RoundTripsEmptyCategoricalReports) {
+  // An OUE report with no set bits must survive the round trip as
+  // categorical, not be mistaken for a numeric entry.
+  const MixedTupleCollector collector = MakeMixedCollector();
+  MixedReport report;
+  MixedReportEntry numeric_entry;
+  numeric_entry.attribute = 0;
+  numeric_entry.numeric_value = 0.0;  // ambiguous without schema tagging
+  MixedReportEntry empty_categorical;
+  empty_categorical.attribute = 1;
+  report.push_back(numeric_entry);
+  report.push_back(empty_categorical);
+  auto decoded =
+      DecodeMixedReport(EncodeMixedReport(report, collector), collector);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value()[1].categorical_report.empty());
+}
+
+TEST(MixedWireTest, RejectsTruncationEverywhere) {
+  const MixedTupleCollector collector = MakeMixedCollector();
+  Rng rng(5);
+  MixedTuple tuple(4);
+  tuple[1] = AttributeValue::Categorical(1);
+  tuple[3] = AttributeValue::Categorical(2);
+  const std::string bytes =
+      EncodeMixedReport(collector.Perturb(tuple, &rng), collector);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeMixedReport(bytes.substr(0, cut), collector).ok());
+  }
+}
+
+TEST(MixedWireTest, RejectsKindSchemaMismatch) {
+  const MixedTupleCollector collector = MakeMixedCollector();
+  // Hand-craft: numeric entry pointing at categorical attribute 1.
+  MixedReport bad;
+  MixedReportEntry entry;
+  entry.attribute = 1;  // categorical in the schema
+  entry.numeric_value = 0.25;
+  bad.push_back(entry);
+  MixedReportEntry other;
+  other.attribute = 0;
+  bad.push_back(other);
+  // Encode with a lying schema by building bytes via a collector whose
+  // attribute 1 is numeric — simplest: flip the entries' attributes.
+  const std::string bytes = EncodeMixedReport(bad, collector);
+  // EncodeMixedReport consults the schema, so it writes entry 1 as
+  // categorical; craft the mismatch manually instead.
+  std::string crafted;
+  crafted.push_back(2);  // count lo
+  crafted.push_back(0);  // count hi
+  // entry: attribute 1 (categorical) tagged numeric
+  crafted.append(std::string("\x01\x00\x00\x00", 4));
+  crafted.push_back(0);  // kNumericEntry
+  crafted.append(8, '\0');
+  // entry: attribute 0 (numeric) tagged categorical
+  crafted.append(std::string(4, '\0'));
+  crafted.push_back(1);  // kCategoricalEntry
+  crafted.push_back(0);
+  crafted.push_back(0);
+  EXPECT_FALSE(DecodeMixedReport(crafted, collector).ok());
+  (void)bytes;
+}
+
+TEST(MixedWireTest, RejectsUnknownEntryKind) {
+  const MixedTupleCollector collector = MakeMixedCollector();
+  std::string crafted;
+  crafted.push_back(2);
+  crafted.push_back(0);
+  crafted.append(std::string(4, '\0'));  // attribute 0
+  crafted.push_back(7);                  // bogus kind
+  EXPECT_FALSE(DecodeMixedReport(crafted, collector).ok());
+}
+
+TEST(MixedWireTest, EncodingIsCompact) {
+  // k entries at ~13 bytes each (numeric) — sanity-check the size claim.
+  const MixedTupleCollector collector = MakeMixedCollector();
+  Rng rng(6);
+  MixedTuple tuple(4);
+  tuple[1] = AttributeValue::Categorical(0);
+  tuple[3] = AttributeValue::Categorical(0);
+  const MixedReport report = collector.Perturb(tuple, &rng);
+  const std::string bytes = EncodeMixedReport(report, collector);
+  EXPECT_LE(bytes.size(), 2 + collector.k() * (4 + 1 + 2 + 6 * 4 + 8));
+}
+
+}  // namespace
+}  // namespace ldp
