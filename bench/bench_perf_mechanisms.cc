@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <vector>
 
 #include "baselines/duchi_multi_dim.h"
@@ -125,4 +126,28 @@ BENCHMARK(BM_OueAggregate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// BENCH_perf_mechanisms.json (JSON format) so every run leaves a
+// machine-readable record for performance-trend tracking; explicit
+// --benchmark_out flags still win.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  static char out_flag[] = "--benchmark_out=BENCH_perf_mechanisms.json";
+  static char format_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(format_flag);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,180 @@
+// Streaming-ingestion throughput: how fast the server half decodes framed
+// shard streams and folds reports into the aggregator, across worker counts.
+// This is the paper's deployment story at scale — millions of users send one
+// wire report each; the aggregator must keep up at line rate.
+//
+// Measures the full server path (frame scan → wire decode → validation →
+// MixedAggregator::Add → ordered shard merge) over pre-encoded in-memory
+// shards, so client-side perturbation cost is excluded.
+//
+//   LDP_BENCH_USERS   total reports across shards (default 1000000)
+//   LDP_BENCH_FAST=1  shrink for smoke runs (100000)
+//
+// Emits BENCH_stream_ingest.json next to the binary for trend tracking.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "stream/parallel_ingest.h"
+#include "stream/report_stream.h"
+#include "util/random.h"
+#include "util/threadpool.h"
+
+namespace {
+
+using namespace ldp;  // NOLINT: benchmark binary
+
+// A census-like 8-attribute mixed schema.
+MixedTupleCollector MakeCollector() {
+  auto collector = MixedTupleCollector::Create(
+      {MixedAttribute::Numeric(), MixedAttribute::Categorical(8),
+       MixedAttribute::Numeric(), MixedAttribute::Categorical(16),
+       MixedAttribute::Numeric(), MixedAttribute::Categorical(4),
+       MixedAttribute::Numeric(), MixedAttribute::Categorical(32)},
+      4.0);
+  if (!collector.ok()) {
+    std::fprintf(stderr, "%s\n", collector.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(collector).value();
+}
+
+std::vector<std::string> EncodeShards(const MixedTupleCollector& collector,
+                                      uint64_t reports, size_t num_shards) {
+  MixedTuple tuple(collector.dimension());
+  for (uint32_t j = 0; j < collector.dimension(); ++j) {
+    if (collector.schema()[j].type == AttributeType::kNumeric) {
+      tuple[j] = AttributeValue::Numeric(0.25);
+    } else {
+      tuple[j] =
+          AttributeValue::Categorical(j % collector.schema()[j].domain_size);
+    }
+  }
+  std::vector<std::string> shards;
+  const std::vector<IndexRange> ranges = SplitRange(reports, num_shards);
+  for (size_t s = 0; s < ranges.size(); ++s) {
+    std::ostringstream out;
+    stream::ReportStreamWriter writer(
+        &out, stream::MakeMixedStreamHeader(collector));
+    Rng rng(1000 + s);
+    for (uint64_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+      if (!writer.WriteMixedReport(collector.Perturb(tuple, &rng), collector)
+               .ok()) {
+        std::fprintf(stderr, "encode failed\n");
+        std::exit(1);
+      }
+    }
+    shards.push_back(out.str());
+  }
+  return shards;
+}
+
+struct IngestResult {
+  unsigned threads = 0;
+  double seconds = 0.0;
+  double reports_per_sec = 0.0;
+  double mib_per_sec = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  bench::BenchConfig config = bench::ResolveConfig();
+  // This harness defaults to paper scale: 1M reports even without
+  // LDP_BENCH_USERS (the figure harnesses default to 50k).
+  uint64_t reports = 1000000;
+  if (std::getenv("LDP_BENCH_USERS") != nullptr) reports = config.users;
+  if (const char* fast = std::getenv("LDP_BENCH_FAST");
+      fast != nullptr && std::string(fast) == "1" &&
+      std::getenv("LDP_BENCH_USERS") == nullptr) {
+    reports = 100000;
+  }
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  // Always at least 4 shards so the multi-shard reduce path is exercised
+  // even on single-core runners.
+  const size_t num_shards = hardware > 4 ? hardware : 4;
+  const MixedTupleCollector collector = MakeCollector();
+
+  std::printf("=== Streaming shard ingestion ===\n");
+  std::printf("(reports: %llu, shards: %zu, schema: %u attributes, k = %u)\n",
+              static_cast<unsigned long long>(reports), num_shards,
+              collector.dimension(), collector.k());
+  std::printf("encoding shards...\n");
+  const std::vector<std::string> shards =
+      EncodeShards(collector, reports, num_shards);
+  uint64_t total_bytes = 0;
+  for (const std::string& shard : shards) total_bytes += shard.size();
+  std::printf("encoded %llu bytes (%.1f bytes/report)\n\n",
+              static_cast<unsigned long long>(total_bytes),
+              static_cast<double>(total_bytes) /
+                  static_cast<double>(reports));
+
+  std::vector<IngestResult> results;
+  std::printf("%-10s %12s %16s %12s\n", "threads", "seconds", "reports/s",
+              "MiB/s");
+  std::vector<unsigned> thread_counts = {1, 2, 4};
+  if (hardware > 4) thread_counts.push_back(hardware);
+  for (const unsigned threads : thread_counts) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    const auto started = std::chrono::steady_clock::now();
+    auto total = stream::IngestShardBuffers(collector, shards, pool.get());
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    if (!total.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n",
+                   total.status().ToString().c_str());
+      return 1;
+    }
+    if (total.value().num_reports() != reports) {
+      std::fprintf(stderr,
+                   "ingest dropped reports: expected %llu, got %llu\n",
+                   static_cast<unsigned long long>(reports),
+                   static_cast<unsigned long long>(
+                       total.value().num_reports()));
+      return 1;
+    }
+    IngestResult result;
+    result.threads = threads;
+    result.seconds = seconds;
+    result.reports_per_sec = static_cast<double>(reports) / seconds;
+    result.mib_per_sec =
+        static_cast<double>(total_bytes) / seconds / (1024.0 * 1024.0);
+    results.push_back(result);
+    std::printf("%-10u %12.3f %16.0f %12.1f\n", threads, seconds,
+                result.reports_per_sec, result.mib_per_sec);
+  }
+
+  // Machine-readable trend line.
+  FILE* json = std::fopen("BENCH_stream_ingest.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"benchmark\": \"stream_ingest\",\n"
+                 "  \"reports\": %llu,\n  \"shards\": %zu,\n"
+                 "  \"bytes\": %llu,\n  \"runs\": [\n",
+                 static_cast<unsigned long long>(reports), num_shards,
+                 static_cast<unsigned long long>(total_bytes));
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::fprintf(json,
+                   "    {\"threads\": %u, \"seconds\": %.6f, "
+                   "\"reports_per_sec\": %.0f, \"mib_per_sec\": %.1f}%s\n",
+                   results[i].threads, results[i].seconds,
+                   results[i].reports_per_sec, results[i].mib_per_sec,
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_stream_ingest.json\n");
+  }
+  return 0;
+}

@@ -1,7 +1,6 @@
 #include "aggregate/collector.h"
 
 #include <memory>
-#include <mutex>
 
 #include "aggregate/estimators.h"
 #include "baselines/duchi_multi_dim.h"
@@ -10,13 +9,13 @@
 
 namespace ldp::aggregate {
 
-namespace {
-
 // Every simulated user gets her own generator derived from (seed, row), so
 // results are identical whether or not a thread pool is used.
-Rng MakeUserRng(uint64_t seed, uint64_t row) {
+Rng UserRng(uint64_t seed, uint64_t row) {
   return Rng(seed ^ ((row + 1) * 0x9e3779b97f4a7c15ULL));
 }
+
+namespace {
 
 Status ValidateNormalized(const data::Schema& schema) {
   for (uint32_t col = 0; col < schema.num_columns(); ++col) {
@@ -104,11 +103,17 @@ Result<CollectionOutput> CollectProposed(const data::Dataset& dataset,
 
   const data::Schema& schema = dataset.schema();
   const uint32_t d = schema.num_columns();
-  MixedAggregator total(&collector);
-  std::mutex merge_mutex;
+  // One aggregator per chunk, reduced in chunk order after the parallel
+  // region: results are bit-deterministic for a fixed (seed, chunk count)
+  // regardless of thread scheduling, and a sharded run whose shard
+  // boundaries match SplitRange reproduces them exactly.
+  const uint64_t num_chunks =
+      ParallelForChunkCount(pool, dataset.num_rows());
+  std::vector<MixedAggregator> chunk_aggregators(num_chunks,
+                                                 MixedAggregator(&collector));
   ParallelFor(pool, dataset.num_rows(),
-              [&](unsigned /*chunk*/, uint64_t begin, uint64_t end) {
-                MixedAggregator local(&collector);
+              [&](unsigned chunk, uint64_t begin, uint64_t end) {
+                MixedAggregator& local = chunk_aggregators[chunk];
                 MixedTuple tuple(d);
                 for (uint64_t row = begin; row < end; ++row) {
                   for (uint32_t col = 0; col < d; ++col) {
@@ -118,12 +123,14 @@ Result<CollectionOutput> CollectProposed(const data::Dataset& dataset,
                       tuple[col].category = dataset.category(row, col);
                     }
                   }
-                  Rng rng = MakeUserRng(seed, row);
+                  Rng rng = UserRng(seed, row);
                   local.Add(collector.Perturb(tuple, &rng));
                 }
-                std::lock_guard<std::mutex> lock(merge_mutex);
-                total.Merge(local);
               });
+  MixedAggregator total(&collector);
+  for (const MixedAggregator& local : chunk_aggregators) {
+    LDP_RETURN_IF_ERROR(total.Merge(local));
+  }
 
   for (const uint32_t col : out.numeric_columns) {
     double mean = 0.0;
@@ -186,31 +193,28 @@ Result<CollectionOutput> CollectBaseline(const data::Dataset& dataset,
     oracles.push_back(std::move(oracle));
   }
 
-  VectorMeanEstimator total_means(dn);
-  std::vector<std::vector<double>> total_supports;
-  for (const uint32_t col : out.categorical_columns) {
-    total_supports.emplace_back(dataset.schema().column(col).domain_size, 0.0);
-  }
-  // Shapes of the per-chunk support tables, captured before the parallel
-  // region: chunks must NOT read total_supports, which other chunks merge
-  // into concurrently.
   std::vector<size_t> support_sizes;
-  support_sizes.reserve(total_supports.size());
-  for (const std::vector<double>& support : total_supports) {
-    support_sizes.push_back(support.size());
+  for (const uint32_t col : out.categorical_columns) {
+    support_sizes.push_back(dataset.schema().column(col).domain_size);
   }
-  std::mutex merge_mutex;
-  ParallelFor(pool, n, [&](unsigned /*chunk*/, uint64_t begin, uint64_t end) {
-    VectorMeanEstimator local_means(dn);
-    std::vector<std::vector<double>> local_supports;
-    local_supports.reserve(support_sizes.size());
+  // Per-chunk accumulators reduced in chunk order after the parallel region,
+  // mirroring CollectProposed: bit-deterministic for a fixed chunk count.
+  const uint64_t num_chunks = ParallelForChunkCount(pool, n);
+  std::vector<VectorMeanEstimator> chunk_means(num_chunks,
+                                               VectorMeanEstimator(dn));
+  std::vector<std::vector<std::vector<double>>> chunk_supports(num_chunks);
+  for (auto& supports : chunk_supports) {
     for (const size_t size : support_sizes) {
-      local_supports.emplace_back(size, 0.0);
+      supports.emplace_back(size, 0.0);
     }
+  }
+  ParallelFor(pool, n, [&](unsigned chunk, uint64_t begin, uint64_t end) {
+    VectorMeanEstimator& local_means = chunk_means[chunk];
+    std::vector<std::vector<double>>& local_supports = chunk_supports[chunk];
     std::vector<double> numeric_tuple(dn, 0.0);
     std::vector<double> dense(dn, 0.0);
     for (uint64_t row = begin; row < end; ++row) {
-      Rng rng = MakeUserRng(seed, row);
+      Rng rng = UserRng(seed, row);
       if (dn > 0) {
         for (uint32_t j = 0; j < dn; ++j) {
           numeric_tuple[j] = dataset.numeric(row, out.numeric_columns[j]);
@@ -230,14 +234,20 @@ Result<CollectionOutput> CollectBaseline(const data::Dataset& dataset,
                                &local_supports[c]);
       }
     }
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    total_means.Merge(local_means);
+  });
+  VectorMeanEstimator total_means(dn);
+  std::vector<std::vector<double>> total_supports;
+  for (const size_t size : support_sizes) {
+    total_supports.emplace_back(size, 0.0);
+  }
+  for (uint64_t chunk = 0; chunk < num_chunks; ++chunk) {
+    total_means.Merge(chunk_means[chunk]);
     for (uint32_t c = 0; c < dc; ++c) {
       for (size_t v = 0; v < total_supports[c].size(); ++v) {
-        total_supports[c][v] += local_supports[c][v];
+        total_supports[c][v] += chunk_supports[chunk][c][v];
       }
     }
-  });
+  }
 
   out.estimated_means = total_means.Estimate();
   for (uint32_t c = 0; c < dc; ++c) {

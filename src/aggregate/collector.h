@@ -75,6 +75,13 @@ Result<CollectionOutput> CollectBaseline(
 /// normalised). Exposed for tests and custom pipelines.
 Result<std::vector<MixedAttribute>> ToMixedSchema(const data::Schema& schema);
 
+/// The per-user generator used by every collection pipeline: user `row`
+/// under master seed `seed` always draws from the same stream, whether the
+/// simulation runs single-threaded, pooled, or sharded across processes
+/// (ldp_report derives client-side randomness the same way, which is what
+/// makes sharded ingestion reproduce an in-process run exactly).
+Rng UserRng(uint64_t seed, uint64_t row);
+
 }  // namespace ldp::aggregate
 
 #endif  // LDP_AGGREGATE_COLLECTOR_H_

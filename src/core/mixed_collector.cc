@@ -1,5 +1,6 @@
 #include "core/mixed_collector.h"
 
+#include <cmath>
 #include <map>
 
 #include "core/variance.h"
@@ -40,10 +41,29 @@ Result<MixedTupleCollector> MixedTupleCollector::Create(
     }
     oracles[j] = it->second;
   }
-  return MixedTupleCollector(std::move(schema), epsilon, k,
+  return MixedTupleCollector(std::move(schema), epsilon, k, numeric_kind,
+                             categorical_kind,
                              std::shared_ptr<const ScalarMechanism>(
                                  std::move(scalar)),
                              std::move(oracles));
+}
+
+bool MixedTupleCollector::CompatibleWith(
+    const MixedTupleCollector& other) const {
+  if (this == &other) return true;
+  if (schema_.size() != other.schema_.size() || epsilon_ != other.epsilon_ ||
+      k_ != other.k_ || numeric_kind_ != other.numeric_kind_ ||
+      categorical_kind_ != other.categorical_kind_) {
+    return false;
+  }
+  for (size_t j = 0; j < schema_.size(); ++j) {
+    if (schema_[j].type != other.schema_[j].type) return false;
+    if (schema_[j].type == AttributeType::kCategorical &&
+        schema_[j].domain_size != other.schema_[j].domain_size) {
+      return false;
+    }
+  }
+  return true;
 }
 
 MixedReport MixedTupleCollector::Perturb(const MixedTuple& tuple,
@@ -100,8 +120,52 @@ void MixedAggregator::Add(const MixedReport& report) {
   }
 }
 
-void MixedAggregator::Merge(const MixedAggregator& other) {
-  LDP_CHECK(collector_ == other.collector_);
+Result<MixedAggregator> MixedAggregator::FromParts(
+    const MixedTupleCollector* collector, uint64_t num_reports,
+    std::vector<uint64_t> attribute_reports, std::vector<double> numeric_sums,
+    std::vector<std::vector<double>> supports) {
+  LDP_CHECK(collector != nullptr);
+  const uint32_t d = collector->dimension();
+  if (attribute_reports.size() != d || numeric_sums.size() != d ||
+      supports.size() != d) {
+    return Status::InvalidArgument(
+        "aggregator state vectors must have one entry per attribute");
+  }
+  for (uint32_t j = 0; j < d; ++j) {
+    const MixedAttribute& spec = collector->schema()[j];
+    const size_t expected_support =
+        spec.type == AttributeType::kCategorical ? spec.domain_size : 0;
+    if (supports[j].size() != expected_support) {
+      return Status::InvalidArgument(
+          "support vector size does not match the attribute's domain");
+    }
+    if (attribute_reports[j] > num_reports) {
+      return Status::InvalidArgument(
+          "attribute report count exceeds the total report count");
+    }
+    if (!std::isfinite(numeric_sums[j])) {
+      return Status::InvalidArgument("non-finite numeric sum");
+    }
+    for (const double s : supports[j]) {
+      if (!std::isfinite(s)) {
+        return Status::InvalidArgument("non-finite support count");
+      }
+    }
+  }
+  MixedAggregator aggregator(collector);
+  aggregator.num_reports_ = num_reports;
+  aggregator.attribute_reports_ = std::move(attribute_reports);
+  aggregator.numeric_sums_ = std::move(numeric_sums);
+  aggregator.supports_ = std::move(supports);
+  return aggregator;
+}
+
+Status MixedAggregator::Merge(const MixedAggregator& other) {
+  if (collector_ != other.collector_ &&
+      !collector_->CompatibleWith(*other.collector_)) {
+    return Status::FailedPrecondition(
+        "cannot merge aggregators built from incompatible collectors");
+  }
   num_reports_ += other.num_reports_;
   for (uint32_t j = 0; j < collector_->dimension(); ++j) {
     attribute_reports_[j] += other.attribute_reports_[j];
@@ -110,6 +174,7 @@ void MixedAggregator::Merge(const MixedAggregator& other) {
       supports_[j][v] += other.supports_[j][v];
     }
   }
+  return Status::OK();
 }
 
 Result<double> MixedAggregator::EstimateMean(uint32_t attribute) const {

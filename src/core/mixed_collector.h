@@ -96,6 +96,19 @@ class MixedTupleCollector {
   /// The number of attributes each user reports (Eq. 12).
   uint32_t k() const { return k_; }
 
+  /// The scalar-mechanism kind used for numeric attributes.
+  MechanismKind numeric_kind() const { return numeric_kind_; }
+
+  /// The frequency-oracle kind used for categorical attributes.
+  FrequencyOracleKind categorical_kind() const { return categorical_kind_; }
+
+  /// True when `other` describes the same protocol: equal schema (dimension,
+  /// per-attribute type and domain), budget, sample count and mechanism /
+  /// oracle kinds. Reports and aggregator state are interchangeable between
+  /// compatible collectors, which is what lets shards produced by separate
+  /// processes be merged.
+  bool CompatibleWith(const MixedTupleCollector& other) const;
+
   /// The per-attribute budget ε/k.
   double per_attribute_epsilon() const { return per_attribute_epsilon_; }
 
@@ -114,12 +127,15 @@ class MixedTupleCollector {
  private:
   MixedTupleCollector(
       std::vector<MixedAttribute> schema, double epsilon, uint32_t k,
+      MechanismKind numeric_kind, FrequencyOracleKind categorical_kind,
       std::shared_ptr<const ScalarMechanism> scalar,
       std::vector<std::shared_ptr<const FrequencyOracle>> oracles)
       : schema_(std::move(schema)),
         epsilon_(epsilon),
         k_(k),
         per_attribute_epsilon_(epsilon / k),
+        numeric_kind_(numeric_kind),
+        categorical_kind_(categorical_kind),
         scalar_(std::move(scalar)),
         oracles_(std::move(oracles)) {}
 
@@ -127,6 +143,8 @@ class MixedTupleCollector {
   double epsilon_;
   uint32_t k_;
   double per_attribute_epsilon_;
+  MechanismKind numeric_kind_;
+  FrequencyOracleKind categorical_kind_;
   std::shared_ptr<const ScalarMechanism> scalar_;
   // One oracle per attribute (null at numeric positions); oracles with equal
   // domain sizes are shared.
@@ -140,11 +158,24 @@ class MixedAggregator {
   /// oracles to decode reports).
   explicit MixedAggregator(const MixedTupleCollector* collector);
 
+  /// Rebuilds an aggregator from previously captured state (the inverse of
+  /// the num_reports / attribute_report_counts / numeric_sums / supports
+  /// accessors, used by the snapshot codec). Validates every vector length
+  /// against `collector`'s schema and that all values are finite.
+  static Result<MixedAggregator> FromParts(
+      const MixedTupleCollector* collector, uint64_t num_reports,
+      std::vector<uint64_t> attribute_reports,
+      std::vector<double> numeric_sums,
+      std::vector<std::vector<double>> supports);
+
   /// Folds in one user's report.
   void Add(const MixedReport& report);
 
-  /// Merges another aggregator built from the same collector.
-  void Merge(const MixedAggregator& other);
+  /// Merges another aggregator. The two aggregators must be built from the
+  /// same collector or from CompatibleWith collectors (equal schema, budget,
+  /// sample count and mechanism/oracle kinds); returns FailedPrecondition
+  /// otherwise and leaves this aggregator untouched.
+  Status Merge(const MixedAggregator& other);
 
   /// Unbiased mean estimate of numeric attribute `attribute`; fails if the
   /// attribute is categorical.
@@ -172,6 +203,19 @@ class MixedAggregator {
   uint64_t attribute_report_count(uint32_t attribute) const {
     return attribute_reports_[attribute];
   }
+
+  /// Raw accumulated state, exposed so aggregator snapshots can be
+  /// serialised for cross-process shard merging (stream/snapshot.h).
+  const std::vector<uint64_t>& attribute_report_counts() const {
+    return attribute_reports_;
+  }
+  const std::vector<double>& numeric_sums() const { return numeric_sums_; }
+  const std::vector<std::vector<double>>& supports() const {
+    return supports_;
+  }
+
+  /// The collector this aggregator was built from.
+  const MixedTupleCollector* collector() const { return collector_; }
 
  private:
   const MixedTupleCollector* collector_;

@@ -7,89 +7,11 @@ namespace ldp {
 
 namespace {
 
-// Little-endian primitive writers/readers over a std::string buffer. The
-// reader tracks a cursor and fails closed on truncation.
-
-void PutU8(std::string* out, uint8_t value) {
-  out->push_back(static_cast<char>(value));
-}
-
-void PutU16(std::string* out, uint16_t value) {
-  out->push_back(static_cast<char>(value & 0xff));
-  out->push_back(static_cast<char>((value >> 8) & 0xff));
-}
-
-void PutU32(std::string* out, uint32_t value) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    out->push_back(static_cast<char>((value >> shift) & 0xff));
-  }
-}
-
-void PutF64(std::string* out, double value) {
-  uint64_t bits = 0;
-  std::memcpy(&bits, &value, sizeof(bits));
-  for (int shift = 0; shift < 64; shift += 8) {
-    out->push_back(static_cast<char>((bits >> shift) & 0xff));
-  }
-}
-
-class Reader {
- public:
-  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
-
-  Result<uint8_t> U8() {
-    if (cursor_ + 1 > bytes_.size()) return Truncated();
-    return static_cast<uint8_t>(bytes_[cursor_++]);
-  }
-
-  Result<uint16_t> U16() {
-    if (cursor_ + 2 > bytes_.size()) return Truncated();
-    uint16_t value = 0;
-    for (int i = 0; i < 2; ++i) {
-      value = static_cast<uint16_t>(
-          value | (static_cast<uint16_t>(
-                       static_cast<uint8_t>(bytes_[cursor_ + i]))
-                   << (8 * i)));
-    }
-    cursor_ += 2;
-    return value;
-  }
-
-  Result<uint32_t> U32() {
-    if (cursor_ + 4 > bytes_.size()) return Truncated();
-    uint32_t value = 0;
-    for (int i = 0; i < 4; ++i) {
-      value |= static_cast<uint32_t>(
-                   static_cast<uint8_t>(bytes_[cursor_ + i]))
-               << (8 * i);
-    }
-    cursor_ += 4;
-    return value;
-  }
-
-  Result<double> F64() {
-    if (cursor_ + 8 > bytes_.size()) return Truncated();
-    uint64_t bits = 0;
-    for (int i = 0; i < 8; ++i) {
-      bits |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[cursor_ + i]))
-              << (8 * i);
-    }
-    cursor_ += 8;
-    double value = 0.0;
-    std::memcpy(&value, &bits, sizeof(value));
-    return value;
-  }
-
-  bool AtEnd() const { return cursor_ == bytes_.size(); }
-
- private:
-  static Status Truncated() {
-    return Status::InvalidArgument("truncated report");
-  }
-
-  const std::string& bytes_;
-  size_t cursor_ = 0;
-};
+using internal_wire::PutF64;
+using internal_wire::PutU16;
+using internal_wire::PutU32;
+using internal_wire::PutU8;
+using internal_wire::Reader;
 
 constexpr uint8_t kNumericEntry = 0;
 constexpr uint8_t kCategoricalEntry = 1;
@@ -109,7 +31,12 @@ std::string EncodeSampledNumericReport(const SampledNumericReport& report) {
 
 Result<SampledNumericReport> DecodeSampledNumericReport(
     const std::string& bytes, const SampledNumericMechanism& mechanism) {
-  Reader reader(bytes);
+  return DecodeSampledNumericReport(bytes.data(), bytes.size(), mechanism);
+}
+
+Result<SampledNumericReport> DecodeSampledNumericReport(
+    const char* data, size_t size, const SampledNumericMechanism& mechanism) {
+  Reader reader(data, size);
   uint16_t count = 0;
   LDP_ASSIGN_OR_RETURN(count, reader.U16());
   if (count != mechanism.k()) {
@@ -169,12 +96,20 @@ std::string EncodeMixedReport(const MixedReport& report,
 
 Result<MixedReport> DecodeMixedReport(const std::string& bytes,
                                       const MixedTupleCollector& collector) {
-  Reader reader(bytes);
+  return DecodeMixedReport(bytes.data(), bytes.size(), collector);
+}
+
+Result<MixedReport> DecodeMixedReport(const char* data, size_t size,
+                                      const MixedTupleCollector& collector) {
+  Reader reader(data, size);
   uint16_t count = 0;
   LDP_ASSIGN_OR_RETURN(count, reader.U16());
   if (count != collector.k()) {
     return Status::InvalidArgument("report must carry exactly k entries");
   }
+  const double bound = static_cast<double>(collector.dimension()) /
+                       collector.k() *
+                       collector.scalar_mechanism().OutputBound();
   MixedReport report;
   report.reserve(count);
   for (uint16_t i = 0; i < count; ++i) {
@@ -191,8 +126,9 @@ Result<MixedReport> DecodeMixedReport(const std::string& bytes,
         return Status::InvalidArgument("numeric entry for categorical attribute");
       }
       LDP_ASSIGN_OR_RETURN(entry.numeric_value, reader.F64());
-      if (!std::isfinite(entry.numeric_value)) {
-        return Status::InvalidArgument("non-finite numeric value");
+      if (!std::isfinite(entry.numeric_value) ||
+          std::abs(entry.numeric_value) > bound * (1.0 + 1e-9)) {
+        return Status::InvalidArgument("value outside the mechanism's range");
       }
     } else if (kind == kCategoricalEntry) {
       if (spec.type != AttributeType::kCategorical) {
@@ -206,6 +142,11 @@ Result<MixedReport> DecodeMixedReport(const std::string& bytes,
         LDP_ASSIGN_OR_RETURN(payload, reader.U32());
         entry.categorical_report.push_back(payload);
       }
+      // Oracle-specific shape/range validation: without it a hostile
+      // payload could make the aggregator's Accumulate index out of
+      // bounds (the oracles only LDP_DCHECK their inputs).
+      LDP_RETURN_IF_ERROR(collector.oracle_for(entry.attribute)
+                              ->ValidateReport(entry.categorical_report));
     } else {
       return Status::InvalidArgument("unknown entry kind");
     }

@@ -17,6 +17,7 @@
 #define LDP_CORE_WIRE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -26,12 +27,118 @@
 
 namespace ldp {
 
+namespace internal_wire {
+
+// Little-endian primitive writers/readers over a std::string buffer, shared
+// by the report codecs here and the stream framing layer (stream/). The
+// reader tracks a cursor and fails closed on truncation.
+
+inline void PutU8(std::string* out, uint8_t value) {
+  out->push_back(static_cast<char>(value));
+}
+
+inline void PutU16(std::string* out, uint16_t value) {
+  out->push_back(static_cast<char>(value & 0xff));
+  out->push_back(static_cast<char>((value >> 8) & 0xff));
+}
+
+inline void PutU32(std::string* out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+inline void PutU64(std::string* out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+inline void PutF64(std::string* out, double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutU64(out, bits);
+}
+
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit Reader(const std::string& bytes)
+      : Reader(bytes.data(), bytes.size()) {}
+
+  Result<uint8_t> U8() {
+    if (cursor_ + 1 > size_) return Truncated();
+    return static_cast<uint8_t>(data_[cursor_++]);
+  }
+
+  Result<uint16_t> U16() {
+    if (cursor_ + 2 > size_) return Truncated();
+    uint16_t value = 0;
+    for (int i = 0; i < 2; ++i) {
+      value = static_cast<uint16_t>(
+          value |
+          (static_cast<uint16_t>(static_cast<uint8_t>(data_[cursor_ + i]))
+           << (8 * i)));
+    }
+    cursor_ += 2;
+    return value;
+  }
+
+  Result<uint32_t> U32() {
+    if (cursor_ + 4 > size_) return Truncated();
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      value |= static_cast<uint32_t>(static_cast<uint8_t>(data_[cursor_ + i]))
+               << (8 * i);
+    }
+    cursor_ += 4;
+    return value;
+  }
+
+  Result<uint64_t> U64() {
+    if (cursor_ + 8 > size_) return Truncated();
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(static_cast<uint8_t>(data_[cursor_ + i]))
+               << (8 * i);
+    }
+    cursor_ += 8;
+    return value;
+  }
+
+  Result<double> F64() {
+    uint64_t bits = 0;
+    LDP_ASSIGN_OR_RETURN(bits, U64());
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  bool AtEnd() const { return cursor_ == size_; }
+  size_t cursor() const { return cursor_; }
+
+ private:
+  static Status Truncated() {
+    return Status::InvalidArgument("truncated report");
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace internal_wire
+
 /// Serialises an Algorithm-4 numeric report.
 std::string EncodeSampledNumericReport(const SampledNumericReport& report);
 
 /// Parses a serialised numeric report, validating attribute indices against
 /// `mechanism`'s dimension, the entry count against its k, and every value
-/// against the mechanism's scaled output bound.
+/// against the mechanism's scaled output bound. The (data, size) overload
+/// parses in place — the streaming ingester uses it to decode frames without
+/// copying them out of its buffer.
+Result<SampledNumericReport> DecodeSampledNumericReport(
+    const char* data, size_t size, const SampledNumericMechanism& mechanism);
 Result<SampledNumericReport> DecodeSampledNumericReport(
     const std::string& bytes, const SampledNumericMechanism& mechanism);
 
@@ -42,8 +149,11 @@ Result<SampledNumericReport> DecodeSampledNumericReport(
 std::string EncodeMixedReport(const MixedReport& report,
                               const MixedTupleCollector& collector);
 
-/// Parses a serialised mixed report, validating entry kinds and attribute
-/// indices against `collector`'s schema and the entry count against its k.
+/// Parses a serialised mixed report, validating entry kinds, attribute
+/// indices and oracle payloads against `collector`'s schema and the entry
+/// count against its k. The (data, size) overload parses in place.
+Result<MixedReport> DecodeMixedReport(const char* data, size_t size,
+                                      const MixedTupleCollector& collector);
 Result<MixedReport> DecodeMixedReport(const std::string& bytes,
                                       const MixedTupleCollector& collector);
 

@@ -60,8 +60,19 @@ class FrequencyOracle {
 
   /// Folds one report into per-value support counts. `support` must have
   /// domain_size() entries; entry v counts reports consistent with value v.
+  /// The report must be well-formed for this oracle (callers ingesting
+  /// untrusted bytes run ValidateReport first; reports produced by Perturb
+  /// are always well-formed).
   virtual void Accumulate(const Report& report,
                           std::vector<double>* support) const = 0;
+
+  /// Checks that `report` is structurally valid for this oracle — the shape
+  /// and value ranges Perturb can actually emit — so that Accumulate cannot
+  /// index out of bounds or double-count. This is the server-side guard for
+  /// reports arriving over the wire (core/wire.h runs it during decode);
+  /// it does not (and cannot) detect a lying client whose report is merely
+  /// improbable.
+  virtual Status ValidateReport(const Report& report) const = 0;
 
   /// Turns support counts over `num_reports` reports into unbiased frequency
   /// estimates, one per domain value. Estimates may fall outside [0, 1];

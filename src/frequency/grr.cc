@@ -35,6 +35,16 @@ void GrrOracle::Accumulate(const Report& report,
   (*support)[report[0]] += 1.0;
 }
 
+Status GrrOracle::ValidateReport(const Report& report) const {
+  if (report.size() != 1) {
+    return Status::InvalidArgument("GRR report must carry exactly one value");
+  }
+  if (report[0] >= domain_size()) {
+    return Status::InvalidArgument("GRR report value outside the domain");
+  }
+  return Status::OK();
+}
+
 std::vector<double> GrrOracle::Estimate(const std::vector<double>& support,
                                         uint64_t num_reports) const {
   LDP_DCHECK(support.size() == domain_size());

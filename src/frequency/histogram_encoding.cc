@@ -52,6 +52,14 @@ void HeOracle::Accumulate(const Report& report,
   }
 }
 
+Status HeOracle::ValidateReport(const Report& report) const {
+  if (report.size() != domain_size()) {
+    return Status::InvalidArgument(
+        "HE report must carry one component per domain value");
+  }
+  return Status::OK();
+}
+
 std::vector<double> HeOracle::Estimate(const std::vector<double>& support,
                                        uint64_t num_reports) const {
   LDP_DCHECK(support.size() == domain_size());
@@ -130,6 +138,22 @@ void TheOracle::Accumulate(const Report& report,
     LDP_DCHECK(bit < domain_size());
     (*support)[bit] += 1.0;
   }
+}
+
+Status TheOracle::ValidateReport(const Report& report) const {
+  if (report.size() > domain_size()) {
+    return Status::InvalidArgument("THE report has more bits than the domain");
+  }
+  for (size_t i = 0; i < report.size(); ++i) {
+    if (report[i] >= domain_size()) {
+      return Status::InvalidArgument("THE report bit outside the domain");
+    }
+    if (i > 0 && report[i] <= report[i - 1]) {
+      return Status::InvalidArgument(
+          "THE report bits must be strictly increasing");
+    }
+  }
+  return Status::OK();
 }
 
 std::vector<double> TheOracle::Estimate(const std::vector<double>& support,

@@ -56,6 +56,17 @@ void OlhOracle::Accumulate(const Report& report,
   }
 }
 
+Status OlhOracle::ValidateReport(const Report& report) const {
+  if (report.size() != 3) {
+    return Status::InvalidArgument(
+        "OLH report must carry {seed_lo, seed_hi, bucket}");
+  }
+  if (report[2] >= hash_range_) {
+    return Status::InvalidArgument("OLH report bucket outside the hash range");
+  }
+  return Status::OK();
+}
+
 std::vector<double> OlhOracle::Estimate(const std::vector<double>& support,
                                         uint64_t num_reports) const {
   LDP_DCHECK(support.size() == domain_size());

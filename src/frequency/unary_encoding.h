@@ -20,6 +20,7 @@ class UnaryEncodingOracle : public FrequencyOracle {
   Report Perturb(uint32_t value, Rng* rng) const override;
   void Accumulate(const Report& report,
                   std::vector<double>* support) const override;
+  Status ValidateReport(const Report& report) const override;
   std::vector<double> Estimate(const std::vector<double>& support,
                                uint64_t num_reports) const override;
   double EstimateVariance(double f, uint64_t num_reports) const override;

@@ -47,6 +47,10 @@
 #include "ml/ldp_sgd.h"
 #include "ml/loss.h"
 #include "ml/sgd.h"
+#include "stream/parallel_ingest.h"
+#include "stream/report_stream.h"
+#include "stream/shard_ingester.h"
+#include "stream/snapshot.h"
 #include "util/random.h"
 #include "util/result.h"
 #include "util/sampling.h"

@@ -1,0 +1,83 @@
+// Multi-shard ingestion driver: fans a set of report-stream shards (files or
+// in-memory buffers) across a ThreadPool, one ShardIngester per shard, and
+// reduces the per-shard aggregators IN SHARD ORDER. The ordered reduction is
+// what makes the result independent of thread scheduling: a run over shards
+// whose boundaries match util/threadpool.h SplitRange reproduces the pooled
+// single-process CollectProposed bit for bit.
+
+#ifndef LDP_STREAM_PARALLEL_INGEST_H_
+#define LDP_STREAM_PARALLEL_INGEST_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/mixed_collector.h"
+#include "stream/shard_ingester.h"
+#include "util/result.h"
+#include "util/threadpool.h"
+
+namespace ldp::stream {
+
+/// Per-shard outcome of a multi-shard ingestion run.
+struct ShardIngestOutcome {
+  std::string source;  ///< File path, or "shard <i>" for buffers.
+  Status status;       ///< Why this shard failed, if it did.
+  ShardIngester::Stats stats;
+};
+
+/// Aggregate statistics of a multi-shard ingestion run.
+struct MultiShardSummary {
+  std::vector<ShardIngestOutcome> shards;
+  uint64_t total_reports = 0;  ///< Accepted reports across all shards.
+  uint64_t total_rejected = 0;
+  uint64_t total_bytes = 0;
+};
+
+/// One input of a multi-shard run: a display name plus a loader producing
+/// the shard's aggregator (and filling `stats` as it goes). Loaders run
+/// concurrently, so they must not share mutable state.
+struct ShardSource {
+  std::string name;
+  std::function<Result<MixedAggregator>(ShardIngester::Stats* stats)> load;
+};
+
+/// Loads every source concurrently on `pool` (inline when null) and merges
+/// the shard aggregates IN SOURCE ORDER. Fails on the first source (in
+/// order) that errors; `summary`, when non-null, is filled either way.
+/// This is the generic reducer under IngestShardFiles / IngestShardBuffers;
+/// ldp_aggregate uses it directly to mix stream and snapshot inputs.
+Result<MixedAggregator> IngestShardSources(
+    const MixedTupleCollector& collector,
+    const std::vector<ShardSource>& sources, ThreadPool* pool,
+    MultiShardSummary* summary = nullptr);
+
+/// A source that opens `path` and ingests it as a framed report stream.
+ShardSource StreamFileSource(const MixedTupleCollector& collector,
+                             std::string path,
+                             ShardIngester::Options options);
+
+/// A source that reads `path` and decodes it as an aggregator snapshot.
+ShardSource SnapshotFileSource(const MixedTupleCollector& collector,
+                               std::string path);
+
+/// Ingests every file in `paths` concurrently on `pool` (inline when null)
+/// and merges the shard aggregates in path order. Fails on the first shard
+/// (in path order) whose stream is invalid; `summary`, when non-null, is
+/// filled either way.
+Result<MixedAggregator> IngestShardFiles(
+    const MixedTupleCollector& collector,
+    const std::vector<std::string>& paths, ThreadPool* pool,
+    ShardIngester::Options options = ShardIngester::Options(),
+    MultiShardSummary* summary = nullptr);
+
+/// As IngestShardFiles, over in-memory stream buffers (tests, benchmarks).
+Result<MixedAggregator> IngestShardBuffers(
+    const MixedTupleCollector& collector,
+    const std::vector<std::string>& buffers, ThreadPool* pool,
+    ShardIngester::Options options = ShardIngester::Options(),
+    MultiShardSummary* summary = nullptr);
+
+}  // namespace ldp::stream
+
+#endif  // LDP_STREAM_PARALLEL_INGEST_H_

@@ -1,0 +1,122 @@
+#include "stream/shard_ingester.h"
+
+#include <istream>
+
+#include "core/wire.h"
+#include "util/check.h"
+
+namespace ldp::stream {
+
+namespace {
+
+using internal_wire::Reader;
+
+constexpr size_t kIngestChunkBytes = 64 * 1024;
+
+}  // namespace
+
+ShardIngester::ShardIngester(const MixedTupleCollector* collector,
+                             Options options)
+    : collector_(collector), options_(options), aggregator_(collector) {
+  LDP_CHECK(collector != nullptr);
+}
+
+Status ShardIngester::Poison(Status status) {
+  LDP_CHECK(!status.ok());
+  failed_ = std::move(status);
+  buffer_.clear();
+  return failed_;
+}
+
+Status ShardIngester::Feed(const char* data, size_t size) {
+  if (!failed_.ok()) return failed_;
+  buffer_.append(data, size);
+  stats_.bytes += size;
+  return ProcessBuffered();
+}
+
+Status ShardIngester::ProcessBuffered() {
+  size_t consumed = 0;
+  for (;;) {
+    const size_t available = buffer_.size() - consumed;
+    if (state_ == State::kHeader) {
+      if (available < kStreamHeaderBytes) break;
+      Result<StreamHeader> header =
+          DecodeStreamHeader(buffer_.data() + consumed, kStreamHeaderBytes);
+      if (!header.ok()) return Poison(header.status());
+      const Status match = ValidateMixedStreamHeader(header.value(),
+                                                     *collector_);
+      if (!match.ok()) return Poison(match);
+      header_ = header.value();
+      consumed += kStreamHeaderBytes;
+      state_ = State::kFrameLength;
+    } else if (state_ == State::kFrameLength) {
+      if (available < 4) break;
+      Reader reader(buffer_.data() + consumed, 4);
+      uint32_t length = 0;
+      const Result<uint32_t> parsed = reader.U32();
+      LDP_CHECK(parsed.ok());
+      length = parsed.value();
+      if (length > kMaxFrameBytes) {
+        return Poison(Status::InvalidArgument(
+            "frame length exceeds kMaxFrameBytes"));
+      }
+      frame_length_ = length;
+      consumed += 4;
+      state_ = State::kFramePayload;
+    } else {  // kFramePayload
+      if (available < frame_length_) break;
+      ++stats_.frames;
+      Result<MixedReport> report = DecodeMixedReport(
+          buffer_.data() + consumed, frame_length_, *collector_);
+      consumed += frame_length_;
+      state_ = State::kFrameLength;
+      if (report.ok()) {
+        aggregator_.Add(report.value());
+        ++stats_.accepted;
+      } else {
+        ++stats_.rejected;
+        if (options_.strict) {
+          return Poison(Status::InvalidArgument(
+              "undecodable report in strict mode: " +
+              report.status().message()));
+        }
+        if (stats_.rejected > options_.max_rejected) {
+          return Poison(Status::InvalidArgument(
+              "rejected report budget exhausted"));
+        }
+      }
+    }
+  }
+  buffer_.erase(0, consumed);
+  return Status::OK();
+}
+
+Status ShardIngester::Finish() {
+  if (!failed_.ok()) return failed_;
+  if (state_ == State::kHeader) {
+    return Poison(Status::InvalidArgument(
+        "stream ended before a complete header"));
+  }
+  if (state_ == State::kFramePayload || !buffer_.empty()) {
+    return Poison(Status::InvalidArgument(
+        "stream ended inside a frame"));
+  }
+  return Status::OK();
+}
+
+Status ShardIngester::IngestStream(std::istream& in) {
+  std::string chunk(kIngestChunkBytes, '\0');
+  while (in.good()) {
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const auto got = static_cast<size_t>(in.gcount());
+    if (got == 0) break;
+    LDP_RETURN_IF_ERROR(Feed(chunk.data(), got));
+  }
+  if (in.bad()) {
+    return Poison(Status::IoError("read error on report stream"));
+  }
+  return Finish();
+}
+
+}  // namespace ldp::stream

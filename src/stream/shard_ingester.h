@@ -1,0 +1,101 @@
+// ShardIngester: the server-side consumer of one framed report stream
+// (stream/report_stream.h). Bytes are fed incrementally — network-buffer
+// style — and reports are folded into a MixedAggregator as soon as their
+// frame completes, so memory stays O(schema + one frame) no matter how many
+// reports the shard carries.
+//
+// Failure policy: violations of the *framing* layer (bad magic or version,
+// header/collector mismatch, oversized frame length, bytes missing at
+// Finish) are unrecoverable — the frame boundaries themselves can no longer
+// be trusted — and poison the ingester. A frame whose *payload* fails report
+// validation (core/wire.h rejects it) only increments the rejected counter
+// and is skipped, unless Options::strict is set or the rejection budget
+// Options::max_rejected is exhausted; a malicious client can therefore not
+// abort a shard shared with honest reports.
+
+#ifndef LDP_STREAM_SHARD_INGESTER_H_
+#define LDP_STREAM_SHARD_INGESTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+
+#include "core/mixed_collector.h"
+#include "stream/report_stream.h"
+#include "util/status.h"
+
+namespace ldp::stream {
+
+/// Decodes one report stream into a MixedAggregator, incrementally.
+class ShardIngester {
+ public:
+  struct Options {
+    /// Fail the stream on the first undecodable report payload instead of
+    /// skipping it.
+    bool strict = false;
+    /// Maximum number of undecodable payloads tolerated before the stream
+    /// fails anyway (guards against shards that are mostly garbage).
+    uint64_t max_rejected = std::numeric_limits<uint64_t>::max();
+  };
+
+  struct Stats {
+    uint64_t bytes = 0;     ///< Total bytes consumed, header included.
+    uint64_t frames = 0;    ///< Completed frames seen.
+    uint64_t accepted = 0;  ///< Reports folded into the aggregator.
+    uint64_t rejected = 0;  ///< Frames whose payload failed validation.
+  };
+
+  /// `collector` must outlive the ingester; the stream header is validated
+  /// against it before any report is accepted.
+  explicit ShardIngester(const MixedTupleCollector* collector)
+      : ShardIngester(collector, Options()) {}
+  ShardIngester(const MixedTupleCollector* collector, Options options);
+
+  /// Consumes `size` bytes of the stream. May be called with arbitrarily
+  /// small or large chunks; returns the sticky stream status.
+  Status Feed(const char* data, size_t size);
+  Status Feed(const std::string& bytes) {
+    return Feed(bytes.data(), bytes.size());
+  }
+
+  /// Declares end-of-stream: fails if the stream is already poisoned, ended
+  /// mid-frame, or never carried a full header.
+  Status Finish();
+
+  /// Convenience loop: feeds `in` to completion in fixed-size chunks and
+  /// calls Finish.
+  Status IngestStream(std::istream& in);
+
+  /// True once the header has been parsed and validated.
+  bool header_seen() const { return state_ != State::kHeader; }
+
+  /// The stream header; only meaningful once header_seen().
+  const StreamHeader& header() const { return header_; }
+
+  /// The accumulated aggregate. Valid at any point during ingestion (it
+  /// reflects every report accepted so far).
+  const MixedAggregator& aggregator() const { return aggregator_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum class State { kHeader, kFrameLength, kFramePayload };
+
+  Status Poison(Status status);
+  Status ProcessBuffered();
+
+  const MixedTupleCollector* collector_;
+  Options options_;
+  MixedAggregator aggregator_;
+  StreamHeader header_;
+  Stats stats_;
+  Status failed_ = Status::OK();  // sticky framing-layer error
+  State state_ = State::kHeader;
+  std::string buffer_;      // unconsumed bytes, bounded by one frame
+  uint32_t frame_length_ = 0;
+};
+
+}  // namespace ldp::stream
+
+#endif  // LDP_STREAM_SHARD_INGESTER_H_

@@ -58,6 +58,24 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+std::vector<IndexRange> SplitRange(uint64_t n, uint64_t max_chunks) {
+  std::vector<IndexRange> ranges;
+  if (n == 0) return ranges;
+  const uint64_t chunks = std::max<uint64_t>(1, std::min(max_chunks, n));
+  const uint64_t chunk_size = (n + chunks - 1) / chunks;
+  ranges.reserve(chunks);
+  for (uint64_t begin = 0; begin < n; begin += chunk_size) {
+    ranges.push_back({begin, std::min(n, begin + chunk_size)});
+  }
+  return ranges;
+}
+
+uint64_t ParallelForChunkCount(const ThreadPool* pool, uint64_t n) {
+  if (n == 0) return 0;
+  if (pool == nullptr || pool->num_threads() <= 1) return 1;
+  return SplitRange(n, pool->num_threads() * 4).size();
+}
+
 void ParallelFor(ThreadPool* pool, uint64_t n,
                  const std::function<void(unsigned, uint64_t, uint64_t)>& body) {
   if (n == 0) return;
@@ -65,12 +83,11 @@ void ParallelFor(ThreadPool* pool, uint64_t n,
     body(0, 0, n);
     return;
   }
-  const uint64_t chunks = std::min<uint64_t>(pool->num_threads() * 4, n);
-  const uint64_t chunk_size = (n + chunks - 1) / chunks;
-  for (uint64_t c = 0, begin = 0; begin < n; ++c, begin += chunk_size) {
-    const uint64_t end = std::min(n, begin + chunk_size);
-    pool->Submit([c, begin, end, &body] {
-      body(static_cast<unsigned>(c), begin, end);
+  const std::vector<IndexRange> ranges = SplitRange(n, pool->num_threads() * 4);
+  for (uint64_t c = 0; c < ranges.size(); ++c) {
+    const IndexRange range = ranges[c];
+    pool->Submit([c, range, &body] {
+      body(static_cast<unsigned>(c), range.begin, range.end);
     });
   }
   pool->Wait();

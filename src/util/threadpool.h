@@ -49,9 +49,27 @@ class ThreadPool {
   bool shutting_down_ = false;
 };
 
-/// Splits [0, n) into roughly equal chunks and runs
-/// `body(chunk_index, begin, end)` across `pool`'s workers, blocking until all
-/// chunks finish. With a null pool the body runs inline (single chunk).
+/// A half-open index range [begin, end).
+struct IndexRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+/// Splits [0, n) into at most `max_chunks` contiguous, roughly equal,
+/// non-empty ranges in ascending order. This is the canonical chunking used
+/// by ParallelFor and by the stream sharding tools: producing shards with
+/// SplitRange boundaries and reducing them in order reproduces a pooled
+/// single-process run bit for bit.
+std::vector<IndexRange> SplitRange(uint64_t n, uint64_t max_chunks);
+
+/// The number of chunks ParallelFor will use for `n` items on `pool` (1 for
+/// a null or single-threaded pool).
+uint64_t ParallelForChunkCount(const ThreadPool* pool, uint64_t n);
+
+/// Splits [0, n) into SplitRange(n, ParallelForChunkCount(...)) chunks and
+/// runs `body(chunk_index, begin, end)` across `pool`'s workers, blocking
+/// until all chunks finish. With a null pool the body runs inline (single
+/// chunk). Chunk indices are dense: 0 .. ParallelForChunkCount(...)-1.
 void ParallelFor(ThreadPool* pool, uint64_t n,
                  const std::function<void(unsigned, uint64_t, uint64_t)>& body);
 

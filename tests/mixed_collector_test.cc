@@ -175,7 +175,7 @@ TEST(MixedAggregatorTest, MergeMatchesSequentialAggregation) {
     (i % 2 == 0 ? merged_a : merged_b).Add(split_report);
     sequential.Add(collector.Perturb(tuple, &rng_seq));
   }
-  merged_a.Merge(merged_b);
+  ASSERT_TRUE(merged_a.Merge(merged_b).ok());
   EXPECT_EQ(merged_a.num_reports(), sequential.num_reports());
   EXPECT_NEAR(merged_a.EstimateMean(0).value(),
               sequential.EstimateMean(0).value(), 1e-12);
@@ -184,6 +184,70 @@ TEST(MixedAggregatorTest, MergeMatchesSequentialAggregation) {
   for (size_t v = 0; v < f_merged.size(); ++v) {
     EXPECT_NEAR(f_merged[v], f_seq[v], 1e-12);
   }
+}
+
+TEST(MixedAggregatorTest, MergeAcceptsCompatibleCollectorInstances) {
+  // Two separately constructed collectors with identical configuration —
+  // the cross-process sharding case: reports aggregated on one machine must
+  // merge into an aggregator built on another.
+  auto collector_a = MixedTupleCollector::Create(SmallSchema(), 2.0);
+  auto collector_b = MixedTupleCollector::Create(SmallSchema(), 2.0);
+  ASSERT_TRUE(collector_a.ok());
+  ASSERT_TRUE(collector_b.ok());
+  EXPECT_TRUE(collector_a.value().CompatibleWith(collector_b.value()));
+
+  MixedAggregator a(&collector_a.value()), b(&collector_b.value());
+  Rng rng(17);
+  MixedTuple tuple(4);
+  tuple[0] = AttributeValue::Numeric(0.1);
+  tuple[1] = AttributeValue::Categorical(2);
+  tuple[2] = AttributeValue::Numeric(0.9);
+  tuple[3] = AttributeValue::Categorical(4);
+  for (int i = 0; i < 100; ++i) {
+    a.Add(collector_a.value().Perturb(tuple, &rng));
+    b.Add(collector_b.value().Perturb(tuple, &rng));
+  }
+  EXPECT_TRUE(a.Merge(b).ok());
+  EXPECT_EQ(a.num_reports(), 200u);
+}
+
+TEST(MixedAggregatorTest, MergeRejectsIncompatibleCollectors) {
+  auto collector = MixedTupleCollector::Create(SmallSchema(), 2.0);
+  ASSERT_TRUE(collector.ok());
+  MixedAggregator aggregator(&collector.value());
+
+  // Different ε.
+  auto other_epsilon = MixedTupleCollector::Create(SmallSchema(), 1.0);
+  ASSERT_TRUE(other_epsilon.ok());
+  MixedAggregator epsilon_agg(&other_epsilon.value());
+  EXPECT_EQ(aggregator.Merge(epsilon_agg).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Different dimension.
+  auto other_dimension = MixedTupleCollector::Create(
+      {MixedAttribute::Numeric(), MixedAttribute::Categorical(3)}, 2.0);
+  ASSERT_TRUE(other_dimension.ok());
+  MixedAggregator dimension_agg(&other_dimension.value());
+  EXPECT_FALSE(aggregator.Merge(dimension_agg).ok());
+
+  // Same shape, different categorical domain (supports sizes differ).
+  auto other_domain = MixedTupleCollector::Create(
+      {MixedAttribute::Numeric(), MixedAttribute::Categorical(3),
+       MixedAttribute::Numeric(), MixedAttribute::Categorical(7)},
+      2.0);
+  ASSERT_TRUE(other_domain.ok());
+  MixedAggregator domain_agg(&other_domain.value());
+  EXPECT_FALSE(aggregator.Merge(domain_agg).ok());
+
+  // Different oracle kind.
+  auto other_oracle = MixedTupleCollector::Create(
+      SmallSchema(), 2.0, MechanismKind::kHybrid, FrequencyOracleKind::kGrr);
+  ASSERT_TRUE(other_oracle.ok());
+  MixedAggregator oracle_agg(&other_oracle.value());
+  EXPECT_FALSE(aggregator.Merge(oracle_agg).ok());
+
+  // The failed merges must leave the target untouched.
+  EXPECT_EQ(aggregator.num_reports(), 0u);
 }
 
 TEST(MixedTupleCollectorTest, AllNumericSchemaBehavesLikeAlgorithm4) {

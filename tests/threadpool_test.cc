@@ -68,6 +68,42 @@ TEST(ParallelForTest, EmptyRangeInvokesNothing) {
   EXPECT_EQ(calls.load(), 0);
 }
 
+TEST(SplitRangeTest, CoversRangeContiguously) {
+  for (const uint64_t n : {1ull, 7ull, 100ull, 4001ull}) {
+    for (const uint64_t chunks : {1ull, 2ull, 8ull, 64ull, 5000ull}) {
+      const std::vector<IndexRange> ranges = SplitRange(n, chunks);
+      ASSERT_FALSE(ranges.empty());
+      EXPECT_LE(ranges.size(), std::min(n, chunks));
+      EXPECT_EQ(ranges.front().begin, 0u);
+      EXPECT_EQ(ranges.back().end, n);
+      for (size_t i = 0; i < ranges.size(); ++i) {
+        EXPECT_LT(ranges[i].begin, ranges[i].end);
+        if (i > 0) EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);
+      }
+    }
+  }
+  EXPECT_TRUE(SplitRange(0, 4).empty());
+}
+
+TEST(SplitRangeTest, MatchesParallelForChunking) {
+  // The contract the stream sharding tools rely on: ParallelFor on a pool
+  // of T threads visits exactly the ranges SplitRange(n, 4T) produces, in
+  // chunk-index order.
+  ThreadPool pool(3);
+  const uint64_t n = 1001;
+  const std::vector<IndexRange> expected =
+      SplitRange(n, pool.num_threads() * 4);
+  EXPECT_EQ(ParallelForChunkCount(&pool, n), expected.size());
+  std::vector<IndexRange> seen(expected.size());
+  ParallelFor(&pool, n, [&](unsigned chunk, uint64_t begin, uint64_t end) {
+    seen[chunk] = {begin, end};
+  });
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(seen[i].begin, expected[i].begin);
+    EXPECT_EQ(seen[i].end, expected[i].end);
+  }
+}
+
 TEST(ParallelForTest, ParallelSumMatchesSerial) {
   ThreadPool pool(8);
   const uint64_t n = 1 << 18;

@@ -192,6 +192,87 @@ TEST(MixedWireTest, RejectsUnknownEntryKind) {
   EXPECT_FALSE(DecodeMixedReport(crafted, collector).ok());
 }
 
+TEST(MixedWireTest, RejectsOutOfRangeAttribute) {
+  const MixedTupleCollector collector = MakeMixedCollector();
+  std::string crafted;
+  crafted.push_back(2);
+  crafted.push_back(0);
+  crafted.append(std::string("\x63\x00\x00\x00", 4));  // attribute 99
+  crafted.push_back(0);                                // numeric kind
+  crafted.append(8, '\0');
+  EXPECT_FALSE(DecodeMixedReport(crafted, collector).ok());
+}
+
+TEST(MixedWireTest, RejectsOversizedEntryCount) {
+  const MixedTupleCollector collector = MakeMixedCollector();
+  // entry_count of 0xffff: far more entries than k; must be rejected before
+  // any payload is trusted (and without attempting a 64k-entry reserve).
+  std::string crafted;
+  crafted.push_back(static_cast<char>(0xff));
+  crafted.push_back(static_cast<char>(0xff));
+  EXPECT_FALSE(DecodeMixedReport(crafted, collector).ok());
+
+  const SampledNumericMechanism mech = MakeNumericMechanism();
+  EXPECT_FALSE(DecodeSampledNumericReport(crafted, mech).ok());
+}
+
+TEST(MixedWireTest, RejectsOversizedCategoricalPayload) {
+  const MixedTupleCollector collector = MakeMixedCollector();
+  // Categorical entry for attribute 1 (domain 4) claiming 0xffff payload
+  // words: the unary-report validation must reject it even if the bytes
+  // were all present.
+  std::string crafted;
+  crafted.push_back(2);
+  crafted.push_back(0);
+  crafted.append(std::string("\x01\x00\x00\x00", 4));  // attribute 1
+  crafted.push_back(1);                                // categorical kind
+  crafted.push_back(static_cast<char>(0xff));
+  crafted.push_back(static_cast<char>(0xff));
+  EXPECT_FALSE(DecodeMixedReport(crafted, collector).ok());
+}
+
+TEST(MixedWireTest, RejectsCategoricalPayloadOutsideTheDomain) {
+  const MixedTupleCollector collector = MakeMixedCollector();
+  // A "set bit" index of 9 in a domain of 4: without validation the
+  // server-side Accumulate would write out of bounds.
+  MixedReport report;
+  MixedReportEntry entry;
+  entry.attribute = 1;
+  entry.categorical_report = {9};
+  report.push_back(entry);
+  MixedReportEntry numeric_entry;
+  numeric_entry.attribute = 0;
+  report.push_back(numeric_entry);
+  EXPECT_FALSE(
+      DecodeMixedReport(EncodeMixedReport(report, collector), collector)
+          .ok());
+  // Duplicate bits would double-count support; also rejected.
+  report[0].categorical_report = {2, 2};
+  EXPECT_FALSE(
+      DecodeMixedReport(EncodeMixedReport(report, collector), collector)
+          .ok());
+  // In-range strictly increasing bits pass.
+  report[0].categorical_report = {1, 3};
+  EXPECT_TRUE(
+      DecodeMixedReport(EncodeMixedReport(report, collector), collector)
+          .ok());
+}
+
+TEST(MixedWireTest, RejectsOutOfBoundNumericValue) {
+  const MixedTupleCollector collector = MakeMixedCollector();
+  MixedReport report;
+  MixedReportEntry entry;
+  entry.attribute = 0;
+  entry.numeric_value = 1e12;  // far beyond (d/k) * OutputBound for HM
+  report.push_back(entry);
+  MixedReportEntry other;
+  other.attribute = 2;
+  report.push_back(other);
+  EXPECT_FALSE(
+      DecodeMixedReport(EncodeMixedReport(report, collector), collector)
+          .ok());
+}
+
 TEST(MixedWireTest, EncodingIsCompact) {
   // k entries at ~13 bytes each (numeric) — sanity-check the size claim.
   const MixedTupleCollector collector = MakeMixedCollector();

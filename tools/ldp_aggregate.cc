@@ -1,0 +1,287 @@
+// ldp_aggregate: the server half of the deployment split. Ingests shard
+// inputs — framed report streams written by ldp_report and/or aggregator
+// snapshots written by a previous ldp_aggregate --snapshot-out — merges them
+// in argument order, and prints ε-LDP estimates with confidence intervals
+// for every attribute. The collector configuration (ε, mechanism, oracle) is
+// taken from the first input's validated header, so a mismatched client
+// population is rejected up front.
+//
+//   ldp_aggregate --schema FILE [--threads T] [--confidence C]
+//                 [--strict] [--max-rejected N] [--snapshot-out FILE]
+//                 SHARD...
+//
+// Streams are ingested concurrently across --threads workers but always
+// reduced in argument order, so the output is independent of scheduling:
+// shards produced by ldp_report with the same seed reproduce an in-process
+// ldp_collect run exactly. With --snapshot-out the merged state is written
+// as a snapshot instead of discarded, enabling tree-shaped aggregation
+// across server generations.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aggregate/collector.h"
+#include "aggregate/confidence.h"
+#include "core/sampled_numeric.h"
+#include "data/schema_text.h"
+#include "stream/parallel_ingest.h"
+#include "stream/report_stream.h"
+#include "stream/shard_ingester.h"
+#include "stream/snapshot.h"
+#include "util/threadpool.h"
+
+namespace {
+
+using namespace ldp;  // NOLINT: CLI binary
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ldp_aggregate --schema FILE [--threads T] [--confidence C]\n"
+      "                     [--strict] [--max-rejected N]\n"
+      "                     [--snapshot-out FILE] SHARD...\n"
+      "SHARD files are report streams (ldp_report) or snapshots\n"
+      "(ldp_aggregate --snapshot-out), merged in argument order.\n");
+}
+
+struct ShardInput {
+  std::string path;
+  bool is_snapshot = false;
+};
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("read error on '" + path + "'");
+  }
+  return contents.str();
+}
+
+// The collector configuration as recorded in a shard file's preamble.
+struct InputConfig {
+  double epsilon = 0.0;
+  MechanismKind mechanism = MechanismKind::kHybrid;
+  FrequencyOracleKind oracle = FrequencyOracleKind::kOue;
+};
+
+Result<InputConfig> PeekConfig(const ShardInput& input) {
+  InputConfig config;
+  if (input.is_snapshot) {
+    std::string bytes;
+    LDP_ASSIGN_OR_RETURN(bytes, ReadFile(input.path));
+    stream::SnapshotConfig snapshot;
+    LDP_ASSIGN_OR_RETURN(snapshot, stream::DecodeSnapshotConfig(bytes));
+    config.epsilon = snapshot.epsilon;
+    config.mechanism = snapshot.mechanism;
+    config.oracle = snapshot.oracle;
+    return config;
+  }
+  std::ifstream in(input.path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open '" + input.path + "'");
+  }
+  stream::ReportStreamReader reader(&in);
+  stream::StreamHeader header;
+  LDP_ASSIGN_OR_RETURN(header, reader.ReadHeader());
+  config.epsilon = header.epsilon;
+  config.mechanism = header.mechanism;
+  config.oracle = header.oracle;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string schema_path, snapshot_out;
+  double confidence = 0.95;
+  unsigned threads = 0;
+  stream::ShardIngester::Options ingest_options;
+  std::vector<std::string> shard_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--schema") {
+      schema_path = next();
+    } else if (arg == "--confidence") {
+      confidence = std::strtod(next(), nullptr);
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--strict") {
+      ingest_options.strict = true;
+    } else if (arg == "--max-rejected") {
+      ingest_options.max_rejected = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--snapshot-out") {
+      snapshot_out = next();
+    } else if (!arg.empty() && arg[0] == '-') {
+      Usage();
+      return 2;
+    } else {
+      shard_paths.push_back(arg);
+    }
+  }
+  if (schema_path.empty() || shard_paths.empty()) {
+    Usage();
+    return 2;
+  }
+
+  auto schema = data::ReadSchemaFile(schema_path);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+
+  // Classify each input by magic and pull the collector configuration from
+  // the first one; every other input is validated against it during decode.
+  std::vector<ShardInput> inputs;
+  for (const std::string& path : shard_paths) {
+    ShardInput input;
+    input.path = path;
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+      return 1;
+    }
+    char magic[4] = {0, 0, 0, 0};
+    in.read(magic, 4);
+    input.is_snapshot =
+        in.gcount() == 4 && stream::LooksLikeSnapshot(std::string(magic, 4));
+    inputs.push_back(std::move(input));
+  }
+  auto config = PeekConfig(inputs.front());
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s: %s\n", inputs.front().path.c_str(),
+                 config.status().ToString().c_str());
+    return 1;
+  }
+
+  auto mixed_schema = aggregate::ToMixedSchema(schema.value());
+  if (!mixed_schema.ok()) {
+    std::fprintf(stderr, "%s\n", mixed_schema.status().ToString().c_str());
+    return 1;
+  }
+  auto collector_result = MixedTupleCollector::Create(
+      std::move(mixed_schema).value(), config.value().epsilon,
+      config.value().mechanism, config.value().oracle);
+  if (!collector_result.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 collector_result.status().ToString().c_str());
+    return 1;
+  }
+  const MixedTupleCollector& collector = collector_result.value();
+
+  // Ingest every input concurrently; the driver reduces in argument order,
+  // so the result is independent of scheduling.
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  std::vector<stream::ShardSource> sources;
+  sources.reserve(inputs.size());
+  for (const ShardInput& input : inputs) {
+    sources.push_back(
+        input.is_snapshot
+            ? stream::SnapshotFileSource(collector, input.path)
+            : stream::StreamFileSource(collector, input.path,
+                                       ingest_options));
+  }
+  const auto started = std::chrono::steady_clock::now();
+  stream::MultiShardSummary summary;
+  auto total_result =
+      stream::IngestShardSources(collector, sources, pool.get(), &summary);
+  if (!total_result.ok()) {
+    std::fprintf(stderr, "%s\n", total_result.status().ToString().c_str());
+    return 1;
+  }
+  MixedAggregator total = std::move(total_result).value();
+  const uint64_t total_rejected = summary.total_rejected;
+  const uint64_t total_bytes = summary.total_bytes;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+
+  const uint64_t n = total.num_reports();
+  const uint32_t d = collector.dimension();
+  std::printf(
+      "ingested %llu reports from %zu shard(s) (%llu rejected, %llu bytes) "
+      "in %.3fs — %.0f reports/s\n",
+      static_cast<unsigned long long>(n), inputs.size(),
+      static_cast<unsigned long long>(total_rejected),
+      static_cast<unsigned long long>(total_bytes), elapsed,
+      elapsed > 0.0 ? static_cast<double>(n) / elapsed : 0.0);
+  std::printf(
+      "eps = %g (mechanism %s, oracle %s; %u of %u attributes per user)\n\n",
+      collector.epsilon(), MechanismKindToString(collector.numeric_kind()),
+      FrequencyOracleKindToString(collector.categorical_kind()),
+      collector.k(), d);
+
+  if (!snapshot_out.empty()) {
+    const std::string bytes = stream::EncodeAggregatorSnapshot(total);
+    std::ofstream out(snapshot_out, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      std::fprintf(stderr, "write error on %s\n", snapshot_out.c_str());
+      return 1;
+    }
+    std::printf("wrote merged snapshot to %s (%zu bytes)\n\n",
+                snapshot_out.c_str(), bytes.size());
+  }
+
+  auto sampled = SampledNumericMechanism::Create(
+      collector.numeric_kind(), collector.epsilon(), d);
+  std::printf("numeric attribute means (+/- %.0f%% CI, native units):\n",
+              confidence * 100.0);
+  for (uint32_t col = 0; col < d; ++col) {
+    const data::ColumnSpec& spec = schema.value().column(col);
+    if (spec.type != data::ColumnType::kNumeric) continue;
+    auto mean = total.EstimateMean(col);
+    if (!mean.ok()) {
+      std::fprintf(stderr, "%s\n", mean.status().ToString().c_str());
+      return 1;
+    }
+    const double mid = (spec.hi + spec.lo) / 2.0;
+    const double half = (spec.hi - spec.lo) / 2.0;
+    auto interval = aggregate::SampledMeanConfidenceInterval(
+        mean.value(), sampled.value(), n, confidence);
+    if (!interval.ok()) {
+      std::fprintf(stderr, "%s\n", interval.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-20s %12.4f  [%0.4f, %0.4f]\n", spec.name.c_str(),
+                mid + half * interval.value().estimate,
+                mid + half * interval.value().lo,
+                mid + half * interval.value().hi);
+  }
+
+  std::printf("\ncategorical attribute frequencies:\n");
+  for (uint32_t col = 0; col < d; ++col) {
+    const data::ColumnSpec& spec = schema.value().column(col);
+    if (spec.type != data::ColumnType::kCategorical) continue;
+    auto freqs = total.EstimateFrequencies(col);
+    if (!freqs.ok()) {
+      std::fprintf(stderr, "%s\n", freqs.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %s:", spec.name.c_str());
+    for (const double f : freqs.value()) std::printf(" %.4f", f);
+    std::printf("\n");
+  }
+  return 0;
+}
