@@ -1,17 +1,22 @@
 // Streaming-ingestion throughput: how fast the server half decodes framed
-// shard streams and folds reports into the aggregator, across worker counts.
-// This is the paper's deployment story at scale — millions of users send one
-// wire report each; the aggregator must keep up at line rate.
+// shard streams and folds reports into the aggregator. This is the paper's
+// deployment story at scale — millions of users send one wire report each;
+// the aggregator must keep up at line rate.
 //
-// Measures the full server path (frame scan → wire decode → validation →
-// MixedAggregator::Add → ordered shard merge) over pre-encoded in-memory
-// shards, so client-side perturbation cost is excluded.
+// Sweeps oracle kinds (GRR / SUE / OUE / OLH / HE — the payload encodings
+// differ by orders of magnitude in bytes/report) × shard counts (1 shard =
+// the single-core hot loop; more shards exercise the parallel ordered
+// reduction). Measures the full server path (frame scan → zero-copy wire
+// decode → validation → aggregator accumulation → ordered shard merge) over
+// pre-encoded in-memory shards, so client-side perturbation cost is
+// excluded.
 //
 //   LDP_BENCH_USERS   total reports across shards (default 1000000)
 //   LDP_BENCH_FAST=1  shrink for smoke runs (100000)
 //
-// Emits BENCH_stream_ingest.json next to the binary for trend tracking.
+// Emits one BENCH_stream_ingest.json next to the binary for trend tracking.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -31,14 +36,15 @@ namespace {
 
 using namespace ldp;  // NOLINT: benchmark binary
 
-// A census-like 8-attribute mixed schema.
-MixedTupleCollector MakeCollector() {
+// A census-like 8-attribute mixed schema; `oracle` picks the categorical
+// frequency oracle under sweep.
+MixedTupleCollector MakeCollector(FrequencyOracleKind oracle) {
   auto collector = MixedTupleCollector::Create(
       {MixedAttribute::Numeric(), MixedAttribute::Categorical(8),
        MixedAttribute::Numeric(), MixedAttribute::Categorical(16),
        MixedAttribute::Numeric(), MixedAttribute::Categorical(4),
        MixedAttribute::Numeric(), MixedAttribute::Categorical(32)},
-      4.0);
+      4.0, MechanismKind::kHybrid, oracle);
   if (!collector.ok()) {
     std::fprintf(stderr, "%s\n", collector.status().ToString().c_str());
     std::exit(1);
@@ -76,8 +82,11 @@ std::vector<std::string> EncodeShards(const MixedTupleCollector& collector,
   return shards;
 }
 
-struct IngestResult {
+struct SweepResult {
+  const char* oracle = "";
+  size_t shards = 0;
   unsigned threads = 0;
+  double bytes_per_report = 0.0;
   double seconds = 0.0;
   double reports_per_sec = 0.0;
   double mib_per_sec = 0.0;
@@ -98,61 +107,73 @@ int main() {
   }
 
   const unsigned hardware = std::thread::hardware_concurrency();
-  // Always at least 4 shards so the multi-shard reduce path is exercised
-  // even on single-core runners.
-  const size_t num_shards = hardware > 4 ? hardware : 4;
-  const MixedTupleCollector collector = MakeCollector();
+  std::vector<size_t> shard_counts = {1, 4};
+  if (hardware > 4) shard_counts.push_back(hardware);
 
-  std::printf("=== Streaming shard ingestion ===\n");
-  std::printf("(reports: %llu, shards: %zu, schema: %u attributes, k = %u)\n",
-              static_cast<unsigned long long>(reports), num_shards,
-              collector.dimension(), collector.k());
-  std::printf("encoding shards...\n");
-  const std::vector<std::string> shards =
-      EncodeShards(collector, reports, num_shards);
-  uint64_t total_bytes = 0;
-  for (const std::string& shard : shards) total_bytes += shard.size();
-  std::printf("encoded %llu bytes (%.1f bytes/report)\n\n",
-              static_cast<unsigned long long>(total_bytes),
-              static_cast<double>(total_bytes) /
-                  static_cast<double>(reports));
+  const struct {
+    FrequencyOracleKind kind;
+    const char* name;
+  } kOracles[] = {
+      {FrequencyOracleKind::kOue, "OUE"}, {FrequencyOracleKind::kGrr, "GRR"},
+      {FrequencyOracleKind::kSue, "SUE"}, {FrequencyOracleKind::kOlh, "OLH"},
+      {FrequencyOracleKind::kHe, "HE"},
+  };
 
-  std::vector<IngestResult> results;
-  std::printf("%-10s %12s %16s %12s\n", "threads", "seconds", "reports/s",
-              "MiB/s");
-  std::vector<unsigned> thread_counts = {1, 2, 4};
-  if (hardware > 4) thread_counts.push_back(hardware);
-  for (const unsigned threads : thread_counts) {
-    std::unique_ptr<ThreadPool> pool;
-    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-    const auto started = std::chrono::steady_clock::now();
-    auto total = stream::IngestShardBuffers(collector, shards, pool.get());
-    const double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      started)
-            .count();
-    if (!total.ok()) {
-      std::fprintf(stderr, "ingest failed: %s\n",
-                   total.status().ToString().c_str());
-      return 1;
+  std::printf("=== Streaming shard ingestion: oracle x shard sweep ===\n");
+  std::printf("(reports: %llu, schema: 8 attributes, eps = 4)\n\n",
+              static_cast<unsigned long long>(reports));
+  std::printf("%-8s %8s %8s %10s %10s %14s %10s\n", "oracle", "shards",
+              "threads", "B/report", "seconds", "reports/s", "MiB/s");
+
+  std::vector<SweepResult> results;
+  for (const auto& oracle : kOracles) {
+    const MixedTupleCollector collector = MakeCollector(oracle.kind);
+    for (const size_t num_shards : shard_counts) {
+      const std::vector<std::string> shards =
+          EncodeShards(collector, reports, num_shards);
+      uint64_t total_bytes = 0;
+      for (const std::string& shard : shards) total_bytes += shard.size();
+
+      const unsigned threads = std::min(static_cast<unsigned>(num_shards),
+                                        std::max(hardware, 1u));
+      std::unique_ptr<ThreadPool> pool;
+      if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+      const auto started = std::chrono::steady_clock::now();
+      auto total = stream::IngestShardBuffers(collector, shards, pool.get());
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      if (!total.ok()) {
+        std::fprintf(stderr, "ingest failed: %s\n",
+                     total.status().ToString().c_str());
+        return 1;
+      }
+      if (total.value().num_reports() != reports) {
+        std::fprintf(stderr,
+                     "ingest dropped reports: expected %llu, got %llu\n",
+                     static_cast<unsigned long long>(reports),
+                     static_cast<unsigned long long>(
+                         total.value().num_reports()));
+        return 1;
+      }
+
+      SweepResult result;
+      result.oracle = oracle.name;
+      result.shards = num_shards;
+      result.threads = threads;
+      result.bytes_per_report =
+          static_cast<double>(total_bytes) / static_cast<double>(reports);
+      result.seconds = seconds;
+      result.reports_per_sec = static_cast<double>(reports) / seconds;
+      result.mib_per_sec =
+          static_cast<double>(total_bytes) / seconds / (1024.0 * 1024.0);
+      results.push_back(result);
+      std::printf("%-8s %8zu %8u %10.1f %10.3f %14.0f %10.1f\n", result.oracle,
+                  result.shards, result.threads, result.bytes_per_report,
+                  result.seconds, result.reports_per_sec, result.mib_per_sec);
     }
-    if (total.value().num_reports() != reports) {
-      std::fprintf(stderr,
-                   "ingest dropped reports: expected %llu, got %llu\n",
-                   static_cast<unsigned long long>(reports),
-                   static_cast<unsigned long long>(
-                       total.value().num_reports()));
-      return 1;
-    }
-    IngestResult result;
-    result.threads = threads;
-    result.seconds = seconds;
-    result.reports_per_sec = static_cast<double>(reports) / seconds;
-    result.mib_per_sec =
-        static_cast<double>(total_bytes) / seconds / (1024.0 * 1024.0);
-    results.push_back(result);
-    std::printf("%-10u %12.3f %16.0f %12.1f\n", threads, seconds,
-                result.reports_per_sec, result.mib_per_sec);
   }
 
   // Machine-readable trend line.
@@ -160,17 +181,18 @@ int main() {
   if (json != nullptr) {
     std::fprintf(json,
                  "{\n  \"benchmark\": \"stream_ingest\",\n"
-                 "  \"reports\": %llu,\n  \"shards\": %zu,\n"
-                 "  \"bytes\": %llu,\n  \"runs\": [\n",
-                 static_cast<unsigned long long>(reports), num_shards,
-                 static_cast<unsigned long long>(total_bytes));
+                 "  \"reports\": %llu,\n  \"runs\": [\n",
+                 static_cast<unsigned long long>(reports));
     for (size_t i = 0; i < results.size(); ++i) {
-      std::fprintf(json,
-                   "    {\"threads\": %u, \"seconds\": %.6f, "
-                   "\"reports_per_sec\": %.0f, \"mib_per_sec\": %.1f}%s\n",
-                   results[i].threads, results[i].seconds,
-                   results[i].reports_per_sec, results[i].mib_per_sec,
-                   i + 1 < results.size() ? "," : "");
+      std::fprintf(
+          json,
+          "    {\"oracle\": \"%s\", \"shards\": %zu, \"threads\": %u, "
+          "\"bytes_per_report\": %.1f, \"seconds\": %.6f, "
+          "\"reports_per_sec\": %.0f, \"mib_per_sec\": %.1f}%s\n",
+          results[i].oracle, results[i].shards, results[i].threads,
+          results[i].bytes_per_report, results[i].seconds,
+          results[i].reports_per_sec, results[i].mib_per_sec,
+          i + 1 < results.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);

@@ -106,18 +106,33 @@ MixedAggregator::MixedAggregator(const MixedTupleCollector* collector)
 }
 
 void MixedAggregator::Add(const MixedReport& report) {
-  ++num_reports_;
+  OnReportBegin(static_cast<uint32_t>(report.size()));
   for (const MixedReportEntry& entry : report) {
     LDP_DCHECK(entry.attribute < collector_->dimension());
-    const uint32_t j = entry.attribute;
-    ++attribute_reports_[j];
-    if (collector_->schema()[j].type == AttributeType::kNumeric) {
-      numeric_sums_[j] += entry.numeric_value;
+    if (collector_->schema()[entry.attribute].type == AttributeType::kNumeric) {
+      OnNumericEntry(entry.attribute, entry.numeric_value);
     } else {
-      collector_->oracle_for(j)->Accumulate(entry.categorical_report,
-                                            &supports_[j]);
+      OnCategoricalEntry(entry.attribute, entry.categorical_report);
     }
   }
+}
+
+void MixedAggregator::OnReportBegin(uint32_t /*entry_count*/) {
+  ++num_reports_;
+}
+
+void MixedAggregator::OnNumericEntry(uint32_t attribute, double value) {
+  LDP_DCHECK(attribute < collector_->dimension());
+  ++attribute_reports_[attribute];
+  numeric_sums_[attribute] += value;
+}
+
+void MixedAggregator::OnCategoricalEntry(
+    uint32_t attribute, const FrequencyOracle::Report& payload) {
+  LDP_DCHECK(attribute < collector_->dimension());
+  ++attribute_reports_[attribute];
+  collector_->oracle_for(attribute)->Accumulate(payload,
+                                                &supports_[attribute]);
 }
 
 Result<MixedAggregator> MixedAggregator::FromParts(

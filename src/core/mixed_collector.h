@@ -70,6 +70,28 @@ struct MixedReportEntry {
 /// A user's privatized report: exactly k sampled attributes.
 using MixedReport = std::vector<MixedReportEntry>;
 
+/// Streaming consumer of one validated mixed report, entry by entry. This is
+/// the allocation-free counterpart of materializing a MixedReport: the wire
+/// decoder (core/wire.h MixedFrameDecoder) validates a whole frame first and
+/// then replays its entries into a sink, so implementations never see a
+/// partially valid report. MixedAggregator implements this interface —
+/// streaming a report into it is exactly equivalent to Add().
+class MixedReportSink {
+ public:
+  virtual ~MixedReportSink() = default;
+
+  /// Called once per report, before any entry, with the entry count.
+  virtual void OnReportBegin(uint32_t entry_count) = 0;
+
+  /// One sampled numeric attribute: the d/k-scaled noisy value.
+  virtual void OnNumericEntry(uint32_t attribute, double value) = 0;
+
+  /// One sampled categorical attribute. `payload` is only valid for the
+  /// duration of the call (it aliases decoder scratch).
+  virtual void OnCategoricalEntry(uint32_t attribute,
+                                  const FrequencyOracle::Report& payload) = 0;
+};
+
 /// The client half of the Section IV-C protocol.
 ///
 /// Thread-safety: immutable after construction; share across threads with one
@@ -152,7 +174,11 @@ class MixedTupleCollector {
 };
 
 /// The server half: accumulates MixedReports and produces estimates.
-class MixedAggregator {
+///
+/// Implements MixedReportSink so the streaming wire decoder can fold a
+/// report in without materializing it: OnReportBegin + one On*Entry call per
+/// entry is bit-identical to Add() on the equivalent MixedReport.
+class MixedAggregator : public MixedReportSink {
  public:
   /// `collector` must outlive the aggregator (it borrows the schema and the
   /// oracles to decode reports).
@@ -170,6 +196,14 @@ class MixedAggregator {
 
   /// Folds in one user's report.
   void Add(const MixedReport& report);
+
+  /// MixedReportSink: streaming equivalent of Add, used by the zero-copy
+  /// ingest path. Callers must issue OnReportBegin exactly once per report
+  /// followed by its entries (the wire decoder guarantees this).
+  void OnReportBegin(uint32_t entry_count) override;
+  void OnNumericEntry(uint32_t attribute, double value) override;
+  void OnCategoricalEntry(uint32_t attribute,
+                          const FrequencyOracle::Report& payload) override;
 
   /// Merges another aggregator. The two aggregators must be built from the
   /// same collector or from CompatibleWith collectors (equal schema, budget,

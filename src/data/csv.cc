@@ -3,9 +3,8 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
-#include <vector>
+#include <utility>
 
 namespace ldp::data {
 
@@ -53,7 +52,8 @@ Status WriteCsv(const Dataset& dataset, const std::string& path) {
   return Status::OK();
 }
 
-Result<Dataset> ReadCsv(const Schema& schema, const std::string& path) {
+Result<CsvRowReader> CsvRowReader::Open(const Schema& schema,
+                                        const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     return Status::IoError("cannot open for reading: " + path);
@@ -76,21 +76,24 @@ Result<Dataset> ReadCsv(const Schema& schema, const std::string& path) {
                                      schema.column(col).name + "'");
     }
   }
+  return CsvRowReader(&schema, std::move(in));
+}
 
-  Dataset dataset(schema);
-  uint64_t row_index = 0;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    const std::vector<std::string> cells = SplitLine(line);
-    if (cells.size() != schema.num_columns()) {
+Result<bool> CsvRowReader::NextRow(std::vector<double>* numeric,
+                                   std::vector<uint32_t>* category) {
+  while (std::getline(in_, line_)) {
+    if (line_.empty()) continue;
+    const std::vector<std::string> cells = SplitLine(line_);
+    if (cells.size() != schema_->num_columns()) {
       return Status::InvalidArgument(
-          "row " + std::to_string(row_index) + " has " +
+          "row " + std::to_string(rows_read_) + " has " +
           std::to_string(cells.size()) + " cells, expected " +
-          std::to_string(schema.num_columns()));
+          std::to_string(schema_->num_columns()));
     }
-    dataset.Resize(row_index + 1);
-    for (uint32_t col = 0; col < schema.num_columns(); ++col) {
-      const ColumnSpec& spec = schema.column(col);
+    numeric->assign(schema_->num_columns(), 0.0);
+    category->assign(schema_->num_columns(), 0);
+    for (uint32_t col = 0; col < schema_->num_columns(); ++col) {
+      const ColumnSpec& spec = schema_->column(col);
       const std::string& cell = cells[col];
       char* end = nullptr;
       errno = 0;
@@ -98,24 +101,52 @@ Result<Dataset> ReadCsv(const Schema& schema, const std::string& path) {
         const double value = std::strtod(cell.c_str(), &end);
         if (end == cell.c_str() || *end != '\0' || errno == ERANGE ||
             !std::isfinite(value)) {
-          return Status::InvalidArgument("row " + std::to_string(row_index) +
+          return Status::InvalidArgument("row " + std::to_string(rows_read_) +
                                          ", column '" + spec.name +
                                          "': bad numeric cell '" + cell + "'");
         }
-        dataset.set_numeric(row_index, col, value);
+        (*numeric)[col] = value;
       } else {
         const long code = std::strtol(cell.c_str(), &end, 10);
         if (end == cell.c_str() || *end != '\0' || errno == ERANGE ||
             code < 0 || static_cast<uint64_t>(code) >= spec.domain_size) {
-          return Status::InvalidArgument("row " + std::to_string(row_index) +
+          return Status::InvalidArgument("row " + std::to_string(rows_read_) +
                                          ", column '" + spec.name +
                                          "': bad categorical cell '" + cell +
                                          "'");
         }
-        dataset.set_category(row_index, col, static_cast<uint32_t>(code));
+        (*category)[col] = static_cast<uint32_t>(code);
       }
     }
-    ++row_index;
+    ++rows_read_;
+    return true;
+  }
+  if (in_.bad()) {
+    return Status::IoError("read error after row " +
+                           std::to_string(rows_read_));
+  }
+  return false;
+}
+
+Result<Dataset> ReadCsv(const Schema& schema, const std::string& path) {
+  Result<CsvRowReader> reader = CsvRowReader::Open(schema, path);
+  if (!reader.ok()) return reader.status();
+  Dataset dataset(schema);
+  std::vector<double> numeric;
+  std::vector<uint32_t> category;
+  for (;;) {
+    bool more = false;
+    LDP_ASSIGN_OR_RETURN(more, reader.value().NextRow(&numeric, &category));
+    if (!more) break;
+    const uint64_t row = reader.value().rows_read() - 1;
+    dataset.Resize(row + 1);
+    for (uint32_t col = 0; col < schema.num_columns(); ++col) {
+      if (schema.column(col).type == ColumnType::kNumeric) {
+        dataset.set_numeric(row, col, numeric[col]);
+      } else {
+        dataset.set_category(row, col, category[col]);
+      }
+    }
   }
   return dataset;
 }

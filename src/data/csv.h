@@ -2,11 +2,20 @@
 // one row per tuple; numeric cells as decimal literals, categorical cells as
 // their integer codes. Lets users bring their own extracts (e.g. real IPUMS
 // data they are licensed for) into the collection pipeline.
+//
+// Two read surfaces: ReadCsv materializes the whole table into a Dataset;
+// CsvRowReader streams one validated row at a time, for pipelines that must
+// not hold millions of rows in memory (tools/ldp_report privatizes each row
+// as it arrives). ReadCsv is implemented over CsvRowReader, so the two can
+// never diverge on what they accept.
 
 #ifndef LDP_DATA_CSV_H_
 #define LDP_DATA_CSV_H_
 
+#include <cstdint>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "util/result.h"
@@ -22,6 +31,39 @@ Status WriteCsv(const Dataset& dataset, const std::string& path);
 /// against the schema (numeric parseable and finite, categorical codes in
 /// range).
 Result<Dataset> ReadCsv(const Schema& schema, const std::string& path);
+
+/// Streaming row-at-a-time CSV reader over the same format and validation
+/// rules as ReadCsv, with O(1) memory in the row count. Empty lines are
+/// skipped, exactly as in ReadCsv.
+class CsvRowReader {
+ public:
+  /// Opens `path` and validates its header row against `schema`; fails on a
+  /// missing file, an empty file, or any header mismatch. `schema` must
+  /// outlive the reader.
+  static Result<CsvRowReader> Open(const Schema& schema,
+                                   const std::string& path);
+
+  /// Reads the next data row. Both output vectors are resized to one slot
+  /// per schema column: a numeric column fills its `numeric` slot, a
+  /// categorical column its `category` slot (the sibling slot is zeroed).
+  /// Returns true when a row was read, false on clean end of file, and an
+  /// error on a malformed row (reported with its data-row index, matching
+  /// ReadCsv).
+  Result<bool> NextRow(std::vector<double>* numeric,
+                       std::vector<uint32_t>* category);
+
+  /// Data rows successfully returned so far.
+  uint64_t rows_read() const { return rows_read_; }
+
+ private:
+  CsvRowReader(const Schema* schema, std::ifstream in)
+      : schema_(schema), in_(std::move(in)) {}
+
+  const Schema* schema_;
+  std::ifstream in_;
+  uint64_t rows_read_ = 0;
+  std::string line_;  // reused line buffer
+};
 
 }  // namespace ldp::data
 

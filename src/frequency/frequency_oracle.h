@@ -84,6 +84,14 @@ class FrequencyOracle {
   /// is `f` and `num_reports` reports were collected.
   virtual double EstimateVariance(double f, uint64_t num_reports) const = 0;
 
+  /// Upper bound on the payload length ValidateReport can accept (and Perturb
+  /// can emit). The wire decoder rejects longer payloads before buffering a
+  /// single element, which both caps decoder scratch memory and lets the
+  /// zero-copy ingest path pre-reserve for the worst case. Defaults to the
+  /// domain size (unary and histogram encodings); constant-size oracles
+  /// override it.
+  virtual size_t MaxReportSize() const { return domain_size_; }
+
   /// Short oracle name for reports.
   virtual const char* name() const = 0;
 

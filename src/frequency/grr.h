@@ -25,6 +25,7 @@ class GrrOracle final : public FrequencyOracle {
   std::vector<double> Estimate(const std::vector<double>& support,
                                uint64_t num_reports) const override;
   double EstimateVariance(double f, uint64_t num_reports) const override;
+  size_t MaxReportSize() const override { return 1; }
   const char* name() const override { return "GRR"; }
 
   /// Probability of reporting the true value, e^ε / (e^ε + k − 1).

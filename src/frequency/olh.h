@@ -25,6 +25,7 @@ class OlhOracle final : public FrequencyOracle {
   std::vector<double> Estimate(const std::vector<double>& support,
                                uint64_t num_reports) const override;
   double EstimateVariance(double f, uint64_t num_reports) const override;
+  size_t MaxReportSize() const override { return 3; }
   const char* name() const override { return "OLH"; }
 
   /// The hash range g = max(2, round(e^ε) + 1).

@@ -6,6 +6,15 @@
 // yields ε-LDP. SUE uses the symmetric choice p = e^{ε/2}/(e^{ε/2}+1),
 // q = 1 − p; OUE fixes p = 1/2 and q = 1/(e^ε+1), which minimises the
 // estimate variance at small true frequencies (Wang et al. 2017).
+//
+// Perturb cost: the naive encoding draws one Bernoulli per domain value —
+// O(d) RNG work per report, the compute-dominant regime for unary oracles at
+// large domains. When q is small the set of flipped-on zero-bits is sparse,
+// so Perturb instead samples the gaps between set bits geometrically
+// (expected O(q·d + 1) draws); the report distribution is identical (the
+// run lengths between successes of i.i.d. Bernoulli(q) trials are i.i.d.
+// geometric). Both implementations are exposed so tests can verify the
+// statistical equivalence.
 
 #ifndef LDP_FREQUENCY_UNARY_ENCODING_H_
 #define LDP_FREQUENCY_UNARY_ENCODING_H_
@@ -17,7 +26,24 @@ namespace ldp {
 /// Base for SUE/OUE; report payload is the sorted indices of the set bits.
 class UnaryEncodingOracle : public FrequencyOracle {
  public:
+  /// Above this q the dense per-bit encoder wins: a geometric draw costs a
+  /// log() where a Bernoulli costs one compare, so gap skipping only pays
+  /// once set bits are expected at least ~5 positions apart.
+  static constexpr double kSkipSamplingMaxQ = 0.2;
+
+  /// Dispatches to PerturbSkip when q <= kSkipSamplingMaxQ, else PerturbPerBit.
   Report Perturb(uint32_t value, Rng* rng) const override;
+
+  /// Reference O(d) implementation: one Bernoulli per domain value, in bit
+  /// order.
+  Report PerturbPerBit(uint32_t value, Rng* rng) const;
+
+  /// Sublinear implementation: one Bernoulli for the true bit, then the
+  /// q-probability bits via geometric gap skipping — expected O(q·d + 1)
+  /// draws. Identically distributed to PerturbPerBit (different Rng
+  /// consumption).
+  Report PerturbSkip(uint32_t value, Rng* rng) const;
+
   void Accumulate(const Report& report,
                   std::vector<double>* support) const override;
   Status ValidateReport(const Report& report) const override;

@@ -1,5 +1,6 @@
 #include "stream/shard_ingester.h"
 
+#include <algorithm>
 #include <istream>
 
 #include "core/wire.h"
@@ -9,87 +10,136 @@ namespace ldp::stream {
 
 namespace {
 
-using internal_wire::Reader;
-
 constexpr size_t kIngestChunkBytes = 64 * 1024;
 
 }  // namespace
 
 ShardIngester::ShardIngester(const MixedTupleCollector* collector,
                              Options options)
-    : collector_(collector), options_(options), aggregator_(collector) {
+    : collector_(collector),
+      options_(options),
+      aggregator_(collector),
+      decoder_(collector) {
   LDP_CHECK(collector != nullptr);
 }
 
 Status ShardIngester::Poison(Status status) {
   LDP_CHECK(!status.ok());
   failed_ = std::move(status);
-  buffer_.clear();
+  staged_.Clear();
   return failed_;
+}
+
+size_t ShardIngester::NeedBytes() const {
+  switch (state_) {
+    case State::kHeader:
+      return kStreamHeaderBytes;
+    case State::kFrameLength:
+      return 4;
+    case State::kFramePayload:
+      return frame_length_;
+  }
+  return 0;  // unreachable
+}
+
+Status ShardIngester::AcceptFrame(const char* data, size_t size) {
+  ++stats_.frames;
+  // The aggregator is its own sink: entries stream straight from the wire
+  // bytes into the accumulation arrays, with no MixedReport materialized.
+  const Status decoded = decoder_.DecodeInto(data, size, &aggregator_);
+  if (decoded.ok()) {
+    ++stats_.accepted;
+    return Status::OK();
+  }
+  ++stats_.rejected;
+  if (options_.strict) {
+    return Poison(Status::InvalidArgument(
+        "undecodable report in strict mode: " + decoded.message()));
+  }
+  if (stats_.rejected > options_.max_rejected) {
+    return Poison(Status::InvalidArgument(
+        "rejected report budget exhausted"));
+  }
+  return Status::OK();
+}
+
+Status ShardIngester::ConsumeItem(const char* data, size_t size) {
+  if (state_ == State::kHeader) {
+    Result<StreamHeader> header = DecodeStreamHeader(data, size);
+    if (!header.ok()) return Poison(header.status());
+    const Status match = ValidateMixedStreamHeader(header.value(), *collector_);
+    if (!match.ok()) return Poison(match);
+    header_ = header.value();
+    state_ = State::kFrameLength;
+  } else if (state_ == State::kFrameLength) {
+    const uint32_t length = internal_wire::LoadLittleEndian<uint32_t>(data);
+    if (length > kMaxFrameBytes) {
+      return Poison(Status::InvalidArgument(
+          "frame length exceeds kMaxFrameBytes"));
+    }
+    frame_length_ = length;
+    state_ = State::kFramePayload;
+  } else {  // kFramePayload
+    state_ = State::kFrameLength;
+    LDP_RETURN_IF_ERROR(AcceptFrame(data, size));
+  }
+  return Status::OK();
 }
 
 Status ShardIngester::Feed(const char* data, size_t size) {
   if (!failed_.ok()) return failed_;
-  buffer_.append(data, size);
   stats_.bytes += size;
-  return ProcessBuffered();
-}
+  const char* cursor = data;
+  const char* const end = data + size;
 
-Status ShardIngester::ProcessBuffered() {
-  size_t consumed = 0;
+  // Complete the item left straddling the previous Feed boundary, if any.
+  // Items are consumed the moment they complete, so the ring never holds
+  // more than one partial item.
+  if (!staged_.empty()) {
+    const size_t need = NeedBytes();
+    LDP_DCHECK(staged_.size() < need);
+    const size_t take = std::min(need - staged_.size(),
+                                 static_cast<size_t>(end - cursor));
+    staged_.Append(cursor, take);
+    cursor += take;
+    if (staged_.size() < need) return Status::OK();  // still incomplete
+    const char* item = staged_.Contiguous(need, &wrap_scratch_);
+    LDP_RETURN_IF_ERROR(ConsumeItem(item, need));
+    staged_.Consume(need);
+  }
+
   for (;;) {
-    const size_t available = buffer_.size() - consumed;
-    if (state_ == State::kHeader) {
-      if (available < kStreamHeaderBytes) break;
-      Result<StreamHeader> header =
-          DecodeStreamHeader(buffer_.data() + consumed, kStreamHeaderBytes);
-      if (!header.ok()) return Poison(header.status());
-      const Status match = ValidateMixedStreamHeader(header.value(),
-                                                     *collector_);
-      if (!match.ok()) return Poison(match);
-      header_ = header.value();
-      consumed += kStreamHeaderBytes;
-      state_ = State::kFrameLength;
-    } else if (state_ == State::kFrameLength) {
-      if (available < 4) break;
-      Reader reader(buffer_.data() + consumed, 4);
-      uint32_t length = 0;
-      const Result<uint32_t> parsed = reader.U32();
-      LDP_CHECK(parsed.ok());
-      length = parsed.value();
-      if (length > kMaxFrameBytes) {
-        return Poison(Status::InvalidArgument(
-            "frame length exceeds kMaxFrameBytes"));
-      }
-      frame_length_ = length;
-      consumed += 4;
-      state_ = State::kFramePayload;
-    } else {  // kFramePayload
-      if (available < frame_length_) break;
-      ++stats_.frames;
-      Result<MixedReport> report = DecodeMixedReport(
-          buffer_.data() + consumed, frame_length_, *collector_);
-      consumed += frame_length_;
-      state_ = State::kFrameLength;
-      if (report.ok()) {
-        aggregator_.Add(report.value());
-        ++stats_.accepted;
-      } else {
-        ++stats_.rejected;
-        if (options_.strict) {
+    if (state_ == State::kFrameLength) {
+      // Hot path: frames whose length prefix and payload are both complete
+      // in the caller's buffer decode in place, bypassing the state machine
+      // and the staging ring entirely.
+      for (;;) {
+        const size_t available = static_cast<size_t>(end - cursor);
+        if (available < 4) break;
+        const uint32_t length =
+            internal_wire::LoadLittleEndian<uint32_t>(cursor);
+        if (length > kMaxFrameBytes) {
           return Poison(Status::InvalidArgument(
-              "undecodable report in strict mode: " +
-              report.status().message()));
+              "frame length exceeds kMaxFrameBytes"));
         }
-        if (stats_.rejected > options_.max_rejected) {
-          return Poison(Status::InvalidArgument(
-              "rejected report budget exhausted"));
-        }
+        if (available - 4 < length) break;
+        cursor += 4;
+        LDP_RETURN_IF_ERROR(AcceptFrame(cursor, length));
+        cursor += length;
       }
     }
+    // Generic path: consume the next complete item (header, or an item cut
+    // short above), staging a trailing partial item for the next Feed.
+    const size_t need = NeedBytes();
+    const size_t available = static_cast<size_t>(end - cursor);
+    if (available < need) {
+      staged_.Append(cursor, available);
+      return Status::OK();
+    }
+    LDP_RETURN_IF_ERROR(ConsumeItem(cursor, need));
+    cursor += need;
+    if (cursor == end && NeedBytes() > 0) return Status::OK();
   }
-  buffer_.erase(0, consumed);
-  return Status::OK();
 }
 
 Status ShardIngester::Finish() {
@@ -98,7 +148,7 @@ Status ShardIngester::Finish() {
     return Poison(Status::InvalidArgument(
         "stream ended before a complete header"));
   }
-  if (state_ == State::kFramePayload || !buffer_.empty()) {
+  if (state_ == State::kFramePayload || !staged_.empty()) {
     return Poison(Status::InvalidArgument(
         "stream ended inside a frame"));
   }

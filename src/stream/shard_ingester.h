@@ -4,6 +4,14 @@
 // frame completes, so memory stays O(schema + one frame) no matter how many
 // reports the shard carries.
 //
+// Hot-path design: complete items (header, frame length, frame payload) are
+// decoded IN PLACE from the caller's buffer — their bytes are never copied
+// anywhere. Only the partial item straddling a Feed boundary is staged, in a
+// power-of-two ring buffer (util/ringbuf.h) whose read head advances without
+// memmoving retained bytes. Frame payloads stream through MixedFrameDecoder
+// straight into the aggregator (which implements MixedReportSink), so the
+// steady-state accept path performs zero per-frame heap allocations.
+//
 // Failure policy: violations of the *framing* layer (bad magic or version,
 // header/collector mismatch, oversized frame length, bytes missing at
 // Finish) are unrecoverable — the frame boundaries themselves can no longer
@@ -22,7 +30,9 @@
 #include <string>
 
 #include "core/mixed_collector.h"
+#include "core/wire.h"
 #include "stream/report_stream.h"
+#include "util/ringbuf.h"
 #include "util/status.h"
 
 namespace ldp::stream {
@@ -53,7 +63,8 @@ class ShardIngester {
   ShardIngester(const MixedTupleCollector* collector, Options options);
 
   /// Consumes `size` bytes of the stream. May be called with arbitrarily
-  /// small or large chunks; returns the sticky stream status.
+  /// small or large chunks; returns the sticky stream status. Complete
+  /// frames inside `data` are decoded in place without copying.
   Status Feed(const char* data, size_t size);
   Status Feed(const std::string& bytes) {
     return Feed(bytes.data(), bytes.size());
@@ -82,17 +93,27 @@ class ShardIngester {
  private:
   enum class State { kHeader, kFrameLength, kFramePayload };
 
+  /// Bytes the current state-machine item needs before it can be consumed.
+  size_t NeedBytes() const;
+
+  /// Consumes exactly one complete item of NeedBytes() bytes at `data`.
+  Status ConsumeItem(const char* data, size_t size);
+
+  /// Decodes one complete frame payload, applying the rejection policy.
+  Status AcceptFrame(const char* data, size_t size);
+
   Status Poison(Status status);
-  Status ProcessBuffered();
 
   const MixedTupleCollector* collector_;
   Options options_;
   MixedAggregator aggregator_;
+  MixedFrameDecoder decoder_;
   StreamHeader header_;
   Stats stats_;
   Status failed_ = Status::OK();  // sticky framing-layer error
   State state_ = State::kHeader;
-  std::string buffer_;      // unconsumed bytes, bounded by one frame
+  RingBuffer staged_;         // the partial item straddling Feed boundaries
+  std::string wrap_scratch_;  // reused backing for wrapped ring reads
   uint32_t frame_length_ = 0;
 };
 

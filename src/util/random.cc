@@ -118,7 +118,12 @@ uint64_t Rng::Geometric(double p) {
   LDP_DCHECK(p > 0.0 && p <= 1.0);
   if (p >= 1.0) return 0;
   const double u = 1.0 - Uniform01();  // in (0, 1]
-  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+  const double failures = std::floor(std::log(u) / std::log1p(-p));
+  // Clamp before converting: for tiny p the tail can exceed the uint64
+  // range, and double->uint64 conversion of an out-of-range value is UB.
+  constexpr double kMax = 9007199254740992.0;  // 2^53
+  return failures < kMax ? static_cast<uint64_t>(failures)
+                         : static_cast<uint64_t>(kMax);
 }
 
 }  // namespace ldp

@@ -1,0 +1,124 @@
+// A power-of-two byte ring buffer for staging partially received wire items.
+//
+// The streaming ingester (stream/shard_ingester.h) decodes complete frames
+// directly from the caller's buffer; only the partial item straddling a Feed
+// boundary is staged here. Consuming bytes advances the read head — nothing
+// is ever memmoved, unlike std::string::erase(0, n) — so the staging cost is
+// proportional to the bytes staged, not to the bytes retained. Reads that
+// wrap the physical end of the buffer are assembled into a caller-owned
+// scratch string (reused across calls, so steady-state reads allocate
+// nothing); contiguous reads return a pointer straight into the buffer.
+//
+// Not thread-safe; one ring per stream, like the ingester that owns it.
+
+#ifndef LDP_UTIL_RINGBUF_H_
+#define LDP_UTIL_RINGBUF_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "util/check.h"
+
+namespace ldp {
+
+/// A growable byte FIFO with power-of-two capacity and O(1) consume.
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  /// Pre-sizes the buffer to the smallest power of two >= `min_capacity`.
+  explicit RingBuffer(size_t min_capacity) { Grow(min_capacity); }
+
+  /// Bytes currently stored.
+  size_t size() const { return size_; }
+
+  bool empty() const { return size_ == 0; }
+
+  /// Current physical capacity (always zero or a power of two).
+  size_t capacity() const { return capacity_; }
+
+  /// Appends `size` bytes, growing (and linearising) the buffer if needed.
+  void Append(const char* data, size_t size) {
+    if (size == 0) return;
+    if (size_ + size > capacity_) Grow(size_ + size);
+    const size_t write = (head_ + size_) & mask_;
+    const size_t first = capacity_ - write < size ? capacity_ - write : size;
+    std::memcpy(data_.get() + write, data, first);
+    std::memcpy(data_.get(), data + first, size - first);
+    size_ += size;
+  }
+
+  /// Discards `count` bytes from the front (count <= size()). The read head
+  /// advances modulo capacity; no bytes move.
+  void Consume(size_t count) {
+    LDP_DCHECK(count <= size_);
+    head_ = (head_ + count) & mask_;
+    size_ -= count;
+  }
+
+  /// Drops all stored bytes (capacity is retained).
+  void Clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Returns a pointer to the first `count` stored bytes (count <= size()).
+  /// When they are physically contiguous the pointer aims straight into the
+  /// ring; when the range wraps, the bytes are assembled into `scratch` and
+  /// scratch->data() is returned. The pointer is invalidated by the next
+  /// non-const call.
+  const char* Contiguous(size_t count, std::string* scratch) const {
+    LDP_DCHECK(count <= size_);
+    if (count == 0) return data_.get();
+    if (head_ + count <= capacity_) return data_.get() + head_;
+    const size_t first = capacity_ - head_;
+    scratch->clear();
+    scratch->append(data_.get() + head_, first);
+    scratch->append(data_.get(), count - first);
+    return scratch->data();
+  }
+
+  /// The stored bytes as (at most) two contiguous spans, front first. The
+  /// second span is non-empty only when the data wraps the physical end.
+  struct Span {
+    const char* data = nullptr;
+    size_t size = 0;
+  };
+  Span FirstSpan() const {
+    const size_t first = capacity_ - head_ < size_ ? capacity_ - head_ : size_;
+    return {data_.get() + head_, first};
+  }
+  Span SecondSpan() const {
+    const size_t first = capacity_ - head_ < size_ ? capacity_ - head_ : size_;
+    return {data_.get(), size_ - first};
+  }
+
+ private:
+  void Grow(size_t min_capacity) {
+    size_t capacity = capacity_ == 0 ? 64 : capacity_;
+    while (capacity < min_capacity) capacity *= 2;
+    auto grown = std::make_unique<char[]>(capacity);
+    if (size_ > 0) {
+      const Span a = FirstSpan();
+      const Span b = SecondSpan();
+      std::memcpy(grown.get(), a.data, a.size);
+      std::memcpy(grown.get() + a.size, b.data, b.size);
+    }
+    data_ = std::move(grown);
+    capacity_ = capacity;
+    mask_ = capacity - 1;
+    head_ = 0;
+  }
+
+  std::unique_ptr<char[]> data_;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace ldp
+
+#endif  // LDP_UTIL_RINGBUF_H_

@@ -100,5 +100,51 @@ TEST_F(CsvTest, WriteFailsOnUnwritablePath) {
   EXPECT_FALSE(WriteCsv(dataset, "/nonexistent_dir_xyz/file.csv").ok());
 }
 
+TEST_F(CsvTest, RowReaderStreamsWhatReadCsvMaterializes) {
+  const Schema schema = TestSchema();
+  WriteFile("x,c\n0.25,2\n\n-1,0\n0.75,1\n");  // blank line is skipped
+
+  auto table = ReadCsv(schema, path_);
+  ASSERT_TRUE(table.ok());
+
+  auto reader = CsvRowReader::Open(schema, path_);
+  ASSERT_TRUE(reader.ok());
+  std::vector<double> numeric;
+  std::vector<uint32_t> category;
+  uint64_t row = 0;
+  for (;;) {
+    auto more = reader.value().NextRow(&numeric, &category);
+    ASSERT_TRUE(more.ok());
+    if (!more.value()) break;
+    ASSERT_EQ(numeric.size(), schema.num_columns());
+    ASSERT_EQ(category.size(), schema.num_columns());
+    EXPECT_DOUBLE_EQ(numeric[0], table.value().numeric(row, 0));
+    EXPECT_EQ(category[1], table.value().category(row, 1));
+    ++row;
+  }
+  EXPECT_EQ(row, table.value().num_rows());
+  EXPECT_EQ(reader.value().rows_read(), table.value().num_rows());
+}
+
+TEST_F(CsvTest, RowReaderValidatesHeaderAndCells) {
+  const Schema schema = TestSchema();
+  WriteFile("x,WRONG\n0.25,2\n");
+  EXPECT_FALSE(CsvRowReader::Open(schema, path_).ok());
+
+  WriteFile("x,c\n0.25,7\n");  // categorical code out of range
+  auto reader = CsvRowReader::Open(schema, path_);
+  ASSERT_TRUE(reader.ok());
+  std::vector<double> numeric;
+  std::vector<uint32_t> category;
+  EXPECT_FALSE(reader.value().NextRow(&numeric, &category).ok());
+
+  WriteFile("x,c\nnot_a_number,1\n");
+  auto bad_numeric = CsvRowReader::Open(schema, path_);
+  ASSERT_TRUE(bad_numeric.ok());
+  EXPECT_FALSE(bad_numeric.value().NextRow(&numeric, &category).ok());
+
+  EXPECT_FALSE(CsvRowReader::Open(schema, "/nonexistent_xyz.csv").ok());
+}
+
 }  // namespace
 }  // namespace ldp::data

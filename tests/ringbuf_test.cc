@@ -1,0 +1,134 @@
+#include "util/ringbuf.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "util/random.h"
+
+namespace ldp {
+namespace {
+
+TEST(RingBufferTest, StartsEmpty) {
+  RingBuffer ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), 0u);
+}
+
+TEST(RingBufferTest, CapacityIsAlwaysAPowerOfTwo) {
+  for (const size_t request : {1u, 63u, 64u, 65u, 1000u, 4096u}) {
+    RingBuffer ring(request);
+    EXPECT_GE(ring.capacity(), request);
+    EXPECT_EQ(ring.capacity() & (ring.capacity() - 1), 0u) << request;
+  }
+  RingBuffer grown;
+  grown.Append(std::string(100, 'x').data(), 100);
+  EXPECT_GE(grown.capacity(), 100u);
+  EXPECT_EQ(grown.capacity() & (grown.capacity() - 1), 0u);
+}
+
+TEST(RingBufferTest, AppendConsumeRoundTrip) {
+  RingBuffer ring;
+  const std::string bytes = "hello, ring";
+  ring.Append(bytes.data(), bytes.size());
+  EXPECT_EQ(ring.size(), bytes.size());
+  std::string scratch;
+  EXPECT_EQ(std::string(ring.Contiguous(bytes.size(), &scratch), bytes.size()),
+            bytes);
+  ring.Consume(5);
+  EXPECT_EQ(ring.size(), bytes.size() - 5);
+  EXPECT_EQ(std::string(ring.Contiguous(ring.size(), &scratch), ring.size()),
+            bytes.substr(5));
+}
+
+TEST(RingBufferTest, WrappedReadGoesThroughScratch) {
+  RingBuffer ring(8);
+  const size_t capacity = ring.capacity();
+  // March the head to 3 bytes before the physical end, then store a payload
+  // that must wrap.
+  const std::string filler(capacity - 3, 'f');
+  ring.Append(filler.data(), filler.size());
+  ring.Consume(filler.size());
+  const std::string payload = "abcdef";
+  ring.Append(payload.data(), payload.size());
+  ASSERT_EQ(ring.size(), payload.size());
+  EXPECT_EQ(ring.FirstSpan().size, 3u);   // up to the physical end
+  EXPECT_EQ(ring.SecondSpan().size, 3u);  // wrapped remainder
+  std::string scratch;
+  const char* read = ring.Contiguous(payload.size(), &scratch);
+  EXPECT_EQ(std::string(read, payload.size()), payload);
+  EXPECT_EQ(read, scratch.data());  // assembled, not in place
+}
+
+TEST(RingBufferTest, ContiguousReadIsInPlace) {
+  RingBuffer ring(16);
+  const std::string payload = "0123456789";
+  ring.Append(payload.data(), payload.size());
+  std::string scratch;
+  const char* read = ring.Contiguous(payload.size(), &scratch);
+  EXPECT_TRUE(scratch.empty());
+  EXPECT_EQ(std::string(read, payload.size()), payload);
+}
+
+TEST(RingBufferTest, GrowthLinearisesWrappedContent) {
+  RingBuffer ring(8);
+  const size_t capacity = ring.capacity();
+  const std::string filler(capacity - 2, 'f');
+  ring.Append(filler.data(), filler.size());
+  ring.Consume(filler.size());
+  // Wrap, then force a growth while wrapped.
+  const std::string first = "abcd";
+  ring.Append(first.data(), first.size());
+  const std::string second(3 * capacity, 'z');
+  ring.Append(second.data(), second.size());
+  ASSERT_EQ(ring.size(), first.size() + second.size());
+  std::string scratch;
+  const std::string read(ring.Contiguous(ring.size(), &scratch), ring.size());
+  EXPECT_EQ(read, first + second);
+}
+
+TEST(RingBufferTest, ClearKeepsCapacity) {
+  RingBuffer ring(64);
+  const size_t capacity = ring.capacity();
+  ring.Append("data", 4);
+  ring.Clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), capacity);
+}
+
+TEST(RingBufferTest, RandomisedFifoEquivalence) {
+  // The ring must behave exactly like a byte FIFO across arbitrary
+  // interleavings of appends and consumes, including wraps and growth.
+  Rng rng(99);
+  RingBuffer ring(16);
+  std::deque<char> model;
+  std::string scratch;
+  uint8_t next_byte = 0;
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.Bernoulli(0.55)) {
+      const size_t count = 1 + rng.UniformIndex(37);
+      std::string bytes;
+      for (size_t i = 0; i < count; ++i) {
+        bytes.push_back(static_cast<char>(next_byte));
+        model.push_back(static_cast<char>(next_byte));
+        ++next_byte;
+      }
+      ring.Append(bytes.data(), bytes.size());
+    } else if (!model.empty()) {
+      const size_t count = 1 + rng.UniformIndex(model.size());
+      const char* read = ring.Contiguous(count, &scratch);
+      for (size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(read[i], model[i]) << "step " << step << " byte " << i;
+      }
+      ring.Consume(count);
+      model.erase(model.begin(), model.begin() + static_cast<long>(count));
+    }
+    ASSERT_EQ(ring.size(), model.size());
+  }
+}
+
+}  // namespace
+}  // namespace ldp

@@ -261,6 +261,75 @@ TEST(ShardIngesterTest, ByteAtATimeFeedMatchesWholeBuffer) {
             dribble.aggregator().attribute_report_counts());
 }
 
+TEST(ShardIngesterTest, EveryChunkingMatchesWholeBufferAcrossRingWraps) {
+  // Chunk sizes that are coprime to the frame sizes force every possible
+  // item/chunk phase, repeatedly staging partial items in the ring and
+  // marching its read head around the wrap boundary. A long stream makes
+  // the head lap the (small, power-of-two) ring many times for each chunk
+  // size. All of them must reproduce the one-shot Feed bit for bit.
+  const MixedTupleCollector collector = MakeCollector();
+  const std::string bytes = MakeStream(collector, 400);
+
+  ShardIngester whole(&collector);
+  ASSERT_TRUE(whole.Feed(bytes).ok());
+  ASSERT_TRUE(whole.Finish().ok());
+  ASSERT_EQ(whole.stats().accepted, 400u);
+
+  for (const size_t chunk : {2u, 3u, 5u, 7u, 11u, 13u, 17u, 26u, 31u, 64u,
+                             127u, 255u, 1000u}) {
+    ShardIngester chunked(&collector);
+    for (size_t cursor = 0; cursor < bytes.size(); cursor += chunk) {
+      const size_t take = std::min(chunk, bytes.size() - cursor);
+      ASSERT_TRUE(chunked.Feed(bytes.data() + cursor, take).ok())
+          << "chunk size " << chunk;
+    }
+    ASSERT_TRUE(chunked.Finish().ok()) << "chunk size " << chunk;
+    EXPECT_EQ(chunked.stats().accepted, whole.stats().accepted)
+        << "chunk size " << chunk;
+    EXPECT_EQ(chunked.stats().bytes, whole.stats().bytes);
+    EXPECT_EQ(chunked.aggregator().num_reports(),
+              whole.aggregator().num_reports());
+    EXPECT_EQ(chunked.aggregator().numeric_sums(),
+              whole.aggregator().numeric_sums());
+    EXPECT_EQ(chunked.aggregator().supports(), whole.aggregator().supports());
+    EXPECT_EQ(chunked.aggregator().attribute_report_counts(),
+              whole.aggregator().attribute_report_counts());
+  }
+}
+
+TEST(ShardIngesterTest, VisitorDecodeMatchesMaterializingDecodeBitForBit) {
+  // The zero-copy ingest path streams entries straight into the aggregator
+  // (MixedFrameDecoder -> MixedReportSink); decoding every frame into a
+  // MixedReport and Add()ing it must produce bit-identical aggregates.
+  const MixedTupleCollector collector = MakeCollector();
+  const std::string bytes = MakeStream(collector, 250);
+
+  ShardIngester streamed(&collector);
+  ASSERT_TRUE(streamed.Feed(bytes).ok());
+  ASSERT_TRUE(streamed.Finish().ok());
+
+  MixedAggregator materialized(&collector);
+  std::istringstream source(bytes);
+  ReportStreamReader reader(&source);
+  ASSERT_TRUE(reader.ReadHeader().ok());
+  std::string payload;
+  for (;;) {
+    auto frame = reader.NextFrame(&payload);
+    ASSERT_TRUE(frame.ok());
+    if (!frame.value()) break;
+    auto report = DecodeMixedReport(payload, collector);
+    ASSERT_TRUE(report.ok());
+    materialized.Add(report.value());
+  }
+
+  EXPECT_EQ(streamed.aggregator().num_reports(), materialized.num_reports());
+  EXPECT_EQ(streamed.aggregator().numeric_sums(),
+            materialized.numeric_sums());
+  EXPECT_EQ(streamed.aggregator().supports(), materialized.supports());
+  EXPECT_EQ(streamed.aggregator().attribute_report_counts(),
+            materialized.attribute_report_counts());
+}
+
 TEST(ShardIngesterTest, MatchesStreamlessAggregation) {
   const MixedTupleCollector collector = MakeCollector();
   MixedAggregator direct(&collector);

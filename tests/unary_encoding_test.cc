@@ -85,6 +85,107 @@ TEST(OueOracleTest, ReportBitsAreSortedAndUnique) {
   }
 }
 
+TEST(UnaryEncodingTest, PerturbDispatchesOnQ) {
+  // Small q (large ε): geometric gap skipping; the dispatch must be
+  // stream-identical to PerturbSkip. Large q (small ε): dense per-bit.
+  const OueOracle sparse(3.0, 16);  // q ≈ 0.047 <= 0.2
+  ASSERT_LE(sparse.q(), UnaryEncodingOracle::kSkipSamplingMaxQ);
+  Rng a(42), b(42);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(sparse.Perturb(5, &a), sparse.PerturbSkip(5, &b));
+  }
+  const OueOracle dense(1.0, 16);  // q ≈ 0.269 > 0.2
+  ASSERT_GT(dense.q(), UnaryEncodingOracle::kSkipSamplingMaxQ);
+  Rng c(43), d(43);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(dense.Perturb(5, &c), dense.PerturbPerBit(5, &d));
+  }
+}
+
+TEST(UnaryEncodingTest, SkipSamplingReportsAreSortedUniqueAndInDomain) {
+  const OueOracle oracle(4.0, 64);
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const auto report = oracle.PerturbSkip(31, &rng);
+    for (size_t j = 0; j < report.size(); ++j) {
+      ASSERT_LT(report[j], 64u);
+      if (j > 0) ASSERT_LT(report[j - 1], report[j]);
+    }
+    ASSERT_TRUE(oracle.ValidateReport(report).ok());
+  }
+}
+
+// Chi-square goodness of fit of a sampler's report distribution against the
+// exact per-pattern probabilities Π p/(1−p), q/(1−q). Small domain so every
+// one of the 2^d patterns is a cell.
+double ReportPatternChiSquare(
+    const UnaryEncodingOracle& oracle, uint32_t value, int trials,
+    uint64_t seed,
+    FrequencyOracle::Report (UnaryEncodingOracle::*sample)(uint32_t, Rng*)
+        const) {
+  const uint32_t d = oracle.domain_size();
+  std::vector<int> counts(1u << d, 0);
+  Rng rng(seed);
+  for (int i = 0; i < trials; ++i) {
+    uint32_t pattern = 0;
+    for (const uint32_t bit : (oracle.*sample)(value, &rng)) {
+      pattern |= 1u << bit;
+    }
+    ++counts[pattern];
+  }
+  double chi_square = 0.0;
+  for (uint32_t pattern = 0; pattern < counts.size(); ++pattern) {
+    double probability = 1.0;
+    for (uint32_t bit = 0; bit < d; ++bit) {
+      const double on = (bit == value) ? oracle.p() : oracle.q();
+      probability *= (pattern & (1u << bit)) ? on : 1.0 - on;
+    }
+    const double expected = probability * trials;
+    chi_square += (counts[pattern] - expected) * (counts[pattern] - expected) /
+                  expected;
+  }
+  return chi_square;
+}
+
+TEST(UnaryEncodingTest, GeometricSkipMatchesPerBitDistributionChiSquare) {
+  // ε = 2 ⇒ q ≈ 0.119: the dispatch uses the skip path, and every pattern
+  // cell still gets enough mass for the chi-square approximation. 2^5 − 1 =
+  // 31 degrees of freedom; the 99.9th percentile is ≈ 61.1. Both samplers
+  // must fit the analytic distribution (seeds are fixed, so this is
+  // deterministic).
+  const OueOracle oracle(2.0, 5);
+  ASSERT_LE(oracle.q(), UnaryEncodingOracle::kSkipSamplingMaxQ);
+  const int trials = 200000;
+  const double skip_fit = ReportPatternChiSquare(
+      oracle, 3, trials, 1234, &UnaryEncodingOracle::PerturbSkip);
+  const double per_bit_fit = ReportPatternChiSquare(
+      oracle, 3, trials, 5678, &UnaryEncodingOracle::PerturbPerBit);
+  EXPECT_LT(skip_fit, 61.1);
+  EXPECT_LT(per_bit_fit, 61.1);
+}
+
+TEST(UnaryEncodingTest, SkipSamplingMarginalRatesMatchPq) {
+  // Large sparse domain — the regime the sublinear sampler exists for.
+  const double eps = 4.0;
+  const uint32_t d = 256;
+  const OueOracle oracle(eps, d);
+  Rng rng(12);
+  const int trials = 40000;
+  std::vector<int> counts(d, 0);
+  double total_bits = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    for (const uint32_t bit : oracle.PerturbSkip(7, &rng)) {
+      ++counts[bit];
+    }
+  }
+  for (const int c : counts) total_bits += c;
+  EXPECT_NEAR(counts[7] / static_cast<double>(trials), oracle.p(), 0.01);
+  // Mean inclusion rate over the other d−1 bits.
+  const double other_rate = (total_bits - counts[7]) /
+                            (static_cast<double>(trials) * (d - 1));
+  EXPECT_NEAR(other_rate, oracle.q(), 0.001);
+}
+
 class UnaryEndToEndTest
     : public ::testing::TestWithParam<std::tuple<double, uint32_t>> {};
 

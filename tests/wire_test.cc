@@ -273,6 +273,142 @@ TEST(MixedWireTest, RejectsOutOfBoundNumericValue) {
           .ok());
 }
 
+// Sink that records the delivered entries as a MixedReport, for comparing
+// the streaming decoder against the materializing one.
+class RecordingSink final : public MixedReportSink {
+ public:
+  void OnReportBegin(uint32_t entry_count) override {
+    ++reports_begun_;
+    last_entry_count_ = entry_count;
+  }
+  void OnNumericEntry(uint32_t attribute, double value) override {
+    MixedReportEntry entry;
+    entry.attribute = attribute;
+    entry.numeric_value = value;
+    entries_.push_back(std::move(entry));
+  }
+  void OnCategoricalEntry(uint32_t attribute,
+                          const FrequencyOracle::Report& payload) override {
+    MixedReportEntry entry;
+    entry.attribute = attribute;
+    entry.categorical_report = payload;
+    entries_.push_back(std::move(entry));
+  }
+
+  int reports_begun_ = 0;
+  uint32_t last_entry_count_ = 0;
+  MixedReport entries_;
+};
+
+TEST(MixedFrameDecoderTest, StreamsExactlyWhatMaterializingDecodeReturns) {
+  const MixedTupleCollector collector = MakeMixedCollector();
+  MixedFrameDecoder decoder(&collector);
+  Rng rng(7);
+  MixedTuple tuple(4);
+  tuple[0] = AttributeValue::Numeric(0.3);
+  tuple[1] = AttributeValue::Categorical(2);
+  tuple[2] = AttributeValue::Numeric(-0.9);
+  tuple[3] = AttributeValue::Categorical(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::string bytes =
+        EncodeMixedReport(collector.Perturb(tuple, &rng), collector);
+    RecordingSink sink;
+    ASSERT_TRUE(decoder.DecodeInto(bytes.data(), bytes.size(), &sink).ok());
+    auto materialized = DecodeMixedReport(bytes, collector);
+    ASSERT_TRUE(materialized.ok());
+    EXPECT_EQ(sink.reports_begun_, 1);
+    EXPECT_EQ(sink.last_entry_count_, collector.k());
+    ASSERT_EQ(sink.entries_.size(), materialized.value().size());
+    for (size_t j = 0; j < sink.entries_.size(); ++j) {
+      EXPECT_EQ(sink.entries_[j].attribute,
+                materialized.value()[j].attribute);
+      EXPECT_EQ(sink.entries_[j].numeric_value,
+                materialized.value()[j].numeric_value);
+      EXPECT_EQ(sink.entries_[j].categorical_report,
+                materialized.value()[j].categorical_report);
+    }
+  }
+}
+
+TEST(MixedFrameDecoderTest, SinkSeesNothingOnAnyMalformedFrame) {
+  // All-or-nothing delivery: a frame that fails validation anywhere — even
+  // on its last entry — must reach the sink with zero callbacks, or a
+  // streamed aggregate would be corrupted by partial reports.
+  const MixedTupleCollector collector = MakeMixedCollector();
+  MixedFrameDecoder decoder(&collector);
+  Rng rng(8);
+  MixedTuple tuple(4);
+  tuple[1] = AttributeValue::Categorical(1);
+  tuple[3] = AttributeValue::Categorical(4);
+  const std::string good =
+      EncodeMixedReport(collector.Perturb(tuple, &rng), collector);
+
+  // Every truncation point, including cuts inside the final entry.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    RecordingSink sink;
+    EXPECT_FALSE(decoder.DecodeInto(good.data(), cut, &sink).ok());
+    EXPECT_EQ(sink.reports_begun_, 0) << "cut=" << cut;
+    EXPECT_TRUE(sink.entries_.empty()) << "cut=" << cut;
+  }
+
+  // A duplicate-attribute report (fails on the second entry).
+  MixedReport duplicated;
+  MixedReportEntry entry;
+  entry.attribute = 0;
+  entry.numeric_value = 0.25;
+  duplicated.push_back(entry);
+  duplicated.push_back(entry);
+  const std::string bytes = EncodeMixedReport(duplicated, collector);
+  RecordingSink sink;
+  EXPECT_FALSE(decoder.DecodeInto(bytes.data(), bytes.size(), &sink).ok());
+  EXPECT_EQ(sink.reports_begun_, 0);
+  EXPECT_TRUE(sink.entries_.empty());
+
+  // The decoder stays usable after rejections.
+  RecordingSink recovered;
+  ASSERT_TRUE(
+      decoder.DecodeInto(good.data(), good.size(), &recovered).ok());
+  EXPECT_EQ(recovered.reports_begun_, 1);
+}
+
+TEST(MixedFrameDecoderTest, OneShotWrapperMatchesPersistentDecoder) {
+  const MixedTupleCollector collector = MakeMixedCollector();
+  Rng rng(9);
+  MixedTuple tuple(4);
+  tuple[1] = AttributeValue::Categorical(3);
+  tuple[3] = AttributeValue::Categorical(0);
+  const std::string bytes =
+      EncodeMixedReport(collector.Perturb(tuple, &rng), collector);
+  RecordingSink sink;
+  ASSERT_TRUE(
+      DecodeMixedReportInto(bytes.data(), bytes.size(), collector, &sink)
+          .ok());
+  EXPECT_EQ(sink.reports_begun_, 1);
+  EXPECT_EQ(sink.entries_.size(), collector.k());
+}
+
+TEST(MixedWireTest, EncodedSizeMatchesThePrecomputedReserve) {
+  // EncodeMixedReport reserves the exact encoded size up front; the formula
+  // and the writer must agree or serialization reallocates mid-report.
+  const MixedTupleCollector collector = MakeMixedCollector();
+  Rng rng(10);
+  MixedTuple tuple(4);
+  tuple[0] = AttributeValue::Numeric(0.5);
+  tuple[1] = AttributeValue::Categorical(2);
+  tuple[2] = AttributeValue::Numeric(-0.25);
+  tuple[3] = AttributeValue::Categorical(1);
+  for (int i = 0; i < 100; ++i) {
+    const MixedReport report = collector.Perturb(tuple, &rng);
+    size_t expected = 2;
+    for (const MixedReportEntry& entry : report) {
+      const bool numeric =
+          collector.schema()[entry.attribute].type == AttributeType::kNumeric;
+      expected += 4 + 1 + (numeric ? 8 : 2 + 4 * entry.categorical_report.size());
+    }
+    EXPECT_EQ(EncodeMixedReport(report, collector).size(), expected);
+  }
+}
+
 TEST(MixedWireTest, EncodingIsCompact) {
   // k entries at ~13 bytes each (numeric) — sanity-check the size claim.
   const MixedTupleCollector collector = MakeMixedCollector();

@@ -1,8 +1,11 @@
-// ldp_report: the client half of the deployment split. Reads a CSV of user
-// records, perturbs each row on the "device" under ε-LDP, and writes the
-// privatized reports as framed report streams (src/stream/report_stream.h)
-// — one shard file per slice of the population — ready to be shipped to an
-// ldp_aggregate server. Nothing but the perturbed reports is written out.
+// ldp_report: the client half of the deployment split. Streams a CSV of
+// user records row by row, perturbs each row on the "device" under ε-LDP,
+// and writes the privatized reports as framed report streams
+// (src/stream/report_stream.h) — one shard file per slice of the population
+// — ready to be shipped to an ldp_aggregate server. Nothing but the
+// perturbed reports is written out, and memory stays O(schema) regardless
+// of row count: the table is never materialized (a cheap first pass counts
+// rows to fix the shard boundaries, then the privatizing pass streams).
 //
 //   ldp_report --schema FILE --data FILE --epsilon E --out PREFIX
 //              [--shards N] [--mechanism hm|pm]
@@ -19,10 +22,10 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "aggregate/collector.h"
 #include "data/csv.h"
-#include "data/encode.h"
 #include "data/schema_text.h"
 #include "stream/report_stream.h"
 #include "util/threadpool.h"
@@ -57,6 +60,28 @@ std::string ShardPath(const std::string& prefix, size_t shard) {
   char suffix[32];
   std::snprintf(suffix, sizeof(suffix), ".shard-%05zu.ldps", shard);
   return prefix + suffix;
+}
+
+// Counts data rows (non-empty lines after the header) so the shard
+// boundaries can be fixed before the streaming pass; row-level validation
+// happens in that second pass.
+Result<uint64_t> CountCsvRows(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty file: " + path);
+  }
+  uint64_t rows = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  if (in.bad()) {
+    return Status::IoError("read error on " + path);
+  }
+  return rows;
 }
 
 }  // namespace
@@ -120,19 +145,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
     return 1;
   }
-  auto table = data::ReadCsv(schema.value(), data_path);
-  if (!table.ok()) {
-    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+  auto row_count = CountCsvRows(data_path);
+  if (!row_count.ok()) {
+    std::fprintf(stderr, "%s\n", row_count.status().ToString().c_str());
     return 1;
   }
-  const data::Dataset dataset = data::NormalizeNumeric(table.value());
-  const uint64_t n = dataset.num_rows();
+  const uint64_t n = row_count.value();
   if (n == 0) {
     std::fprintf(stderr, "dataset is empty\n");
     return 1;
   }
 
-  auto mixed_schema = aggregate::ToMixedSchema(dataset.schema());
+  auto mixed_schema = aggregate::ToMixedSchema(schema.value());
   if (!mixed_schema.ok()) {
     std::fprintf(stderr, "%s\n", mixed_schema.status().ToString().c_str());
     return 1;
@@ -147,9 +171,20 @@ int main(int argc, char** argv) {
   const MixedTupleCollector& collector = collector_result.value();
   const stream::StreamHeader header = stream::MakeMixedStreamHeader(collector);
 
-  const data::Schema& normalized_schema = dataset.schema();
-  const uint32_t d = normalized_schema.num_columns();
+  // Second pass: stream rows, normalizing each numeric cell from its schema
+  // [lo, hi] to the mechanisms' canonical [-1, 1] with the same arithmetic
+  // as data::NormalizeNumeric — bit-identical to the materializing pipeline
+  // ldp_collect runs, which the reproduction contract depends on.
+  auto reader = data::CsvRowReader::Open(schema.value(), data_path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  const uint32_t d = schema.value().num_columns();
   const std::vector<IndexRange> ranges = SplitRange(n, shards);
+  std::vector<double> numeric_row;
+  std::vector<uint32_t> category_row;
+  MixedTuple tuple(d);
   uint64_t total_bytes = 0;
   for (size_t s = 0; s < ranges.size(); ++s) {
     const std::string path = ShardPath(prefix, s);
@@ -159,13 +194,24 @@ int main(int argc, char** argv) {
       return 1;
     }
     stream::ReportStreamWriter writer(&out, header);
-    MixedTuple tuple(d);
     for (uint64_t row = ranges[s].begin; row < ranges[s].end; ++row) {
+      auto more = reader.value().NextRow(&numeric_row, &category_row);
+      if (!more.ok()) {
+        std::fprintf(stderr, "%s\n", more.status().ToString().c_str());
+        return 1;
+      }
+      if (!more.value()) {
+        std::fprintf(stderr, "%s shrank between passes\n", data_path.c_str());
+        return 1;
+      }
       for (uint32_t col = 0; col < d; ++col) {
-        if (normalized_schema.column(col).type == data::ColumnType::kNumeric) {
-          tuple[col].numeric = dataset.numeric(row, col);
+        const data::ColumnSpec& spec = schema.value().column(col);
+        if (spec.type == data::ColumnType::kNumeric) {
+          const double mid = (spec.hi + spec.lo) / 2.0;
+          const double half_width = (spec.hi - spec.lo) / 2.0;
+          tuple[col].numeric = (numeric_row[col] - mid) / half_width;
         } else {
-          tuple[col].category = dataset.category(row, col);
+          tuple[col].category = category_row[col];
         }
       }
       Rng rng = aggregate::UserRng(seed, row);
@@ -183,6 +229,18 @@ int main(int argc, char** argv) {
       return 1;
     }
     total_bytes += writer.bytes_written();
+  }
+  // The shard boundaries were fixed by the counting pass; rows appearing
+  // after it (a still-running exporter?) would otherwise be dropped
+  // silently. Symmetric with the shrink check above.
+  auto trailing = reader.value().NextRow(&numeric_row, &category_row);
+  if (!trailing.ok()) {
+    std::fprintf(stderr, "%s\n", trailing.status().ToString().c_str());
+    return 1;
+  }
+  if (trailing.value()) {
+    std::fprintf(stderr, "%s grew between passes\n", data_path.c_str());
+    return 1;
   }
 
   std::printf(
