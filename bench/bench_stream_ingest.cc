@@ -3,13 +3,14 @@
 // deployment story at scale — millions of users send one wire report each;
 // the aggregator must keep up at line rate.
 //
-// Sweeps oracle kinds (GRR / SUE / OUE / OLH / HE — the payload encodings
-// differ by orders of magnitude in bytes/report) × shard counts (1 shard =
-// the single-core hot loop; more shards exercise the parallel ordered
-// reduction). Measures the full server path (frame scan → zero-copy wire
-// decode → validation → aggregator accumulation → ordered shard merge) over
-// pre-encoded in-memory shards, so client-side perturbation cost is
-// excluded.
+// Sweeps both stream kinds the server speaks: mixed streams across oracle
+// kinds (GRR / SUE / OUE / OLH / HE — the payload encodings differ by
+// orders of magnitude in bytes/report) and the Algorithm-4 numeric stream
+// kind, × shard counts (1 shard = the single-core hot loop; more shards
+// exercise the parallel ordered reduction). Measures the full server path
+// (frame scan → zero-copy wire decode → validation → aggregator
+// accumulation → ordered shard merge) over pre-encoded in-memory shards, so
+// client-side perturbation cost is excluded.
 //
 //   LDP_BENCH_USERS   total reports across shards (default 1000000)
 //   LDP_BENCH_FAST=1  shrink for smoke runs (100000)
@@ -27,6 +28,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/sampled_numeric.h"
+#include "stream/aggregator_handle.h"
 #include "stream/parallel_ingest.h"
 #include "stream/report_stream.h"
 #include "util/random.h"
@@ -82,7 +85,36 @@ std::vector<std::string> EncodeShards(const MixedTupleCollector& collector,
   return shards;
 }
 
+// An 8-attribute all-numeric schema at the same ε, exercising the
+// Algorithm-4 numeric stream kind end to end.
+std::vector<std::string> EncodeNumericShards(
+    const SampledNumericMechanism& mechanism, uint64_t reports,
+    size_t num_shards) {
+  std::vector<double> tuple(mechanism.dimension());
+  for (uint32_t j = 0; j < mechanism.dimension(); ++j) {
+    tuple[j] = (j % 2 == 0) ? 0.25 : -0.5;
+  }
+  std::vector<std::string> shards;
+  const std::vector<IndexRange> ranges = SplitRange(reports, num_shards);
+  for (size_t s = 0; s < ranges.size(); ++s) {
+    std::ostringstream out;
+    stream::ReportStreamWriter writer(
+        &out,
+        stream::MakeNumericStreamHeader(mechanism, MechanismKind::kHybrid));
+    Rng rng(1000 + s);
+    for (uint64_t i = ranges[s].begin; i < ranges[s].end; ++i) {
+      if (!writer.WriteNumericReport(mechanism.Perturb(tuple, &rng)).ok()) {
+        std::fprintf(stderr, "encode failed\n");
+        std::exit(1);
+      }
+    }
+    shards.push_back(out.str());
+  }
+  return shards;
+}
+
 struct SweepResult {
+  const char* kind = "mixed";
   const char* oracle = "";
   size_t shards = 0;
   unsigned threads = 0;
@@ -176,6 +208,65 @@ int main() {
     }
   }
 
+  // Algorithm-4 numeric stream kind over the same shard sweep.
+  auto mechanism = SampledNumericMechanism::Create(MechanismKind::kHybrid,
+                                                   4.0, 8);
+  if (!mechanism.ok()) {
+    std::fprintf(stderr, "%s\n", mechanism.status().ToString().c_str());
+    return 1;
+  }
+  const stream::NumericAggregatorHandle prototype(&mechanism.value(),
+                                                  MechanismKind::kHybrid);
+  for (const size_t num_shards : shard_counts) {
+    const std::vector<std::string> shards =
+        EncodeNumericShards(mechanism.value(), reports, num_shards);
+    uint64_t total_bytes = 0;
+    for (const std::string& shard : shards) total_bytes += shard.size();
+
+    const unsigned threads = std::min(static_cast<unsigned>(num_shards),
+                                      std::max(hardware, 1u));
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    std::vector<stream::HandleShardSource> sources;
+    for (size_t s = 0; s < shards.size(); ++s) {
+      sources.push_back(stream::HandleStreamBufferSource(
+          prototype, "shard " + std::to_string(s), &shards[s],
+          stream::ShardIngester::Options()));
+    }
+
+    const auto started = std::chrono::steady_clock::now();
+    auto total = stream::IngestHandleSources(prototype, sources, pool.get());
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    if (!total.ok()) {
+      std::fprintf(stderr, "numeric ingest failed: %s\n",
+                   total.status().ToString().c_str());
+      return 1;
+    }
+    if (total.value()->num_reports() != reports) {
+      std::fprintf(stderr, "numeric ingest dropped reports\n");
+      return 1;
+    }
+
+    SweepResult result;
+    result.kind = "numeric";
+    result.oracle = "-";
+    result.shards = num_shards;
+    result.threads = threads;
+    result.bytes_per_report =
+        static_cast<double>(total_bytes) / static_cast<double>(reports);
+    result.seconds = seconds;
+    result.reports_per_sec = static_cast<double>(reports) / seconds;
+    result.mib_per_sec =
+        static_cast<double>(total_bytes) / seconds / (1024.0 * 1024.0);
+    results.push_back(result);
+    std::printf("%-8s %8zu %8u %10.1f %10.3f %14.0f %10.1f\n", "NUMERIC",
+                result.shards, result.threads, result.bytes_per_report,
+                result.seconds, result.reports_per_sec, result.mib_per_sec);
+  }
+
   // Machine-readable trend line.
   FILE* json = std::fopen("BENCH_stream_ingest.json", "w");
   if (json != nullptr) {
@@ -186,11 +277,11 @@ int main() {
     for (size_t i = 0; i < results.size(); ++i) {
       std::fprintf(
           json,
-          "    {\"oracle\": \"%s\", \"shards\": %zu, \"threads\": %u, "
-          "\"bytes_per_report\": %.1f, \"seconds\": %.6f, "
+          "    {\"kind\": \"%s\", \"oracle\": \"%s\", \"shards\": %zu, "
+          "\"threads\": %u, \"bytes_per_report\": %.1f, \"seconds\": %.6f, "
           "\"reports_per_sec\": %.0f, \"mib_per_sec\": %.1f}%s\n",
-          results[i].oracle, results[i].shards, results[i].threads,
-          results[i].bytes_per_report, results[i].seconds,
+          results[i].kind, results[i].oracle, results[i].shards,
+          results[i].threads, results[i].bytes_per_report, results[i].seconds,
           results[i].reports_per_sec, results[i].mib_per_sec,
           i + 1 < results.size() ? "," : "");
     }

@@ -5,14 +5,16 @@
 // record locally with the Section IV-C collector, and the agency publishes
 // mean ages/incomes and marginal distributions — then compares against the
 // best-effort baseline that splits the budget across attributes
-// (Duchi's Algorithm 3 for the numeric group + per-attribute OUE).
+// (Duchi's Algorithm 3 for the numeric group + per-attribute OUE). Both
+// runs go through the same config-driven entry point, api::Pipeline::Collect
+// — the baseline is just a one-field change to the config.
 //
 // Build and run:   ./build/examples/census_analytics
 
 #include <cstdio>
 
-#include "aggregate/collector.h"
 #include "aggregate/metrics.h"
+#include "api/pipeline.h"
 #include "core/variance.h"
 #include "data/census.h"
 #include "data/encode.h"
@@ -31,9 +33,21 @@ int main() {
   const ldp::data::Dataset normalized =
       ldp::data::NormalizeNumeric(census.value());
 
-  auto proposed = ldp::aggregate::CollectProposed(normalized, epsilon, 1);
-  auto baseline = ldp::aggregate::CollectBaseline(
-      normalized, epsilon, 2, ldp::aggregate::NumericStrategy::kDuchiMulti);
+  auto config =
+      ldp::api::PipelineConfig::FromSchema(normalized.schema(), epsilon);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  auto proposed_pipeline = ldp::api::Pipeline::Create(config.value());
+  config.value().baseline = ldp::api::NumericStrategy::kDuchiMulti;
+  auto baseline_pipeline = ldp::api::Pipeline::Create(config.value());
+  if (!proposed_pipeline.ok() || !baseline_pipeline.ok()) {
+    std::fprintf(stderr, "pipeline setup failed\n");
+    return 1;
+  }
+  auto proposed = proposed_pipeline.value().Collect(normalized, 1);
+  auto baseline = baseline_pipeline.value().Collect(normalized, 2);
   if (!proposed.ok() || !baseline.ok()) {
     std::fprintf(stderr, "collection failed\n");
     return 1;

@@ -6,17 +6,21 @@
 //   2. one categorical value per user → estimate value frequencies with the
 //      OUE frequency oracle;
 //   3. a mixed multidimensional tuple per user → estimate everything at once
-//      with the Section IV-C collector (Algorithm 4 + OUE) under ONE budget.
+//      with the api::Pipeline session facade (Algorithm 4 + OUE) under ONE
+//      budget, reports crossing a real wire between a ClientSession and a
+//      ServerSession.
 //
 // Build and run:   ./build/examples/quickstart
 
 #include <cstdio>
 #include <vector>
 
+#include "api/pipeline.h"
+#include "api/server_session.h"
 #include "core/mechanism.h"
-#include "core/mixed_collector.h"
 #include "frequency/histogram.h"
 #include "frequency/oue.h"
+#include "stream/report_stream.h"
 #include "util/random.h"
 
 int main() {
@@ -69,17 +73,30 @@ int main() {
   std::printf("   (OUE, eps=%g)\n", epsilon);
 
   // ------------------------------------------------------------------
-  // 3. A whole tuple — 2 numeric + 1 categorical — under ONE budget.
+  // 3. A whole tuple — 2 numeric + 1 categorical — under ONE budget,
+  //    through the Pipeline session API (reports cross a real wire).
   // ------------------------------------------------------------------
-  auto collector = ldp::MixedTupleCollector::Create(
-      {ldp::MixedAttribute::Numeric(), ldp::MixedAttribute::Numeric(),
-       ldp::MixedAttribute::Categorical(3)},
-      epsilon);
-  if (!collector.ok()) {
-    std::fprintf(stderr, "%s\n", collector.status().ToString().c_str());
+  ldp::api::PipelineConfig config;
+  config.attributes = {ldp::MixedAttribute::Numeric(),
+                       ldp::MixedAttribute::Numeric(),
+                       ldp::MixedAttribute::Categorical(3)};
+  config.epsilon = epsilon;
+  auto pipeline = ldp::api::Pipeline::Create(config);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
     return 1;
   }
-  ldp::MixedAggregator aggregator(&collector.value());
+  auto client = pipeline.value().NewClient();   // runs on each device
+  auto server = pipeline.value().NewServer();   // runs at the aggregator
+  if (!client.ok() || !server.ok()) {
+    std::fprintf(stderr, "session setup failed\n");
+    return 1;
+  }
+  const size_t shard = server.value().OpenShard();
+  if (!server.value().Feed(shard, client.value().EncodeHeader()).ok()) {
+    std::fprintf(stderr, "header rejected\n");
+    return 1;
+  }
   double true_mean0 = 0.0;
   for (int i = 0; i < num_users; ++i) {
     ldp::MixedTuple tuple(3);
@@ -88,18 +105,33 @@ int main() {
     tuple[2] = ldp::AttributeValue::Categorical(
         static_cast<uint32_t>(rng.UniformIndex(3)));
     true_mean0 += tuple[0].numeric / num_users;
-    aggregator.Add(collector.value().Perturb(tuple, &rng));
+    // Everything above happens on the device; only this frame crosses the
+    // wire to the server.
+    auto payload = client.value().EncodeReport(tuple, &rng);
+    std::string frame;
+    if (!payload.ok() ||
+        !ldp::stream::AppendFrame(payload.value(), &frame).ok() ||
+        !server.value().Feed(shard, frame).ok()) {
+      std::fprintf(stderr, "report rejected\n");
+      return 1;
+    }
+  }
+  if (!server.value().CloseShard(shard).ok()) {
+    std::fprintf(stderr, "shard close failed\n");
+    return 1;
   }
   std::printf(
       "3) mixed tuple:    attr0 true %+.4f estimated %+.4f;   "
       "attr2 frequencies:",
-      true_mean0, aggregator.EstimateMean(0).value());
+      true_mean0, server.value().EstimateMean(0, /*epoch=*/0).value());
   const std::vector<double> attr2_frequencies =
-      aggregator.EstimateFrequencies(2).value();
+      server.value().EstimateFrequencies(2, /*epoch=*/0).value();
   for (const double f : attr2_frequencies) {
     std::printf(" %.3f", f);
   }
-  std::printf("\n   (each user reported only %u of 3 attributes at eps/%u)\n",
-              collector.value().k(), collector.value().k());
+  std::printf("\n   (each user reported only %u of 3 attributes at eps/%u; "
+              "eps spent this epoch: %g)\n",
+              pipeline.value().k(), pipeline.value().k(),
+              server.value().epsilon_spent());
   return 0;
 }

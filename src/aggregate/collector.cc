@@ -1,148 +1,36 @@
 #include "aggregate/collector.h"
 
-#include <memory>
-
-#include "aggregate/estimators.h"
-#include "baselines/duchi_multi_dim.h"
-#include "frequency/histogram.h"
-#include "util/check.h"
+#include <utility>
 
 namespace ldp::aggregate {
 
-// Every simulated user gets her own generator derived from (seed, row), so
-// results are identical whether or not a thread pool is used.
-Rng UserRng(uint64_t seed, uint64_t row) {
-  return Rng(seed ^ ((row + 1) * 0x9e3779b97f4a7c15ULL));
-}
-
 namespace {
 
-Status ValidateNormalized(const data::Schema& schema) {
-  for (uint32_t col = 0; col < schema.num_columns(); ++col) {
-    const data::ColumnSpec& spec = schema.column(col);
-    if (spec.type == data::ColumnType::kNumeric &&
-        (spec.lo != -1.0 || spec.hi != 1.0)) {
-      return Status::FailedPrecondition(
-          "numeric column '" + spec.name +
-          "' is not normalised to [-1, 1]; apply data::NormalizeNumeric "
-          "first");
-    }
-  }
-  return Status::OK();
-}
-
-// Fills the column index lists and the exact means/frequencies.
-Status FillGroundTruth(const data::Dataset& dataset, CollectionOutput* out) {
-  const data::Schema& schema = dataset.schema();
-  out->numeric_columns = schema.NumericColumnIndices();
-  out->categorical_columns = schema.CategoricalColumnIndices();
-  for (const uint32_t col : out->numeric_columns) {
-    double mean = 0.0;
-    LDP_ASSIGN_OR_RETURN(mean, dataset.ColumnMean(col));
-    out->true_means.push_back(mean);
-  }
-  for (const uint32_t col : out->categorical_columns) {
-    std::vector<double> freqs;
-    LDP_ASSIGN_OR_RETURN(freqs, dataset.ColumnFrequencies(col));
-    out->true_frequencies.push_back(std::move(freqs));
-  }
-  return Status::OK();
+// The shared wrapper body: both legacy entry points are one Pipeline::Create
+// + Collect away from the session facade, and stay bit-identical to their
+// pre-facade implementations (the facade runs the very same per-chunk loop).
+Result<CollectionOutput> CollectViaPipeline(const data::Dataset& dataset,
+                                            api::PipelineConfig config,
+                                            uint64_t seed, ThreadPool* pool) {
+  LDP_ASSIGN_OR_RETURN(config.attributes,
+                       api::AttributesFromSchema(dataset.schema()));
+  Result<api::Pipeline> pipeline = api::Pipeline::Create(std::move(config));
+  if (!pipeline.ok()) return pipeline.status();
+  return pipeline.value().Collect(dataset, seed, pool);
 }
 
 }  // namespace
-
-const char* NumericStrategyToString(NumericStrategy strategy) {
-  switch (strategy) {
-    case NumericStrategy::kLaplaceSplit:
-      return "Laplace";
-    case NumericStrategy::kScdfSplit:
-      return "SCDF";
-    case NumericStrategy::kStaircaseSplit:
-      return "Staircase";
-    case NumericStrategy::kDuchiMulti:
-      return "Duchi";
-  }
-  return "unknown";
-}
-
-Result<std::vector<MixedAttribute>> ToMixedSchema(const data::Schema& schema) {
-  if (schema.num_columns() == 0) {
-    return Status::InvalidArgument("schema has no columns");
-  }
-  std::vector<MixedAttribute> mixed;
-  mixed.reserve(schema.num_columns());
-  for (uint32_t col = 0; col < schema.num_columns(); ++col) {
-    const data::ColumnSpec& spec = schema.column(col);
-    if (spec.type == data::ColumnType::kNumeric) {
-      mixed.push_back(MixedAttribute::Numeric());
-    } else {
-      mixed.push_back(MixedAttribute::Categorical(spec.domain_size));
-    }
-  }
-  return mixed;
-}
 
 Result<CollectionOutput> CollectProposed(const data::Dataset& dataset,
                                          double epsilon, uint64_t seed,
                                          MechanismKind numeric_kind,
                                          FrequencyOracleKind categorical_kind,
                                          ThreadPool* pool) {
-  LDP_RETURN_IF_ERROR(ValidateNormalized(dataset.schema()));
-  if (dataset.num_rows() == 0) {
-    return Status::InvalidArgument("dataset is empty");
-  }
-  std::vector<MixedAttribute> mixed_schema;
-  LDP_ASSIGN_OR_RETURN(mixed_schema, ToMixedSchema(dataset.schema()));
-  Result<MixedTupleCollector> collector_result = MixedTupleCollector::Create(
-      std::move(mixed_schema), epsilon, numeric_kind, categorical_kind);
-  if (!collector_result.ok()) return collector_result.status();
-  const MixedTupleCollector& collector = collector_result.value();
-
-  CollectionOutput out;
-  LDP_RETURN_IF_ERROR(FillGroundTruth(dataset, &out));
-
-  const data::Schema& schema = dataset.schema();
-  const uint32_t d = schema.num_columns();
-  // One aggregator per chunk, reduced in chunk order after the parallel
-  // region: results are bit-deterministic for a fixed (seed, chunk count)
-  // regardless of thread scheduling, and a sharded run whose shard
-  // boundaries match SplitRange reproduces them exactly.
-  const uint64_t num_chunks =
-      ParallelForChunkCount(pool, dataset.num_rows());
-  std::vector<MixedAggregator> chunk_aggregators(num_chunks,
-                                                 MixedAggregator(&collector));
-  ParallelFor(pool, dataset.num_rows(),
-              [&](unsigned chunk, uint64_t begin, uint64_t end) {
-                MixedAggregator& local = chunk_aggregators[chunk];
-                MixedTuple tuple(d);
-                for (uint64_t row = begin; row < end; ++row) {
-                  for (uint32_t col = 0; col < d; ++col) {
-                    if (schema.column(col).type == data::ColumnType::kNumeric) {
-                      tuple[col].numeric = dataset.numeric(row, col);
-                    } else {
-                      tuple[col].category = dataset.category(row, col);
-                    }
-                  }
-                  Rng rng = UserRng(seed, row);
-                  local.Add(collector.Perturb(tuple, &rng));
-                }
-              });
-  MixedAggregator total(&collector);
-  for (const MixedAggregator& local : chunk_aggregators) {
-    LDP_RETURN_IF_ERROR(total.Merge(local));
-  }
-
-  for (const uint32_t col : out.numeric_columns) {
-    double mean = 0.0;
-    LDP_ASSIGN_OR_RETURN(mean, total.EstimateMean(col));
-    out.estimated_means.push_back(mean);
-  }
-  for (const uint32_t col : out.categorical_columns) {
-    std::vector<double> freqs;
-    LDP_ASSIGN_OR_RETURN(freqs, total.EstimateFrequencies(col));
-    out.estimated_frequencies.push_back(std::move(freqs));
-  }
-  return out;
+  api::PipelineConfig config;
+  config.epsilon = epsilon;
+  config.mechanism = numeric_kind;
+  config.oracle = categorical_kind;
+  return CollectViaPipeline(dataset, std::move(config), seed, pool);
 }
 
 Result<CollectionOutput> CollectBaseline(const data::Dataset& dataset,
@@ -150,111 +38,11 @@ Result<CollectionOutput> CollectBaseline(const data::Dataset& dataset,
                                          NumericStrategy strategy,
                                          FrequencyOracleKind categorical_kind,
                                          ThreadPool* pool) {
-  LDP_RETURN_IF_ERROR(ValidateNormalized(dataset.schema()));
-  LDP_RETURN_IF_ERROR(ValidateEpsilon(epsilon));
-  if (dataset.num_rows() == 0) {
-    return Status::InvalidArgument("dataset is empty");
-  }
-  CollectionOutput out;
-  LDP_RETURN_IF_ERROR(FillGroundTruth(dataset, &out));
-
-  const uint32_t dn = static_cast<uint32_t>(out.numeric_columns.size());
-  const uint32_t dc = static_cast<uint32_t>(out.categorical_columns.size());
-  const uint32_t d = dn + dc;
-  const double per_attribute_epsilon = epsilon / d;
-  const double numeric_group_epsilon = epsilon * dn / d;
-  const uint64_t n = dataset.num_rows();
-
-  // Numeric group machinery.
-  std::unique_ptr<ScalarMechanism> scalar;
-  std::unique_ptr<DuchiMultiDimMechanism> duchi;
-  if (dn > 0) {
-    if (strategy == NumericStrategy::kDuchiMulti) {
-      duchi = std::make_unique<DuchiMultiDimMechanism>(numeric_group_epsilon,
-                                                       dn);
-    } else {
-      MechanismKind kind = MechanismKind::kLaplace;
-      if (strategy == NumericStrategy::kScdfSplit) kind = MechanismKind::kScdf;
-      if (strategy == NumericStrategy::kStaircaseSplit) {
-        kind = MechanismKind::kStaircase;
-      }
-      LDP_ASSIGN_OR_RETURN(scalar,
-                           MakeScalarMechanism(kind, per_attribute_epsilon));
-    }
-  }
-
-  // Categorical group machinery: one oracle per categorical column.
-  std::vector<std::unique_ptr<FrequencyOracle>> oracles;
-  for (const uint32_t col : out.categorical_columns) {
-    std::unique_ptr<FrequencyOracle> oracle;
-    LDP_ASSIGN_OR_RETURN(
-        oracle, MakeFrequencyOracle(categorical_kind, per_attribute_epsilon,
-                                    dataset.schema().column(col).domain_size));
-    oracles.push_back(std::move(oracle));
-  }
-
-  std::vector<size_t> support_sizes;
-  for (const uint32_t col : out.categorical_columns) {
-    support_sizes.push_back(dataset.schema().column(col).domain_size);
-  }
-  // Per-chunk accumulators reduced in chunk order after the parallel region,
-  // mirroring CollectProposed: bit-deterministic for a fixed chunk count.
-  const uint64_t num_chunks = ParallelForChunkCount(pool, n);
-  std::vector<VectorMeanEstimator> chunk_means(num_chunks,
-                                               VectorMeanEstimator(dn));
-  std::vector<std::vector<std::vector<double>>> chunk_supports(num_chunks);
-  for (auto& supports : chunk_supports) {
-    for (const size_t size : support_sizes) {
-      supports.emplace_back(size, 0.0);
-    }
-  }
-  ParallelFor(pool, n, [&](unsigned chunk, uint64_t begin, uint64_t end) {
-    VectorMeanEstimator& local_means = chunk_means[chunk];
-    std::vector<std::vector<double>>& local_supports = chunk_supports[chunk];
-    std::vector<double> numeric_tuple(dn, 0.0);
-    std::vector<double> dense(dn, 0.0);
-    for (uint64_t row = begin; row < end; ++row) {
-      Rng rng = UserRng(seed, row);
-      if (dn > 0) {
-        for (uint32_t j = 0; j < dn; ++j) {
-          numeric_tuple[j] = dataset.numeric(row, out.numeric_columns[j]);
-        }
-        if (duchi != nullptr) {
-          dense = duchi->Perturb(numeric_tuple, &rng);
-        } else {
-          for (uint32_t j = 0; j < dn; ++j) {
-            dense[j] = scalar->Perturb(numeric_tuple[j], &rng);
-          }
-        }
-        local_means.Add(dense);
-      }
-      for (uint32_t c = 0; c < dc; ++c) {
-        const uint32_t value = dataset.category(row, out.categorical_columns[c]);
-        oracles[c]->Accumulate(oracles[c]->Perturb(value, &rng),
-                               &local_supports[c]);
-      }
-    }
-  });
-  VectorMeanEstimator total_means(dn);
-  std::vector<std::vector<double>> total_supports;
-  for (const size_t size : support_sizes) {
-    total_supports.emplace_back(size, 0.0);
-  }
-  for (uint64_t chunk = 0; chunk < num_chunks; ++chunk) {
-    total_means.Merge(chunk_means[chunk]);
-    for (uint32_t c = 0; c < dc; ++c) {
-      for (size_t v = 0; v < total_supports[c].size(); ++v) {
-        total_supports[c][v] += chunk_supports[chunk][c][v];
-      }
-    }
-  }
-
-  out.estimated_means = total_means.Estimate();
-  for (uint32_t c = 0; c < dc; ++c) {
-    out.estimated_frequencies.push_back(
-        oracles[c]->Estimate(total_supports[c], n));
-  }
-  return out;
+  api::PipelineConfig config;
+  config.epsilon = epsilon;
+  config.oracle = categorical_kind;
+  config.baseline = strategy;
+  return CollectViaPipeline(dataset, std::move(config), seed, pool);
 }
 
 }  // namespace ldp::aggregate

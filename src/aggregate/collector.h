@@ -12,6 +12,13 @@
 //    group; numeric attributes are handled by Duchi et al.'s Algorithm 3 or
 //    by per-attribute Laplace/SCDF/Staircase at ε/d each, categorical ones by
 //    a per-attribute frequency oracle at ε/d each.
+//
+// DEPRECATED surface: these free functions are thin wrappers over the
+// session facade in api/pipeline.h — `api::Pipeline::Collect` with a config
+// whose `baseline` field selects the pipeline — and produce bit-identical
+// output (tested in tests/api_parity_test.cc). Prefer api::Pipeline for new
+// code: it also hands out the client/server wire sessions, multi-epoch
+// collection, and privacy accounting these wrappers cannot.
 
 #ifndef LDP_AGGREGATE_COLLECTOR_H_
 #define LDP_AGGREGATE_COLLECTOR_H_
@@ -19,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "api/pipeline.h"
 #include "core/mechanism.h"
 #include "core/mixed_collector.h"
 #include "data/dataset.h"
@@ -29,40 +37,29 @@
 namespace ldp::aggregate {
 
 /// Ground truth and LDP estimates from one collection run.
-struct CollectionOutput {
-  /// Schema indices of the numeric columns, in schema order.
-  std::vector<uint32_t> numeric_columns;
-  /// Schema indices of the categorical columns, in schema order.
-  std::vector<uint32_t> categorical_columns;
-  /// Exact and estimated means, parallel to numeric_columns.
-  std::vector<double> true_means;
-  std::vector<double> estimated_means;
-  /// Exact and estimated value frequencies, parallel to categorical_columns.
-  std::vector<std::vector<double>> true_frequencies;
-  std::vector<std::vector<double>> estimated_frequencies;
-};
+using CollectionOutput = api::CollectionOutput;
 
 /// How the baseline pipeline handles the numeric attribute group.
-enum class NumericStrategy {
-  kLaplaceSplit,    ///< Laplace mechanism per attribute at ε/d each.
-  kScdfSplit,       ///< SCDF per attribute at ε/d each.
-  kStaircaseSplit,  ///< Staircase per attribute at ε/d each.
-  kDuchiMulti,      ///< Duchi et al.'s Algorithm 3 at the group budget.
-};
+using NumericStrategy = api::NumericStrategy;
 
 /// Human-readable strategy name ("Laplace", "SCDF", "Staircase", "Duchi").
-const char* NumericStrategyToString(NumericStrategy strategy);
+/// (A using-declaration rather than a forwarding overload: argument-
+/// dependent lookup on api::NumericStrategy already finds the api function,
+/// and a second overload would make every unqualified call ambiguous.)
+using api::NumericStrategyToString;
 
-/// Runs the paper's proposed pipeline over `dataset`, whose numeric columns
-/// must already be normalised to [-1, 1] (see data::NormalizeNumeric).
-/// Deterministic in `seed`; `pool` optionally shards users across threads
-/// (results then depend on the pool's thread count as chunk RNGs differ).
+/// DEPRECATED: prefer api::Pipeline::Collect. Runs the paper's proposed
+/// pipeline over `dataset`, whose numeric columns must already be normalised
+/// to [-1, 1] (see data::NormalizeNumeric). Deterministic in `seed`; `pool`
+/// optionally shards users across threads (results then depend on the pool's
+/// thread count as chunk RNGs differ).
 Result<CollectionOutput> CollectProposed(
     const data::Dataset& dataset, double epsilon, uint64_t seed,
     MechanismKind numeric_kind = MechanismKind::kHybrid,
     FrequencyOracleKind categorical_kind = FrequencyOracleKind::kOue,
     ThreadPool* pool = nullptr);
 
+/// DEPRECATED: prefer api::Pipeline::Collect with `config.baseline` set.
 /// Runs the split-budget baseline pipeline over `dataset` (numeric columns
 /// normalised to [-1, 1]).
 Result<CollectionOutput> CollectBaseline(
@@ -73,14 +70,19 @@ Result<CollectionOutput> CollectBaseline(
 
 /// Builds the core-collector schema for `dataset` (numeric columns must be
 /// normalised). Exposed for tests and custom pipelines.
-Result<std::vector<MixedAttribute>> ToMixedSchema(const data::Schema& schema);
+inline Result<std::vector<MixedAttribute>> ToMixedSchema(
+    const data::Schema& schema) {
+  return api::AttributesFromSchema(schema);
+}
 
 /// The per-user generator used by every collection pipeline: user `row`
 /// under master seed `seed` always draws from the same stream, whether the
 /// simulation runs single-threaded, pooled, or sharded across processes
 /// (ldp_report derives client-side randomness the same way, which is what
 /// makes sharded ingestion reproduce an in-process run exactly).
-Rng UserRng(uint64_t seed, uint64_t row);
+inline Rng UserRng(uint64_t seed, uint64_t row) {
+  return api::UserRng(seed, row);
+}
 
 }  // namespace ldp::aggregate
 

@@ -1,0 +1,457 @@
+#include "api/pipeline.h"
+
+#include <cmath>
+#include <utility>
+
+#include "aggregate/estimators.h"
+#include "api/server_session.h"
+#include "baselines/duchi_multi_dim.h"
+#include "core/wire.h"
+#include "util/check.h"
+
+namespace ldp::api {
+
+// Every simulated user gets her own generator derived from (seed, row), so
+// results are identical whether or not a thread pool is used.
+Rng UserRng(uint64_t seed, uint64_t row) {
+  return Rng(seed ^ ((row + 1) * 0x9e3779b97f4a7c15ULL));
+}
+
+namespace {
+
+using internal_api::PipelineState;
+
+Status ValidateNormalized(const data::Schema& schema) {
+  for (uint32_t col = 0; col < schema.num_columns(); ++col) {
+    const data::ColumnSpec& spec = schema.column(col);
+    if (spec.type == data::ColumnType::kNumeric &&
+        (spec.lo != -1.0 || spec.hi != 1.0)) {
+      return Status::FailedPrecondition(
+          "numeric column '" + spec.name +
+          "' is not normalised to [-1, 1]; apply data::NormalizeNumeric "
+          "first");
+    }
+  }
+  return Status::OK();
+}
+
+// Fills the column index lists and the exact means/frequencies.
+Status FillGroundTruth(const data::Dataset& dataset, CollectionOutput* out) {
+  const data::Schema& schema = dataset.schema();
+  out->numeric_columns = schema.NumericColumnIndices();
+  out->categorical_columns = schema.CategoricalColumnIndices();
+  for (const uint32_t col : out->numeric_columns) {
+    double mean = 0.0;
+    LDP_ASSIGN_OR_RETURN(mean, dataset.ColumnMean(col));
+    out->true_means.push_back(mean);
+  }
+  for (const uint32_t col : out->categorical_columns) {
+    std::vector<double> freqs;
+    LDP_ASSIGN_OR_RETURN(freqs, dataset.ColumnFrequencies(col));
+    out->true_frequencies.push_back(std::move(freqs));
+  }
+  return Status::OK();
+}
+
+Status ValidateDatasetMatches(const data::Dataset& dataset,
+                              const std::vector<MixedAttribute>& attributes) {
+  std::vector<MixedAttribute> from_data;
+  LDP_ASSIGN_OR_RETURN(from_data, AttributesFromSchema(dataset.schema()));
+  bool matches = from_data.size() == attributes.size();
+  for (size_t j = 0; matches && j < attributes.size(); ++j) {
+    matches = from_data[j].type == attributes[j].type &&
+              (attributes[j].type != AttributeType::kCategorical ||
+               from_data[j].domain_size == attributes[j].domain_size);
+  }
+  if (!matches) {
+    return Status::InvalidArgument(
+        "dataset columns do not match the pipeline's attribute schema");
+  }
+  return Status::OK();
+}
+
+// The paper's proposed pipeline (Algorithm 4 + Section IV-C) over the
+// pipeline's collector. One aggregator per chunk, reduced in chunk order
+// after the parallel region: results are bit-deterministic for a fixed
+// (seed, chunk count) regardless of thread scheduling, and a sharded run
+// whose shard boundaries match SplitRange reproduces them exactly.
+Result<CollectionOutput> RunProposed(const MixedTupleCollector& collector,
+                                     const data::Dataset& dataset,
+                                     uint64_t seed, ThreadPool* pool) {
+  CollectionOutput out;
+  LDP_RETURN_IF_ERROR(FillGroundTruth(dataset, &out));
+
+  const data::Schema& schema = dataset.schema();
+  const uint32_t d = schema.num_columns();
+  const uint64_t num_chunks =
+      ParallelForChunkCount(pool, dataset.num_rows());
+  std::vector<MixedAggregator> chunk_aggregators(num_chunks,
+                                                 MixedAggregator(&collector));
+  ParallelFor(pool, dataset.num_rows(),
+              [&](unsigned chunk, uint64_t begin, uint64_t end) {
+                MixedAggregator& local = chunk_aggregators[chunk];
+                MixedTuple tuple(d);
+                for (uint64_t row = begin; row < end; ++row) {
+                  for (uint32_t col = 0; col < d; ++col) {
+                    if (schema.column(col).type == data::ColumnType::kNumeric) {
+                      tuple[col].numeric = dataset.numeric(row, col);
+                    } else {
+                      tuple[col].category = dataset.category(row, col);
+                    }
+                  }
+                  Rng rng = UserRng(seed, row);
+                  local.Add(collector.Perturb(tuple, &rng));
+                }
+              });
+  MixedAggregator total(&collector);
+  for (const MixedAggregator& local : chunk_aggregators) {
+    LDP_RETURN_IF_ERROR(total.Merge(local));
+  }
+
+  for (const uint32_t col : out.numeric_columns) {
+    double mean = 0.0;
+    LDP_ASSIGN_OR_RETURN(mean, total.EstimateMean(col));
+    out.estimated_means.push_back(mean);
+  }
+  for (const uint32_t col : out.categorical_columns) {
+    std::vector<double> freqs;
+    LDP_ASSIGN_OR_RETURN(freqs, total.EstimateFrequencies(col));
+    out.estimated_frequencies.push_back(std::move(freqs));
+  }
+  return out;
+}
+
+// The split-budget baseline of Section VI-A: dn·ε/d to the numeric group
+// (Duchi's Algorithm 3 or per-attribute scalar mechanisms at ε/d each),
+// dc·ε/d to the categorical group (one oracle per attribute at ε/d each).
+Result<CollectionOutput> RunBaseline(const data::Dataset& dataset,
+                                     double epsilon, uint64_t seed,
+                                     NumericStrategy strategy,
+                                     FrequencyOracleKind categorical_kind,
+                                     ThreadPool* pool) {
+  CollectionOutput out;
+  LDP_RETURN_IF_ERROR(FillGroundTruth(dataset, &out));
+
+  const uint32_t dn = static_cast<uint32_t>(out.numeric_columns.size());
+  const uint32_t dc = static_cast<uint32_t>(out.categorical_columns.size());
+  const uint32_t d = dn + dc;
+  const double per_attribute_epsilon = epsilon / d;
+  const double numeric_group_epsilon = epsilon * dn / d;
+  const uint64_t n = dataset.num_rows();
+
+  // Numeric group machinery.
+  std::unique_ptr<ScalarMechanism> scalar;
+  std::unique_ptr<DuchiMultiDimMechanism> duchi;
+  if (dn > 0) {
+    if (strategy == NumericStrategy::kDuchiMulti) {
+      duchi = std::make_unique<DuchiMultiDimMechanism>(numeric_group_epsilon,
+                                                       dn);
+    } else {
+      MechanismKind kind = MechanismKind::kLaplace;
+      if (strategy == NumericStrategy::kScdfSplit) kind = MechanismKind::kScdf;
+      if (strategy == NumericStrategy::kStaircaseSplit) {
+        kind = MechanismKind::kStaircase;
+      }
+      LDP_ASSIGN_OR_RETURN(scalar,
+                           MakeScalarMechanism(kind, per_attribute_epsilon));
+    }
+  }
+
+  // Categorical group machinery: one oracle per categorical column.
+  std::vector<std::unique_ptr<FrequencyOracle>> oracles;
+  for (const uint32_t col : out.categorical_columns) {
+    std::unique_ptr<FrequencyOracle> oracle;
+    LDP_ASSIGN_OR_RETURN(
+        oracle, MakeFrequencyOracle(categorical_kind, per_attribute_epsilon,
+                                    dataset.schema().column(col).domain_size));
+    oracles.push_back(std::move(oracle));
+  }
+
+  std::vector<size_t> support_sizes;
+  for (const uint32_t col : out.categorical_columns) {
+    support_sizes.push_back(dataset.schema().column(col).domain_size);
+  }
+  // Per-chunk accumulators reduced in chunk order after the parallel region,
+  // mirroring the proposed path: bit-deterministic for a fixed chunk count.
+  const uint64_t num_chunks = ParallelForChunkCount(pool, n);
+  std::vector<aggregate::VectorMeanEstimator> chunk_means(
+      num_chunks, aggregate::VectorMeanEstimator(dn));
+  std::vector<std::vector<std::vector<double>>> chunk_supports(num_chunks);
+  for (auto& supports : chunk_supports) {
+    for (const size_t size : support_sizes) {
+      supports.emplace_back(size, 0.0);
+    }
+  }
+  ParallelFor(pool, n, [&](unsigned chunk, uint64_t begin, uint64_t end) {
+    aggregate::VectorMeanEstimator& local_means = chunk_means[chunk];
+    std::vector<std::vector<double>>& local_supports = chunk_supports[chunk];
+    std::vector<double> numeric_tuple(dn, 0.0);
+    std::vector<double> dense(dn, 0.0);
+    for (uint64_t row = begin; row < end; ++row) {
+      Rng rng = UserRng(seed, row);
+      if (dn > 0) {
+        for (uint32_t j = 0; j < dn; ++j) {
+          numeric_tuple[j] = dataset.numeric(row, out.numeric_columns[j]);
+        }
+        if (duchi != nullptr) {
+          dense = duchi->Perturb(numeric_tuple, &rng);
+        } else {
+          for (uint32_t j = 0; j < dn; ++j) {
+            dense[j] = scalar->Perturb(numeric_tuple[j], &rng);
+          }
+        }
+        local_means.Add(dense);
+      }
+      for (uint32_t c = 0; c < dc; ++c) {
+        const uint32_t value = dataset.category(row, out.categorical_columns[c]);
+        oracles[c]->Accumulate(oracles[c]->Perturb(value, &rng),
+                               &local_supports[c]);
+      }
+    }
+  });
+  aggregate::VectorMeanEstimator total_means(dn);
+  std::vector<std::vector<double>> total_supports;
+  for (const size_t size : support_sizes) {
+    total_supports.emplace_back(size, 0.0);
+  }
+  for (uint64_t chunk = 0; chunk < num_chunks; ++chunk) {
+    total_means.Merge(chunk_means[chunk]);
+    for (uint32_t c = 0; c < dc; ++c) {
+      for (size_t v = 0; v < total_supports[c].size(); ++v) {
+        total_supports[c][v] += chunk_supports[chunk][c][v];
+      }
+    }
+  }
+
+  out.estimated_means = total_means.Estimate();
+  for (uint32_t c = 0; c < dc; ++c) {
+    out.estimated_frequencies.push_back(
+        oracles[c]->Estimate(total_supports[c], n));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* NumericStrategyToString(NumericStrategy strategy) {
+  switch (strategy) {
+    case NumericStrategy::kLaplaceSplit:
+      return "Laplace";
+    case NumericStrategy::kScdfSplit:
+      return "SCDF";
+    case NumericStrategy::kStaircaseSplit:
+      return "Staircase";
+    case NumericStrategy::kDuchiMulti:
+      return "Duchi";
+  }
+  return "unknown";
+}
+
+Result<std::vector<MixedAttribute>> AttributesFromSchema(
+    const data::Schema& schema) {
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("schema has no columns");
+  }
+  std::vector<MixedAttribute> mixed;
+  mixed.reserve(schema.num_columns());
+  for (uint32_t col = 0; col < schema.num_columns(); ++col) {
+    const data::ColumnSpec& spec = schema.column(col);
+    if (spec.type == data::ColumnType::kNumeric) {
+      mixed.push_back(MixedAttribute::Numeric());
+    } else {
+      mixed.push_back(MixedAttribute::Categorical(spec.domain_size));
+    }
+  }
+  return mixed;
+}
+
+void RowToTuple(const data::Schema& schema,
+                const std::vector<double>& numeric_row,
+                const std::vector<uint32_t>& category_row, MixedTuple* tuple) {
+  for (uint32_t col = 0; col < schema.num_columns(); ++col) {
+    const data::ColumnSpec& spec = schema.column(col);
+    if (spec.type == data::ColumnType::kNumeric) {
+      const double mid = (spec.hi + spec.lo) / 2.0;
+      const double half_width = (spec.hi - spec.lo) / 2.0;
+      (*tuple)[col].numeric = (numeric_row[col] - mid) / half_width;
+    } else {
+      (*tuple)[col].category = category_row[col];
+    }
+  }
+}
+
+Result<PipelineConfig> PipelineConfig::FromSchema(const data::Schema& schema,
+                                                  double epsilon) {
+  PipelineConfig config;
+  LDP_ASSIGN_OR_RETURN(config.attributes, AttributesFromSchema(schema));
+  config.epsilon = epsilon;
+  return config;
+}
+
+Result<Pipeline> Pipeline::Create(PipelineConfig config) {
+  if (config.plan.epochs == 0) {
+    return Status::InvalidArgument("epoch plan must cover at least one epoch");
+  }
+  if (config.plan.lifetime_budget != 0.0 &&
+      !(std::isfinite(config.plan.lifetime_budget) &&
+        config.plan.lifetime_budget > 0.0)) {
+    return Status::InvalidArgument(
+        "lifetime budget must be positive and finite (or 0 for the plan "
+        "default)");
+  }
+
+  bool has_categorical = false;
+  for (const MixedAttribute& attribute : config.attributes) {
+    has_categorical |= attribute.type == AttributeType::kCategorical;
+  }
+  if (config.wire == WirePreference::kNumeric && has_categorical) {
+    return Status::InvalidArgument(
+        "numeric streams require an all-numeric schema");
+  }
+
+  auto state = std::make_shared<PipelineState>();
+  state->kind = config.wire == WirePreference::kMixed || has_categorical
+                    ? stream::ReportStreamKind::kMixed
+                    : stream::ReportStreamKind::kSampledNumeric;
+
+  Result<MixedTupleCollector> collector = MixedTupleCollector::Create(
+      config.attributes, config.epsilon, config.mechanism, config.oracle);
+  if (!collector.ok()) return collector.status();
+  state->collector.emplace(std::move(collector).value());
+
+  if (state->kind == stream::ReportStreamKind::kSampledNumeric) {
+    Result<SampledNumericMechanism> numeric = SampledNumericMechanism::Create(
+        config.mechanism, config.epsilon,
+        static_cast<uint32_t>(config.attributes.size()));
+    if (!numeric.ok()) return numeric.status();
+    state->numeric.emplace(std::move(numeric).value());
+    state->header =
+        stream::MakeNumericStreamHeader(*state->numeric, config.mechanism);
+  } else {
+    state->header = stream::MakeMixedStreamHeader(*state->collector);
+  }
+
+  state->lifetime_budget =
+      config.plan.lifetime_budget != 0.0
+          ? config.plan.lifetime_budget
+          : static_cast<double>(config.plan.epochs) * config.epsilon;
+  state->config = std::move(config);
+  return Pipeline(std::move(state));
+}
+
+Result<CollectionOutput> Pipeline::Collect(const data::Dataset& dataset,
+                                           uint64_t seed,
+                                           ThreadPool* pool) const {
+  LDP_RETURN_IF_ERROR(ValidateNormalized(dataset.schema()));
+  if (dataset.num_rows() == 0) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  LDP_RETURN_IF_ERROR(
+      ValidateDatasetMatches(dataset, state_->config.attributes));
+  if (state_->config.baseline.has_value()) {
+    return RunBaseline(dataset, state_->config.epsilon, seed,
+                       *state_->config.baseline, state_->config.oracle, pool);
+  }
+  return RunProposed(*state_->collector, dataset, seed, pool);
+}
+
+Result<ClientSession> Pipeline::NewClient() const {
+  if (state_->config.baseline.has_value()) {
+    return Status::FailedPrecondition(
+        "baseline pipelines are simulation-only and have no wire sessions");
+  }
+  return ClientSession(state_);
+}
+
+const PipelineConfig& Pipeline::config() const { return state_->config; }
+
+stream::ReportStreamKind Pipeline::stream_kind() const { return state_->kind; }
+
+const stream::StreamHeader& Pipeline::header() const { return state_->header; }
+
+double Pipeline::epsilon() const { return state_->config.epsilon; }
+
+uint32_t Pipeline::dimension() const {
+  return static_cast<uint32_t>(state_->config.attributes.size());
+}
+
+uint32_t Pipeline::k() const { return state_->collector->k(); }
+
+const MixedTupleCollector& Pipeline::mixed_collector() const {
+  return *state_->collector;
+}
+
+const SampledNumericMechanism* Pipeline::numeric_mechanism() const {
+  return state_->numeric.has_value() ? &*state_->numeric : nullptr;
+}
+
+stream::StreamHeader ClientSession::header() const { return state_->header; }
+
+std::string ClientSession::EncodeHeader() const {
+  return stream::EncodeStreamHeader(state_->header);
+}
+
+stream::ReportStreamKind ClientSession::stream_kind() const {
+  return state_->kind;
+}
+
+uint32_t ClientSession::k() const { return state_->collector->k(); }
+
+uint32_t ClientSession::dimension() const {
+  return state_->collector->dimension();
+}
+
+Result<std::string> ClientSession::EncodeReport(const MixedTuple& row,
+                                                Rng* rng) const {
+  if (row.size() != state_->collector->dimension()) {
+    return Status::InvalidArgument(
+        "row must carry one value per schema attribute");
+  }
+  if (state_->kind == stream::ReportStreamKind::kMixed) {
+    return EncodeMixedReport(state_->collector->Perturb(row, rng),
+                             *state_->collector);
+  }
+  std::vector<double> numeric_row(row.size(), 0.0);
+  for (size_t j = 0; j < row.size(); ++j) {
+    numeric_row[j] = row[j].numeric;
+  }
+  return EncodeSampledNumericReport(state_->numeric->Perturb(numeric_row, rng));
+}
+
+Result<std::string> ClientSession::EncodeReport(const std::vector<double>& row,
+                                                Rng* rng) const {
+  if (row.size() != state_->collector->dimension()) {
+    return Status::InvalidArgument(
+        "row must carry one value per schema attribute");
+  }
+  if (state_->kind == stream::ReportStreamKind::kSampledNumeric) {
+    return EncodeSampledNumericReport(state_->numeric->Perturb(row, rng));
+  }
+  MixedTuple tuple(row.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    if (state_->config.attributes[j].type != AttributeType::kNumeric) {
+      return Status::InvalidArgument(
+          "pure-numeric rows require an all-numeric schema");
+    }
+    tuple[j].numeric = row[j];
+  }
+  return EncodeMixedReport(state_->collector->Perturb(tuple, rng),
+                           *state_->collector);
+}
+
+Status ClientSession::WriteReport(stream::ReportStreamWriter* writer,
+                                  const MixedTuple& row, Rng* rng) const {
+  std::string payload;
+  LDP_ASSIGN_OR_RETURN(payload, EncodeReport(row, rng));
+  return writer->WriteFrame(payload);
+}
+
+Status ClientSession::WriteReport(stream::ReportStreamWriter* writer,
+                                  const std::vector<double>& row,
+                                  Rng* rng) const {
+  std::string payload;
+  LDP_ASSIGN_OR_RETURN(payload, EncodeReport(row, rng));
+  return writer->WriteFrame(payload);
+}
+
+}  // namespace ldp::api

@@ -1,0 +1,474 @@
+#include "api/server_session.h"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <utility>
+
+#include "core/wire.h"
+#include "stream/snapshot.h"
+#include "util/check.h"
+
+namespace ldp::api {
+
+namespace {
+
+using internal_api::PipelineState;
+using internal_wire::PutF64;
+using internal_wire::PutU16;
+using internal_wire::PutU32;
+using internal_wire::PutU64;
+using internal_wire::PutU8;
+using internal_wire::Reader;
+
+// Every user reports once per epoch, so the population-wide per-user spend
+// is uniform; one representative key tracks it.
+constexpr uint64_t kPopulationUser = 0;
+
+// Matches core/accountant.cc kSlack: absorbs floating-point drift when the
+// plan spends exactly the lifetime budget.
+constexpr double kBudgetSlack = 1e-12;
+
+// Parses and validates the fixed-size session preamble, leaving `reader`
+// positioned at the first epoch section.
+Result<SessionSnapshotConfig> ReadSessionPreamble(Reader* reader) {
+  uint32_t magic = 0;
+  LDP_ASSIGN_OR_RETURN(magic, reader->U32());
+  if (magic != kSessionSnapshotMagic) {
+    return Status::InvalidArgument("not a session snapshot (bad magic)");
+  }
+  uint16_t version = 0;
+  LDP_ASSIGN_OR_RETURN(version, reader->U16());
+  if (version != kSessionSnapshotVersion) {
+    return Status::InvalidArgument("unsupported session snapshot version");
+  }
+  uint8_t kind = 0, mechanism = 0, oracle = 0;
+  LDP_ASSIGN_OR_RETURN(kind, reader->U8());
+  LDP_ASSIGN_OR_RETURN(mechanism, reader->U8());
+  LDP_ASSIGN_OR_RETURN(oracle, reader->U8());
+  if (kind > static_cast<uint8_t>(stream::ReportStreamKind::kSampledNumeric)) {
+    return Status::InvalidArgument("unknown stream kind in session snapshot");
+  }
+  if (mechanism > static_cast<uint8_t>(MechanismKind::kHybrid)) {
+    return Status::InvalidArgument(
+        "unknown mechanism kind in session snapshot");
+  }
+  if (oracle > static_cast<uint8_t>(FrequencyOracleKind::kThe)) {
+    return Status::InvalidArgument("unknown oracle kind in session snapshot");
+  }
+  SessionSnapshotConfig config;
+  config.kind = static_cast<stream::ReportStreamKind>(kind);
+  config.mechanism = static_cast<MechanismKind>(mechanism);
+  config.oracle = static_cast<FrequencyOracleKind>(oracle);
+  LDP_ASSIGN_OR_RETURN(config.schema_hash, reader->U64());
+  LDP_ASSIGN_OR_RETURN(config.epsilon, reader->F64());
+  LDP_ASSIGN_OR_RETURN(config.epochs, reader->U32());
+  if (config.epochs == 0) {
+    return Status::InvalidArgument("session snapshot carries no epochs");
+  }
+  return config;
+}
+
+// Sums the num_reports fields of a session snapshot's epoch sections by
+// reading only the fixed-offset preambles (stats display; the actual merge
+// re-validates everything).
+uint64_t SessionSnapshotReportCount(const std::string& bytes) {
+  Reader reader(bytes.data(), bytes.size());
+  Result<SessionSnapshotConfig> preamble = ReadSessionPreamble(&reader);
+  if (!preamble.ok()) return 0;
+  uint64_t total = 0;
+  for (uint32_t e = 0; e < preamble.value().epochs; ++e) {
+    const Result<uint64_t> size = reader.U64();
+    if (!size.ok()) return total;
+    const char* inner = reader.TakeBytes(size.value());
+    if (inner == nullptr) return total;
+    // Inner aggregator snapshot: magic u32, version u16, two kind bytes,
+    // hash u64, ε f64, dimension u32, k u32, then num_reports u64.
+    Reader inner_reader(inner, size.value());
+    if (inner_reader.TakeBytes(4 + 2 + 1 + 1 + 8 + 8 + 4 + 4) == nullptr) {
+      return total;
+    }
+    const Result<uint64_t> reports = inner_reader.U64();
+    if (reports.ok()) total += reports.value();
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<SessionSnapshotConfig> DecodeSessionSnapshotConfig(
+    const std::string& bytes) {
+  Reader reader(bytes.data(), bytes.size());
+  return ReadSessionPreamble(&reader);
+}
+
+bool LooksLikeSessionSnapshot(const std::string& bytes) {
+  if (bytes.size() < 4) return false;
+  Reader reader(bytes.data(), bytes.size());
+  const Result<uint32_t> magic = reader.U32();
+  return magic.ok() && magic.value() == kSessionSnapshotMagic;
+}
+
+Result<ServerSession> Pipeline::NewServer() const {
+  return NewServer(ServerSessionOptions());
+}
+
+Result<ServerSession> Pipeline::NewServer(ServerSessionOptions options) const {
+  if (state_->config.baseline.has_value()) {
+    return Status::FailedPrecondition(
+        "baseline pipelines are simulation-only and have no wire sessions");
+  }
+  Result<PrivacyAccountant> accountant =
+      PrivacyAccountant::Create(state_->lifetime_budget);
+  if (!accountant.ok()) return accountant.status();
+  // Opening a session opens epoch 0: its budget is committed to the
+  // population up front.
+  LDP_RETURN_IF_ERROR(
+      accountant.value().Charge(kPopulationUser, state_->config.epsilon));
+  return ServerSession(state_, std::move(accountant).value(),
+                       std::move(options));
+}
+
+ServerSession::ServerSession(
+    std::shared_ptr<const internal_api::PipelineState> state,
+    PrivacyAccountant accountant, ServerSessionOptions options)
+    : state_(std::move(state)),
+      accountant_(std::move(accountant)),
+      options_(std::move(options)) {
+  epochs_.push_back(NewEpochAggregate());
+}
+
+std::unique_ptr<stream::AggregatorHandle> ServerSession::NewEpochAggregate()
+    const {
+  if (state_->kind == stream::ReportStreamKind::kSampledNumeric) {
+    return std::make_unique<stream::NumericAggregatorHandle>(
+        &*state_->numeric, state_->config.mechanism);
+  }
+  return std::make_unique<stream::MixedAggregatorHandle>(&*state_->collector);
+}
+
+Status ServerSession::AdvanceEpoch() {
+  if (open_shards_ > 0) {
+    return Status::FailedPrecondition(
+        "close every shard before advancing the epoch");
+  }
+  LDP_RETURN_IF_ERROR(
+      accountant_.Charge(kPopulationUser, state_->config.epsilon));
+  epochs_.push_back(NewEpochAggregate());
+  // Closed shards stay as tombstones so shard ids are never reused: a stale
+  // id held across the epoch boundary gets "already closed", not somebody
+  // else's shard.
+  return Status::OK();
+}
+
+double ServerSession::epsilon_spent() const {
+  return accountant_.Spent(kPopulationUser);
+}
+
+size_t ServerSession::OpenShard() {
+  ShardState shard;
+  shard.ingester = std::make_unique<stream::ShardIngester>(
+      NewEpochAggregate(), options_.ingest);
+  shards_.push_back(std::move(shard));
+  ++open_shards_;
+  return shards_.size() - 1;
+}
+
+Status ServerSession::Feed(size_t shard, const char* data, size_t size) {
+  if (shard >= shards_.size()) {
+    return Status::OutOfRange("unknown shard id");
+  }
+  if (shards_[shard].ingester == nullptr) {
+    return Status::FailedPrecondition("shard is already closed");
+  }
+  return shards_[shard].ingester->Feed(data, size);
+}
+
+Status ServerSession::CloseShard(size_t shard) {
+  if (shard >= shards_.size()) {
+    return Status::OutOfRange("unknown shard id");
+  }
+  std::unique_ptr<stream::ShardIngester>& ingester = shards_[shard].ingester;
+  if (ingester == nullptr) {
+    return Status::FailedPrecondition("shard is already closed");
+  }
+  const Status finished = ingester->Finish();
+  shards_[shard].final_stats = ingester->stats();
+  // A failed shard contributes nothing: its aggregate is discarded so one
+  // poisoned stream cannot corrupt the epoch.
+  Status merged = Status::OK();
+  if (finished.ok()) {
+    merged = epochs_.back()->Merge(ingester->handle());
+  }
+  ingester.reset();
+  --open_shards_;
+  if (!finished.ok()) return finished;
+  return merged;
+}
+
+Result<stream::ShardIngester::Stats> ServerSession::ShardStats(
+    size_t shard) const {
+  if (shard >= shards_.size()) {
+    return Status::OutOfRange("unknown shard id");
+  }
+  if (shards_[shard].ingester != nullptr) {
+    return shards_[shard].ingester->stats();
+  }
+  return shards_[shard].final_stats;
+}
+
+Status ServerSession::IngestStream(std::istream& in) {
+  const size_t shard = OpenShard();
+  const Status ingested = shards_[shard].ingester->IngestStream(in);
+  if (!ingested.ok()) {
+    shards_[shard].final_stats = shards_[shard].ingester->stats();
+    shards_[shard].ingester.reset();
+    --open_shards_;
+    return ingested;
+  }
+  return CloseShard(shard);
+}
+
+Status ServerSession::IngestInputs(const std::vector<std::string>& paths,
+                                   ThreadPool* pool,
+                                   stream::MultiShardSummary* summary) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("no inputs to ingest");
+  }
+  // Phase 1, concurrent: every input is loaded into either a shard-sized
+  // aggregate (report streams, single-epoch snapshots — via the shared
+  // stream/parallel_ingest.h loaders) or its raw bytes (session snapshots,
+  // whose epoch-aligned merge must stay ordered).
+  struct Loaded {
+    Status status = Status::OK();
+    std::unique_ptr<stream::AggregatorHandle> handle;  // stream or snapshot
+    std::string session_bytes;                         // session snapshot
+    stream::ShardIngester::Stats stats;
+    bool is_session = false;
+  };
+  const size_t n = paths.size();
+  std::vector<Loaded> loaded(n);
+  std::vector<stream::HandleShardSource> sources(n);
+  const stream::AggregatorHandle& prototype = *epochs_.back();
+  for (size_t i = 0; i < n; ++i) {
+    std::ifstream in(paths[i], std::ios::binary);
+    if (!in.is_open()) {
+      loaded[i].status = Status::IoError("cannot open input file");
+      continue;
+    }
+    char magic_bytes[4] = {0, 0, 0, 0};
+    in.read(magic_bytes, 4);
+    if (in.gcount() != 4) {
+      loaded[i].status = Status::InvalidArgument("input shorter than a magic");
+      continue;
+    }
+    const uint32_t magic =
+        internal_wire::LoadLittleEndian<uint32_t>(magic_bytes);
+    if (magic == stream::kStreamMagic) {
+      sources[i] = stream::HandleStreamFileSource(prototype, paths[i],
+                                                  options_.ingest);
+    } else if (magic == stream::kSnapshotMagic ||
+               magic == stream::kNumericSnapshotMagic) {
+      sources[i] = stream::HandleSnapshotFileSource(prototype, paths[i]);
+    } else if (magic == kSessionSnapshotMagic) {
+      loaded[i].is_session = true;
+    } else {
+      loaded[i].status = Status::InvalidArgument(
+          "input is neither a report stream nor a snapshot");
+    }
+  }
+  ParallelFor(pool, n, [&](unsigned /*chunk*/, uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      Loaded& input = loaded[i];
+      if (!input.status.ok()) continue;
+      if (input.is_session) {
+        std::ifstream in(paths[i], std::ios::binary);
+        std::ostringstream contents;
+        contents << in.rdbuf();
+        if (!in.is_open() || in.bad()) {
+          input.status = Status::IoError("read error on input file");
+          continue;
+        }
+        input.session_bytes = contents.str();
+        input.stats.bytes = input.session_bytes.size();
+        input.stats.accepted =
+            SessionSnapshotReportCount(input.session_bytes);
+        continue;
+      }
+      Result<std::unique_ptr<stream::AggregatorHandle>> handle =
+          sources[i].load(&input.stats);
+      if (handle.ok()) {
+        input.handle = std::move(handle).value();
+      } else {
+        input.status = handle.status();
+      }
+    }
+  });
+
+  stream::MultiShardSummary local_summary;
+  for (size_t i = 0; i < n; ++i) {
+    stream::ShardIngestOutcome outcome;
+    outcome.source = paths[i];
+    outcome.status = loaded[i].status;
+    outcome.stats = loaded[i].stats;
+    local_summary.total_reports += outcome.stats.accepted;
+    local_summary.total_rejected += outcome.stats.rejected;
+    local_summary.total_bytes += outcome.stats.bytes;
+    local_summary.shards.push_back(std::move(outcome));
+  }
+  if (summary != nullptr) *summary = local_summary;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!loaded[i].status.ok()) {
+      return Status(loaded[i].status.code(),
+                    "input '" + paths[i] + "': " + loaded[i].status.message());
+    }
+  }
+
+  // Phase 2, ordered: merge in argument order. Plain inputs land in the
+  // epoch that was current at the call; session snapshots align by epoch.
+  stream::AggregatorHandle* target = epochs_.back().get();
+  for (size_t i = 0; i < n; ++i) {
+    Status merged = Status::OK();
+    if (loaded[i].handle != nullptr) {
+      merged = target->Merge(*loaded[i].handle);
+    } else {
+      merged = Merge(loaded[i].session_bytes);
+    }
+    if (!merged.ok()) {
+      return Status(merged.code(),
+                    "input '" + paths[i] + "': " + merged.message());
+    }
+  }
+  return Status::OK();
+}
+
+Status ServerSession::Merge(const std::string& snapshot_bytes) {
+  if (!LooksLikeSessionSnapshot(snapshot_bytes)) {
+    return epochs_.back()->MergeEncodedSnapshot(snapshot_bytes);
+  }
+  Reader reader(snapshot_bytes.data(), snapshot_bytes.size());
+  SessionSnapshotConfig peer;
+  LDP_ASSIGN_OR_RETURN(peer, ReadSessionPreamble(&reader));
+  if (peer.kind != state_->kind) {
+    return Status::FailedPrecondition(
+        "session snapshot stream kind does not match the pipeline");
+  }
+  if (peer.mechanism != state_->header.mechanism ||
+      peer.oracle != state_->header.oracle) {
+    return Status::FailedPrecondition(
+        "session snapshot mechanism/oracle kinds do not match the pipeline");
+  }
+  if (peer.schema_hash != state_->header.schema_hash) {
+    return Status::FailedPrecondition(
+        "session snapshot schema hash does not match the pipeline");
+  }
+  if (peer.epsilon != state_->config.epsilon) {
+    return Status::FailedPrecondition(
+        "session snapshot epsilon does not match the pipeline");
+  }
+  const uint32_t peer_epochs = peer.epochs;
+
+  // Cheap refusals first (nothing decoded yet), then stage every epoch
+  // section so a malformed snapshot mutates nothing, then commit.
+  if (peer_epochs > epochs_.size()) {
+    if (open_shards_ > 0) {
+      return Status::FailedPrecondition(
+          "close every shard before merging a longer session");
+    }
+    const double extra =
+        static_cast<double>(peer_epochs - epochs_.size()) *
+        state_->config.epsilon;
+    if (accountant_.Remaining(kPopulationUser) + kBudgetSlack < extra) {
+      return Status::FailedPrecondition(
+          "merging the session would exceed the lifetime budget");
+    }
+  }
+  std::vector<std::unique_ptr<stream::AggregatorHandle>> staged;
+  staged.reserve(peer_epochs);
+  for (uint32_t e = 0; e < peer_epochs; ++e) {
+    uint64_t inner_size = 0;
+    LDP_ASSIGN_OR_RETURN(inner_size, reader.U64());
+    const char* inner = reader.TakeBytes(inner_size);
+    if (inner == nullptr) {
+      return Status::InvalidArgument("truncated session snapshot epoch");
+    }
+    std::unique_ptr<stream::AggregatorHandle> handle = NewEpochAggregate();
+    LDP_RETURN_IF_ERROR(
+        handle->MergeEncodedSnapshot(std::string(inner, inner_size)));
+    staged.push_back(std::move(handle));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after session snapshot");
+  }
+  for (uint32_t e = 0; e < peer_epochs; ++e) {
+    if (e >= epochs_.size()) LDP_RETURN_IF_ERROR(AdvanceEpoch());
+    LDP_RETURN_IF_ERROR(epochs_[e]->Merge(*staged[e]));
+  }
+  return Status::OK();
+}
+
+std::string ServerSession::Snapshot() const {
+  std::string out;
+  PutU32(&out, kSessionSnapshotMagic);
+  PutU16(&out, kSessionSnapshotVersion);
+  PutU8(&out, static_cast<uint8_t>(state_->kind));
+  PutU8(&out, static_cast<uint8_t>(state_->header.mechanism));
+  PutU8(&out, static_cast<uint8_t>(state_->header.oracle));
+  PutU64(&out, state_->header.schema_hash);
+  PutF64(&out, state_->config.epsilon);
+  PutU32(&out, static_cast<uint32_t>(epochs_.size()));
+  for (const std::unique_ptr<stream::AggregatorHandle>& epoch : epochs_) {
+    const std::string inner = epoch->EncodeSnapshot();
+    PutU64(&out, inner.size());
+    out.append(inner);
+  }
+  return out;
+}
+
+Status ServerSession::CheckEpoch(uint32_t epoch) const {
+  if (epoch >= epochs_.size()) {
+    return Status::OutOfRange("epoch has not been opened");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> ServerSession::num_reports(uint32_t epoch) const {
+  LDP_RETURN_IF_ERROR(CheckEpoch(epoch));
+  return epochs_[epoch]->num_reports();
+}
+
+Result<double> ServerSession::EstimateMean(uint32_t attribute,
+                                           uint32_t epoch) const {
+  LDP_RETURN_IF_ERROR(CheckEpoch(epoch));
+  return epochs_[epoch]->EstimateMean(attribute);
+}
+
+Result<std::vector<double>> ServerSession::EstimateFrequencies(
+    uint32_t attribute, uint32_t epoch) const {
+  LDP_RETURN_IF_ERROR(CheckEpoch(epoch));
+  return epochs_[epoch]->EstimateFrequencies(attribute);
+}
+
+Result<PipelineEstimates> ServerSession::Estimate(uint32_t epoch) const {
+  LDP_RETURN_IF_ERROR(CheckEpoch(epoch));
+  PipelineEstimates estimates;
+  estimates.num_reports = epochs_[epoch]->num_reports();
+  const std::vector<MixedAttribute>& attributes = state_->config.attributes;
+  for (uint32_t j = 0; j < attributes.size(); ++j) {
+    if (attributes[j].type == AttributeType::kNumeric) {
+      double mean = 0.0;
+      LDP_ASSIGN_OR_RETURN(mean, epochs_[epoch]->EstimateMean(j));
+      estimates.numeric_attributes.push_back(j);
+      estimates.means.push_back(mean);
+    } else {
+      std::vector<double> freqs;
+      LDP_ASSIGN_OR_RETURN(freqs, epochs_[epoch]->EstimateFrequencies(j));
+      estimates.categorical_attributes.push_back(j);
+      estimates.frequencies.push_back(std::move(freqs));
+    }
+  }
+  return estimates;
+}
+
+}  // namespace ldp::api

@@ -1,0 +1,187 @@
+// ServerSession: the server half of a Pipeline. Owns the shards currently
+// streaming in, one aggregate per collection epoch, and a PrivacyAccountant
+// that enforces the config's epoch plan under sequential composition — the
+// deployment loop of a real LDP service, where the same population is
+// collected from round after round against one lifetime budget.
+//
+// Surface: Feed (incremental shard bytes), Merge (fold in a peer server's
+// snapshot — single-epoch or whole-session), Snapshot (serialise every
+// epoch's state for a reducer), Estimate (per-epoch means/frequencies).
+//
+// Determinism contract: shard aggregates merge into the epoch total in
+// CloseShard order (and IngestInputs reduces in argument order), so a
+// sharded session whose shard boundaries match util/threadpool.h SplitRange
+// reproduces the in-process Pipeline::Collect run bit for bit.
+//
+// Accounting model: every user in the population reports once per epoch, so
+// the per-user ε spend is the same for the whole population; the accountant
+// tracks it under one representative key and charges the config's ε when an
+// epoch opens (epoch 0 at session creation, later ones at AdvanceEpoch).
+// When the lifetime budget cannot afford the next epoch, AdvanceEpoch fails
+// and the collection campaign is over.
+
+#ifndef LDP_API_SERVER_SESSION_H_
+#define LDP_API_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/pipeline.h"
+#include "core/accountant.h"
+#include "stream/aggregator_handle.h"
+#include "stream/parallel_ingest.h"
+#include "stream/shard_ingester.h"
+#include "util/result.h"
+#include "util/threadpool.h"
+
+namespace ldp::api {
+
+/// 'LDPE' little-endian — multi-epoch session snapshots. Layout (integers
+/// little-endian):
+///   u32 magic 'LDPE', u16 version, u8 stream kind, u8 mechanism, u8 oracle,
+///   u64 schema_hash, f64 epsilon, u32 num_epochs, then per epoch:
+///     u64 size, size bytes of that epoch's aggregator snapshot
+///     (stream/snapshot.h 'LDPA' or 'LDPN').
+inline constexpr uint32_t kSessionSnapshotMagic = 0x4550444cu;
+inline constexpr uint16_t kSessionSnapshotVersion = 1;
+
+/// True when `bytes` starts with the session snapshot magic.
+bool LooksLikeSessionSnapshot(const std::string& bytes);
+
+/// The preamble of a session snapshot; together with the attribute schema it
+/// is enough to rebuild the pipeline configuration (tools/ldp_aggregate
+/// does).
+struct SessionSnapshotConfig {
+  stream::ReportStreamKind kind = stream::ReportStreamKind::kMixed;
+  MechanismKind mechanism = MechanismKind::kHybrid;
+  FrequencyOracleKind oracle = FrequencyOracleKind::kOue;
+  double epsilon = 0.0;
+  uint64_t schema_hash = 0;
+  uint32_t epochs = 0;
+};
+
+/// Parses just the session preamble (magic through num_epochs) without
+/// decoding any epoch state.
+Result<SessionSnapshotConfig> DecodeSessionSnapshotConfig(
+    const std::string& bytes);
+
+struct ServerSessionOptions {
+  /// Per-shard framing/rejection policy (stream/shard_ingester.h).
+  stream::ShardIngester::Options ingest;
+};
+
+class ServerSession {
+ public:
+  // --- epochs ------------------------------------------------------------
+
+  /// The epoch currently receiving reports (0-based).
+  uint32_t current_epoch() const {
+    return static_cast<uint32_t>(epochs_.size()) - 1;
+  }
+
+  /// Epochs materialized so far (current included).
+  uint32_t num_epochs() const {
+    return static_cast<uint32_t>(epochs_.size());
+  }
+
+  /// Closes the current epoch and opens the next, charging its ε to the
+  /// accountant. Fails (and opens nothing) while shards are still open, or
+  /// when the charge would exceed the lifetime budget.
+  Status AdvanceEpoch();
+
+  /// Total per-user ε spent across the epochs opened so far.
+  double epsilon_spent() const;
+
+  const PrivacyAccountant& accountant() const { return accountant_; }
+
+  // --- feeding the current epoch -----------------------------------------
+
+  /// Opens a new shard (one client report stream) in the current epoch and
+  /// returns its id. Ids are never reused, across epochs included: feeding
+  /// a shard closed in an earlier epoch fails rather than landing in a new
+  /// shard that happened to take the same slot.
+  size_t OpenShard();
+
+  /// Feeds `size` bytes of shard `shard`'s stream; chunks may be arbitrary.
+  Status Feed(size_t shard, const char* data, size_t size);
+  Status Feed(size_t shard, const std::string& bytes) {
+    return Feed(shard, bytes.data(), bytes.size());
+  }
+
+  /// Declares end-of-stream on shard `shard` and folds its aggregate into
+  /// the current epoch. Shard aggregates merge in CloseShard order.
+  Status CloseShard(size_t shard);
+
+  /// Per-shard framing/decoding statistics (valid for open or closed
+  /// shards, any epoch).
+  Result<stream::ShardIngester::Stats> ShardStats(size_t shard) const;
+
+  /// Convenience one-shot shard: ingests `in` to completion and folds it in.
+  Status IngestStream(std::istream& in);
+
+  /// Ingests a set of shard inputs concurrently on `pool` (inline when
+  /// null) and merges them IN ARGUMENT ORDER — report streams and
+  /// single-epoch snapshots into the current epoch, session snapshots
+  /// epoch-aligned. Fails on the first input (in order) that errors;
+  /// `summary`, when non-null, is filled either way.
+  Status IngestInputs(const std::vector<std::string>& paths, ThreadPool* pool,
+                      stream::MultiShardSummary* summary = nullptr);
+
+  // --- merging -----------------------------------------------------------
+
+  /// Folds a serialized snapshot into the session: an aggregator snapshot
+  /// (stream/snapshot.h, mixed or numeric) merges into the current epoch; a
+  /// session snapshot merges epoch by epoch, advancing (and charging) this
+  /// session as needed to materialize the peer's later epochs.
+  Status Merge(const std::string& snapshot_bytes);
+
+  // --- snapshots ----------------------------------------------------------
+
+  /// Serialises every epoch's aggregate as one session snapshot.
+  std::string Snapshot() const;
+
+  // --- estimates ----------------------------------------------------------
+
+  /// Reports accumulated in `epoch` (closed shards and merges only).
+  Result<uint64_t> num_reports(uint32_t epoch) const;
+
+  /// Unbiased mean estimate of numeric attribute `attribute` in `epoch`.
+  Result<double> EstimateMean(uint32_t attribute, uint32_t epoch) const;
+
+  /// Unbiased frequency estimates of categorical attribute `attribute`.
+  Result<std::vector<double>> EstimateFrequencies(uint32_t attribute,
+                                                  uint32_t epoch) const;
+
+  /// All of `epoch`'s estimates at once.
+  Result<PipelineEstimates> Estimate(uint32_t epoch) const;
+
+ private:
+  friend class Pipeline;
+
+  struct ShardState {
+    std::unique_ptr<stream::ShardIngester> ingester;  // null once closed
+    stream::ShardIngester::Stats final_stats;         // filled at close
+  };
+
+  ServerSession(std::shared_ptr<const internal_api::PipelineState> state,
+                PrivacyAccountant accountant, ServerSessionOptions options);
+
+  /// A fresh, empty aggregate of the pipeline's stream kind.
+  std::unique_ptr<stream::AggregatorHandle> NewEpochAggregate() const;
+
+  Status CheckEpoch(uint32_t epoch) const;
+
+  std::shared_ptr<const internal_api::PipelineState> state_;
+  PrivacyAccountant accountant_;
+  ServerSessionOptions options_;
+  std::vector<std::unique_ptr<stream::AggregatorHandle>> epochs_;
+  std::vector<ShardState> shards_;  // every shard ever opened (ids stable)
+  size_t open_shards_ = 0;
+};
+
+}  // namespace ldp::api
+
+#endif  // LDP_API_SERVER_SESSION_H_

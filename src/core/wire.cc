@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <utility>
 
 namespace ldp {
 
@@ -40,6 +41,80 @@ std::string EncodeSampledNumericReport(const SampledNumericReport& report) {
   return out;
 }
 
+NumericFrameDecoder::NumericFrameDecoder(
+    const SampledNumericMechanism* mechanism)
+    : mechanism_(mechanism),
+      value_bound_(
+          ScaledValueBound(mechanism->dimension(), mechanism->k(),
+                           mechanism->scalar_mechanism().OutputBound())) {
+  entries_.reserve(mechanism_->k());
+}
+
+Status NumericFrameDecoder::DecodeInto(const char* data, size_t size,
+                                       NumericReportSink* sink) {
+  // Pass 1: parse and validate the whole frame into reused scratch; nothing
+  // reaches the sink until every entry has been vetted.
+  static const auto truncated = [] {
+    return Status::InvalidArgument("truncated report");
+  };
+  entries_.clear();
+  Reader reader(data, size);
+  uint16_t count = 0;
+  if (!reader.TryU16(&count)) return truncated();
+  if (count != mechanism_->k()) {
+    return Status::InvalidArgument("report must carry exactly k entries");
+  }
+  for (uint16_t i = 0; i < count; ++i) {
+    SampledValue entry;
+    if (!reader.TryU32(&entry.attribute)) return truncated();
+    if (!reader.TryF64(&entry.value)) return truncated();
+    if (entry.attribute >= mechanism_->dimension()) {
+      return Status::InvalidArgument("attribute index out of range");
+    }
+    if (!std::isfinite(entry.value) ||
+        std::abs(entry.value) > value_bound_ * (1.0 + 1e-9)) {
+      return Status::InvalidArgument("value outside the mechanism's range");
+    }
+    for (const SampledValue& previous : entries_) {
+      if (previous.attribute == entry.attribute) {
+        return Status::InvalidArgument("duplicate attribute in report");
+      }
+    }
+    entries_.push_back(entry);
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after report");
+  }
+
+  // Pass 2: the frame is valid; replay it into the sink.
+  sink->OnReportBegin(count);
+  for (const SampledValue& entry : entries_) {
+    sink->OnEntry(entry.attribute, entry.value);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Sink that rebuilds the heap-allocated SampledNumericReport representation;
+// the backing store of the classic DecodeSampledNumericReport API.
+class MaterializingNumericSink final : public NumericReportSink {
+ public:
+  void OnReportBegin(uint32_t entry_count) override {
+    report_.reserve(entry_count);
+  }
+  void OnEntry(uint32_t attribute, double value) override {
+    report_.push_back(SampledValue{attribute, value});
+  }
+
+  SampledNumericReport Take() { return std::move(report_); }
+
+ private:
+  SampledNumericReport report_;
+};
+
+}  // namespace
+
 Result<SampledNumericReport> DecodeSampledNumericReport(
     const std::string& bytes, const SampledNumericMechanism& mechanism) {
   return DecodeSampledNumericReport(bytes.data(), bytes.size(), mechanism);
@@ -47,39 +122,10 @@ Result<SampledNumericReport> DecodeSampledNumericReport(
 
 Result<SampledNumericReport> DecodeSampledNumericReport(
     const char* data, size_t size, const SampledNumericMechanism& mechanism) {
-  Reader reader(data, size);
-  uint16_t count = 0;
-  LDP_ASSIGN_OR_RETURN(count, reader.U16());
-  if (count != mechanism.k()) {
-    return Status::InvalidArgument("report must carry exactly k entries");
-  }
-  const double bound =
-      ScaledValueBound(mechanism.dimension(), mechanism.k(),
-                       mechanism.scalar_mechanism().OutputBound());
-  SampledNumericReport report;
-  report.reserve(count);
-  for (uint16_t i = 0; i < count; ++i) {
-    SampledValue entry;
-    LDP_ASSIGN_OR_RETURN(entry.attribute, reader.U32());
-    LDP_ASSIGN_OR_RETURN(entry.value, reader.F64());
-    if (entry.attribute >= mechanism.dimension()) {
-      return Status::InvalidArgument("attribute index out of range");
-    }
-    if (!std::isfinite(entry.value) ||
-        std::abs(entry.value) > bound * (1.0 + 1e-9)) {
-      return Status::InvalidArgument("value outside the mechanism's range");
-    }
-    for (const SampledValue& previous : report) {
-      if (previous.attribute == entry.attribute) {
-        return Status::InvalidArgument("duplicate attribute in report");
-      }
-    }
-    report.push_back(entry);
-  }
-  if (!reader.AtEnd()) {
-    return Status::InvalidArgument("trailing bytes after report");
-  }
-  return report;
+  NumericFrameDecoder decoder(&mechanism);
+  MaterializingNumericSink sink;
+  LDP_RETURN_IF_ERROR(decoder.DecodeInto(data, size, &sink));
+  return sink.Take();
 }
 
 std::string EncodeMixedReport(const MixedReport& report,

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/mixed_collector.h"
+#include "core/numeric_aggregator.h"
 #include "core/sampled_numeric.h"
 #include "util/result.h"
 
@@ -188,11 +189,35 @@ class Reader {
 /// Serialises an Algorithm-4 numeric report.
 std::string EncodeSampledNumericReport(const SampledNumericReport& report);
 
+/// Streaming numeric-report decoder, the Algorithm-4 counterpart of
+/// MixedFrameDecoder: validates one wire frame end to end (entry count == k,
+/// attribute indices, scaled value bounds, duplicate attributes) and only
+/// then replays the entries into a NumericReportSink — a sink never observes
+/// a partially valid report. Scratch is pre-reserved for k entries, so
+/// steady-state decoding performs zero heap allocations. One decoder per
+/// stream/thread; not thread-safe.
+class NumericFrameDecoder {
+ public:
+  /// `mechanism` must outlive the decoder.
+  explicit NumericFrameDecoder(const SampledNumericMechanism* mechanism);
+
+  /// Validates `data` as one encoded numeric report and streams its entries
+  /// into `sink` (OnReportBegin, then one OnEntry per entry). On error the
+  /// sink receives no callbacks.
+  Status DecodeInto(const char* data, size_t size, NumericReportSink* sink);
+
+ private:
+  const SampledNumericMechanism* mechanism_;
+  double value_bound_;                 // d/k-scaled mechanism bound
+  std::vector<SampledValue> entries_;  // staged entries, <= k
+};
+
 /// Parses a serialised numeric report, validating attribute indices against
 /// `mechanism`'s dimension, the entry count against its k, and every value
-/// against the mechanism's scaled output bound. The (data, size) overload
-/// parses in place — the streaming ingester uses it to decode frames without
-/// copying them out of its buffer.
+/// against the mechanism's scaled output bound (a thin materializing wrapper
+/// over NumericFrameDecoder, so the two can never diverge on what they
+/// accept). The (data, size) overload parses in place — the streaming
+/// ingester uses it to decode frames without copying them out of its buffer.
 Result<SampledNumericReport> DecodeSampledNumericReport(
     const char* data, size_t size, const SampledNumericMechanism& mechanism);
 Result<SampledNumericReport> DecodeSampledNumericReport(

@@ -22,6 +22,25 @@ std::vector<std::string> SplitLine(const std::string& line) {
 
 }  // namespace
 
+Result<uint64_t> CountCsvDataRows(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty file: " + path);
+  }
+  uint64_t rows = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  if (in.bad()) {
+    return Status::IoError("read error on " + path);
+  }
+  return rows;
+}
+
 Status WriteCsv(const Dataset& dataset, const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {

@@ -32,6 +32,12 @@ Status WriteCsv(const Dataset& dataset, const std::string& path);
 /// range).
 Result<Dataset> ReadCsv(const Schema& schema, const std::string& path);
 
+/// Counts data rows (non-empty lines after the header row) without
+/// validating them — the cheap first pass the streaming tools use to fix
+/// shard/chunk boundaries before the row-at-a-time privatizing pass. Fails
+/// on a missing or empty file.
+Result<uint64_t> CountCsvDataRows(const std::string& path);
+
 /// Streaming row-at-a-time CSV reader over the same format and validation
 /// rules as ReadCsv, with O(1) memory in the row count. Empty lines are
 /// skipped, exactly as in ReadCsv.

@@ -2,17 +2,22 @@
 //
 //   #include "ldp.h"
 //
-// Pulls in the scalar mechanisms (PM, HM and the baselines), the
+// Pulls in the session facade (api::Pipeline — the recommended entry point
+// for collection: one config covers mixed + numeric tuples, in-process
+// simulation, wire sessions, streaming shards, and multi-epoch privacy
+// accounting), the scalar mechanisms (PM, HM and the baselines), the
 // multidimensional collectors (Algorithm 4 and the Section IV-C mixed
 // collector), the frequency oracles, the dataset/encoding substrate, the
-// collection pipelines and the LDP-SGD trainer. Individual headers remain
-// includable on their own for faster builds.
+// legacy collection wrappers and the LDP-SGD trainer. Individual headers
+// remain includable on their own for faster builds.
 
 #ifndef LDP_LDP_H_
 #define LDP_LDP_H_
 
 #include "aggregate/collector.h"
 #include "aggregate/confidence.h"
+#include "api/pipeline.h"
+#include "api/server_session.h"
 #include "aggregate/estimators.h"
 #include "aggregate/metrics.h"
 #include "baselines/duchi_multi_dim.h"
@@ -24,6 +29,7 @@
 #include "core/hybrid.h"
 #include "core/mechanism.h"
 #include "core/mixed_collector.h"
+#include "core/numeric_aggregator.h"
 #include "core/piecewise.h"
 #include "core/sampled_numeric.h"
 #include "core/scaler.h"
@@ -47,6 +53,7 @@
 #include "ml/ldp_sgd.h"
 #include "ml/loss.h"
 #include "ml/sgd.h"
+#include "stream/aggregator_handle.h"
 #include "stream/parallel_ingest.h"
 #include "stream/report_stream.h"
 #include "stream/shard_ingester.h"

@@ -1,0 +1,114 @@
+#include "stream/aggregator_handle.h"
+
+#include <utility>
+
+#include "stream/snapshot.h"
+
+namespace ldp::stream {
+
+MixedAggregatorHandle::MixedAggregatorHandle(
+    const MixedTupleCollector* collector)
+    : aggregator_(collector), decoder_(collector) {}
+
+Status MixedAggregatorHandle::ValidateHeader(
+    const StreamHeader& header) const {
+  return ValidateMixedStreamHeader(header, *aggregator_.collector());
+}
+
+Status MixedAggregatorHandle::AcceptFrame(const char* data, size_t size) {
+  // The aggregator is its own sink: entries stream straight from the wire
+  // bytes into the accumulation arrays, with no MixedReport materialized.
+  return decoder_.DecodeInto(data, size, &aggregator_);
+}
+
+Status MixedAggregatorHandle::Merge(const AggregatorHandle& other) {
+  const MixedAggregatorHandle* mixed = other.AsMixed();
+  if (mixed == nullptr) {
+    return Status::FailedPrecondition(
+        "cannot merge aggregators of different stream kinds");
+  }
+  return aggregator_.Merge(mixed->aggregator_);
+}
+
+std::unique_ptr<AggregatorHandle> MixedAggregatorHandle::CloneEmpty() const {
+  return std::make_unique<MixedAggregatorHandle>(aggregator_.collector());
+}
+
+std::string MixedAggregatorHandle::EncodeSnapshot() const {
+  return EncodeAggregatorSnapshot(aggregator_);
+}
+
+Status MixedAggregatorHandle::MergeEncodedSnapshot(const std::string& bytes) {
+  Result<MixedAggregator> decoded =
+      DecodeAggregatorSnapshot(bytes, aggregator_.collector());
+  if (!decoded.ok()) return decoded.status();
+  return aggregator_.Merge(decoded.value());
+}
+
+Result<double> MixedAggregatorHandle::EstimateMean(uint32_t attribute) const {
+  return aggregator_.EstimateMean(attribute);
+}
+
+Result<std::vector<double>> MixedAggregatorHandle::EstimateFrequencies(
+    uint32_t attribute) const {
+  return aggregator_.EstimateFrequencies(attribute);
+}
+
+NumericAggregatorHandle::NumericAggregatorHandle(
+    const SampledNumericMechanism* mechanism, MechanismKind mechanism_kind)
+    : aggregator_(mechanism),
+      decoder_(mechanism),
+      mechanism_kind_(mechanism_kind) {}
+
+Status NumericAggregatorHandle::ValidateHeader(
+    const StreamHeader& header) const {
+  return ValidateNumericStreamHeader(header, *aggregator_.mechanism(),
+                                     mechanism_kind_);
+}
+
+Status NumericAggregatorHandle::AcceptFrame(const char* data, size_t size) {
+  return decoder_.DecodeInto(data, size, &aggregator_);
+}
+
+Status NumericAggregatorHandle::Merge(const AggregatorHandle& other) {
+  const NumericAggregatorHandle* numeric = other.AsNumeric();
+  if (numeric == nullptr) {
+    return Status::FailedPrecondition(
+        "cannot merge aggregators of different stream kinds");
+  }
+  if (numeric->mechanism_kind_ != mechanism_kind_) {
+    return Status::FailedPrecondition(
+        "cannot merge aggregators built from different mechanism kinds");
+  }
+  return aggregator_.Merge(numeric->aggregator_);
+}
+
+std::unique_ptr<AggregatorHandle> NumericAggregatorHandle::CloneEmpty() const {
+  return std::make_unique<NumericAggregatorHandle>(aggregator_.mechanism(),
+                                                   mechanism_kind_);
+}
+
+std::string NumericAggregatorHandle::EncodeSnapshot() const {
+  return EncodeNumericAggregatorSnapshot(aggregator_, mechanism_kind_);
+}
+
+Status NumericAggregatorHandle::MergeEncodedSnapshot(
+    const std::string& bytes) {
+  Result<NumericAggregator> decoded = DecodeNumericAggregatorSnapshot(
+      bytes, aggregator_.mechanism(), mechanism_kind_);
+  if (!decoded.ok()) return decoded.status();
+  return aggregator_.Merge(decoded.value());
+}
+
+Result<double> NumericAggregatorHandle::EstimateMean(
+    uint32_t attribute) const {
+  return aggregator_.EstimateMean(attribute);
+}
+
+Result<std::vector<double>> NumericAggregatorHandle::EstimateFrequencies(
+    uint32_t /*attribute*/) const {
+  return Status::InvalidArgument(
+      "numeric streams carry no categorical state");
+}
+
+}  // namespace ldp::stream

@@ -9,10 +9,12 @@
 #define LDP_STREAM_PARALLEL_INGEST_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/mixed_collector.h"
+#include "stream/aggregator_handle.h"
 #include "stream/shard_ingester.h"
 #include "util/result.h"
 #include "util/threadpool.h"
@@ -77,6 +79,50 @@ Result<MixedAggregator> IngestShardBuffers(
     const std::vector<std::string>& buffers, ThreadPool* pool,
     ShardIngester::Options options = ShardIngester::Options(),
     MultiShardSummary* summary = nullptr);
+
+// ---------------------------------------------------------------------------
+// Kind-agnostic driver: the same ordered-reduction contract over
+// AggregatorHandles, serving every stream kind (the Pipeline's ServerSession
+// and the numeric benchmarks run on these; the Mixed* entry points above
+// remain for callers that want the concrete aggregator back).
+// ---------------------------------------------------------------------------
+
+/// One input of a kind-agnostic multi-shard run: a display name plus a
+/// loader producing the shard's aggregate. Loaders run concurrently, so
+/// they must not share mutable state.
+struct HandleShardSource {
+  std::string name;
+  std::function<Result<std::unique_ptr<AggregatorHandle>>(
+      ShardIngester::Stats* stats)>
+      load;
+};
+
+/// Loads every source concurrently on `pool` (inline when null) and merges
+/// the shard aggregates IN SOURCE ORDER into a fresh clone of `prototype`.
+/// Fails on the first source (in order) that errors; `summary`, when
+/// non-null, is filled either way.
+Result<std::unique_ptr<AggregatorHandle>> IngestHandleSources(
+    const AggregatorHandle& prototype,
+    const std::vector<HandleShardSource>& sources, ThreadPool* pool,
+    MultiShardSummary* summary = nullptr);
+
+/// A source that opens `path` and ingests it as a framed report stream of
+/// `prototype`'s kind.
+HandleShardSource HandleStreamFileSource(const AggregatorHandle& prototype,
+                                         std::string path,
+                                         ShardIngester::Options options);
+
+/// As HandleStreamFileSource, over an in-memory stream buffer; `buffer` must
+/// outlive the returned source.
+HandleShardSource HandleStreamBufferSource(const AggregatorHandle& prototype,
+                                           std::string name,
+                                           const std::string* buffer,
+                                           ShardIngester::Options options);
+
+/// A source that reads `path` and decodes it as an aggregator snapshot of
+/// `prototype`'s kind.
+HandleShardSource HandleSnapshotFileSource(const AggregatorHandle& prototype,
+                                           std::string path);
 
 }  // namespace ldp::stream
 

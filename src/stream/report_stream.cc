@@ -218,6 +218,33 @@ Status ValidateMixedStreamHeader(const StreamHeader& header,
   return Status::OK();
 }
 
+Status ValidateNumericStreamHeader(const StreamHeader& header,
+                                   const SampledNumericMechanism& mechanism,
+                                   MechanismKind kind) {
+  if (header.kind != ReportStreamKind::kSampledNumeric) {
+    return Status::FailedPrecondition(
+        "stream does not carry Algorithm-4 numeric reports");
+  }
+  if (header.epsilon != mechanism.epsilon()) {
+    return Status::FailedPrecondition(
+        "stream epsilon does not match the server's mechanism");
+  }
+  if (header.dimension != mechanism.dimension() ||
+      header.k != mechanism.k()) {
+    return Status::FailedPrecondition(
+        "stream dimension/k do not match the server's mechanism");
+  }
+  if (header.mechanism != kind) {
+    return Status::FailedPrecondition(
+        "stream mechanism kind does not match the server's mechanism");
+  }
+  if (header.schema_hash != NumericSchemaHash(mechanism, kind)) {
+    return Status::FailedPrecondition(
+        "stream schema hash does not match the server's mechanism");
+  }
+  return Status::OK();
+}
+
 Status AppendFrame(const std::string& payload, std::string* out) {
   if (payload.size() > kMaxFrameBytes) {
     return Status::InvalidArgument("frame payload exceeds kMaxFrameBytes");

@@ -94,6 +94,13 @@ Result<StreamHeader> DecodeStreamHeader(const std::string& bytes);
 Status ValidateMixedStreamHeader(const StreamHeader& header,
                                  const MixedTupleCollector& collector);
 
+/// Checks that a decoded header matches the server's Algorithm-4 mechanism:
+/// numeric kind, equal ε / dimension / k / mechanism kind, and equal schema
+/// hash. Returns FailedPrecondition naming the first mismatch.
+Status ValidateNumericStreamHeader(const StreamHeader& header,
+                                   const SampledNumericMechanism& mechanism,
+                                   MechanismKind kind);
+
 /// Appends one length-prefixed frame to `out`. Fails on payloads above
 /// kMaxFrameBytes.
 Status AppendFrame(const std::string& payload, std::string* out);

@@ -1,0 +1,253 @@
+// Multi-epoch ServerSession behavior: per-epoch aggregates that reproduce
+// the in-process pipeline bit for bit across >= 2 shards, privacy accounting
+// that sums ε across epochs and refuses over-plan collection, and session
+// snapshots that round-trip and merge epoch-aligned.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/pipeline.h"
+#include "api/server_session.h"
+#include "data/census.h"
+#include "data/encode.h"
+#include "stream/report_stream.h"
+#include "util/threadpool.h"
+
+namespace ldp {
+namespace {
+
+constexpr double kEpsilon = 4.0;
+constexpr uint64_t kRows = 1500;
+// One distinct master seed per collection epoch, as a deployment would use.
+constexpr uint64_t kEpochSeeds[] = {101, 202};
+// Shard boundaries mirror a kPoolThreads-pooled run's ParallelFor chunks
+// (threads×4), the repo's bit-reproduction contract for sharded ingestion.
+constexpr unsigned kPoolThreads = 2;
+constexpr size_t kShards = kPoolThreads * 4;
+
+data::Dataset MakeData() {
+  auto dataset = data::MakeBrazilCensus(kRows, 3);
+  EXPECT_TRUE(dataset.ok());
+  return data::NormalizeNumeric(dataset.value());
+}
+
+api::Pipeline MakePipeline(const data::Dataset& dataset, uint32_t epochs) {
+  auto config = api::PipelineConfig::FromSchema(dataset.schema(), kEpsilon);
+  EXPECT_TRUE(config.ok());
+  config.value().plan.epochs = epochs;
+  auto pipeline = api::Pipeline::Create(std::move(config).value());
+  EXPECT_TRUE(pipeline.ok());
+  return std::move(pipeline).value();
+}
+
+// One epoch's worth of shard streams whose boundaries split the population
+// `num_shards` ways.
+std::vector<std::string> WriteEpochShards(const data::Dataset& dataset,
+                                          const api::ClientSession& client,
+                                          uint64_t seed, size_t num_shards) {
+  const data::Schema& schema = dataset.schema();
+  const uint32_t d = schema.num_columns();
+  std::vector<std::string> shards;
+  for (const IndexRange range : SplitRange(dataset.num_rows(), num_shards)) {
+    std::string shard = client.EncodeHeader();
+    MixedTuple tuple(d);
+    for (uint64_t row = range.begin; row < range.end; ++row) {
+      for (uint32_t col = 0; col < d; ++col) {
+        if (schema.column(col).type == data::ColumnType::kNumeric) {
+          tuple[col].numeric = dataset.numeric(row, col);
+        } else {
+          tuple[col].category = dataset.category(row, col);
+        }
+      }
+      Rng rng = api::UserRng(seed, row);
+      auto payload = client.EncodeReport(tuple, &rng);
+      EXPECT_TRUE(payload.ok());
+      EXPECT_TRUE(stream::AppendFrame(payload.value(), &shard).ok());
+    }
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+void FeedEpoch(api::ServerSession* session,
+               const std::vector<std::string>& shards) {
+  for (const std::string& bytes : shards) {
+    const size_t shard = session->OpenShard();
+    ASSERT_TRUE(session->Feed(shard, bytes).ok());
+    ASSERT_TRUE(session->CloseShard(shard).ok());
+  }
+}
+
+void ExpectEpochMatchesCollect(const api::ServerSession& session,
+                               uint32_t epoch,
+                               const api::CollectionOutput& expected) {
+  for (size_t j = 0; j < expected.numeric_columns.size(); ++j) {
+    auto mean =
+        session.EstimateMean(expected.numeric_columns[j], epoch);
+    ASSERT_TRUE(mean.ok());
+    EXPECT_EQ(mean.value(), expected.estimated_means[j]);
+  }
+  for (size_t c = 0; c < expected.categorical_columns.size(); ++c) {
+    auto freqs =
+        session.EstimateFrequencies(expected.categorical_columns[c], epoch);
+    ASSERT_TRUE(freqs.ok());
+    EXPECT_EQ(freqs.value(), expected.estimated_frequencies[c]);
+  }
+}
+
+TEST(ServerSessionTest, TwoEpochShardedRunMatchesCollectAndSumsEpsilon) {
+  const data::Dataset dataset = MakeData();
+  const api::Pipeline pipeline = MakePipeline(dataset, 2);
+  auto client = pipeline.NewClient();
+  ASSERT_TRUE(client.ok());
+  auto server = pipeline.NewServer();
+  ASSERT_TRUE(server.ok());
+  api::ServerSession& session = server.value();
+
+  EXPECT_EQ(session.current_epoch(), 0u);
+  EXPECT_EQ(session.epsilon_spent(), kEpsilon);
+
+  FeedEpoch(&session, WriteEpochShards(dataset, client.value(),
+                                       kEpochSeeds[0], kShards));
+  ASSERT_TRUE(session.AdvanceEpoch().ok());
+  EXPECT_EQ(session.current_epoch(), 1u);
+  FeedEpoch(&session, WriteEpochShards(dataset, client.value(),
+                                       kEpochSeeds[1], kShards));
+
+  // The accountant reports the summed spend of both epochs.
+  EXPECT_EQ(session.epsilon_spent(), 2 * kEpsilon);
+  EXPECT_EQ(session.accountant().lifetime_budget(), 2 * kEpsilon);
+
+  // Each epoch is bit-identical to the single-process pipeline at its seed.
+  ThreadPool pool(kPoolThreads);
+  for (uint32_t epoch = 0; epoch < 2; ++epoch) {
+    auto expected =
+        pipeline.Collect(dataset, kEpochSeeds[epoch], &pool);
+    ASSERT_TRUE(expected.ok());
+    auto reports = session.num_reports(epoch);
+    ASSERT_TRUE(reports.ok());
+    EXPECT_EQ(reports.value(), kRows);
+    ExpectEpochMatchesCollect(session, epoch, expected.value());
+  }
+
+  // The plan is exhausted: a third epoch would exceed the lifetime budget.
+  EXPECT_FALSE(session.AdvanceEpoch().ok());
+  EXPECT_EQ(session.num_epochs(), 2u);
+  EXPECT_EQ(session.epsilon_spent(), 2 * kEpsilon);
+}
+
+TEST(ServerSessionTest, AdvanceRequiresClosedShards) {
+  const data::Dataset dataset = MakeData();
+  const api::Pipeline pipeline = MakePipeline(dataset, 3);
+  auto server = pipeline.NewServer();
+  ASSERT_TRUE(server.ok());
+  const size_t shard = server.value().OpenShard();
+  EXPECT_FALSE(server.value().AdvanceEpoch().ok());
+  ASSERT_TRUE(server.value().Feed(shard, std::string()).ok());
+  // Closing an empty shard fails (no header) but frees the slot...
+  EXPECT_FALSE(server.value().CloseShard(shard).ok());
+  // ...so the epoch can advance, and the failed shard contributed nothing.
+  EXPECT_TRUE(server.value().AdvanceEpoch().ok());
+  auto reports = server.value().num_reports(0);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(reports.value(), 0u);
+  // Shard ids are never reused across epochs: the stale epoch-0 id errors
+  // instead of feeding a fresh shard, and new shards get fresh ids.
+  EXPECT_FALSE(server.value().Feed(shard, std::string("x")).ok());
+  EXPECT_GT(server.value().OpenShard(), shard);
+}
+
+TEST(ServerSessionTest, SessionSnapshotRoundTripsAndMergesEpochAligned) {
+  const data::Dataset dataset = MakeData();
+  const api::Pipeline pipeline = MakePipeline(dataset, 2);
+  auto client = pipeline.NewClient();
+  ASSERT_TRUE(client.ok());
+
+  const std::vector<std::string> epoch0 =
+      WriteEpochShards(dataset, client.value(), kEpochSeeds[0], 2);
+  const std::vector<std::string> epoch1 =
+      WriteEpochShards(dataset, client.value(), kEpochSeeds[1], 2);
+
+  // Reference: one session that saw everything.
+  auto reference = pipeline.NewServer();
+  ASSERT_TRUE(reference.ok());
+  FeedEpoch(&reference.value(), epoch0);
+  ASSERT_TRUE(reference.value().AdvanceEpoch().ok());
+  FeedEpoch(&reference.value(), epoch1);
+
+  // Split deployment: two shard servers, each owning half of every epoch's
+  // shards, snapshot their sessions; a reducer merges them.
+  auto left = pipeline.NewServer();
+  auto right = pipeline.NewServer();
+  ASSERT_TRUE(left.ok() && right.ok());
+  FeedEpoch(&left.value(), {epoch0[0]});
+  ASSERT_TRUE(left.value().AdvanceEpoch().ok());
+  FeedEpoch(&left.value(), {epoch1[0]});
+  FeedEpoch(&right.value(), {epoch0[1]});
+  ASSERT_TRUE(right.value().AdvanceEpoch().ok());
+  FeedEpoch(&right.value(), {epoch1[1]});
+
+  auto reducer = pipeline.NewServer();
+  ASSERT_TRUE(reducer.ok());
+  ASSERT_TRUE(reducer.value().Merge(left.value().Snapshot()).ok());
+  ASSERT_TRUE(reducer.value().Merge(right.value().Snapshot()).ok());
+  EXPECT_EQ(reducer.value().num_epochs(), 2u);
+  EXPECT_EQ(reducer.value().epsilon_spent(), 2 * kEpsilon);
+
+  for (uint32_t epoch = 0; epoch < 2; ++epoch) {
+    auto expected_reports = reference.value().num_reports(epoch);
+    auto merged_reports = reducer.value().num_reports(epoch);
+    ASSERT_TRUE(expected_reports.ok() && merged_reports.ok());
+    EXPECT_EQ(merged_reports.value(), expected_reports.value());
+    auto expected = reference.value().Estimate(epoch);
+    auto merged = reducer.value().Estimate(epoch);
+    ASSERT_TRUE(expected.ok() && merged.ok());
+    EXPECT_EQ(merged.value().means, expected.value().means);
+    EXPECT_EQ(merged.value().frequencies, expected.value().frequencies);
+  }
+
+  // Corrupt / mismatched session snapshots are rejected without mutating
+  // the reducer.
+  std::string corrupt = left.value().Snapshot();
+  corrupt.resize(corrupt.size() / 2);
+  EXPECT_FALSE(reducer.value().Merge(corrupt).ok());
+  EXPECT_EQ(reducer.value().num_epochs(), 2u);
+}
+
+TEST(ServerSessionTest, SessionSnapshotMergeRespectsTheLifetimeBudget) {
+  const data::Dataset dataset = MakeData();
+  // The donor runs two epochs; the receiver's plan affords only one.
+  const api::Pipeline two_epochs = MakePipeline(dataset, 2);
+  auto client = two_epochs.NewClient();
+  ASSERT_TRUE(client.ok());
+  auto donor = two_epochs.NewServer();
+  ASSERT_TRUE(donor.ok());
+  FeedEpoch(&donor.value(),
+            WriteEpochShards(dataset, client.value(), kEpochSeeds[0], 2));
+  ASSERT_TRUE(donor.value().AdvanceEpoch().ok());
+  FeedEpoch(&donor.value(),
+            WriteEpochShards(dataset, client.value(), kEpochSeeds[1], 2));
+
+  const api::Pipeline one_epoch = MakePipeline(dataset, 1);
+  auto receiver = one_epoch.NewServer();
+  ASSERT_TRUE(receiver.ok());
+  EXPECT_FALSE(receiver.value().Merge(donor.value().Snapshot()).ok());
+  EXPECT_EQ(receiver.value().num_epochs(), 1u);
+  EXPECT_EQ(receiver.value().epsilon_spent(), kEpsilon);
+}
+
+TEST(ServerSessionTest, EstimateChecksEpochBounds) {
+  const data::Dataset dataset = MakeData();
+  const api::Pipeline pipeline = MakePipeline(dataset, 1);
+  auto server = pipeline.NewServer();
+  ASSERT_TRUE(server.ok());
+  EXPECT_FALSE(server.value().num_reports(1).ok());
+  EXPECT_FALSE(server.value().EstimateMean(0, 1).ok());
+  EXPECT_FALSE(server.value().Estimate(1).ok());
+  EXPECT_TRUE(server.value().Estimate(0).ok());
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,22 +1,28 @@
-// ldp_aggregate: the server half of the deployment split. Ingests shard
-// inputs — framed report streams written by ldp_report and/or aggregator
-// snapshots written by a previous ldp_aggregate --snapshot-out — merges them
-// in argument order, and prints ε-LDP estimates with confidence intervals
-// for every attribute. The collector configuration (ε, mechanism, oracle) is
-// taken from the first input's validated header, so a mismatched client
-// population is rejected up front.
+// ldp_aggregate: the server half of the deployment split, an api::Pipeline
+// ServerSession at the CLI. Ingests any mix of shard inputs in one
+// invocation — framed report streams written by ldp_report (mixed or
+// Algorithm-4 numeric), single-epoch aggregator snapshots, and multi-epoch
+// session snapshots written by a previous ldp_aggregate --snapshot-out —
+// merges them in argument order, and prints ε-LDP estimates with confidence
+// intervals for every attribute, per epoch. The pipeline configuration
+// (stream kind, ε, mechanism, oracle) is taken from the first input's
+// validated preamble, so a mismatched client population is rejected up
+// front.
 //
 //   ldp_aggregate --schema FILE [--threads T] [--confidence C]
-//                 [--strict] [--max-rejected N] [--snapshot-out FILE]
-//                 SHARD...
+//                 [--strict] [--max-rejected N] [--epoch E]
+//                 [--snapshot-out FILE] SHARD...
 //
-// Streams are ingested concurrently across --threads workers but always
-// reduced in argument order, so the output is independent of scheduling:
-// shards produced by ldp_report with the same seed reproduce an in-process
-// ldp_collect run exactly. With --snapshot-out the merged state is written
-// as a snapshot instead of discarded, enabling tree-shaped aggregation
-// across server generations.
+// Report streams and single-epoch snapshots fold into epoch 0; session
+// snapshots merge epoch by epoch. --epoch E prints only epoch E's
+// estimates (default: every epoch). Streams are ingested concurrently
+// across --threads workers but always reduced in argument order, so the
+// output is independent of scheduling: shards produced by ldp_report with
+// the same seed reproduce an in-process ldp_collect run exactly. With
+// --snapshot-out the full session state is written as a session snapshot,
+// enabling tree-shaped aggregation across server generations and epochs.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -27,8 +33,9 @@
 #include <string>
 #include <vector>
 
-#include "aggregate/collector.h"
 #include "aggregate/confidence.h"
+#include "api/pipeline.h"
+#include "api/server_session.h"
 #include "core/sampled_numeric.h"
 #include "data/schema_text.h"
 #include "stream/parallel_ingest.h"
@@ -45,59 +52,80 @@ void Usage() {
   std::fprintf(
       stderr,
       "usage: ldp_aggregate --schema FILE [--threads T] [--confidence C]\n"
-      "                     [--strict] [--max-rejected N]\n"
+      "                     [--strict] [--max-rejected N] [--epoch E]\n"
       "                     [--snapshot-out FILE] SHARD...\n"
-      "SHARD files are report streams (ldp_report) or snapshots\n"
-      "(ldp_aggregate --snapshot-out), merged in argument order.\n");
+      "SHARD files are report streams (ldp_report), aggregator snapshots,\n"
+      "or session snapshots (ldp_aggregate --snapshot-out), merged in\n"
+      "argument order; --epoch E prints only epoch E.\n");
 }
 
-struct ShardInput {
-  std::string path;
-  bool is_snapshot = false;
-};
-
-Result<std::string> ReadFile(const std::string& path) {
+// Reads at most the first `limit` bytes — enough for any preamble; snapshot
+// files can be huge and are read in full only once, during ingestion.
+Result<std::string> ReadFilePrefix(const std::string& path, size_t limit) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::IoError("cannot open '" + path + "'");
   }
-  std::ostringstream contents;
-  contents << in.rdbuf();
+  std::string prefix(limit, '\0');
+  in.read(prefix.data(), static_cast<std::streamsize>(limit));
   if (in.bad()) {
     return Status::IoError("read error on '" + path + "'");
   }
-  return contents.str();
+  prefix.resize(static_cast<size_t>(in.gcount()));
+  return prefix;
 }
 
-// The collector configuration as recorded in a shard file's preamble.
+// The pipeline configuration as recorded in a shard file's preamble, plus
+// the epoch count a session snapshot carries.
 struct InputConfig {
+  stream::ReportStreamKind kind = stream::ReportStreamKind::kMixed;
   double epsilon = 0.0;
   MechanismKind mechanism = MechanismKind::kHybrid;
   FrequencyOracleKind oracle = FrequencyOracleKind::kOue;
+  uint32_t epochs = 1;
 };
 
-Result<InputConfig> PeekConfig(const ShardInput& input) {
+Result<InputConfig> PeekConfig(const std::string& path) {
   InputConfig config;
-  if (input.is_snapshot) {
-    std::string bytes;
-    LDP_ASSIGN_OR_RETURN(bytes, ReadFile(input.path));
-    stream::SnapshotConfig snapshot;
-    LDP_ASSIGN_OR_RETURN(snapshot, stream::DecodeSnapshotConfig(bytes));
-    config.epsilon = snapshot.epsilon;
-    config.mechanism = snapshot.mechanism;
-    config.oracle = snapshot.oracle;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  char magic_bytes[4] = {0, 0, 0, 0};
+  in.read(magic_bytes, 4);
+  if (in.gcount() != 4) {
+    return Status::InvalidArgument("input shorter than a magic");
+  }
+  const uint32_t magic = internal_wire::LoadLittleEndian<uint32_t>(magic_bytes);
+  if (magic == stream::kStreamMagic) {
+    in.seekg(0);
+    stream::ReportStreamReader reader(&in);
+    stream::StreamHeader header;
+    LDP_ASSIGN_OR_RETURN(header, reader.ReadHeader());
+    config.kind = header.kind;
+    config.epsilon = header.epsilon;
+    config.mechanism = header.mechanism;
+    config.oracle = header.oracle;
     return config;
   }
-  std::ifstream in(input.path, std::ios::binary);
-  if (!in.is_open()) {
-    return Status::IoError("cannot open '" + input.path + "'");
+  std::string bytes;
+  LDP_ASSIGN_OR_RETURN(bytes, ReadFilePrefix(path, 64));
+  if (magic == api::kSessionSnapshotMagic) {
+    api::SessionSnapshotConfig session;
+    LDP_ASSIGN_OR_RETURN(session, api::DecodeSessionSnapshotConfig(bytes));
+    config.kind = session.kind;
+    config.epsilon = session.epsilon;
+    config.mechanism = session.mechanism;
+    config.oracle = session.oracle;
+    config.epochs = session.epochs;
+    return config;
   }
-  stream::ReportStreamReader reader(&in);
-  stream::StreamHeader header;
-  LDP_ASSIGN_OR_RETURN(header, reader.ReadHeader());
-  config.epsilon = header.epsilon;
-  config.mechanism = header.mechanism;
-  config.oracle = header.oracle;
+  stream::SnapshotConfig snapshot;
+  LDP_ASSIGN_OR_RETURN(snapshot, stream::DecodeSnapshotConfig(bytes));
+  config.kind = snapshot.kind;
+  config.epsilon = snapshot.epsilon;
+  config.mechanism = snapshot.mechanism;
+  config.oracle = snapshot.oracle;
   return config;
 }
 
@@ -107,6 +135,7 @@ int main(int argc, char** argv) {
   std::string schema_path, snapshot_out;
   double confidence = 0.95;
   unsigned threads = 0;
+  long selected_epoch = -1;
   stream::ShardIngester::Options ingest_options;
   std::vector<std::string> shard_paths;
   for (int i = 1; i < argc; ++i) {
@@ -128,6 +157,14 @@ int main(int argc, char** argv) {
       ingest_options.strict = true;
     } else if (arg == "--max-rejected") {
       ingest_options.max_rejected = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--epoch") {
+      const char* text = next();
+      char* end = nullptr;
+      selected_epoch = std::strtol(text, &end, 10);
+      if (end == text || *end != '\0' || selected_epoch < 0) {
+        Usage();
+        return 2;
+      }
     } else if (arg == "--snapshot-out") {
       snapshot_out = next();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -148,91 +185,85 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Classify each input by magic and pull the collector configuration from
-  // the first one; every other input is validated against it during decode.
-  std::vector<ShardInput> inputs;
-  for (const std::string& path : shard_paths) {
-    ShardInput input;
-    input.path = path;
-    std::ifstream in(path, std::ios::binary);
-    if (!in.is_open()) {
-      std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
-      return 1;
-    }
-    char magic[4] = {0, 0, 0, 0};
-    in.read(magic, 4);
-    input.is_snapshot =
-        in.gcount() == 4 && stream::LooksLikeSnapshot(std::string(magic, 4));
-    inputs.push_back(std::move(input));
+  // Pull the pipeline configuration from the first input (every other input
+  // is validated against it during decode) and size the epoch plan to the
+  // largest session any input carries.
+  auto first = PeekConfig(shard_paths.front());
+  if (!first.ok()) {
+    std::fprintf(stderr, "%s: %s\n", shard_paths.front().c_str(),
+                 first.status().ToString().c_str());
+    return 1;
   }
-  auto config = PeekConfig(inputs.front());
+  uint32_t max_epochs = first.value().epochs;
+  for (size_t i = 1; i < shard_paths.size(); ++i) {
+    auto peeked = PeekConfig(shard_paths[i]);
+    if (peeked.ok()) max_epochs = std::max(max_epochs, peeked.value().epochs);
+  }
+
+  auto config = api::PipelineConfig::FromSchema(schema.value(),
+                                                first.value().epsilon);
   if (!config.ok()) {
-    std::fprintf(stderr, "%s: %s\n", inputs.front().path.c_str(),
-                 config.status().ToString().c_str());
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
     return 1;
   }
+  config.value().mechanism = first.value().mechanism;
+  config.value().oracle = first.value().oracle;
+  config.value().wire =
+      first.value().kind == stream::ReportStreamKind::kSampledNumeric
+          ? api::WirePreference::kNumeric
+          : api::WirePreference::kMixed;
+  config.value().plan.epochs = max_epochs;
+  auto pipeline = api::Pipeline::Create(std::move(config).value());
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
+    return 1;
+  }
+  api::ServerSessionOptions session_options;
+  session_options.ingest = ingest_options;
+  auto server = pipeline.value().NewServer(session_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  api::ServerSession& session = server.value();
 
-  auto mixed_schema = aggregate::ToMixedSchema(schema.value());
-  if (!mixed_schema.ok()) {
-    std::fprintf(stderr, "%s\n", mixed_schema.status().ToString().c_str());
-    return 1;
-  }
-  auto collector_result = MixedTupleCollector::Create(
-      std::move(mixed_schema).value(), config.value().epsilon,
-      config.value().mechanism, config.value().oracle);
-  if (!collector_result.ok()) {
-    std::fprintf(stderr, "%s\n",
-                 collector_result.status().ToString().c_str());
-    return 1;
-  }
-  const MixedTupleCollector& collector = collector_result.value();
-
-  // Ingest every input concurrently; the driver reduces in argument order,
-  // so the result is independent of scheduling.
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-  std::vector<stream::ShardSource> sources;
-  sources.reserve(inputs.size());
-  for (const ShardInput& input : inputs) {
-    sources.push_back(
-        input.is_snapshot
-            ? stream::SnapshotFileSource(collector, input.path)
-            : stream::StreamFileSource(collector, input.path,
-                                       ingest_options));
-  }
   const auto started = std::chrono::steady_clock::now();
   stream::MultiShardSummary summary;
-  auto total_result =
-      stream::IngestShardSources(collector, sources, pool.get(), &summary);
-  if (!total_result.ok()) {
-    std::fprintf(stderr, "%s\n", total_result.status().ToString().c_str());
+  const Status ingested = session.IngestInputs(shard_paths, pool.get(),
+                                               &summary);
+  if (!ingested.ok()) {
+    std::fprintf(stderr, "%s\n", ingested.ToString().c_str());
     return 1;
   }
-  MixedAggregator total = std::move(total_result).value();
-  const uint64_t total_rejected = summary.total_rejected;
-  const uint64_t total_bytes = summary.total_bytes;
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started)
           .count();
 
-  const uint64_t n = total.num_reports();
-  const uint32_t d = collector.dimension();
+  const uint32_t d = pipeline.value().dimension();
   std::printf(
-      "ingested %llu reports from %zu shard(s) (%llu rejected, %llu bytes) "
+      "ingested %llu reports from %zu input(s) (%llu rejected, %llu bytes) "
       "in %.3fs — %.0f reports/s\n",
-      static_cast<unsigned long long>(n), inputs.size(),
-      static_cast<unsigned long long>(total_rejected),
-      static_cast<unsigned long long>(total_bytes), elapsed,
-      elapsed > 0.0 ? static_cast<double>(n) / elapsed : 0.0);
+      static_cast<unsigned long long>(summary.total_reports),
+      shard_paths.size(),
+      static_cast<unsigned long long>(summary.total_rejected),
+      static_cast<unsigned long long>(summary.total_bytes), elapsed,
+      elapsed > 0.0 ? static_cast<double>(summary.total_reports) / elapsed
+                    : 0.0);
   std::printf(
-      "eps = %g (mechanism %s, oracle %s; %u of %u attributes per user)\n\n",
-      collector.epsilon(), MechanismKindToString(collector.numeric_kind()),
-      FrequencyOracleKindToString(collector.categorical_kind()),
-      collector.k(), d);
+      "%s stream, eps = %g/epoch (mechanism %s, oracle %s; %u of %u "
+      "attributes per user); %u epoch(s), eps spent %g\n\n",
+      stream::ReportStreamKindToString(pipeline.value().stream_kind()),
+      pipeline.value().epsilon(),
+      MechanismKindToString(first.value().mechanism),
+      FrequencyOracleKindToString(first.value().oracle),
+      pipeline.value().k(), d, session.num_epochs(),
+      session.epsilon_spent());
 
   if (!snapshot_out.empty()) {
-    const std::string bytes = stream::EncodeAggregatorSnapshot(total);
+    const std::string bytes = session.Snapshot();
     std::ofstream out(snapshot_out, std::ios::binary | std::ios::trunc);
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     out.flush();
@@ -240,48 +271,70 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "write error on %s\n", snapshot_out.c_str());
       return 1;
     }
-    std::printf("wrote merged snapshot to %s (%zu bytes)\n\n",
-                snapshot_out.c_str(), bytes.size());
+    std::printf("wrote session snapshot to %s (%zu bytes, %u epoch(s))\n\n",
+                snapshot_out.c_str(), bytes.size(), session.num_epochs());
+  }
+
+  if (selected_epoch >= 0 &&
+      static_cast<uint32_t>(selected_epoch) >= session.num_epochs()) {
+    std::fprintf(stderr, "epoch %ld not present (session has %u)\n",
+                 selected_epoch, session.num_epochs());
+    return 1;
   }
 
   auto sampled = SampledNumericMechanism::Create(
-      collector.numeric_kind(), collector.epsilon(), d);
-  std::printf("numeric attribute means (+/- %.0f%% CI, native units):\n",
-              confidence * 100.0);
-  for (uint32_t col = 0; col < d; ++col) {
-    const data::ColumnSpec& spec = schema.value().column(col);
-    if (spec.type != data::ColumnType::kNumeric) continue;
-    auto mean = total.EstimateMean(col);
-    if (!mean.ok()) {
-      std::fprintf(stderr, "%s\n", mean.status().ToString().c_str());
+      first.value().mechanism, pipeline.value().epsilon(), d);
+  for (uint32_t epoch = 0; epoch < session.num_epochs(); ++epoch) {
+    if (selected_epoch >= 0 && epoch != static_cast<uint32_t>(selected_epoch)) {
+      continue;
+    }
+    auto n = session.num_reports(epoch);
+    if (!n.ok()) {
+      std::fprintf(stderr, "%s\n", n.status().ToString().c_str());
       return 1;
     }
-    const double mid = (spec.hi + spec.lo) / 2.0;
-    const double half = (spec.hi - spec.lo) / 2.0;
-    auto interval = aggregate::SampledMeanConfidenceInterval(
-        mean.value(), sampled.value(), n, confidence);
-    if (!interval.ok()) {
-      std::fprintf(stderr, "%s\n", interval.status().ToString().c_str());
-      return 1;
+    if (session.num_epochs() > 1) {
+      std::printf("=== epoch %u (%llu reports) ===\n", epoch,
+                  static_cast<unsigned long long>(n.value()));
     }
-    std::printf("  %-20s %12.4f  [%0.4f, %0.4f]\n", spec.name.c_str(),
-                mid + half * interval.value().estimate,
-                mid + half * interval.value().lo,
-                mid + half * interval.value().hi);
-  }
+    std::printf("numeric attribute means (+/- %.0f%% CI, native units):\n",
+                confidence * 100.0);
+    for (uint32_t col = 0; col < d; ++col) {
+      const data::ColumnSpec& spec = schema.value().column(col);
+      if (spec.type != data::ColumnType::kNumeric) continue;
+      auto mean = session.EstimateMean(col, epoch);
+      if (!mean.ok()) {
+        std::fprintf(stderr, "%s\n", mean.status().ToString().c_str());
+        return 1;
+      }
+      const double mid = (spec.hi + spec.lo) / 2.0;
+      const double half = (spec.hi - spec.lo) / 2.0;
+      auto interval = aggregate::SampledMeanConfidenceInterval(
+          mean.value(), sampled.value(), n.value(), confidence);
+      if (!interval.ok()) {
+        std::fprintf(stderr, "%s\n", interval.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("  %-20s %12.4f  [%0.4f, %0.4f]\n", spec.name.c_str(),
+                  mid + half * interval.value().estimate,
+                  mid + half * interval.value().lo,
+                  mid + half * interval.value().hi);
+    }
 
-  std::printf("\ncategorical attribute frequencies:\n");
-  for (uint32_t col = 0; col < d; ++col) {
-    const data::ColumnSpec& spec = schema.value().column(col);
-    if (spec.type != data::ColumnType::kCategorical) continue;
-    auto freqs = total.EstimateFrequencies(col);
-    if (!freqs.ok()) {
-      std::fprintf(stderr, "%s\n", freqs.status().ToString().c_str());
-      return 1;
+    std::printf("\ncategorical attribute frequencies:\n");
+    for (uint32_t col = 0; col < d; ++col) {
+      const data::ColumnSpec& spec = schema.value().column(col);
+      if (spec.type != data::ColumnType::kCategorical) continue;
+      auto freqs = session.EstimateFrequencies(col, epoch);
+      if (!freqs.ok()) {
+        std::fprintf(stderr, "%s\n", freqs.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("  %s:", spec.name.c_str());
+      for (const double f : freqs.value()) std::printf(" %.4f", f);
+      std::printf("\n");
     }
-    std::printf("  %s:", spec.name.c_str());
-    for (const double f : freqs.value()) std::printf(" %.4f", f);
-    std::printf("\n");
+    if (epoch + 1 < session.num_epochs()) std::printf("\n");
   }
   return 0;
 }

@@ -7,22 +7,40 @@
 //               [--mechanism hm|pm] [--oracle oue|grr|sue|olh|he|the]
 //               [--seed S] [--confidence C] [--threads T]
 //
+// Implementation: an api::Pipeline ClientSession/ServerSession pair in one
+// process. Rows stream through data::CsvRowReader one at a time — each is
+// normalised, perturbed, wire-encoded and fed to the server session, then
+// dropped — so memory stays O(schema) no matter how many rows the CSV
+// carries (a cheap first pass counts rows to fix the chunk boundaries).
+// Rows are fed as one server shard per SplitRange chunk of the requested
+// --threads, closed in order, so the printed estimates are bit-identical to
+// the materializing CollectProposed simulation with the same seed and
+// thread count (and to an ldp_report | ldp_aggregate split with matching
+// shards).
+//
+// Note on --threads: the streaming loop itself is sequential (the CSV
+// reader is the pipeline); the flag only fixes the chunk boundaries so the
+// output stays reproducible against pooled in-process runs and sharded
+// splits. For parallel collection at scale, split the work with
+// `ldp_report --shards` and aggregate with `ldp_aggregate --threads`.
+//
 // The schema file format is documented in src/data/schema_text.h;
 // ldp_generate produces compatible pairs.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <memory>
 #include <string>
+#include <vector>
 
-#include "aggregate/collector.h"
 #include "aggregate/confidence.h"
+#include "api/pipeline.h"
+#include "api/server_session.h"
 #include "core/sampled_numeric.h"
 #include "core/variance.h"
 #include "data/csv.h"
-#include "data/encode.h"
 #include "data/schema_text.h"
+#include "stream/report_stream.h"
 #include "util/threadpool.h"
 
 namespace {
@@ -35,7 +53,9 @@ void Usage() {
       "usage: ldp_collect --schema FILE --data FILE --epsilon E\n"
       "                   [--mechanism hm|pm] [--oracle "
       "oue|grr|sue|olh|he|the]\n"
-      "                   [--seed S] [--confidence C] [--threads T]\n");
+      "                   [--seed S] [--confidence C] [--threads T]\n"
+      "--threads fixes the summation chunk boundaries for bit-compatible\n"
+      "output with pooled/sharded runs; the streaming loop is sequential.\n");
 }
 
 bool ParseOracle(const std::string& name, FrequencyOracleKind* kind) {
@@ -110,25 +130,97 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
     return 1;
   }
-  auto table = data::ReadCsv(schema.value(), data_path);
-  if (!table.ok()) {
-    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+  auto row_count = data::CountCsvDataRows(data_path);
+  if (!row_count.ok()) {
+    std::fprintf(stderr, "%s\n", row_count.status().ToString().c_str());
     return 1;
   }
-  const data::Dataset normalized = data::NormalizeNumeric(table.value());
-
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-  auto output = aggregate::CollectProposed(normalized, epsilon, seed,
-                                           mechanism, oracle, pool.get());
-  if (!output.ok()) {
-    std::fprintf(stderr, "%s\n", output.status().ToString().c_str());
+  const uint64_t n = row_count.value();
+  if (n == 0) {
+    std::fprintf(stderr, "dataset is empty\n");
     return 1;
   }
 
-  const uint64_t n = table.value().num_rows();
+  auto config = api::PipelineConfig::FromSchema(schema.value(), epsilon);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  config.value().mechanism = mechanism;
+  config.value().oracle = oracle;
+  auto pipeline = api::Pipeline::Create(std::move(config).value());
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
+    return 1;
+  }
+  auto client = pipeline.value().NewClient();
+  auto server = pipeline.value().NewServer();
+  if (!client.ok() || !server.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (client.ok() ? server.status() : client.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  api::ServerSession& session = server.value();
+
+  // Chunk boundaries mirror what ParallelFor would use for --threads
+  // workers, so the chunk-ordered reduction lands on the same bits as the
+  // pooled in-process simulation ever did.
+  const std::vector<IndexRange> ranges =
+      threads > 1 ? SplitRange(n, static_cast<uint64_t>(threads) * 4)
+                  : SplitRange(n, 1);
+
+  auto reader = data::CsvRowReader::Open(schema.value(), data_path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
   const uint32_t d = schema.value().num_columns();
-  const uint32_t k = AttributeSampleCount(epsilon, d);
+  std::vector<double> numeric_row;
+  std::vector<uint32_t> category_row;
+  MixedTuple tuple(d);
+  const std::string header_bytes = client.value().EncodeHeader();
+  std::string buffer;
+  for (const IndexRange& range : ranges) {
+    const size_t shard = session.OpenShard();
+    buffer.assign(header_bytes);
+    for (uint64_t row = range.begin; row < range.end; ++row) {
+      auto more = reader.value().NextRow(&numeric_row, &category_row);
+      if (!more.ok()) {
+        std::fprintf(stderr, "%s\n", more.status().ToString().c_str());
+        return 1;
+      }
+      if (!more.value()) {
+        std::fprintf(stderr, "%s shrank between passes\n", data_path.c_str());
+        return 1;
+      }
+      api::RowToTuple(schema.value(), numeric_row, category_row, &tuple);
+      Rng rng = api::UserRng(seed, row);
+      auto payload = client.value().EncodeReport(tuple, &rng);
+      if (!payload.ok()) {
+        std::fprintf(stderr, "%s\n", payload.status().ToString().c_str());
+        return 1;
+      }
+      Status framed = stream::AppendFrame(payload.value(), &buffer);
+      if (framed.ok() && buffer.size() >= 64 * 1024) {
+        framed = session.Feed(shard, buffer);
+        buffer.clear();
+      }
+      if (!framed.ok()) {
+        std::fprintf(stderr, "%s\n", framed.ToString().c_str());
+        return 1;
+      }
+    }
+    Status fed = session.Feed(shard, buffer);
+    if (fed.ok()) fed = session.CloseShard(shard);
+    if (!fed.ok()) {
+      std::fprintf(stderr, "%s\n", fed.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const uint32_t k = pipeline.value().k();
   std::printf("collected %llu users under eps = %g (mechanism %s, oracle "
               "%s; %u of %u attributes sampled per user)\n\n",
               static_cast<unsigned long long>(n), epsilon,
@@ -139,13 +231,22 @@ int main(int argc, char** argv) {
   auto sampled = SampledNumericMechanism::Create(mechanism, epsilon, d);
   std::printf("numeric attribute means (+/- %.0f%% CI, native units):\n",
               confidence * 100.0);
-  for (size_t j = 0; j < output.value().numeric_columns.size(); ++j) {
-    const uint32_t col = output.value().numeric_columns[j];
+  for (uint32_t col = 0; col < d; ++col) {
     const data::ColumnSpec& spec = schema.value().column(col);
+    if (spec.type != data::ColumnType::kNumeric) continue;
+    auto mean = session.EstimateMean(col, 0);
+    if (!mean.ok()) {
+      std::fprintf(stderr, "%s\n", mean.status().ToString().c_str());
+      return 1;
+    }
     const double mid = (spec.hi + spec.lo) / 2.0;
     const double half = (spec.hi - spec.lo) / 2.0;
     auto interval = aggregate::SampledMeanConfidenceInterval(
-        output.value().estimated_means[j], sampled.value(), n, confidence);
+        mean.value(), sampled.value(), n, confidence);
+    if (!interval.ok()) {
+      std::fprintf(stderr, "%s\n", interval.status().ToString().c_str());
+      return 1;
+    }
     std::printf("  %-20s %12.4f  [%0.4f, %0.4f]\n", spec.name.c_str(),
                 mid + half * interval.value().estimate,
                 mid + half * interval.value().lo,
@@ -153,11 +254,16 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\ncategorical attribute frequencies:\n");
-  for (size_t c = 0; c < output.value().categorical_columns.size(); ++c) {
-    const uint32_t col = output.value().categorical_columns[c];
+  for (uint32_t col = 0; col < d; ++col) {
     const data::ColumnSpec& spec = schema.value().column(col);
+    if (spec.type != data::ColumnType::kCategorical) continue;
+    auto freqs = session.EstimateFrequencies(col, 0);
+    if (!freqs.ok()) {
+      std::fprintf(stderr, "%s\n", freqs.status().ToString().c_str());
+      return 1;
+    }
     std::printf("  %s:", spec.name.c_str());
-    for (const double f : output.value().estimated_frequencies[c]) {
+    for (const double f : freqs.value()) {
       std::printf(" %.4f", f);
     }
     std::printf("\n");

@@ -1,21 +1,26 @@
 // ldp_report: the client half of the deployment split. Streams a CSV of
-// user records row by row, perturbs each row on the "device" under ε-LDP,
-// and writes the privatized reports as framed report streams
-// (src/stream/report_stream.h) — one shard file per slice of the population
-// — ready to be shipped to an ldp_aggregate server. Nothing but the
-// perturbed reports is written out, and memory stays O(schema) regardless
-// of row count: the table is never materialized (a cheap first pass counts
-// rows to fix the shard boundaries, then the privatizing pass streams).
+// user records row by row, perturbs each row on the "device" under ε-LDP
+// through an api::ClientSession, and writes the privatized reports as framed
+// report streams (src/stream/report_stream.h) — one shard file per slice of
+// the population — ready to be shipped to an ldp_aggregate server. Nothing
+// but the perturbed reports is written out, and memory stays O(schema)
+// regardless of row count: the table is never materialized (a cheap first
+// pass counts rows to fix the shard boundaries, then the privatizing pass
+// streams).
 //
 //   ldp_report --schema FILE --data FILE --epsilon E --out PREFIX
 //              [--shards N] [--mechanism hm|pm]
-//              [--oracle oue|grr|sue|olh|he|the] [--seed S]
+//              [--oracle oue|grr|sue|olh|he|the]
+//              [--stream auto|mixed|numeric] [--seed S]
+//
+// The stream kind follows the schema by default: mixed (Section IV-C) when
+// any column is categorical, the Algorithm-4 numeric kind when all columns
+// are numeric; --stream mixed forces the mixed wire format either way.
 //
 // Produces PREFIX.shard-000.ldps ... PREFIX.shard-<N-1>.ldps. Shard
 // boundaries follow util/threadpool.h SplitRange, and user `row` draws from
-// aggregate::UserRng(seed, row): aggregating the shards in order reproduces
-// an in-process CollectProposed run with the same seed and chunking bit for
-// bit.
+// api::UserRng(seed, row): aggregating the shards in order reproduces an
+// in-process ldp_collect run with the same seed and chunking bit for bit.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,7 +29,7 @@
 #include <string>
 #include <vector>
 
-#include "aggregate/collector.h"
+#include "api/pipeline.h"
 #include "data/csv.h"
 #include "data/schema_text.h"
 #include "stream/report_stream.h"
@@ -39,7 +44,8 @@ void Usage() {
       stderr,
       "usage: ldp_report --schema FILE --data FILE --epsilon E --out PREFIX\n"
       "                  [--shards N] [--mechanism hm|pm]\n"
-      "                  [--oracle oue|grr|sue|olh|he|the] [--seed S]\n");
+      "                  [--oracle oue|grr|sue|olh|he|the]\n"
+      "                  [--stream auto|mixed|numeric] [--seed S]\n");
 }
 
 bool ParseOracle(const std::string& name, FrequencyOracleKind* kind) {
@@ -57,31 +63,9 @@ std::string ShardPath(const std::string& prefix, size_t shard) {
   // Five digits keep lexicographic shell-glob order equal to numeric shard
   // order (ldp_aggregate reduces in argument order, and bit-exact
   // reproduction depends on it) for any realistic shard count.
-  char suffix[32];
+  char suffix[48];
   std::snprintf(suffix, sizeof(suffix), ".shard-%05zu.ldps", shard);
   return prefix + suffix;
-}
-
-// Counts data rows (non-empty lines after the header) so the shard
-// boundaries can be fixed before the streaming pass; row-level validation
-// happens in that second pass.
-Result<uint64_t> CountCsvRows(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    return Status::IoError("cannot open for reading: " + path);
-  }
-  std::string line;
-  if (!std::getline(in, line)) {
-    return Status::IoError("empty file: " + path);
-  }
-  uint64_t rows = 0;
-  while (std::getline(in, line)) {
-    if (!line.empty()) ++rows;
-  }
-  if (in.bad()) {
-    return Status::IoError("read error on " + path);
-  }
-  return rows;
 }
 
 }  // namespace
@@ -93,6 +77,7 @@ int main(int argc, char** argv) {
   uint64_t shards = 1;
   MechanismKind mechanism = MechanismKind::kHybrid;
   FrequencyOracleKind oracle = FrequencyOracleKind::kOue;
+  api::WirePreference wire = api::WirePreference::kAuto;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -129,6 +114,18 @@ int main(int argc, char** argv) {
         Usage();
         return 2;
       }
+    } else if (arg == "--stream") {
+      const std::string name = next();
+      if (name == "auto") {
+        wire = api::WirePreference::kAuto;
+      } else if (name == "mixed") {
+        wire = api::WirePreference::kMixed;
+      } else if (name == "numeric") {
+        wire = api::WirePreference::kNumeric;
+      } else {
+        Usage();
+        return 2;
+      }
     } else {
       Usage();
       return 2;
@@ -145,7 +142,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
     return 1;
   }
-  auto row_count = CountCsvRows(data_path);
+  auto row_count = data::CountCsvDataRows(data_path);
   if (!row_count.ok()) {
     std::fprintf(stderr, "%s\n", row_count.status().ToString().c_str());
     return 1;
@@ -156,25 +153,29 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto mixed_schema = aggregate::ToMixedSchema(schema.value());
-  if (!mixed_schema.ok()) {
-    std::fprintf(stderr, "%s\n", mixed_schema.status().ToString().c_str());
+  auto config = api::PipelineConfig::FromSchema(schema.value(), epsilon);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
     return 1;
   }
-  auto collector_result = MixedTupleCollector::Create(
-      std::move(mixed_schema).value(), epsilon, mechanism, oracle);
-  if (!collector_result.ok()) {
-    std::fprintf(stderr, "%s\n",
-                 collector_result.status().ToString().c_str());
+  config.value().mechanism = mechanism;
+  config.value().oracle = oracle;
+  config.value().wire = wire;
+  auto pipeline = api::Pipeline::Create(std::move(config).value());
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
     return 1;
   }
-  const MixedTupleCollector& collector = collector_result.value();
-  const stream::StreamHeader header = stream::MakeMixedStreamHeader(collector);
+  auto client = pipeline.value().NewClient();
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
 
   // Second pass: stream rows, normalizing each numeric cell from its schema
   // [lo, hi] to the mechanisms' canonical [-1, 1] with the same arithmetic
-  // as data::NormalizeNumeric — bit-identical to the materializing pipeline
-  // ldp_collect runs, which the reproduction contract depends on.
+  // as data::NormalizeNumeric — bit-identical to the materializing pipeline,
+  // which the reproduction contract depends on.
   auto reader = data::CsvRowReader::Open(schema.value(), data_path);
   if (!reader.ok()) {
     std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
@@ -193,7 +194,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
       return 1;
     }
-    stream::ReportStreamWriter writer(&out, header);
+    stream::ReportStreamWriter writer(&out, client.value().header());
     for (uint64_t row = ranges[s].begin; row < ranges[s].end; ++row) {
       auto more = reader.value().NextRow(&numeric_row, &category_row);
       if (!more.ok()) {
@@ -204,19 +205,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s shrank between passes\n", data_path.c_str());
         return 1;
       }
-      for (uint32_t col = 0; col < d; ++col) {
-        const data::ColumnSpec& spec = schema.value().column(col);
-        if (spec.type == data::ColumnType::kNumeric) {
-          const double mid = (spec.hi + spec.lo) / 2.0;
-          const double half_width = (spec.hi - spec.lo) / 2.0;
-          tuple[col].numeric = (numeric_row[col] - mid) / half_width;
-        } else {
-          tuple[col].category = category_row[col];
-        }
-      }
-      Rng rng = aggregate::UserRng(seed, row);
-      const Status status =
-          writer.WriteMixedReport(collector.Perturb(tuple, &rng), collector);
+      api::RowToTuple(schema.value(), numeric_row, category_row, &tuple);
+      Rng rng = api::UserRng(seed, row);
+      const Status status = client.value().WriteReport(&writer, tuple, &rng);
       if (!status.ok()) {
         std::fprintf(stderr, "%s: %s\n", path.c_str(),
                      status.ToString().c_str());
@@ -244,12 +235,13 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "privatized %llu users under eps = %g (mechanism %s, oracle %s; %u of "
-      "%u attributes sampled per user)\n"
+      "privatized %llu users under eps = %g (%s stream, mechanism %s, oracle "
+      "%s; %u of %u attributes sampled per user)\n"
       "wrote %zu shard stream(s) to %s.shard-*.ldps (%llu bytes)\n",
       static_cast<unsigned long long>(n), epsilon,
+      stream::ReportStreamKindToString(pipeline.value().stream_kind()),
       MechanismKindToString(mechanism), FrequencyOracleKindToString(oracle),
-      collector.k(), d, ranges.size(), prefix.c_str(),
+      pipeline.value().k(), d, ranges.size(), prefix.c_str(),
       static_cast<unsigned long long>(total_bytes));
   return 0;
 }
