@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "api/pipeline.h"
+#include "api/server_session.h"
 #include "bench_util.h"
 #include "core/sampled_numeric.h"
 #include "stream/aggregator_handle.h"
@@ -265,6 +267,97 @@ int main() {
     std::printf("%-8s %8zu %8u %10.1f %10.3f %14.0f %10.1f\n", "NUMERIC",
                 result.shards, result.threads, result.bytes_per_report,
                 result.seconds, result.reports_per_sec, result.mib_per_sec);
+  }
+
+  // Concurrent ServerSession sweep: the same mixed shards pushed through
+  // api::ServerSession::Feed with a session-owned ingest pool, chunked and
+  // interleaved across shards the way a network frontend would deliver
+  // them. Tracks reports/sec of the full session path (enqueue -> strand
+  // decode -> drain -> ordered merge) as session_threads grows.
+  {
+    const MixedTupleCollector collector =
+        MakeCollector(FrequencyOracleKind::kOue);
+    auto config = api::PipelineConfig{};
+    config.attributes = collector.schema();
+    config.epsilon = 4.0;
+    auto pipeline = api::Pipeline::Create(std::move(config));
+    if (!pipeline.ok()) {
+      std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
+      return 1;
+    }
+    constexpr size_t kSessionShards = 8;
+    constexpr size_t kChunkBytes = 256 * 1024;
+    const std::vector<std::string> shards =
+        EncodeShards(collector, reports, kSessionShards);
+    uint64_t total_bytes = 0;
+    for (const std::string& shard : shards) total_bytes += shard.size();
+
+    std::vector<unsigned> thread_sweep = {1, 2, 4};
+    if (hardware >= 8) thread_sweep.push_back(8);
+    for (const unsigned session_threads : thread_sweep) {
+      api::ServerSessionOptions options;
+      options.ingest_threads = session_threads;
+      auto server = pipeline.value().NewServer(options);
+      if (!server.ok()) {
+        std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+        return 1;
+      }
+      api::ServerSession& session = server.value();
+
+      const auto started = std::chrono::steady_clock::now();
+      std::vector<size_t> ids;
+      std::vector<size_t> offsets(shards.size(), 0);
+      ids.reserve(shards.size());
+      for (size_t s = 0; s < shards.size(); ++s) {
+        ids.push_back(session.OpenShard());
+      }
+      for (bool fed = true; fed;) {
+        fed = false;
+        for (size_t s = 0; s < shards.size(); ++s) {
+          const size_t left = shards[s].size() - offsets[s];
+          if (left == 0) continue;
+          const size_t take = std::min(kChunkBytes, left);
+          if (!session.Feed(ids[s], shards[s].data() + offsets[s], take)
+                   .ok()) {
+            std::fprintf(stderr, "session feed failed\n");
+            return 1;
+          }
+          offsets[s] += take;
+          fed = true;
+        }
+      }
+      for (const size_t id : ids) {
+        if (!session.CloseShard(id).ok()) {
+          std::fprintf(stderr, "session close failed\n");
+          return 1;
+        }
+      }
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      auto ingested = session.num_reports(0);
+      if (!ingested.ok() || ingested.value() != reports) {
+        std::fprintf(stderr, "session ingest dropped reports\n");
+        return 1;
+      }
+
+      SweepResult result;
+      result.kind = "session";
+      result.oracle = "OUE";
+      result.shards = kSessionShards;
+      result.threads = session_threads;
+      result.bytes_per_report =
+          static_cast<double>(total_bytes) / static_cast<double>(reports);
+      result.seconds = seconds;
+      result.reports_per_sec = static_cast<double>(reports) / seconds;
+      result.mib_per_sec =
+          static_cast<double>(total_bytes) / seconds / (1024.0 * 1024.0);
+      results.push_back(result);
+      std::printf("%-8s %8zu %8u %10.1f %10.3f %14.0f %10.1f\n", "SESSION",
+                  result.shards, result.threads, result.bytes_per_report,
+                  result.seconds, result.reports_per_sec, result.mib_per_sec);
+    }
   }
 
   // Machine-readable trend line.

@@ -1,5 +1,6 @@
 #include "api/server_session.h"
 
+#include <algorithm>
 #include <fstream>
 #include <istream>
 #include <sstream>
@@ -134,8 +135,16 @@ ServerSession::ServerSession(
     PrivacyAccountant accountant, ServerSessionOptions options)
     : state_(std::move(state)),
       accountant_(std::move(accountant)),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      mutex_(std::make_unique<std::mutex>()) {
   epochs_.push_back(NewEpochAggregate());
+  // A zero bound would make the backpressure wait unsatisfiable (nothing
+  // would ever be queued for workers to consume).
+  options_.max_pending_feed_bytes =
+      std::max<size_t>(1, options_.max_pending_feed_bytes);
+  if (options_.ingest_threads >= 2) {
+    pool_ = std::make_unique<ThreadPool>(options_.ingest_threads);
+  }
 }
 
 std::unique_ptr<stream::AggregatorHandle> ServerSession::NewEpochAggregate()
@@ -148,6 +157,11 @@ std::unique_ptr<stream::AggregatorHandle> ServerSession::NewEpochAggregate()
 }
 
 Status ServerSession::AdvanceEpoch() {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return AdvanceEpochLocked();
+}
+
+Status ServerSession::AdvanceEpochLocked() {
   if (open_shards_ > 0) {
     return Status::FailedPrecondition(
         "close every shard before advancing the epoch");
@@ -162,36 +176,126 @@ Status ServerSession::AdvanceEpoch() {
 }
 
 double ServerSession::epsilon_spent() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
   return accountant_.Spent(kPopulationUser);
 }
 
+PrivacyAccountant ServerSession::accountant() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return accountant_;
+}
+
 size_t ServerSession::OpenShard() {
+  std::lock_guard<std::mutex> lock(*mutex_);
   ShardState shard;
   shard.ingester = std::make_unique<stream::ShardIngester>(
       NewEpochAggregate(), options_.ingest);
+  if (pool_ != nullptr) {
+    shard.async = std::make_shared<AsyncShardState>();
+  }
   shards_.push_back(std::move(shard));
   ++open_shards_;
   return shards_.size() - 1;
 }
 
+void ServerSession::DrainShard(size_t shard) const {
+  if (pool_ != nullptr) pool_->WaitSerial(shard);
+}
+
 Status ServerSession::Feed(size_t shard, const char* data, size_t size) {
+  // pool_ is immutable after construction, so the mode check needs no lock.
+  if (pool_ == nullptr) {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    return FeedLocked(shard, data, size);
+  }
+  // Concurrent path: the chunk copy — what lets the caller reuse its buffer
+  // immediately — happens before the session lock, so producers feeding
+  // different shards only serialize on the O(1) enqueue, not the memcpy.
+  std::string chunk(data, size);
+  // Grab the shard's flow-control block (and fail fast on a bad id).
+  std::shared_ptr<AsyncShardState> async;
+  {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    if (shard >= shards_.size()) {
+      return Status::OutOfRange("unknown shard id");
+    }
+    if (shards_[shard].ingester == nullptr) {
+      return Status::FailedPrecondition("shard is already closed");
+    }
+    async = shards_[shard].async;
+  }
+  // Backpressure, outside every session lock so other shards keep flowing:
+  // wait until the shard's queued bytes drop below the bound (workers only
+  // consume, so the wait always terminates — a drain or poisoned stream
+  // empties the queue quickly).
+  {
+    std::unique_lock<std::mutex> flow(async->mutex);
+    async->capacity.wait(flow, [&] {
+      return async->pending_bytes < options_.max_pending_feed_bytes;
+    });
+    // Surface a previously recorded worker-side framing error (sticky,
+    // like the synchronous Feed).
+    if (!async->status.ok()) return async->status;
+  }
+  std::lock_guard<std::mutex> lock(*mutex_);
+  // Re-validate: the shard may have been closed while we waited.
+  ShardState& state = shards_[shard];
+  if (state.ingester == nullptr) {
+    return Status::FailedPrecondition("shard is already closed");
+  }
+  stream::ShardIngester* ingester = state.ingester.get();
+  {
+    std::lock_guard<std::mutex> flow(async->mutex);
+    if (!async->status.ok()) return async->status;
+    async->pending_bytes += chunk.size();
+  }
+  // Enqueue on the shard's serial queue — per-shard FIFO keeps the byte
+  // stream intact.
+  pool_->SubmitSerial(shard, [ingester, async, chunk = std::move(chunk)] {
+    const Status fed = ingester->Feed(chunk.data(), chunk.size());
+    std::lock_guard<std::mutex> flow(async->mutex);
+    if (!fed.ok() && async->status.ok()) async->status = fed;
+    async->pending_bytes -= chunk.size();
+    async->capacity.notify_all();
+  });
+  return Status::OK();
+}
+
+Status ServerSession::FeedLocked(size_t shard, const char* data, size_t size) {
   if (shard >= shards_.size()) {
     return Status::OutOfRange("unknown shard id");
   }
-  if (shards_[shard].ingester == nullptr) {
+  ShardState& state = shards_[shard];
+  if (state.ingester == nullptr) {
     return Status::FailedPrecondition("shard is already closed");
   }
-  return shards_[shard].ingester->Feed(data, size);
+  return state.ingester->Feed(data, size);
 }
 
 Status ServerSession::CloseShard(size_t shard) {
+  std::unique_lock<std::mutex> lock(*mutex_);
   if (shard >= shards_.size()) {
     return Status::OutOfRange("unknown shard id");
   }
-  std::unique_ptr<stream::ShardIngester>& ingester = shards_[shard].ingester;
+  // Detach the ingester first: racing Feed calls on this shard now get
+  // "already closed" instead of enqueueing behind the drain, so after
+  // DrainShard the ingester is quiescent and owned by this thread. The
+  // shard still counts as open (AdvanceEpoch keeps refusing) until the
+  // merge below commits.
+  std::unique_ptr<stream::ShardIngester> ingester =
+      std::move(shards_[shard].ingester);
   if (ingester == nullptr) {
     return Status::FailedPrecondition("shard is already closed");
   }
+  if (pool_ != nullptr) {
+    // Drain without the session lock: other shards' producers keep
+    // enqueueing while this shard's backlog decodes.
+    lock.unlock();
+    DrainShard(shard);
+    lock.lock();
+  }
+  // Finish() reports any framing error a worker hit (the ingester's status
+  // is sticky).
   const Status finished = ingester->Finish();
   shards_[shard].final_stats = ingester->stats();
   // A failed shard contributes nothing: its aggregate is discarded so one
@@ -200,7 +304,6 @@ Status ServerSession::CloseShard(size_t shard) {
   if (finished.ok()) {
     merged = epochs_.back()->Merge(ingester->handle());
   }
-  ingester.reset();
   --open_shards_;
   if (!finished.ok()) return finished;
   return merged;
@@ -208,23 +311,48 @@ Status ServerSession::CloseShard(size_t shard) {
 
 Result<stream::ShardIngester::Stats> ServerSession::ShardStats(
     size_t shard) const {
+  std::unique_lock<std::mutex> lock(*mutex_);
   if (shard >= shards_.size()) {
     return Status::OutOfRange("unknown shard id");
   }
-  if (shards_[shard].ingester != nullptr) {
-    return shards_[shard].ingester->stats();
+  if (shards_[shard].ingester == nullptr) {
+    return shards_[shard].final_stats;
   }
-  return shards_[shard].final_stats;
+  if (pool_ != nullptr) {
+    // Drain without the session lock (other shards keep flowing), then
+    // re-check: the shard may have been closed while unlocked.
+    lock.unlock();
+    DrainShard(shard);
+    lock.lock();
+    if (shards_[shard].ingester == nullptr) {
+      return shards_[shard].final_stats;
+    }
+  }
+  return shards_[shard].ingester->stats();
 }
 
 Status ServerSession::IngestStream(std::istream& in) {
   const size_t shard = OpenShard();
-  const Status ingested = shards_[shard].ingester->IngestStream(in);
-  if (!ingested.ok()) {
+  // Routed through the public Feed so a concurrent session decodes file
+  // chunks on its pool; each call takes the session mutex independently.
+  std::string chunk(64 * 1024, '\0');
+  Status fed = Status::OK();
+  while (in.good() && fed.ok()) {
+    in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+    const auto got = static_cast<size_t>(in.gcount());
+    if (got == 0) break;
+    fed = Feed(shard, chunk.data(), got);
+  }
+  if (in.bad()) fed = Status::IoError("read error on report stream");
+  if (!fed.ok()) {
+    // Abandon the shard without merging; mirror CloseShard's bookkeeping.
+    // This thread owns the shard, so draining before the lock is safe.
+    DrainShard(shard);
+    std::lock_guard<std::mutex> lock(*mutex_);
     shards_[shard].final_stats = shards_[shard].ingester->stats();
     shards_[shard].ingester.reset();
     --open_shards_;
-    return ingested;
+    return fed;
   }
   return CloseShard(shard);
 }
@@ -235,6 +363,11 @@ Status ServerSession::IngestInputs(const std::vector<std::string>& paths,
   if (paths.empty()) {
     return Status::InvalidArgument("no inputs to ingest");
   }
+  // Holds the session mutex end to end: inputs load on pool workers that
+  // never touch session state, and the ordered merge below must see a
+  // stable epoch table.
+  std::lock_guard<std::mutex> lock(*mutex_);
+  if (pool == nullptr) pool = pool_.get();
   // Phase 1, concurrent: every input is loaded into either a shard-sized
   // aggregate (report streams, single-epoch snapshots — via the shared
   // stream/parallel_ingest.h loaders) or its raw bytes (session snapshots,
@@ -333,7 +466,7 @@ Status ServerSession::IngestInputs(const std::vector<std::string>& paths,
     if (loaded[i].handle != nullptr) {
       merged = target->Merge(*loaded[i].handle);
     } else {
-      merged = Merge(loaded[i].session_bytes);
+      merged = MergeLocked(loaded[i].session_bytes);
     }
     if (!merged.ok()) {
       return Status(merged.code(),
@@ -344,6 +477,11 @@ Status ServerSession::IngestInputs(const std::vector<std::string>& paths,
 }
 
 Status ServerSession::Merge(const std::string& snapshot_bytes) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return MergeLocked(snapshot_bytes);
+}
+
+Status ServerSession::MergeLocked(const std::string& snapshot_bytes) {
   if (!LooksLikeSessionSnapshot(snapshot_bytes)) {
     return epochs_.back()->MergeEncodedSnapshot(snapshot_bytes);
   }
@@ -402,13 +540,14 @@ Status ServerSession::Merge(const std::string& snapshot_bytes) {
     return Status::InvalidArgument("trailing bytes after session snapshot");
   }
   for (uint32_t e = 0; e < peer_epochs; ++e) {
-    if (e >= epochs_.size()) LDP_RETURN_IF_ERROR(AdvanceEpoch());
+    if (e >= epochs_.size()) LDP_RETURN_IF_ERROR(AdvanceEpochLocked());
     LDP_RETURN_IF_ERROR(epochs_[e]->Merge(*staged[e]));
   }
   return Status::OK();
 }
 
 std::string ServerSession::Snapshot() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
   std::string out;
   PutU32(&out, kSessionSnapshotMagic);
   PutU16(&out, kSessionSnapshotVersion);
@@ -426,6 +565,16 @@ std::string ServerSession::Snapshot() const {
   return out;
 }
 
+uint32_t ServerSession::current_epoch() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return static_cast<uint32_t>(epochs_.size()) - 1;
+}
+
+uint32_t ServerSession::num_epochs() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return static_cast<uint32_t>(epochs_.size());
+}
+
 Status ServerSession::CheckEpoch(uint32_t epoch) const {
   if (epoch >= epochs_.size()) {
     return Status::OutOfRange("epoch has not been opened");
@@ -434,23 +583,27 @@ Status ServerSession::CheckEpoch(uint32_t epoch) const {
 }
 
 Result<uint64_t> ServerSession::num_reports(uint32_t epoch) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
   LDP_RETURN_IF_ERROR(CheckEpoch(epoch));
   return epochs_[epoch]->num_reports();
 }
 
 Result<double> ServerSession::EstimateMean(uint32_t attribute,
                                            uint32_t epoch) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
   LDP_RETURN_IF_ERROR(CheckEpoch(epoch));
   return epochs_[epoch]->EstimateMean(attribute);
 }
 
 Result<std::vector<double>> ServerSession::EstimateFrequencies(
     uint32_t attribute, uint32_t epoch) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
   LDP_RETURN_IF_ERROR(CheckEpoch(epoch));
   return epochs_[epoch]->EstimateFrequencies(attribute);
 }
 
 Result<PipelineEstimates> ServerSession::Estimate(uint32_t epoch) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
   LDP_RETURN_IF_ERROR(CheckEpoch(epoch));
   PipelineEstimates estimates;
   estimates.num_reports = epochs_[epoch]->num_reports();

@@ -13,6 +13,20 @@
 // sharded session whose shard boundaries match util/threadpool.h SplitRange
 // reproduces the in-process Pipeline::Collect run bit for bit.
 //
+// Concurrency: with ServerSessionOptions::ingest_threads >= 2 the session
+// owns a util::ThreadPool and Feed becomes asynchronous — each open shard is
+// a serial queue keyed by its shard id, so chunks of one shard decode in
+// Feed-call order (the stream stays intact) while different shards decode
+// concurrently. CloseShard and ShardStats are the drain points: they block
+// until the shard's queued chunks are consumed. Because per-shard byte order
+// is preserved and shard aggregates still merge on the calling thread in
+// CloseShard order, a concurrent session is bit-identical to the serial one
+// at every thread count — snapshots and estimates included. The whole public
+// surface is additionally thread-safe (one internal mutex), so multiple
+// producer threads may feed disjoint shards; calls targeting the *same*
+// shard must still be externally ordered, or "per-shard FIFO" has no
+// meaning.
+//
 // Accounting model: every user in the population reports once per epoch, so
 // the per-user ε spend is the same for the whole population; the accountant
 // tracks it under one representative key and charges the config's ε when an
@@ -23,9 +37,11 @@
 #ifndef LDP_API_SERVER_SESSION_H_
 #define LDP_API_SERVER_SESSION_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -71,6 +87,17 @@ Result<SessionSnapshotConfig> DecodeSessionSnapshotConfig(
 struct ServerSessionOptions {
   /// Per-shard framing/rejection policy (stream/shard_ingester.h).
   stream::ShardIngester::Options ingest;
+  /// Workers decoding open shards concurrently within an epoch. At <= 1 the
+  /// session is fully synchronous (the historical behavior); at >= 2 it owns
+  /// a ThreadPool and Feed enqueues chunks on the shard's serial queue. The
+  /// thread count never changes results — only throughput.
+  unsigned ingest_threads = 0;
+  /// Backpressure bound for concurrent sessions: Feed blocks (without
+  /// holding the session lock) while a shard has at least this many bytes
+  /// queued undecoded, so a producer outrunning the pool cannot buffer a
+  /// whole shard in memory. One chunk may overshoot the bound; 1
+  /// effectively serializes Feed with the decode, and 0 is treated as 1.
+  size_t max_pending_feed_bytes = 8u << 20;
 };
 
 class ServerSession {
@@ -78,14 +105,10 @@ class ServerSession {
   // --- epochs ------------------------------------------------------------
 
   /// The epoch currently receiving reports (0-based).
-  uint32_t current_epoch() const {
-    return static_cast<uint32_t>(epochs_.size()) - 1;
-  }
+  uint32_t current_epoch() const;
 
   /// Epochs materialized so far (current included).
-  uint32_t num_epochs() const {
-    return static_cast<uint32_t>(epochs_.size());
-  }
+  uint32_t num_epochs() const;
 
   /// Closes the current epoch and opens the next, charging its ε to the
   /// accountant. Fails (and opens nothing) while shards are still open, or
@@ -95,7 +118,9 @@ class ServerSession {
   /// Total per-user ε spent across the epochs opened so far.
   double epsilon_spent() const;
 
-  const PrivacyAccountant& accountant() const { return accountant_; }
+  /// A consistent copy of the accountant's state at the time of the call
+  /// (by value so it stays coherent while other threads advance epochs).
+  PrivacyAccountant accountant() const;
 
   // --- feeding the current epoch -----------------------------------------
 
@@ -106,27 +131,37 @@ class ServerSession {
   size_t OpenShard();
 
   /// Feeds `size` bytes of shard `shard`'s stream; chunks may be arbitrary.
+  /// Synchronous sessions consume in place and return the shard's sticky
+  /// stream status. Concurrent sessions copy the chunk, enqueue it on the
+  /// shard's serial queue, and return OK; a framing error discovered on a
+  /// worker makes *later* Feed calls on that shard return it, and CloseShard
+  /// always reports it.
   Status Feed(size_t shard, const char* data, size_t size);
   Status Feed(size_t shard, const std::string& bytes) {
     return Feed(shard, bytes.data(), bytes.size());
   }
 
   /// Declares end-of-stream on shard `shard` and folds its aggregate into
-  /// the current epoch. Shard aggregates merge in CloseShard order.
+  /// the current epoch. Shard aggregates merge in CloseShard order. On a
+  /// concurrent session this is a drain point: it blocks until the shard's
+  /// queued chunks are decoded (without stalling other shards' Feed
+  /// calls), then merges on the calling thread.
   Status CloseShard(size_t shard);
 
   /// Per-shard framing/decoding statistics (valid for open or closed
-  /// shards, any epoch).
+  /// shards, any epoch). A drain point on concurrent sessions, like
+  /// CloseShard, so the stats cover every chunk fed before the call.
   Result<stream::ShardIngester::Stats> ShardStats(size_t shard) const;
 
   /// Convenience one-shot shard: ingests `in` to completion and folds it in.
   Status IngestStream(std::istream& in);
 
-  /// Ingests a set of shard inputs concurrently on `pool` (inline when
-  /// null) and merges them IN ARGUMENT ORDER — report streams and
-  /// single-epoch snapshots into the current epoch, session snapshots
-  /// epoch-aligned. Fails on the first input (in order) that errors;
-  /// `summary`, when non-null, is filled either way.
+  /// Ingests a set of shard inputs concurrently on `pool` (falling back to
+  /// the session's own ingest pool, then to inline, when null) and merges
+  /// them IN ARGUMENT ORDER — report streams and single-epoch snapshots
+  /// into the current epoch, session snapshots epoch-aligned. Fails on the
+  /// first input (in order) that errors; `summary`, when non-null, is
+  /// filled either way.
   Status IngestInputs(const std::vector<std::string>& paths, ThreadPool* pool,
                       stream::MultiShardSummary* summary = nullptr);
 
@@ -161,9 +196,22 @@ class ServerSession {
  private:
   friend class Pipeline;
 
+  /// A concurrent shard's flow-control block: the sticky framing error its
+  /// worker tasks surface to later Feed calls, and the queued-byte count
+  /// behind Options::max_pending_feed_bytes. Heap-allocated with its own
+  /// lock so workers can touch it while the session mutex is held by a
+  /// drain (CloseShard), and so its address survives shards_ reallocation.
+  struct AsyncShardState {
+    std::mutex mutex;
+    Status status = Status::OK();
+    size_t pending_bytes = 0;
+    std::condition_variable capacity;  // signalled as workers consume
+  };
+
   struct ShardState {
     std::unique_ptr<stream::ShardIngester> ingester;  // null once closed
     stream::ShardIngester::Stats final_stats;         // filled at close
+    std::shared_ptr<AsyncShardState> async;           // concurrent mode only
   };
 
   ServerSession(std::shared_ptr<const internal_api::PipelineState> state,
@@ -174,12 +222,34 @@ class ServerSession {
 
   Status CheckEpoch(uint32_t epoch) const;
 
+  // The public methods lock mutex_ and delegate to these; Merge recurses
+  // into AdvanceEpoch, so both need lock-free bodies.
+  Status AdvanceEpochLocked();
+  Status FeedLocked(size_t shard, const char* data, size_t size);
+  Status MergeLocked(const std::string& snapshot_bytes);
+
+  /// Blocks until shard `shard`'s queued chunks are decoded (no-op on
+  /// synchronous sessions). Callers drop mutex_ for the wait so other
+  /// shards keep flowing, though holding it would not deadlock — worker
+  /// tasks never take it.
+  void DrainShard(size_t shard) const;
+
   std::shared_ptr<const internal_api::PipelineState> state_;
   PrivacyAccountant accountant_;
   ServerSessionOptions options_;
+  /// Guards everything below plus accountant_. Worker tasks touch only
+  /// their shard's ingester and AsyncShardError, never this mutex, so drain
+  /// points may hold it while waiting. Heap-allocated to keep the session
+  /// movable (Result<ServerSession> moves it); moving a session with feeds
+  /// in flight is safe — tasks reference only heap state.
+  std::unique_ptr<std::mutex> mutex_;
   std::vector<std::unique_ptr<stream::AggregatorHandle>> epochs_;
   std::vector<ShardState> shards_;  // every shard ever opened (ids stable)
   size_t open_shards_ = 0;
+  /// Decodes open shards when options_.ingest_threads >= 2; null otherwise.
+  /// Declared last so it is destroyed FIRST: its destructor drains and
+  /// joins, so no queued task can outlive the shard table above.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace ldp::api

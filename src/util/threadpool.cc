@@ -33,6 +33,55 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_available_.notify_one();
 }
 
+void ThreadPool::SubmitSerial(uint64_t key, std::function<void()> task) {
+  bool spawn_drainer = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    LDP_CHECK_MSG(!shutting_down_, "SubmitSerial after shutdown");
+    SerialQueue& queue = serial_[key];
+    queue.pending.push(std::move(task));
+    if (!queue.running) {
+      queue.running = true;
+      spawn_drainer = true;
+      // The drainer is one ordinary pool task that works the key's queue
+      // until empty; it counts toward in_flight_ for the whole time, so
+      // Wait() covers serial work too. Enqueued in the SAME critical
+      // section as the push: a concurrent Wait() must never observe the
+      // serial task without its drainer in flight.
+      tasks_.push([this, key] { DrainSerial(key); });
+      ++in_flight_;
+    }
+  }
+  if (spawn_drainer) task_available_.notify_one();
+}
+
+void ThreadPool::DrainSerial(uint64_t key) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      const auto it = serial_.find(key);
+      LDP_CHECK(it != serial_.end());
+      if (it->second.pending.empty()) {
+        // Erasing the drained entry keeps the map bounded by the number of
+        // *active* keys (shard ids grow without bound across epochs).
+        serial_.erase(it);
+        serial_done_.notify_all();
+        return;
+      }
+      task = std::move(it->second.pending.front());
+      it->second.pending.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::WaitSerial(uint64_t key) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  serial_done_.wait(lock,
+                    [this, key] { return serial_.count(key) == 0; });
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });

@@ -2,6 +2,14 @@
 // simulation harnesses to perturb large user populations concurrently; each
 // chunk receives its own forked Rng so results stay deterministic for a fixed
 // seed and thread count.
+//
+// Besides the plain FIFO queue, the pool offers keyed *serial queues*
+// (SubmitSerial / WaitSerial): tasks sharing a key run one at a time in
+// submission order, while tasks under different keys run concurrently. This
+// is the primitive behind concurrent intra-epoch shard ingestion — each open
+// shard of an api::ServerSession is a serial queue keyed by its shard id, so
+// per-shard byte order (and therefore the decoded stream) is preserved no
+// matter how many workers the pool runs.
 
 #ifndef LDP_UTIL_THREADPOOL_H_
 #define LDP_UTIL_THREADPOOL_H_
@@ -12,6 +20,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace ldp {
@@ -31,20 +40,46 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Enqueues a task on the serial queue `key`: tasks under one key execute
+  /// one at a time in submission order (FIFO), tasks under different keys
+  /// execute concurrently. A serial queue occupies at most one worker at a
+  /// time, so long-running queues cannot starve each other as long as keys
+  /// do not outnumber workers.
+  void SubmitSerial(uint64_t key, std::function<void()> task);
+
+  /// Blocks until every task submitted on serial queue `key` has finished.
+  /// Returns immediately for keys that were never used. New SubmitSerial
+  /// calls on `key` from other threads during the wait postpone the return.
+  void WaitSerial(uint64_t key);
+
+  /// Blocks until every submitted task has finished (serial queues
+  /// included).
   void Wait();
 
   /// Number of worker threads.
   unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
 
  private:
+  /// Runs serial queue `key` until it is momentarily empty. Executes on a
+  /// worker; at most one drainer per key is ever in flight.
+  void DrainSerial(uint64_t key);
+
   void WorkerLoop();
+
+  /// One keyed serial queue: its pending tasks, and whether a drainer task
+  /// is currently claiming a worker for it.
+  struct SerialQueue {
+    std::queue<std::function<void()>> pending;
+    bool running = false;
+  };
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
+  std::unordered_map<uint64_t, SerialQueue> serial_;
   std::mutex mutex_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
+  std::condition_variable serial_done_;
   uint64_t in_flight_ = 0;
   bool shutting_down_ = false;
 };

@@ -1,0 +1,437 @@
+// Adversarial frame corpus for the stream stack, replayed through
+// api::ServerSession::Feed serially AND concurrently: a table of truncated,
+// oversized, bit-flipped, and protocol-mismatched mutations of valid mixed
+// and numeric streams. The contract under attack: payload-level corruption
+// only advances the `rejected` counter (honest frames in the same shard
+// still count), framing/header-level corruption poisons exactly its own
+// shard (which then contributes nothing), and a concurrent session produces
+// byte-identical snapshots and stats to the serial one even on hostile
+// input. The TSan CI job runs this file too.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/pipeline.h"
+#include "api/server_session.h"
+#include "core/mixed_collector.h"
+#include "core/wire.h"
+#include "stream/report_stream.h"
+#include "stream_test_util.h"
+#include "util/threadpool.h"
+
+namespace ldp {
+namespace {
+
+constexpr double kEpsilon = 4.0;
+constexpr uint64_t kReports = 40;
+constexpr uint64_t kSeed = 33;
+
+// Stream header field offsets (stream/report_stream.h layout).
+constexpr size_t kMagicOffset = 0;
+constexpr size_t kVersionOffset = 4;
+constexpr size_t kEpsilonOffset = 9;
+constexpr size_t kSchemaHashOffset = 25;
+
+enum class Outcome {
+  /// Framing/header violation: the shard fails at Feed or CloseShard and
+  /// contributes nothing to the epoch.
+  kPoisoned,
+  /// Payload violations only: the shard closes cleanly, `rejected` counts
+  /// the corrupt frames, every honest frame is accepted.
+  kRejects,
+};
+
+struct CorpusCase {
+  const char* name;
+  Outcome outcome;
+  /// Frames whose payload is rejected (kRejects cases).
+  uint64_t expected_rejected;
+  /// Honest frames still accepted by the shard's *stats* (poisoned shards
+  /// accept frames pre-poison too — they just never reach the epoch).
+  uint64_t expected_accepted;
+  std::string (*mutate)(const std::string& honest);
+};
+
+// --- mutations -------------------------------------------------------------
+
+std::string TruncatedHeader(const std::string& honest) {
+  return honest.substr(0, stream::kStreamHeaderBytes / 2);
+}
+
+std::string BadMagic(const std::string& honest) {
+  std::string bytes = honest;
+  bytes[kMagicOffset] = static_cast<char>(bytes[kMagicOffset] ^ 0x01);
+  return bytes;
+}
+
+std::string BadVersion(const std::string& honest) {
+  std::string bytes = honest;
+  bytes[kVersionOffset] = static_cast<char>(0xFF);
+  bytes[kVersionOffset + 1] = static_cast<char>(0xFF);
+  return bytes;
+}
+
+std::string SchemaHashFlip(const std::string& honest) {
+  std::string bytes = honest;
+  bytes[kSchemaHashOffset] = static_cast<char>(bytes[kSchemaHashOffset] ^ 0xFF);
+  return bytes;
+}
+
+std::string EpsilonMismatch(const std::string& honest) {
+  std::string bytes = honest;
+  const double wrong = kEpsilon + 1.0;
+  uint64_t bits = 0;
+  std::memcpy(&bits, &wrong, sizeof(bits));
+  for (size_t i = 0; i < 8; ++i) {
+    bytes[kEpsilonOffset + i] = static_cast<char>(bits >> (8 * i));
+  }
+  return bytes;
+}
+
+std::string OversizedFirstFrameLength(const std::string& honest) {
+  std::string bytes = honest;
+  const uint32_t hostile = stream::kMaxFrameBytes + 1;
+  for (size_t i = 0; i < 4; ++i) {
+    bytes[stream::kStreamHeaderBytes + i] =
+        static_cast<char>(hostile >> (8 * i));
+  }
+  return bytes;
+}
+
+std::string TruncatedFinalFrame(const std::string& honest) {
+  return honest.substr(0, honest.size() - 3);
+}
+
+std::string TrailingPartialLengthPrefix(const std::string& honest) {
+  return honest + std::string(2, '\x05');
+}
+
+// Overwrites the first frame's first entry attribute index with 0xFFFFFFFF
+// — a "bit-flip" guaranteed to fail range validation whatever the schema.
+std::string BitFlippedAttribute(const std::string& honest) {
+  std::string bytes = honest;
+  // header | u32 frame length | u16 entry_count | u32 attribute ...
+  const size_t attribute_offset = stream::kStreamHeaderBytes + 4 + 2;
+  for (size_t i = 0; i < 4; ++i) {
+    bytes[attribute_offset + i] = static_cast<char>(0xFF);
+  }
+  return bytes;
+}
+
+// Shortens the first frame's payload by one byte (fixing the length prefix
+// so the framing stays intact): the payload decode is what fails.
+std::string TruncatedFirstPayload(const std::string& honest) {
+  const char* data = honest.data() + stream::kStreamHeaderBytes;
+  const uint32_t length = internal_wire::LoadLittleEndian<uint32_t>(data);
+  EXPECT_GT(length, 0u);
+  std::string bytes = honest.substr(0, stream::kStreamHeaderBytes);
+  const uint32_t shortened = length - 1;
+  for (size_t i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<char>(shortened >> (8 * i)));
+  }
+  bytes.append(honest, stream::kStreamHeaderBytes + 4, shortened);
+  bytes.append(honest, stream::kStreamHeaderBytes + 4 + length,
+               std::string::npos);
+  return bytes;
+}
+
+std::string ZeroLengthFrameInserted(const std::string& honest) {
+  std::string bytes = honest.substr(0, stream::kStreamHeaderBytes);
+  bytes.append(4, '\0');  // u32 length 0, empty payload
+  bytes.append(honest, stream::kStreamHeaderBytes, std::string::npos);
+  return bytes;
+}
+
+std::string GarbageFrameAppended(const std::string& honest) {
+  std::string bytes = honest;
+  EXPECT_TRUE(stream::AppendFrame(std::string(5, '\xFF'), &bytes).ok());
+  return bytes;
+}
+
+const CorpusCase kCorpus[] = {
+    {"truncated-header", Outcome::kPoisoned, 0, 0, TruncatedHeader},
+    {"bad-magic", Outcome::kPoisoned, 0, 0, BadMagic},
+    {"bad-version", Outcome::kPoisoned, 0, 0, BadVersion},
+    {"schema-hash-flip", Outcome::kPoisoned, 0, 0, SchemaHashFlip},
+    {"epsilon-mismatch", Outcome::kPoisoned, 0, 0, EpsilonMismatch},
+    {"oversized-frame-length", Outcome::kPoisoned, 0, 0,
+     OversizedFirstFrameLength},
+    {"truncated-final-frame", Outcome::kPoisoned, 0, kReports - 1,
+     TruncatedFinalFrame},
+    {"trailing-partial-length", Outcome::kPoisoned, 0, kReports,
+     TrailingPartialLengthPrefix},
+    {"bit-flipped-attribute", Outcome::kRejects, 1, kReports - 1,
+     BitFlippedAttribute},
+    {"truncated-first-payload", Outcome::kRejects, 1, kReports - 1,
+     TruncatedFirstPayload},
+    {"zero-length-frame", Outcome::kRejects, 1, kReports,
+     ZeroLengthFrameInserted},
+    {"garbage-frame-appended", Outcome::kRejects, 1, kReports,
+     GarbageFrameAppended},
+};
+
+// --- fixtures --------------------------------------------------------------
+
+api::Pipeline MakePipeline(bool numeric) {
+  auto schema =
+      numeric
+          ? data::Schema::Create({data::ColumnSpec::Numeric("a", -1, 1),
+                                  data::ColumnSpec::Numeric("b", -1, 1)})
+          : data::Schema::Create(
+                {data::ColumnSpec::Numeric("income", -1, 1),
+                 data::ColumnSpec::Categorical("sector", 4),
+                 data::ColumnSpec::Numeric("age", -1, 1)});
+  EXPECT_TRUE(schema.ok());
+  auto config = api::PipelineConfig::FromSchema(schema.value(), kEpsilon);
+  EXPECT_TRUE(config.ok());
+  auto pipeline = api::Pipeline::Create(std::move(config).value());
+  EXPECT_TRUE(pipeline.ok());
+  return std::move(pipeline).value();
+}
+
+// One honest shard stream of kReports perturbed reports.
+std::string HonestStream(const api::Pipeline& pipeline, uint64_t seed) {
+  auto client = pipeline.NewClient();
+  EXPECT_TRUE(client.ok());
+  std::string bytes = client.value().EncodeHeader();
+  for (uint64_t row = 0; row < kReports; ++row) {
+    Rng rng = api::UserRng(seed, row);
+    Result<std::string> payload =
+        [&]() -> Result<std::string> {
+      if (pipeline.stream_kind() ==
+          stream::ReportStreamKind::kSampledNumeric) {
+        return client.value().EncodeReport(std::vector<double>{0.5, -0.5},
+                                           &rng);
+      }
+      MixedTuple tuple(3);
+      tuple[0] = AttributeValue::Numeric(0.25);
+      tuple[1] = AttributeValue::Categorical(row % 4);
+      tuple[2] = AttributeValue::Numeric(-0.75);
+      return client.value().EncodeReport(tuple, &rng);
+    }();
+    EXPECT_TRUE(payload.ok());
+    EXPECT_TRUE(stream::AppendFrame(payload.value(), &bytes).ok());
+  }
+  return bytes;
+}
+
+using ldp::testing::FeedShardsInterleaved;
+
+// Feeds `bytes` into shard `shard` in pseudo-random chunks, ignoring the
+// per-call status (poisoned shards return sticky errors mid-way; the close
+// status is the verdict that matters).
+void FeedChunked(api::ServerSession* session, size_t shard,
+                 const std::string& bytes, uint64_t chunk_seed) {
+  (void)FeedShardsInterleaved(session, {shard}, {&bytes}, chunk_seed,
+                              /*max_chunk=*/256);
+}
+
+struct ShardVerdict {
+  Status close_status;
+  stream::ShardIngester::Stats stats;
+};
+
+// Replays the full corpus plus two honest shards into one session, all
+// shards interleaved, and returns per-corpus-case verdicts (honest shards
+// are asserted inline).
+std::vector<ShardVerdict> ReplayCorpus(api::ServerSession* session,
+                                       const std::vector<std::string>& mutants,
+                                       const std::string& honest,
+                                       uint64_t chunk_seed) {
+  const size_t n = mutants.size();
+  std::vector<size_t> ids(n + 2);
+  for (size_t i = 0; i < n + 2; ++i) ids[i] = session->OpenShard();
+
+  // Interleave every shard's chunks round-robin so hostile bytes decode
+  // concurrently with honest ones; hostile sticky errors are expected.
+  std::vector<const std::string*> streams;
+  for (const std::string& mutant : mutants) streams.push_back(&mutant);
+  streams.push_back(&honest);
+  streams.push_back(&honest);
+  (void)FeedShardsInterleaved(session, ids, streams, chunk_seed,
+                              /*max_chunk=*/256);
+
+  std::vector<ShardVerdict> verdicts(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto stats = session->ShardStats(ids[i]);
+    EXPECT_TRUE(stats.ok());
+    verdicts[i].stats = stats.value();
+    verdicts[i].close_status = session->CloseShard(ids[i]);
+  }
+  // Honest shards close cleanly whatever the corpus did around them.
+  for (size_t i = n; i < n + 2; ++i) {
+    auto stats = session->ShardStats(ids[i]);
+    EXPECT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().accepted, kReports);
+    EXPECT_EQ(stats.value().rejected, 0u);
+    EXPECT_TRUE(session->CloseShard(ids[i]).ok());
+  }
+  return verdicts;
+}
+
+void CheckVerdicts(const std::vector<ShardVerdict>& verdicts) {
+  for (size_t i = 0; i < verdicts.size(); ++i) {
+    const CorpusCase& test_case = kCorpus[i];
+    const ShardVerdict& verdict = verdicts[i];
+    if (test_case.outcome == Outcome::kPoisoned) {
+      EXPECT_FALSE(verdict.close_status.ok()) << test_case.name;
+    } else {
+      EXPECT_TRUE(verdict.close_status.ok())
+          << test_case.name << ": " << verdict.close_status.ToString();
+    }
+    EXPECT_EQ(verdict.stats.rejected, test_case.expected_rejected)
+        << test_case.name;
+    EXPECT_EQ(verdict.stats.accepted, test_case.expected_accepted)
+        << test_case.name;
+  }
+}
+
+TEST(StreamFuzzCorpusTest, CorpusOutcomesAreExactAndConcurrencyInvariant) {
+  const api::Pipeline pipeline = MakePipeline(/*numeric=*/false);
+  const std::string honest = HonestStream(pipeline, kSeed);
+  std::vector<std::string> mutants;
+  for (const CorpusCase& test_case : kCorpus) {
+    mutants.push_back(test_case.mutate(honest));
+  }
+
+  api::ServerSessionOptions serial;
+  auto serial_server = pipeline.NewServer(serial);
+  ASSERT_TRUE(serial_server.ok());
+  const std::vector<ShardVerdict> serial_verdicts =
+      ReplayCorpus(&serial_server.value(), mutants, honest, /*chunk_seed=*/1);
+  CheckVerdicts(serial_verdicts);
+  // Only the two honest shards and the non-poisoned mutants reached the
+  // epoch: corrupt frames are rejected, poisoned shards contribute nothing.
+  uint64_t expected_epoch_reports = 2 * kReports;
+  for (const CorpusCase& test_case : kCorpus) {
+    if (test_case.outcome == Outcome::kRejects) {
+      expected_epoch_reports += test_case.expected_accepted;
+    }
+  }
+  auto serial_reports = serial_server.value().num_reports(0);
+  ASSERT_TRUE(serial_reports.ok());
+  EXPECT_EQ(serial_reports.value(), expected_epoch_reports);
+
+  for (const unsigned threads : {2u, 8u}) {
+    api::ServerSessionOptions options;
+    options.ingest_threads = threads;
+    auto server = pipeline.NewServer(options);
+    ASSERT_TRUE(server.ok());
+    const std::vector<ShardVerdict> verdicts = ReplayCorpus(
+        &server.value(), mutants, honest, /*chunk_seed=*/100 + threads);
+    CheckVerdicts(verdicts);
+    for (size_t i = 0; i < verdicts.size(); ++i) {
+      EXPECT_EQ(verdicts[i].close_status.code(),
+                serial_verdicts[i].close_status.code())
+          << kCorpus[i].name;
+      EXPECT_EQ(verdicts[i].stats.accepted, serial_verdicts[i].stats.accepted)
+          << kCorpus[i].name;
+      EXPECT_EQ(verdicts[i].stats.rejected, serial_verdicts[i].stats.rejected)
+          << kCorpus[i].name;
+      EXPECT_EQ(verdicts[i].stats.frames, serial_verdicts[i].stats.frames)
+          << kCorpus[i].name;
+    }
+    // The whole epoch state — honest totals included — is byte-identical
+    // to the serial replay.
+    EXPECT_EQ(server.value().Snapshot(), serial_server.value().Snapshot())
+        << "ingest_threads=" << threads;
+  }
+}
+
+TEST(StreamFuzzCorpusTest, RejectionBudgetPoisonsGarbageHeavyShards) {
+  const api::Pipeline pipeline = MakePipeline(/*numeric=*/false);
+  const std::string honest = HonestStream(pipeline, kSeed);
+  // Three corrupt frames, budget of two: the shard must fail even though
+  // each rejection alone is tolerable.
+  std::string hostile = honest;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(stream::AppendFrame(std::string(4, '\xEE'), &hostile).ok());
+  }
+  api::ServerSessionOptions options;
+  options.ingest_threads = 2;
+  options.ingest.max_rejected = 2;
+  auto server = pipeline.NewServer(options);
+  ASSERT_TRUE(server.ok());
+  const size_t shard = server.value().OpenShard();
+  FeedChunked(&server.value(), shard, hostile, /*chunk_seed=*/3);
+  EXPECT_FALSE(server.value().CloseShard(shard).ok());
+  auto reports = server.value().num_reports(0);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(reports.value(), 0u);
+}
+
+TEST(StreamFuzzCorpusTest, StrictModePoisonsOnFirstRejectedPayload) {
+  const api::Pipeline pipeline = MakePipeline(/*numeric=*/false);
+  const std::string honest = HonestStream(pipeline, kSeed);
+  api::ServerSessionOptions options;
+  options.ingest_threads = 2;
+  options.ingest.strict = true;
+  auto server = pipeline.NewServer(options);
+  ASSERT_TRUE(server.ok());
+  const size_t shard = server.value().OpenShard();
+  FeedChunked(&server.value(), shard, BitFlippedAttribute(honest),
+              /*chunk_seed=*/4);
+  EXPECT_FALSE(server.value().CloseShard(shard).ok());
+  auto reports = server.value().num_reports(0);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(reports.value(), 0u);
+}
+
+TEST(StreamFuzzCorpusTest, NumericStreamCorpusBehavesLikeMixed) {
+  const api::Pipeline pipeline = MakePipeline(/*numeric=*/true);
+  ASSERT_EQ(pipeline.stream_kind(), stream::ReportStreamKind::kSampledNumeric);
+  const std::string honest = HonestStream(pipeline, kSeed);
+
+  // The numeric frame decoder has its own validation path; replay the
+  // header/framing/payload corpus classes against it.
+  const struct {
+    const char* name;
+    Outcome outcome;
+    uint64_t expected_rejected;
+    std::string bytes;
+  } kNumericCases[] = {
+      {"schema-hash-flip", Outcome::kPoisoned, 0, SchemaHashFlip(honest)},
+      {"epsilon-mismatch", Outcome::kPoisoned, 0, EpsilonMismatch(honest)},
+      {"oversized-frame-length", Outcome::kPoisoned, 0,
+       OversizedFirstFrameLength(honest)},
+      {"truncated-final-frame", Outcome::kPoisoned, 0,
+       TruncatedFinalFrame(honest)},
+      {"bit-flipped-attribute", Outcome::kRejects, 1,
+       BitFlippedAttribute(honest)},
+      {"zero-length-frame", Outcome::kRejects, 1,
+       ZeroLengthFrameInserted(honest)},
+  };
+
+  for (const unsigned threads : {0u, 4u}) {
+    api::ServerSessionOptions options;
+    options.ingest_threads = threads;
+    auto server = pipeline.NewServer(options);
+    ASSERT_TRUE(server.ok());
+    for (const auto& test_case : kNumericCases) {
+      const size_t shard = server.value().OpenShard();
+      FeedChunked(&server.value(), shard, test_case.bytes,
+                  /*chunk_seed=*/50 + threads);
+      const Status closed = server.value().CloseShard(shard);
+      auto stats = server.value().ShardStats(shard);
+      ASSERT_TRUE(stats.ok());
+      if (test_case.outcome == Outcome::kPoisoned) {
+        EXPECT_FALSE(closed.ok()) << test_case.name;
+      } else {
+        EXPECT_TRUE(closed.ok()) << test_case.name;
+        EXPECT_EQ(stats.value().rejected, test_case.expected_rejected)
+            << test_case.name;
+      }
+    }
+    // Only the kRejects shards contributed, minus their corrupt frames.
+    auto reports = server.value().num_reports(0);
+    ASSERT_TRUE(reports.ok());
+    EXPECT_EQ(reports.value(), (kReports - 1) + kReports);
+  }
+}
+
+}  // namespace
+}  // namespace ldp

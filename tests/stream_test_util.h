@@ -1,0 +1,56 @@
+// Shared driver for the concurrent-session test harness: round-robin
+// chunked shard feeding with deterministic pseudo-random chunk boundaries,
+// so frame boundaries straddle Feed calls and every shard's strand stays
+// busy at once. Used by concurrent_session_test.cc (honest streams) and
+// stream_fuzz_corpus_test.cc (hostile mutants).
+
+#ifndef LDP_TESTS_STREAM_TEST_UTIL_H_
+#define LDP_TESTS_STREAM_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/server_session.h"
+#include "util/status.h"
+
+namespace ldp::testing {
+
+/// A tiny deterministic chunk-size generator (LCG, upper bits).
+inline uint64_t NextLcg(uint64_t* state) {
+  *state = *state * 6364136223846793005ULL + 1442695040888963407ULL;
+  return *state >> 33;
+}
+
+/// Feeds streams[i] into session shard ids[i], all shards interleaved
+/// round-robin in pseudo-random chunks of 1..max_chunk bytes. Returns the
+/// first non-OK Feed status (hostile streams turn sticky mid-way; honest
+/// callers assert OK) while always feeding every stream to its end.
+inline Status FeedShardsInterleaved(
+    api::ServerSession* session, const std::vector<size_t>& ids,
+    const std::vector<const std::string*>& streams, uint64_t chunk_seed,
+    size_t max_chunk = 1024) {
+  Status first_error = Status::OK();
+  std::vector<size_t> offsets(streams.size(), 0);
+  uint64_t lcg = chunk_seed;
+  for (bool progressed = true; progressed;) {
+    progressed = false;
+    for (size_t s = 0; s < streams.size(); ++s) {
+      const size_t left = streams[s]->size() - offsets[s];
+      if (left == 0) continue;
+      const size_t take =
+          std::min<size_t>(left, 1 + NextLcg(&lcg) % max_chunk);
+      const Status fed =
+          session->Feed(ids[s], streams[s]->data() + offsets[s], take);
+      if (!fed.ok() && first_error.ok()) first_error = fed;
+      offsets[s] += take;
+      progressed = true;
+    }
+  }
+  return first_error;
+}
+
+}  // namespace ldp::testing
+
+#endif  // LDP_TESTS_STREAM_TEST_UTIL_H_

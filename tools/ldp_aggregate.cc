@@ -15,12 +15,13 @@
 //
 // Report streams and single-epoch snapshots fold into epoch 0; session
 // snapshots merge epoch by epoch. --epoch E prints only epoch E's
-// estimates (default: every epoch). Streams are ingested concurrently
-// across --threads workers but always reduced in argument order, so the
-// output is independent of scheduling: shards produced by ldp_report with
-// the same seed reproduce an in-process ldp_collect run exactly. With
-// --snapshot-out the full session state is written as a session snapshot,
-// enabling tree-shaped aggregation across server generations and epochs.
+// estimates (default: every epoch). --threads T gives the ServerSession a
+// T-worker ingest pool: inputs decode concurrently within the epoch but are
+// always reduced in argument order, so the output is independent of
+// scheduling and thread count — shards produced by ldp_report with the same
+// seed reproduce an in-process ldp_collect run exactly. With --snapshot-out
+// the full session state is written as a session snapshot, enabling
+// tree-shaped aggregation across server generations and epochs.
 
 #include <algorithm>
 #include <chrono>
@@ -220,6 +221,9 @@ int main(int argc, char** argv) {
   }
   api::ServerSessionOptions session_options;
   session_options.ingest = ingest_options;
+  // The session owns the ingest pool: IngestInputs falls back to it, and
+  // any future Feed-based transport would decode on the same workers.
+  session_options.ingest_threads = threads;
   auto server = pipeline.value().NewServer(session_options);
   if (!server.ok()) {
     std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
@@ -227,11 +231,9 @@ int main(int argc, char** argv) {
   }
   api::ServerSession& session = server.value();
 
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
   const auto started = std::chrono::steady_clock::now();
   stream::MultiShardSummary summary;
-  const Status ingested = session.IngestInputs(shard_paths, pool.get(),
+  const Status ingested = session.IngestInputs(shard_paths, nullptr,
                                                &summary);
   if (!ingested.ok()) {
     std::fprintf(stderr, "%s\n", ingested.ToString().c_str());
