@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Guards against silently-empty bench artifacts: every BENCH_*.json passed
+must parse, carry at least one run, and report nonzero reports/s per row.
+Used by the build-test and bench-release CI jobs."""
+import json
+import sys
+
+failed = False
+for name in sys.argv[1:]:
+    with open(name) as artifact:
+        data = json.load(artifact)
+    rows = data["runs"]
+    if not rows:
+        print(f"{name}: no bench rows")
+        failed = True
+        continue
+    for row in rows:
+        if not row["reports_per_sec"] > 0:
+            print(f"{name}: zero-throughput row {row}")
+            failed = True
+    print(f"{name}: {len(rows)} rows checked")
+if not sys.argv[1:]:
+    print("usage: check_bench_json.py BENCH_*.json", file=sys.stderr)
+    failed = True
+sys.exit(1 if failed else 0)

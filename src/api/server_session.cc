@@ -309,6 +309,29 @@ Status ServerSession::CloseShard(size_t shard) {
   return merged;
 }
 
+Result<stream::ShardIngester::Stats> ServerSession::AbandonShard(
+    size_t shard) {
+  std::unique_lock<std::mutex> lock(*mutex_);
+  if (shard >= shards_.size()) {
+    return Status::OutOfRange("unknown shard id");
+  }
+  // Detach-then-drain, exactly like CloseShard: racing Feed calls get
+  // "already closed", and after the drain the ingester is quiescent.
+  std::unique_ptr<stream::ShardIngester> ingester =
+      std::move(shards_[shard].ingester);
+  if (ingester == nullptr) {
+    return Status::FailedPrecondition("shard is already closed");
+  }
+  if (pool_ != nullptr) {
+    lock.unlock();
+    DrainShard(shard);
+    lock.lock();
+  }
+  shards_[shard].final_stats = ingester->stats();
+  --open_shards_;
+  return shards_[shard].final_stats;
+}
+
 Result<stream::ShardIngester::Stats> ServerSession::ShardStats(
     size_t shard) const {
   std::unique_lock<std::mutex> lock(*mutex_);
@@ -345,13 +368,7 @@ Status ServerSession::IngestStream(std::istream& in) {
   }
   if (in.bad()) fed = Status::IoError("read error on report stream");
   if (!fed.ok()) {
-    // Abandon the shard without merging; mirror CloseShard's bookkeeping.
-    // This thread owns the shard, so draining before the lock is safe.
-    DrainShard(shard);
-    std::lock_guard<std::mutex> lock(*mutex_);
-    shards_[shard].final_stats = shards_[shard].ingester->stats();
-    shards_[shard].ingester.reset();
-    --open_shards_;
+    (void)AbandonShard(shard);
     return fed;
   }
   return CloseShard(shard);

@@ -148,6 +148,13 @@ class ServerSession {
   /// calls), then merges on the calling thread.
   Status CloseShard(size_t shard);
 
+  /// Discards shard `shard` without merging anything: drains its queued
+  /// chunks, records final stats, and frees the ingester. The transport
+  /// edge calls this when a reporter's connection dies mid-stream — an
+  /// aborted upload must contribute nothing, even if it happened to stop on
+  /// a frame boundary. Returns the shard's final statistics.
+  Result<stream::ShardIngester::Stats> AbandonShard(size_t shard);
+
   /// Per-shard framing/decoding statistics (valid for open or closed
   /// shards, any epoch). A drain point on concurrent sessions, like
   /// CloseShard, so the stats cover every chunk fed before the call.

@@ -8,8 +8,10 @@
 // accounting), the scalar mechanisms (PM, HM and the baselines), the
 // multidimensional collectors (Algorithm 4 and the Section IV-C mixed
 // collector), the frequency oracles, the dataset/encoding substrate, the
-// legacy collection wrappers and the LDP-SGD trainer. Individual headers
-// remain includable on their own for faster builds.
+// network transport (net::ReportServer / net::CollectorClient — the
+// TCP/UDS collector edge), the legacy collection wrappers and the LDP-SGD
+// trainer. Individual headers remain includable on their own for faster
+// builds.
 
 #ifndef LDP_LDP_H_
 #define LDP_LDP_H_
@@ -53,6 +55,10 @@
 #include "ml/ldp_sgd.h"
 #include "ml/loss.h"
 #include "ml/sgd.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/report_server.h"
+#include "net/socket.h"
 #include "stream/aggregator_handle.h"
 #include "stream/parallel_ingest.h"
 #include "stream/report_stream.h"

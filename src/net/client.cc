@@ -1,0 +1,159 @@
+#include "net/client.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ldp::net {
+
+Result<CollectorClient> CollectorClient::Connect(
+    const Endpoint& endpoint, const stream::StreamHeader& header,
+    uint64_t ordinal, CollectorClientOptions options) {
+  Result<Socket> socket = ConnectSocket(endpoint);
+  if (!socket.ok()) return socket.status();
+  CollectorClient client(std::move(socket).value(), options);
+  if (options.idle_timeout_ms > 0) {
+    LDP_RETURN_IF_ERROR(client.socket_.SetIdleTimeout(options.idle_timeout_ms));
+  }
+  LDP_RETURN_IF_ERROR(client.Negotiate(header, ordinal));
+  return client;
+}
+
+Status CollectorClient::Negotiate(const stream::StreamHeader& header,
+                                  uint64_t ordinal) {
+  HelloMessage hello;
+  hello.ordinal = ordinal;
+  hello.header_bytes = stream::EncodeStreamHeader(header);
+  std::string wire;
+  LDP_RETURN_IF_ERROR(
+      AppendMessage(MessageType::kHello, EncodeHello(hello), &wire));
+  LDP_RETURN_IF_ERROR(socket_.SendAll(wire));
+  std::string payload;
+  LDP_ASSIGN_OR_RETURN(payload, ReadReply(MessageType::kHelloOk));
+  HelloOkMessage ok;
+  LDP_ASSIGN_OR_RETURN(ok, DecodeHelloOk(payload));
+  shard_ = ok.shard;
+  epoch_ = ok.epoch;
+  shard_open_ = true;
+  staged_.clear();
+  return Status::OK();
+}
+
+Status CollectorClient::Reopen(const stream::StreamHeader& header,
+                               uint64_t ordinal) {
+  if (shard_open_) {
+    return Status::FailedPrecondition("close the current shard first");
+  }
+  return Negotiate(header, ordinal);
+}
+
+Result<std::string> CollectorClient::ReadReply(MessageType expected) {
+  char prefix[kMessageHeaderBytes];
+  Result<bool> got = socket_.RecvAll(prefix, sizeof(prefix));
+  if (!got.ok()) return got.status();
+  if (!got.value()) {
+    return Status::IoError("collector closed the connection");
+  }
+  Result<MessageHeader> header = DecodeMessageHeader(prefix, sizeof(prefix));
+  if (!header.ok()) return header.status();
+  std::string payload(header.value().payload_length, '\0');
+  if (!payload.empty()) {
+    Result<bool> body = socket_.RecvAll(payload.data(), payload.size());
+    if (!body.ok()) return body.status();
+    if (!body.value()) {
+      return Status::IoError("collector closed the connection mid-reply");
+    }
+  }
+  if (header.value().type == MessageType::kError) {
+    Result<ErrorMessage> error = DecodeErrorMessage(payload);
+    if (!error.ok()) return error.status();
+    return StatusFromWire(error.value().code, error.value().message);
+  }
+  if (header.value().type != expected) {
+    return Status::InvalidArgument("unexpected reply type from collector");
+  }
+  return payload;
+}
+
+Status CollectorClient::Flush() {
+  if (staged_.empty()) return Status::OK();
+  std::string wire;
+  LDP_RETURN_IF_ERROR(AppendMessage(MessageType::kData, staged_, &wire));
+  staged_.clear();
+  const Status sent = socket_.SendAll(wire);
+  if (!sent.ok()) {
+    // A send failure usually means the server poisoned the shard and
+    // closed the connection; its pending ERROR names the real cause.
+    Result<std::string> reply = ReadReply(MessageType::kError);
+    if (!reply.ok() && reply.status().code() != StatusCode::kIoError) {
+      return reply.status();
+    }
+    return sent;
+  }
+  return Status::OK();
+}
+
+Status CollectorClient::Send(const char* data, size_t size) {
+  if (!shard_open_) {
+    return Status::FailedPrecondition("no open shard on this connection");
+  }
+  size_t offset = 0;
+  while (offset < size) {
+    const size_t take =
+        std::min(size - offset, options_.flush_bytes - staged_.size());
+    staged_.append(data + offset, take);
+    offset += take;
+    if (staged_.size() >= options_.flush_bytes) {
+      LDP_RETURN_IF_ERROR(Flush());
+    }
+  }
+  return Status::OK();
+}
+
+Result<ShardCloseSummary> CollectorClient::Close() {
+  if (!shard_open_) {
+    return Status::FailedPrecondition("no open shard on this connection");
+  }
+  LDP_RETURN_IF_ERROR(Flush());
+  std::string wire;
+  LDP_RETURN_IF_ERROR(AppendMessage(MessageType::kCloseShard, "", &wire));
+  LDP_RETURN_IF_ERROR(socket_.SendAll(wire));
+  // The merge verdict may wait at the collector's ordinal barrier until
+  // every smaller shard lands — legitimately much longer than the idle
+  // timeout — so lift the timeout for this one reply (the collector's own
+  // merge-turn bound keeps the wait finite).
+  if (options_.idle_timeout_ms > 0) {
+    LDP_RETURN_IF_ERROR(socket_.SetIdleTimeout(0));
+  }
+  Result<std::string> reply = ReadReply(MessageType::kShardClosed);
+  if (options_.idle_timeout_ms > 0) {
+    LDP_RETURN_IF_ERROR(socket_.SetIdleTimeout(options_.idle_timeout_ms));
+  }
+  if (!reply.ok()) return reply.status();
+  const std::string payload = std::move(reply).value();
+  ShardClosedMessage closed;
+  LDP_ASSIGN_OR_RETURN(closed, DecodeShardClosed(payload));
+  shard_open_ = false;
+  ShardCloseSummary summary;
+  summary.status = StatusFromWire(closed.code, closed.message);
+  summary.stats = closed.stats;
+  return summary;
+}
+
+Result<uint32_t> CollectorClient::AdvanceEpoch() {
+  if (shard_open_) {
+    return Status::FailedPrecondition(
+        "close the current shard before advancing the epoch");
+  }
+  std::string wire;
+  LDP_RETURN_IF_ERROR(AppendMessage(MessageType::kAdvanceEpoch, "", &wire));
+  LDP_RETURN_IF_ERROR(socket_.SendAll(wire));
+  std::string payload;
+  LDP_ASSIGN_OR_RETURN(payload, ReadReply(MessageType::kEpochAdvanced));
+  EpochAdvancedMessage advanced;
+  LDP_ASSIGN_OR_RETURN(advanced, DecodeEpochAdvanced(payload));
+  LDP_RETURN_IF_ERROR(StatusFromWire(advanced.code, advanced.message));
+  epoch_ = advanced.epoch;
+  return advanced.epoch;
+}
+
+}  // namespace ldp::net

@@ -1,0 +1,106 @@
+// CollectorClient: the reporter's side of the collector protocol
+// (net/protocol.h). One client streams one shard: Connect performs the
+// HELLO/schema negotiation, Send ships raw report-stream frame bytes in
+// bounded DATA messages, Close declares end-of-stream and returns the
+// server's merge verdict with exact ingest statistics. After a clean Close
+// the same connection can Reopen another shard or request an epoch advance
+// — a device reporting across a multi-day campaign keeps one connection.
+//
+// Blocking I/O with an optional idle timeout; thread-compatible (one
+// client per thread, like ClientSession's Rng discipline).
+
+#ifndef LDP_NET_CLIENT_H_
+#define LDP_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "stream/report_stream.h"
+#include "stream/shard_ingester.h"
+#include "util/result.h"
+
+namespace ldp::net {
+
+struct CollectorClientOptions {
+  /// Bound on every socket send/recv (0 = wait forever).
+  int idle_timeout_ms = 30000;
+  /// Send buffer high-water mark: Send flushes a DATA message whenever the
+  /// staged bytes reach this size (and Close flushes the remainder).
+  size_t flush_bytes = 256 * 1024;
+};
+
+/// The server's verdict on one closed shard.
+struct ShardCloseSummary {
+  /// OK when the shard merged into the epoch; otherwise why it was
+  /// discarded (framing poison, rejection budget, shutdown).
+  Status status;
+  /// Exact server-side ingest statistics for the shard.
+  stream::ShardIngester::Stats stats;
+};
+
+class CollectorClient {
+ public:
+  /// Connects to `endpoint` and negotiates shard `ordinal` speaking
+  /// `header`'s protocol. Fails with the server's refusal (schema hash /
+  /// ε / kind mismatch) before any report is sent.
+  static Result<CollectorClient> Connect(const Endpoint& endpoint,
+                                         const stream::StreamHeader& header,
+                                         uint64_t ordinal,
+                                         CollectorClientOptions options = {});
+
+  /// Stages raw frame bytes (stream::AppendFrame output) for the open
+  /// shard, flushing full DATA messages as the buffer fills. On failure the
+  /// returned status carries the server's ERROR verdict when one is
+  /// pending (e.g. this client's stream poisoned its shard).
+  Status Send(const char* data, size_t size);
+  Status Send(const std::string& bytes) {
+    return Send(bytes.data(), bytes.size());
+  }
+
+  /// Flushes, declares end-of-stream, and waits for the server's merge
+  /// verdict. The shard is gone afterwards; Reopen starts the next one.
+  Result<ShardCloseSummary> Close();
+
+  /// Negotiates another shard on the same connection (after Close).
+  Status Reopen(const stream::StreamHeader& header, uint64_t ordinal);
+
+  /// Asks the server to close the current collection epoch and open the
+  /// next (all server-side shards must be closed). Returns the session's
+  /// current epoch on success.
+  Result<uint32_t> AdvanceEpoch();
+
+  /// Server-side shard id of the open shard (diagnostic).
+  uint64_t shard() const { return shard_; }
+
+  /// The epoch the open shard folds into.
+  uint32_t epoch() const { return epoch_; }
+
+  bool shard_open() const { return shard_open_; }
+
+ private:
+  explicit CollectorClient(Socket socket, CollectorClientOptions options)
+      : socket_(std::move(socket)), options_(options) {}
+
+  /// Sends HELLO and consumes the HELLO_OK / ERROR reply.
+  Status Negotiate(const stream::StreamHeader& header, uint64_t ordinal);
+
+  /// Ships the staged buffer as one DATA message.
+  Status Flush();
+
+  /// Reads one reply message of `expected` type (ERROR is surfaced as the
+  /// carried status from any state).
+  Result<std::string> ReadReply(MessageType expected);
+
+  Socket socket_;
+  CollectorClientOptions options_;
+  std::string staged_;
+  uint64_t shard_ = 0;
+  uint32_t epoch_ = 0;
+  bool shard_open_ = false;
+};
+
+}  // namespace ldp::net
+
+#endif  // LDP_NET_CLIENT_H_

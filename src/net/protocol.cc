@@ -1,0 +1,174 @@
+#include "net/protocol.h"
+
+#include "core/wire.h"
+
+namespace ldp::net {
+
+namespace {
+
+using internal_wire::PutU16;
+using internal_wire::PutU32;
+using internal_wire::PutU64;
+using internal_wire::PutU8;
+using internal_wire::Reader;
+
+// The trailing free-form field of a payload (error/detail text, header
+// bytes): everything after the fixed fields.
+std::string TakeRest(const std::string& payload, const Reader& reader) {
+  return payload.substr(reader.cursor());
+}
+
+}  // namespace
+
+bool IsKnownMessageType(uint8_t type) {
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kHello:
+    case MessageType::kData:
+    case MessageType::kCloseShard:
+    case MessageType::kAdvanceEpoch:
+    case MessageType::kHelloOk:
+    case MessageType::kShardClosed:
+    case MessageType::kEpochAdvanced:
+    case MessageType::kError:
+      return true;
+  }
+  return false;
+}
+
+Status AppendMessage(MessageType type, const std::string& payload,
+                     std::string* out) {
+  if (payload.size() > kMaxMessagePayload) {
+    return Status::InvalidArgument("message payload exceeds bound");
+  }
+  PutU8(out, static_cast<uint8_t>(type));
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+  return Status::OK();
+}
+
+Result<MessageHeader> DecodeMessageHeader(const char* data, size_t size) {
+  if (size != kMessageHeaderBytes) {
+    return Status::InvalidArgument("message header must be 5 bytes");
+  }
+  Reader reader(data, size);
+  uint8_t type = 0;
+  LDP_ASSIGN_OR_RETURN(type, reader.U8());
+  if (!IsKnownMessageType(type)) {
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(type));
+  }
+  MessageHeader header;
+  header.type = static_cast<MessageType>(type);
+  LDP_ASSIGN_OR_RETURN(header.payload_length, reader.U32());
+  if (header.payload_length > kMaxMessagePayload) {
+    return Status::InvalidArgument("message payload length " +
+                                   std::to_string(header.payload_length) +
+                                   " exceeds bound");
+  }
+  return header;
+}
+
+std::string EncodeHello(const HelloMessage& hello) {
+  std::string out;
+  PutU16(&out, hello.version);
+  PutU64(&out, hello.ordinal);
+  out.append(hello.header_bytes);
+  return out;
+}
+
+Result<HelloMessage> DecodeHello(const std::string& payload) {
+  Reader reader(payload.data(), payload.size());
+  HelloMessage hello;
+  LDP_ASSIGN_OR_RETURN(hello.version, reader.U16());
+  if (hello.version != kProtocolVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(hello.version));
+  }
+  LDP_ASSIGN_OR_RETURN(hello.ordinal, reader.U64());
+  hello.header_bytes = TakeRest(payload, reader);
+  return hello;
+}
+
+std::string EncodeHelloOk(const HelloOkMessage& ok) {
+  std::string out;
+  PutU64(&out, ok.shard);
+  PutU32(&out, ok.epoch);
+  return out;
+}
+
+Result<HelloOkMessage> DecodeHelloOk(const std::string& payload) {
+  Reader reader(payload.data(), payload.size());
+  HelloOkMessage ok;
+  LDP_ASSIGN_OR_RETURN(ok.shard, reader.U64());
+  LDP_ASSIGN_OR_RETURN(ok.epoch, reader.U32());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after HELLO_OK");
+  }
+  return ok;
+}
+
+std::string EncodeShardClosed(const ShardClosedMessage& closed) {
+  std::string out;
+  PutU8(&out, closed.code);
+  PutU64(&out, closed.stats.bytes);
+  PutU64(&out, closed.stats.frames);
+  PutU64(&out, closed.stats.accepted);
+  PutU64(&out, closed.stats.rejected);
+  out.append(closed.message);
+  return out;
+}
+
+Result<ShardClosedMessage> DecodeShardClosed(const std::string& payload) {
+  Reader reader(payload.data(), payload.size());
+  ShardClosedMessage closed;
+  LDP_ASSIGN_OR_RETURN(closed.code, reader.U8());
+  LDP_ASSIGN_OR_RETURN(closed.stats.bytes, reader.U64());
+  LDP_ASSIGN_OR_RETURN(closed.stats.frames, reader.U64());
+  LDP_ASSIGN_OR_RETURN(closed.stats.accepted, reader.U64());
+  LDP_ASSIGN_OR_RETURN(closed.stats.rejected, reader.U64());
+  closed.message = TakeRest(payload, reader);
+  return closed;
+}
+
+std::string EncodeEpochAdvanced(const EpochAdvancedMessage& advanced) {
+  std::string out;
+  PutU8(&out, advanced.code);
+  PutU32(&out, advanced.epoch);
+  out.append(advanced.message);
+  return out;
+}
+
+Result<EpochAdvancedMessage> DecodeEpochAdvanced(const std::string& payload) {
+  Reader reader(payload.data(), payload.size());
+  EpochAdvancedMessage advanced;
+  LDP_ASSIGN_OR_RETURN(advanced.code, reader.U8());
+  LDP_ASSIGN_OR_RETURN(advanced.epoch, reader.U32());
+  advanced.message = TakeRest(payload, reader);
+  return advanced;
+}
+
+std::string EncodeError(const Status& status) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(status.code()));
+  out.append(status.message());
+  return out;
+}
+
+Result<ErrorMessage> DecodeErrorMessage(const std::string& payload) {
+  Reader reader(payload.data(), payload.size());
+  ErrorMessage error;
+  LDP_ASSIGN_OR_RETURN(error.code, reader.U8());
+  error.message = TakeRest(payload, reader);
+  return error;
+}
+
+Status StatusFromWire(uint8_t code, const std::string& message) {
+  if (code == 0) return Status::OK();
+  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return Status::Internal("peer sent unknown status code " +
+                            std::to_string(code) + ": " + message);
+  }
+  return Status(static_cast<StatusCode>(code), message);
+}
+
+}  // namespace ldp::net

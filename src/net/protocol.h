@@ -1,0 +1,148 @@
+// The collector's connection protocol: a tiny length-prefixed control
+// channel multiplexed with raw report-stream bytes, one shard per
+// negotiation.
+//
+// Every message on the wire is
+//
+//   u8 type, u32 payload_length (little-endian), payload
+//
+// and a conversation is:
+//
+//   client                              server
+//   ------                              ------
+//   HELLO {version, ordinal, header} -> validate header, open shard
+//                                    <- HELLO_OK {shard, epoch} | ERROR
+//   DATA {raw frame bytes}  (any chunking; fed straight into
+//                            ServerSession::Feed — the report-stream
+//                            framing below is untouched)      [repeated]
+//   CLOSE_SHARD                      -> drain, merge in ordinal order
+//                                    <- SHARD_CLOSED {status, stats}
+//   ... another HELLO (a new shard), or ADVANCE_EPOCH, or EOF.
+//
+// The HELLO payload carries the exact report-stream header
+// (stream/report_stream.h) the subsequent DATA bytes would have started
+// with on disk, so the server rejects a mismatched client (schema hash, ε,
+// kinds) before a single report is decoded, and the ingester still consumes
+// a byte-identical stream. `ordinal` is the client's shard index in its
+// campaign: the server merges closed shards in ascending ordinal order,
+// which is what makes a networked run bit-identical to the file-based
+// `ldp_aggregate shard-0 shard-1 ...` run no matter which connection
+// finishes first.
+//
+// This header is transport-agnostic (pure encode/decode over strings) so
+// the framing is unit-testable without sockets.
+
+#ifndef LDP_NET_PROTOCOL_H_
+#define LDP_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "stream/shard_ingester.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ldp::net {
+
+inline constexpr uint16_t kProtocolVersion = 1;
+
+/// u8 type + u32 payload length.
+inline constexpr size_t kMessageHeaderBytes = 5;
+
+/// Upper bound on one message payload. DATA chunking keeps payloads small;
+/// anything above this is a framing attack (e.g. a hostile length prefix
+/// trying to make the server buffer 4 GiB) and poisons the connection.
+inline constexpr uint32_t kMaxMessagePayload = 4u << 20;
+
+enum class MessageType : uint8_t {
+  // client -> server
+  kHello = 0x01,
+  kData = 0x02,
+  kCloseShard = 0x03,
+  kAdvanceEpoch = 0x04,
+  // server -> client
+  kHelloOk = 0x10,
+  kShardClosed = 0x11,
+  kEpochAdvanced = 0x12,
+  kError = 0x13,
+};
+
+/// True for the message types defined above.
+bool IsKnownMessageType(uint8_t type);
+
+/// The fixed message prefix.
+struct MessageHeader {
+  MessageType type = MessageType::kError;
+  uint32_t payload_length = 0;
+};
+
+/// Serialises one message (header + payload) onto `out`. Fails on payloads
+/// above kMaxMessagePayload.
+Status AppendMessage(MessageType type, const std::string& payload,
+                     std::string* out);
+
+/// Parses and validates a message prefix: known type, length within bound.
+/// Requires exactly kMessageHeaderBytes.
+Result<MessageHeader> DecodeMessageHeader(const char* data, size_t size);
+
+// --- payloads --------------------------------------------------------------
+
+/// HELLO: the client introduces one shard-to-be.
+struct HelloMessage {
+  uint16_t version = kProtocolVersion;
+  /// The shard's merge position (see file comment). Clients streaming a
+  /// single ad-hoc shard use 0.
+  uint64_t ordinal = 0;
+  /// The serialized stream::StreamHeader the shard's bytes start with.
+  std::string header_bytes;
+};
+
+std::string EncodeHello(const HelloMessage& hello);
+Result<HelloMessage> DecodeHello(const std::string& payload);
+
+/// HELLO_OK: the server accepted the shard.
+struct HelloOkMessage {
+  uint64_t shard = 0;    ///< Server-side shard id (diagnostic).
+  uint32_t epoch = 0;    ///< Epoch the shard will fold into.
+};
+
+std::string EncodeHelloOk(const HelloOkMessage& ok);
+Result<HelloOkMessage> DecodeHelloOk(const std::string& payload);
+
+/// SHARD_CLOSED: final verdict and exact ingest statistics for one shard.
+struct ShardClosedMessage {
+  /// StatusCode of the close (kOk, or why the shard was discarded).
+  uint8_t code = 0;
+  stream::ShardIngester::Stats stats;
+  std::string message;  ///< Error detail when code != 0.
+};
+
+std::string EncodeShardClosed(const ShardClosedMessage& closed);
+Result<ShardClosedMessage> DecodeShardClosed(const std::string& payload);
+
+/// EPOCH_ADVANCED: outcome of an ADVANCE_EPOCH request.
+struct EpochAdvancedMessage {
+  uint8_t code = 0;       ///< StatusCode of the AdvanceEpoch call.
+  uint32_t epoch = 0;     ///< The session's current epoch after the call.
+  std::string message;    ///< Error detail when code != 0.
+};
+
+std::string EncodeEpochAdvanced(const EpochAdvancedMessage& advanced);
+Result<EpochAdvancedMessage> DecodeEpochAdvanced(const std::string& payload);
+
+/// ERROR: the server refuses the connection or poisons the shard.
+struct ErrorMessage {
+  uint8_t code = 0;  ///< StatusCode (never kOk).
+  std::string message;
+};
+
+std::string EncodeError(const Status& status);
+Result<ErrorMessage> DecodeErrorMessage(const std::string& payload);
+
+/// Rebuilds a Status from a wire code + message (unknown codes collapse to
+/// kInternal rather than trusting the peer).
+Status StatusFromWire(uint8_t code, const std::string& message);
+
+}  // namespace ldp::net
+
+#endif  // LDP_NET_PROTOCOL_H_

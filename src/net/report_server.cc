@@ -1,0 +1,391 @@
+#include "net/report_server.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+namespace ldp::net {
+
+namespace {
+
+// The conversation state of one connection's shard, if any.
+struct OpenShard {
+  bool open = false;
+  size_t shard = 0;
+  uint64_t ordinal = 0;
+};
+
+}  // namespace
+
+ReportServer::ReportServer(api::ServerSession* session,
+                           stream::StreamHeader expected,
+                           ReportServerOptions options)
+    : session_(session), expected_(expected), options_(options) {}
+
+Result<std::unique_ptr<ReportServer>> ReportServer::Start(
+    api::ServerSession* session, const stream::StreamHeader& expected,
+    const Endpoint& endpoint, ReportServerOptions options) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("report server needs a session");
+  }
+  options.acceptors = options.acceptors == 0 ? 1 : options.acceptors;
+  // Can't use make_unique: the constructor is private.
+  std::unique_ptr<ReportServer> server(
+      new ReportServer(session, expected, options));
+  Result<Listener> listener = Listener::Bind(endpoint);
+  if (!listener.ok()) return listener.status();
+  server->listener_ = std::move(listener).value();
+  server->acceptors_.reserve(options.acceptors);
+  for (unsigned i = 0; i < options.acceptors; ++i) {
+    server->acceptors_.emplace_back([raw = server.get()] {
+      raw->AcceptLoop();
+    });
+  }
+  return server;
+}
+
+ReportServer::~ReportServer() { Stop(/*drain=*/false); }
+
+void ReportServer::Stop(bool drain) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stop_accepting_) {
+      // Another thread is already stopping (or has stopped): joining the
+      // same std::threads twice is UB, so wait for that stop to finish.
+      stopped_cv_.wait(lock, [&] { return stopped_; });
+      return;
+    }
+    stop_accepting_ = true;
+    if (!drain) {
+      hard_stop_ = true;
+      // Kick every blocked read/write and every merge-turn waiter; the
+      // handlers abandon their shards and unwind.
+      for (const auto& [fd, busy] : live_fds_) ::shutdown(fd, SHUT_RDWR);
+      merge_turn_.notify_all();
+    } else {
+      // A drain waits only for shards in flight: connections idling
+      // between shards are woken so they notice the stop immediately
+      // instead of sitting out the idle timeout.
+      for (const auto& [fd, busy] : live_fds_) {
+        if (!busy) ::shutdown(fd, SHUT_RDWR);
+      }
+    }
+  }
+  listener_.Wake();
+  for (std::thread& acceptor : acceptors_) {
+    if (acceptor.joinable()) acceptor.join();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  stopped_ = true;
+  stopped_cv_.notify_all();
+}
+
+ReportServerStats ReportServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ReportServer::AcceptLoop() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_accepting_) return;
+    }
+    Result<Socket> accepted = listener_.Accept();
+    if (!accepted.ok()) return;  // listener died; nothing left to serve
+    if (!accepted.value().valid()) continue;  // woken — re-check stop flag
+    Socket socket = std::move(accepted).value();
+    if (options_.idle_timeout_ms > 0) {
+      if (!socket.SetIdleTimeout(options_.idle_timeout_ms).ok()) continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (hard_stop_) return;
+      ++stats_.connections;
+      live_fds_.emplace(socket.fd(), false);
+    }
+    HandleConnection(std::move(socket));
+  }
+}
+
+void ReportServer::SendReply(Socket* socket, MessageType type,
+                             const std::string& payload) {
+  std::string wire;
+  if (AppendMessage(type, payload, &wire).ok()) {
+    (void)socket->SendAll(wire);
+  }
+}
+
+Status ReportServer::RegisterOrdinal(uint64_t ordinal) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.expected_shards > 0) {
+    if (ordinal >= options_.expected_shards) {
+      return Status::OutOfRange(
+          "shard ordinal exceeds the campaign's expected shard count");
+    }
+    if (done_ordinals_.count(ordinal) != 0) {
+      return Status::AlreadyExists(
+          "shard ordinal already completed this epoch");
+    }
+  }
+  if (!active_ordinals_.insert(ordinal).second) {
+    return Status::AlreadyExists("shard ordinal is already streaming");
+  }
+  return Status::OK();
+}
+
+Status ReportServer::WaitTurnAndClose(uint64_t ordinal, size_t shard) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto my_turn = [&] {
+    if (hard_stop_) return true;
+    // Expected-shards mode: a strict barrier — ordinal k merges only once
+    // every smaller ordinal finished, whether or not it has connected yet.
+    // Ad hoc mode: ordered among the ordinals currently streaming.
+    if (options_.expected_shards > 0) return merge_frontier_ == ordinal;
+    return !active_ordinals_.empty() && *active_ordinals_.begin() == ordinal;
+  };
+  bool got_turn = true;
+  if (options_.merge_turn_timeout_ms > 0) {
+    got_turn = merge_turn_.wait_for(
+        lock, std::chrono::milliseconds(options_.merge_turn_timeout_ms),
+        my_turn);
+  } else {
+    merge_turn_.wait(lock, my_turn);
+  }
+  const bool stopping = hard_stop_;
+  if (stopping || !got_turn) {
+    lock.unlock();
+    (void)session_->AbandonShard(shard);
+    FinishOrdinal(ordinal);
+    return stopping
+               ? Status::FailedPrecondition("collector is shutting down")
+               : Status::FailedPrecondition(
+                     "timed out waiting for the merge turn (a smaller "
+                     "ordinal never finished)");
+  }
+  // Holding the merge turn but not the server mutex: CloseShard may block
+  // draining the shard's strand, and other connections must keep feeding
+  // meanwhile.
+  lock.unlock();
+  const Status closed = session_->CloseShard(shard);
+  FinishOrdinal(ordinal);
+  return closed;
+}
+
+void ReportServer::FinishOrdinal(uint64_t ordinal) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_ordinals_.erase(ordinal);
+  if (options_.expected_shards > 0) {
+    // An abandoned ordinal counts as finished too: the barrier must not
+    // wedge the campaign on a reporter that died (its shard is simply
+    // missing, exactly as a missing file would be).
+    done_ordinals_.insert(ordinal);
+    while (merge_frontier_ < options_.expected_shards &&
+           done_ordinals_.count(merge_frontier_) != 0) {
+      ++merge_frontier_;
+    }
+  }
+  merge_turn_.notify_all();
+}
+
+void ReportServer::HandleConnection(Socket socket) {
+  RunConnection(&socket);
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_fds_.erase(socket.fd());
+  // The socket closes when HandleConnection returns, after the
+  // unregistration above — Stop(false) can never shut down a recycled fd.
+}
+
+void ReportServer::RunConnection(Socket* socket_ptr) {
+  Socket& socket = *socket_ptr;
+  OpenShard state;
+
+  // Flips the connection's "has an open shard" flag, which is what a
+  // drain-stop consults to decide whether to wait for this connection.
+  auto set_busy = [&](bool busy) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live_fds_[socket.fd()] = busy;
+  };
+
+  // An aborted upload contributes nothing, even if it stopped on a frame
+  // boundary: drop the shard and release its merge turn.
+  auto abandon_open_shard = [&] {
+    if (!state.open) return;
+    (void)session_->AbandonShard(state.shard);
+    FinishOrdinal(state.ordinal);
+    state.open = false;
+    set_busy(false);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.shards_abandoned;
+  };
+
+  std::string payload;
+  char prefix[kMessageHeaderBytes];
+  Status verdict = Status::OK();
+  // Each message (prefix and payload alike) must complete within the idle
+  // timeout as a whole: a per-recv timeout alone resets on every dripped
+  // byte, which is exactly the slow-loris game.
+  const int deadline_ms = options_.idle_timeout_ms;
+  while (true) {
+    Result<bool> got = socket.RecvAll(prefix, sizeof(prefix), deadline_ms);
+    if (!got.ok() || !got.value()) {
+      // EOF on a message boundary with no open shard is the clean goodbye;
+      // anything else (mid-stream EOF, timeout, reset) abandons the shard.
+      const bool had_shard = state.open;
+      abandon_open_shard();
+      if (!had_shard && !got.ok()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // A drain-stop wakes idle connections by shutting their sockets
+        // down; that read failure is bookkeeping, not a protocol error.
+        if (!stop_accepting_) ++stats_.protocol_errors;
+      }
+      break;
+    }
+    Result<MessageHeader> header =
+        DecodeMessageHeader(prefix, sizeof(prefix));
+    if (!header.ok()) {
+      // Unknown type or a hostile length prefix: the message boundaries
+      // can no longer be trusted — kill the connection.
+      SendReply(&socket, MessageType::kError, EncodeError(header.status()));
+      abandon_open_shard();
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.protocol_errors;
+      break;
+    }
+    payload.resize(header.value().payload_length);
+    if (header.value().payload_length > 0) {
+      Result<bool> body =
+          socket.RecvAll(payload.data(), payload.size(), deadline_ms);
+      if (!body.ok() || !body.value()) {
+        abandon_open_shard();
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.protocol_errors;
+        break;
+      }
+    }
+
+    switch (header.value().type) {
+      case MessageType::kHello: {
+        if (state.open) {
+          verdict = Status::FailedPrecondition(
+              "HELLO while this connection's shard is open");
+          break;
+        }
+        Result<HelloMessage> hello = DecodeHello(payload);
+        if (!hello.ok()) {
+          verdict = hello.status();
+          break;
+        }
+        Result<stream::StreamHeader> peer =
+            stream::DecodeStreamHeader(hello.value().header_bytes);
+        Status refusal =
+            peer.ok() ? stream::CheckHeadersCompatible(expected_, peer.value())
+                      : peer.status();
+        if (refusal.ok()) refusal = RegisterOrdinal(hello.value().ordinal);
+        if (!refusal.ok()) {
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.hello_rejected;
+          }
+          // Reply outside the server mutex: SendAll can block for the
+          // whole idle timeout on a stalled peer.
+          SendReply(&socket, MessageType::kError, EncodeError(refusal));
+          return;
+        }
+        state.shard = session_->OpenShard();
+        state.ordinal = hello.value().ordinal;
+        state.open = true;
+        set_busy(true);
+        // The shard's byte stream is header + frames, exactly as on disk;
+        // the validated HELLO header bytes are that header.
+        const Status fed =
+            session_->Feed(state.shard, hello.value().header_bytes);
+        if (!fed.ok()) {
+          verdict = fed;
+          break;
+        }
+        HelloOkMessage ok;
+        ok.shard = state.shard;
+        ok.epoch = session_->current_epoch();
+        SendReply(&socket, MessageType::kHelloOk, EncodeHelloOk(ok));
+        break;
+      }
+      case MessageType::kData: {
+        if (!state.open) {
+          verdict = Status::FailedPrecondition("DATA before HELLO");
+          break;
+        }
+        verdict = session_->Feed(state.shard, payload.data(), payload.size());
+        break;
+      }
+      case MessageType::kCloseShard: {
+        if (!state.open) {
+          verdict = Status::FailedPrecondition("CLOSE_SHARD before HELLO");
+          break;
+        }
+        const Status closed = WaitTurnAndClose(state.ordinal, state.shard);
+        ShardClosedMessage reply;
+        reply.code = static_cast<uint8_t>(closed.code());
+        reply.message = closed.message();
+        Result<stream::ShardIngester::Stats> stats =
+            session_->ShardStats(state.shard);
+        if (stats.ok()) reply.stats = stats.value();
+        state.open = false;
+        set_busy(false);
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (closed.ok()) {
+            ++stats_.shards_merged;
+          } else {
+            ++stats_.shards_discarded;
+          }
+        }
+        SendReply(&socket, MessageType::kShardClosed,
+                  EncodeShardClosed(reply));
+        break;
+      }
+      case MessageType::kAdvanceEpoch: {
+        // The session refuses while any shard (this connection's included)
+        // is open, so no extra gating is needed here.
+        const Status advanced = session_->AdvanceEpoch();
+        if (advanced.ok()) {
+          // A new epoch restarts the campaign: ordinals 0..N-1 stream
+          // again, so the expected-shards barrier resets.
+          std::lock_guard<std::mutex> lock(mutex_);
+          done_ordinals_.clear();
+          merge_frontier_ = 0;
+        }
+        EpochAdvancedMessage reply;
+        reply.code = static_cast<uint8_t>(advanced.code());
+        reply.epoch = session_->current_epoch();
+        reply.message = advanced.message();
+        SendReply(&socket, MessageType::kEpochAdvanced,
+                  EncodeEpochAdvanced(reply));
+        break;
+      }
+      default:
+        // Server-only types arriving from a client.
+        verdict = Status::InvalidArgument("unexpected message type");
+        break;
+    }
+
+    if (!verdict.ok()) {
+      SendReply(&socket, MessageType::kError, EncodeError(verdict));
+      const bool had_shard = state.open;
+      abandon_open_shard();
+      if (!had_shard) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.protocol_errors;
+      }
+      break;
+    }
+    {
+      // Between shards is a drain point: once the server is stopping, a
+      // connection waiting for its next HELLO has nothing left to say.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_accepting_ && !state.open) break;
+    }
+  }
+}
+
+}  // namespace ldp::net

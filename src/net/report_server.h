@@ -1,0 +1,172 @@
+// ReportServer: the network ingestion edge of a collection deployment. It
+// owns a Listener (TCP or Unix-domain) and N acceptor threads, and maps one
+// connection to one api::ServerSession shard: a reporter HELLOs its stream
+// header (validated against the pipeline's protocol before any report bytes
+// are decoded), then its DATA bytes go straight into ServerSession::Feed —
+// the same zero-copy framing, per-shard strand scheduling, and backpressure
+// as every other ingest path. A framing error, a mid-stream disconnect, or a
+// slow-loris timeout poisons/abandons exactly that connection's shard;
+// honest connections are untouched.
+//
+// Determinism: closed shards merge in ascending HELLO *ordinal* order, not
+// connection-completion order (floating-point accumulation makes merge
+// order observable). With Options::expected_shards = N this is a strict
+// barrier over ordinals 0..N-1 — the session is bit-identical to the
+// file-based `ldp_aggregate shard-0 ... shard-N-1` run and to the
+// in-process Pipeline::Collect run, no matter when each connection arrives
+// or finishes — the property the net e2e tests and CI pin down. In ad hoc
+// mode (expected_shards = 0) the ordering covers shards open concurrently;
+// a smaller ordinal that connects only after a larger one already closed
+// merges late.
+//
+// Threading: each acceptor thread loops { non-blocking accept (poll +
+// wake pipe), handle the connection inline with blocking reads bounded by
+// Options::idle_timeout_ms }, so the server serves up to `acceptors`
+// connections concurrently and a stalled reporter can hold up only its own
+// slot until the idle timeout reaps it. The ServerSession surface is
+// thread-safe (PR 4), so acceptors feed disjoint shards without further
+// coordination.
+
+#ifndef LDP_NET_REPORT_SERVER_H_
+#define LDP_NET_REPORT_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/server_session.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "stream/report_stream.h"
+#include "util/result.h"
+
+namespace ldp::net {
+
+struct ReportServerOptions {
+  /// Concurrent connections served (one acceptor thread each, at least 1).
+  unsigned acceptors = 1;
+  /// Reap a connection that goes silent for this long (0 = wait forever).
+  /// This is what bounds slow-loris reporters trickling partial messages.
+  int idle_timeout_ms = 30000;
+  /// When nonzero, the campaign's fleet size: every epoch expects shards
+  /// with ordinals exactly 0..expected_shards-1, and ordinal k's merge
+  /// waits until every smaller ordinal has merged or abandoned — a strict
+  /// barrier, so the session is bit-identical to the ordinal-ordered file
+  /// run even when a smaller ordinal connects long after a larger one
+  /// closed. At 0 (ad hoc), merges are ordered only among shards open
+  /// concurrently: a late-connecting smaller ordinal may merge after an
+  /// earlier-closing larger one.
+  uint64_t expected_shards = 0;
+  /// Bound on how long a CLOSE_SHARD may wait for its merge turn before
+  /// the shard is abandoned (0 = wait forever). Guards against a campaign
+  /// whose predecessor ordinal never arrives — e.g. a dead reporter — and
+  /// against acceptor-slot exhaustion deadlocks.
+  int merge_turn_timeout_ms = 120000;
+};
+
+/// Monotonic counters over the server's lifetime.
+struct ReportServerStats {
+  uint64_t connections = 0;       ///< Accepted connections.
+  uint64_t shards_merged = 0;     ///< Shards closed cleanly and folded in.
+  uint64_t shards_discarded = 0;  ///< Shards closed poisoned (contributed 0).
+  uint64_t shards_abandoned = 0;  ///< Shards dropped by disconnect/timeouts.
+  uint64_t hello_rejected = 0;    ///< Connections refused at HELLO.
+  uint64_t protocol_errors = 0;   ///< Connections killed by bad framing.
+};
+
+class ReportServer {
+ public:
+  /// Binds `endpoint` and starts accepting. `session` and the pipeline
+  /// behind `expected` must outlive the server; `expected` is the stream
+  /// header every reporter must HELLO with (Pipeline::header()).
+  static Result<std::unique_ptr<ReportServer>> Start(
+      api::ServerSession* session, const stream::StreamHeader& expected,
+      const Endpoint& endpoint, ReportServerOptions options);
+
+  /// Hard stop (drain = false).
+  ~ReportServer();
+
+  ReportServer(const ReportServer&) = delete;
+  ReportServer& operator=(const ReportServer&) = delete;
+
+  /// Stops accepting new connections and joins the acceptors. With
+  /// `drain`, in-flight connections finish naturally (bounded by the idle
+  /// timeout); without, they are shut down immediately and their open
+  /// shards abandoned. Idempotent; the first call wins.
+  void Stop(bool drain);
+
+  /// The bound endpoint with any ephemeral TCP port resolved — what
+  /// reporters should connect to.
+  const Endpoint& endpoint() const { return listener_.endpoint(); }
+
+  ReportServerStats stats() const;
+
+ private:
+  ReportServer(api::ServerSession* session, stream::StreamHeader expected,
+               ReportServerOptions options);
+
+  void AcceptLoop();
+
+  /// Registers the connection for hard-stop shutdown, runs it, cleans up.
+  void HandleConnection(Socket socket);
+
+  /// The per-connection conversation loop (may return from any state; the
+  /// open shard, if any, is abandoned on every abnormal exit).
+  void RunConnection(Socket* socket);
+
+  /// Sends one framed message, best effort (a dead peer is the peer's
+  /// problem; the session state is already consistent).
+  void SendReply(Socket* socket, MessageType type, const std::string& payload);
+
+  /// Validates and claims `ordinal` for a new shard (bounds and duplicate
+  /// checks; see Options::expected_shards).
+  Status RegisterOrdinal(uint64_t ordinal);
+
+  /// Claims the merge turn for `ordinal`, closes (or abandons, on hard
+  /// stop / turn timeout) the shard, releases the turn. Blocks until every
+  /// smaller ordinal has merged or abandoned.
+  Status WaitTurnAndClose(uint64_t ordinal, size_t shard);
+
+  /// Marks `ordinal` finished (merged or abandoned): removes it from the
+  /// active set, advances the expected-shards frontier, wakes waiters.
+  void FinishOrdinal(uint64_t ordinal);
+
+  api::ServerSession* session_;
+  const stream::StreamHeader expected_;
+  const ReportServerOptions options_;
+
+  Listener listener_;
+  std::vector<std::thread> acceptors_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable merge_turn_;
+  /// Ordinals of connections with an open shard; in ad hoc mode the
+  /// smallest holds the merge turn.
+  std::set<uint64_t> active_ordinals_;
+  /// Expected-shards mode only: ordinals finished (merged or abandoned)
+  /// in the current epoch, and the barrier frontier — the smallest ordinal
+  /// not yet finished, i.e. the one holding the merge turn. Both reset
+  /// when the epoch advances.
+  std::set<uint64_t> done_ordinals_;
+  uint64_t merge_frontier_ = 0;
+  /// In-flight connections: fd → "has an open shard". Stop shuts down
+  /// every fd (hard stop) or just the idle ones (drain — a connection
+  /// sitting between shards has no work the drain should wait for).
+  /// Sockets are unregistered under mutex_ before they close, so a
+  /// registered fd is never stale.
+  std::unordered_map<int, bool> live_fds_;
+  ReportServerStats stats_;
+  std::condition_variable stopped_cv_;  // signalled when a Stop completes
+  bool stop_accepting_ = false;
+  bool hard_stop_ = false;
+  bool stopped_ = false;  // Stop already ran (acceptors joined)
+};
+
+}  // namespace ldp::net
+
+#endif  // LDP_NET_REPORT_SERVER_H_

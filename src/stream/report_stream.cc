@@ -245,6 +245,32 @@ Status ValidateNumericStreamHeader(const StreamHeader& header,
   return Status::OK();
 }
 
+Status CheckHeadersCompatible(const StreamHeader& expected,
+                              const StreamHeader& actual) {
+  if (actual.kind != expected.kind) {
+    return Status::FailedPrecondition(
+        "stream kind does not match the collector's protocol");
+  }
+  if (actual.epsilon != expected.epsilon) {
+    return Status::FailedPrecondition(
+        "stream epsilon does not match the collector's protocol");
+  }
+  if (actual.dimension != expected.dimension || actual.k != expected.k) {
+    return Status::FailedPrecondition(
+        "stream dimension/k do not match the collector's protocol");
+  }
+  if (actual.mechanism != expected.mechanism ||
+      actual.oracle != expected.oracle) {
+    return Status::FailedPrecondition(
+        "stream mechanism/oracle kinds do not match the collector's protocol");
+  }
+  if (actual.schema_hash != expected.schema_hash) {
+    return Status::FailedPrecondition(
+        "stream schema hash does not match the collector's protocol");
+  }
+  return Status::OK();
+}
+
 Status AppendFrame(const std::string& payload, std::string* out) {
   if (payload.size() > kMaxFrameBytes) {
     return Status::InvalidArgument("frame payload exceeds kMaxFrameBytes");

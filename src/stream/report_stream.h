@@ -101,6 +101,14 @@ Status ValidateNumericStreamHeader(const StreamHeader& header,
                                    const SampledNumericMechanism& mechanism,
                                    MechanismKind kind);
 
+/// Checks that a peer's header names exactly the protocol `expected` does
+/// (kind, mechanism, oracle, ε, dimension, k, schema hash), returning
+/// FailedPrecondition naming the first mismatch. The transport edge uses
+/// this to refuse a mismatched reporter at HELLO time, before any report
+/// bytes are decoded.
+Status CheckHeadersCompatible(const StreamHeader& expected,
+                              const StreamHeader& actual);
+
 /// Appends one length-prefixed frame to `out`. Fails on payloads above
 /// kMaxFrameBytes.
 Status AppendFrame(const std::string& payload, std::string* out);

@@ -1,0 +1,199 @@
+// Unit tests for the transport-agnostic pieces of src/net: endpoint spec
+// parsing and the length-prefixed control-message codec — roundtrips, field
+// bounds, and the hostile prefixes the connection loop must refuse
+// (unknown types, oversized lengths, truncated payload structures).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "stream/report_stream.h"
+#include "util/status.h"
+
+namespace ldp {
+namespace {
+
+TEST(NetProtocolTest, EndpointParseRoundTrips) {
+  auto tcp = net::Endpoint::Parse("tcp:collector.example.org:7611");
+  ASSERT_TRUE(tcp.ok());
+  EXPECT_EQ(tcp.value().kind, net::Endpoint::Kind::kTcp);
+  EXPECT_EQ(tcp.value().host, "collector.example.org");
+  EXPECT_EQ(tcp.value().port, 7611);
+  EXPECT_EQ(tcp.value().ToString(), "tcp:collector.example.org:7611");
+
+  auto uds = net::Endpoint::Parse("unix:/var/run/ldp.sock");
+  ASSERT_TRUE(uds.ok());
+  EXPECT_EQ(uds.value().kind, net::Endpoint::Kind::kUnix);
+  EXPECT_EQ(uds.value().path, "/var/run/ldp.sock");
+  EXPECT_EQ(uds.value().ToString(), "unix:/var/run/ldp.sock");
+
+  // IPv6 hosts contain colons; the port splits off the last one.
+  auto v6 = net::Endpoint::Parse("tcp:::1:80");
+  ASSERT_TRUE(v6.ok());
+  EXPECT_EQ(v6.value().host, "::1");
+  EXPECT_EQ(v6.value().port, 80);
+}
+
+TEST(NetProtocolTest, EndpointParseRejectsMalformedSpecs) {
+  EXPECT_FALSE(net::Endpoint::Parse("").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("http:host:1").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:hostonly").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:host:notaport").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:host:70000").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("unix:").ok());
+}
+
+TEST(NetProtocolTest, MessageHeaderRoundTripsAndBounds) {
+  std::string wire;
+  ASSERT_TRUE(
+      net::AppendMessage(net::MessageType::kData, "abc", &wire).ok());
+  ASSERT_EQ(wire.size(), net::kMessageHeaderBytes + 3);
+  auto header =
+      net::DecodeMessageHeader(wire.data(), net::kMessageHeaderBytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().type, net::MessageType::kData);
+  EXPECT_EQ(header.value().payload_length, 3u);
+
+  // Unknown type byte.
+  std::string bogus = wire.substr(0, net::kMessageHeaderBytes);
+  bogus[0] = '\x7F';
+  EXPECT_FALSE(
+      net::DecodeMessageHeader(bogus.data(), bogus.size()).ok());
+
+  // A hostile length prefix above the bound must be rejected before any
+  // buffering happens.
+  std::string oversized = wire.substr(0, net::kMessageHeaderBytes);
+  const uint32_t hostile = net::kMaxMessagePayload + 1;
+  for (size_t i = 0; i < 4; ++i) {
+    oversized[1 + i] = static_cast<char>(hostile >> (8 * i));
+  }
+  EXPECT_FALSE(
+      net::DecodeMessageHeader(oversized.data(), oversized.size()).ok());
+
+  // And AppendMessage refuses to produce one.
+  std::string big(net::kMaxMessagePayload + 1, 'x');
+  std::string out;
+  EXPECT_FALSE(net::AppendMessage(net::MessageType::kData, big, &out).ok());
+}
+
+TEST(NetProtocolTest, HelloRoundTripsAndChecksVersion) {
+  stream::StreamHeader header;
+  header.kind = stream::ReportStreamKind::kMixed;
+  header.epsilon = 4.0;
+  header.dimension = 3;
+  header.k = 1;
+  header.schema_hash = 0xDEADBEEFCAFEF00DULL;
+
+  net::HelloMessage hello;
+  hello.ordinal = 17;
+  hello.header_bytes = stream::EncodeStreamHeader(header);
+  auto decoded = net::DecodeHello(net::EncodeHello(hello));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().version, net::kProtocolVersion);
+  EXPECT_EQ(decoded.value().ordinal, 17u);
+  EXPECT_EQ(decoded.value().header_bytes, hello.header_bytes);
+
+  // A future protocol version is refused, not guessed at.
+  std::string wire = net::EncodeHello(hello);
+  wire[0] = '\x63';
+  EXPECT_FALSE(net::DecodeHello(wire).ok());
+
+  // Truncated fixed fields.
+  EXPECT_FALSE(net::DecodeHello(wire.substr(0, 5)).ok());
+}
+
+TEST(NetProtocolTest, RepliesRoundTrip) {
+  net::HelloOkMessage ok;
+  ok.shard = 42;
+  ok.epoch = 3;
+  auto ok_decoded = net::DecodeHelloOk(net::EncodeHelloOk(ok));
+  ASSERT_TRUE(ok_decoded.ok());
+  EXPECT_EQ(ok_decoded.value().shard, 42u);
+  EXPECT_EQ(ok_decoded.value().epoch, 3u);
+  EXPECT_FALSE(net::DecodeHelloOk("short").ok());
+  EXPECT_FALSE(
+      net::DecodeHelloOk(net::EncodeHelloOk(ok) + "junk").ok());
+
+  net::ShardClosedMessage closed;
+  closed.code = static_cast<uint8_t>(StatusCode::kFailedPrecondition);
+  closed.stats.bytes = 1234;
+  closed.stats.frames = 50;
+  closed.stats.accepted = 48;
+  closed.stats.rejected = 2;
+  closed.message = "stream ended inside a frame";
+  auto closed_decoded =
+      net::DecodeShardClosed(net::EncodeShardClosed(closed));
+  ASSERT_TRUE(closed_decoded.ok());
+  EXPECT_EQ(closed_decoded.value().code, closed.code);
+  EXPECT_EQ(closed_decoded.value().stats.bytes, 1234u);
+  EXPECT_EQ(closed_decoded.value().stats.frames, 50u);
+  EXPECT_EQ(closed_decoded.value().stats.accepted, 48u);
+  EXPECT_EQ(closed_decoded.value().stats.rejected, 2u);
+  EXPECT_EQ(closed_decoded.value().message, closed.message);
+
+  net::EpochAdvancedMessage epoch;
+  epoch.code = 0;
+  epoch.epoch = 6;
+  auto epoch_decoded =
+      net::DecodeEpochAdvanced(net::EncodeEpochAdvanced(epoch));
+  ASSERT_TRUE(epoch_decoded.ok());
+  EXPECT_EQ(epoch_decoded.value().epoch, 6u);
+}
+
+TEST(NetProtocolTest, ErrorsCarryStatusAcrossTheWire) {
+  const Status refusal = Status::FailedPrecondition(
+      "stream schema hash does not match the collector's protocol");
+  auto decoded = net::DecodeErrorMessage(net::EncodeError(refusal));
+  ASSERT_TRUE(decoded.ok());
+  const Status rebuilt =
+      net::StatusFromWire(decoded.value().code, decoded.value().message);
+  EXPECT_EQ(rebuilt.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(rebuilt.message(), refusal.message());
+
+  // Unknown status codes from a hostile peer collapse to kInternal.
+  EXPECT_EQ(net::StatusFromWire(250, "x").code(), StatusCode::kInternal);
+  EXPECT_TRUE(net::StatusFromWire(0, "").ok());
+}
+
+TEST(NetProtocolTest, HeaderCompatibilityNamesTheFirstMismatch) {
+  stream::StreamHeader expected;
+  expected.kind = stream::ReportStreamKind::kMixed;
+  expected.mechanism = MechanismKind::kHybrid;
+  expected.oracle = FrequencyOracleKind::kOue;
+  expected.epsilon = 4.0;
+  expected.dimension = 3;
+  expected.k = 1;
+  expected.schema_hash = 99;
+
+  EXPECT_TRUE(stream::CheckHeadersCompatible(expected, expected).ok());
+
+  stream::StreamHeader wrong = expected;
+  wrong.schema_hash = 100;
+  const Status hash = stream::CheckHeadersCompatible(expected, wrong);
+  EXPECT_EQ(hash.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(hash.message().find("schema hash"), std::string::npos);
+
+  wrong = expected;
+  wrong.epsilon = 5.0;
+  EXPECT_NE(stream::CheckHeadersCompatible(expected, wrong)
+                .message()
+                .find("epsilon"),
+            std::string::npos);
+
+  wrong = expected;
+  wrong.kind = stream::ReportStreamKind::kSampledNumeric;
+  EXPECT_FALSE(stream::CheckHeadersCompatible(expected, wrong).ok());
+
+  wrong = expected;
+  wrong.oracle = FrequencyOracleKind::kGrr;
+  EXPECT_FALSE(stream::CheckHeadersCompatible(expected, wrong).ok());
+
+  wrong = expected;
+  wrong.k = 2;
+  EXPECT_FALSE(stream::CheckHeadersCompatible(expected, wrong).ok());
+}
+
+}  // namespace
+}  // namespace ldp

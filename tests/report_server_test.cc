@@ -1,0 +1,397 @@
+// End-to-end tests for the socket transport (net/report_server.h +
+// net/client.h): loopback campaigns over Unix-domain and TCP sockets must
+// reproduce a directly-fed ServerSession byte for byte — snapshots included
+// — at every session thread count and regardless of which connection
+// finishes first (shards merge in HELLO ordinal order, not completion
+// order). Also covers the multi-epoch conversation (CLOSE → ADVANCE_EPOCH
+// → re-HELLO on one connection, down to the accountant's refusal) and
+// hard-stop abandonment.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/pipeline.h"
+#include "api/server_session.h"
+#include "net/client.h"
+#include "net/report_server.h"
+#include "net/socket.h"
+#include "stream/report_stream.h"
+#include "stream_corpus_util.h"
+
+namespace ldp {
+namespace {
+
+using ldp::testing::kCorpusReports;
+using ldp::testing::MakeCorpusPipeline;
+using ldp::testing::MakeHonestStream;
+
+net::Endpoint TestUdsEndpoint(const std::string& name) {
+  net::Endpoint endpoint;
+  endpoint.kind = net::Endpoint::Kind::kUnix;
+  endpoint.path = "/tmp/ldp_test_" + std::to_string(::getpid()) + "_" + name +
+                  ".sock";
+  return endpoint;
+}
+
+net::Endpoint TestTcpEndpoint() {
+  net::Endpoint endpoint;
+  endpoint.kind = net::Endpoint::Kind::kTcp;
+  endpoint.host = "127.0.0.1";
+  endpoint.port = 0;  // ephemeral; read back from the server
+  return endpoint;
+}
+
+// Shard byte streams (header + frames) for `shards` ordinals, different
+// report contents per shard.
+std::vector<std::string> MakeShardStreams(const api::Pipeline& pipeline,
+                                          size_t shards) {
+  std::vector<std::string> streams;
+  for (size_t s = 0; s < shards; ++s) {
+    streams.push_back(MakeHonestStream(pipeline, /*seed=*/700 + s));
+  }
+  return streams;
+}
+
+// The reference: the same shard bytes fed straight into a session, closed
+// in ordinal order — what the file-based ldp_aggregate run would compute.
+std::string DirectSessionSnapshot(const api::Pipeline& pipeline,
+                                  const std::vector<std::string>& streams) {
+  auto session = pipeline.NewServer();
+  EXPECT_TRUE(session.ok());
+  for (const std::string& stream : streams) {
+    const size_t shard = session.value().OpenShard();
+    EXPECT_TRUE(session.value().Feed(shard, stream).ok());
+    EXPECT_TRUE(session.value().CloseShard(shard).ok());
+  }
+  return session.value().Snapshot();
+}
+
+// Runs one racing campaign: every stream on its own connection/thread with
+// its index as ordinal, `stagger_ms[i]` of sleep before its CLOSE (to force
+// completion orders), against a server session with `ingest_threads`.
+// Returns the resulting session snapshot.
+std::string RunCampaign(const api::Pipeline& pipeline,
+                        const net::Endpoint& endpoint,
+                        const std::vector<std::string>& streams,
+                        unsigned ingest_threads,
+                        const std::vector<int>& stagger_ms) {
+  api::ServerSessionOptions session_options;
+  session_options.ingest_threads = ingest_threads;
+  auto session = pipeline.NewServer(session_options);
+  EXPECT_TRUE(session.ok());
+  net::ReportServerOptions server_options;
+  server_options.acceptors = static_cast<unsigned>(streams.size());
+  // The campaigns race real threads; the expected-shards barrier is what
+  // makes the snapshot-equality assertions deterministic.
+  server_options.expected_shards = streams.size();
+  auto server = net::ReportServer::Start(&session.value(), pipeline.header(),
+                                         endpoint, server_options);
+  EXPECT_TRUE(server.ok());
+  const net::Endpoint resolved = server.value()->endpoint();
+
+  std::vector<std::thread> reporters;
+  for (size_t s = 0; s < streams.size(); ++s) {
+    reporters.emplace_back([&, s] {
+      auto client = net::CollectorClient::Connect(resolved, pipeline.header(),
+                                                  /*ordinal=*/s);
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      // The stream bytes start with the header the HELLO already carried.
+      ASSERT_TRUE(client.value()
+                      .Send(streams[s].data() + stream::kStreamHeaderBytes,
+                            streams[s].size() - stream::kStreamHeaderBytes)
+                      .ok());
+      if (stagger_ms[s] > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(stagger_ms[s]));
+      }
+      auto summary = client.value().Close();
+      ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+      EXPECT_TRUE(summary.value().status.ok())
+          << summary.value().status.ToString();
+      EXPECT_EQ(summary.value().stats.accepted, kCorpusReports);
+      EXPECT_EQ(summary.value().stats.rejected, 0u);
+    });
+  }
+  for (std::thread& reporter : reporters) reporter.join();
+  server.value()->Stop(/*drain=*/true);
+
+  const net::ReportServerStats stats = server.value()->stats();
+  EXPECT_EQ(stats.connections, streams.size());
+  EXPECT_EQ(stats.shards_merged, streams.size());
+  EXPECT_EQ(stats.shards_abandoned, 0u);
+  EXPECT_EQ(stats.hello_rejected, 0u);
+  return session.value().Snapshot();
+}
+
+TEST(ReportServerTest, UdsCampaignIsBitIdenticalToDirectSession) {
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::vector<std::string> streams = MakeShardStreams(pipeline, 4);
+  const std::string reference = DirectSessionSnapshot(pipeline, streams);
+  const std::vector<int> no_stagger(streams.size(), 0);
+
+  for (const unsigned threads : {0u, 2u}) {
+    const std::string snapshot =
+        RunCampaign(pipeline, TestUdsEndpoint("uds_campaign"), streams,
+                    threads, no_stagger);
+    EXPECT_EQ(snapshot, reference) << "ingest_threads=" << threads;
+  }
+}
+
+TEST(ReportServerTest, TcpCampaignIsBitIdenticalToDirectSession) {
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::vector<std::string> streams = MakeShardStreams(pipeline, 3);
+  const std::string reference = DirectSessionSnapshot(pipeline, streams);
+  const std::string snapshot =
+      RunCampaign(pipeline, TestTcpEndpoint(), streams,
+                  /*ingest_threads=*/2, std::vector<int>(streams.size(), 0));
+  EXPECT_EQ(snapshot, reference);
+}
+
+TEST(ReportServerTest, CompletionOrderDoesNotChangeTheSession) {
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::vector<std::string> streams = MakeShardStreams(pipeline, 3);
+  const std::string reference = DirectSessionSnapshot(pipeline, streams);
+  // Ordinal 0 asks to close LAST: ordinal 2's CLOSE arrives first and must
+  // wait for its merge turn. Whatever interleaving the scheduler picks,
+  // the session is the ordinal-ordered one.
+  const std::string snapshot =
+      RunCampaign(pipeline, TestUdsEndpoint("reverse_close"), streams,
+                  /*ingest_threads=*/0, /*stagger_ms=*/{120, 60, 0});
+  EXPECT_EQ(snapshot, reference);
+}
+
+TEST(ReportServerTest, ExpectedShardsBarrierHoldsForLateConnectors) {
+  // Ordinal 1 connects, streams, and asks to close BEFORE ordinal 0 has
+  // even connected. In ad hoc mode that would merge shard 1 first; with
+  // expected_shards the close blocks at the barrier until shard 0 — the
+  // late connector — merges, so the session still matches the
+  // ordinal-ordered reference bit for bit.
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::vector<std::string> streams = MakeShardStreams(pipeline, 2);
+  const std::string reference = DirectSessionSnapshot(pipeline, streams);
+
+  auto session = pipeline.NewServer();
+  ASSERT_TRUE(session.ok());
+  net::ReportServerOptions options;
+  options.acceptors = 2;
+  options.expected_shards = 2;
+  auto server =
+      net::ReportServer::Start(&session.value(), pipeline.header(),
+                               TestUdsEndpoint("late_connector"), options);
+  ASSERT_TRUE(server.ok());
+  const net::Endpoint endpoint = server.value()->endpoint();
+
+  std::thread early([&] {
+    auto client = net::CollectorClient::Connect(endpoint, pipeline.header(),
+                                                /*ordinal=*/1);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client.value()
+                    .Send(streams[1].data() + stream::kStreamHeaderBytes,
+                          streams[1].size() - stream::kStreamHeaderBytes)
+                    .ok());
+    auto summary = client.value().Close();  // blocks on the barrier
+    ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+    EXPECT_TRUE(summary.value().status.ok());
+  });
+  // Give ordinal 1 ample time to reach its CLOSE before 0 exists at all.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto late = net::CollectorClient::Connect(endpoint, pipeline.header(),
+                                            /*ordinal=*/0);
+  ASSERT_TRUE(late.ok());
+  ASSERT_TRUE(late.value()
+                  .Send(streams[0].data() + stream::kStreamHeaderBytes,
+                        streams[0].size() - stream::kStreamHeaderBytes)
+                  .ok());
+  auto summary = late.value().Close();
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary.value().status.ok());
+  early.join();
+  server.value()->Stop(/*drain=*/true);
+
+  EXPECT_EQ(session.value().Snapshot(), reference);
+
+  // An ordinal outside the declared fleet is refused at HELLO.
+  auto session2 = pipeline.NewServer();
+  ASSERT_TRUE(session2.ok());
+  auto server2 =
+      net::ReportServer::Start(&session2.value(), pipeline.header(),
+                               TestUdsEndpoint("fleet_bound"), options);
+  ASSERT_TRUE(server2.ok());
+  auto outside = net::CollectorClient::Connect(server2.value()->endpoint(),
+                                               pipeline.header(),
+                                               /*ordinal=*/2);
+  EXPECT_FALSE(outside.ok());
+  EXPECT_EQ(outside.status().code(), StatusCode::kOutOfRange);
+  server2.value()->Stop(/*drain=*/false);
+}
+
+TEST(ReportServerTest, NumericStreamCampaignMatchesDirectSession) {
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/true);
+  ASSERT_EQ(pipeline.stream_kind(),
+            stream::ReportStreamKind::kSampledNumeric);
+  const std::vector<std::string> streams = MakeShardStreams(pipeline, 2);
+  const std::string reference = DirectSessionSnapshot(pipeline, streams);
+  const std::string snapshot =
+      RunCampaign(pipeline, TestUdsEndpoint("numeric"), streams,
+                  /*ingest_threads=*/2, std::vector<int>(streams.size(), 0));
+  EXPECT_EQ(snapshot, reference);
+}
+
+TEST(ReportServerTest, MultiEpochCampaignOverOneConnection) {
+  // A 2-epoch plan: the same reporter ships a shard per epoch over one
+  // connection, advancing the epoch in between; the third advance must be
+  // refused by the accountant, over the wire.
+  auto schema = data::Schema::Create(
+      {data::ColumnSpec::Numeric("income", -1, 1),
+       data::ColumnSpec::Categorical("sector", 4),
+       data::ColumnSpec::Numeric("age", -1, 1)});
+  ASSERT_TRUE(schema.ok());
+  auto config = api::PipelineConfig::FromSchema(schema.value(), 4.0);
+  ASSERT_TRUE(config.ok());
+  config.value().plan.epochs = 2;
+  auto pipeline = api::Pipeline::Create(std::move(config).value());
+  ASSERT_TRUE(pipeline.ok());
+
+  const std::string epoch0 = MakeHonestStream(pipeline.value(), 810);
+  const std::string epoch1 = MakeHonestStream(pipeline.value(), 811);
+
+  auto session = pipeline.value().NewServer();
+  ASSERT_TRUE(session.ok());
+  net::ReportServerOptions options;
+  // Expected-shards mode: the Reopen below also proves the barrier resets
+  // when the epoch advances (ordinal 0 streams again in epoch 1).
+  options.expected_shards = 1;
+  auto server =
+      net::ReportServer::Start(&session.value(), pipeline.value().header(),
+                               TestUdsEndpoint("epochs"), options);
+  ASSERT_TRUE(server.ok());
+
+  auto client = net::CollectorClient::Connect(
+      server.value()->endpoint(), pipeline.value().header(), /*ordinal=*/0);
+  ASSERT_TRUE(client.ok());
+  EXPECT_EQ(client.value().epoch(), 0u);
+  ASSERT_TRUE(client.value()
+                  .Send(epoch0.data() + stream::kStreamHeaderBytes,
+                        epoch0.size() - stream::kStreamHeaderBytes)
+                  .ok());
+  auto closed = client.value().Close();
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(closed.value().status.ok());
+
+  auto advanced = client.value().AdvanceEpoch();
+  ASSERT_TRUE(advanced.ok()) << advanced.status().ToString();
+  EXPECT_EQ(advanced.value(), 1u);
+
+  ASSERT_TRUE(
+      client.value().Reopen(pipeline.value().header(), /*ordinal=*/0).ok());
+  EXPECT_EQ(client.value().epoch(), 1u);
+  ASSERT_TRUE(client.value()
+                  .Send(epoch1.data() + stream::kStreamHeaderBytes,
+                        epoch1.size() - stream::kStreamHeaderBytes)
+                  .ok());
+  closed = client.value().Close();
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(closed.value().status.ok());
+
+  // The plan is exhausted: the wire surfaces the accountant's exact
+  // refusal.
+  auto refused = client.value().AdvanceEpoch();
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+
+  server.value()->Stop(/*drain=*/true);
+  EXPECT_EQ(session.value().num_epochs(), 2u);
+  auto reports0 = session.value().num_reports(0);
+  auto reports1 = session.value().num_reports(1);
+  ASSERT_TRUE(reports0.ok());
+  ASSERT_TRUE(reports1.ok());
+  EXPECT_EQ(reports0.value(), kCorpusReports);
+  EXPECT_EQ(reports1.value(), kCorpusReports);
+
+  // Byte-identical to the same two-epoch campaign run directly.
+  auto direct = pipeline.value().NewServer();
+  ASSERT_TRUE(direct.ok());
+  size_t shard = direct.value().OpenShard();
+  ASSERT_TRUE(direct.value().Feed(shard, epoch0).ok());
+  ASSERT_TRUE(direct.value().CloseShard(shard).ok());
+  ASSERT_TRUE(direct.value().AdvanceEpoch().ok());
+  shard = direct.value().OpenShard();
+  ASSERT_TRUE(direct.value().Feed(shard, epoch1).ok());
+  ASSERT_TRUE(direct.value().CloseShard(shard).ok());
+  EXPECT_EQ(session.value().Snapshot(), direct.value().Snapshot());
+}
+
+TEST(ReportServerTest, HardStopAbandonsInFlightShards) {
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::string stream = MakeHonestStream(pipeline, 820);
+
+  auto session = pipeline.NewServer();
+  ASSERT_TRUE(session.ok());
+  auto server =
+      net::ReportServer::Start(&session.value(), pipeline.header(),
+                               TestUdsEndpoint("hardstop"),
+                               net::ReportServerOptions());
+  ASSERT_TRUE(server.ok());
+
+  auto client = net::CollectorClient::Connect(
+      server.value()->endpoint(), pipeline.header(), /*ordinal=*/0);
+  ASSERT_TRUE(client.ok());
+  // Ship some frames but never CLOSE; the hard stop must reap the shard.
+  ASSERT_TRUE(client.value()
+                  .Send(stream.data() + stream::kStreamHeaderBytes,
+                        stream.size() - stream::kStreamHeaderBytes)
+                  .ok());
+  server.value()->Stop(/*drain=*/false);
+
+  // The half-shipped shard contributed nothing.
+  auto reports = session.value().num_reports(0);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(reports.value(), 0u);
+  const net::ReportServerStats stats = server.value()->stats();
+  EXPECT_EQ(stats.shards_merged, 0u);
+  EXPECT_EQ(stats.shards_abandoned, 1u);
+
+  // And the client's next conversation step fails rather than hanging.
+  auto summary = client.value().Close();
+  EXPECT_FALSE(summary.ok() && summary.value().status.ok());
+}
+
+TEST(ReportServerTest, DuplicateActiveOrdinalIsRefused) {
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  auto session = pipeline.NewServer();
+  ASSERT_TRUE(session.ok());
+  net::ReportServerOptions options;
+  options.acceptors = 2;
+  auto server =
+      net::ReportServer::Start(&session.value(), pipeline.header(),
+                               TestUdsEndpoint("dup_ordinal"), options);
+  ASSERT_TRUE(server.ok());
+
+  auto first = net::CollectorClient::Connect(server.value()->endpoint(),
+                                             pipeline.header(),
+                                             /*ordinal=*/5);
+  ASSERT_TRUE(first.ok());
+  auto second = net::CollectorClient::Connect(server.value()->endpoint(),
+                                              pipeline.header(),
+                                              /*ordinal=*/5);
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+
+  // The ordinal frees up once the first shard closes.
+  auto closed = first.value().Close();
+  ASSERT_TRUE(closed.ok());
+  auto third = net::CollectorClient::Connect(server.value()->endpoint(),
+                                             pipeline.header(),
+                                             /*ordinal=*/5);
+  EXPECT_TRUE(third.ok());
+  server.value()->Stop(/*drain=*/false);
+}
+
+}  // namespace
+}  // namespace ldp

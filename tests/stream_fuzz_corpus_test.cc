@@ -1,223 +1,40 @@
 // Adversarial frame corpus for the stream stack, replayed through
-// api::ServerSession::Feed serially AND concurrently: a table of truncated,
-// oversized, bit-flipped, and protocol-mismatched mutations of valid mixed
-// and numeric streams. The contract under attack: payload-level corruption
-// only advances the `rejected` counter (honest frames in the same shard
-// still count), framing/header-level corruption poisons exactly its own
-// shard (which then contributes nothing), and a concurrent session produces
+// api::ServerSession::Feed serially AND concurrently (the corpus table
+// itself lives in stream_corpus_util.h, shared with the socket-transport
+// replay in net_fault_test.cc): truncated, oversized, bit-flipped, and
+// protocol-mismatched mutations of valid mixed and numeric streams. The
+// contract under attack: payload-level corruption only advances the
+// `rejected` counter (honest frames in the same shard still count),
+// framing/header-level corruption poisons exactly its own shard (which
+// then contributes nothing), and a concurrent session produces
 // byte-identical snapshots and stats to the serial one even on hostile
 // input. The TSan CI job runs this file too.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "api/pipeline.h"
 #include "api/server_session.h"
 #include "core/mixed_collector.h"
-#include "core/wire.h"
 #include "stream/report_stream.h"
+#include "stream_corpus_util.h"
 #include "stream_test_util.h"
 #include "util/threadpool.h"
 
 namespace ldp {
 namespace {
 
-constexpr double kEpsilon = 4.0;
-constexpr uint64_t kReports = 40;
+using ldp::testing::kStreamCorpus;
+using ldp::testing::MakeCorpusPipeline;
+using ldp::testing::MakeHonestStream;
+using Outcome = ldp::testing::CorpusOutcome;
+using CorpusCase = ldp::testing::CorpusCase;
+
+constexpr uint64_t kReports = ldp::testing::kCorpusReports;
 constexpr uint64_t kSeed = 33;
-
-// Stream header field offsets (stream/report_stream.h layout).
-constexpr size_t kMagicOffset = 0;
-constexpr size_t kVersionOffset = 4;
-constexpr size_t kEpsilonOffset = 9;
-constexpr size_t kSchemaHashOffset = 25;
-
-enum class Outcome {
-  /// Framing/header violation: the shard fails at Feed or CloseShard and
-  /// contributes nothing to the epoch.
-  kPoisoned,
-  /// Payload violations only: the shard closes cleanly, `rejected` counts
-  /// the corrupt frames, every honest frame is accepted.
-  kRejects,
-};
-
-struct CorpusCase {
-  const char* name;
-  Outcome outcome;
-  /// Frames whose payload is rejected (kRejects cases).
-  uint64_t expected_rejected;
-  /// Honest frames still accepted by the shard's *stats* (poisoned shards
-  /// accept frames pre-poison too — they just never reach the epoch).
-  uint64_t expected_accepted;
-  std::string (*mutate)(const std::string& honest);
-};
-
-// --- mutations -------------------------------------------------------------
-
-std::string TruncatedHeader(const std::string& honest) {
-  return honest.substr(0, stream::kStreamHeaderBytes / 2);
-}
-
-std::string BadMagic(const std::string& honest) {
-  std::string bytes = honest;
-  bytes[kMagicOffset] = static_cast<char>(bytes[kMagicOffset] ^ 0x01);
-  return bytes;
-}
-
-std::string BadVersion(const std::string& honest) {
-  std::string bytes = honest;
-  bytes[kVersionOffset] = static_cast<char>(0xFF);
-  bytes[kVersionOffset + 1] = static_cast<char>(0xFF);
-  return bytes;
-}
-
-std::string SchemaHashFlip(const std::string& honest) {
-  std::string bytes = honest;
-  bytes[kSchemaHashOffset] = static_cast<char>(bytes[kSchemaHashOffset] ^ 0xFF);
-  return bytes;
-}
-
-std::string EpsilonMismatch(const std::string& honest) {
-  std::string bytes = honest;
-  const double wrong = kEpsilon + 1.0;
-  uint64_t bits = 0;
-  std::memcpy(&bits, &wrong, sizeof(bits));
-  for (size_t i = 0; i < 8; ++i) {
-    bytes[kEpsilonOffset + i] = static_cast<char>(bits >> (8 * i));
-  }
-  return bytes;
-}
-
-std::string OversizedFirstFrameLength(const std::string& honest) {
-  std::string bytes = honest;
-  const uint32_t hostile = stream::kMaxFrameBytes + 1;
-  for (size_t i = 0; i < 4; ++i) {
-    bytes[stream::kStreamHeaderBytes + i] =
-        static_cast<char>(hostile >> (8 * i));
-  }
-  return bytes;
-}
-
-std::string TruncatedFinalFrame(const std::string& honest) {
-  return honest.substr(0, honest.size() - 3);
-}
-
-std::string TrailingPartialLengthPrefix(const std::string& honest) {
-  return honest + std::string(2, '\x05');
-}
-
-// Overwrites the first frame's first entry attribute index with 0xFFFFFFFF
-// — a "bit-flip" guaranteed to fail range validation whatever the schema.
-std::string BitFlippedAttribute(const std::string& honest) {
-  std::string bytes = honest;
-  // header | u32 frame length | u16 entry_count | u32 attribute ...
-  const size_t attribute_offset = stream::kStreamHeaderBytes + 4 + 2;
-  for (size_t i = 0; i < 4; ++i) {
-    bytes[attribute_offset + i] = static_cast<char>(0xFF);
-  }
-  return bytes;
-}
-
-// Shortens the first frame's payload by one byte (fixing the length prefix
-// so the framing stays intact): the payload decode is what fails.
-std::string TruncatedFirstPayload(const std::string& honest) {
-  const char* data = honest.data() + stream::kStreamHeaderBytes;
-  const uint32_t length = internal_wire::LoadLittleEndian<uint32_t>(data);
-  EXPECT_GT(length, 0u);
-  std::string bytes = honest.substr(0, stream::kStreamHeaderBytes);
-  const uint32_t shortened = length - 1;
-  for (size_t i = 0; i < 4; ++i) {
-    bytes.push_back(static_cast<char>(shortened >> (8 * i)));
-  }
-  bytes.append(honest, stream::kStreamHeaderBytes + 4, shortened);
-  bytes.append(honest, stream::kStreamHeaderBytes + 4 + length,
-               std::string::npos);
-  return bytes;
-}
-
-std::string ZeroLengthFrameInserted(const std::string& honest) {
-  std::string bytes = honest.substr(0, stream::kStreamHeaderBytes);
-  bytes.append(4, '\0');  // u32 length 0, empty payload
-  bytes.append(honest, stream::kStreamHeaderBytes, std::string::npos);
-  return bytes;
-}
-
-std::string GarbageFrameAppended(const std::string& honest) {
-  std::string bytes = honest;
-  EXPECT_TRUE(stream::AppendFrame(std::string(5, '\xFF'), &bytes).ok());
-  return bytes;
-}
-
-const CorpusCase kCorpus[] = {
-    {"truncated-header", Outcome::kPoisoned, 0, 0, TruncatedHeader},
-    {"bad-magic", Outcome::kPoisoned, 0, 0, BadMagic},
-    {"bad-version", Outcome::kPoisoned, 0, 0, BadVersion},
-    {"schema-hash-flip", Outcome::kPoisoned, 0, 0, SchemaHashFlip},
-    {"epsilon-mismatch", Outcome::kPoisoned, 0, 0, EpsilonMismatch},
-    {"oversized-frame-length", Outcome::kPoisoned, 0, 0,
-     OversizedFirstFrameLength},
-    {"truncated-final-frame", Outcome::kPoisoned, 0, kReports - 1,
-     TruncatedFinalFrame},
-    {"trailing-partial-length", Outcome::kPoisoned, 0, kReports,
-     TrailingPartialLengthPrefix},
-    {"bit-flipped-attribute", Outcome::kRejects, 1, kReports - 1,
-     BitFlippedAttribute},
-    {"truncated-first-payload", Outcome::kRejects, 1, kReports - 1,
-     TruncatedFirstPayload},
-    {"zero-length-frame", Outcome::kRejects, 1, kReports,
-     ZeroLengthFrameInserted},
-    {"garbage-frame-appended", Outcome::kRejects, 1, kReports,
-     GarbageFrameAppended},
-};
-
-// --- fixtures --------------------------------------------------------------
-
-api::Pipeline MakePipeline(bool numeric) {
-  auto schema =
-      numeric
-          ? data::Schema::Create({data::ColumnSpec::Numeric("a", -1, 1),
-                                  data::ColumnSpec::Numeric("b", -1, 1)})
-          : data::Schema::Create(
-                {data::ColumnSpec::Numeric("income", -1, 1),
-                 data::ColumnSpec::Categorical("sector", 4),
-                 data::ColumnSpec::Numeric("age", -1, 1)});
-  EXPECT_TRUE(schema.ok());
-  auto config = api::PipelineConfig::FromSchema(schema.value(), kEpsilon);
-  EXPECT_TRUE(config.ok());
-  auto pipeline = api::Pipeline::Create(std::move(config).value());
-  EXPECT_TRUE(pipeline.ok());
-  return std::move(pipeline).value();
-}
-
-// One honest shard stream of kReports perturbed reports.
-std::string HonestStream(const api::Pipeline& pipeline, uint64_t seed) {
-  auto client = pipeline.NewClient();
-  EXPECT_TRUE(client.ok());
-  std::string bytes = client.value().EncodeHeader();
-  for (uint64_t row = 0; row < kReports; ++row) {
-    Rng rng = api::UserRng(seed, row);
-    Result<std::string> payload =
-        [&]() -> Result<std::string> {
-      if (pipeline.stream_kind() ==
-          stream::ReportStreamKind::kSampledNumeric) {
-        return client.value().EncodeReport(std::vector<double>{0.5, -0.5},
-                                           &rng);
-      }
-      MixedTuple tuple(3);
-      tuple[0] = AttributeValue::Numeric(0.25);
-      tuple[1] = AttributeValue::Categorical(row % 4);
-      tuple[2] = AttributeValue::Numeric(-0.75);
-      return client.value().EncodeReport(tuple, &rng);
-    }();
-    EXPECT_TRUE(payload.ok());
-    EXPECT_TRUE(stream::AppendFrame(payload.value(), &bytes).ok());
-  }
-  return bytes;
-}
 
 using ldp::testing::FeedShardsInterleaved;
 
@@ -275,7 +92,7 @@ std::vector<ShardVerdict> ReplayCorpus(api::ServerSession* session,
 
 void CheckVerdicts(const std::vector<ShardVerdict>& verdicts) {
   for (size_t i = 0; i < verdicts.size(); ++i) {
-    const CorpusCase& test_case = kCorpus[i];
+    const CorpusCase& test_case = kStreamCorpus[i];
     const ShardVerdict& verdict = verdicts[i];
     if (test_case.outcome == Outcome::kPoisoned) {
       EXPECT_FALSE(verdict.close_status.ok()) << test_case.name;
@@ -291,10 +108,10 @@ void CheckVerdicts(const std::vector<ShardVerdict>& verdicts) {
 }
 
 TEST(StreamFuzzCorpusTest, CorpusOutcomesAreExactAndConcurrencyInvariant) {
-  const api::Pipeline pipeline = MakePipeline(/*numeric=*/false);
-  const std::string honest = HonestStream(pipeline, kSeed);
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::string honest = MakeHonestStream(pipeline, kSeed);
   std::vector<std::string> mutants;
-  for (const CorpusCase& test_case : kCorpus) {
+  for (const CorpusCase& test_case : kStreamCorpus) {
     mutants.push_back(test_case.mutate(honest));
   }
 
@@ -307,7 +124,7 @@ TEST(StreamFuzzCorpusTest, CorpusOutcomesAreExactAndConcurrencyInvariant) {
   // Only the two honest shards and the non-poisoned mutants reached the
   // epoch: corrupt frames are rejected, poisoned shards contribute nothing.
   uint64_t expected_epoch_reports = 2 * kReports;
-  for (const CorpusCase& test_case : kCorpus) {
+  for (const CorpusCase& test_case : kStreamCorpus) {
     if (test_case.outcome == Outcome::kRejects) {
       expected_epoch_reports += test_case.expected_accepted;
     }
@@ -327,13 +144,13 @@ TEST(StreamFuzzCorpusTest, CorpusOutcomesAreExactAndConcurrencyInvariant) {
     for (size_t i = 0; i < verdicts.size(); ++i) {
       EXPECT_EQ(verdicts[i].close_status.code(),
                 serial_verdicts[i].close_status.code())
-          << kCorpus[i].name;
+          << kStreamCorpus[i].name;
       EXPECT_EQ(verdicts[i].stats.accepted, serial_verdicts[i].stats.accepted)
-          << kCorpus[i].name;
+          << kStreamCorpus[i].name;
       EXPECT_EQ(verdicts[i].stats.rejected, serial_verdicts[i].stats.rejected)
-          << kCorpus[i].name;
+          << kStreamCorpus[i].name;
       EXPECT_EQ(verdicts[i].stats.frames, serial_verdicts[i].stats.frames)
-          << kCorpus[i].name;
+          << kStreamCorpus[i].name;
     }
     // The whole epoch state — honest totals included — is byte-identical
     // to the serial replay.
@@ -343,8 +160,8 @@ TEST(StreamFuzzCorpusTest, CorpusOutcomesAreExactAndConcurrencyInvariant) {
 }
 
 TEST(StreamFuzzCorpusTest, RejectionBudgetPoisonsGarbageHeavyShards) {
-  const api::Pipeline pipeline = MakePipeline(/*numeric=*/false);
-  const std::string honest = HonestStream(pipeline, kSeed);
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::string honest = MakeHonestStream(pipeline, kSeed);
   // Three corrupt frames, budget of two: the shard must fail even though
   // each rejection alone is tolerable.
   std::string hostile = honest;
@@ -365,15 +182,15 @@ TEST(StreamFuzzCorpusTest, RejectionBudgetPoisonsGarbageHeavyShards) {
 }
 
 TEST(StreamFuzzCorpusTest, StrictModePoisonsOnFirstRejectedPayload) {
-  const api::Pipeline pipeline = MakePipeline(/*numeric=*/false);
-  const std::string honest = HonestStream(pipeline, kSeed);
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::string honest = MakeHonestStream(pipeline, kSeed);
   api::ServerSessionOptions options;
   options.ingest_threads = 2;
   options.ingest.strict = true;
   auto server = pipeline.NewServer(options);
   ASSERT_TRUE(server.ok());
   const size_t shard = server.value().OpenShard();
-  FeedChunked(&server.value(), shard, BitFlippedAttribute(honest),
+  FeedChunked(&server.value(), shard, ldp::testing::CorpusBitFlippedAttribute(honest),
               /*chunk_seed=*/4);
   EXPECT_FALSE(server.value().CloseShard(shard).ok());
   auto reports = server.value().num_reports(0);
@@ -382,9 +199,9 @@ TEST(StreamFuzzCorpusTest, StrictModePoisonsOnFirstRejectedPayload) {
 }
 
 TEST(StreamFuzzCorpusTest, NumericStreamCorpusBehavesLikeMixed) {
-  const api::Pipeline pipeline = MakePipeline(/*numeric=*/true);
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/true);
   ASSERT_EQ(pipeline.stream_kind(), stream::ReportStreamKind::kSampledNumeric);
-  const std::string honest = HonestStream(pipeline, kSeed);
+  const std::string honest = MakeHonestStream(pipeline, kSeed);
 
   // The numeric frame decoder has its own validation path; replay the
   // header/framing/payload corpus classes against it.
@@ -394,16 +211,16 @@ TEST(StreamFuzzCorpusTest, NumericStreamCorpusBehavesLikeMixed) {
     uint64_t expected_rejected;
     std::string bytes;
   } kNumericCases[] = {
-      {"schema-hash-flip", Outcome::kPoisoned, 0, SchemaHashFlip(honest)},
-      {"epsilon-mismatch", Outcome::kPoisoned, 0, EpsilonMismatch(honest)},
+      {"schema-hash-flip", Outcome::kPoisoned, 0, ldp::testing::CorpusSchemaHashFlip(honest)},
+      {"epsilon-mismatch", Outcome::kPoisoned, 0, ldp::testing::CorpusEpsilonMismatch(honest)},
       {"oversized-frame-length", Outcome::kPoisoned, 0,
-       OversizedFirstFrameLength(honest)},
+       ldp::testing::CorpusOversizedFirstFrameLength(honest)},
       {"truncated-final-frame", Outcome::kPoisoned, 0,
-       TruncatedFinalFrame(honest)},
+       ldp::testing::CorpusTruncatedFinalFrame(honest)},
       {"bit-flipped-attribute", Outcome::kRejects, 1,
-       BitFlippedAttribute(honest)},
+       ldp::testing::CorpusBitFlippedAttribute(honest)},
       {"zero-length-frame", Outcome::kRejects, 1,
-       ZeroLengthFrameInserted(honest)},
+       ldp::testing::CorpusZeroLengthFrameInserted(honest)},
   };
 
   for (const unsigned threads : {0u, 4u}) {

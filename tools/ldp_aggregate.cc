@@ -34,11 +34,10 @@
 #include <string>
 #include <vector>
 
-#include "aggregate/confidence.h"
 #include "api/pipeline.h"
 #include "api/server_session.h"
-#include "core/sampled_numeric.h"
 #include "data/schema_text.h"
+#include "estimate_printer.h"
 #include "stream/parallel_ingest.h"
 #include "stream/report_stream.h"
 #include "stream/shard_ingester.h"
@@ -284,59 +283,6 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto sampled = SampledNumericMechanism::Create(
-      first.value().mechanism, pipeline.value().epsilon(), d);
-  for (uint32_t epoch = 0; epoch < session.num_epochs(); ++epoch) {
-    if (selected_epoch >= 0 && epoch != static_cast<uint32_t>(selected_epoch)) {
-      continue;
-    }
-    auto n = session.num_reports(epoch);
-    if (!n.ok()) {
-      std::fprintf(stderr, "%s\n", n.status().ToString().c_str());
-      return 1;
-    }
-    if (session.num_epochs() > 1) {
-      std::printf("=== epoch %u (%llu reports) ===\n", epoch,
-                  static_cast<unsigned long long>(n.value()));
-    }
-    std::printf("numeric attribute means (+/- %.0f%% CI, native units):\n",
-                confidence * 100.0);
-    for (uint32_t col = 0; col < d; ++col) {
-      const data::ColumnSpec& spec = schema.value().column(col);
-      if (spec.type != data::ColumnType::kNumeric) continue;
-      auto mean = session.EstimateMean(col, epoch);
-      if (!mean.ok()) {
-        std::fprintf(stderr, "%s\n", mean.status().ToString().c_str());
-        return 1;
-      }
-      const double mid = (spec.hi + spec.lo) / 2.0;
-      const double half = (spec.hi - spec.lo) / 2.0;
-      auto interval = aggregate::SampledMeanConfidenceInterval(
-          mean.value(), sampled.value(), n.value(), confidence);
-      if (!interval.ok()) {
-        std::fprintf(stderr, "%s\n", interval.status().ToString().c_str());
-        return 1;
-      }
-      std::printf("  %-20s %12.4f  [%0.4f, %0.4f]\n", spec.name.c_str(),
-                  mid + half * interval.value().estimate,
-                  mid + half * interval.value().lo,
-                  mid + half * interval.value().hi);
-    }
-
-    std::printf("\ncategorical attribute frequencies:\n");
-    for (uint32_t col = 0; col < d; ++col) {
-      const data::ColumnSpec& spec = schema.value().column(col);
-      if (spec.type != data::ColumnType::kCategorical) continue;
-      auto freqs = session.EstimateFrequencies(col, epoch);
-      if (!freqs.ok()) {
-        std::fprintf(stderr, "%s\n", freqs.status().ToString().c_str());
-        return 1;
-      }
-      std::printf("  %s:", spec.name.c_str());
-      for (const double f : freqs.value()) std::printf(" %.4f", f);
-      std::printf("\n");
-    }
-    if (epoch + 1 < session.num_epochs()) std::printf("\n");
-  }
-  return 0;
+  return tools::PrintSessionEstimates(schema.value(), pipeline.value(),
+                                      session, confidence, selected_epoch);
 }

@@ -40,6 +40,7 @@
 #include "core/variance.h"
 #include "data/csv.h"
 #include "data/schema_text.h"
+#include "tool_flags.h"
 #include "stream/report_stream.h"
 #include "util/threadpool.h"
 
@@ -56,17 +57,6 @@ void Usage() {
       "                   [--seed S] [--confidence C] [--threads T]\n"
       "--threads fixes the summation chunk boundaries for bit-compatible\n"
       "output with pooled/sharded runs; the streaming loop is sequential.\n");
-}
-
-bool ParseOracle(const std::string& name, FrequencyOracleKind* kind) {
-  if (name == "oue") *kind = FrequencyOracleKind::kOue;
-  else if (name == "grr") *kind = FrequencyOracleKind::kGrr;
-  else if (name == "sue") *kind = FrequencyOracleKind::kSue;
-  else if (name == "olh") *kind = FrequencyOracleKind::kOlh;
-  else if (name == "he") *kind = FrequencyOracleKind::kHe;
-  else if (name == "the") *kind = FrequencyOracleKind::kThe;
-  else return false;
-  return true;
 }
 
 }  // namespace
@@ -101,17 +91,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--mechanism") {
-      const std::string name = next();
-      if (name == "hm") {
-        mechanism = MechanismKind::kHybrid;
-      } else if (name == "pm") {
-        mechanism = MechanismKind::kPiecewise;
-      } else {
+      if (!tools::ParseMechanismFlag(next(), &mechanism)) {
         Usage();
         return 2;
       }
     } else if (arg == "--oracle") {
-      if (!ParseOracle(next(), &oracle)) {
+      if (!tools::ParseOracleFlag(next(), &oracle)) {
         Usage();
         return 2;
       }

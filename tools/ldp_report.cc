@@ -1,15 +1,17 @@
 // ldp_report: the client half of the deployment split. Streams a CSV of
 // user records row by row, perturbs each row on the "device" under ε-LDP
-// through an api::ClientSession, and writes the privatized reports as framed
-// report streams (src/stream/report_stream.h) — one shard file per slice of
-// the population — ready to be shipped to an ldp_aggregate server. Nothing
-// but the perturbed reports is written out, and memory stays O(schema)
-// regardless of row count: the table is never materialized (a cheap first
-// pass counts rows to fix the shard boundaries, then the privatizing pass
-// streams).
+// through an api::ClientSession, and ships the privatized reports as framed
+// report streams (src/stream/report_stream.h) — either as one shard file
+// per slice of the population (ready for ldp_aggregate), or, with
+// --connect, streamed live to an ldp_serve collector over TCP or a
+// Unix-domain socket. Nothing but the perturbed reports leaves the process,
+// and memory stays O(schema) regardless of row count: the table is never
+// materialized (a cheap first pass counts rows to fix the shard
+// boundaries, then the privatizing pass streams).
 //
-//   ldp_report --schema FILE --data FILE --epsilon E --out PREFIX
-//              [--shards N] [--mechanism hm|pm]
+//   ldp_report --schema FILE --data FILE --epsilon E
+//              (--out PREFIX | --connect tcp:HOST:PORT|unix:PATH)
+//              [--shards N] [--shard-index I] [--mechanism hm|pm]
 //              [--oracle oue|grr|sue|olh|he|the]
 //              [--stream auto|mixed|numeric] [--seed S]
 //
@@ -17,21 +19,30 @@
 // any column is categorical, the Algorithm-4 numeric kind when all columns
 // are numeric; --stream mixed forces the mixed wire format either way.
 //
-// Produces PREFIX.shard-000.ldps ... PREFIX.shard-<N-1>.ldps. Shard
-// boundaries follow util/threadpool.h SplitRange, and user `row` draws from
-// api::UserRng(seed, row): aggregating the shards in order reproduces an
-// in-process ldp_collect run with the same seed and chunking bit for bit.
+// File mode produces PREFIX.shard-000.ldps ... PREFIX.shard-<N-1>.ldps.
+// Connect mode opens one collector connection per shard and HELLOs the
+// shard's index as its merge ordinal. Either way, shard boundaries follow
+// util/threadpool.h SplitRange and user `row` draws from
+// api::UserRng(seed, row), so aggregating the shards in (ordinal) order
+// reproduces an in-process ldp_collect run with the same seed and chunking
+// bit for bit — including across the network. --shard-index I restricts
+// this invocation to shard I (same boundaries, same randomness), which is
+// how a fleet of concurrent reporter processes splits one campaign.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "api/pipeline.h"
 #include "data/csv.h"
 #include "data/schema_text.h"
+#include "tool_flags.h"
+#include "net/client.h"
+#include "net/socket.h"
 #include "stream/report_stream.h"
 #include "util/threadpool.h"
 
@@ -42,21 +53,12 @@ using namespace ldp;  // NOLINT: CLI binary
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: ldp_report --schema FILE --data FILE --epsilon E --out PREFIX\n"
-      "                  [--shards N] [--mechanism hm|pm]\n"
+      "usage: ldp_report --schema FILE --data FILE --epsilon E\n"
+      "                  (--out PREFIX | --connect ENDPOINT)\n"
+      "                  [--shards N] [--shard-index I] [--mechanism hm|pm]\n"
       "                  [--oracle oue|grr|sue|olh|he|the]\n"
-      "                  [--stream auto|mixed|numeric] [--seed S]\n");
-}
-
-bool ParseOracle(const std::string& name, FrequencyOracleKind* kind) {
-  if (name == "oue") *kind = FrequencyOracleKind::kOue;
-  else if (name == "grr") *kind = FrequencyOracleKind::kGrr;
-  else if (name == "sue") *kind = FrequencyOracleKind::kSue;
-  else if (name == "olh") *kind = FrequencyOracleKind::kOlh;
-  else if (name == "he") *kind = FrequencyOracleKind::kHe;
-  else if (name == "the") *kind = FrequencyOracleKind::kThe;
-  else return false;
-  return true;
+      "                  [--stream auto|mixed|numeric] [--seed S]\n"
+      "ENDPOINT is tcp:HOST:PORT or unix:PATH (an ldp_serve collector).\n");
 }
 
 std::string ShardPath(const std::string& prefix, size_t shard) {
@@ -68,13 +70,81 @@ std::string ShardPath(const std::string& prefix, size_t shard) {
   return prefix + suffix;
 }
 
+// Where one shard's bytes go: a file (writer mode) or a collector
+// connection (connect mode). Both consume the identical byte stream.
+struct ShardSink {
+  virtual ~ShardSink() = default;
+  virtual Status Write(const std::string& bytes) = 0;
+  /// Finalizes the shard; returns bytes shipped.
+  virtual Result<uint64_t> Finish() = 0;
+};
+
+struct FileShardSink : ShardSink {
+  explicit FileShardSink(const std::string& path)
+      : path_(path), out_(path, std::ios::binary | std::ios::trunc) {}
+
+  Status Write(const std::string& bytes) override {
+    if (!out_.is_open()) {
+      return Status::IoError("cannot open '" + path_ + "' for writing");
+    }
+    out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    bytes_ += bytes.size();
+    return out_.good() ? Status::OK()
+                       : Status::IoError("write error on '" + path_ + "'");
+  }
+
+  Result<uint64_t> Finish() override {
+    out_.flush();
+    if (!out_.good()) {
+      return Status::IoError("write error on '" + path_ + "'");
+    }
+    return bytes_;
+  }
+
+  std::string path_;
+  std::ofstream out_;
+  uint64_t bytes_ = 0;
+};
+
+struct NetShardSink : ShardSink {
+  NetShardSink(net::CollectorClient client, uint64_t reports)
+      : client_(std::move(client)), reports_(reports) {}
+
+  Status Write(const std::string& bytes) override {
+    bytes_ += bytes.size();
+    return client_.Send(bytes);
+  }
+
+  Result<uint64_t> Finish() override {
+    Result<net::ShardCloseSummary> summary = client_.Close();
+    if (!summary.ok()) return summary.status();
+    if (!summary.value().status.ok()) {
+      return Status(summary.value().status.code(),
+                    "collector discarded the shard: " +
+                        summary.value().status.message());
+    }
+    if (summary.value().stats.accepted != reports_) {
+      return Status::Internal(
+          "collector accepted " +
+          std::to_string(summary.value().stats.accepted) + " of " +
+          std::to_string(reports_) + " reports");
+    }
+    return bytes_;
+  }
+
+  net::CollectorClient client_;
+  uint64_t reports_;
+  uint64_t bytes_ = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string schema_path, data_path, prefix;
+  std::string schema_path, data_path, prefix, connect_spec;
   double epsilon = 0.0;
   uint64_t seed = 1;
   uint64_t shards = 1;
+  long shard_index = -1;
   MechanismKind mechanism = MechanismKind::kHybrid;
   FrequencyOracleKind oracle = FrequencyOracleKind::kOue;
   api::WirePreference wire = api::WirePreference::kAuto;
@@ -95,34 +165,32 @@ int main(int argc, char** argv) {
       epsilon = std::strtod(next(), nullptr);
     } else if (arg == "--out") {
       prefix = next();
+    } else if (arg == "--connect") {
+      connect_spec = next();
     } else if (arg == "--shards") {
       shards = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--shard-index") {
+      const char* text = next();
+      char* end = nullptr;
+      shard_index = std::strtol(text, &end, 10);
+      if (end == text || *end != '\0' || shard_index < 0) {
+        Usage();
+        return 2;
+      }
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--mechanism") {
-      const std::string name = next();
-      if (name == "hm") {
-        mechanism = MechanismKind::kHybrid;
-      } else if (name == "pm") {
-        mechanism = MechanismKind::kPiecewise;
-      } else {
+      if (!tools::ParseMechanismFlag(next(), &mechanism)) {
         Usage();
         return 2;
       }
     } else if (arg == "--oracle") {
-      if (!ParseOracle(next(), &oracle)) {
+      if (!tools::ParseOracleFlag(next(), &oracle)) {
         Usage();
         return 2;
       }
     } else if (arg == "--stream") {
-      const std::string name = next();
-      if (name == "auto") {
-        wire = api::WirePreference::kAuto;
-      } else if (name == "mixed") {
-        wire = api::WirePreference::kMixed;
-      } else if (name == "numeric") {
-        wire = api::WirePreference::kNumeric;
-      } else {
+      if (!tools::ParseWireFlag(next(), &wire)) {
         Usage();
         return 2;
       }
@@ -131,10 +199,22 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (schema_path.empty() || data_path.empty() || prefix.empty() ||
-      epsilon <= 0.0 || shards == 0) {
+  const bool connect_mode = !connect_spec.empty();
+  if (schema_path.empty() || data_path.empty() || epsilon <= 0.0 ||
+      shards == 0 || prefix.empty() != connect_mode ||
+      (shard_index >= 0 && static_cast<uint64_t>(shard_index) >= shards)) {
     Usage();
     return 2;
+  }
+
+  net::Endpoint endpoint;
+  if (connect_mode) {
+    auto parsed = net::Endpoint::Parse(connect_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    endpoint = parsed.value();
   }
 
   auto schema = data::ReadSchemaFile(schema_path);
@@ -175,7 +255,9 @@ int main(int argc, char** argv) {
   // Second pass: stream rows, normalizing each numeric cell from its schema
   // [lo, hi] to the mechanisms' canonical [-1, 1] with the same arithmetic
   // as data::NormalizeNumeric — bit-identical to the materializing pipeline,
-  // which the reproduction contract depends on.
+  // which the reproduction contract depends on. Rows outside a selected
+  // shard are still read (and their RNG rows skipped by index), so the
+  // shrink/grow integrity checks keep covering the whole file.
   auto reader = data::CsvRowReader::Open(schema.value(), data_path);
   if (!reader.ok()) {
     std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
@@ -183,18 +265,47 @@ int main(int argc, char** argv) {
   }
   const uint32_t d = schema.value().num_columns();
   const std::vector<IndexRange> ranges = SplitRange(n, shards);
+  // SplitRange never produces empty shards, so fewer rows than --shards
+  // yields fewer ranges; a --shard-index beyond them has no users to ship.
+  if (shard_index >= 0 && static_cast<size_t>(shard_index) >= ranges.size()) {
+    std::fprintf(stderr,
+                 "shard %ld is empty: %llu row(s) split into %zu shard(s)\n",
+                 shard_index, static_cast<unsigned long long>(n),
+                 ranges.size());
+    return 1;
+  }
   std::vector<double> numeric_row;
   std::vector<uint32_t> category_row;
   MixedTuple tuple(d);
   uint64_t total_bytes = 0;
+  size_t shards_shipped = 0;
+  const std::string header_bytes = client.value().EncodeHeader();
+  std::string buffer;
   for (size_t s = 0; s < ranges.size(); ++s) {
-    const std::string path = ShardPath(prefix, s);
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) {
-      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
-      return 1;
+    const bool selected =
+        shard_index < 0 || s == static_cast<size_t>(shard_index);
+    std::unique_ptr<ShardSink> sink;
+    if (selected) {
+      if (connect_mode) {
+        auto connection = net::CollectorClient::Connect(
+            endpoint, client.value().header(), /*ordinal=*/s);
+        if (!connection.ok()) {
+          std::fprintf(stderr, "shard %zu: %s\n", s,
+                       connection.status().ToString().c_str());
+          return 1;
+        }
+        sink = std::make_unique<NetShardSink>(std::move(connection).value(),
+                                              ranges[s].end - ranges[s].begin);
+      } else {
+        sink = std::make_unique<FileShardSink>(ShardPath(prefix, s));
+        // The connection HELLOs the header; files carry it inline.
+        const Status wrote = sink->Write(header_bytes);
+        if (!wrote.ok()) {
+          std::fprintf(stderr, "%s\n", wrote.ToString().c_str());
+          return 1;
+        }
+      }
     }
-    stream::ReportStreamWriter writer(&out, client.value().header());
     for (uint64_t row = ranges[s].begin; row < ranges[s].end; ++row) {
       auto more = reader.value().NextRow(&numeric_row, &category_row);
       if (!more.ok()) {
@@ -205,21 +316,33 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s shrank between passes\n", data_path.c_str());
         return 1;
       }
+      if (!selected) continue;
       api::RowToTuple(schema.value(), numeric_row, category_row, &tuple);
       Rng rng = api::UserRng(seed, row);
-      const Status status = client.value().WriteReport(&writer, tuple, &rng);
-      if (!status.ok()) {
-        std::fprintf(stderr, "%s: %s\n", path.c_str(),
-                     status.ToString().c_str());
+      auto payload = client.value().EncodeReport(tuple, &rng);
+      if (!payload.ok()) {
+        std::fprintf(stderr, "shard %zu: %s\n", s,
+                     payload.status().ToString().c_str());
+        return 1;
+      }
+      buffer.clear();
+      const Status framed = stream::AppendFrame(payload.value(), &buffer);
+      const Status wrote = framed.ok() ? sink->Write(buffer) : framed;
+      if (!wrote.ok()) {
+        std::fprintf(stderr, "shard %zu: %s\n", s, wrote.ToString().c_str());
         return 1;
       }
     }
-    out.flush();
-    if (!out.good()) {
-      std::fprintf(stderr, "write error on %s\n", path.c_str());
-      return 1;
+    if (selected) {
+      auto finished = sink->Finish();
+      if (!finished.ok()) {
+        std::fprintf(stderr, "shard %zu: %s\n", s,
+                     finished.status().ToString().c_str());
+        return 1;
+      }
+      total_bytes += finished.value();
+      ++shards_shipped;
     }
-    total_bytes += writer.bytes_written();
   }
   // The shard boundaries were fixed by the counting pass; rows appearing
   // after it (a still-running exporter?) would otherwise be dropped
@@ -234,14 +357,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const uint64_t reported =
+      shard_index < 0
+          ? n
+          : ranges[static_cast<size_t>(shard_index)].end -
+                ranges[static_cast<size_t>(shard_index)].begin;
   std::printf(
       "privatized %llu users under eps = %g (%s stream, mechanism %s, oracle "
-      "%s; %u of %u attributes sampled per user)\n"
-      "wrote %zu shard stream(s) to %s.shard-*.ldps (%llu bytes)\n",
-      static_cast<unsigned long long>(n), epsilon,
+      "%s; %u of %u attributes sampled per user)\n",
+      static_cast<unsigned long long>(reported), epsilon,
       stream::ReportStreamKindToString(pipeline.value().stream_kind()),
       MechanismKindToString(mechanism), FrequencyOracleKindToString(oracle),
-      pipeline.value().k(), d, ranges.size(), prefix.c_str(),
-      static_cast<unsigned long long>(total_bytes));
+      pipeline.value().k(), d);
+  if (connect_mode) {
+    std::printf("streamed %zu shard(s) to %s (%llu bytes)\n", shards_shipped,
+                endpoint.ToString().c_str(),
+                static_cast<unsigned long long>(total_bytes));
+  } else {
+    std::printf("wrote %zu shard stream(s) to %s.shard-*.ldps (%llu bytes)\n",
+                shards_shipped, prefix.c_str(),
+                static_cast<unsigned long long>(total_bytes));
+  }
   return 0;
 }

@@ -1,0 +1,232 @@
+// ldp_serve: the deployed collector — an api::Pipeline ServerSession behind
+// a net::ReportServer, ingesting privatized report streams from remote
+// ldp_report --connect reporters over TCP or a Unix-domain socket. Each
+// connection negotiates its stream header (schema hash, ε, mechanism/oracle
+// kinds) before a single report byte is decoded, then becomes one session
+// shard: framing errors, disconnects, and slow-loris stalls poison or
+// abandon only that shard. Closed shards merge in client ordinal order;
+// with --expect-shards N (a strict barrier over ordinals 0..N-1) a
+// campaign of reporters reproduces the file-based
+// `ldp_aggregate shard-0 ... shard-N-1` run bit for bit no matter when
+// each reporter connects or finishes.
+//
+//   ldp_serve --schema FILE --epsilon E --listen tcp:HOST:PORT|unix:PATH
+//             [--expect-shards N] [--mechanism hm|pm]
+//             [--oracle oue|grr|sue|olh|he|the]
+//             [--stream auto|mixed|numeric] [--epochs N]
+//             [--acceptors N] [--threads T] [--strict] [--max-rejected N]
+//             [--idle-timeout-ms N] [--confidence C]
+//             [--snapshot-out FILE]
+//
+// SIGTERM/SIGINT drain gracefully: stop accepting, let in-flight reporters
+// finish (bounded by the idle timeout), then write the session snapshot
+// (--snapshot-out) and print per-epoch estimates in ldp_aggregate's format.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "api/pipeline.h"
+#include "api/server_session.h"
+#include "data/schema_text.h"
+#include "tool_flags.h"
+#include "estimate_printer.h"
+#include "net/report_server.h"
+#include "net/socket.h"
+#include "stream/shard_ingester.h"
+
+namespace {
+
+using namespace ldp;  // NOLINT: CLI binary
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int /*signum*/) { g_stop = 1; }
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ldp_serve --schema FILE --epsilon E --listen ENDPOINT\n"
+      "                 [--expect-shards N] [--mechanism hm|pm]\n"
+      "                 [--oracle oue|grr|sue|olh|he|the]\n"
+      "                 [--stream auto|mixed|numeric] [--epochs N]\n"
+      "                 [--acceptors N] [--threads T] [--strict]\n"
+      "                 [--max-rejected N] [--idle-timeout-ms N]\n"
+      "                 [--confidence C] [--snapshot-out FILE]\n"
+      "ENDPOINT is tcp:HOST:PORT (port 0 = ephemeral, printed on stdout)\n"
+      "or unix:PATH. SIGTERM drains and writes the snapshot/estimates.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string schema_path, listen_spec, snapshot_out;
+  double epsilon = 0.0;
+  double confidence = 0.95;
+  uint32_t epochs = 1;
+  unsigned threads = 0;
+  MechanismKind mechanism = MechanismKind::kHybrid;
+  FrequencyOracleKind oracle = FrequencyOracleKind::kOue;
+  api::WirePreference wire = api::WirePreference::kAuto;
+  stream::ShardIngester::Options ingest_options;
+  net::ReportServerOptions server_options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--schema") {
+      schema_path = next();
+    } else if (arg == "--epsilon") {
+      epsilon = std::strtod(next(), nullptr);
+    } else if (arg == "--listen") {
+      listen_spec = next();
+    } else if (arg == "--epochs") {
+      epochs = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--expect-shards") {
+      server_options.expected_shards = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--acceptors") {
+      server_options.acceptors =
+          static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--idle-timeout-ms") {
+      server_options.idle_timeout_ms =
+          static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--strict") {
+      ingest_options.strict = true;
+    } else if (arg == "--max-rejected") {
+      ingest_options.max_rejected = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--confidence") {
+      confidence = std::strtod(next(), nullptr);
+    } else if (arg == "--snapshot-out") {
+      snapshot_out = next();
+    } else if (arg == "--mechanism") {
+      if (!tools::ParseMechanismFlag(next(), &mechanism)) {
+        Usage();
+        return 2;
+      }
+    } else if (arg == "--oracle") {
+      if (!tools::ParseOracleFlag(next(), &oracle)) {
+        Usage();
+        return 2;
+      }
+    } else if (arg == "--stream") {
+      if (!tools::ParseWireFlag(next(), &wire)) {
+        Usage();
+        return 2;
+      }
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (schema_path.empty() || listen_spec.empty() || epsilon <= 0.0 ||
+      epochs == 0) {
+    Usage();
+    return 2;
+  }
+
+  auto endpoint = net::Endpoint::Parse(listen_spec);
+  if (!endpoint.ok()) {
+    std::fprintf(stderr, "%s\n", endpoint.status().ToString().c_str());
+    return 1;
+  }
+  auto schema = data::ReadSchemaFile(schema_path);
+  if (!schema.ok()) {
+    std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+  auto config = api::PipelineConfig::FromSchema(schema.value(), epsilon);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  config.value().mechanism = mechanism;
+  config.value().oracle = oracle;
+  config.value().wire = wire;
+  config.value().plan.epochs = epochs;
+  auto pipeline = api::Pipeline::Create(std::move(config).value());
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
+    return 1;
+  }
+  api::ServerSessionOptions session_options;
+  session_options.ingest = ingest_options;
+  session_options.ingest_threads = threads;
+  auto server_session = pipeline.value().NewServer(session_options);
+  if (!server_session.ok()) {
+    std::fprintf(stderr, "%s\n", server_session.status().ToString().c_str());
+    return 1;
+  }
+  api::ServerSession& session = server_session.value();
+
+  auto server = net::ReportServer::Start(&session, pipeline.value().header(),
+                                         endpoint.value(), server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::printf("listening on %s (%s stream, eps = %g/epoch, %u epoch plan, "
+              "%u acceptor(s), %u session thread(s))\n",
+              server.value()->endpoint().ToString().c_str(),
+              stream::ReportStreamKindToString(pipeline.value().stream_kind()),
+              epsilon, epochs, server_options.acceptors, threads);
+  std::fflush(stdout);
+
+  // The acceptors own all the work; this thread just waits for the signal.
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server.value()->Stop(/*drain=*/true);
+
+  const net::ReportServerStats stats = server.value()->stats();
+  uint64_t total_reports = 0;
+  for (uint32_t epoch = 0; epoch < session.num_epochs(); ++epoch) {
+    auto n = session.num_reports(epoch);
+    if (n.ok()) total_reports += n.value();
+  }
+  std::printf(
+      "served %llu connection(s): %llu shard(s) merged, %llu discarded, "
+      "%llu abandoned, %llu hello-rejected, %llu protocol error(s)\n",
+      static_cast<unsigned long long>(stats.connections),
+      static_cast<unsigned long long>(stats.shards_merged),
+      static_cast<unsigned long long>(stats.shards_discarded),
+      static_cast<unsigned long long>(stats.shards_abandoned),
+      static_cast<unsigned long long>(stats.hello_rejected),
+      static_cast<unsigned long long>(stats.protocol_errors));
+  std::printf("%llu report(s) across %u epoch(s), eps spent %g\n\n",
+              static_cast<unsigned long long>(total_reports),
+              session.num_epochs(), session.epsilon_spent());
+
+  if (!snapshot_out.empty()) {
+    const std::string bytes = session.Snapshot();
+    std::ofstream out(snapshot_out, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out.good()) {
+      std::fprintf(stderr, "write error on %s\n", snapshot_out.c_str());
+      return 1;
+    }
+    std::printf("wrote session snapshot to %s (%zu bytes, %u epoch(s))\n\n",
+                snapshot_out.c_str(), bytes.size(), session.num_epochs());
+  }
+
+  return tools::PrintSessionEstimates(schema.value(), pipeline.value(),
+                                      session, confidence,
+                                      /*selected_epoch=*/-1);
+}

@@ -1,0 +1,49 @@
+// Shared CLI flag parsers for the tools. `--oracle`, `--mechanism`, and
+// `--stream` must accept exactly the same vocabulary in every binary
+// (ldp_collect, ldp_report, ldp_serve); one parser per flag keeps a new
+// oracle or mechanism kind from being silently unreachable in one tool.
+
+#ifndef LDP_TOOLS_TOOL_FLAGS_H_
+#define LDP_TOOLS_TOOL_FLAGS_H_
+
+#include <string>
+
+#include "api/pipeline.h"
+#include "core/mechanism.h"
+#include "frequency/frequency_oracle.h"
+
+namespace ldp::tools {
+
+/// "oue" | "grr" | "sue" | "olh" | "he" | "the".
+inline bool ParseOracleFlag(const std::string& name,
+                            FrequencyOracleKind* kind) {
+  if (name == "oue") *kind = FrequencyOracleKind::kOue;
+  else if (name == "grr") *kind = FrequencyOracleKind::kGrr;
+  else if (name == "sue") *kind = FrequencyOracleKind::kSue;
+  else if (name == "olh") *kind = FrequencyOracleKind::kOlh;
+  else if (name == "he") *kind = FrequencyOracleKind::kHe;
+  else if (name == "the") *kind = FrequencyOracleKind::kThe;
+  else return false;
+  return true;
+}
+
+/// "hm" | "pm".
+inline bool ParseMechanismFlag(const std::string& name, MechanismKind* kind) {
+  if (name == "hm") *kind = MechanismKind::kHybrid;
+  else if (name == "pm") *kind = MechanismKind::kPiecewise;
+  else return false;
+  return true;
+}
+
+/// "auto" | "mixed" | "numeric".
+inline bool ParseWireFlag(const std::string& name, api::WirePreference* wire) {
+  if (name == "auto") *wire = api::WirePreference::kAuto;
+  else if (name == "mixed") *wire = api::WirePreference::kMixed;
+  else if (name == "numeric") *wire = api::WirePreference::kNumeric;
+  else return false;
+  return true;
+}
+
+}  // namespace ldp::tools
+
+#endif  // LDP_TOOLS_TOOL_FLAGS_H_
