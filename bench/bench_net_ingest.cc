@@ -31,7 +31,9 @@
 #include "net/client.h"
 #include "net/report_server.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "stream/report_stream.h"
+#include "util/build_info.h"
 #include "util/random.h"
 #include "util/threadpool.h"
 
@@ -94,6 +96,11 @@ struct RunResult {
   double seconds = 0.0;
   double reports_per_sec = 0.0;
   double mib_per_sec = 0.0;
+  /// Networked paths only: per-DATA-message ingest latency (payload read +
+  /// session Feed) from the server's ldp_net_data_read_us histogram; 0 for
+  /// the in-process path, which has no DATA messages.
+  double data_p50_us = 0.0;
+  double data_p99_us = 0.0;
 };
 
 uint64_t TotalBytes(const std::vector<std::string>& shards) {
@@ -141,15 +148,20 @@ double RunInProcess(const api::Pipeline& pipeline,
   return seconds;
 }
 
-// K CollectorClients through a loopback ReportServer.
+// K CollectorClients through a loopback ReportServer. `registry` collects
+// the server's telemetry (DATA-message latency histogram); since the
+// snapshot is compared against the uninstrumented in-process run, this also
+// re-checks that metrics never perturb the estimates.
 double RunNetworked(const api::Pipeline& pipeline,
                     const std::vector<std::string>& shards,
-                    const net::Endpoint& endpoint, std::string* snapshot) {
+                    const net::Endpoint& endpoint,
+                    obs::MetricsRegistry* registry, std::string* snapshot) {
   api::ServerSessionOptions session_options;
   session_options.ingest_threads = 2;
   auto server_session = pipeline.NewServer(session_options);
   if (!server_session.ok()) std::exit(1);
   net::ReportServerOptions server_options;
+  server_options.metrics = registry;
   server_options.acceptors = static_cast<unsigned>(shards.size());
   // Strict ordinal barrier: the cross-path snapshot-equality check relies
   // on merge order being independent of which reporter finishes first.
@@ -206,8 +218,8 @@ int main() {
   std::printf("(reports: %llu across %zu shards, schema: 8 attributes, "
               "eps = 4, OUE)\n\n",
               static_cast<unsigned long long>(reports), kShards);
-  std::printf("%-8s %10s %14s %10s\n", "path", "seconds", "reports/s",
-              "MiB/s");
+  std::printf("%-8s %10s %14s %10s %10s %10s\n", "path", "seconds",
+              "reports/s", "MiB/s", "p50(us)", "p99(us)");
 
   const net::Endpoint uds = {net::Endpoint::Kind::kUnix, "", 0,
                              "/tmp/ldp_bench_net_" +
@@ -222,10 +234,12 @@ int main() {
   } kPaths[] = {{"inproc", nullptr}, {"uds", &uds}, {"tcp", &tcp}};
   for (const auto& path : kPaths) {
     std::string snapshot;
+    obs::MetricsRegistry registry;
     const double seconds =
         path.endpoint == nullptr
             ? RunInProcess(pipeline, shards, &snapshot)
-            : RunNetworked(pipeline, shards, *path.endpoint, &snapshot);
+            : RunNetworked(pipeline, shards, *path.endpoint, &registry,
+                           &snapshot);
     if (reference.empty()) {
       reference = snapshot;
     } else if (snapshot != reference) {
@@ -239,23 +253,34 @@ int main() {
     result.reports_per_sec = static_cast<double>(reports) / seconds;
     result.mib_per_sec =
         static_cast<double>(total_bytes) / seconds / (1024.0 * 1024.0);
+    if (path.endpoint != nullptr) {
+      const obs::Histogram* data_read_us =
+          obs::NetServerMetrics::ForRegistry(&registry).data_read_us;
+      result.data_p50_us = data_read_us->Quantile(0.5);
+      result.data_p99_us = data_read_us->Quantile(0.99);
+    }
     results.push_back(result);
-    std::printf("%-8s %10.3f %14.0f %10.1f\n", result.path, result.seconds,
-                result.reports_per_sec, result.mib_per_sec);
+    std::printf("%-8s %10.3f %14.0f %10.1f %10.0f %10.0f\n", result.path,
+                result.seconds, result.reports_per_sec, result.mib_per_sec,
+                result.data_p50_us, result.data_p99_us);
   }
 
   FILE* json = std::fopen("BENCH_net_ingest.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
                  "{\n  \"benchmark\": \"net_ingest\",\n"
+                 "  \"build\": %s,\n"
                  "  \"reports\": %llu,\n  \"shards\": %zu,\n  \"runs\": [\n",
+                 BuildInfoJson().c_str(),
                  static_cast<unsigned long long>(reports), kShards);
     for (size_t i = 0; i < results.size(); ++i) {
       std::fprintf(json,
                    "    {\"path\": \"%s\", \"seconds\": %.6f, "
-                   "\"reports_per_sec\": %.0f, \"mib_per_sec\": %.1f}%s\n",
+                   "\"reports_per_sec\": %.0f, \"mib_per_sec\": %.1f, "
+                   "\"data_p50_us\": %.1f, \"data_p99_us\": %.1f}%s\n",
                    results[i].path, results[i].seconds,
                    results[i].reports_per_sec, results[i].mib_per_sec,
+                   results[i].data_p50_us, results[i].data_p99_us,
                    i + 1 < results.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");

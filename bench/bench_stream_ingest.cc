@@ -31,9 +31,11 @@
 #include "api/server_session.h"
 #include "bench_util.h"
 #include "core/sampled_numeric.h"
+#include "obs/metrics.h"
 #include "stream/aggregator_handle.h"
 #include "stream/parallel_ingest.h"
 #include "stream/report_stream.h"
+#include "util/build_info.h"
 #include "util/random.h"
 #include "util/threadpool.h"
 
@@ -124,6 +126,9 @@ struct SweepResult {
   double seconds = 0.0;
   double reports_per_sec = 0.0;
   double mib_per_sec = 0.0;
+  /// Telemetry sweep only: metrics-on slowdown vs the metrics-off row, in
+  /// percent (0 everywhere else).
+  double overhead_pct = 0.0;
 };
 
 }  // namespace
@@ -360,23 +365,99 @@ int main() {
     }
   }
 
+  // Telemetry overhead: the single-shard OUE hot loop with IngestMetrics
+  // off vs on over the same pre-encoded buffer, min of repeats. The
+  // per-thread-sharded counters are flushed as deltas once per Feed chunk,
+  // so the on-row should sit within the ISSUE's <2% budget of the off-row.
+  {
+    const MixedTupleCollector collector =
+        MakeCollector(FrequencyOracleKind::kOue);
+    const std::vector<std::string> shards = EncodeShards(collector, reports, 1);
+    uint64_t total_bytes = 0;
+    for (const std::string& shard : shards) total_bytes += shard.size();
+
+    constexpr int kRepeats = 3;
+    auto best_of = [&](const stream::ShardIngester::Options& options,
+                       double* out_seconds) -> bool {
+      double best = 0.0;
+      for (int r = 0; r < kRepeats; ++r) {
+        const auto started = std::chrono::steady_clock::now();
+        auto total = stream::IngestShardBuffers(collector, shards,
+                                                /*pool=*/nullptr, options);
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          started)
+                .count();
+        if (!total.ok() || total.value().num_reports() != reports) {
+          std::fprintf(stderr, "overhead sweep ingest failed\n");
+          return false;
+        }
+        if (r == 0 || seconds < best) best = seconds;
+      }
+      *out_seconds = best;
+      return true;
+    };
+
+    double off_seconds = 0.0, on_seconds = 0.0;
+    if (!best_of(stream::ShardIngester::Options(), &off_seconds)) return 1;
+    obs::MetricsRegistry registry;
+    stream::ShardIngester::Options on_options;
+    on_options.metrics = obs::IngestMetrics::ForRegistry(&registry);
+    if (!best_of(on_options, &on_seconds)) return 1;
+    if (on_options.metrics.accepted->Value() !=
+        reports * static_cast<uint64_t>(kRepeats)) {
+      std::fprintf(stderr, "metrics lost reports: counter %llu\n",
+                   static_cast<unsigned long long>(
+                       on_options.metrics.accepted->Value()));
+      return 1;
+    }
+    const double overhead_pct =
+        off_seconds > 0.0 ? (on_seconds - off_seconds) / off_seconds * 100.0
+                          : 0.0;
+
+    for (const bool metrics_on : {false, true}) {
+      SweepResult result;
+      result.kind = metrics_on ? "metrics_on" : "metrics_off";
+      result.oracle = "OUE";
+      result.shards = 1;
+      result.threads = 1;
+      result.bytes_per_report =
+          static_cast<double>(total_bytes) / static_cast<double>(reports);
+      result.seconds = metrics_on ? on_seconds : off_seconds;
+      result.reports_per_sec = static_cast<double>(reports) / result.seconds;
+      result.mib_per_sec = static_cast<double>(total_bytes) / result.seconds /
+                           (1024.0 * 1024.0);
+      if (metrics_on) result.overhead_pct = overhead_pct;
+      results.push_back(result);
+      std::printf("%-8s %8zu %8u %10.1f %10.3f %14.0f %10.1f\n",
+                  metrics_on ? "OBS-ON" : "OBS-OFF", result.shards,
+                  result.threads, result.bytes_per_report, result.seconds,
+                  result.reports_per_sec, result.mib_per_sec);
+    }
+    std::printf("telemetry overhead: %+.2f%% (min of %d runs)\n",
+                overhead_pct, kRepeats);
+  }
+
   // Machine-readable trend line.
   FILE* json = std::fopen("BENCH_stream_ingest.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
                  "{\n  \"benchmark\": \"stream_ingest\",\n"
+                 "  \"build\": %s,\n"
                  "  \"reports\": %llu,\n  \"runs\": [\n",
+                 BuildInfoJson().c_str(),
                  static_cast<unsigned long long>(reports));
     for (size_t i = 0; i < results.size(); ++i) {
       std::fprintf(
           json,
           "    {\"kind\": \"%s\", \"oracle\": \"%s\", \"shards\": %zu, "
           "\"threads\": %u, \"bytes_per_report\": %.1f, \"seconds\": %.6f, "
-          "\"reports_per_sec\": %.0f, \"mib_per_sec\": %.1f}%s\n",
+          "\"reports_per_sec\": %.0f, \"mib_per_sec\": %.1f, "
+          "\"overhead_pct\": %.2f}%s\n",
           results[i].kind, results[i].oracle, results[i].shards,
           results[i].threads, results[i].bytes_per_report, results[i].seconds,
           results[i].reports_per_sec, results[i].mib_per_sec,
-          i + 1 < results.size() ? "," : "");
+          results[i].overhead_pct, i + 1 < results.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);

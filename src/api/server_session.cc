@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/wire.h"
+#include "obs/journal.h"
 #include "stream/snapshot.h"
 #include "util/check.h"
 
@@ -142,8 +143,18 @@ ServerSession::ServerSession(
   // would ever be queued for workers to consume).
   options_.max_pending_feed_bytes =
       std::max<size_t>(1, options_.max_pending_feed_bytes);
+  // Resolve telemetry handles once; every shard ingester shares the same
+  // counter bundle, and the owned pool reports through the same registry.
+  metrics_ = obs::SessionMetrics::ForRegistry(options_.metrics);
+  options_.ingest.metrics = obs::IngestMetrics::ForRegistry(options_.metrics);
+  if (metrics_.enabled()) {
+    metrics_.epochs_opened->Increment();  // epoch 0, charged by NewServer
+    metrics_.epsilon_spent->Set(accountant_.Spent(kPopulationUser));
+  }
   if (options_.ingest_threads >= 2) {
-    pool_ = std::make_unique<ThreadPool>(options_.ingest_threads);
+    pool_ = std::make_unique<ThreadPool>(
+        options_.ingest_threads,
+        obs::PoolMetrics::ForRegistry(options_.metrics));
   }
 }
 
@@ -166,9 +177,24 @@ Status ServerSession::AdvanceEpochLocked() {
     return Status::FailedPrecondition(
         "close every shard before advancing the epoch");
   }
-  LDP_RETURN_IF_ERROR(
-      accountant_.Charge(kPopulationUser, state_->config.epsilon));
+  const Status charged =
+      accountant_.Charge(kPopulationUser, state_->config.epsilon);
+  if (!charged.ok()) {
+    if (metrics_.enabled()) metrics_.budget_refusals->Increment();
+    if (options_.journal != nullptr) {
+      options_.journal->Record(obs::EventKind::kAccountantRefuse,
+                               epochs_.size() - 1);
+    }
+    return charged;
+  }
   epochs_.push_back(NewEpochAggregate());
+  if (metrics_.enabled()) {
+    metrics_.epochs_opened->Increment();
+    metrics_.epsilon_spent->Set(accountant_.Spent(kPopulationUser));
+  }
+  if (options_.journal != nullptr) {
+    options_.journal->Record(obs::EventKind::kEpochAdvance, epochs_.size() - 1);
+  }
   // Closed shards stay as tombstones so shard ids are never reused: a stale
   // id held across the epoch boundary gets "already closed", not somebody
   // else's shard.
@@ -195,7 +221,13 @@ size_t ServerSession::OpenShard() {
   }
   shards_.push_back(std::move(shard));
   ++open_shards_;
-  return shards_.size() - 1;
+  const size_t id = shards_.size() - 1;
+  if (metrics_.enabled()) metrics_.shards_opened->Increment();
+  if (options_.journal != nullptr) {
+    options_.journal->Record(obs::EventKind::kShardOpen, id,
+                             epochs_.size() - 1);
+  }
+  return id;
 }
 
 void ServerSession::DrainShard(size_t shard) const {
@@ -230,9 +262,19 @@ Status ServerSession::Feed(size_t shard, const char* data, size_t size) {
   // empties the queue quickly).
   {
     std::unique_lock<std::mutex> flow(async->mutex);
+    const bool would_block =
+        async->pending_bytes >= options_.max_pending_feed_bytes;
+    // Only an actual block is worth two clock reads; the common non-blocked
+    // Feed stays untimed.
+    const uint64_t wait_started_ns =
+        would_block && metrics_.enabled() ? obs::SteadyNowNs() : 0;
     async->capacity.wait(flow, [&] {
       return async->pending_bytes < options_.max_pending_feed_bytes;
     });
+    if (wait_started_ns != 0) {
+      metrics_.backpressure_wait_us->Observe(
+          (obs::SteadyNowNs() - wait_started_ns) / 1000);
+    }
     // Surface a previously recorded worker-side framing error (sticky,
     // like the synchronous Feed).
     if (!async->status.ok()) return async->status;
@@ -244,20 +286,28 @@ Status ServerSession::Feed(size_t shard, const char* data, size_t size) {
     return Status::FailedPrecondition("shard is already closed");
   }
   stream::ShardIngester* ingester = state.ingester.get();
+  obs::Gauge* pending_gauge = metrics_.pending_feed_bytes;
   {
     std::lock_guard<std::mutex> flow(async->mutex);
     if (!async->status.ok()) return async->status;
     async->pending_bytes += chunk.size();
   }
+  if (pending_gauge != nullptr) {
+    pending_gauge->Add(static_cast<double>(chunk.size()));
+  }
   // Enqueue on the shard's serial queue — per-shard FIFO keeps the byte
   // stream intact.
-  pool_->SubmitSerial(shard, [ingester, async, chunk = std::move(chunk)] {
-    const Status fed = ingester->Feed(chunk.data(), chunk.size());
-    std::lock_guard<std::mutex> flow(async->mutex);
-    if (!fed.ok() && async->status.ok()) async->status = fed;
-    async->pending_bytes -= chunk.size();
-    async->capacity.notify_all();
-  });
+  pool_->SubmitSerial(
+      shard, [ingester, async, pending_gauge, chunk = std::move(chunk)] {
+        const Status fed = ingester->Feed(chunk.data(), chunk.size());
+        if (pending_gauge != nullptr) {
+          pending_gauge->Add(-static_cast<double>(chunk.size()));
+        }
+        std::lock_guard<std::mutex> flow(async->mutex);
+        if (!fed.ok() && async->status.ok()) async->status = fed;
+        async->pending_bytes -= chunk.size();
+        async->capacity.notify_all();
+      });
   return Status::OK();
 }
 
@@ -273,6 +323,10 @@ Status ServerSession::FeedLocked(size_t shard, const char* data, size_t size) {
 }
 
 Status ServerSession::CloseShard(size_t shard) {
+  // Close latency covers the queued-chunk drain plus the ordered merge —
+  // the interval a merge-barrier caller actually waits on.
+  const uint64_t close_started_ns =
+      metrics_.enabled() ? obs::SteadyNowNs() : 0;
   std::unique_lock<std::mutex> lock(*mutex_);
   if (shard >= shards_.size()) {
     return Status::OutOfRange("unknown shard id");
@@ -305,6 +359,15 @@ Status ServerSession::CloseShard(size_t shard) {
     merged = epochs_.back()->Merge(ingester->handle());
   }
   --open_shards_;
+  if (metrics_.enabled()) {
+    metrics_.shards_closed->Increment();
+    metrics_.close_wait_us->Observe(
+        (obs::SteadyNowNs() - close_started_ns) / 1000);
+  }
+  if (options_.journal != nullptr) {
+    options_.journal->Record(obs::EventKind::kShardClose, shard,
+                             epochs_.size() - 1);
+  }
   if (!finished.ok()) return finished;
   return merged;
 }
@@ -329,6 +392,11 @@ Result<stream::ShardIngester::Stats> ServerSession::AbandonShard(
   }
   shards_[shard].final_stats = ingester->stats();
   --open_shards_;
+  if (metrics_.enabled()) metrics_.shards_abandoned->Increment();
+  if (options_.journal != nullptr) {
+    options_.journal->Record(obs::EventKind::kShardAbandon, shard,
+                             epochs_.size() - 1);
+  }
   return shards_[shard].final_stats;
 }
 

@@ -47,11 +47,16 @@
 
 #include "api/pipeline.h"
 #include "core/accountant.h"
+#include "obs/metrics.h"
 #include "stream/aggregator_handle.h"
 #include "stream/parallel_ingest.h"
 #include "stream/shard_ingester.h"
 #include "util/result.h"
 #include "util/threadpool.h"
+
+namespace ldp::obs {
+class EventJournal;
+}  // namespace ldp::obs
 
 namespace ldp::api {
 
@@ -98,6 +103,15 @@ struct ServerSessionOptions {
   /// whole shard in memory. One chunk may overshoot the bound; 1
   /// effectively serializes Feed with the decode, and 0 is treated as 1.
   size_t max_pending_feed_bytes = 8u << 20;
+  /// Optional telemetry (obs/metrics.h): a non-null registry makes the
+  /// session resolve its metric handles there, share ingest counters with
+  /// every shard's ingester, and instrument its owned pool. Must outlive
+  /// the session. Telemetry is write-only observation — snapshots and
+  /// estimates are bit-identical with it on or off.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional campaign event journal (obs/journal.h) receiving shard
+  /// open/close/abandon, epoch advance, and accountant refusal events.
+  obs::EventJournal* journal = nullptr;
 };
 
 class ServerSession {
@@ -244,6 +258,7 @@ class ServerSession {
   std::shared_ptr<const internal_api::PipelineState> state_;
   PrivacyAccountant accountant_;
   ServerSessionOptions options_;
+  obs::SessionMetrics metrics_;  // all-null when options_.metrics is null
   /// Guards everything below plus accountant_. Worker tasks touch only
   /// their shard's ingester and AsyncShardError, never this mutex, so drain
   /// points may hold it while waiting. Heap-allocated to keep the session

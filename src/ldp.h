@@ -9,9 +9,10 @@
 // multidimensional collectors (Algorithm 4 and the Section IV-C mixed
 // collector), the frequency oracles, the dataset/encoding substrate, the
 // network transport (net::ReportServer / net::CollectorClient — the
-// TCP/UDS collector edge), the legacy collection wrappers and the LDP-SGD
-// trainer. Individual headers remain includable on their own for faster
-// builds.
+// TCP/UDS collector edge), the telemetry subsystem (obs::MetricsRegistry,
+// obs::EventJournal and the obs::MetricsServer scrape endpoint), the
+// legacy collection wrappers and the LDP-SGD trainer. Individual headers
+// remain includable on their own for faster builds.
 
 #ifndef LDP_LDP_H_
 #define LDP_LDP_H_
@@ -59,11 +60,16 @@
 #include "net/protocol.h"
 #include "net/report_server.h"
 #include "net/socket.h"
+#include "obs/exposition.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/metrics_server.h"
 #include "stream/aggregator_handle.h"
 #include "stream/parallel_ingest.h"
 #include "stream/report_stream.h"
 #include "stream/shard_ingester.h"
 #include "stream/snapshot.h"
+#include "util/build_info.h"
 #include "util/random.h"
 #include "util/result.h"
 #include "util/sampling.h"

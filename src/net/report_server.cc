@@ -4,6 +4,8 @@
 
 #include <utility>
 
+#include "obs/journal.h"
+
 namespace ldp::net {
 
 namespace {
@@ -20,7 +22,10 @@ struct OpenShard {
 ReportServer::ReportServer(api::ServerSession* session,
                            stream::StreamHeader expected,
                            ReportServerOptions options)
-    : session_(session), expected_(expected), options_(options) {}
+    : session_(session),
+      expected_(expected),
+      options_(options),
+      metrics_(obs::NetServerMetrics::ForRegistry(options.metrics)) {}
 
 Result<std::unique_ptr<ReportServer>> ReportServer::Start(
     api::ServerSession* session, const stream::StreamHeader& expected,
@@ -40,6 +45,9 @@ Result<std::unique_ptr<ReportServer>> ReportServer::Start(
     server->acceptors_.emplace_back([raw = server.get()] {
       raw->AcceptLoop();
     });
+  }
+  if (options.journal != nullptr) {
+    options.journal->Record(obs::EventKind::kServerStart);
   }
   return server;
 }
@@ -75,9 +83,14 @@ void ReportServer::Stop(bool drain) {
   for (std::thread& acceptor : acceptors_) {
     if (acceptor.joinable()) acceptor.join();
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  stopped_ = true;
-  stopped_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+    stopped_cv_.notify_all();
+  }
+  if (options_.journal != nullptr) {
+    options_.journal->Record(obs::EventKind::kServerStop);
+  }
 }
 
 ReportServerStats ReportServer::stats() const {
@@ -104,6 +117,7 @@ void ReportServer::AcceptLoop() {
       ++stats_.connections;
       live_fds_.emplace(socket.fd(), false);
     }
+    if (metrics_.enabled()) metrics_.connections->Increment();
     HandleConnection(std::move(socket));
   }
 }
@@ -135,6 +149,11 @@ Status ReportServer::RegisterOrdinal(uint64_t ordinal) {
 }
 
 Status ReportServer::WaitTurnAndClose(uint64_t ordinal, size_t shard) {
+  if (options_.journal != nullptr) {
+    options_.journal->Record(obs::EventKind::kMergeEnter, ordinal);
+  }
+  const uint64_t wait_started_ns =
+      metrics_.enabled() ? obs::SteadyNowNs() : 0;
   std::unique_lock<std::mutex> lock(mutex_);
   auto my_turn = [&] {
     if (hard_stop_) return true;
@@ -153,10 +172,19 @@ Status ReportServer::WaitTurnAndClose(uint64_t ordinal, size_t shard) {
     merge_turn_.wait(lock, my_turn);
   }
   const bool stopping = hard_stop_;
+  if (wait_started_ns != 0) {
+    // The barrier wait alone — how long this ordinal stalled on its
+    // predecessors — not the close/merge work that follows.
+    metrics_.merge_barrier_wait_us->Observe(
+        (obs::SteadyNowNs() - wait_started_ns) / 1000);
+  }
   if (stopping || !got_turn) {
     lock.unlock();
     (void)session_->AbandonShard(shard);
     FinishOrdinal(ordinal);
+    if (options_.journal != nullptr) {
+      options_.journal->Record(obs::EventKind::kMergeExit, ordinal, 1);
+    }
     return stopping
                ? Status::FailedPrecondition("collector is shutting down")
                : Status::FailedPrecondition(
@@ -169,6 +197,10 @@ Status ReportServer::WaitTurnAndClose(uint64_t ordinal, size_t shard) {
   lock.unlock();
   const Status closed = session_->CloseShard(shard);
   FinishOrdinal(ordinal);
+  if (options_.journal != nullptr) {
+    options_.journal->Record(obs::EventKind::kMergeExit, ordinal,
+                             closed.ok() ? 0 : 1);
+  }
   return closed;
 }
 
@@ -215,8 +247,24 @@ void ReportServer::RunConnection(Socket* socket_ptr) {
     FinishOrdinal(state.ordinal);
     state.open = false;
     set_busy(false);
+    if (metrics_.enabled()) metrics_.shards_abandoned->Increment();
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.shards_abandoned;
+  };
+
+  // Counts a recv failure that was the idle/deadline reaper firing — the
+  // slow-loris defense actually engaging, a signal worth watching on a
+  // deployed edge.
+  auto note_reaped = [&](const Status& status) {
+    if (!metrics_.enabled()) return;
+    if (status.message().find("timed out") != std::string::npos ||
+        status.message().find("deadline exceeded") != std::string::npos) {
+      metrics_.slow_loris_reaped->Increment();
+    }
+  };
+
+  auto count_protocol_error = [&] {
+    if (metrics_.enabled()) metrics_.protocol_errors->Increment();
   };
 
   std::string payload;
@@ -233,11 +281,15 @@ void ReportServer::RunConnection(Socket* socket_ptr) {
       // anything else (mid-stream EOF, timeout, reset) abandons the shard.
       const bool had_shard = state.open;
       abandon_open_shard();
+      if (!got.ok()) note_reaped(got.status());
       if (!had_shard && !got.ok()) {
         std::lock_guard<std::mutex> lock(mutex_);
         // A drain-stop wakes idle connections by shutting their sockets
         // down; that read failure is bookkeeping, not a protocol error.
-        if (!stop_accepting_) ++stats_.protocol_errors;
+        if (!stop_accepting_) {
+          ++stats_.protocol_errors;
+          count_protocol_error();
+        }
       }
       break;
     }
@@ -248,16 +300,26 @@ void ReportServer::RunConnection(Socket* socket_ptr) {
       // can no longer be trusted — kill the connection.
       SendReply(&socket, MessageType::kError, EncodeError(header.status()));
       abandon_open_shard();
+      count_protocol_error();
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.protocol_errors;
       break;
     }
+    // The DATA service-time clock starts before the payload recv: the
+    // histogram covers wire read + session Feed, the interval ROADMAP
+    // item 1's accept-latency work wants to shrink.
+    const uint64_t data_started_ns =
+        metrics_.enabled() && header.value().type == MessageType::kData
+            ? obs::SteadyNowNs()
+            : 0;
     payload.resize(header.value().payload_length);
     if (header.value().payload_length > 0) {
       Result<bool> body =
           socket.RecvAll(payload.data(), payload.size(), deadline_ms);
       if (!body.ok() || !body.value()) {
         abandon_open_shard();
+        if (!body.ok()) note_reaped(body.status());
+        count_protocol_error();
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.protocol_errors;
         break;
@@ -287,10 +349,20 @@ void ReportServer::RunConnection(Socket* socket_ptr) {
             std::lock_guard<std::mutex> lock(mutex_);
             ++stats_.hello_rejected;
           }
+          if (metrics_.enabled()) metrics_.hello_refused->Increment();
+          if (options_.journal != nullptr) {
+            options_.journal->Record(obs::EventKind::kHelloRefuse,
+                                     hello.value().ordinal);
+          }
           // Reply outside the server mutex: SendAll can block for the
           // whole idle timeout on a stalled peer.
           SendReply(&socket, MessageType::kError, EncodeError(refusal));
           return;
+        }
+        if (metrics_.enabled()) metrics_.hello_accepted->Increment();
+        if (options_.journal != nullptr) {
+          options_.journal->Record(obs::EventKind::kHelloAccept,
+                                   hello.value().ordinal);
         }
         state.shard = session_->OpenShard();
         state.ordinal = hello.value().ordinal;
@@ -316,6 +388,11 @@ void ReportServer::RunConnection(Socket* socket_ptr) {
           break;
         }
         verdict = session_->Feed(state.shard, payload.data(), payload.size());
+        if (data_started_ns != 0) {
+          metrics_.data_messages->Increment();
+          metrics_.data_read_us->Observe(
+              (obs::SteadyNowNs() - data_started_ns) / 1000);
+        }
         break;
       }
       case MessageType::kCloseShard: {
@@ -339,6 +416,10 @@ void ReportServer::RunConnection(Socket* socket_ptr) {
           } else {
             ++stats_.shards_discarded;
           }
+        }
+        if (metrics_.enabled()) {
+          (closed.ok() ? metrics_.shards_merged : metrics_.shards_discarded)
+              ->Increment();
         }
         SendReply(&socket, MessageType::kShardClosed,
                   EncodeShardClosed(reply));
@@ -374,6 +455,7 @@ void ReportServer::RunConnection(Socket* socket_ptr) {
       const bool had_shard = state.open;
       abandon_open_shard();
       if (!had_shard) {
+        count_protocol_error();
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.protocol_errors;
       }

@@ -42,8 +42,13 @@
 #include "api/server_session.h"
 #include "net/protocol.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "stream/report_stream.h"
 #include "util/result.h"
+
+namespace ldp::obs {
+class EventJournal;
+}  // namespace ldp::obs
 
 namespace ldp::net {
 
@@ -67,6 +72,13 @@ struct ReportServerOptions {
   /// whose predecessor ordinal never arrives — e.g. a dead reporter — and
   /// against acceptor-slot exhaustion deadlocks.
   int merge_turn_timeout_ms = 120000;
+  /// Optional telemetry (obs/metrics.h): connection/HELLO/shard counters,
+  /// DATA read and merge-barrier latency histograms. Typically the same
+  /// registry the session reports through. Must outlive the server.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional campaign event journal: HELLO accept/refuse and merge-barrier
+  /// enter/exit events (the session journals shard lifecycle itself).
+  obs::EventJournal* journal = nullptr;
 };
 
 /// Monotonic counters over the server's lifetime.
@@ -139,6 +151,7 @@ class ReportServer {
   api::ServerSession* session_;
   const stream::StreamHeader expected_;
   const ReportServerOptions options_;
+  obs::NetServerMetrics metrics_;  // all-null when options_.metrics is null
 
   Listener listener_;
   std::vector<std::thread> acceptors_;

@@ -1,0 +1,218 @@
+#include "obs/exposition.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ldp::obs {
+
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+std::string FormatLabels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    out += key + "=\"" + value + "\"";
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+/// Highest occupied bucket index, or 0 if the histogram is empty.
+unsigned HighestBucket(const std::vector<uint64_t>& buckets) {
+  unsigned highest = 0;
+  for (unsigned b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] != 0) highest = b;
+  }
+  return highest;
+}
+
+/// Quantile over a frozen bucket array, mirroring Histogram::Quantile so
+/// the JSON convenience fields agree with the live histogram.
+double QuantileFromBuckets(const std::vector<uint64_t>& buckets, double q) {
+  uint64_t total = 0;
+  for (const uint64_t count : buckets) total += count;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total) + 0.5);
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t cumulative = 0;
+  for (unsigned b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    if (cumulative + buckets[b] >= rank) {
+      const double lower =
+          b == 0 ? 0.0 : static_cast<double>(uint64_t{1} << (b - 1));
+      const double upper =
+          b == 0 ? 0.0
+                 : (b + 1 >= buckets.size()
+                        ? lower * 2.0
+                        : static_cast<double>(uint64_t{1} << b));
+      const double fraction = static_cast<double>(rank - cumulative) /
+                              static_cast<double>(buckets[b]);
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative += buckets[b];
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsRegistry& registry) {
+  const std::vector<MetricSample> samples = registry.Snapshot();
+  std::string out;
+  char line[192];
+  std::string last_typed;  // emit one # TYPE per metric name
+  for (const MetricSample& sample : samples) {
+    if (sample.name != last_typed) {
+      out += "# TYPE " + sample.name + " " + TypeName(sample.type) + "\n";
+      last_typed = sample.name;
+    }
+    const std::string labels = FormatLabels(sample.labels);
+    switch (sample.type) {
+      case MetricType::kCounter:
+        std::snprintf(line, sizeof(line), " %" PRIu64 "\n", sample.counter);
+        out += sample.name + labels + line;
+        break;
+      case MetricType::kGauge:
+        out += sample.name + labels + " " + FormatDouble(sample.gauge) + "\n";
+        break;
+      case MetricType::kHistogram: {
+        const unsigned highest = HighestBucket(sample.buckets);
+        uint64_t cumulative = 0;
+        for (unsigned b = 0; b <= highest; ++b) {
+          cumulative += sample.buckets[b];
+          std::string le = labels.empty() ? "{" : labels;
+          if (!labels.empty()) le.pop_back(), le += ",";
+          std::snprintf(line, sizeof(line), "le=\"%" PRIu64 "\"} %" PRIu64
+                        "\n",
+                        Histogram::UpperBound(b), cumulative);
+          out += sample.name + "_bucket" + le + line;
+        }
+        std::string le = labels.empty() ? "{" : labels;
+        if (!labels.empty()) le.pop_back(), le += ",";
+        std::snprintf(line, sizeof(line), "le=\"+Inf\"} %" PRIu64 "\n",
+                      sample.count);
+        out += sample.name + "_bucket" + le + line;
+        std::snprintf(line, sizeof(line), " %" PRIu64 "\n", sample.sum);
+        out += sample.name + "_sum" + labels + line;
+        std::snprintf(line, sizeof(line), " %" PRIu64 "\n", sample.count);
+        out += sample.name + "_count" + labels + line;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsRegistry& registry) {
+  const std::vector<MetricSample> samples = registry.Snapshot();
+  std::string out = "{\"metrics\":[";
+  char buffer[128];
+  bool first = true;
+  for (const MetricSample& sample : samples) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(sample.name) + "\"";
+    if (!sample.labels.empty()) {
+      out += ",\"labels\":{";
+      bool first_label = true;
+      for (const auto& [key, value] : sample.labels) {
+        if (!first_label) out += ",";
+        out += "\"" + JsonEscape(key) + "\":\"" + JsonEscape(value) + "\"";
+        first_label = false;
+      }
+      out += "}";
+    }
+    out += std::string(",\"type\":\"") + TypeName(sample.type) + "\"";
+    switch (sample.type) {
+      case MetricType::kCounter:
+        std::snprintf(buffer, sizeof(buffer), ",\"value\":%" PRIu64,
+                      sample.counter);
+        out += buffer;
+        break;
+      case MetricType::kGauge:
+        out += ",\"value\":" + FormatDouble(sample.gauge);
+        break;
+      case MetricType::kHistogram: {
+        std::snprintf(buffer, sizeof(buffer),
+                      ",\"count\":%" PRIu64 ",\"sum\":%" PRIu64,
+                      sample.count, sample.sum);
+        out += buffer;
+        out += ",\"p50\":" +
+               FormatDouble(QuantileFromBuckets(sample.buckets, 0.50));
+        out += ",\"p90\":" +
+               FormatDouble(QuantileFromBuckets(sample.buckets, 0.90));
+        out += ",\"p99\":" +
+               FormatDouble(QuantileFromBuckets(sample.buckets, 0.99));
+        out += ",\"buckets\":[";
+        bool first_bucket = true;
+        for (unsigned b = 0; b < sample.buckets.size(); ++b) {
+          if (sample.buckets[b] == 0) continue;
+          if (!first_bucket) out += ",";
+          if (b + 1 >= sample.buckets.size()) {
+            std::snprintf(buffer, sizeof(buffer),
+                          "{\"le\":\"+Inf\",\"count\":%" PRIu64 "}",
+                          sample.buckets[b]);
+          } else {
+            std::snprintf(buffer, sizeof(buffer),
+                          "{\"le\":%" PRIu64 ",\"count\":%" PRIu64 "}",
+                          Histogram::UpperBound(b), sample.buckets[b]);
+          }
+          out += buffer;
+          first_bucket = false;
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace ldp::obs

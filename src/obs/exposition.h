@@ -1,0 +1,34 @@
+// Serializers from a MetricsRegistry snapshot to the two exposition
+// formats: Prometheus text (for GET /metrics scrapes) and JSON (for
+// --metrics-out files, /metrics.json, and ldp_serve's exit stats — the
+// same serializer everywhere, so live scrapes and exit dumps cannot
+// drift). Output order is deterministic (registry snapshot order: name,
+// then labels), making golden-output tests possible.
+
+#ifndef LDP_OBS_EXPOSITION_H_
+#define LDP_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ldp::obs {
+
+/// Escapes a string for embedding inside a JSON string literal.
+std::string JsonEscape(const std::string& text);
+
+/// Prometheus text exposition. Counters and gauges render one sample line
+/// (preceded by a `# TYPE` comment); histograms render cumulative
+/// `_bucket{le="..."}` lines up to the highest occupied bucket, then
+/// `{le="+Inf"}`, `_sum`, and `_count`.
+std::string ToPrometheusText(const MetricsRegistry& registry);
+
+/// JSON exposition:
+/// {"metrics":[{"name":...,"type":"counter","value":N}, ...]}
+/// Histogram entries carry count/sum/p50/p90/p99 plus non-empty buckets as
+/// [{"le":upper,"count":n}, ...].
+std::string ToJson(const MetricsRegistry& registry);
+
+}  // namespace ldp::obs
+
+#endif  // LDP_OBS_EXPOSITION_H_

@@ -1,0 +1,116 @@
+#include "obs/journal.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace ldp::obs {
+
+const char* EventKindToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kShardOpen: return "shard_open";
+    case EventKind::kShardClose: return "shard_close";
+    case EventKind::kShardAbandon: return "shard_abandon";
+    case EventKind::kHelloAccept: return "hello_accept";
+    case EventKind::kHelloRefuse: return "hello_refuse";
+    case EventKind::kEpochAdvance: return "epoch_advance";
+    case EventKind::kAccountantRefuse: return "accountant_refuse";
+    case EventKind::kMergeEnter: return "merge_enter";
+    case EventKind::kMergeExit: return "merge_exit";
+    case EventKind::kServerStart: return "server_start";
+    case EventKind::kServerStop: return "server_stop";
+  }
+  return "unknown";
+}
+
+EventJournal::EventJournal(size_t capacity)
+    : capacity_(std::max<size_t>(16, capacity)),
+      origin_steady_ns_(SteadyNowNs()) {
+  ring_.reserve(capacity_);
+}
+
+void EventJournal::Record(EventKind kind, uint64_t a, uint64_t b) {
+  Event event;
+  event.kind = kind;
+  event.wall_ns = WallNowNs();
+  event.steady_ns = SteadyNowNs();
+  event.a = a;
+  event.b = b;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_ % capacity_] = event;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<Event> EventJournal::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> events;
+  events.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    events = ring_;  // not yet wrapped: insertion order is oldest-first
+  } else {
+    for (size_t i = 0; i < capacity_; ++i) {
+      events.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return events;
+}
+
+uint64_t EventJournal::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+uint64_t EventJournal::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_ - std::min<uint64_t>(recorded_, ring_.size());
+}
+
+std::string EventJournal::ToJsonLines() const {
+  const std::vector<Event> events = Events();
+  std::string out;
+  out.reserve(events.size() * 96);
+  char line[192];
+  for (const Event& event : events) {
+    const uint64_t steady_us =
+        (event.steady_ns - origin_steady_ns_) / 1000;
+    std::snprintf(line, sizeof(line),
+                  "{\"event\":\"%s\",\"wall_ns\":%" PRId64
+                  ",\"steady_us\":%" PRIu64 ",\"a\":%" PRIu64
+                  ",\"b\":%" PRIu64 "}\n",
+                  EventKindToString(event.kind), event.wall_ns, steady_us,
+                  event.a, event.b);
+    out += line;
+  }
+  return out;
+}
+
+std::string EventJournal::ToChromeTrace() const {
+  const std::vector<Event> events = Events();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char line[224];
+  bool first = true;
+  for (const Event& event : events) {
+    const uint64_t steady_us =
+        (event.steady_ns - origin_steady_ns_) / 1000;
+    std::snprintf(
+        line, sizeof(line),
+        "%s{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"p\",\"pid\":1,"
+        "\"tid\":%" PRIu64 ",\"ts\":%" PRIu64
+        ",\"args\":{\"a\":%" PRIu64 ",\"b\":%" PRIu64 "}}",
+        first ? "" : ",", EventKindToString(event.kind), event.a, steady_us,
+        event.a, event.b);
+    out += line;
+    first = false;
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace ldp::obs

@@ -1,0 +1,65 @@
+// A minimal HTTP/1.0 GET endpoint serving telemetry scrapes over the
+// existing net::Listener/Socket layer (TCP or Unix-domain). One accept
+// thread, one request per connection, Connection: close — a scrape target,
+// not a web server. Routes:
+//
+//   /metrics       Prometheus text exposition
+//   /metrics.json  JSON exposition (same serializer as --metrics-out and
+//                  ldp_serve's exit stats)
+//   /journal       campaign event journal as JSON lines
+//   /trace         campaign event journal as Chrome trace_event JSON
+//   /healthz       "ok"
+//
+// The server only *reads* the registry/journal (snapshot under their own
+// locks), so scrapes never touch the ingest data path.
+
+#ifndef LDP_OBS_METRICS_SERVER_H_
+#define LDP_OBS_METRICS_SERVER_H_
+
+#include <memory>
+#include <thread>
+
+#include "net/socket.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace ldp::obs {
+
+class MetricsServer {
+ public:
+  /// Binds `endpoint` and starts the accept thread. `registry` must outlive
+  /// the server; `journal` may be null (journal routes then return 404).
+  static Result<std::unique_ptr<MetricsServer>> Start(
+      const net::Endpoint& endpoint, const MetricsRegistry* registry,
+      const EventJournal* journal);
+
+  ~MetricsServer() { Stop(); }
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// The bound endpoint (TCP port 0 resolved).
+  const net::Endpoint& endpoint() const { return listener_.endpoint(); }
+
+  /// Stops accepting and joins the accept thread (idempotent).
+  void Stop();
+
+ private:
+  MetricsServer(net::Listener listener, const MetricsRegistry* registry,
+                const EventJournal* journal);
+
+  void AcceptLoop();
+  void ServeConnection(net::Socket socket);
+
+  net::Listener listener_;
+  const MetricsRegistry* registry_;
+  const EventJournal* journal_;
+  std::thread accept_thread_;
+  bool stopped_ = false;
+};
+
+}  // namespace ldp::obs
+
+#endif  // LDP_OBS_METRICS_SERVER_H_

@@ -108,7 +108,25 @@ Status ShardIngester::ConsumeItem(const char* data, size_t size) {
   return Status::OK();
 }
 
+void ShardIngester::PublishMetrics() {
+  // Feed/Finish granularity: one relaxed fetch_add per live counter per
+  // chunk, nothing per frame. No allocation, so instrumented ingestion
+  // still satisfies tests/ingest_allocation_test.cc.
+  const obs::IngestMetrics& metrics = options_.metrics;
+  metrics.bytes->Add(stats_.bytes - published_.bytes);
+  metrics.frames->Add(stats_.frames - published_.frames);
+  metrics.accepted->Add(stats_.accepted - published_.accepted);
+  metrics.rejected->Add(stats_.rejected - published_.rejected);
+  published_ = stats_;
+}
+
 Status ShardIngester::Feed(const char* data, size_t size) {
+  const Status status = FeedChunk(data, size);
+  if (options_.metrics.enabled()) PublishMetrics();
+  return status;
+}
+
+Status ShardIngester::FeedChunk(const char* data, size_t size) {
   if (!failed_.ok()) return failed_;
   stats_.bytes += size;
   const char* cursor = data;
@@ -165,6 +183,7 @@ Status ShardIngester::Feed(const char* data, size_t size) {
 }
 
 Status ShardIngester::Finish() {
+  if (options_.metrics.enabled()) PublishMetrics();
   if (!failed_.ok()) return failed_;
   if (state_ == State::kHeader) {
     return Poison(Status::InvalidArgument(

@@ -37,6 +37,7 @@
 #include "core/mixed_collector.h"
 #include "core/sampled_numeric.h"
 #include "core/wire.h"
+#include "obs/metrics.h"
 #include "stream/aggregator_handle.h"
 #include "stream/report_stream.h"
 #include "util/ringbuf.h"
@@ -54,6 +55,11 @@ class ShardIngester {
     /// Maximum number of undecodable payloads tolerated before the stream
     /// fails anyway (guards against shards that are mostly garbage).
     uint64_t max_rejected = std::numeric_limits<uint64_t>::max();
+    /// Optional registry-backed telemetry (obs/metrics.h), typically shared
+    /// by every shard of a session. Stats *deltas* are flushed once per
+    /// Feed/Finish call — chunk granularity — so the per-frame accept loop
+    /// touches no atomics and stays allocation-free. All-null = off.
+    obs::IngestMetrics metrics;
   };
 
   struct Stats {
@@ -135,12 +141,19 @@ class ShardIngester {
   /// Decodes one complete frame payload, applying the rejection policy.
   Status AcceptFrame(const char* data, size_t size);
 
+  /// The pre-telemetry Feed body; Feed wraps it with a metrics flush.
+  Status FeedChunk(const char* data, size_t size);
+
+  /// Flushes stats_ − published_ to the Options::metrics counters.
+  void PublishMetrics();
+
   Status Poison(Status status);
 
   Options options_;
   std::unique_ptr<AggregatorHandle> handle_;
   StreamHeader header_;
   Stats stats_;
+  Stats published_;  // the prefix of stats_ already flushed to metrics
   Status failed_ = Status::OK();  // sticky framing-layer error
   State state_ = State::kHeader;
   RingBuffer staged_;         // the partial item straddling Feed boundaries

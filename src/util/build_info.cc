@@ -1,0 +1,65 @@
+#include "util/build_info.h"
+
+#ifndef LDP_GIT_HASH
+#define LDP_GIT_HASH "unknown"
+#endif
+#ifndef LDP_BUILD_FLAGS
+#define LDP_BUILD_FLAGS ""
+#endif
+#ifndef LDP_BUILD_TYPE
+#define LDP_BUILD_TYPE "unknown"
+#endif
+
+#if defined(__clang__)
+#define LDP_COMPILER "clang " __clang_version__
+#elif defined(__GNUC__)
+#define LDP_COMPILER "gcc " __VERSION__
+#else
+#define LDP_COMPILER "unknown"
+#endif
+
+namespace ldp {
+
+namespace {
+
+// Minimal JSON string escaping (quotes/backslashes/control bytes); the
+// inputs are compiler- and CMake-produced text, not user data.
+std::string Escape(const char* text) {
+  std::string out;
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = {LDP_GIT_HASH, LDP_COMPILER, LDP_BUILD_FLAGS,
+                                 LDP_BUILD_TYPE};
+  return info;
+}
+
+std::string BuildInfoVersionLine(const std::string& tool_name) {
+  const BuildInfo& info = GetBuildInfo();
+  return tool_name + " version " + info.git_hash + " (" + info.compiler +
+         ", " + info.build_type + ")";
+}
+
+std::string BuildInfoJson() {
+  const BuildInfo& info = GetBuildInfo();
+  return std::string("{\"git_hash\":\"") + Escape(info.git_hash) +
+         "\",\"compiler\":\"" + Escape(info.compiler) + "\",\"flags\":\"" +
+         Escape(info.flags) + "\",\"build_type\":\"" +
+         Escape(info.build_type) + "\"}";
+}
+
+}  // namespace ldp

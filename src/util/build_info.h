@@ -1,0 +1,35 @@
+// Build provenance embedded in every binary: git revision, compiler,
+// flags, build type. The five CLI tools print it under --version and the
+// bench harnesses stamp it into their BENCH_*.json artifacts, so every
+// point on the perf trajectory is attributable to an exact build.
+//
+// The values arrive as compile definitions on build_info.cc (CMake runs
+// `git rev-parse` at configure time); building outside git, or outside
+// CMake, degrades gracefully to "unknown" rather than failing.
+
+#ifndef LDP_UTIL_BUILD_INFO_H_
+#define LDP_UTIL_BUILD_INFO_H_
+
+#include <string>
+
+namespace ldp {
+
+struct BuildInfo {
+  const char* git_hash;    ///< Short revision, or "unknown".
+  const char* compiler;    ///< e.g. "gcc 13.2.0" / "clang 18.1.3".
+  const char* flags;       ///< CMAKE_CXX_FLAGS at configure time.
+  const char* build_type;  ///< CMAKE_BUILD_TYPE, or "unknown".
+};
+
+const BuildInfo& GetBuildInfo();
+
+/// One-line human form: `NAME version GIT (COMPILER, TYPE)`.
+std::string BuildInfoVersionLine(const std::string& tool_name);
+
+/// JSON object for stamping artifacts:
+/// {"git_hash":"...","compiler":"...","flags":"...","build_type":"..."}
+std::string BuildInfoJson();
+
+}  // namespace ldp
+
+#endif  // LDP_UTIL_BUILD_INFO_H_

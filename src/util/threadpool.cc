@@ -6,12 +6,27 @@
 
 namespace ldp {
 
-ThreadPool::ThreadPool(unsigned num_threads) {
+ThreadPool::ThreadPool(unsigned num_threads, const obs::PoolMetrics& metrics)
+    : metrics_(metrics) {
   num_threads = std::max(1u, num_threads);
   workers_.reserve(num_threads);
   for (unsigned i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+}
+
+std::function<void()> ThreadPool::Instrument(std::function<void()> task) {
+  if (!metrics_.enabled()) return task;
+  metrics_.tasks->Increment();
+  if (metrics_.queue_depth != nullptr) metrics_.queue_depth->Add(1.0);
+  return [this, task = std::move(task)] {
+    if (metrics_.queue_depth != nullptr) metrics_.queue_depth->Add(-1.0);
+    const uint64_t started_ns = obs::SteadyNowNs();
+    task();
+    if (metrics_.task_us != nullptr) {
+      metrics_.task_us->Observe((obs::SteadyNowNs() - started_ns) / 1000);
+    }
+  };
 }
 
 ThreadPool::~ThreadPool() {
@@ -24,6 +39,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  task = Instrument(std::move(task));
   {
     std::unique_lock<std::mutex> lock(mutex_);
     LDP_CHECK_MSG(!shutting_down_, "Submit after shutdown");
@@ -34,6 +50,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::SubmitSerial(uint64_t key, std::function<void()> task) {
+  task = Instrument(std::move(task));
   bool spawn_drainer = false;
   {
     std::unique_lock<std::mutex> lock(mutex_);

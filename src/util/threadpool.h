@@ -23,13 +23,21 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace ldp {
 
 /// Fixed-size worker pool executing submitted closures FIFO.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
-  explicit ThreadPool(unsigned num_threads);
+  explicit ThreadPool(unsigned num_threads)
+      : ThreadPool(num_threads, obs::PoolMetrics()) {}
+
+  /// Instrumented pool: `metrics` (obs/metrics.h) tracks queue depth, task
+  /// count, and task service time. Submitted closures are wrapped with the
+  /// timing probe at submit time, so an un-instrumented pool pays nothing.
+  ThreadPool(unsigned num_threads, const obs::PoolMetrics& metrics);
 
   /// Drains outstanding work and joins all workers.
   ~ThreadPool();
@@ -60,6 +68,11 @@ class ThreadPool {
   unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
 
  private:
+  /// Wraps `task` with the queue-depth decrement and service-time probe
+  /// (identity when the pool is un-instrumented). Applied to user tasks
+  /// only — serial-queue drainers are bookkeeping, not work.
+  std::function<void()> Instrument(std::function<void()> task);
+
   /// Runs serial queue `key` until it is momentarily empty. Executes on a
   /// worker; at most one drainer per key is ever in flight.
   void DrainSerial(uint64_t key);
@@ -73,6 +86,7 @@ class ThreadPool {
     bool running = false;
   };
 
+  obs::PoolMetrics metrics_;
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::unordered_map<uint64_t, SerialQueue> serial_;

@@ -1,0 +1,106 @@
+// obs/journal.h: ring-buffer retention (oldest-first order, overwrite
+// accounting), concurrent recording, and the two dump formats.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/journal.h"
+
+namespace ldp::obs {
+namespace {
+
+TEST(ObsJournal, RecordsInOrder) {
+  EventJournal journal(64);
+  journal.Record(EventKind::kServerStart);
+  journal.Record(EventKind::kShardOpen, /*a=*/3, /*b=*/0);
+  journal.Record(EventKind::kShardClose, /*a=*/3, /*b=*/0);
+  const std::vector<Event> events = journal.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kServerStart);
+  EXPECT_EQ(events[1].kind, EventKind::kShardOpen);
+  EXPECT_EQ(events[1].a, 3u);
+  EXPECT_EQ(events[2].kind, EventKind::kShardClose);
+  EXPECT_EQ(journal.recorded(), 3u);
+  EXPECT_EQ(journal.dropped(), 0u);
+  // Timestamps are monotone in record order.
+  EXPECT_LE(events[0].steady_ns, events[1].steady_ns);
+  EXPECT_LE(events[1].steady_ns, events[2].steady_ns);
+}
+
+TEST(ObsJournal, RingOverwritesOldest) {
+  EventJournal journal(16);  // the constructor's minimum
+  for (uint64_t i = 0; i < 40; ++i) {
+    journal.Record(EventKind::kEpochAdvance, /*a=*/i);
+  }
+  EXPECT_EQ(journal.recorded(), 40u);
+  EXPECT_EQ(journal.dropped(), 40u - journal.capacity());
+  const std::vector<Event> events = journal.Events();
+  ASSERT_EQ(events.size(), journal.capacity());
+  // The retained window is the most recent events, oldest first.
+  EXPECT_EQ(events.front().a, 40u - journal.capacity());
+  EXPECT_EQ(events.back().a, 39u);
+}
+
+TEST(ObsJournal, CapacityIsClamped) {
+  EventJournal journal(1);
+  EXPECT_GE(journal.capacity(), 16u);
+}
+
+TEST(ObsJournal, ConcurrentRecordLosesNothingBelowCapacity) {
+  EventJournal journal(4096);
+  constexpr unsigned kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&journal, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        journal.Record(EventKind::kShardOpen, /*a=*/t, /*b=*/
+                       static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_EQ(journal.recorded(), kThreads * kPerThread);
+  EXPECT_EQ(journal.dropped(), 0u);
+  EXPECT_EQ(journal.Events().size(), kThreads * kPerThread);
+}
+
+TEST(ObsJournal, EventKindNames) {
+  EXPECT_STREQ(EventKindToString(EventKind::kShardOpen), "shard_open");
+  EXPECT_STREQ(EventKindToString(EventKind::kHelloRefuse), "hello_refuse");
+  EXPECT_STREQ(EventKindToString(EventKind::kAccountantRefuse),
+               "accountant_refuse");
+  EXPECT_STREQ(EventKindToString(EventKind::kMergeExit), "merge_exit");
+}
+
+TEST(ObsJournal, JsonLinesShape) {
+  EventJournal journal(64);
+  journal.Record(EventKind::kShardOpen, /*a=*/1, /*b=*/2);
+  journal.Record(EventKind::kMergeEnter, /*a=*/0);
+  const std::string lines = journal.ToJsonLines();
+  // One line per event, each a flat JSON object.
+  size_t newlines = 0;
+  for (const char c : lines) newlines += (c == '\n');
+  EXPECT_EQ(newlines, 2u);
+  EXPECT_EQ(lines.find("{\"event\":\"shard_open\",\"wall_ns\":"), 0u);
+  EXPECT_NE(lines.find("\"a\":1,\"b\":2}"), std::string::npos);
+  EXPECT_NE(lines.find("{\"event\":\"merge_enter\""), std::string::npos);
+}
+
+TEST(ObsJournal, ChromeTraceShape) {
+  EventJournal journal(64);
+  journal.Record(EventKind::kServerStart);
+  journal.Record(EventKind::kShardOpen, /*a=*/5);
+  const std::string trace = journal.ToChromeTrace();
+  EXPECT_EQ(trace.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  EXPECT_NE(trace.find("\"name\":\"server_start\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"shard_open\""), std::string::npos);
+  EXPECT_NE(trace.find("\"tid\":5"), std::string::npos);
+  EXPECT_EQ(trace.back(), '\n');
+}
+
+}  // namespace
+}  // namespace ldp::obs

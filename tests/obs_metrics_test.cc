@@ -1,0 +1,249 @@
+// obs/metrics.h + obs/exposition.h: counter exactness under concurrent
+// writers (the per-thread-sharded slots must never lose an increment),
+// histogram log2 bucket boundaries, registry get-or-create identity, and
+// golden exposition output in both formats (the snapshot order is
+// deterministic, so byte-exact goldens are stable).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+
+namespace ldp::obs {
+namespace {
+
+TEST(ObsCounter, ConcurrentAddsAreExact) {
+  Counter counter;
+  constexpr unsigned kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(ObsGauge, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(2.5);
+  EXPECT_EQ(gauge.Value(), 2.5);
+  gauge.Add(1.5);
+  EXPECT_EQ(gauge.Value(), 4.0);
+  gauge.Add(-4.0);
+  EXPECT_EQ(gauge.Value(), 0.0);
+}
+
+TEST(ObsGauge, ConcurrentAddsSumExactly) {
+  // Integral deltas stay exact in double arithmetic, so the CAS loop must
+  // land every one of them.
+  Gauge gauge;
+  constexpr unsigned kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge.Add(1.0);
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_EQ(gauge.Value(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(ObsHistogram, BucketBoundaries) {
+  // Bucket 0 holds only the value 0; bucket b >= 1 holds [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  // Everything beyond the covered range lands in the overflow bucket.
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<uint64_t>::max()),
+            Histogram::kBuckets - 1);
+
+  // UpperBound is the inclusive `le` of each bucket.
+  EXPECT_EQ(Histogram::UpperBound(0), 0u);
+  EXPECT_EQ(Histogram::UpperBound(1), 1u);
+  EXPECT_EQ(Histogram::UpperBound(2), 3u);
+  EXPECT_EQ(Histogram::UpperBound(3), 7u);
+  EXPECT_EQ(Histogram::UpperBound(Histogram::kBuckets - 1),
+            std::numeric_limits<uint64_t>::max());
+
+  // Every boundary value round-trips: UpperBound(b) falls in bucket b.
+  for (unsigned b = 0; b + 1 < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::UpperBound(b)), b) << b;
+  }
+}
+
+TEST(ObsHistogram, CountSumQuantile) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_EQ(histogram.Quantile(0.5), 0.0);
+
+  for (uint64_t v : {0, 1, 2, 4, 100, 100, 100, 5000}) histogram.Observe(v);
+  EXPECT_EQ(histogram.Count(), 8u);
+  EXPECT_EQ(histogram.Sum(), 0u + 1 + 2 + 4 + 100 + 100 + 100 + 5000);
+  EXPECT_EQ(histogram.BucketCount(0), 1u);  // the 0
+  EXPECT_EQ(histogram.BucketCount(1), 1u);  // the 1
+  EXPECT_EQ(histogram.BucketCount(7), 3u);  // the 100s: [64, 128)
+
+  // Quantiles are monotone in q and bounded by the occupied buckets.
+  const double p25 = histogram.Quantile(0.25);
+  const double p50 = histogram.Quantile(0.50);
+  const double p99 = histogram.Quantile(0.99);
+  EXPECT_LE(p25, p50);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p50, 128.0);    // the median sits in the 100s' bucket or below
+  EXPECT_GT(p99, 4096.0);   // the tail reaches the 5000's bucket [4096,8192)
+  EXPECT_LE(p99, 8192.0);
+}
+
+TEST(ObsRegistry, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests_total");
+  Counter* b = registry.GetCounter("requests_total");
+  EXPECT_EQ(a, b);
+  Counter* labeled =
+      registry.GetCounter("requests_total", {{"path", "/metrics"}});
+  EXPECT_NE(a, labeled);
+  EXPECT_EQ(labeled,
+            registry.GetCounter("requests_total", {{"path", "/metrics"}}));
+  Gauge* gauge = registry.GetGauge("depth");
+  EXPECT_EQ(gauge, registry.GetGauge("depth"));
+  Histogram* histogram = registry.GetHistogram("latency_us");
+  EXPECT_EQ(histogram, registry.GetHistogram("latency_us"));
+}
+
+TEST(ObsRegistry, SnapshotIsDeterministicallyOrdered) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta")->Add(1);
+  registry.GetCounter("alpha", {{"k", "2"}})->Add(2);
+  registry.GetCounter("alpha", {{"k", "1"}})->Add(3);
+  registry.GetGauge("mid")->Set(7.0);
+  const std::vector<MetricSample> samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples[0].name, "alpha");
+  EXPECT_EQ(samples[0].labels, (LabelSet{{"k", "1"}}));
+  EXPECT_EQ(samples[0].counter, 3u);
+  EXPECT_EQ(samples[1].name, "alpha");
+  EXPECT_EQ(samples[1].labels, (LabelSet{{"k", "2"}}));
+  EXPECT_EQ(samples[2].name, "mid");
+  EXPECT_EQ(samples[3].name, "zeta");
+}
+
+TEST(ObsRegistry, ConcurrentGetOrCreateAndWrite) {
+  // Hammer the registry's cold path and the counters' hot path at once;
+  // every increment must land (run under TSan in CI).
+  MetricsRegistry registry;
+  constexpr unsigned kThreads = 8;
+  constexpr int kIterations = 2000;
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&registry, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        registry.GetCounter("shared_total")->Increment();
+        registry.GetCounter("per_thread_total",
+                            {{"thread", std::to_string(t)}})
+            ->Increment();
+        registry.GetHistogram("latency_us")->Observe(i);
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_EQ(registry.GetCounter("shared_total")->Value(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(registry.GetHistogram("latency_us")->Count(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry
+                  .GetCounter("per_thread_total",
+                              {{"thread", std::to_string(t)}})
+                  ->Value(),
+              static_cast<uint64_t>(kIterations));
+  }
+}
+
+TEST(ObsExposition, PrometheusGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("ldp_test_requests_total")->Add(3);
+  registry.GetCounter("ldp_test_requests_total", {{"path", "/x"}})->Add(2);
+  registry.GetGauge("ldp_test_depth")->Set(1.5);
+  Histogram* latency = registry.GetHistogram("ldp_test_latency_us");
+  latency->Observe(0);
+  latency->Observe(3);
+  latency->Observe(3);
+
+  const std::string expected =
+      "# TYPE ldp_test_depth gauge\n"
+      "ldp_test_depth 1.5\n"
+      "# TYPE ldp_test_latency_us histogram\n"
+      "ldp_test_latency_us_bucket{le=\"0\"} 1\n"
+      "ldp_test_latency_us_bucket{le=\"1\"} 1\n"
+      "ldp_test_latency_us_bucket{le=\"3\"} 3\n"
+      "ldp_test_latency_us_bucket{le=\"+Inf\"} 3\n"
+      "ldp_test_latency_us_sum 6\n"
+      "ldp_test_latency_us_count 3\n"
+      "# TYPE ldp_test_requests_total counter\n"
+      "ldp_test_requests_total 3\n"
+      "ldp_test_requests_total{path=\"/x\"} 2\n";
+  EXPECT_EQ(ToPrometheusText(registry), expected);
+}
+
+TEST(ObsExposition, JsonGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("ldp_test_requests_total", {{"path", "/x"}})->Add(2);
+  registry.GetGauge("ldp_test_depth")->Set(1.5);
+  Histogram* latency = registry.GetHistogram("ldp_test_latency_us");
+  latency->Observe(3);
+  latency->Observe(3);
+
+  const std::string expected =
+      "{\"metrics\":["
+      "{\"name\":\"ldp_test_depth\",\"type\":\"gauge\",\"value\":1.5},"
+      "{\"name\":\"ldp_test_latency_us\",\"type\":\"histogram\","
+      "\"count\":2,\"sum\":6,\"p50\":3,\"p90\":4,\"p99\":4,"
+      "\"buckets\":[{\"le\":3,\"count\":2}]},"
+      "{\"name\":\"ldp_test_requests_total\",\"labels\":{\"path\":\"/x\"},"
+      "\"type\":\"counter\",\"value\":2}"
+      "]}\n";
+  EXPECT_EQ(ToJson(registry), expected);
+}
+
+TEST(ObsExposition, JsonEscapeControlAndQuotes) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(ObsMetricsBundles, NullRegistryDisablesEverything) {
+  EXPECT_FALSE(IngestMetrics::ForRegistry(nullptr).enabled());
+  EXPECT_FALSE(SessionMetrics::ForRegistry(nullptr).enabled());
+  EXPECT_FALSE(NetServerMetrics::ForRegistry(nullptr).enabled());
+  EXPECT_FALSE(PoolMetrics::ForRegistry(nullptr).enabled());
+
+  MetricsRegistry registry;
+  EXPECT_TRUE(IngestMetrics::ForRegistry(&registry).enabled());
+  EXPECT_TRUE(SessionMetrics::ForRegistry(&registry).enabled());
+  EXPECT_TRUE(NetServerMetrics::ForRegistry(&registry).enabled());
+  EXPECT_TRUE(PoolMetrics::ForRegistry(&registry).enabled());
+  // Resolving twice lands on the same cells.
+  EXPECT_EQ(IngestMetrics::ForRegistry(&registry).accepted,
+            IngestMetrics::ForRegistry(&registry).accepted);
+}
+
+}  // namespace
+}  // namespace ldp::obs

@@ -38,6 +38,8 @@
 #include "api/server_session.h"
 #include "data/schema_text.h"
 #include "estimate_printer.h"
+#include "obs/metrics.h"
+#include "tool_flags.h"
 #include "stream/parallel_ingest.h"
 #include "stream/report_stream.h"
 #include "stream/shard_ingester.h"
@@ -53,10 +55,12 @@ void Usage() {
       stderr,
       "usage: ldp_aggregate --schema FILE [--threads T] [--confidence C]\n"
       "                     [--strict] [--max-rejected N] [--epoch E]\n"
-      "                     [--snapshot-out FILE] SHARD...\n"
+      "                     [--snapshot-out FILE] [--metrics-out FILE]\n"
+      "                     [--version] SHARD...\n"
       "SHARD files are report streams (ldp_report), aggregator snapshots,\n"
       "or session snapshots (ldp_aggregate --snapshot-out), merged in\n"
-      "argument order; --epoch E prints only epoch E.\n");
+      "argument order; --epoch E prints only epoch E. --metrics-out dumps\n"
+      "the run's telemetry registry as JSON at exit.\n");
 }
 
 // Reads at most the first `limit` bytes — enough for any preamble; snapshot
@@ -132,7 +136,8 @@ Result<InputConfig> PeekConfig(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string schema_path, snapshot_out;
+  if (tools::HandleVersionFlag(argc, argv, "ldp_aggregate")) return 0;
+  std::string schema_path, snapshot_out, metrics_out;
   double confidence = 0.95;
   unsigned threads = 0;
   long selected_epoch = -1;
@@ -167,6 +172,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--snapshot-out") {
       snapshot_out = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else if (!arg.empty() && arg[0] == '-') {
       Usage();
       return 2;
@@ -218,11 +225,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
     return 1;
   }
+  obs::MetricsRegistry registry;
   api::ServerSessionOptions session_options;
   session_options.ingest = ingest_options;
   // The session owns the ingest pool: IngestInputs falls back to it, and
   // any future Feed-based transport would decode on the same workers.
   session_options.ingest_threads = threads;
+  session_options.metrics = &registry;
   auto server = pipeline.value().NewServer(session_options);
   if (!server.ok()) {
     std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
@@ -274,6 +283,10 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote session snapshot to %s (%zu bytes, %u epoch(s))\n\n",
                 snapshot_out.c_str(), bytes.size(), session.num_epochs());
+  }
+
+  if (!metrics_out.empty() && !tools::WriteMetricsFile(metrics_out, registry)) {
+    return 1;
   }
 
   if (selected_epoch >= 0 &&

@@ -55,14 +55,17 @@ void Usage() {
       "                   [--mechanism hm|pm] [--oracle "
       "oue|grr|sue|olh|he|the]\n"
       "                   [--seed S] [--confidence C] [--threads T]\n"
+      "                   [--metrics-out FILE] [--version]\n"
       "--threads fixes the summation chunk boundaries for bit-compatible\n"
-      "output with pooled/sharded runs; the streaming loop is sequential.\n");
+      "output with pooled/sharded runs; the streaming loop is sequential.\n"
+      "--metrics-out dumps the run's telemetry registry as JSON at exit.\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string schema_path, data_path;
+  if (tools::HandleVersionFlag(argc, argv, "ldp_collect")) return 0;
+  std::string schema_path, data_path, metrics_out;
   double epsilon = 0.0;
   double confidence = 0.95;
   uint64_t seed = 1;
@@ -90,6 +93,8 @@ int main(int argc, char** argv) {
       seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--threads") {
       threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else if (arg == "--mechanism") {
       if (!tools::ParseMechanismFlag(next(), &mechanism)) {
         Usage();
@@ -138,8 +143,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
     return 1;
   }
+  obs::MetricsRegistry registry;
+  api::ServerSessionOptions session_options;
+  session_options.metrics = &registry;
   auto client = pipeline.value().NewClient();
-  auto server = pipeline.value().NewServer();
+  auto server = pipeline.value().NewServer(session_options);
   if (!client.ok() || !server.ok()) {
     std::fprintf(stderr, "%s\n",
                  (client.ok() ? server.status() : client.status())
@@ -252,6 +260,10 @@ int main(int argc, char** argv) {
       std::printf(" %.4f", f);
     }
     std::printf("\n");
+  }
+
+  if (!metrics_out.empty() && !tools::WriteMetricsFile(metrics_out, registry)) {
+    return 1;
   }
   return 0;
 }

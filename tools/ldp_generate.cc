@@ -2,6 +2,7 @@
 // trying out the collection pipeline without real microdata.
 //
 //   ldp_generate --dataset br|mx --rows N --out PREFIX [--seed S]
+//                [--version]
 //
 // Produces PREFIX.csv and PREFIX.schema, consumable by ldp_collect.
 
@@ -13,18 +14,25 @@
 #include "data/census.h"
 #include "data/csv.h"
 #include "data/schema_text.h"
+#include "util/build_info.h"
 
 namespace {
 
 void Usage() {
   std::fprintf(stderr,
                "usage: ldp_generate --dataset br|mx --rows N --out PREFIX "
-               "[--seed S]\n");
+               "[--seed S] [--version]\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s\n", ldp::BuildInfoVersionLine("ldp_generate").c_str());
+      return 0;
+    }
+  }
   std::string dataset = "br";
   std::string prefix;
   uint64_t rows = 100000;

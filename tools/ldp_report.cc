@@ -58,7 +58,9 @@ void Usage() {
       "                  [--shards N] [--shard-index I] [--mechanism hm|pm]\n"
       "                  [--oracle oue|grr|sue|olh|he|the]\n"
       "                  [--stream auto|mixed|numeric] [--seed S]\n"
-      "ENDPOINT is tcp:HOST:PORT or unix:PATH (an ldp_serve collector).\n");
+      "                  [--metrics-out FILE] [--version]\n"
+      "ENDPOINT is tcp:HOST:PORT or unix:PATH (an ldp_serve collector).\n"
+      "--metrics-out dumps reporter-side telemetry as JSON at exit.\n");
 }
 
 std::string ShardPath(const std::string& prefix, size_t shard) {
@@ -140,7 +142,8 @@ struct NetShardSink : ShardSink {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string schema_path, data_path, prefix, connect_spec;
+  if (tools::HandleVersionFlag(argc, argv, "ldp_report")) return 0;
+  std::string schema_path, data_path, prefix, connect_spec, metrics_out;
   double epsilon = 0.0;
   uint64_t seed = 1;
   uint64_t shards = 1;
@@ -179,6 +182,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else if (arg == "--mechanism") {
       if (!tools::ParseMechanismFlag(next(), &mechanism)) {
         Usage();
@@ -377,6 +382,18 @@ int main(int argc, char** argv) {
     std::printf("wrote %zu shard stream(s) to %s.shard-*.ldps (%llu bytes)\n",
                 shards_shipped, prefix.c_str(),
                 static_cast<unsigned long long>(total_bytes));
+  }
+
+  if (!metrics_out.empty()) {
+    // Reporter-side telemetry: populated from the run totals (the client
+    // has no server session to instrument), same registry JSON shape as
+    // the server tools so downstream tooling reads one format.
+    obs::MetricsRegistry registry;
+    registry.GetCounter("ldp_report_reports_total")->Add(reported);
+    registry.GetCounter("ldp_report_bytes_total")->Add(total_bytes);
+    registry.GetCounter("ldp_report_shards_shipped_total")
+        ->Add(shards_shipped);
+    if (!tools::WriteMetricsFile(metrics_out, registry)) return 1;
   }
   return 0;
 }

@@ -16,11 +16,24 @@
 //             [--stream auto|mixed|numeric] [--epochs N]
 //             [--acceptors N] [--threads T] [--strict] [--max-rejected N]
 //             [--idle-timeout-ms N] [--confidence C]
-//             [--snapshot-out FILE]
+//             [--snapshot-out FILE] [--metrics ENDPOINT]
+//             [--stats-interval-s N] [--journal-out FILE]
+//             [--trace-out FILE] [--version]
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, let in-flight reporters
 // finish (bounded by the idle timeout), then write the session snapshot
 // (--snapshot-out) and print per-epoch estimates in ldp_aggregate's format.
+//
+// Observability: every run carries an obs::MetricsRegistry and campaign
+// EventJournal wired through the session, ingester, thread pool, and
+// network server. `--metrics tcp:HOST:PORT|unix:PATH` serves them live
+// (GET /metrics Prometheus text, /metrics.json, /journal, /trace,
+// /healthz); `--stats-interval-s N` prints a one-line stderr summary every
+// N seconds; `--journal-out`/`--trace-out` dump the event journal at exit
+// as JSON lines / Chrome trace JSON. Exit stats are the registry's own
+// JSON serialization — the same bytes a live scrape would have returned,
+// so the two can never drift. Telemetry is write-only observation: the
+// estimates are bit-identical with every flag above on or off.
 
 #include <chrono>
 #include <csignal>
@@ -38,6 +51,10 @@
 #include "estimate_printer.h"
 #include "net/report_server.h"
 #include "net/socket.h"
+#include "obs/exposition.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/metrics_server.h"
 #include "stream/shard_ingester.h"
 
 namespace {
@@ -58,14 +75,21 @@ void Usage() {
       "                 [--acceptors N] [--threads T] [--strict]\n"
       "                 [--max-rejected N] [--idle-timeout-ms N]\n"
       "                 [--confidence C] [--snapshot-out FILE]\n"
+      "                 [--metrics ENDPOINT] [--stats-interval-s N]\n"
+      "                 [--journal-out FILE] [--trace-out FILE] [--version]\n"
       "ENDPOINT is tcp:HOST:PORT (port 0 = ephemeral, printed on stdout)\n"
-      "or unix:PATH. SIGTERM drains and writes the snapshot/estimates.\n");
+      "or unix:PATH. SIGTERM drains and writes the snapshot/estimates.\n"
+      "--metrics serves GET /metrics (Prometheus text), /metrics.json,\n"
+      "/journal, /trace and /healthz on a second endpoint.\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (tools::HandleVersionFlag(argc, argv, "ldp_serve")) return 0;
   std::string schema_path, listen_spec, snapshot_out;
+  std::string metrics_spec, journal_out, trace_out;
+  unsigned stats_interval_s = 0;
   double epsilon = 0.0;
   double confidence = 0.95;
   uint32_t epochs = 1;
@@ -110,6 +134,15 @@ int main(int argc, char** argv) {
       confidence = std::strtod(next(), nullptr);
     } else if (arg == "--snapshot-out") {
       snapshot_out = next();
+    } else if (arg == "--metrics") {
+      metrics_spec = next();
+    } else if (arg == "--stats-interval-s") {
+      stats_interval_s =
+          static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--journal-out") {
+      journal_out = next();
+    } else if (arg == "--trace-out") {
+      trace_out = next();
     } else if (arg == "--mechanism") {
       if (!tools::ParseMechanismFlag(next(), &mechanism)) {
         Usage();
@@ -160,9 +193,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
     return 1;
   }
+  // Telemetry is always on: the registry and journal are cheap enough to
+  // carry unconditionally, and the exit stats below are their serialization.
+  obs::MetricsRegistry registry;
+  obs::EventJournal journal(8192);
+
   api::ServerSessionOptions session_options;
   session_options.ingest = ingest_options;
   session_options.ingest_threads = threads;
+  session_options.metrics = &registry;
+  session_options.journal = &journal;
   auto server_session = pipeline.value().NewServer(session_options);
   if (!server_session.ok()) {
     std::fprintf(stderr, "%s\n", server_session.status().ToString().c_str());
@@ -170,11 +210,30 @@ int main(int argc, char** argv) {
   }
   api::ServerSession& session = server_session.value();
 
+  server_options.metrics = &registry;
+  server_options.journal = &journal;
   auto server = net::ReportServer::Start(&session, pipeline.value().header(),
                                          endpoint.value(), server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
     return 1;
+  }
+
+  std::unique_ptr<obs::MetricsServer> metrics_server;
+  if (!metrics_spec.empty()) {
+    auto metrics_endpoint = net::Endpoint::Parse(metrics_spec);
+    if (!metrics_endpoint.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   metrics_endpoint.status().ToString().c_str());
+      return 1;
+    }
+    auto started = obs::MetricsServer::Start(metrics_endpoint.value(),
+                                             &registry, &journal);
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
+      return 1;
+    }
+    metrics_server = std::move(started).value();
   }
 
   std::signal(SIGTERM, HandleSignal);
@@ -184,34 +243,72 @@ int main(int argc, char** argv) {
               server.value()->endpoint().ToString().c_str(),
               stream::ReportStreamKindToString(pipeline.value().stream_kind()),
               epsilon, epochs, server_options.acceptors, threads);
+  if (metrics_server != nullptr) {
+    std::printf("metrics on %s\n",
+                metrics_server->endpoint().ToString().c_str());
+  }
   std::fflush(stdout);
 
+  // Handles for the periodic summary; get-or-create, so these are the same
+  // cells the session/server instrumentation writes through.
+  const obs::IngestMetrics ingest_view =
+      obs::IngestMetrics::ForRegistry(&registry);
+  const obs::NetServerMetrics net_view =
+      obs::NetServerMetrics::ForRegistry(&registry);
+
   // The acceptors own all the work; this thread just waits for the signal.
+  const auto stats_interval = std::chrono::seconds(
+      stats_interval_s == 0 ? 0 : stats_interval_s);
+  auto next_stats = std::chrono::steady_clock::now() + stats_interval;
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (stats_interval_s != 0 &&
+        std::chrono::steady_clock::now() >= next_stats) {
+      next_stats += stats_interval;
+      std::fprintf(
+          stderr,
+          "[stats] conns=%llu accepted=%llu rejected=%llu bytes=%llu "
+          "merged=%llu abandoned=%llu refused=%llu\n",
+          static_cast<unsigned long long>(net_view.connections->Value()),
+          static_cast<unsigned long long>(ingest_view.accepted->Value()),
+          static_cast<unsigned long long>(ingest_view.rejected->Value()),
+          static_cast<unsigned long long>(ingest_view.bytes->Value()),
+          static_cast<unsigned long long>(net_view.shards_merged->Value()),
+          static_cast<unsigned long long>(net_view.shards_abandoned->Value()),
+          static_cast<unsigned long long>(net_view.hello_refused->Value()));
+      std::fflush(stderr);
+    }
   }
   std::printf("draining...\n");
   std::fflush(stdout);
   server.value()->Stop(/*drain=*/true);
+  if (metrics_server != nullptr) metrics_server->Stop();
 
-  const net::ReportServerStats stats = server.value()->stats();
-  uint64_t total_reports = 0;
-  for (uint32_t epoch = 0; epoch < session.num_epochs(); ++epoch) {
-    auto n = session.num_reports(epoch);
-    if (n.ok()) total_reports += n.value();
+  // Exit stats are the registry's own JSON serialization — byte-compatible
+  // with what a live /metrics.json scrape would have returned at this
+  // instant, so the two views cannot drift apart.
+  std::printf("exit stats: %s\n", obs::ToJson(registry).c_str());
+
+  if (!journal_out.empty()) {
+    std::ofstream out(journal_out, std::ios::trunc);
+    const std::string lines = journal.ToJsonLines();
+    out.write(lines.data(), static_cast<std::streamsize>(lines.size()));
+    out.flush();
+    if (!out.good()) {
+      std::fprintf(stderr, "write error on %s\n", journal_out.c_str());
+      return 1;
+    }
   }
-  std::printf(
-      "served %llu connection(s): %llu shard(s) merged, %llu discarded, "
-      "%llu abandoned, %llu hello-rejected, %llu protocol error(s)\n",
-      static_cast<unsigned long long>(stats.connections),
-      static_cast<unsigned long long>(stats.shards_merged),
-      static_cast<unsigned long long>(stats.shards_discarded),
-      static_cast<unsigned long long>(stats.shards_abandoned),
-      static_cast<unsigned long long>(stats.hello_rejected),
-      static_cast<unsigned long long>(stats.protocol_errors));
-  std::printf("%llu report(s) across %u epoch(s), eps spent %g\n\n",
-              static_cast<unsigned long long>(total_reports),
-              session.num_epochs(), session.epsilon_spent());
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out, std::ios::trunc);
+    const std::string trace = journal.ToChromeTrace();
+    out.write(trace.data(), static_cast<std::streamsize>(trace.size()));
+    out.flush();
+    if (!out.good()) {
+      std::fprintf(stderr, "write error on %s\n", trace_out.c_str());
+      return 1;
+    }
+  }
 
   if (!snapshot_out.empty()) {
     const std::string bytes = session.Snapshot();

@@ -6,13 +6,48 @@
 #ifndef LDP_TOOLS_TOOL_FLAGS_H_
 #define LDP_TOOLS_TOOL_FLAGS_H_
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 
 #include "api/pipeline.h"
 #include "core/mechanism.h"
 #include "frequency/frequency_oracle.h"
+#include "obs/exposition.h"
+#include "obs/metrics.h"
+#include "util/build_info.h"
 
 namespace ldp::tools {
+
+/// Uniform `--version` handling: if the flag is present anywhere on the
+/// command line, print the build-info line and return true (callers exit 0).
+/// Scanned before normal flag parsing so `ldp_x --version` never trips the
+/// required-flag checks.
+inline bool HandleVersionFlag(int argc, char** argv, const char* tool_name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s\n", BuildInfoVersionLine(tool_name).c_str());
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Writes the registry's JSON exposition to `path` for `--metrics-out`.
+/// Returns false (with a message on stderr) on write failure.
+inline bool WriteMetricsFile(const std::string& path,
+                             const obs::MetricsRegistry& registry) {
+  std::ofstream out(path, std::ios::trunc);
+  const std::string json = obs::ToJson(registry);
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "write error on %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
 
 /// "oue" | "grr" | "sue" | "olh" | "he" | "the".
 inline bool ParseOracleFlag(const std::string& name,
