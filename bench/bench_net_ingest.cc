@@ -3,18 +3,30 @@
 // shards of mixed OUE reports once, then sweeps three delivery paths over
 // identical bytes:
 //
-//   inproc    ServerSession::Feed from K producer threads (no sockets) —
-//             the PR 4 session path, the upper bound;
-//   uds       K CollectorClients over a loopback Unix-domain socket into a
-//             ReportServer (K acceptors) wrapping an identical session;
-//   tcp       the same over TCP loopback (adds the kernel TCP stack).
+//   inproc         ServerSession::Feed from K producer threads (no
+//                  sockets) — the PR 4 session path, the upper bound;
+//   uds            K CollectorClients over a loopback Unix-domain socket
+//                  into a ReportServer (K acceptors) wrapping an identical
+//                  session;
+//   tcp            the same over TCP loopback (adds the kernel TCP stack);
+//   uds_wal        uds with the write-ahead frame log on (--wal-dir): what
+//                  crash durability costs on the accepted-frame path;
+//   uds_relay      a 1-hop relay tier: the uds edge plus a RelayForwarder
+//                  shipping the session to a root collector whose drain
+//                  fold produces the final snapshot;
+//   uds_relay_wal  the full distributed deployment, relay and WAL both on.
 //
 // Every path must ingest exactly `reports` reports and produce the same
-// session snapshot — the bench doubles as a determinism check. Emits
-// BENCH_net_ingest.json next to the binary for trend tracking.
+// session snapshot — the bench doubles as a determinism check (for the
+// relay paths this is the two-tier bit-identity guarantee). Emits
+// BENCH_net_ingest.json next to the binary for trend tracking; WAL rows
+// carry `wal_bytes`, the log volume the run appended.
 //
 //   LDP_BENCH_USERS   total reports across shards (default 1000000)
 //   LDP_BENCH_FAST=1  shrink for smoke runs (100000)
+
+#include <dirent.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -23,7 +35,6 @@
 #include <memory>
 #include <string>
 #include <thread>
-#include <unistd.h>
 #include <vector>
 
 #include "api/pipeline.h"
@@ -32,6 +43,8 @@
 #include "net/report_server.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
+#include "relay/forwarder.h"
+#include "relay/frame_wal.h"
 #include "stream/report_stream.h"
 #include "util/build_info.h"
 #include "util/random.h"
@@ -101,7 +114,23 @@ struct RunResult {
   /// the in-process path, which has no DATA messages.
   double data_p50_us = 0.0;
   double data_p99_us = 0.0;
+  /// WAL paths only: bytes the run appended to the frame log.
+  uint64_t wal_bytes = 0;
+  bool has_wal = false;
 };
+
+// Empties (or implicitly creates, via FrameWal::Open) the bench WAL dir so
+// a run never replays the previous path's log.
+void CleanWalDir(const std::string& dir) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) return;
+  while (dirent* entry = ::readdir(handle)) {
+    const std::string file = entry->d_name;
+    if (file == "." || file == "..") continue;
+    ::unlink((dir + "/" + file).c_str());
+  }
+  ::closedir(handle);
+}
 
 uint64_t TotalBytes(const std::vector<std::string>& shards) {
   uint64_t total = 0;
@@ -148,24 +177,68 @@ double RunInProcess(const api::Pipeline& pipeline,
   return seconds;
 }
 
-// K CollectorClients through a loopback ReportServer. `registry` collects
-// the server's telemetry (DATA-message latency histogram); since the
-// snapshot is compared against the uninstrumented in-process run, this also
-// re-checks that metrics never perturb the estimates.
+// K CollectorClients through a loopback ReportServer; `wal` adds the
+// frame log to the accepted-frame path and `relay` interposes a full
+// second tier (forwarder + root collector, whose folded session is the
+// result). `registry` collects the edge server's telemetry (DATA-message
+// latency histogram); since the snapshot is compared against the
+// uninstrumented in-process run, this also re-checks that metrics never
+// perturb the estimates.
 double RunNetworked(const api::Pipeline& pipeline,
                     const std::vector<std::string>& shards,
-                    const net::Endpoint& endpoint,
-                    obs::MetricsRegistry* registry, std::string* snapshot) {
+                    const net::Endpoint& endpoint, bool wal, bool relay,
+                    obs::MetricsRegistry* registry, std::string* snapshot,
+                    uint64_t* wal_bytes) {
   api::ServerSessionOptions session_options;
   session_options.ingest_threads = 2;
   auto server_session = pipeline.NewServer(session_options);
   if (!server_session.ok()) std::exit(1);
+
+  const std::string wal_dir =
+      "/tmp/ldp_bench_net_wal_" + std::to_string(::getpid());
+  std::unique_ptr<relay::FrameWal> frame_wal;
+  if (wal) {
+    CleanWalDir(wal_dir);
+    relay::FrameWal::Options wal_options;
+    wal_options.metrics = registry;
+    auto opened = relay::FrameWal::Open(wal_dir, &server_session.value(),
+                                        wal_options, nullptr);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      std::exit(1);
+    }
+    frame_wal = std::move(opened).value();
+  }
+
+  // The optional upstream tier: a root collector the edge relays to.
+  auto root_session = pipeline.NewServer();
+  if (!root_session.ok()) std::exit(1);
+  std::unique_ptr<net::ReportServer> root;
+  if (relay) {
+    net::ReportServerOptions root_options;
+    root_options.accept_snapshots = true;
+    net::Endpoint root_endpoint;
+    root_endpoint.kind = net::Endpoint::Kind::kUnix;
+    root_endpoint.path = "/tmp/ldp_bench_net_root_" +
+                         std::to_string(::getpid()) + ".sock";
+    auto started_root = net::ReportServer::Start(&root_session.value(),
+                                                 pipeline.header(),
+                                                 root_endpoint, root_options);
+    if (!started_root.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   started_root.status().ToString().c_str());
+      std::exit(1);
+    }
+    root = std::move(started_root).value();
+  }
+
   net::ReportServerOptions server_options;
   server_options.metrics = registry;
   server_options.acceptors = static_cast<unsigned>(shards.size());
   // Strict ordinal barrier: the cross-path snapshot-equality check relies
   // on merge order being independent of which reporter finishes first.
   server_options.expected_shards = shards.size();
+  server_options.wal = frame_wal.get();
   auto server = net::ReportServer::Start(
       &server_session.value(), pipeline.header(), endpoint, server_options);
   if (!server.ok()) {
@@ -175,6 +248,18 @@ double RunNetworked(const api::Pipeline& pipeline,
   const net::Endpoint resolved = server.value()->endpoint();
 
   const auto started = std::chrono::steady_clock::now();
+  std::unique_ptr<relay::RelayForwarder> forwarder;
+  if (relay) {
+    relay::RelayForwarderOptions forward_options;
+    // Quiet cadence: only the synchronous drain flush ships, so the relay
+    // rows measure the deterministic cost of the tier, not timer jitter.
+    forward_options.interval_ms = 60000;
+    forward_options.metrics = registry;
+    auto started_forwarder = relay::RelayForwarder::Start(
+        &server_session.value(), root->endpoint(), forward_options);
+    if (!started_forwarder.ok()) std::exit(1);
+    forwarder = std::move(started_forwarder).value();
+  }
   std::vector<std::thread> reporters;
   for (size_t s = 0; s < shards.size(); ++s) {
     reporters.emplace_back([&, s] {
@@ -190,12 +275,23 @@ double RunNetworked(const api::Pipeline& pipeline,
     });
   }
   for (std::thread& reporter : reporters) reporter.join();
+  server.value()->Stop(/*drain=*/true);
+  if (relay) {
+    // The drain sequence the tools run: final flush upstream, then the
+    // root drains and folds. The fold is part of what the tier costs.
+    if (!forwarder->Stop(/*final_flush=*/true).ok()) std::exit(1);
+    root->Stop(/*drain=*/true);
+    if (!root->FoldRelaySnapshots().ok()) std::exit(1);
+  }
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started)
           .count();
-  server.value()->Stop(/*drain=*/true);
-  *snapshot = server_session.value().Snapshot();
+  if (wal && registry != nullptr) {
+    *wal_bytes = obs::WalMetrics::ForRegistry(registry).bytes->Value();
+  }
+  *snapshot = relay ? root_session.value().Snapshot()
+                    : server_session.value().Snapshot();
   return seconds;
 }
 
@@ -218,7 +314,7 @@ int main() {
   std::printf("(reports: %llu across %zu shards, schema: 8 attributes, "
               "eps = 4, OUE)\n\n",
               static_cast<unsigned long long>(reports), kShards);
-  std::printf("%-8s %10s %14s %10s %10s %10s\n", "path", "seconds",
+  std::printf("%-14s %10s %14s %10s %10s %10s\n", "path", "seconds",
               "reports/s", "MiB/s", "p50(us)", "p99(us)");
 
   const net::Endpoint uds = {net::Endpoint::Kind::kUnix, "", 0,
@@ -231,15 +327,23 @@ int main() {
   const struct {
     const char* name;
     const net::Endpoint* endpoint;  // null = in-process
-  } kPaths[] = {{"inproc", nullptr}, {"uds", &uds}, {"tcp", &tcp}};
+    bool wal;
+    bool relay;
+  } kPaths[] = {{"inproc", nullptr, false, false},
+                {"uds", &uds, false, false},
+                {"tcp", &tcp, false, false},
+                {"uds_wal", &uds, true, false},
+                {"uds_relay", &uds, false, true},
+                {"uds_relay_wal", &uds, true, true}};
   for (const auto& path : kPaths) {
     std::string snapshot;
     obs::MetricsRegistry registry;
+    uint64_t wal_bytes = 0;
     const double seconds =
         path.endpoint == nullptr
             ? RunInProcess(pipeline, shards, &snapshot)
-            : RunNetworked(pipeline, shards, *path.endpoint, &registry,
-                           &snapshot);
+            : RunNetworked(pipeline, shards, *path.endpoint, path.wal,
+                           path.relay, &registry, &snapshot, &wal_bytes);
     if (reference.empty()) {
       reference = snapshot;
     } else if (snapshot != reference) {
@@ -259,8 +363,10 @@ int main() {
       result.data_p50_us = data_read_us->Quantile(0.5);
       result.data_p99_us = data_read_us->Quantile(0.99);
     }
+    result.wal_bytes = wal_bytes;
+    result.has_wal = path.wal;
     results.push_back(result);
-    std::printf("%-8s %10.3f %14.0f %10.1f %10.0f %10.0f\n", result.path,
+    std::printf("%-14s %10.3f %14.0f %10.1f %10.0f %10.0f\n", result.path,
                 result.seconds, result.reports_per_sec, result.mib_per_sec,
                 result.data_p50_us, result.data_p99_us);
   }
@@ -277,11 +383,15 @@ int main() {
       std::fprintf(json,
                    "    {\"path\": \"%s\", \"seconds\": %.6f, "
                    "\"reports_per_sec\": %.0f, \"mib_per_sec\": %.1f, "
-                   "\"data_p50_us\": %.1f, \"data_p99_us\": %.1f}%s\n",
+                   "\"data_p50_us\": %.1f, \"data_p99_us\": %.1f",
                    results[i].path, results[i].seconds,
                    results[i].reports_per_sec, results[i].mib_per_sec,
-                   results[i].data_p50_us, results[i].data_p99_us,
-                   i + 1 < results.size() ? "," : "");
+                   results[i].data_p50_us, results[i].data_p99_us);
+      if (results[i].has_wal) {
+        std::fprintf(json, ", \"wal_bytes\": %llu",
+                     static_cast<unsigned long long>(results[i].wal_bytes));
+      }
+      std::fprintf(json, "}%s\n", i + 1 < results.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);

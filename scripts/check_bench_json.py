@@ -3,8 +3,10 @@
 every BENCH_*.json passed must parse, carry a build stamp attributing the
 numbers to an exact revision/compiler, hold at least one run, and report
 nonzero reports/s per row. Telemetry fields, where present, must be sane:
-overhead_pct bounded (metrics off the hot path stay cheap) and the DATA
-latency quantiles ordered (p50 <= p99, networked paths nonzero).
+overhead_pct bounded (metrics off the hot path stay cheap), the DATA
+latency quantiles ordered (p50 <= p99, networked paths nonzero), and WAL
+rows carrying a nonzero wal_bytes (a durable run that logged nothing is a
+wiring bug, not a fast run).
 Used by the build-test and bench-release CI jobs."""
 import json
 import sys
@@ -12,6 +14,10 @@ import sys
 # A wide gate, not a perf target: CI machines are noisy, but a 25% swing
 # means the delta-flush instrumentation landed on the hot path.
 OVERHEAD_GATE_PCT = 25.0
+
+# bench_net_ingest rows that ran a real ReportServer (so the DATA latency
+# histogram must be populated).
+NETWORKED_PATHS = ("uds", "tcp", "uds_wal", "uds_relay", "uds_relay_wal")
 
 failed = False
 
@@ -49,8 +55,10 @@ for name in sys.argv[1:]:
             if p50 < 0 or p99 < 0 or p50 > p99:
                 complain(name, f"inconsistent DATA latency quantiles: {row}")
             # Networked paths must have observed real DATA messages.
-            if row.get("path") in ("uds", "tcp") and not p99 > 0:
+            if row.get("path") in NETWORKED_PATHS and not p99 > 0:
                 complain(name, f"empty DATA latency histogram: {row}")
+        if "wal_bytes" in row and not row["wal_bytes"] > 0:
+            complain(name, f"WAL row logged zero bytes: {row}")
     print(f"{name}: {len(rows)} rows checked")
 
 if not sys.argv[1:]:

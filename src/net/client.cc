@@ -33,6 +33,7 @@ Status CollectorClient::Negotiate(const stream::StreamHeader& header,
   LDP_ASSIGN_OR_RETURN(ok, DecodeHelloOk(payload));
   shard_ = ok.shard;
   epoch_ = ok.epoch;
+  resume_offset_ = ok.resume_offset;
   shard_open_ = true;
   staged_.clear();
   return Status::OK();

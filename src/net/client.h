@@ -77,6 +77,11 @@ class CollectorClient {
   /// The epoch the open shard folds into.
   uint32_t epoch() const { return epoch_; }
 
+  /// Post-header stream bytes already durable server-side for this shard
+  /// (WAL resume handshake, net/protocol.h). A resuming reporter skips
+  /// this many bytes of its frame stream; 0 for a fresh shard.
+  uint64_t resume_offset() const { return resume_offset_; }
+
   bool shard_open() const { return shard_open_; }
 
  private:
@@ -98,6 +103,7 @@ class CollectorClient {
   std::string staged_;
   uint64_t shard_ = 0;
   uint32_t epoch_ = 0;
+  uint64_t resume_offset_ = 0;
   bool shard_open_ = false;
 };
 

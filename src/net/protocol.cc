@@ -26,10 +26,12 @@ bool IsKnownMessageType(uint8_t type) {
     case MessageType::kData:
     case MessageType::kCloseShard:
     case MessageType::kAdvanceEpoch:
+    case MessageType::kSnapshot:
     case MessageType::kHelloOk:
     case MessageType::kShardClosed:
     case MessageType::kEpochAdvanced:
     case MessageType::kError:
+    case MessageType::kSnapshotOk:
       return true;
   }
   return false;
@@ -93,6 +95,7 @@ std::string EncodeHelloOk(const HelloOkMessage& ok) {
   std::string out;
   PutU64(&out, ok.shard);
   PutU32(&out, ok.epoch);
+  PutU64(&out, ok.resume_offset);
   return out;
 }
 
@@ -101,8 +104,62 @@ Result<HelloOkMessage> DecodeHelloOk(const std::string& payload) {
   HelloOkMessage ok;
   LDP_ASSIGN_OR_RETURN(ok.shard, reader.U64());
   LDP_ASSIGN_OR_RETURN(ok.epoch, reader.U32());
+  LDP_ASSIGN_OR_RETURN(ok.resume_offset, reader.U64());
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after HELLO_OK");
+  }
+  return ok;
+}
+
+std::string EncodeSnapshot(const SnapshotMessage& snapshot) {
+  std::string out;
+  PutU16(&out, snapshot.version);
+  PutU64(&out, snapshot.node);
+  PutU64(&out, snapshot.seq);
+  PutU32(&out, snapshot.epoch);
+  PutU32(&out, static_cast<uint32_t>(snapshot.snapshot_bytes.size()));
+  out.append(snapshot.snapshot_bytes);
+  return out;
+}
+
+Result<SnapshotMessage> DecodeSnapshot(const std::string& payload) {
+  Reader reader(payload.data(), payload.size());
+  SnapshotMessage snapshot;
+  LDP_ASSIGN_OR_RETURN(snapshot.version, reader.U16());
+  if (snapshot.version != kProtocolVersion) {
+    return Status::InvalidArgument("unsupported protocol version " +
+                                   std::to_string(snapshot.version));
+  }
+  LDP_ASSIGN_OR_RETURN(snapshot.node, reader.U64());
+  LDP_ASSIGN_OR_RETURN(snapshot.seq, reader.U64());
+  LDP_ASSIGN_OR_RETURN(snapshot.epoch, reader.U32());
+  uint32_t length = 0;
+  LDP_ASSIGN_OR_RETURN(length, reader.U32());
+  const char* bytes = reader.TakeBytes(length);
+  if (bytes == nullptr) {
+    return Status::InvalidArgument("truncated SNAPSHOT payload");
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after SNAPSHOT");
+  }
+  snapshot.snapshot_bytes.assign(bytes, length);
+  return snapshot;
+}
+
+std::string EncodeSnapshotOk(const SnapshotOkMessage& ok) {
+  std::string out;
+  PutU64(&out, ok.node);
+  PutU64(&out, ok.seq);
+  return out;
+}
+
+Result<SnapshotOkMessage> DecodeSnapshotOk(const std::string& payload) {
+  Reader reader(payload.data(), payload.size());
+  SnapshotOkMessage ok;
+  LDP_ASSIGN_OR_RETURN(ok.node, reader.U64());
+  LDP_ASSIGN_OR_RETURN(ok.seq, reader.U64());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after SNAPSHOT_OK");
   }
   return ok;
 }

@@ -60,11 +60,13 @@ enum class MessageType : uint8_t {
   kData = 0x02,
   kCloseShard = 0x03,
   kAdvanceEpoch = 0x04,
+  kSnapshot = 0x05,
   // server -> client
   kHelloOk = 0x10,
   kShardClosed = 0x11,
   kEpochAdvanced = 0x12,
   kError = 0x13,
+  kSnapshotOk = 0x14,
 };
 
 /// True for the message types defined above.
@@ -104,10 +106,41 @@ Result<HelloMessage> DecodeHello(const std::string& payload);
 struct HelloOkMessage {
   uint64_t shard = 0;    ///< Server-side shard id (diagnostic).
   uint32_t epoch = 0;    ///< Epoch the shard will fold into.
+  /// Resumable-shard handshake: post-header stream bytes of this ordinal
+  /// already durable server-side (WAL replay after a crash). The reporter
+  /// skips that many bytes instead of re-sending them; 0 for a fresh shard.
+  uint64_t resume_offset = 0;
 };
 
 std::string EncodeHelloOk(const HelloOkMessage& ok);
 Result<HelloOkMessage> DecodeHelloOk(const std::string& payload);
+
+/// SNAPSHOT: a relay node ships its whole session snapshot upstream. The
+/// snapshot is cumulative (every epoch, all reports so far), so a node may
+/// re-send at any cadence: the upstream keeps only the highest `seq` per
+/// node and folds the survivors in ascending node-id order at drain time —
+/// retries and restarts are idempotent by construction.
+struct SnapshotMessage {
+  uint16_t version = kProtocolVersion;
+  uint64_t node = 0;   ///< The sender's node id (its merge position).
+  uint64_t seq = 0;    ///< Monotone per node; highest wins upstream.
+  uint32_t epoch = 0;  ///< Sender's current epoch at snapshot time.
+  /// api::ServerSession::Snapshot() bytes ('LDPE'), length-prefixed on the
+  /// wire so trailing garbage is detected.
+  std::string snapshot_bytes;
+};
+
+std::string EncodeSnapshot(const SnapshotMessage& snapshot);
+Result<SnapshotMessage> DecodeSnapshot(const std::string& payload);
+
+/// SNAPSHOT_OK: the upstream durably holds (node, seq).
+struct SnapshotOkMessage {
+  uint64_t node = 0;
+  uint64_t seq = 0;
+};
+
+std::string EncodeSnapshotOk(const SnapshotOkMessage& ok);
+Result<SnapshotOkMessage> DecodeSnapshotOk(const std::string& payload);
 
 /// SHARD_CLOSED: final verdict and exact ingest statistics for one shard.
 struct ShardClosedMessage {

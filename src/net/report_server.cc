@@ -17,6 +17,33 @@ struct OpenShard {
   uint64_t ordinal = 0;
 };
 
+// Refuses a relay snapshot whose preamble disagrees with this campaign's
+// protocol — the same gate HELLO applies to stream headers, before any
+// epoch state is decoded. Structural validation happens at fold time,
+// where the session stages the whole snapshot before committing.
+Status CheckSnapshotCompatible(const stream::StreamHeader& expected,
+                               const std::string& bytes) {
+  Result<api::SessionSnapshotConfig> config =
+      api::DecodeSessionSnapshotConfig(bytes);
+  if (!config.ok()) return config.status();
+  if (config.value().kind != expected.kind) {
+    return Status::FailedPrecondition("relay snapshot stream kind mismatch");
+  }
+  if (config.value().mechanism != expected.mechanism) {
+    return Status::FailedPrecondition("relay snapshot mechanism mismatch");
+  }
+  if (config.value().oracle != expected.oracle) {
+    return Status::FailedPrecondition("relay snapshot oracle mismatch");
+  }
+  if (config.value().schema_hash != expected.schema_hash) {
+    return Status::FailedPrecondition("relay snapshot schema hash mismatch");
+  }
+  if (config.value().epsilon != expected.epsilon) {
+    return Status::FailedPrecondition("relay snapshot epsilon mismatch");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 ReportServer::ReportServer(api::ServerSession* session,
@@ -40,6 +67,19 @@ Result<std::unique_ptr<ReportServer>> ReportServer::Start(
   Result<Listener> listener = Listener::Bind(endpoint);
   if (!listener.ok()) return listener.status();
   server->listener_ = std::move(listener).value();
+  // Seed the barrier and resume state from a WAL replay before any acceptor
+  // exists (no lock needed yet): ordinals the replay already merged start
+  // done, so the frontier opens past them and a re-HELLO is refused.
+  server->resume_shards_ = options.resume_shards;
+  for (uint64_t ordinal : options.completed_ordinals) {
+    server->done_ordinals_.insert(ordinal);
+  }
+  if (options.expected_shards > 0) {
+    while (server->merge_frontier_ < options.expected_shards &&
+           server->done_ordinals_.count(server->merge_frontier_) != 0) {
+      ++server->merge_frontier_;
+    }
+  }
   server->acceptors_.reserve(options.acceptors);
   for (unsigned i = 0; i < options.acceptors; ++i) {
     server->acceptors_.emplace_back([raw = server.get()] {
@@ -96,6 +136,29 @@ void ReportServer::Stop(bool drain) {
 ReportServerStats ReportServer::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+Status ReportServer::FoldRelaySnapshots() {
+  std::map<uint64_t, PendingSnapshot> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending.swap(relay_snapshots_);
+  }
+  Status first_error = Status::OK();
+  for (const auto& [node, snap] : pending) {  // std::map: ascending node id
+    const Status merged = session_->Merge(snap.bytes);
+    if (merged.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.nodes_folded;
+    } else if (first_error.ok()) {
+      first_error = merged;
+    }
+    if (options_.journal != nullptr) {
+      options_.journal->Record(obs::EventKind::kRelayFold, node,
+                               merged.ok() ? 0 : 1);
+    }
+  }
+  return first_error;
 }
 
 void ReportServer::AcceptLoop() {
@@ -180,6 +243,7 @@ Status ReportServer::WaitTurnAndClose(uint64_t ordinal, size_t shard) {
   }
   if (stopping || !got_turn) {
     lock.unlock();
+    if (options_.wal != nullptr) options_.wal->OnShardAbandon(shard);
     (void)session_->AbandonShard(shard);
     FinishOrdinal(ordinal);
     if (options_.journal != nullptr) {
@@ -195,6 +259,9 @@ Status ReportServer::WaitTurnAndClose(uint64_t ordinal, size_t shard) {
   // draining the shard's strand, and other connections must keep feeding
   // meanwhile.
   lock.unlock();
+  // The close record carries the merge order: written while holding the
+  // merge turn, so a replay closes shards in exactly this sequence.
+  if (options_.wal != nullptr) options_.wal->OnShardClose(shard);
   const Status closed = session_->CloseShard(shard);
   FinishOrdinal(ordinal);
   if (options_.journal != nullptr) {
@@ -243,6 +310,7 @@ void ReportServer::RunConnection(Socket* socket_ptr) {
   // boundary: drop the shard and release its merge turn.
   auto abandon_open_shard = [&] {
     if (!state.open) return;
+    if (options_.wal != nullptr) options_.wal->OnShardAbandon(state.shard);
     (void)session_->AbandonShard(state.shard);
     FinishOrdinal(state.ordinal);
     state.open = false;
@@ -364,10 +432,43 @@ void ReportServer::RunConnection(Socket* socket_ptr) {
           options_.journal->Record(obs::EventKind::kHelloAccept,
                                    hello.value().ordinal);
         }
+        // A WAL replay may have left this ordinal's shard open at the
+        // crash: re-attach to it instead of opening anew, and tell the
+        // reporter how many post-header bytes are already durable.
+        ResumedShard resumed;
+        bool is_resume = false;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          auto it = resume_shards_.find(hello.value().ordinal);
+          if (it != resume_shards_.end()) {
+            resumed = it->second;
+            is_resume = true;
+            resume_shards_.erase(it);
+          }
+        }
+        if (is_resume) {
+          state.shard = resumed.shard;
+          state.ordinal = hello.value().ordinal;
+          state.open = true;
+          set_busy(true);
+          // The replayed shard already holds the header (and the durable
+          // frame bytes); nothing to feed, nothing new for the WAL.
+          HelloOkMessage ok;
+          ok.shard = state.shard;
+          ok.epoch = session_->current_epoch();
+          ok.resume_offset = resumed.durable_bytes;
+          SendReply(&socket, MessageType::kHelloOk, EncodeHelloOk(ok));
+          break;
+        }
         state.shard = session_->OpenShard();
         state.ordinal = hello.value().ordinal;
         state.open = true;
         set_busy(true);
+        if (options_.wal != nullptr) {
+          options_.wal->OnShardOpen(state.shard, state.ordinal,
+                                    session_->current_epoch(),
+                                    hello.value().header_bytes);
+        }
         // The shard's byte stream is header + frames, exactly as on disk;
         // the validated HELLO header bytes are that header.
         const Status fed =
@@ -386,6 +487,12 @@ void ReportServer::RunConnection(Socket* socket_ptr) {
         if (!state.open) {
           verdict = Status::FailedPrecondition("DATA before HELLO");
           break;
+        }
+        // Durability before visibility: the frame bytes hit the WAL before
+        // the session, so nothing the reporter gets acked can be lost.
+        if (options_.wal != nullptr && !payload.empty()) {
+          options_.wal->OnShardData(state.shard, payload.data(),
+                                    payload.size());
         }
         verdict = session_->Feed(state.shard, payload.data(), payload.size());
         if (data_started_ns != 0) {
@@ -431,10 +538,12 @@ void ReportServer::RunConnection(Socket* socket_ptr) {
         const Status advanced = session_->AdvanceEpoch();
         if (advanced.ok()) {
           // A new epoch restarts the campaign: ordinals 0..N-1 stream
-          // again, so the expected-shards barrier resets.
+          // again, so the expected-shards barrier resets — and a new epoch
+          // has no pre-crash shards, so unclaimed resume entries expire.
           std::lock_guard<std::mutex> lock(mutex_);
           done_ordinals_.clear();
           merge_frontier_ = 0;
+          resume_shards_.clear();
         }
         EpochAdvancedMessage reply;
         reply.code = static_cast<uint8_t>(advanced.code());
@@ -442,6 +551,61 @@ void ReportServer::RunConnection(Socket* socket_ptr) {
         reply.message = advanced.message();
         SendReply(&socket, MessageType::kEpochAdvanced,
                   EncodeEpochAdvanced(reply));
+        break;
+      }
+      case MessageType::kSnapshot: {
+        if (state.open) {
+          verdict = Status::FailedPrecondition(
+              "SNAPSHOT while this connection's shard is open");
+          break;
+        }
+        Result<SnapshotMessage> snap = DecodeSnapshot(payload);
+        Status refusal = Status::OK();
+        if (!snap.ok()) {
+          refusal = snap.status();
+        } else if (!options_.accept_snapshots) {
+          refusal = Status::FailedPrecondition(
+              "this collector does not accept relay snapshots");
+        } else {
+          refusal =
+              CheckSnapshotCompatible(expected_, snap.value().snapshot_bytes);
+        }
+        if (!refusal.ok()) {
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.snapshots_refused;
+          }
+          if (metrics_.enabled()) metrics_.snapshots_refused->Increment();
+          if (options_.journal != nullptr) {
+            options_.journal->Record(obs::EventKind::kSnapshotRefuse,
+                                     snap.ok() ? snap.value().node : 0);
+          }
+          SendReply(&socket, MessageType::kError, EncodeError(refusal));
+          return;
+        }
+        const uint64_t node = snap.value().node;
+        const uint64_t seq = snap.value().seq;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          PendingSnapshot& entry = relay_snapshots_[node];
+          // Highest seq wins; an equal or older retry is acknowledged
+          // without replacing — the snapshot is cumulative, so the ack is
+          // safe either way and retries stay idempotent.
+          if (entry.bytes.empty() || seq >= entry.seq) {
+            entry.seq = seq;
+            entry.epoch = snap.value().epoch;
+            entry.bytes = std::move(snap.value().snapshot_bytes);
+          }
+          ++stats_.snapshots_accepted;
+        }
+        if (metrics_.enabled()) metrics_.snapshots_accepted->Increment();
+        if (options_.journal != nullptr) {
+          options_.journal->Record(obs::EventKind::kSnapshotAccept, node, seq);
+        }
+        SnapshotOkMessage ok;
+        ok.node = node;
+        ok.seq = seq;
+        SendReply(&socket, MessageType::kSnapshotOk, EncodeSnapshotOk(ok));
         break;
       }
       default:

@@ -32,9 +32,11 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -51,6 +53,38 @@ class EventJournal;
 }  // namespace ldp::obs
 
 namespace ldp::net {
+
+/// Durability hook on the accepted-frame path: every callback fires
+/// *before* the corresponding session call, so a crash after the callback
+/// loses nothing the reporter was told about. relay::FrameWal implements
+/// this; net/ sees only the interface, keeping the dependency pointed
+/// relay -> net. Callbacks run on acceptor threads — implementations
+/// serialize per shard themselves (distinct shards never share a callback).
+class ShardDurabilityHook {
+ public:
+  virtual ~ShardDurabilityHook() = default;
+  /// A fresh shard opened for `ordinal` in `epoch`; `header_bytes` is the
+  /// validated stream header its byte stream starts with. Not called for
+  /// resumed shards (their log already holds the header).
+  virtual void OnShardOpen(size_t shard, uint64_t ordinal, uint32_t epoch,
+                           const std::string& header_bytes) = 0;
+  /// An accepted DATA payload, about to be fed to the session.
+  virtual void OnShardData(size_t shard, const char* data, size_t size) = 0;
+  /// Called inside the shard's merge turn, immediately before the session
+  /// close — the close record's sequence is the exact merge order a replay
+  /// must reproduce.
+  virtual void OnShardClose(size_t shard) = 0;
+  /// The shard was dropped (disconnect, timeout, poison, shutdown).
+  virtual void OnShardAbandon(size_t shard) = 0;
+};
+
+/// A shard reconstructed by WAL replay that was still open at the crash:
+/// HELLO for its ordinal re-attaches to it instead of opening a new shard,
+/// and the reporter is told to skip `durable_bytes` post-header bytes.
+struct ResumedShard {
+  size_t shard = 0;
+  uint64_t durable_bytes = 0;
+};
 
 struct ReportServerOptions {
   /// Concurrent connections served (one acceptor thread each, at least 1).
@@ -79,6 +113,23 @@ struct ReportServerOptions {
   /// Optional campaign event journal: HELLO accept/refuse and merge-barrier
   /// enter/exit events (the session journals shard lifecycle itself).
   obs::EventJournal* journal = nullptr;
+  /// Accept SNAPSHOT messages from downstream relay nodes (a root or
+  /// mid-tier collector). Off by default: an edge collector should not let
+  /// arbitrary peers inject whole aggregates.
+  bool accept_snapshots = false;
+  /// Optional write-ahead durability hook (relay::FrameWal). Must outlive
+  /// the server.
+  ShardDurabilityHook* wal = nullptr;
+  /// Shards a WAL replay left open, keyed by ordinal: a HELLO for one of
+  /// these re-attaches instead of opening a new shard, and HELLO_OK carries
+  /// its durable byte count. Entries are claimed by the first matching
+  /// HELLO and the whole map is dropped on epoch advance (a new epoch has
+  /// no pre-crash shards).
+  std::unordered_map<uint64_t, ResumedShard> resume_shards;
+  /// Ordinals a WAL replay already closed into the current epoch: they seed
+  /// the expected-shards barrier as done, so the frontier starts past them
+  /// and a re-HELLO for one is refused as a duplicate.
+  std::set<uint64_t> completed_ordinals;
 };
 
 /// Monotonic counters over the server's lifetime.
@@ -89,6 +140,9 @@ struct ReportServerStats {
   uint64_t shards_abandoned = 0;  ///< Shards dropped by disconnect/timeouts.
   uint64_t hello_rejected = 0;    ///< Connections refused at HELLO.
   uint64_t protocol_errors = 0;   ///< Connections killed by bad framing.
+  uint64_t snapshots_accepted = 0;  ///< Relay SNAPSHOTs stored (any seq).
+  uint64_t snapshots_refused = 0;   ///< Relay SNAPSHOTs rejected.
+  uint64_t nodes_folded = 0;        ///< Relay nodes merged by Fold.
 };
 
 class ReportServer {
@@ -117,6 +171,15 @@ class ReportServer {
   const Endpoint& endpoint() const { return listener_.endpoint(); }
 
   ReportServerStats stats() const;
+
+  /// Merges the retained relay snapshots (highest seq per node) into the
+  /// session in ascending node-id order — the deterministic fold that makes
+  /// a two-tier campaign reproduce the tree-shaped file run bit for bit.
+  /// Call after Stop(drain): no connection is racing the session. A
+  /// malformed snapshot mutates nothing (the session stages before
+  /// committing); folding continues past it and the first error is
+  /// returned.
+  Status FoldRelaySnapshots();
 
  private:
   ReportServer(api::ServerSession* session, stream::StreamHeader expected,
@@ -167,6 +230,16 @@ class ReportServer {
   /// when the epoch advances.
   std::set<uint64_t> done_ordinals_;
   uint64_t merge_frontier_ = 0;
+  /// Replay-resumable shards not yet claimed by a HELLO (see Options).
+  std::unordered_map<uint64_t, ResumedShard> resume_shards_;
+  /// The latest snapshot accepted from each relay node. An ordered map so
+  /// FoldRelaySnapshots walks nodes in ascending id order.
+  struct PendingSnapshot {
+    uint64_t seq = 0;
+    uint32_t epoch = 0;
+    std::string bytes;
+  };
+  std::map<uint64_t, PendingSnapshot> relay_snapshots_;
   /// In-flight connections: fd → "has an open shard". Stop shuts down
   /// every fd (hard stop) or just the idle ones (drain — a connection
   /// sitting between shards has no work the drain should wait for).

@@ -81,16 +81,37 @@ Result<Endpoint> Endpoint::Parse(const std::string& spec) {
   if (spec.rfind("tcp:", 0) == 0) {
     endpoint.kind = Kind::kTcp;
     const std::string rest = spec.substr(4);
-    const size_t colon = rest.rfind(':');
-    if (colon == std::string::npos || colon == 0) {
-      return Status::InvalidArgument("tcp endpoint needs HOST:PORT: '" + spec +
-                                     "'");
+    std::string port_text;
+    if (!rest.empty() && rest[0] == '[') {
+      // Bracketed IPv6 literal: tcp:[::1]:PORT.
+      const size_t bracket = rest.find(']');
+      if (bracket == std::string::npos || bracket == 1 ||
+          bracket + 1 >= rest.size() || rest[bracket + 1] != ':') {
+        return Status::InvalidArgument(
+            "bracketed tcp endpoint must be tcp:[HOST]:PORT: '" + spec + "'");
+      }
+      endpoint.host = rest.substr(1, bracket - 1);
+      port_text = rest.substr(bracket + 2);
+    } else {
+      const size_t colon = rest.rfind(':');
+      if (colon == std::string::npos || colon == 0) {
+        return Status::InvalidArgument("tcp endpoint needs HOST:PORT: '" +
+                                       spec + "'");
+      }
+      endpoint.host = rest.substr(0, colon);
+      if (endpoint.host.find(':') != std::string::npos) {
+        // "tcp:::1:80" could split as host "::1" port 80 or host ":" port
+        // "1:80" — refuse the ambiguity instead of guessing.
+        return Status::InvalidArgument(
+            "IPv6 hosts must be bracketed, tcp:[" + endpoint.host +
+            "]:PORT: '" + spec + "'");
+      }
+      port_text = rest.substr(colon + 1);
     }
-    endpoint.host = rest.substr(0, colon);
-    const std::string port_text = rest.substr(colon + 1);
     char* end = nullptr;
     const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
-    if (end == port_text.c_str() || *end != '\0' || port > 65535) {
+    if (port_text.empty() || end == port_text.c_str() || *end != '\0' ||
+        port > 65535) {
       return Status::InvalidArgument("bad tcp port in '" + spec + "'");
     }
     endpoint.port = static_cast<uint16_t>(port);
@@ -102,6 +123,9 @@ Result<Endpoint> Endpoint::Parse(const std::string& spec) {
 
 std::string Endpoint::ToString() const {
   if (kind == Kind::kUnix) return "unix:" + path;
+  if (host.find(':') != std::string::npos) {
+    return "tcp:[" + host + "]:" + std::to_string(port);
+  }
   return "tcp:" + host + ":" + std::to_string(port);
 }
 

@@ -32,11 +32,13 @@ struct Endpoint {
   /// Unix-domain: filesystem path of the socket.
   std::string path;
 
-  /// Parses "tcp:HOST:PORT" or "unix:PATH". The host may contain colons
-  /// (IPv6) — the port is split off the last one.
+  /// Parses "tcp:HOST:PORT" or "unix:PATH". IPv6 hosts must be bracketed —
+  /// "tcp:[::1]:7611" — and an unbracketed host containing ':' is refused
+  /// as ambiguous rather than guessed at.
   static Result<Endpoint> Parse(const std::string& spec);
 
-  /// "tcp:HOST:PORT" / "unix:PATH" (round-trips through Parse).
+  /// "tcp:HOST:PORT" (host bracketed when it contains ':') / "unix:PATH";
+  /// round-trips through Parse.
   std::string ToString() const;
 };
 

@@ -21,6 +21,12 @@ const char* EventKindToString(EventKind kind) {
     case EventKind::kMergeExit: return "merge_exit";
     case EventKind::kServerStart: return "server_start";
     case EventKind::kServerStop: return "server_stop";
+    case EventKind::kSnapshotForward: return "snapshot_forward";
+    case EventKind::kSnapshotAccept: return "snapshot_accept";
+    case EventKind::kSnapshotRefuse: return "snapshot_refuse";
+    case EventKind::kRelayFold: return "relay_fold";
+    case EventKind::kWalReplay: return "wal_replay";
+    case EventKind::kWalCorrupt: return "wal_corrupt";
   }
   return "unknown";
 }

@@ -30,6 +30,12 @@ enum class EventKind : uint8_t {
   kMergeExit,
   kServerStart,
   kServerStop,
+  kSnapshotForward,
+  kSnapshotAccept,
+  kSnapshotRefuse,
+  kRelayFold,
+  kWalReplay,
+  kWalCorrupt,
 };
 
 const char* EventKindToString(EventKind kind);

@@ -232,6 +232,38 @@ SessionMetrics SessionMetrics::ForRegistry(MetricsRegistry* registry) {
   return metrics;
 }
 
+RelayMetrics RelayMetrics::ForRegistry(MetricsRegistry* registry) {
+  RelayMetrics metrics;
+  if (registry == nullptr) return metrics;
+  metrics.snapshots_forwarded =
+      registry->GetCounter("ldp_relay_snapshots_forwarded_total");
+  metrics.forward_failures =
+      registry->GetCounter("ldp_relay_forward_failures_total");
+  metrics.reconnects =
+      registry->GetCounter("ldp_relay_upstream_reconnects_total");
+  metrics.bytes_forwarded =
+      registry->GetCounter("ldp_relay_bytes_forwarded_total");
+  metrics.forward_us = registry->GetHistogram("ldp_relay_forward_us");
+  return metrics;
+}
+
+WalMetrics WalMetrics::ForRegistry(MetricsRegistry* registry) {
+  WalMetrics metrics;
+  if (registry == nullptr) return metrics;
+  metrics.records = registry->GetCounter("ldp_wal_records_total");
+  metrics.bytes = registry->GetCounter("ldp_wal_bytes_total");
+  metrics.replayed_frames =
+      registry->GetCounter("ldp_wal_replayed_frames_total");
+  metrics.replayed_bytes = registry->GetCounter("ldp_wal_replayed_bytes_total");
+  metrics.replayed_shards =
+      registry->GetCounter("ldp_wal_replayed_shards_total");
+  metrics.resumed_shards = registry->GetCounter("ldp_wal_resumed_shards_total");
+  metrics.torn_tails = registry->GetCounter("ldp_wal_torn_tails_total");
+  metrics.corrupt_shards = registry->GetCounter("ldp_wal_corrupt_shards_total");
+  metrics.append_us = registry->GetHistogram("ldp_wal_append_us");
+  return metrics;
+}
+
 NetServerMetrics NetServerMetrics::ForRegistry(MetricsRegistry* registry) {
   NetServerMetrics metrics;
   if (registry == nullptr) return metrics;
@@ -249,6 +281,10 @@ NetServerMetrics NetServerMetrics::ForRegistry(MetricsRegistry* registry) {
       registry->GetCounter("ldp_net_shards_discarded_total");
   metrics.shards_abandoned =
       registry->GetCounter("ldp_net_shards_abandoned_total");
+  metrics.snapshots_accepted =
+      registry->GetCounter("ldp_net_snapshots_accepted_total");
+  metrics.snapshots_refused =
+      registry->GetCounter("ldp_net_snapshots_refused_total");
   metrics.data_read_us = registry->GetHistogram("ldp_net_data_read_us");
   metrics.merge_barrier_wait_us =
       registry->GetHistogram("ldp_net_merge_barrier_wait_us");

@@ -226,6 +226,34 @@ struct SessionMetrics {
   static SessionMetrics ForRegistry(MetricsRegistry* registry);
 };
 
+/// relay::RelayForwarder — upstream snapshot shipping.
+struct RelayMetrics {
+  Counter* snapshots_forwarded = nullptr;
+  ///< ldp_relay_snapshots_forwarded_total
+  Counter* forward_failures = nullptr;
+  ///< ldp_relay_forward_failures_total
+  Counter* reconnects = nullptr;  ///< ldp_relay_upstream_reconnects_total
+  Counter* bytes_forwarded = nullptr;  ///< ldp_relay_bytes_forwarded_total
+  Histogram* forward_us = nullptr;     ///< ldp_relay_forward_us
+  bool enabled() const { return snapshots_forwarded != nullptr; }
+  static RelayMetrics ForRegistry(MetricsRegistry* registry);
+};
+
+/// relay::FrameWal — write-ahead frame log appends and crash replay.
+struct WalMetrics {
+  Counter* records = nullptr;          ///< ldp_wal_records_total
+  Counter* bytes = nullptr;            ///< ldp_wal_bytes_total
+  Counter* replayed_frames = nullptr;  ///< ldp_wal_replayed_frames_total
+  Counter* replayed_bytes = nullptr;   ///< ldp_wal_replayed_bytes_total
+  Counter* replayed_shards = nullptr;  ///< ldp_wal_replayed_shards_total
+  Counter* resumed_shards = nullptr;   ///< ldp_wal_resumed_shards_total
+  Counter* torn_tails = nullptr;       ///< ldp_wal_torn_tails_total
+  Counter* corrupt_shards = nullptr;   ///< ldp_wal_corrupt_shards_total
+  Histogram* append_us = nullptr;      ///< ldp_wal_append_us
+  bool enabled() const { return records != nullptr; }
+  static WalMetrics ForRegistry(MetricsRegistry* registry);
+};
+
 /// net::ReportServer — connection lifecycle and wire latency.
 struct NetServerMetrics {
   Counter* connections = nullptr;      ///< ldp_net_connections_total
@@ -240,6 +268,10 @@ struct NetServerMetrics {
   ///< ldp_net_shards_discarded_total
   Counter* shards_abandoned = nullptr;
   ///< ldp_net_shards_abandoned_total
+  Counter* snapshots_accepted = nullptr;
+  ///< ldp_net_snapshots_accepted_total
+  Counter* snapshots_refused = nullptr;
+  ///< ldp_net_snapshots_refused_total
   Histogram* data_read_us = nullptr;   ///< ldp_net_data_read_us
   Histogram* merge_barrier_wait_us = nullptr;
   ///< ldp_net_merge_barrier_wait_us

@@ -99,7 +99,9 @@ void MetricsServer::ServeConnection(net::Socket socket) {
     WriteResponse(socket, "200 OK", "application/json",
                   journal_->ToChromeTrace());
   } else if (path == "/healthz") {
-    WriteResponse(socket, "200 OK", "text/plain", "ok\n");
+    const bool draining = draining_.load(std::memory_order_relaxed);
+    WriteResponse(socket, "200 OK", "text/plain",
+                  draining ? "draining\n" : "ok\n");
   } else {
     WriteResponse(socket, "404 Not Found", "text/plain", "not found\n");
   }

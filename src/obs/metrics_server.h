@@ -8,7 +8,9 @@
 //                  ldp_serve's exit stats)
 //   /journal       campaign event journal as JSON lines
 //   /trace         campaign event journal as Chrome trace_event JSON
-//   /healthz       "ok"
+//   /healthz       "ok", or "draining" once SetDraining(true) — load
+//                  balancers can pull a collector out of rotation while it
+//                  finishes its drain instead of killing in-flight shards
 //
 // The server only *reads* the registry/journal (snapshot under their own
 // locks), so scrapes never touch the ingest data path.
@@ -16,6 +18,7 @@
 #ifndef LDP_OBS_METRICS_SERVER_H_
 #define LDP_OBS_METRICS_SERVER_H_
 
+#include <atomic>
 #include <memory>
 #include <thread>
 
@@ -46,6 +49,12 @@ class MetricsServer {
   /// Stops accepting and joins the accept thread (idempotent).
   void Stop();
 
+  /// Flips /healthz between "ok" (false) and "draining" (true). Safe from
+  /// any thread; meant to be set right before ReportServer::Stop(drain).
+  void SetDraining(bool draining) {
+    draining_.store(draining, std::memory_order_relaxed);
+  }
+
  private:
   MetricsServer(net::Listener listener, const MetricsRegistry* registry,
                 const EventJournal* journal);
@@ -57,6 +66,7 @@ class MetricsServer {
   const MetricsRegistry* registry_;
   const EventJournal* journal_;
   std::thread accept_thread_;
+  std::atomic<bool> draining_{false};
   bool stopped_ = false;
 };
 

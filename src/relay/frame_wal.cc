@@ -1,0 +1,564 @@
+#include "relay/frame_wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <tuple>
+#include <utility>
+
+#include "obs/journal.h"
+#include "util/check.h"
+
+namespace ldp::relay {
+
+namespace {
+
+// Explicit little-endian (de)serialization — the on-disk format must not
+// depend on host byte order.
+void PutLe16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutLe32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutLe64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t LoadLe16(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>(u[0] | (u[1] << 8));
+}
+
+uint32_t LoadLe32(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(u[0]) | (static_cast<uint32_t>(u[1]) << 8) |
+         (static_cast<uint32_t>(u[2]) << 16) |
+         (static_cast<uint32_t>(u[3]) << 24);
+}
+
+uint64_t LoadLe64(const char* p) {
+  return static_cast<uint64_t>(LoadLe32(p)) |
+         (static_cast<uint64_t>(LoadLe32(p + 4)) << 32);
+}
+
+// A record's length field larger than this means the framing is garbage,
+// not merely torn: DATA payloads are bounded at 4 MiB by the wire protocol
+// and every other record type is tiny.
+constexpr uint32_t kMaxWalRecordPayload = 8u << 20;
+
+std::string WalFileName(uint32_t epoch, uint64_t ordinal,
+                        uint32_t generation) {
+  char name[96];
+  std::snprintf(name, sizeof(name),
+                "wal-e%05u-o%05" PRIu64 "-g%05u.ldpw", epoch, ordinal,
+                generation);
+  return name;
+}
+
+// One shard attempt as reconstructed from its log file.
+struct Instance {
+  uint32_t epoch = 0;
+  uint64_t ordinal = 0;
+  uint32_t generation = 0;
+  std::string path;
+  std::string header_bytes;
+  std::vector<std::string> chunks;  // DATA payloads, in append order
+  uint64_t data_bytes = 0;
+  bool closed = false;
+  uint64_t close_seq = 0;
+  bool abandoned = false;
+  bool corrupt = false;
+  // Set by ReplayInstances when this instance became a resumed shard; the
+  // adopting FrameWal appends to exactly this file under that shard id.
+  bool resumed = false;
+  size_t session_shard = 0;
+
+  // Feed-order key; close order uses close_seq instead.
+  std::tuple<uint32_t, uint64_t, uint32_t> key() const {
+    return {epoch, ordinal, generation};
+  }
+};
+
+// Parses one WAL file into an Instance. A torn tail (incomplete record at
+// EOF — the normal crash artifact) stops the parse and, with `truncate`,
+// is cut off in place so the file can be appended to again; a *complete*
+// record that fails its CRC, an absurd length, or a malformed fixed field
+// marks the instance corrupt — its framing can't be trusted.
+Status ReadInstance(const std::string& path, bool truncate,
+                    Instance* instance, uint64_t* truncated_tails,
+                    uint64_t* records, WalReplaySummary* summary) {
+  std::string bytes;
+  {
+    FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      return Status::IoError("cannot open WAL file " + path);
+    }
+    char buffer[1 << 16];
+    size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      bytes.append(buffer, got);
+    }
+    std::fclose(file);
+  }
+  if (bytes.size() < kWalFileHeaderBytes) {
+    // The file header itself was torn: an attempt that never got its first
+    // record. Nothing to replay.
+    ++*truncated_tails;
+    instance->abandoned = true;
+    return Status::OK();
+  }
+  if (LoadLe32(bytes.data()) != kWalMagic ||
+      LoadLe16(bytes.data() + 4) != kWalVersion) {
+    instance->corrupt = true;
+    return Status::OK();
+  }
+  const uint32_t epoch = LoadLe32(bytes.data() + 6);
+  const uint64_t ordinal = LoadLe64(bytes.data() + 10);
+  if (epoch != instance->epoch || ordinal != instance->ordinal) {
+    // The name (our only source of `generation`) disagrees with the file.
+    instance->corrupt = true;
+    return Status::OK();
+  }
+
+  size_t cursor = kWalFileHeaderBytes;
+  while (cursor < bytes.size()) {
+    if (bytes.size() - cursor < kWalRecordHeaderBytes) break;  // torn tail
+    const uint8_t type = static_cast<uint8_t>(bytes[cursor]);
+    const uint32_t length = LoadLe32(bytes.data() + cursor + 1);
+    const uint32_t stored_crc = LoadLe32(bytes.data() + cursor + 5);
+    if (length > kMaxWalRecordPayload) {
+      instance->corrupt = true;
+      return Status::OK();
+    }
+    if (bytes.size() - cursor - kWalRecordHeaderBytes < length) {
+      break;  // torn tail: the payload never finished landing
+    }
+    const char* payload = bytes.data() + cursor + kWalRecordHeaderBytes;
+    uint32_t crc = Crc32(bytes.data() + cursor, 5);  // type || len
+    crc = Crc32(payload, length, crc);
+    if (crc != stored_crc) {
+      instance->corrupt = true;
+      return Status::OK();
+    }
+    switch (static_cast<WalRecordType>(type)) {
+      case WalRecordType::kHeader:
+        if (!instance->header_bytes.empty()) {
+          instance->corrupt = true;
+          return Status::OK();
+        }
+        instance->header_bytes.assign(payload, length);
+        break;
+      case WalRecordType::kData:
+        instance->chunks.emplace_back(payload, length);
+        instance->data_bytes += length;
+        break;
+      case WalRecordType::kClose:
+        if (length != 8) {
+          instance->corrupt = true;
+          return Status::OK();
+        }
+        instance->closed = true;
+        instance->close_seq = LoadLe64(payload);
+        break;
+      case WalRecordType::kAbandon:
+        instance->abandoned = true;
+        break;
+      default:
+        instance->corrupt = true;
+        return Status::OK();
+    }
+    ++*records;
+    if (summary != nullptr) ++summary->records;
+    cursor += kWalRecordHeaderBytes + length;
+    if (instance->closed || instance->abandoned) break;  // terminal records
+  }
+  if (cursor < bytes.size()) {
+    ++*truncated_tails;
+    if (truncate && ::truncate(path.c_str(), static_cast<off_t>(cursor)) !=
+                        0) {
+      return Status::IoError("cannot truncate torn WAL tail in " + path);
+    }
+  }
+  return Status::OK();
+}
+
+// Loads every wal-*.ldpw under `dir`, sorted by (epoch, ordinal,
+// generation). A missing directory scans as empty.
+Status ScanWalDir(const std::string& dir, bool truncate,
+                  std::vector<Instance>* instances,
+                  WalReplaySummary* summary) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    if (errno == ENOENT) return Status::OK();
+    return Status::IoError("cannot open WAL directory " + dir);
+  }
+  std::vector<Instance> found;
+  while (struct dirent* entry = ::readdir(handle)) {
+    unsigned epoch = 0;
+    unsigned long long ordinal = 0;
+    unsigned generation = 0;
+    char suffix[8] = {0};
+    if (std::sscanf(entry->d_name, "wal-e%u-o%llu-g%u.ldp%4s", &epoch,
+                    &ordinal, &generation, suffix) != 4 ||
+        std::strcmp(suffix, "w") != 0) {
+      continue;  // not ours
+    }
+    Instance instance;
+    instance.epoch = static_cast<uint32_t>(epoch);
+    instance.ordinal = static_cast<uint64_t>(ordinal);
+    instance.generation = static_cast<uint32_t>(generation);
+    instance.path = dir + "/" + entry->d_name;
+    found.push_back(std::move(instance));
+  }
+  ::closedir(handle);
+  std::sort(found.begin(), found.end(),
+            [](const Instance& a, const Instance& b) {
+              return a.key() < b.key();
+            });
+  for (Instance& instance : found) {
+    uint64_t tails = 0;
+    uint64_t records = 0;
+    LDP_RETURN_IF_ERROR(ReadInstance(instance.path, truncate, &instance,
+                                     &tails, &records, summary));
+    if (summary != nullptr) summary->truncated_tails += tails;
+    instances->push_back(std::move(instance));
+  }
+  return Status::OK();
+}
+
+// Feeds the scanned instances back into a fresh session, reproducing the
+// pre-crash merge order exactly. See the header comment for the rules;
+// `max_close_seq` (optional) reports the largest replayed close sequence
+// so continued appends keep the counter monotone.
+//
+// One deliberate gap: epoch advances are implied by shard files, so an
+// ADVANCE_EPOCH the crash interrupted before any shard opened in the new
+// epoch is not yet durable — the restarted campaign re-requests it.
+Status ReplayInstances(std::vector<Instance>* instances,
+                       api::ServerSession* session,
+                       const stream::StreamHeader* expected,
+                       obs::EventJournal* journal, WalReplaySummary* summary,
+                       uint64_t* max_close_seq) {
+  uint32_t final_epoch = 0;
+  for (const Instance& instance : *instances) {
+    final_epoch = std::max(final_epoch, instance.epoch);
+  }
+  // Highest non-corrupt generation per (epoch, ordinal): an unclosed,
+  // unmarked instance that a newer generation superseded was implicitly
+  // abandoned (the server reused the ordinal, so the old attempt died).
+  std::map<std::pair<uint32_t, uint64_t>, uint32_t> highest_generation;
+  for (const Instance& instance : *instances) {
+    if (instance.corrupt) continue;
+    auto& slot = highest_generation[{instance.epoch, instance.ordinal}];
+    slot = std::max(slot, instance.generation);
+  }
+
+  struct Fed {
+    const Instance* instance;
+    size_t shard;
+  };
+  size_t index = 0;
+  while (index < instances->size()) {
+    const uint32_t epoch = (*instances)[index].epoch;
+    while (session->current_epoch() < epoch) {
+      LDP_RETURN_IF_ERROR(session->AdvanceEpoch());
+    }
+    std::vector<Fed> closed;
+    for (; index < instances->size() && (*instances)[index].epoch == epoch;
+         ++index) {
+      Instance& instance = (*instances)[index];
+      if (instance.corrupt) {
+        ++summary->shards_corrupt;
+        if (journal != nullptr) {
+          journal->Record(obs::EventKind::kWalCorrupt, instance.ordinal,
+                          instance.epoch);
+        }
+        continue;
+      }
+      if (instance.abandoned || instance.header_bytes.empty()) continue;
+      const bool is_resume =
+          !instance.closed && epoch == final_epoch &&
+          instance.generation ==
+              highest_generation[{instance.epoch, instance.ordinal}];
+      if (!instance.closed && !is_resume) continue;  // implicitly abandoned
+      if (expected != nullptr) {
+        Result<stream::StreamHeader> peer =
+            stream::DecodeStreamHeader(instance.header_bytes);
+        const Status compatible =
+            peer.ok() ? stream::CheckHeadersCompatible(*expected, peer.value())
+                      : peer.status();
+        if (!compatible.ok()) {
+          ++summary->shards_corrupt;
+          if (journal != nullptr) {
+            journal->Record(obs::EventKind::kWalCorrupt, instance.ordinal,
+                            instance.epoch);
+          }
+          continue;
+        }
+      }
+      const size_t shard = session->OpenShard();
+      Status fed = session->Feed(shard, instance.header_bytes);
+      for (const std::string& chunk : instance.chunks) {
+        if (!fed.ok()) break;
+        fed = session->Feed(shard, chunk.data(), chunk.size());
+        ++summary->frames_replayed;
+        summary->bytes_replayed += chunk.size();
+      }
+      if (!fed.ok() && !instance.closed) {
+        // The crash interrupted a stream that was already poisoning its
+        // shard; the live path would have abandoned it.
+        (void)session->AbandonShard(shard);
+        ++summary->shards_corrupt;
+        if (journal != nullptr) {
+          journal->Record(obs::EventKind::kWalCorrupt, instance.ordinal,
+                          instance.epoch);
+        }
+        continue;
+      }
+      if (instance.closed) {
+        closed.push_back({&instance, shard});
+      } else {
+        summary->resume_shards[instance.ordinal] =
+            net::ResumedShard{shard, instance.data_bytes};
+        instance.resumed = true;
+        instance.session_shard = shard;
+        ++summary->shards_resumed;
+      }
+    }
+    // Close in the exact order the merge barrier chose pre-crash — the
+    // step that keeps the replayed session bit-identical.
+    std::sort(closed.begin(), closed.end(), [](const Fed& a, const Fed& b) {
+      return a.instance->close_seq < b.instance->close_seq;
+    });
+    for (const Fed& fed : closed) {
+      // A shard the original run closed as discarded replays as discarded:
+      // same bytes, same verdict. The status is not an error here.
+      (void)session->CloseShard(fed.shard);
+      ++summary->shards_replayed;
+      if (max_close_seq != nullptr) {
+        *max_close_seq = std::max(*max_close_seq, fed.instance->close_seq);
+      }
+      if (epoch == final_epoch) {
+        summary->completed_ordinals.insert(fed.instance->ordinal);
+      }
+      if (journal != nullptr) {
+        journal->Record(obs::EventKind::kWalReplay, fed.instance->ordinal,
+                        epoch);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  // IEEE 802.3 reflected polynomial, byte-at-a-time table.
+  static const uint32_t* table = [] {
+    static uint32_t entries[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = crc;
+    }
+    return entries;
+  }();
+  uint32_t crc = ~seed;
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xffu];
+  }
+  return ~crc;
+}
+
+Status ReplayWalDir(const std::string& dir, api::ServerSession* session,
+                    const stream::StreamHeader* expected,
+                    obs::EventJournal* journal, WalReplaySummary* summary) {
+  WalReplaySummary local;
+  if (summary == nullptr) summary = &local;
+  std::vector<Instance> instances;
+  LDP_RETURN_IF_ERROR(ScanWalDir(dir, /*truncate=*/true, &instances,
+                                 summary));
+  return ReplayInstances(&instances, session, expected, journal, summary,
+                         nullptr);
+}
+
+Result<WalDirPeek> PeekWalDir(const std::string& dir) {
+  std::vector<Instance> instances;
+  WalReplaySummary summary;
+  LDP_RETURN_IF_ERROR(ScanWalDir(dir, /*truncate=*/false, &instances,
+                                 &summary));
+  WalDirPeek peek;
+  for (const Instance& instance : instances) {
+    if (instance.corrupt || instance.header_bytes.empty()) continue;
+    if (peek.header_bytes.empty()) peek.header_bytes = instance.header_bytes;
+    peek.epochs = std::max(peek.epochs, instance.epoch + 1);
+  }
+  if (peek.header_bytes.empty()) {
+    return Status::NotFound("no replayable WAL shard in " + dir);
+  }
+  return peek;
+}
+
+FrameWal::FrameWal(std::string dir, Options options)
+    : dir_(std::move(dir)),
+      options_(options),
+      metrics_(obs::WalMetrics::ForRegistry(options.metrics)) {}
+
+FrameWal::~FrameWal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [shard, fd] : fds_) ::close(fd);
+  fds_.clear();
+}
+
+Result<std::unique_ptr<FrameWal>> FrameWal::Open(const std::string& dir,
+                                                 api::ServerSession* session,
+                                                 Options options,
+                                                 WalReplaySummary* summary) {
+  if (session == nullptr) {
+    return Status::InvalidArgument("frame WAL needs a session");
+  }
+  if (::mkdir(dir.c_str(), 0775) != 0 && errno != EEXIST) {
+    return Status::IoError("cannot create WAL directory " + dir);
+  }
+  WalReplaySummary local;
+  if (summary == nullptr) summary = &local;
+  std::vector<Instance> instances;
+  LDP_RETURN_IF_ERROR(ScanWalDir(dir, /*truncate=*/true, &instances,
+                                 summary));
+  uint64_t max_close_seq = 0;
+  LDP_RETURN_IF_ERROR(ReplayInstances(&instances, session, options.expected,
+                                      options.journal, summary,
+                                      &max_close_seq));
+  std::unique_ptr<FrameWal> wal(new FrameWal(dir, options));
+  wal->next_close_seq_ = summary->shards_replayed > 0 ? max_close_seq + 1 : 0;
+  for (const Instance& instance : instances) {
+    auto& slot = wal->next_generation_[{instance.epoch, instance.ordinal}];
+    slot = std::max(slot, instance.generation + 1);
+  }
+  // Adopt the files behind resumed shards: their next DATA records append
+  // where the pre-crash log left off (the torn tail is already truncated).
+  for (const Instance& instance : instances) {
+    if (!instance.resumed) continue;
+    const int fd =
+        ::open(instance.path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    if (fd < 0) {
+      return Status::IoError("cannot reopen WAL file " + instance.path);
+    }
+    wal->fds_[instance.session_shard] = fd;
+  }
+  if (wal->metrics_.enabled()) {
+    wal->metrics_.replayed_frames->Add(summary->frames_replayed);
+    wal->metrics_.replayed_bytes->Add(summary->bytes_replayed);
+    wal->metrics_.replayed_shards->Add(summary->shards_replayed);
+    wal->metrics_.resumed_shards->Add(summary->shards_resumed);
+    wal->metrics_.torn_tails->Add(summary->truncated_tails);
+    wal->metrics_.corrupt_shards->Add(summary->shards_corrupt);
+  }
+  return wal;
+}
+
+void FrameWal::AppendRecord(int fd, WalRecordType type, const void* payload,
+                            size_t size) {
+  const uint64_t started_ns = metrics_.enabled() ? obs::SteadyNowNs() : 0;
+  std::string record;
+  record.reserve(kWalRecordHeaderBytes + size);
+  record.push_back(static_cast<char>(type));
+  PutLe32(&record, static_cast<uint32_t>(size));
+  uint32_t crc = Crc32(record.data(), 5);
+  crc = Crc32(payload, size, crc);
+  PutLe32(&record, crc);
+  if (size > 0) record.append(static_cast<const char*>(payload), size);
+  // One write per record: a SIGKILL can tear only the final record, which
+  // replay truncates away. Short writes are retried (disk-full aside, a
+  // regular-file write only shortens on signals).
+  size_t sent = 0;
+  while (sent < record.size()) {
+    const ssize_t wrote =
+        ::write(fd, record.data() + sent, record.size() - sent);
+    LDP_CHECK_MSG(wrote > 0, "WAL append failed — refusing to ack frames "
+                             "that are not durable");
+    sent += static_cast<size_t>(wrote);
+  }
+  if (options_.fsync) ::fsync(fd);
+  if (metrics_.enabled()) {
+    metrics_.records->Increment();
+    metrics_.bytes->Add(record.size());
+    metrics_.append_us->Observe((obs::SteadyNowNs() - started_ns) / 1000);
+  }
+}
+
+void FrameWal::OnShardOpen(size_t shard, uint64_t ordinal, uint32_t epoch,
+                           const std::string& header_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint32_t generation = next_generation_[{epoch, ordinal}]++;
+  const std::string path = dir_ + "/" + WalFileName(epoch, ordinal,
+                                                    generation);
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  LDP_CHECK_MSG(fd >= 0, "cannot create WAL file");
+  // File header first, in its own write: a tear between header and first
+  // record leaves a truncated-header file, which replays as an empty
+  // attempt.
+  std::string head;
+  PutLe32(&head, kWalMagic);
+  PutLe16(&head, kWalVersion);
+  PutLe32(&head, epoch);
+  PutLe64(&head, ordinal);
+  size_t sent = 0;
+  while (sent < head.size()) {
+    const ssize_t wrote = ::write(fd, head.data() + sent, head.size() - sent);
+    LDP_CHECK_MSG(wrote > 0, "WAL file header write failed");
+    sent += static_cast<size_t>(wrote);
+  }
+  AppendRecord(fd, WalRecordType::kHeader, header_bytes.data(),
+               header_bytes.size());
+  fds_[shard] = fd;
+}
+
+void FrameWal::OnShardData(size_t shard, const char* data, size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(shard);
+  if (it == fds_.end()) return;
+  AppendRecord(it->second, WalRecordType::kData, data, size);
+}
+
+void FrameWal::OnShardClose(size_t shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(shard);
+  if (it == fds_.end()) return;
+  std::string payload;
+  PutLe64(&payload, next_close_seq_++);
+  AppendRecord(it->second, WalRecordType::kClose, payload.data(),
+               payload.size());
+  ::close(it->second);
+  fds_.erase(it);
+}
+
+void FrameWal::OnShardAbandon(size_t shard) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(shard);
+  if (it == fds_.end()) return;
+  AppendRecord(it->second, WalRecordType::kAbandon, nullptr, 0);
+  ::close(it->second);
+  fds_.erase(it);
+}
+
+}  // namespace ldp::relay

@@ -29,11 +29,31 @@ TEST(NetProtocolTest, EndpointParseRoundTrips) {
   EXPECT_EQ(uds.value().path, "/var/run/ldp.sock");
   EXPECT_EQ(uds.value().ToString(), "unix:/var/run/ldp.sock");
 
-  // IPv6 hosts contain colons; the port splits off the last one.
-  auto v6 = net::Endpoint::Parse("tcp:::1:80");
+  // IPv6 hosts contain colons and must be bracketed so the port is
+  // unambiguous; ToString re-brackets for a clean round trip.
+  auto v6 = net::Endpoint::Parse("tcp:[::1]:80");
   ASSERT_TRUE(v6.ok());
   EXPECT_EQ(v6.value().host, "::1");
   EXPECT_EQ(v6.value().port, 80);
+  EXPECT_EQ(v6.value().ToString(), "tcp:[::1]:80");
+
+  auto v6_full = net::Endpoint::Parse("tcp:[fe80::a:b]:7611");
+  ASSERT_TRUE(v6_full.ok());
+  EXPECT_EQ(v6_full.value().host, "fe80::a:b");
+  EXPECT_EQ(v6_full.value().port, 7611);
+}
+
+TEST(NetProtocolTest, EndpointParseRejectsAmbiguousIpv6) {
+  // Unbracketed multi-colon hosts are ambiguous — "tcp:::1:80" could be
+  // host "::1" port 80 or host ":" port... — so they are refused outright
+  // rather than guessed at.
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:::1:80").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:fe80::1:80").ok());
+  // Malformed bracket forms.
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:[::1]80").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:[::1]:").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:[]:80").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:[::1:80").ok());
 }
 
 TEST(NetProtocolTest, EndpointParseRejectsMalformedSpecs) {
@@ -108,10 +128,12 @@ TEST(NetProtocolTest, RepliesRoundTrip) {
   net::HelloOkMessage ok;
   ok.shard = 42;
   ok.epoch = 3;
+  ok.resume_offset = 0xABCDEF0123ULL;
   auto ok_decoded = net::DecodeHelloOk(net::EncodeHelloOk(ok));
   ASSERT_TRUE(ok_decoded.ok());
   EXPECT_EQ(ok_decoded.value().shard, 42u);
   EXPECT_EQ(ok_decoded.value().epoch, 3u);
+  EXPECT_EQ(ok_decoded.value().resume_offset, 0xABCDEF0123ULL);
   EXPECT_FALSE(net::DecodeHelloOk("short").ok());
   EXPECT_FALSE(
       net::DecodeHelloOk(net::EncodeHelloOk(ok) + "junk").ok());
@@ -140,6 +162,51 @@ TEST(NetProtocolTest, RepliesRoundTrip) {
       net::DecodeEpochAdvanced(net::EncodeEpochAdvanced(epoch));
   ASSERT_TRUE(epoch_decoded.ok());
   EXPECT_EQ(epoch_decoded.value().epoch, 6u);
+}
+
+TEST(NetProtocolTest, SnapshotRoundTripsAndRefusesHostileForms) {
+  net::SnapshotMessage snap;
+  snap.node = 7;
+  snap.seq = 19;
+  snap.epoch = 2;
+  snap.snapshot_bytes = "LDPE-pretend-session-bytes";
+  const std::string wire = net::EncodeSnapshot(snap);
+  auto decoded = net::DecodeSnapshot(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().version, net::kProtocolVersion);
+  EXPECT_EQ(decoded.value().node, 7u);
+  EXPECT_EQ(decoded.value().seq, 19u);
+  EXPECT_EQ(decoded.value().epoch, 2u);
+  EXPECT_EQ(decoded.value().snapshot_bytes, snap.snapshot_bytes);
+
+  // A future protocol version is refused, not guessed at.
+  std::string future = wire;
+  future[0] = '\x63';
+  EXPECT_FALSE(net::DecodeSnapshot(future).ok());
+
+  // Truncated fixed fields, truncated length-prefixed body, and trailing
+  // garbage after the body are all framing violations.
+  EXPECT_FALSE(net::DecodeSnapshot(wire.substr(0, 9)).ok());
+  EXPECT_FALSE(net::DecodeSnapshot(wire.substr(0, wire.size() - 1)).ok());
+  EXPECT_FALSE(net::DecodeSnapshot(wire + "x").ok());
+
+  // A snapshot length prefix claiming more bytes than the payload holds.
+  net::SnapshotMessage empty = snap;
+  empty.snapshot_bytes.clear();
+  std::string lying = net::EncodeSnapshot(empty);
+  lying[lying.size() - 4] = '\x40';  // body length 0 -> 64, no body follows
+  EXPECT_FALSE(net::DecodeSnapshot(lying).ok());
+
+  net::SnapshotOkMessage ack;
+  ack.node = 7;
+  ack.seq = 19;
+  auto ack_decoded = net::DecodeSnapshotOk(net::EncodeSnapshotOk(ack));
+  ASSERT_TRUE(ack_decoded.ok());
+  EXPECT_EQ(ack_decoded.value().node, 7u);
+  EXPECT_EQ(ack_decoded.value().seq, 19u);
+  EXPECT_FALSE(net::DecodeSnapshotOk("short").ok());
+  EXPECT_FALSE(
+      net::DecodeSnapshotOk(net::EncodeSnapshotOk(ack) + "!").ok());
 }
 
 TEST(NetProtocolTest, ErrorsCarryStatusAcrossTheWire) {

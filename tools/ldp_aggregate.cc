@@ -13,6 +13,12 @@
 //                 [--strict] [--max-rejected N] [--epoch E]
 //                 [--snapshot-out FILE] SHARD...
 //
+// A SHARD argument that is a *directory* is a write-ahead frame log left
+// by `ldp_serve --wal-dir` (src/relay/frame_wal.h): its shards replay in
+// the exact merge order the crashed collector used, so aggregating a WAL
+// directory reproduces that collector's session bit for bit — the offline
+// escape hatch when a crashed edge is never restarted.
+//
 // Report streams and single-epoch snapshots fold into epoch 0; session
 // snapshots merge epoch by epoch. --epoch E prints only epoch E's
 // estimates (default: every epoch). --threads T gives the ServerSession a
@@ -22,6 +28,8 @@
 // seed reproduce an in-process ldp_collect run exactly. With --snapshot-out
 // the full session state is written as a session snapshot, enabling
 // tree-shaped aggregation across server generations and epochs.
+
+#include <sys/stat.h>
 
 #include <algorithm>
 #include <chrono>
@@ -39,6 +47,7 @@
 #include "data/schema_text.h"
 #include "estimate_printer.h"
 #include "obs/metrics.h"
+#include "relay/frame_wal.h"
 #include "tool_flags.h"
 #include "stream/parallel_ingest.h"
 #include "stream/report_stream.h"
@@ -59,8 +68,15 @@ void Usage() {
       "                     [--version] SHARD...\n"
       "SHARD files are report streams (ldp_report), aggregator snapshots,\n"
       "or session snapshots (ldp_aggregate --snapshot-out), merged in\n"
-      "argument order; --epoch E prints only epoch E. --metrics-out dumps\n"
-      "the run's telemetry registry as JSON at exit.\n");
+      "argument order; a SHARD directory is an ldp_serve --wal-dir frame\n"
+      "log, replayed in its logged merge order. --epoch E prints only\n"
+      "epoch E. --metrics-out dumps the run's telemetry registry as JSON\n"
+      "at exit.\n");
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
 }
 
 // Reads at most the first `limit` bytes — enough for any preamble; snapshot
@@ -91,6 +107,19 @@ struct InputConfig {
 
 Result<InputConfig> PeekConfig(const std::string& path) {
   InputConfig config;
+  if (IsDirectory(path)) {
+    relay::WalDirPeek peek;
+    LDP_ASSIGN_OR_RETURN(peek, relay::PeekWalDir(path));
+    stream::StreamHeader header;
+    LDP_ASSIGN_OR_RETURN(header,
+                         stream::DecodeStreamHeader(peek.header_bytes));
+    config.kind = header.kind;
+    config.epsilon = header.epsilon;
+    config.mechanism = header.mechanism;
+    config.oracle = header.oracle;
+    config.epochs = peek.epochs;
+    return config;
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::IoError("cannot open '" + path + "'");
@@ -239,10 +268,47 @@ int main(int argc, char** argv) {
   }
   api::ServerSession& session = server.value();
 
+  // Inputs merge in argument order; WAL directories replay inline between
+  // the file batches that surround them. A multi-epoch WAL replays relative
+  // to the session's current epoch, so pass it first when mixing it with
+  // session snapshots that also advance epochs.
   const auto started = std::chrono::steady_clock::now();
   stream::MultiShardSummary summary;
-  const Status ingested = session.IngestInputs(shard_paths, nullptr,
-                                               &summary);
+  size_t batch_start = 0;
+  auto ingest_batch = [&](size_t end) -> Status {
+    if (batch_start == end) return Status::OK();
+    const std::vector<std::string> batch(shard_paths.begin() + batch_start,
+                                         shard_paths.begin() + end);
+    batch_start = end;
+    stream::MultiShardSummary part;
+    LDP_RETURN_IF_ERROR(session.IngestInputs(batch, nullptr, &part));
+    summary.total_reports += part.total_reports;
+    summary.total_rejected += part.total_rejected;
+    summary.total_bytes += part.total_bytes;
+    return Status::OK();
+  };
+  Status ingested = Status::OK();
+  for (size_t i = 0; i < shard_paths.size() && ingested.ok(); ++i) {
+    if (!IsDirectory(shard_paths[i])) continue;
+    ingested = ingest_batch(i);
+    if (!ingested.ok()) break;
+    batch_start = i + 1;
+    relay::WalReplaySummary walsum;
+    ingested = relay::ReplayWalDir(shard_paths[i], &session, nullptr, nullptr,
+                                   &walsum);
+    if (walsum.shards_corrupt > 0) {
+      std::fprintf(stderr, "%s: %llu corrupt shard(s) skipped\n",
+                   shard_paths[i].c_str(),
+                   static_cast<unsigned long long>(walsum.shards_corrupt));
+    }
+    std::printf("replayed WAL %s: %llu shard(s), %llu frame(s), %llu bytes\n",
+                shard_paths[i].c_str(),
+                static_cast<unsigned long long>(walsum.shards_replayed),
+                static_cast<unsigned long long>(walsum.frames_replayed),
+                static_cast<unsigned long long>(walsum.bytes_replayed));
+    summary.total_bytes += walsum.bytes_replayed;
+  }
+  if (ingested.ok()) ingested = ingest_batch(shard_paths.size());
   if (!ingested.ok()) {
     std::fprintf(stderr, "%s\n", ingested.ToString().c_str());
     return 1;

@@ -110,10 +110,25 @@ struct FileShardSink : ShardSink {
 
 struct NetShardSink : ShardSink {
   NetShardSink(net::CollectorClient client, uint64_t reports)
-      : client_(std::move(client)), reports_(reports) {}
+      : client_(std::move(client)),
+        skip_(client_.resume_offset()),
+        reports_(reports) {}
 
   Status Write(const std::string& bytes) override {
     bytes_ += bytes.size();
+    // Resume handshake (HELLO_OK.resume_offset): the collector's WAL
+    // already holds this many post-header bytes from a pre-crash run of
+    // the same deterministic stream — skip them instead of re-sending.
+    if (skip_ > 0) {
+      if (bytes.size() <= skip_) {
+        skip_ -= bytes.size();
+        return Status::OK();
+      }
+      const Status sent = client_.Send(bytes.data() + skip_,
+                                       bytes.size() - skip_);
+      skip_ = 0;
+      return sent;
+    }
     return client_.Send(bytes);
   }
 
@@ -135,6 +150,7 @@ struct NetShardSink : ShardSink {
   }
 
   net::CollectorClient client_;
+  uint64_t skip_;  // durable bytes left to swallow before real sends
   uint64_t reports_;
   uint64_t bytes_ = 0;
 };

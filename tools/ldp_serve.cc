@@ -18,11 +18,24 @@
 //             [--idle-timeout-ms N] [--confidence C]
 //             [--snapshot-out FILE] [--metrics ENDPOINT]
 //             [--stats-interval-s N] [--journal-out FILE]
-//             [--trace-out FILE] [--version]
+//             [--trace-out FILE] [--wal-dir DIR] [--wal-fsync]
+//             [--accept-snapshots] [--relay-to ENDPOINT] [--node-id N]
+//             [--relay-interval-s N] [--version]
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, let in-flight reporters
 // finish (bounded by the idle timeout), then write the session snapshot
 // (--snapshot-out) and print per-epoch estimates in ldp_aggregate's format.
+//
+// Distributed tier (src/relay/): --wal-dir journals every accepted frame to
+// a per-shard write-ahead log before it reaches the session, so restarting
+// after a crash with the same flags replays to the exact pre-crash state
+// (reporters that reconnect are told how many bytes are already durable
+// and skip them). --relay-to turns this node into an edge that
+// periodically — and finally, at drain — ships its cumulative session
+// snapshot upstream; the upstream (run with --accept-snapshots) folds the
+// latest snapshot per node in ascending --node-id order at its own drain,
+// which keeps a two-tier campaign bit-identical to the tree-shaped
+// file-based run.
 //
 // Observability: every run carries an obs::MetricsRegistry and campaign
 // EventJournal wired through the session, ingester, thread pool, and
@@ -55,6 +68,8 @@
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/metrics_server.h"
+#include "relay/forwarder.h"
+#include "relay/frame_wal.h"
 #include "stream/shard_ingester.h"
 
 namespace {
@@ -76,11 +91,17 @@ void Usage() {
       "                 [--max-rejected N] [--idle-timeout-ms N]\n"
       "                 [--confidence C] [--snapshot-out FILE]\n"
       "                 [--metrics ENDPOINT] [--stats-interval-s N]\n"
-      "                 [--journal-out FILE] [--trace-out FILE] [--version]\n"
+      "                 [--journal-out FILE] [--trace-out FILE]\n"
+      "                 [--wal-dir DIR] [--wal-fsync] [--accept-snapshots]\n"
+      "                 [--relay-to ENDPOINT] [--node-id N]\n"
+      "                 [--relay-interval-s N] [--version]\n"
       "ENDPOINT is tcp:HOST:PORT (port 0 = ephemeral, printed on stdout)\n"
       "or unix:PATH. SIGTERM drains and writes the snapshot/estimates.\n"
       "--metrics serves GET /metrics (Prometheus text), /metrics.json,\n"
-      "/journal, /trace and /healthz on a second endpoint.\n");
+      "/journal, /trace and /healthz on a second endpoint.\n"
+      "--wal-dir journals accepted frames for exact crash replay;\n"
+      "--relay-to ships this node's session snapshot upstream (an edge);\n"
+      "--accept-snapshots lets this node fold downstream edges (a root).\n");
 }
 
 }  // namespace
@@ -89,6 +110,9 @@ int main(int argc, char** argv) {
   if (tools::HandleVersionFlag(argc, argv, "ldp_serve")) return 0;
   std::string schema_path, listen_spec, snapshot_out;
   std::string metrics_spec, journal_out, trace_out;
+  std::string wal_dir, relay_spec;
+  bool wal_fsync = false;
+  relay::RelayForwarderOptions relay_options;
   unsigned stats_interval_s = 0;
   double epsilon = 0.0;
   double confidence = 0.95;
@@ -143,6 +167,19 @@ int main(int argc, char** argv) {
       journal_out = next();
     } else if (arg == "--trace-out") {
       trace_out = next();
+    } else if (arg == "--wal-dir") {
+      wal_dir = next();
+    } else if (arg == "--wal-fsync") {
+      wal_fsync = true;
+    } else if (arg == "--accept-snapshots") {
+      server_options.accept_snapshots = true;
+    } else if (arg == "--relay-to") {
+      relay_spec = next();
+    } else if (arg == "--node-id") {
+      relay_options.node_id = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--relay-interval-s") {
+      relay_options.interval_ms =
+          static_cast<int>(std::strtol(next(), nullptr, 10)) * 1000;
     } else if (arg == "--mechanism") {
       if (!tools::ParseMechanismFlag(next(), &mechanism)) {
         Usage();
@@ -210,9 +247,45 @@ int main(int argc, char** argv) {
   }
   api::ServerSession& session = server_session.value();
 
+  // The WAL replays before the server starts listening: a crashed run's
+  // frames are back in the session, still-open shards become resume
+  // entries, and already-merged ordinals seed the barrier as done.
+  const stream::StreamHeader expected_header = pipeline.value().header();
+  std::unique_ptr<relay::FrameWal> wal;
+  relay::WalReplaySummary replay;
+  if (!wal_dir.empty()) {
+    relay::FrameWal::Options wal_options;
+    wal_options.fsync = wal_fsync;
+    wal_options.expected = &expected_header;
+    wal_options.metrics = &registry;
+    wal_options.journal = &journal;
+    auto opened =
+        relay::FrameWal::Open(wal_dir, &session, wal_options, &replay);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    wal = std::move(opened).value();
+    server_options.wal = wal.get();
+    server_options.resume_shards = replay.resume_shards;
+    server_options.completed_ordinals = replay.completed_ordinals;
+    if (replay.shards_replayed + replay.shards_resumed +
+            replay.shards_corrupt + replay.truncated_tails >
+        0) {
+      std::printf(
+          "wal replay: %llu shard(s) merged, %llu resumable, %llu corrupt, "
+          "%llu frame(s), %llu torn tail(s) truncated\n",
+          static_cast<unsigned long long>(replay.shards_replayed),
+          static_cast<unsigned long long>(replay.shards_resumed),
+          static_cast<unsigned long long>(replay.shards_corrupt),
+          static_cast<unsigned long long>(replay.frames_replayed),
+          static_cast<unsigned long long>(replay.truncated_tails));
+    }
+  }
+
   server_options.metrics = &registry;
   server_options.journal = &journal;
-  auto server = net::ReportServer::Start(&session, pipeline.value().header(),
+  auto server = net::ReportServer::Start(&session, expected_header,
                                          endpoint.value(), server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
@@ -234,6 +307,27 @@ int main(int argc, char** argv) {
       return 1;
     }
     metrics_server = std::move(started).value();
+  }
+
+  std::unique_ptr<relay::RelayForwarder> forwarder;
+  if (!relay_spec.empty()) {
+    auto upstream = net::Endpoint::Parse(relay_spec);
+    if (!upstream.ok()) {
+      std::fprintf(stderr, "%s\n", upstream.status().ToString().c_str());
+      return 1;
+    }
+    relay_options.metrics = &registry;
+    relay_options.journal = &journal;
+    auto started =
+        relay::RelayForwarder::Start(&session, upstream.value(),
+                                     relay_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.status().ToString().c_str());
+      return 1;
+    }
+    forwarder = std::move(started).value();
+    std::printf("relaying to %s as node %llu\n", relay_spec.c_str(),
+                static_cast<unsigned long long>(relay_options.node_id));
   }
 
   std::signal(SIGTERM, HandleSignal);
@@ -281,7 +375,26 @@ int main(int argc, char** argv) {
   }
   std::printf("draining...\n");
   std::fflush(stdout);
+  // Drain order: flip /healthz first (load balancers route away), finish
+  // in-flight shards, ship the edge's final cumulative snapshot upstream,
+  // fold whatever downstream edges shipped here, then stop the scrape
+  // endpoint — so a last scrape still sees the post-fold counters.
+  if (metrics_server != nullptr) metrics_server->SetDraining(true);
   server.value()->Stop(/*drain=*/true);
+  if (forwarder != nullptr) {
+    const Status flushed = forwarder->Stop(/*final_flush=*/true);
+    if (!flushed.ok()) {
+      std::fprintf(stderr, "relay final flush failed: %s\n",
+                   flushed.ToString().c_str());
+    }
+  }
+  {
+    const Status folded = server.value()->FoldRelaySnapshots();
+    if (!folded.ok()) {
+      std::fprintf(stderr, "relay fold failed: %s\n",
+                   folded.ToString().c_str());
+    }
+  }
   if (metrics_server != nullptr) metrics_server->Stop();
 
   // Exit stats are the registry's own JSON serialization — byte-compatible
