@@ -77,7 +77,8 @@ api::Pipeline MakePipeline() {
 // Frame bytes only (no stream header): connections negotiate the header in
 // HELLO; the in-process path prepends it explicitly.
 std::vector<std::string> EncodeShards(const api::Pipeline& pipeline,
-                                      uint64_t reports) {
+                                      uint64_t reports,
+                                      size_t num_shards = kShards) {
   auto client = pipeline.NewClient();
   if (!client.ok()) std::exit(1);
   MixedTuple tuple(8);
@@ -87,7 +88,7 @@ std::vector<std::string> EncodeShards(const api::Pipeline& pipeline,
                    : AttributeValue::Categorical(j % 4);
   }
   std::vector<std::string> shards;
-  const std::vector<IndexRange> ranges = SplitRange(reports, kShards);
+  const std::vector<IndexRange> ranges = SplitRange(reports, num_shards);
   for (size_t s = 0; s < ranges.size(); ++s) {
     std::string bytes;
     Rng rng(1000 + s);
@@ -295,6 +296,133 @@ double RunNetworked(const api::Pipeline& pipeline,
   return seconds;
 }
 
+// --- reporter sweep --------------------------------------------------------
+//
+// How the event-driven edge scales with the number of logical reporters:
+// R shards multiplexed as channels over kSweepConnections real
+// connections (ordinal s rides connection s % kSweepConnections), closes
+// pipelined so the strict merge barrier never idles a connection. Each
+// row records aggregate throughput and the p99 shard-admission latency
+// (HELLO -> HELLO_OK round trip as the reporter sees it, while the
+// connection's other channels keep streaming).
+
+constexpr size_t kSweepConnections = 16;
+
+struct SweepResult {
+  size_t reporters = 0;
+  double seconds = 0.0;
+  double reports_per_sec = 0.0;
+  double accept_p99_us = 0.0;
+};
+
+// The file-based reference for one sweep split: the same R shard streams
+// fed into a session in ordinal order.
+std::string SweepReferenceSnapshot(const api::Pipeline& pipeline,
+                                   const std::vector<std::string>& shards) {
+  auto session = pipeline.NewServer();
+  if (!session.ok()) std::exit(1);
+  const std::string header = stream::EncodeStreamHeader(pipeline.header());
+  for (const std::string& bytes : shards) {
+    const size_t shard = session.value().OpenShard();
+    if (!session.value().Feed(shard, header).ok() ||
+        !session.value().Feed(shard, bytes).ok() ||
+        !session.value().CloseShard(shard).ok()) {
+      std::exit(1);
+    }
+  }
+  return session.value().Snapshot();
+}
+
+SweepResult RunReporterSweep(const api::Pipeline& pipeline,
+                             const net::Endpoint& endpoint,
+                             const std::vector<std::string>& shards,
+                             uint64_t reports, std::string* snapshot) {
+  const size_t reporters = shards.size();
+  api::ServerSessionOptions session_options;
+  session_options.ingest_threads = 2;
+  auto session = pipeline.NewServer(session_options);
+  if (!session.ok()) std::exit(1);
+  net::ReportServerOptions server_options;
+  server_options.acceptors = 4;
+  server_options.expected_shards = reporters;
+  auto server = net::ReportServer::Start(&session.value(), pipeline.header(),
+                                         endpoint, server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "%s\n", server.status().ToString().c_str());
+    std::exit(1);
+  }
+  const net::Endpoint resolved = server.value()->endpoint();
+
+  const size_t connections = std::min(kSweepConnections, reporters);
+  std::vector<std::vector<double>> admit_us(connections);
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      // Connect negotiates this connection's first reporter (ordinal c);
+      // every later reporter is one more channel on the same socket.
+      auto admit_started = std::chrono::steady_clock::now();
+      auto client = net::CollectorClient::Connect(resolved, pipeline.header(),
+                                                  /*ordinal=*/c);
+      if (!client.ok()) {
+        std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+        std::exit(1);
+      }
+      auto record = [&] {
+        admit_us[c].push_back(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - admit_started)
+                .count());
+      };
+      record();
+      std::vector<uint32_t> channels = {0};
+      for (size_t ordinal = c;; ) {
+        const uint32_t channel = channels.back();
+        const std::string& bytes = shards[ordinal];
+        if (!client.value().Send(channel, bytes.data(), bytes.size()).ok() ||
+            !client.value().CloseShardBegin(channel).ok()) {
+          std::exit(1);
+        }
+        ordinal += connections;
+        if (ordinal >= reporters) break;
+        admit_started = std::chrono::steady_clock::now();
+        auto next = client.value().OpenShard(pipeline.header(), ordinal);
+        if (!next.ok()) {
+          std::fprintf(stderr, "%s\n", next.status().ToString().c_str());
+          std::exit(1);
+        }
+        record();
+        channels.push_back(next.value());
+      }
+      for (const uint32_t channel : channels) {
+        auto summary = client.value().AwaitShardClosed(channel);
+        if (!summary.ok() || !summary.value().status.ok()) std::exit(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  server.value()->Stop(/*drain=*/true);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+
+  std::vector<double> all;
+  for (const std::vector<double>& per_conn : admit_us) {
+    all.insert(all.end(), per_conn.begin(), per_conn.end());
+  }
+  std::sort(all.begin(), all.end());
+  SweepResult result;
+  result.reporters = reporters;
+  result.seconds = seconds;
+  result.reports_per_sec = static_cast<double>(reports) / seconds;
+  result.accept_p99_us =
+      all.empty() ? 0.0
+                  : all[std::min(all.size() - 1, (all.size() * 99) / 100)];
+  *snapshot = session.value().Snapshot();
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -371,6 +499,40 @@ int main() {
                 result.data_p50_us, result.data_p99_us);
   }
 
+  // Reporter sweep: C100K-style fan-in, R logical reporters multiplexed
+  // over kSweepConnections sockets. Every sweep point re-checks
+  // bit-identity against a file-based run of the same R-way split (the
+  // split changes the shard contents, so each point has its own
+  // reference).
+  std::printf("\n=== Reporter sweep: %zu connections, R multiplexed "
+              "shards ===\n",
+              kSweepConnections);
+  std::printf("%-14s %10s %14s %12s\n", "reporters", "seconds", "reports/s",
+              "admit p99(us)");
+  std::vector<SweepResult> sweeps;
+  for (const size_t reporters : {size_t{100}, size_t{1000}, size_t{10000}}) {
+    const std::vector<std::string> sweep_shards =
+        EncodeShards(pipeline, reports, reporters);
+    const std::string sweep_reference =
+        SweepReferenceSnapshot(pipeline, sweep_shards);
+    std::string snapshot;
+    const net::Endpoint sweep_uds = {
+        net::Endpoint::Kind::kUnix, "", 0,
+        "/tmp/ldp_bench_net_sweep_" + std::to_string(::getpid()) + ".sock"};
+    const SweepResult sweep =
+        RunReporterSweep(pipeline, sweep_uds, sweep_shards, reports,
+                         &snapshot);
+    if (snapshot != sweep_reference) {
+      std::fprintf(stderr,
+                   "reporters=%zu: session diverged from file-based run\n",
+                   reporters);
+      return 1;
+    }
+    sweeps.push_back(sweep);
+    std::printf("%-14zu %10.3f %14.0f %12.0f\n", sweep.reporters,
+                sweep.seconds, sweep.reports_per_sec, sweep.accept_p99_us);
+  }
+
   FILE* json = std::fopen("BENCH_net_ingest.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
@@ -391,7 +553,17 @@ int main() {
         std::fprintf(json, ", \"wal_bytes\": %llu",
                      static_cast<unsigned long long>(results[i].wal_bytes));
       }
-      std::fprintf(json, "}%s\n", i + 1 < results.size() ? "," : "");
+      std::fprintf(json, "},\n");
+    }
+    for (size_t i = 0; i < sweeps.size(); ++i) {
+      std::fprintf(json,
+                   "    {\"path\": \"reporters_%zu\", \"reporters\": %zu, "
+                   "\"seconds\": %.6f, \"reports_per_sec\": %.0f, "
+                   "\"accept_p99_us\": %.1f}%s\n",
+                   sweeps[i].reporters, sweeps[i].reporters,
+                   sweeps[i].seconds, sweeps[i].reports_per_sec,
+                   sweeps[i].accept_p99_us,
+                   i + 1 < sweeps.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);

@@ -59,6 +59,18 @@ for name in sys.argv[1:]:
                 complain(name, f"empty DATA latency histogram: {row}")
         if "wal_bytes" in row and not row["wal_bytes"] > 0:
             complain(name, f"WAL row logged zero bytes: {row}")
+        if "reporters" in row:
+            # Reporter-sweep rows: a real fan-in with a measured admission
+            # latency; a zero p99 means no HELLO round trip was timed.
+            if not row["reporters"] > 0:
+                complain(name, f"sweep row with no reporters: {row}")
+            if not row.get("accept_p99_us", 0) > 0:
+                complain(name, f"sweep row missing admission latency: {row}")
+
+    if data.get("benchmark") == "net_ingest":
+        swept = {row.get("reporters") for row in rows if "reporters" in row}
+        if not {100, 1000, 10000} <= swept:
+            complain(name, f"reporter sweep incomplete: got {sorted(swept)}")
     print(f"{name}: {len(rows)} rows checked")
 
 if not sys.argv[1:]:

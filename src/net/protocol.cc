@@ -32,6 +32,7 @@ bool IsKnownMessageType(uint8_t type) {
     case MessageType::kEpochAdvanced:
     case MessageType::kError:
     case MessageType::kSnapshotOk:
+    case MessageType::kDataAck:
       return true;
   }
   return false;
@@ -73,6 +74,8 @@ Result<MessageHeader> DecodeMessageHeader(const char* data, size_t size) {
 std::string EncodeHello(const HelloMessage& hello) {
   std::string out;
   PutU16(&out, hello.version);
+  PutU32(&out, hello.channel);
+  PutU32(&out, hello.flags);
   PutU64(&out, hello.ordinal);
   out.append(hello.header_bytes);
   return out;
@@ -86,6 +89,8 @@ Result<HelloMessage> DecodeHello(const std::string& payload) {
     return Status::InvalidArgument("unsupported protocol version " +
                                    std::to_string(hello.version));
   }
+  LDP_ASSIGN_OR_RETURN(hello.channel, reader.U32());
+  LDP_ASSIGN_OR_RETURN(hello.flags, reader.U32());
   LDP_ASSIGN_OR_RETURN(hello.ordinal, reader.U64());
   hello.header_bytes = TakeRest(payload, reader);
   return hello;
@@ -93,6 +98,7 @@ Result<HelloMessage> DecodeHello(const std::string& payload) {
 
 std::string EncodeHelloOk(const HelloOkMessage& ok) {
   std::string out;
+  PutU32(&out, ok.channel);
   PutU64(&out, ok.shard);
   PutU32(&out, ok.epoch);
   PutU64(&out, ok.resume_offset);
@@ -102,6 +108,7 @@ std::string EncodeHelloOk(const HelloOkMessage& ok) {
 Result<HelloOkMessage> DecodeHelloOk(const std::string& payload) {
   Reader reader(payload.data(), payload.size());
   HelloOkMessage ok;
+  LDP_ASSIGN_OR_RETURN(ok.channel, reader.U32());
   LDP_ASSIGN_OR_RETURN(ok.shard, reader.U64());
   LDP_ASSIGN_OR_RETURN(ok.epoch, reader.U32());
   LDP_ASSIGN_OR_RETURN(ok.resume_offset, reader.U64());
@@ -109,6 +116,52 @@ Result<HelloOkMessage> DecodeHelloOk(const std::string& payload) {
     return Status::InvalidArgument("trailing bytes after HELLO_OK");
   }
   return ok;
+}
+
+std::string EncodeCloseShard(const CloseShardMessage& close) {
+  std::string out;
+  PutU32(&out, close.channel);
+  return out;
+}
+
+Result<CloseShardMessage> DecodeCloseShard(const std::string& payload) {
+  Reader reader(payload.data(), payload.size());
+  CloseShardMessage close;
+  LDP_ASSIGN_OR_RETURN(close.channel, reader.U32());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after CLOSE_SHARD");
+  }
+  return close;
+}
+
+std::string EncodeDataAck(const DataAckMessage& ack) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(ack.entries.size()));
+  for (const DataAckMessage::Entry& entry : ack.entries) {
+    PutU32(&out, entry.channel);
+    PutU64(&out, entry.bytes);
+  }
+  return out;
+}
+
+Result<DataAckMessage> DecodeDataAck(const std::string& payload) {
+  Reader reader(payload.data(), payload.size());
+  DataAckMessage ack;
+  uint32_t count = 0;
+  LDP_ASSIGN_OR_RETURN(count, reader.U32());
+  // 12 bytes per entry keeps a hostile count from reserving gigabytes.
+  if (count > (payload.size() / 12) + 1) {
+    return Status::InvalidArgument("DATA_ACK count exceeds payload");
+  }
+  ack.entries.resize(count);
+  for (DataAckMessage::Entry& entry : ack.entries) {
+    LDP_ASSIGN_OR_RETURN(entry.channel, reader.U32());
+    LDP_ASSIGN_OR_RETURN(entry.bytes, reader.U64());
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after DATA_ACK");
+  }
+  return ack;
 }
 
 std::string EncodeSnapshot(const SnapshotMessage& snapshot) {
@@ -166,6 +219,7 @@ Result<SnapshotOkMessage> DecodeSnapshotOk(const std::string& payload) {
 
 std::string EncodeShardClosed(const ShardClosedMessage& closed) {
   std::string out;
+  PutU32(&out, closed.channel);
   PutU8(&out, closed.code);
   PutU64(&out, closed.stats.bytes);
   PutU64(&out, closed.stats.frames);
@@ -178,6 +232,7 @@ std::string EncodeShardClosed(const ShardClosedMessage& closed) {
 Result<ShardClosedMessage> DecodeShardClosed(const std::string& payload) {
   Reader reader(payload.data(), payload.size());
   ShardClosedMessage closed;
+  LDP_ASSIGN_OR_RETURN(closed.channel, reader.U32());
   LDP_ASSIGN_OR_RETURN(closed.code, reader.U8());
   LDP_ASSIGN_OR_RETURN(closed.stats.bytes, reader.U64());
   LDP_ASSIGN_OR_RETURN(closed.stats.frames, reader.U64());
@@ -221,7 +276,7 @@ Result<ErrorMessage> DecodeErrorMessage(const std::string& payload) {
 
 Status StatusFromWire(uint8_t code, const std::string& message) {
   if (code == 0) return Status::OK();
-  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+  if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
     return Status::Internal("peer sent unknown status code " +
                             std::to_string(code) + ": " + message);
   }

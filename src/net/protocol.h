@@ -1,6 +1,6 @@
 // The collector's connection protocol: a tiny length-prefixed control
-// channel multiplexed with raw report-stream bytes, one shard per
-// negotiation.
+// channel multiplexed with raw report-stream bytes, many logical shards
+// per connection.
 //
 // Every message on the wire is
 //
@@ -10,14 +10,25 @@
 //
 //   client                              server
 //   ------                              ------
-//   HELLO {version, ordinal, header} -> validate header, open shard
-//                                    <- HELLO_OK {shard, epoch} | ERROR
-//   DATA {raw frame bytes}  (any chunking; fed straight into
+//   HELLO {version, channel, flags,  -> validate header, open shard
+//          ordinal, header}          <- HELLO_OK {channel, shard, epoch}
+//                                       | ERROR
+//   DATA {channel, raw frame bytes}  (any chunking; fed straight into
 //                            ServerSession::Feed — the report-stream
 //                            framing below is untouched)      [repeated]
-//   CLOSE_SHARD                      -> drain, merge in ordinal order
-//                                    <- SHARD_CLOSED {status, stats}
-//   ... another HELLO (a new shard), or ADVANCE_EPOCH, or EOF.
+//                                    <- DATA_ACK {channel -> bytes}*
+//                                       (batched; only if the HELLO set
+//                                        kHelloFlagDataAcks)
+//   CLOSE_SHARD {channel}            -> drain, merge in ordinal order
+//                                    <- SHARD_CLOSED {channel, status,
+//                                                     stats}
+//   ... another HELLO (a new channel/shard), or ADVANCE_EPOCH, or EOF.
+//
+// A `channel` is the client-chosen id multiplexing several concurrently
+// open shards over one connection; ids are free for reuse once their
+// SHARD_CLOSED arrives. Because merges wait for the ordinal barrier, a
+// SHARD_CLOSED may arrive *after* replies to later requests on the same
+// connection — clients must match replies by channel, not by order.
 //
 // The HELLO payload carries the exact report-stream header
 // (stream/report_stream.h) the subsequent DATA bytes would have started
@@ -37,6 +48,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "stream/shard_ingester.h"
 #include "util/result.h"
@@ -44,7 +56,22 @@
 
 namespace ldp::net {
 
-inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr uint16_t kProtocolVersion = 2;
+
+/// HELLO flag bit: the client wants batched DATA_ACK messages (cumulative
+/// per-channel byte watermarks) so it can bound its in-flight window.
+inline constexpr uint32_t kHelloFlagDataAcks = 1u << 0;
+
+/// Every DATA payload starts with the u32 channel id of the shard the
+/// frame bytes belong to.
+inline constexpr size_t kDataChannelPrefixBytes = 4;
+
+/// The server batches DATA_ACK watermarks until this many unacked bytes
+/// have accumulated across an opted-in connection's channels (a close or
+/// poison flushes early). Clients sizing a send window must leave at least
+/// this much headroom or the window can deadlock waiting for an ack the
+/// server is still batching.
+inline constexpr uint64_t kDataAckFlushBytes = 256u << 10;
 
 /// u8 type + u32 payload length.
 inline constexpr size_t kMessageHeaderBytes = 5;
@@ -67,6 +94,7 @@ enum class MessageType : uint8_t {
   kEpochAdvanced = 0x12,
   kError = 0x13,
   kSnapshotOk = 0x14,
+  kDataAck = 0x15,
 };
 
 /// True for the message types defined above.
@@ -89,9 +117,15 @@ Result<MessageHeader> DecodeMessageHeader(const char* data, size_t size);
 
 // --- payloads --------------------------------------------------------------
 
-/// HELLO: the client introduces one shard-to-be.
+/// HELLO: the client introduces one shard-to-be on a fresh channel.
 struct HelloMessage {
   uint16_t version = kProtocolVersion;
+  /// Client-chosen id multiplexing this shard over the connection; must not
+  /// collide with a channel still open on the same connection. Single-shard
+  /// clients use 0.
+  uint32_t channel = 0;
+  /// kHelloFlag* bits. Zero keeps the server reply-only (no DATA_ACKs).
+  uint32_t flags = 0;
   /// The shard's merge position (see file comment). Clients streaming a
   /// single ad-hoc shard use 0.
   uint64_t ordinal = 0;
@@ -104,6 +138,7 @@ Result<HelloMessage> DecodeHello(const std::string& payload);
 
 /// HELLO_OK: the server accepted the shard.
 struct HelloOkMessage {
+  uint32_t channel = 0;  ///< Echo of the HELLO's channel id.
   uint64_t shard = 0;    ///< Server-side shard id (diagnostic).
   uint32_t epoch = 0;    ///< Epoch the shard will fold into.
   /// Resumable-shard handshake: post-header stream bytes of this ordinal
@@ -114,6 +149,29 @@ struct HelloOkMessage {
 
 std::string EncodeHelloOk(const HelloOkMessage& ok);
 Result<HelloOkMessage> DecodeHelloOk(const std::string& payload);
+
+/// CLOSE_SHARD: the client is done streaming one channel's shard.
+struct CloseShardMessage {
+  uint32_t channel = 0;
+};
+
+std::string EncodeCloseShard(const CloseShardMessage& close);
+Result<CloseShardMessage> DecodeCloseShard(const std::string& payload);
+
+/// DATA_ACK: batched cumulative receipt watermarks, one entry per channel
+/// with new progress since the last ack. `bytes` counts post-header stream
+/// bytes the server has fed for that channel, so a client windowing its
+/// sends can release (bytes - previously acked) from its in-flight budget.
+struct DataAckMessage {
+  struct Entry {
+    uint32_t channel = 0;
+    uint64_t bytes = 0;
+  };
+  std::vector<Entry> entries;
+};
+
+std::string EncodeDataAck(const DataAckMessage& ack);
+Result<DataAckMessage> DecodeDataAck(const std::string& payload);
 
 /// SNAPSHOT: a relay node ships its whole session snapshot upstream. The
 /// snapshot is cumulative (every epoch, all reports so far), so a node may
@@ -144,6 +202,7 @@ Result<SnapshotOkMessage> DecodeSnapshotOk(const std::string& payload);
 
 /// SHARD_CLOSED: final verdict and exact ingest statistics for one shard.
 struct ShardClosedMessage {
+  uint32_t channel = 0;  ///< The channel the CLOSE_SHARD named.
   /// StatusCode of the close (kOk, or why the shard was discarded).
   uint8_t code = 0;
   stream::ShardIngester::Stats stats;

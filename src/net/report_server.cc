@@ -1,7 +1,12 @@
 #include "net/report_server.h"
 
+#include <fcntl.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <utility>
 
 #include "obs/journal.h"
@@ -10,12 +15,37 @@ namespace ldp::net {
 
 namespace {
 
-// The conversation state of one connection's shard, if any.
-struct OpenShard {
-  bool open = false;
-  size_t shard = 0;
-  uint64_t ordinal = 0;
-};
+// How many complete messages one readable event may dispatch before the
+// loop moves on to other connections. Level-triggered polling re-fires for
+// whatever is left, so this is fairness, not correctness.
+constexpr int kDispatchBudget = 64;
+
+// Once this much of the outbuf's front has been sent, the dead prefix is
+// compacted away instead of waiting for a full drain.
+constexpr size_t kOutbufCompactBytes = 64u << 10;
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+Status MakePipeNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)");
+  }
+  const int fd_flags = ::fcntl(fd, F_GETFD, 0);
+  if (fd_flags < 0 || ::fcntl(fd, F_SETFD, fd_flags | FD_CLOEXEC) != 0) {
+    return ErrnoStatus("fcntl(FD_CLOEXEC)");
+  }
+  return Status::OK();
+}
+
+uint32_t DecodeDataChannel(const std::string& payload) {
+  const auto* p = reinterpret_cast<const unsigned char*>(payload.data());
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
 
 // Refuses a relay snapshot whose preamble disagrees with this campaign's
 // protocol — the same gate HELLO applies to stream headers, before any
@@ -67,7 +97,7 @@ Result<std::unique_ptr<ReportServer>> ReportServer::Start(
   Result<Listener> listener = Listener::Bind(endpoint);
   if (!listener.ok()) return listener.status();
   server->listener_ = std::move(listener).value();
-  // Seed the barrier and resume state from a WAL replay before any acceptor
+  // Seed the barrier and resume state from a WAL replay before any loop
   // exists (no lock needed yet): ordinals the replay already merged start
   // done, so the frontier opens past them and a re-HELLO is refused.
   server->resume_shards_ = options.resume_shards;
@@ -80,19 +110,42 @@ Result<std::unique_ptr<ReportServer>> ReportServer::Start(
       ++server->merge_frontier_;
     }
   }
-  server->acceptors_.reserve(options.acceptors);
+  server->loops_.reserve(options.acceptors);
   for (unsigned i = 0; i < options.acceptors; ++i) {
-    server->acceptors_.emplace_back([raw = server.get()] {
-      raw->AcceptLoop();
-    });
+    server->loops_.push_back(std::make_unique<Loop>());
+    Loop& loop = *server->loops_.back();
+    Result<Poller> poller = Poller::Create(options.poller);
+    if (!poller.ok()) return poller.status();
+    loop.poller = std::move(poller).value();
+    int fds[2];
+    if (::pipe(fds) != 0) return ErrnoStatus("pipe");
+    loop.wake_read = fds[0];
+    loop.wake_write = fds[1];
+    Status ready = MakePipeNonBlocking(loop.wake_read);
+    if (ready.ok()) ready = MakePipeNonBlocking(loop.wake_write);
+    if (ready.ok()) ready = loop.poller.Add(loop.wake_read, true, false);
+    if (!ready.ok()) return ready;  // ~ReportServer closes the pipe fds
   }
+  for (unsigned i = 0; i < options.acceptors; ++i) {
+    server->loops_[i]->thread =
+        std::thread([raw = server.get(), i] { raw->LoopMain(i); });
+  }
+  server->scheduler_ = std::thread([raw = server.get()] {
+    raw->SchedulerMain();
+  });
   if (options.journal != nullptr) {
     options.journal->Record(obs::EventKind::kServerStart);
   }
   return server;
 }
 
-ReportServer::~ReportServer() { Stop(/*drain=*/false); }
+ReportServer::~ReportServer() {
+  Stop(/*drain=*/false);
+  for (auto& loop : loops_) {
+    if (loop->wake_read >= 0) ::close(loop->wake_read);
+    if (loop->wake_write >= 0) ::close(loop->wake_write);
+  }
+}
 
 void ReportServer::Stop(bool drain) {
   {
@@ -106,23 +159,36 @@ void ReportServer::Stop(bool drain) {
     stop_accepting_ = true;
     if (!drain) {
       hard_stop_ = true;
-      // Kick every blocked read/write and every merge-turn waiter; the
-      // handlers abandon their shards and unwind.
-      for (const auto& [fd, busy] : live_fds_) ::shutdown(fd, SHUT_RDWR);
-      merge_turn_.notify_all();
+      // Kick every connection out of the kernel: reads return EOF, sends
+      // fail, and the loops tear everything down and abandon open shards.
+      for (const auto& [fd, conn] : conns_) ::shutdown(fd, SHUT_RDWR);
+      merge_cv_.notify_all();
     } else {
       // A drain waits only for shards in flight: connections idling
       // between shards are woken so they notice the stop immediately
       // instead of sitting out the idle timeout.
-      for (const auto& [fd, busy] : live_fds_) {
+      for (const auto& [fd, conn] : conns_) {
+        bool busy;
+        {
+          std::lock_guard<std::mutex> conn_lock(conn->mutex);
+          busy = !conn->channels.empty();
+        }
         if (!busy) ::shutdown(fd, SHUT_RDWR);
       }
     }
   }
-  listener_.Wake();
-  for (std::thread& acceptor : acceptors_) {
-    if (acceptor.joinable()) acceptor.join();
+  for (size_t i = 0; i < loops_.size(); ++i) WakeLoop(i);
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
   }
+  // The loops are gone, so no new close can be enqueued: tell the
+  // scheduler to abandon whatever is left and exit.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    scheduler_exit_ = true;
+    merge_cv_.notify_all();
+  }
+  if (scheduler_.joinable()) scheduler_.join();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopped_ = true;
@@ -161,37 +227,897 @@ Status ReportServer::FoldRelaySnapshots() {
   return first_error;
 }
 
-void ReportServer::AcceptLoop() {
+// --- event loop ------------------------------------------------------------
+
+void ReportServer::WakeLoop(size_t index) {
+  Loop& loop = *loops_[index];
+  {
+    std::lock_guard<std::mutex> lock(loop.mutex);
+    if (loop.woken) return;
+    loop.woken = true;
+  }
+  const char byte = 1;
+  // A full pipe means a wake is already pending; nothing to do.
+  (void)!::write(loop.wake_write, &byte, 1);
+}
+
+void ReportServer::LoopMain(size_t index) {
+  Loop& loop = *loops_[index];
+  // Loop 0 doubles as the acceptor: the listener fd sits in its poll set
+  // next to the connections it serves.
+  bool listener_watched = false;
+  if (index == 0 && loop.poller.Add(listener_.fd(), true, false).ok()) {
+    listener_watched = true;
+  }
+  std::vector<PollerEvent> events;
+  std::vector<std::shared_ptr<Conn>> adopts;
+  std::vector<std::shared_ptr<Conn>> flushes;
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (stop_accepting_) return;
+      std::lock_guard<std::mutex> lock(loop.mutex);
+      adopts.swap(loop.adopt_inbox);
+      flushes.swap(loop.flush_inbox);
+      loop.woken = false;
     }
-    Result<Socket> accepted = listener_.Accept();
-    if (!accepted.ok()) return;  // listener died; nothing left to serve
-    if (!accepted.value().valid()) continue;  // woken — re-check stop flag
-    Socket socket = std::move(accepted).value();
-    if (options_.idle_timeout_ms > 0) {
-      if (!socket.SetIdleTimeout(options_.idle_timeout_ms).ok()) continue;
-    }
+    for (const auto& conn : adopts) AdoptConn(loop, conn);
+    adopts.clear();
+    for (const auto& conn : flushes) FlushConn(loop, conn);
+    flushes.clear();
+
+    bool stopping;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (hard_stop_) return;
-      ++stats_.connections;
-      live_fds_.emplace(socket.fd(), false);
+      stopping = stop_accepting_;
     }
-    if (metrics_.enabled()) metrics_.connections->Increment();
-    HandleConnection(std::move(socket));
+    if (stopping && listener_watched) {
+      (void)loop.poller.Remove(listener_.fd());
+      listener_watched = false;
+    }
+    if (stopping && loop.conns.empty()) {
+      std::lock_guard<std::mutex> lock(loop.mutex);
+      if (loop.adopt_inbox.empty() && loop.flush_inbox.empty()) return;
+      continue;  // late arrivals: adopt them so they can be torn down
+    }
+
+    // Sleep until the nearest connection deadline (the slow-loris budget),
+    // a readiness event, or a wake.
+    int timeout_ms = -1;
+    if (options_.idle_timeout_ms > 0 && !loop.conns.empty()) {
+      SteadyTime nearest = SteadyTime::max();
+      for (const auto& [fd, conn] : loop.conns) {
+        nearest = std::min(nearest, conn->deadline);
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (nearest <= now) {
+        timeout_ms = 0;
+      } else {
+        const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               nearest - now)
+                               .count();
+        timeout_ms = static_cast<int>(std::min<long long>(until + 1, 60000));
+      }
+    }
+
+    events.clear();
+    if (!loop.poller.Wait(timeout_ms, &events).ok()) {
+      // A broken poller would spin; this path should be unreachable.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    for (const PollerEvent& event : events) {
+      if (event.fd == loop.wake_read) {
+        char drain[256];
+        while (::read(loop.wake_read, drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (listener_watched && event.fd == listener_.fd()) {
+        AcceptReady(loop);
+        continue;
+      }
+      auto found = loop.conns.find(event.fd);
+      if (found == loop.conns.end()) continue;  // torn down this batch
+      std::shared_ptr<Conn> conn = found->second;
+      if (conn->dead) continue;
+      if (conn->reads_closed) {
+        // Poisoned: only the error flush is left. An error event means the
+        // peer is gone and even that is moot.
+        if (event.error) {
+          DestroyConn(loop, conn);
+        } else if (event.writable) {
+          FlushConn(loop, conn);
+        }
+        continue;
+      }
+      if (event.readable || event.error) HandleReadable(loop, conn);
+      if (event.writable && !conn->dead) FlushConn(loop, conn);
+    }
+
+    if (options_.idle_timeout_ms > 0) {
+      const SteadyTime now = std::chrono::steady_clock::now();
+      std::vector<std::shared_ptr<Conn>> expired;
+      for (const auto& [fd, conn] : loop.conns) {
+        if (conn->deadline <= now) expired.push_back(conn);
+      }
+      for (const auto& conn : expired) {
+        if (conn->reads_closed) {
+          // The poisoned reply could not be flushed within the budget.
+          DestroyConn(loop, conn);
+        } else {
+          HandleConnFailure(loop, conn, /*clean_eof=*/false, /*reaped=*/true);
+        }
+      }
+    }
   }
 }
 
-void ReportServer::SendReply(Socket* socket, MessageType type,
-                             const std::string& payload) {
-  std::string wire;
-  if (AppendMessage(type, payload, &wire).ok()) {
-    (void)socket->SendAll(wire);
+void ReportServer::AcceptReady(Loop& loop) {
+  while (true) {
+    Result<Socket> accepted = listener_.TryAccept();
+    // A broken listener stops accepting; existing connections keep going.
+    if (!accepted.ok()) return;
+    // Invalid covers both "drained" and "one connection lost to a
+    // transient fault" — either way, level-triggered polling re-fires if
+    // more are pending.
+    if (!accepted.value().valid()) return;
+    Socket socket = std::move(accepted).value();
+    if (!socket.SetNonBlocking().ok()) continue;
+    auto conn = std::make_shared<Conn>();
+    conn->socket = std::move(socket);
+    const size_t target = rr_next_++ % loops_.size();
+    conn->loop = target;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_accepting_) return;  // racing Stop: drop the connection
+      ++stats_.connections;
+      conns_.emplace(conn->socket.fd(), conn);
+    }
+    if (metrics_.enabled()) metrics_.connections->Increment();
+    if (target == 0) {
+      AdoptConn(loop, conn);
+    } else {
+      Loop& other = *loops_[target];
+      {
+        std::lock_guard<std::mutex> lock(other.mutex);
+        other.adopt_inbox.push_back(conn);
+      }
+      WakeLoop(target);
+    }
   }
 }
+
+void ReportServer::AdoptConn(Loop& loop, const std::shared_ptr<Conn>& conn) {
+  const int fd = conn->socket.fd();
+  if (!loop.poller.Add(fd, true, false).ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    conns_.erase(fd);
+    return;  // the socket closes with the last Conn reference
+  }
+  loop.conns.emplace(fd, conn);
+  ArmDeadline(conn);
+}
+
+void ReportServer::ArmDeadline(const std::shared_ptr<Conn>& conn) {
+  if (options_.idle_timeout_ms <= 0) return;
+  conn->deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(options_.idle_timeout_ms);
+}
+
+void ReportServer::HandleReadable(Loop& loop,
+                                  const std::shared_ptr<Conn>& conn) {
+  int budget = kDispatchBudget;
+  while (!conn->dead && !conn->reads_closed) {
+    if (conn->phase == ReadPhase::kPrefix) {
+      bool eof = false;
+      Result<size_t> got =
+          conn->socket.RecvSome(conn->prefix + conn->prefix_got,
+                                kMessageHeaderBytes - conn->prefix_got, &eof);
+      if (!got.ok()) {
+        HandleConnFailure(loop, conn, /*clean_eof=*/false, /*reaped=*/false);
+        return;
+      }
+      if (eof) {
+        // EOF on a message boundary is the clean goodbye; EOF inside a
+        // prefix means the framing was cut mid-message.
+        HandleConnFailure(loop, conn, /*clean_eof=*/conn->prefix_got == 0,
+                          /*reaped=*/false);
+        return;
+      }
+      if (got.value() == 0) return;  // socket drained
+      conn->prefix_got += got.value();
+      if (conn->prefix_got < kMessageHeaderBytes) continue;
+      Result<MessageHeader> header =
+          DecodeMessageHeader(conn->prefix, kMessageHeaderBytes);
+      if (!header.ok()) {
+        // Unknown type or a hostile length prefix: the message boundaries
+        // can no longer be trusted — kill the connection.
+        PoisonConn(loop, conn, header.status(), /*count_always=*/true);
+        return;
+      }
+      conn->header = header.value();
+      conn->prefix_got = 0;
+      conn->phase = ReadPhase::kPayload;
+      conn->payload.resize(conn->header.payload_length);
+      conn->payload_got = 0;
+      // The payload gets its own whole-message budget, exactly like the
+      // prefix: partial reads never reset it (the slow-loris defense).
+      ArmDeadline(conn);
+      // The DATA service-time clock starts with the payload read: the
+      // histogram covers wire read + session Feed.
+      conn->data_started_ns =
+          metrics_.enabled() && conn->header.type == MessageType::kData
+              ? obs::SteadyNowNs()
+              : 0;
+    }
+    while (conn->payload_got < conn->payload.size()) {
+      bool eof = false;
+      Result<size_t> got =
+          conn->socket.RecvSome(conn->payload.data() + conn->payload_got,
+                                conn->payload.size() - conn->payload_got,
+                                &eof);
+      if (!got.ok() || eof) {
+        HandleConnFailure(loop, conn, /*clean_eof=*/false, /*reaped=*/false);
+        return;
+      }
+      if (got.value() == 0) return;  // socket drained mid-payload
+      conn->payload_got += got.value();
+    }
+    if (!DispatchMessage(loop, conn)) return;
+    conn->phase = ReadPhase::kPrefix;
+    conn->prefix_got = 0;
+    ArmDeadline(conn);
+    // Between shards is a drain point: once the server is stopping, a
+    // connection with nothing open has nothing left to say.
+    bool no_channels;
+    {
+      std::lock_guard<std::mutex> conn_lock(conn->mutex);
+      no_channels = conn->channels.empty();
+    }
+    if (no_channels) {
+      bool stopping;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping = stop_accepting_;
+      }
+      if (stopping) {
+        CloseAfterFlush(loop, conn);
+        return;
+      }
+    }
+    if (--budget <= 0) return;  // fairness: let other connections run
+  }
+}
+
+bool ReportServer::DispatchMessage(Loop& loop,
+                                   const std::shared_ptr<Conn>& conn) {
+  switch (conn->header.type) {
+    case MessageType::kHello:
+      return HandleHello(loop, conn);
+    case MessageType::kData: {
+      if (conn->payload.size() < kDataChannelPrefixBytes) {
+        PoisonConn(loop, conn,
+                   Status::InvalidArgument(
+                       "DATA payload is missing its channel prefix"),
+                   /*count_always=*/false);
+        return false;
+      }
+      const uint32_t channel = DecodeDataChannel(conn->payload);
+      size_t shard = 0;
+      bool open = false;
+      {
+        std::lock_guard<std::mutex> conn_lock(conn->mutex);
+        auto found = conn->channels.find(channel);
+        if (found != conn->channels.end() && !found->second.closing) {
+          shard = found->second.shard;
+          open = true;
+        }
+      }
+      if (!open) {
+        PoisonConn(loop, conn,
+                   Status::FailedPrecondition("DATA before HELLO"),
+                   /*count_always=*/false);
+        return false;
+      }
+      const char* data = conn->payload.data() + kDataChannelPrefixBytes;
+      const size_t size = conn->payload.size() - kDataChannelPrefixBytes;
+      // Durability before visibility: the frame bytes hit the WAL before
+      // the session, so nothing the reporter gets acked can be lost.
+      if (options_.wal != nullptr && size > 0) {
+        options_.wal->OnShardData(shard, data, size);
+      }
+      // Feed without conn->mutex: it may block on ingest backpressure, and
+      // the scheduler must stay able to queue replies meanwhile. Only the
+      // owning loop erases a non-closing channel, so `shard` stays valid.
+      const Status fed = session_->Feed(shard, data, size);
+      if (conn->data_started_ns != 0) {
+        metrics_.data_messages->Increment();
+        metrics_.data_read_us->Observe(
+            (obs::SteadyNowNs() - conn->data_started_ns) / 1000);
+      }
+      if (!fed.ok()) {
+        PoisonConn(loop, conn, fed, /*count_always=*/false);
+        return false;
+      }
+      uint64_t watermark = 0;
+      {
+        std::lock_guard<std::mutex> conn_lock(conn->mutex);
+        auto found = conn->channels.find(channel);
+        if (found != conn->channels.end()) {
+          found->second.fed_bytes += size;
+          watermark = found->second.fed_bytes;
+        }
+      }
+      if (conn->wants_acks) {
+        conn->pending_acks[channel] = watermark;
+        conn->unacked_bytes += size;
+        if (conn->unacked_bytes >= kDataAckFlushBytes) {
+          FlushPendingAcks(conn);
+          FlushConn(loop, conn);
+        }
+      }
+      return !conn->dead;
+    }
+    case MessageType::kCloseShard: {
+      Result<CloseShardMessage> close = DecodeCloseShard(conn->payload);
+      if (!close.ok()) {
+        PoisonConn(loop, conn, close.status(), /*count_always=*/false);
+        return false;
+      }
+      ChannelState state;
+      bool open = false;
+      {
+        std::lock_guard<std::mutex> conn_lock(conn->mutex);
+        auto found = conn->channels.find(close.value().channel);
+        if (found != conn->channels.end() && !found->second.closing) {
+          found->second.closing = true;
+          state = found->second;
+          open = true;
+        }
+      }
+      if (!open) {
+        PoisonConn(loop, conn,
+                   Status::FailedPrecondition("CLOSE_SHARD before HELLO"),
+                   /*count_always=*/false);
+        return false;
+      }
+      // Ship the channel's final watermark before the close is queued so a
+      // windowing client's in-flight budget fully drains.
+      FlushPendingAcks(conn);
+      FlushConn(loop, conn);
+      if (conn->dead) return false;
+      if (options_.journal != nullptr) {
+        options_.journal->Record(obs::EventKind::kMergeEnter, state.ordinal);
+      }
+      PendingClose pending;
+      pending.conn = conn;
+      pending.channel = close.value().channel;
+      pending.shard = state.shard;
+      pending.ordinal = state.ordinal;
+      pending.enqueued_ns = metrics_.enabled() ? obs::SteadyNowNs() : 0;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (options_.merge_turn_timeout_ms > 0) {
+          pending.has_deadline = true;
+          pending.deadline =
+              std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(options_.merge_turn_timeout_ms);
+        }
+        pending_closes_.emplace(state.ordinal, std::move(pending));
+      }
+      merge_cv_.notify_all();
+      return true;
+    }
+    case MessageType::kAdvanceEpoch: {
+      // The session refuses while any shard (this connection's included)
+      // is open, so no extra gating is needed here.
+      const Status advanced = session_->AdvanceEpoch();
+      if (advanced.ok()) {
+        // A new epoch restarts the campaign: ordinals 0..N-1 stream
+        // again, so the expected-shards barrier resets — and a new epoch
+        // has no pre-crash shards, so unclaimed resume entries expire.
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_ordinals_.clear();
+        merge_frontier_ = 0;
+        resume_shards_.clear();
+      }
+      EpochAdvancedMessage reply;
+      reply.code = static_cast<uint8_t>(advanced.code());
+      reply.epoch = session_->current_epoch();
+      reply.message = advanced.message();
+      QueueMessage(conn, MessageType::kEpochAdvanced,
+                   EncodeEpochAdvanced(reply));
+      FlushConn(loop, conn);
+      return !conn->dead;
+    }
+    case MessageType::kSnapshot:
+      return HandleSnapshot(loop, conn);
+    default:
+      // Server-only types arriving from a client.
+      PoisonConn(loop, conn,
+                 Status::InvalidArgument("unexpected message type"),
+                 /*count_always=*/false);
+      return false;
+  }
+}
+
+bool ReportServer::HandleHello(Loop& loop,
+                               const std::shared_ptr<Conn>& conn) {
+  Result<HelloMessage> hello = DecodeHello(conn->payload);
+  if (!hello.ok()) {
+    PoisonConn(loop, conn, hello.status(), /*count_always=*/false);
+    return false;
+  }
+  const uint32_t channel = hello.value().channel;
+  bool duplicate;
+  {
+    std::lock_guard<std::mutex> conn_lock(conn->mutex);
+    duplicate = conn->channels.count(channel) != 0;
+  }
+  if (duplicate) {
+    PoisonConn(loop, conn,
+               Status::FailedPrecondition(
+                   "HELLO reuses a channel that is still open"),
+               /*count_always=*/false);
+    return false;
+  }
+  Result<stream::StreamHeader> peer =
+      stream::DecodeStreamHeader(hello.value().header_bytes);
+  Status refusal = peer.ok()
+                       ? stream::CheckHeadersCompatible(expected_, peer.value())
+                       : peer.status();
+  if (refusal.ok()) refusal = RegisterOrdinal(hello.value().ordinal);
+  if (!refusal.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.hello_rejected;
+    }
+    if (metrics_.enabled()) metrics_.hello_refused->Increment();
+    if (options_.journal != nullptr) {
+      options_.journal->Record(obs::EventKind::kHelloRefuse,
+                               hello.value().ordinal);
+    }
+    // A refused HELLO closes the whole connection (as in v1, where a
+    // connection carried exactly one shard), so other channels abandon.
+    FlushPendingAcks(conn);
+    QueueMessage(conn, MessageType::kError, EncodeError(refusal));
+    AbandonConnChannels(conn);
+    CloseAfterFlush(loop, conn);
+    return false;
+  }
+  if (metrics_.enabled()) metrics_.hello_accepted->Increment();
+  if (options_.journal != nullptr) {
+    options_.journal->Record(obs::EventKind::kHelloAccept,
+                             hello.value().ordinal);
+  }
+  // A WAL replay may have left this ordinal's shard open at the crash:
+  // re-attach to it instead of opening anew, and tell the reporter how
+  // many post-header bytes are already durable.
+  ResumedShard resumed;
+  bool is_resume = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto found = resume_shards_.find(hello.value().ordinal);
+    if (found != resume_shards_.end()) {
+      resumed = found->second;
+      is_resume = true;
+      resume_shards_.erase(found);
+    }
+  }
+  if ((hello.value().flags & kHelloFlagDataAcks) != 0) {
+    conn->wants_acks = true;
+  }
+  ChannelState state;
+  state.ordinal = hello.value().ordinal;
+  state.shard = is_resume ? resumed.shard : session_->OpenShard();
+  {
+    std::lock_guard<std::mutex> conn_lock(conn->mutex);
+    conn->channels.emplace(channel, state);
+  }
+  if (!is_resume) {
+    if (options_.wal != nullptr) {
+      options_.wal->OnShardOpen(state.shard, state.ordinal,
+                                session_->current_epoch(),
+                                hello.value().header_bytes);
+    }
+    // The shard's byte stream is header + frames, exactly as on disk; the
+    // validated HELLO header bytes are that header. (A replayed shard
+    // already holds its header — nothing to feed, nothing new for the WAL.)
+    const Status fed =
+        session_->Feed(state.shard, hello.value().header_bytes);
+    if (!fed.ok()) {
+      PoisonConn(loop, conn, fed, /*count_always=*/false);
+      return false;
+    }
+  }
+  HelloOkMessage ok;
+  ok.channel = channel;
+  ok.shard = state.shard;
+  ok.epoch = session_->current_epoch();
+  ok.resume_offset = is_resume ? resumed.durable_bytes : 0;
+  QueueMessage(conn, MessageType::kHelloOk, EncodeHelloOk(ok));
+  FlushConn(loop, conn);
+  return !conn->dead;
+}
+
+bool ReportServer::HandleSnapshot(Loop& loop,
+                                  const std::shared_ptr<Conn>& conn) {
+  bool has_channels;
+  {
+    std::lock_guard<std::mutex> conn_lock(conn->mutex);
+    has_channels = !conn->channels.empty();
+  }
+  if (has_channels) {
+    PoisonConn(loop, conn,
+               Status::FailedPrecondition(
+                   "SNAPSHOT while this connection's shard is open"),
+               /*count_always=*/false);
+    return false;
+  }
+  Result<SnapshotMessage> snap = DecodeSnapshot(conn->payload);
+  Status refusal = Status::OK();
+  if (!snap.ok()) {
+    refusal = snap.status();
+  } else if (!options_.accept_snapshots) {
+    refusal = Status::FailedPrecondition(
+        "this collector does not accept relay snapshots");
+  } else {
+    refusal = CheckSnapshotCompatible(expected_, snap.value().snapshot_bytes);
+  }
+  if (!refusal.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.snapshots_refused;
+    }
+    if (metrics_.enabled()) metrics_.snapshots_refused->Increment();
+    if (options_.journal != nullptr) {
+      options_.journal->Record(obs::EventKind::kSnapshotRefuse,
+                               snap.ok() ? snap.value().node : 0);
+    }
+    QueueMessage(conn, MessageType::kError, EncodeError(refusal));
+    CloseAfterFlush(loop, conn);
+    return false;
+  }
+  const uint64_t node = snap.value().node;
+  const uint64_t seq = snap.value().seq;
+  bool fresh;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PendingSnapshot& entry = relay_snapshots_[node];
+    // Strictly-higher seq wins. A retry of the current seq (or an older
+    // one) is acknowledged — the snapshot is cumulative, so the ack is
+    // safe — but counts as stale, not accepted: it replaced nothing.
+    fresh = entry.bytes.empty() || seq > entry.seq;
+    if (fresh) {
+      entry.seq = seq;
+      entry.epoch = snap.value().epoch;
+      entry.bytes = std::move(snap.value().snapshot_bytes);
+      ++stats_.snapshots_accepted;
+    } else {
+      ++stats_.snapshots_stale;
+    }
+  }
+  if (metrics_.enabled()) {
+    (fresh ? metrics_.snapshots_accepted : metrics_.snapshots_stale)
+        ->Increment();
+  }
+  if (fresh && options_.journal != nullptr) {
+    options_.journal->Record(obs::EventKind::kSnapshotAccept, node, seq);
+  }
+  SnapshotOkMessage ok;
+  ok.node = node;
+  ok.seq = seq;
+  QueueMessage(conn, MessageType::kSnapshotOk, EncodeSnapshotOk(ok));
+  FlushConn(loop, conn);
+  return !conn->dead;
+}
+
+void ReportServer::HandleConnFailure(Loop& loop,
+                                     const std::shared_ptr<Conn>& conn,
+                                     bool clean_eof, bool reaped) {
+  // The slow-loris defense actually engaging — a signal worth watching on
+  // a deployed edge.
+  if (reaped && metrics_.enabled()) metrics_.slow_loris_reaped->Increment();
+  const size_t had_channels = AbandonConnChannels(conn);
+  bool count = false;
+  if (conn->phase == ReadPhase::kPayload) {
+    // Mid-payload loss: the message boundary is gone for good.
+    count = true;
+  } else if (!clean_eof) {
+    // A drain-stop wakes idle connections by shutting their sockets down;
+    // that read failure is bookkeeping, not a protocol error. A failure
+    // with shards open is the peer's loss (abandonment), not bad framing.
+    bool stopping;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping = stop_accepting_;
+    }
+    count = had_channels == 0 && !stopping;
+  }
+  if (count) CountProtocolError();
+  DestroyConn(loop, conn);
+}
+
+void ReportServer::PoisonConn(Loop& loop, const std::shared_ptr<Conn>& conn,
+                              const Status& verdict, bool count_always) {
+  FlushPendingAcks(conn);
+  QueueMessage(conn, MessageType::kError, EncodeError(verdict));
+  const size_t had_channels = AbandonConnChannels(conn);
+  if (count_always || had_channels == 0) CountProtocolError();
+  CloseAfterFlush(loop, conn);
+}
+
+size_t ReportServer::AbandonConnChannels(const std::shared_ptr<Conn>& conn) {
+  std::vector<ChannelState> doomed;
+  size_t total;
+  {
+    std::lock_guard<std::mutex> conn_lock(conn->mutex);
+    total = conn->channels.size();
+    for (auto it = conn->channels.begin(); it != conn->channels.end();) {
+      // A close in flight belongs to the merge scheduler and completes
+      // there; only channels still streaming are abandoned.
+      if (it->second.closing) {
+        ++it;
+        continue;
+      }
+      doomed.push_back(it->second);
+      it = conn->channels.erase(it);
+    }
+  }
+  // An aborted upload contributes nothing, even if it stopped on a frame
+  // boundary: drop the shard and release its merge turn.
+  for (const ChannelState& state : doomed) {
+    if (options_.wal != nullptr) options_.wal->OnShardAbandon(state.shard);
+    (void)session_->AbandonShard(state.shard);
+    FinishOrdinal(state.ordinal);
+    CountAbandoned();
+  }
+  return total;
+}
+
+void ReportServer::DestroyConn(Loop& loop,
+                               const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> conn_lock(conn->mutex);
+    if (conn->dead) return;
+    conn->dead = true;
+  }
+  const int fd = conn->socket.fd();
+  (void)loop.poller.Remove(fd);
+  loop.conns.erase(fd);
+  {
+    // Unregister before the fd closes — Stop can never shut down a
+    // recycled descriptor.
+    std::lock_guard<std::mutex> lock(mutex_);
+    conns_.erase(fd);
+  }
+  conn->socket.Close();
+}
+
+void ReportServer::FlushConn(Loop& loop, const std::shared_ptr<Conn>& conn) {
+  bool destroy = false;
+  {
+    std::lock_guard<std::mutex> conn_lock(conn->mutex);
+    if (conn->dead) return;
+    while (conn->outbuf_sent < conn->outbuf.size()) {
+      Result<size_t> sent =
+          conn->socket.SendSome(conn->outbuf.data() + conn->outbuf_sent,
+                                conn->outbuf.size() - conn->outbuf_sent);
+      if (!sent.ok()) {  // peer is gone; nothing further to say
+        destroy = true;
+        break;
+      }
+      if (sent.value() == 0) break;  // kernel buffer full
+      conn->outbuf_sent += sent.value();
+    }
+    if (!destroy) {
+      if (conn->outbuf_sent == conn->outbuf.size()) {
+        conn->outbuf.clear();
+        conn->outbuf_sent = 0;
+      } else if (conn->outbuf_sent > kOutbufCompactBytes) {
+        conn->outbuf.erase(0, conn->outbuf_sent);
+        conn->outbuf_sent = 0;
+      }
+      const bool pending = conn->outbuf_sent < conn->outbuf.size();
+      if (pending != conn->want_write) {
+        conn->want_write = pending;
+        (void)loop.poller.Update(conn->socket.fd(), !conn->reads_closed,
+                                 pending);
+      }
+      if (!pending && conn->close_after_flush) destroy = true;
+    }
+  }
+  if (destroy) {
+    // Defensive: a send-error teardown may still hold streaming channels
+    // (e.g. a HELLO_OK that could not be delivered).
+    AbandonConnChannels(conn);
+    DestroyConn(loop, conn);
+  }
+}
+
+void ReportServer::CloseAfterFlush(Loop& loop,
+                                   const std::shared_ptr<Conn>& conn) {
+  conn->reads_closed = true;
+  {
+    std::lock_guard<std::mutex> conn_lock(conn->mutex);
+    if (conn->dead) return;
+    conn->close_after_flush = true;
+    // Drop read interest: with level triggering, unread client bytes would
+    // otherwise spin the loop until the flush finishes.
+    (void)loop.poller.Update(conn->socket.fd(), false, conn->want_write);
+  }
+  FlushConn(loop, conn);
+}
+
+void ReportServer::QueueMessage(const std::shared_ptr<Conn>& conn,
+                                MessageType type,
+                                const std::string& payload) {
+  std::string wire;
+  if (!AppendMessage(type, payload, &wire).ok()) return;
+  std::lock_guard<std::mutex> conn_lock(conn->mutex);
+  if (conn->dead) return;
+  conn->outbuf.append(wire);
+}
+
+void ReportServer::FlushPendingAcks(const std::shared_ptr<Conn>& conn) {
+  if (!conn->wants_acks || conn->pending_acks.empty()) return;
+  DataAckMessage ack;
+  ack.entries.reserve(conn->pending_acks.size());
+  for (const auto& [channel, bytes] : conn->pending_acks) {
+    ack.entries.push_back({channel, bytes});
+  }
+  conn->pending_acks.clear();
+  conn->unacked_bytes = 0;
+  QueueMessage(conn, MessageType::kDataAck, EncodeDataAck(ack));
+}
+
+// --- merge scheduler -------------------------------------------------------
+
+void ReportServer::SchedulerMain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    // A close is ready when its ordinal holds the merge turn — or the
+    // server is tearing down, in which case everything "readies" as an
+    // abandonment.
+    uint64_t ready_ordinal = 0;
+    bool have_ready = false;
+    if (!pending_closes_.empty()) {
+      if (hard_stop_ || scheduler_exit_) {
+        ready_ordinal = pending_closes_.begin()->first;
+        have_ready = true;
+      } else if (options_.expected_shards > 0) {
+        // Strict barrier: only the frontier ordinal may merge.
+        auto found = pending_closes_.find(merge_frontier_);
+        if (found != pending_closes_.end()) {
+          ready_ordinal = found->first;
+          have_ready = true;
+        }
+      } else if (!active_ordinals_.empty()) {
+        // Ad hoc: the smallest ordinal still open holds the turn.
+        auto found = pending_closes_.find(*active_ordinals_.begin());
+        if (found != pending_closes_.end()) {
+          ready_ordinal = found->first;
+          have_ready = true;
+        }
+      }
+    }
+    if (have_ready) {
+      PendingClose close = std::move(pending_closes_[ready_ordinal]);
+      pending_closes_.erase(ready_ordinal);
+      const bool stopping = hard_stop_ || scheduler_exit_;
+      lock.unlock();
+      CompleteClose(std::move(close), /*got_turn=*/!stopping, stopping);
+      lock.lock();
+      continue;
+    }
+    // Guard against a campaign whose predecessor ordinal never arrives:
+    // a close that outwaits merge_turn_timeout_ms is abandoned.
+    const SteadyTime now = std::chrono::steady_clock::now();
+    bool expired_one = false;
+    for (auto it = pending_closes_.begin(); it != pending_closes_.end();
+         ++it) {
+      if (!it->second.has_deadline || it->second.deadline > now) continue;
+      PendingClose close = std::move(it->second);
+      pending_closes_.erase(it);
+      lock.unlock();
+      CompleteClose(std::move(close), /*got_turn=*/false, /*stopping=*/false);
+      lock.lock();
+      expired_one = true;
+      break;  // iterators are stale; rescan
+    }
+    if (expired_one) continue;
+    if (scheduler_exit_ && pending_closes_.empty()) return;
+    SteadyTime nearest = SteadyTime::max();
+    for (const auto& [ordinal, close] : pending_closes_) {
+      if (close.has_deadline) nearest = std::min(nearest, close.deadline);
+    }
+    if (nearest == SteadyTime::max()) {
+      merge_cv_.wait(lock);
+    } else {
+      merge_cv_.wait_until(lock, nearest);
+    }
+  }
+}
+
+void ReportServer::CompleteClose(PendingClose close, bool got_turn,
+                                 bool stopping) {
+  if (metrics_.enabled() && close.enqueued_ns != 0) {
+    // The barrier wait alone — how long this ordinal stalled on its
+    // predecessors — not the close/merge work that follows.
+    metrics_.merge_barrier_wait_us->Observe(
+        (obs::SteadyNowNs() - close.enqueued_ns) / 1000);
+  }
+  Status closed = Status::OK();
+  if (got_turn) {
+    // The close record carries the merge order: written while holding the
+    // merge turn, so a replay closes shards in exactly this sequence.
+    if (options_.wal != nullptr) options_.wal->OnShardClose(close.shard);
+    closed = session_->CloseShard(close.shard);
+  } else {
+    if (options_.wal != nullptr) options_.wal->OnShardAbandon(close.shard);
+    (void)session_->AbandonShard(close.shard);
+    closed = stopping
+                 ? Status::FailedPrecondition("collector is shutting down")
+                 : Status::FailedPrecondition(
+                       "timed out waiting for the merge turn (a smaller "
+                       "ordinal never finished)");
+  }
+  FinishOrdinal(close.ordinal);
+  if (options_.journal != nullptr) {
+    options_.journal->Record(obs::EventKind::kMergeExit, close.ordinal,
+                             closed.ok() ? 0 : 1);
+  }
+  ShardClosedMessage reply;
+  reply.channel = close.channel;
+  reply.code = static_cast<uint8_t>(closed.code());
+  reply.message = closed.message();
+  Result<stream::ShardIngester::Stats> shard_stats =
+      session_->ShardStats(close.shard);
+  if (shard_stats.ok()) reply.stats = shard_stats.value();
+  bool draining;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed.ok()) {
+      ++stats_.shards_merged;
+    } else {
+      ++stats_.shards_discarded;
+    }
+    draining = stop_accepting_;
+  }
+  if (metrics_.enabled()) {
+    (closed.ok() ? metrics_.shards_merged : metrics_.shards_discarded)
+        ->Increment();
+  }
+  std::string wire;
+  if (!AppendMessage(MessageType::kShardClosed, EncodeShardClosed(reply),
+                     &wire)
+           .ok()) {
+    wire.clear();
+  }
+  bool deliver = false;
+  {
+    std::lock_guard<std::mutex> conn_lock(close.conn->mutex);
+    close.conn->channels.erase(close.channel);
+    if (!close.conn->dead && !wire.empty()) {
+      close.conn->outbuf.append(wire);
+      // During a drain, a connection whose last shard just closed has
+      // nothing left to say once the reply flushes.
+      if (draining && close.conn->channels.empty()) {
+        close.conn->close_after_flush = true;
+      }
+      deliver = true;
+    }
+  }
+  if (deliver) {
+    // Only the owning loop touches the socket: hand it the flush.
+    Loop& loop = *loops_[close.conn->loop];
+    {
+      std::lock_guard<std::mutex> loop_lock(loop.mutex);
+      loop.flush_inbox.push_back(close.conn);
+    }
+    WakeLoop(close.conn->loop);
+  }
+}
+
+// --- shared ordinal bookkeeping --------------------------------------------
 
 Status ReportServer::RegisterOrdinal(uint64_t ordinal) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -211,427 +1137,38 @@ Status ReportServer::RegisterOrdinal(uint64_t ordinal) {
   return Status::OK();
 }
 
-Status ReportServer::WaitTurnAndClose(uint64_t ordinal, size_t shard) {
-  if (options_.journal != nullptr) {
-    options_.journal->Record(obs::EventKind::kMergeEnter, ordinal);
-  }
-  const uint64_t wait_started_ns =
-      metrics_.enabled() ? obs::SteadyNowNs() : 0;
-  std::unique_lock<std::mutex> lock(mutex_);
-  auto my_turn = [&] {
-    if (hard_stop_) return true;
-    // Expected-shards mode: a strict barrier — ordinal k merges only once
-    // every smaller ordinal finished, whether or not it has connected yet.
-    // Ad hoc mode: ordered among the ordinals currently streaming.
-    if (options_.expected_shards > 0) return merge_frontier_ == ordinal;
-    return !active_ordinals_.empty() && *active_ordinals_.begin() == ordinal;
-  };
-  bool got_turn = true;
-  if (options_.merge_turn_timeout_ms > 0) {
-    got_turn = merge_turn_.wait_for(
-        lock, std::chrono::milliseconds(options_.merge_turn_timeout_ms),
-        my_turn);
-  } else {
-    merge_turn_.wait(lock, my_turn);
-  }
-  const bool stopping = hard_stop_;
-  if (wait_started_ns != 0) {
-    // The barrier wait alone — how long this ordinal stalled on its
-    // predecessors — not the close/merge work that follows.
-    metrics_.merge_barrier_wait_us->Observe(
-        (obs::SteadyNowNs() - wait_started_ns) / 1000);
-  }
-  if (stopping || !got_turn) {
-    lock.unlock();
-    if (options_.wal != nullptr) options_.wal->OnShardAbandon(shard);
-    (void)session_->AbandonShard(shard);
-    FinishOrdinal(ordinal);
-    if (options_.journal != nullptr) {
-      options_.journal->Record(obs::EventKind::kMergeExit, ordinal, 1);
-    }
-    return stopping
-               ? Status::FailedPrecondition("collector is shutting down")
-               : Status::FailedPrecondition(
-                     "timed out waiting for the merge turn (a smaller "
-                     "ordinal never finished)");
-  }
-  // Holding the merge turn but not the server mutex: CloseShard may block
-  // draining the shard's strand, and other connections must keep feeding
-  // meanwhile.
-  lock.unlock();
-  // The close record carries the merge order: written while holding the
-  // merge turn, so a replay closes shards in exactly this sequence.
-  if (options_.wal != nullptr) options_.wal->OnShardClose(shard);
-  const Status closed = session_->CloseShard(shard);
-  FinishOrdinal(ordinal);
-  if (options_.journal != nullptr) {
-    options_.journal->Record(obs::EventKind::kMergeExit, ordinal,
-                             closed.ok() ? 0 : 1);
-  }
-  return closed;
-}
-
 void ReportServer::FinishOrdinal(uint64_t ordinal) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  active_ordinals_.erase(ordinal);
-  if (options_.expected_shards > 0) {
-    // An abandoned ordinal counts as finished too: the barrier must not
-    // wedge the campaign on a reporter that died (its shard is simply
-    // missing, exactly as a missing file would be).
-    done_ordinals_.insert(ordinal);
-    while (merge_frontier_ < options_.expected_shards &&
-           done_ordinals_.count(merge_frontier_) != 0) {
-      ++merge_frontier_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_ordinals_.erase(ordinal);
+    if (options_.expected_shards > 0) {
+      // An abandoned ordinal counts as finished too: the barrier must not
+      // wedge the campaign on a reporter that died (its shard is simply
+      // missing, exactly as a missing file would be).
+      done_ordinals_.insert(ordinal);
+      while (merge_frontier_ < options_.expected_shards &&
+             done_ordinals_.count(merge_frontier_) != 0) {
+        ++merge_frontier_;
+      }
     }
   }
-  merge_turn_.notify_all();
+  merge_cv_.notify_all();
 }
 
-void ReportServer::HandleConnection(Socket socket) {
-  RunConnection(&socket);
-  std::lock_guard<std::mutex> lock(mutex_);
-  live_fds_.erase(socket.fd());
-  // The socket closes when HandleConnection returns, after the
-  // unregistration above — Stop(false) can never shut down a recycled fd.
-}
-
-void ReportServer::RunConnection(Socket* socket_ptr) {
-  Socket& socket = *socket_ptr;
-  OpenShard state;
-
-  // Flips the connection's "has an open shard" flag, which is what a
-  // drain-stop consults to decide whether to wait for this connection.
-  auto set_busy = [&](bool busy) {
+void ReportServer::CountProtocolError() {
+  {
     std::lock_guard<std::mutex> lock(mutex_);
-    live_fds_[socket.fd()] = busy;
-  };
+    ++stats_.protocol_errors;
+  }
+  if (metrics_.enabled()) metrics_.protocol_errors->Increment();
+}
 
-  // An aborted upload contributes nothing, even if it stopped on a frame
-  // boundary: drop the shard and release its merge turn.
-  auto abandon_open_shard = [&] {
-    if (!state.open) return;
-    if (options_.wal != nullptr) options_.wal->OnShardAbandon(state.shard);
-    (void)session_->AbandonShard(state.shard);
-    FinishOrdinal(state.ordinal);
-    state.open = false;
-    set_busy(false);
-    if (metrics_.enabled()) metrics_.shards_abandoned->Increment();
+void ReportServer::CountAbandoned() {
+  {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.shards_abandoned;
-  };
-
-  // Counts a recv failure that was the idle/deadline reaper firing — the
-  // slow-loris defense actually engaging, a signal worth watching on a
-  // deployed edge.
-  auto note_reaped = [&](const Status& status) {
-    if (!metrics_.enabled()) return;
-    if (status.message().find("timed out") != std::string::npos ||
-        status.message().find("deadline exceeded") != std::string::npos) {
-      metrics_.slow_loris_reaped->Increment();
-    }
-  };
-
-  auto count_protocol_error = [&] {
-    if (metrics_.enabled()) metrics_.protocol_errors->Increment();
-  };
-
-  std::string payload;
-  char prefix[kMessageHeaderBytes];
-  Status verdict = Status::OK();
-  // Each message (prefix and payload alike) must complete within the idle
-  // timeout as a whole: a per-recv timeout alone resets on every dripped
-  // byte, which is exactly the slow-loris game.
-  const int deadline_ms = options_.idle_timeout_ms;
-  while (true) {
-    Result<bool> got = socket.RecvAll(prefix, sizeof(prefix), deadline_ms);
-    if (!got.ok() || !got.value()) {
-      // EOF on a message boundary with no open shard is the clean goodbye;
-      // anything else (mid-stream EOF, timeout, reset) abandons the shard.
-      const bool had_shard = state.open;
-      abandon_open_shard();
-      if (!got.ok()) note_reaped(got.status());
-      if (!had_shard && !got.ok()) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        // A drain-stop wakes idle connections by shutting their sockets
-        // down; that read failure is bookkeeping, not a protocol error.
-        if (!stop_accepting_) {
-          ++stats_.protocol_errors;
-          count_protocol_error();
-        }
-      }
-      break;
-    }
-    Result<MessageHeader> header =
-        DecodeMessageHeader(prefix, sizeof(prefix));
-    if (!header.ok()) {
-      // Unknown type or a hostile length prefix: the message boundaries
-      // can no longer be trusted — kill the connection.
-      SendReply(&socket, MessageType::kError, EncodeError(header.status()));
-      abandon_open_shard();
-      count_protocol_error();
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.protocol_errors;
-      break;
-    }
-    // The DATA service-time clock starts before the payload recv: the
-    // histogram covers wire read + session Feed, the interval ROADMAP
-    // item 1's accept-latency work wants to shrink.
-    const uint64_t data_started_ns =
-        metrics_.enabled() && header.value().type == MessageType::kData
-            ? obs::SteadyNowNs()
-            : 0;
-    payload.resize(header.value().payload_length);
-    if (header.value().payload_length > 0) {
-      Result<bool> body =
-          socket.RecvAll(payload.data(), payload.size(), deadline_ms);
-      if (!body.ok() || !body.value()) {
-        abandon_open_shard();
-        if (!body.ok()) note_reaped(body.status());
-        count_protocol_error();
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.protocol_errors;
-        break;
-      }
-    }
-
-    switch (header.value().type) {
-      case MessageType::kHello: {
-        if (state.open) {
-          verdict = Status::FailedPrecondition(
-              "HELLO while this connection's shard is open");
-          break;
-        }
-        Result<HelloMessage> hello = DecodeHello(payload);
-        if (!hello.ok()) {
-          verdict = hello.status();
-          break;
-        }
-        Result<stream::StreamHeader> peer =
-            stream::DecodeStreamHeader(hello.value().header_bytes);
-        Status refusal =
-            peer.ok() ? stream::CheckHeadersCompatible(expected_, peer.value())
-                      : peer.status();
-        if (refusal.ok()) refusal = RegisterOrdinal(hello.value().ordinal);
-        if (!refusal.ok()) {
-          {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.hello_rejected;
-          }
-          if (metrics_.enabled()) metrics_.hello_refused->Increment();
-          if (options_.journal != nullptr) {
-            options_.journal->Record(obs::EventKind::kHelloRefuse,
-                                     hello.value().ordinal);
-          }
-          // Reply outside the server mutex: SendAll can block for the
-          // whole idle timeout on a stalled peer.
-          SendReply(&socket, MessageType::kError, EncodeError(refusal));
-          return;
-        }
-        if (metrics_.enabled()) metrics_.hello_accepted->Increment();
-        if (options_.journal != nullptr) {
-          options_.journal->Record(obs::EventKind::kHelloAccept,
-                                   hello.value().ordinal);
-        }
-        // A WAL replay may have left this ordinal's shard open at the
-        // crash: re-attach to it instead of opening anew, and tell the
-        // reporter how many post-header bytes are already durable.
-        ResumedShard resumed;
-        bool is_resume = false;
-        {
-          std::lock_guard<std::mutex> lock(mutex_);
-          auto it = resume_shards_.find(hello.value().ordinal);
-          if (it != resume_shards_.end()) {
-            resumed = it->second;
-            is_resume = true;
-            resume_shards_.erase(it);
-          }
-        }
-        if (is_resume) {
-          state.shard = resumed.shard;
-          state.ordinal = hello.value().ordinal;
-          state.open = true;
-          set_busy(true);
-          // The replayed shard already holds the header (and the durable
-          // frame bytes); nothing to feed, nothing new for the WAL.
-          HelloOkMessage ok;
-          ok.shard = state.shard;
-          ok.epoch = session_->current_epoch();
-          ok.resume_offset = resumed.durable_bytes;
-          SendReply(&socket, MessageType::kHelloOk, EncodeHelloOk(ok));
-          break;
-        }
-        state.shard = session_->OpenShard();
-        state.ordinal = hello.value().ordinal;
-        state.open = true;
-        set_busy(true);
-        if (options_.wal != nullptr) {
-          options_.wal->OnShardOpen(state.shard, state.ordinal,
-                                    session_->current_epoch(),
-                                    hello.value().header_bytes);
-        }
-        // The shard's byte stream is header + frames, exactly as on disk;
-        // the validated HELLO header bytes are that header.
-        const Status fed =
-            session_->Feed(state.shard, hello.value().header_bytes);
-        if (!fed.ok()) {
-          verdict = fed;
-          break;
-        }
-        HelloOkMessage ok;
-        ok.shard = state.shard;
-        ok.epoch = session_->current_epoch();
-        SendReply(&socket, MessageType::kHelloOk, EncodeHelloOk(ok));
-        break;
-      }
-      case MessageType::kData: {
-        if (!state.open) {
-          verdict = Status::FailedPrecondition("DATA before HELLO");
-          break;
-        }
-        // Durability before visibility: the frame bytes hit the WAL before
-        // the session, so nothing the reporter gets acked can be lost.
-        if (options_.wal != nullptr && !payload.empty()) {
-          options_.wal->OnShardData(state.shard, payload.data(),
-                                    payload.size());
-        }
-        verdict = session_->Feed(state.shard, payload.data(), payload.size());
-        if (data_started_ns != 0) {
-          metrics_.data_messages->Increment();
-          metrics_.data_read_us->Observe(
-              (obs::SteadyNowNs() - data_started_ns) / 1000);
-        }
-        break;
-      }
-      case MessageType::kCloseShard: {
-        if (!state.open) {
-          verdict = Status::FailedPrecondition("CLOSE_SHARD before HELLO");
-          break;
-        }
-        const Status closed = WaitTurnAndClose(state.ordinal, state.shard);
-        ShardClosedMessage reply;
-        reply.code = static_cast<uint8_t>(closed.code());
-        reply.message = closed.message();
-        Result<stream::ShardIngester::Stats> stats =
-            session_->ShardStats(state.shard);
-        if (stats.ok()) reply.stats = stats.value();
-        state.open = false;
-        set_busy(false);
-        {
-          std::lock_guard<std::mutex> lock(mutex_);
-          if (closed.ok()) {
-            ++stats_.shards_merged;
-          } else {
-            ++stats_.shards_discarded;
-          }
-        }
-        if (metrics_.enabled()) {
-          (closed.ok() ? metrics_.shards_merged : metrics_.shards_discarded)
-              ->Increment();
-        }
-        SendReply(&socket, MessageType::kShardClosed,
-                  EncodeShardClosed(reply));
-        break;
-      }
-      case MessageType::kAdvanceEpoch: {
-        // The session refuses while any shard (this connection's included)
-        // is open, so no extra gating is needed here.
-        const Status advanced = session_->AdvanceEpoch();
-        if (advanced.ok()) {
-          // A new epoch restarts the campaign: ordinals 0..N-1 stream
-          // again, so the expected-shards barrier resets — and a new epoch
-          // has no pre-crash shards, so unclaimed resume entries expire.
-          std::lock_guard<std::mutex> lock(mutex_);
-          done_ordinals_.clear();
-          merge_frontier_ = 0;
-          resume_shards_.clear();
-        }
-        EpochAdvancedMessage reply;
-        reply.code = static_cast<uint8_t>(advanced.code());
-        reply.epoch = session_->current_epoch();
-        reply.message = advanced.message();
-        SendReply(&socket, MessageType::kEpochAdvanced,
-                  EncodeEpochAdvanced(reply));
-        break;
-      }
-      case MessageType::kSnapshot: {
-        if (state.open) {
-          verdict = Status::FailedPrecondition(
-              "SNAPSHOT while this connection's shard is open");
-          break;
-        }
-        Result<SnapshotMessage> snap = DecodeSnapshot(payload);
-        Status refusal = Status::OK();
-        if (!snap.ok()) {
-          refusal = snap.status();
-        } else if (!options_.accept_snapshots) {
-          refusal = Status::FailedPrecondition(
-              "this collector does not accept relay snapshots");
-        } else {
-          refusal =
-              CheckSnapshotCompatible(expected_, snap.value().snapshot_bytes);
-        }
-        if (!refusal.ok()) {
-          {
-            std::lock_guard<std::mutex> lock(mutex_);
-            ++stats_.snapshots_refused;
-          }
-          if (metrics_.enabled()) metrics_.snapshots_refused->Increment();
-          if (options_.journal != nullptr) {
-            options_.journal->Record(obs::EventKind::kSnapshotRefuse,
-                                     snap.ok() ? snap.value().node : 0);
-          }
-          SendReply(&socket, MessageType::kError, EncodeError(refusal));
-          return;
-        }
-        const uint64_t node = snap.value().node;
-        const uint64_t seq = snap.value().seq;
-        {
-          std::lock_guard<std::mutex> lock(mutex_);
-          PendingSnapshot& entry = relay_snapshots_[node];
-          // Highest seq wins; an equal or older retry is acknowledged
-          // without replacing — the snapshot is cumulative, so the ack is
-          // safe either way and retries stay idempotent.
-          if (entry.bytes.empty() || seq >= entry.seq) {
-            entry.seq = seq;
-            entry.epoch = snap.value().epoch;
-            entry.bytes = std::move(snap.value().snapshot_bytes);
-          }
-          ++stats_.snapshots_accepted;
-        }
-        if (metrics_.enabled()) metrics_.snapshots_accepted->Increment();
-        if (options_.journal != nullptr) {
-          options_.journal->Record(obs::EventKind::kSnapshotAccept, node, seq);
-        }
-        SnapshotOkMessage ok;
-        ok.node = node;
-        ok.seq = seq;
-        SendReply(&socket, MessageType::kSnapshotOk, EncodeSnapshotOk(ok));
-        break;
-      }
-      default:
-        // Server-only types arriving from a client.
-        verdict = Status::InvalidArgument("unexpected message type");
-        break;
-    }
-
-    if (!verdict.ok()) {
-      SendReply(&socket, MessageType::kError, EncodeError(verdict));
-      const bool had_shard = state.open;
-      abandon_open_shard();
-      if (!had_shard) {
-        count_protocol_error();
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.protocol_errors;
-      }
-      break;
-    }
-    {
-      // Between shards is a drain point: once the server is stopping, a
-      // connection waiting for its next HELLO has nothing left to say.
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (stop_accepting_ && !state.open) break;
-    }
   }
+  if (metrics_.enabled()) metrics_.shards_abandoned->Increment();
 }
 
 }  // namespace ldp::net

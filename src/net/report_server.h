@@ -1,12 +1,20 @@
 // ReportServer: the network ingestion edge of a collection deployment. It
-// owns a Listener (TCP or Unix-domain) and N acceptor threads, and maps one
-// connection to one api::ServerSession shard: a reporter HELLOs its stream
-// header (validated against the pipeline's protocol before any report bytes
-// are decoded), then its DATA bytes go straight into ServerSession::Feed —
-// the same zero-copy framing, per-shard strand scheduling, and backpressure
-// as every other ingest path. A framing error, a mid-stream disconnect, or a
-// slow-loris timeout poisons/abandons exactly that connection's shard;
-// honest connections are untouched.
+// owns a Listener (TCP or Unix-domain) and an event-driven core: N loop
+// threads (Options::acceptors) each drive a Poller over non-blocking
+// sockets, running a small per-connection state machine (reading-prefix →
+// reading-payload → dispatch) that feeds DATA bytes straight into
+// api::ServerSession::Feed — the same zero-copy framing, per-shard strand
+// scheduling, and backpressure as every other ingest path. One loop thread
+// serves thousands of connections, so the edge scales to C10K+ reporters
+// instead of one blocked thread per socket. A framing error, a mid-stream
+// disconnect, or a slow-loris timeout poisons/abandons exactly that
+// connection's shards; honest connections are untouched.
+//
+// Multiplexing: protocol v2 lets one connection carry many logical shards
+// concurrently, each on a client-chosen *channel* (HELLO opens one,
+// DATA/CLOSE_SHARD name one, SHARD_CLOSED echoes one). A HELLO may opt in
+// to batched DATA_ACK watermarks so a windowing client can bound its
+// in-flight bytes without one round trip per send.
 //
 // Determinism: closed shards merge in ascending HELLO *ordinal* order, not
 // connection-completion order (floating-point accumulation makes merge
@@ -19,17 +27,22 @@
 // a smaller ordinal that connects only after a larger one already closed
 // merges late.
 //
-// Threading: each acceptor thread loops { non-blocking accept (poll +
-// wake pipe), handle the connection inline with blocking reads bounded by
-// Options::idle_timeout_ms }, so the server serves up to `acceptors`
-// connections concurrently and a stalled reporter can hold up only its own
-// slot until the idle timeout reaps it. The ServerSession surface is
-// thread-safe (PR 4), so acceptors feed disjoint shards without further
-// coordination.
+// Threading: loop threads never block on the merge barrier — a CLOSE_SHARD
+// whose turn has not come is handed to a dedicated merge-scheduler thread
+// (otherwise ordinal k's close could deadlock waiting for ordinal j served
+// by the same loop). The scheduler claims turns in barrier order, performs
+// the WAL close + session merge, and queues the SHARD_CLOSED reply back to
+// the owning loop; replies to other channels on that connection keep
+// flowing meanwhile. The ServerSession surface is thread-safe (PR 4), so
+// loops feed disjoint shards without further coordination. One caveat
+// versus the old thread-per-connection design: a shard held at Feed's
+// backpressure bound stalls its whole loop (bounded by the ingest pool's
+// drain rate), not just its own connection.
 
 #ifndef LDP_NET_REPORT_SERVER_H_
 #define LDP_NET_REPORT_SERVER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -42,6 +55,7 @@
 #include <vector>
 
 #include "api/server_session.h"
+#include "net/poller.h"
 #include "net/protocol.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
@@ -58,8 +72,10 @@ namespace ldp::net {
 /// *before* the corresponding session call, so a crash after the callback
 /// loses nothing the reporter was told about. relay::FrameWal implements
 /// this; net/ sees only the interface, keeping the dependency pointed
-/// relay -> net. Callbacks run on acceptor threads — implementations
-/// serialize per shard themselves (distinct shards never share a callback).
+/// relay -> net. OnShardOpen/OnShardData run on loop threads (one shard is
+/// only ever touched by its owning loop); OnShardClose/OnShardAbandon may
+/// run on the merge scheduler — implementations serialize per shard
+/// themselves (distinct shards never share a callback).
 class ShardDurabilityHook {
  public:
   virtual ~ShardDurabilityHook() = default;
@@ -87,10 +103,16 @@ struct ResumedShard {
 };
 
 struct ReportServerOptions {
-  /// Concurrent connections served (one acceptor thread each, at least 1).
+  /// Event-loop threads (at least 1). Each drives its own Poller over a
+  /// share of the connections; new connections are dealt round-robin.
   unsigned acceptors = 1;
-  /// Reap a connection that goes silent for this long (0 = wait forever).
-  /// This is what bounds slow-loris reporters trickling partial messages.
+  /// Readiness backend. kEpoll (the default) falls back to poll(2) on
+  /// platforms without epoll; tests force kPoll to exercise the fallback.
+  PollerBackend poller = PollerBackend::kEpoll;
+  /// Reap a connection that takes longer than this to complete a protocol
+  /// message, or sits idle between messages this long (0 = wait forever).
+  /// The budget covers a whole prefix or payload — partial reads do not
+  /// reset it — which is what bounds slow-loris reporters trickling bytes.
   int idle_timeout_ms = 30000;
   /// When nonzero, the campaign's fleet size: every epoch expects shards
   /// with ordinals exactly 0..expected_shards-1, and ordinal k's merge
@@ -103,8 +125,7 @@ struct ReportServerOptions {
   uint64_t expected_shards = 0;
   /// Bound on how long a CLOSE_SHARD may wait for its merge turn before
   /// the shard is abandoned (0 = wait forever). Guards against a campaign
-  /// whose predecessor ordinal never arrives — e.g. a dead reporter — and
-  /// against acceptor-slot exhaustion deadlocks.
+  /// whose predecessor ordinal never arrives — e.g. a dead reporter.
   int merge_turn_timeout_ms = 120000;
   /// Optional telemetry (obs/metrics.h): connection/HELLO/shard counters,
   /// DATA read and merge-barrier latency histograms. Typically the same
@@ -140,7 +161,8 @@ struct ReportServerStats {
   uint64_t shards_abandoned = 0;  ///< Shards dropped by disconnect/timeouts.
   uint64_t hello_rejected = 0;    ///< Connections refused at HELLO.
   uint64_t protocol_errors = 0;   ///< Connections killed by bad framing.
-  uint64_t snapshots_accepted = 0;  ///< Relay SNAPSHOTs stored (any seq).
+  uint64_t snapshots_accepted = 0;  ///< Relay SNAPSHOTs stored (fresh seq).
+  uint64_t snapshots_stale = 0;     ///< Retries acked without replacing.
   uint64_t snapshots_refused = 0;   ///< Relay SNAPSHOTs rejected.
   uint64_t nodes_folded = 0;        ///< Relay nodes merged by Fold.
 };
@@ -160,10 +182,10 @@ class ReportServer {
   ReportServer(const ReportServer&) = delete;
   ReportServer& operator=(const ReportServer&) = delete;
 
-  /// Stops accepting new connections and joins the acceptors. With
-  /// `drain`, in-flight connections finish naturally (bounded by the idle
-  /// timeout); without, they are shut down immediately and their open
-  /// shards abandoned. Idempotent; the first call wins.
+  /// Stops accepting new connections and joins the loops. With `drain`,
+  /// in-flight shards finish naturally (bounded by the idle timeout);
+  /// without, connections are shut down immediately and their open shards
+  /// abandoned. Idempotent; the first call wins.
   void Stop(bool drain);
 
   /// The bound endpoint with any ephemeral TCP port resolved — what
@@ -182,34 +204,144 @@ class ReportServer {
   Status FoldRelaySnapshots();
 
  private:
+  using SteadyTime = std::chrono::steady_clock::time_point;
+
+  /// One logical shard multiplexed over a connection.
+  struct ChannelState {
+    size_t shard = 0;
+    uint64_t ordinal = 0;
+    /// CLOSE_SHARD received: the channel now belongs to the merge
+    /// scheduler. A dying connection abandons only its non-closing
+    /// channels — a close in flight completes (the reply just goes
+    /// nowhere), exactly as a blocking close used to survive its peer.
+    bool closing = false;
+    /// Cumulative post-header bytes fed on this channel instance (the
+    /// DATA_ACK watermark). Starts at 0 even for resumed shards: the
+    /// client windows what *it* sent since the resume.
+    uint64_t fed_bytes = 0;
+  };
+
+  enum class ReadPhase : uint8_t { kPrefix, kPayload };
+
+  /// One connection. Read-path fields are touched only by the owning loop
+  /// thread; `mutex` guards the fields shared with the merge scheduler and
+  /// Stop (channels, outbuf, flags).
+  struct Conn {
+    Socket socket;
+    size_t loop = 0;
+
+    // --- owning-loop-thread only ---------------------------------------
+    ReadPhase phase = ReadPhase::kPrefix;
+    char prefix[kMessageHeaderBytes] = {};
+    size_t prefix_got = 0;
+    MessageHeader header;
+    std::string payload;
+    size_t payload_got = 0;
+    uint64_t data_started_ns = 0;
+    /// When the current message (or the wait for the next one) must
+    /// complete; re-armed at prefix completion and message completion,
+    /// never by partial reads. Unset when idle_timeout_ms == 0.
+    SteadyTime deadline{};
+    bool reads_closed = false;  ///< Poisoned: flush the outbuf, then die.
+    bool wants_acks = false;    ///< Some HELLO set kHelloFlagDataAcks.
+    uint64_t unacked_bytes = 0;
+    /// Channels with progress since the last DATA_ACK (ordered for a
+    /// deterministic wire layout).
+    std::map<uint32_t, uint64_t> pending_acks;
+    bool want_write = false;  ///< Poller currently watching writability.
+
+    // --- shared with scheduler / Stop (guarded by mutex) ----------------
+    std::mutex mutex;
+    std::unordered_map<uint32_t, ChannelState> channels;
+    std::string outbuf;
+    size_t outbuf_sent = 0;
+    bool close_after_flush = false;
+    bool dead = false;  ///< Torn down; late scheduler replies are dropped.
+  };
+
+  /// One event-loop thread's state. `conns` is owned by the loop thread;
+  /// `mutex` guards only the two inboxes other threads push into.
+  struct Loop {
+    Poller poller;
+    int wake_read = -1;
+    int wake_write = -1;
+    std::thread thread;
+    std::unordered_map<int, std::shared_ptr<Conn>> conns;
+    std::mutex mutex;
+    std::vector<std::shared_ptr<Conn>> adopt_inbox;  ///< Newly accepted.
+    std::vector<std::shared_ptr<Conn>> flush_inbox;  ///< Scheduler replies.
+    bool woken = false;  // coalesces wake-pipe writes
+  };
+
+  /// A CLOSE_SHARD waiting for its merge turn, keyed by ordinal in the
+  /// scheduler's map.
+  struct PendingClose {
+    std::shared_ptr<Conn> conn;
+    uint32_t channel = 0;
+    size_t shard = 0;
+    uint64_t ordinal = 0;
+    uint64_t enqueued_ns = 0;
+    SteadyTime deadline{};
+    bool has_deadline = false;
+  };
+
   ReportServer(api::ServerSession* session, stream::StreamHeader expected,
                ReportServerOptions options);
 
-  void AcceptLoop();
+  // --- event loop ------------------------------------------------------
+  void LoopMain(size_t index);
+  void WakeLoop(size_t index);
+  void AcceptReady(Loop& loop);
+  void AdoptConn(Loop& loop, const std::shared_ptr<Conn>& conn);
+  /// Drains readable bytes through the prefix/payload state machine until
+  /// the socket would block, the dispatch budget runs out, or the
+  /// connection dies.
+  void HandleReadable(Loop& loop, const std::shared_ptr<Conn>& conn);
+  /// Dispatches one complete message; returns false when the connection
+  /// was poisoned or torn down.
+  bool DispatchMessage(Loop& loop, const std::shared_ptr<Conn>& conn);
+  bool HandleHello(Loop& loop, const std::shared_ptr<Conn>& conn);
+  bool HandleSnapshot(Loop& loop, const std::shared_ptr<Conn>& conn);
+  /// End-of-stream / recv-fault / reap handling (see the protocol-error
+  /// accounting rules in the .cc).
+  void HandleConnFailure(Loop& loop, const std::shared_ptr<Conn>& conn,
+                         bool clean_eof, bool reaped);
+  /// Queues ERROR{verdict}, abandons the connection's shards, counts a
+  /// protocol error if none was open, and flags close-after-flush.
+  void PoisonConn(Loop& loop, const std::shared_ptr<Conn>& conn,
+                  const Status& verdict, bool count_always);
+  /// Abandons every non-closing channel; returns how many channels (of any
+  /// kind) were present before.
+  size_t AbandonConnChannels(const std::shared_ptr<Conn>& conn);
+  /// Unregisters and closes the connection. Channels must already be
+  /// abandoned or scheduler-owned.
+  void DestroyConn(Loop& loop, const std::shared_ptr<Conn>& conn);
+  /// Sends as much of the outbuf as the socket takes; manages write
+  /// interest and close-after-flush teardown.
+  void FlushConn(Loop& loop, const std::shared_ptr<Conn>& conn);
+  /// Stops reading, flushes what is queued, then tears the connection
+  /// down (the polite goodbye after an ERROR or a drain).
+  void CloseAfterFlush(Loop& loop, const std::shared_ptr<Conn>& conn);
+  void QueueMessage(const std::shared_ptr<Conn>& conn, MessageType type,
+                    const std::string& payload);
+  void FlushPendingAcks(const std::shared_ptr<Conn>& conn);
+  void ArmDeadline(const std::shared_ptr<Conn>& conn);
 
-  /// Registers the connection for hard-stop shutdown, runs it, cleans up.
-  void HandleConnection(Socket socket);
-
-  /// The per-connection conversation loop (may return from any state; the
-  /// open shard, if any, is abandoned on every abnormal exit).
-  void RunConnection(Socket* socket);
-
-  /// Sends one framed message, best effort (a dead peer is the peer's
-  /// problem; the session state is already consistent).
-  void SendReply(Socket* socket, MessageType type, const std::string& payload);
+  // --- merge scheduler -------------------------------------------------
+  void SchedulerMain();
+  /// Completes one pending close: merge (got_turn) or abandon; stats,
+  /// journal, and the SHARD_CLOSED reply routed to the owning loop.
+  void CompleteClose(PendingClose close, bool got_turn, bool stopping);
 
   /// Validates and claims `ordinal` for a new shard (bounds and duplicate
   /// checks; see Options::expected_shards).
   Status RegisterOrdinal(uint64_t ordinal);
-
-  /// Claims the merge turn for `ordinal`, closes (or abandons, on hard
-  /// stop / turn timeout) the shard, releases the turn. Blocks until every
-  /// smaller ordinal has merged or abandoned.
-  Status WaitTurnAndClose(uint64_t ordinal, size_t shard);
-
   /// Marks `ordinal` finished (merged or abandoned): removes it from the
-  /// active set, advances the expected-shards frontier, wakes waiters.
+  /// active set, advances the expected-shards frontier, wakes the
+  /// scheduler.
   void FinishOrdinal(uint64_t ordinal);
+  void CountProtocolError();
+  void CountAbandoned();
 
   api::ServerSession* session_;
   const stream::StreamHeader expected_;
@@ -217,12 +349,17 @@ class ReportServer {
   obs::NetServerMetrics metrics_;  // all-null when options_.metrics is null
 
   Listener listener_;
-  std::vector<std::thread> acceptors_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::thread scheduler_;
+  size_t rr_next_ = 0;  // round-robin loop assignment (loop 0 thread only)
 
   mutable std::mutex mutex_;
-  std::condition_variable merge_turn_;
-  /// Ordinals of connections with an open shard; in ad hoc mode the
-  /// smallest holds the merge turn.
+  /// Scheduler wake: a close enqueued, an ordinal finished, or stopping.
+  std::condition_variable merge_cv_;
+  /// CLOSE_SHARDs waiting for their merge turn, keyed by ordinal (an
+  /// ordinal is active until finished, so keys are unique).
+  std::map<uint64_t, PendingClose> pending_closes_;
+  /// Ordinals of open shards; in ad hoc mode the smallest holds the turn.
   std::set<uint64_t> active_ordinals_;
   /// Expected-shards mode only: ordinals finished (merged or abandoned)
   /// in the current epoch, and the barrier frontier — the smallest ordinal
@@ -240,17 +377,16 @@ class ReportServer {
     std::string bytes;
   };
   std::map<uint64_t, PendingSnapshot> relay_snapshots_;
-  /// In-flight connections: fd → "has an open shard". Stop shuts down
-  /// every fd (hard stop) or just the idle ones (drain — a connection
-  /// sitting between shards has no work the drain should wait for).
-  /// Sockets are unregistered under mutex_ before they close, so a
-  /// registered fd is never stale.
-  std::unordered_map<int, bool> live_fds_;
+  /// Live connections by fd, for Stop's shutdown sweep. Conns unregister
+  /// under mutex_ before their fd closes, so a registered fd is never
+  /// stale.
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
   ReportServerStats stats_;
   std::condition_variable stopped_cv_;  // signalled when a Stop completes
   bool stop_accepting_ = false;
   bool hard_stop_ = false;
-  bool stopped_ = false;  // Stop already ran (acceptors joined)
+  bool scheduler_exit_ = false;  // loops joined; drain the queue and leave
+  bool stopped_ = false;         // Stop already ran (threads joined)
 };
 
 }  // namespace ldp::net

@@ -108,10 +108,19 @@ Result<Endpoint> Endpoint::Parse(const std::string& spec) {
       }
       port_text = rest.substr(colon + 1);
     }
-    char* end = nullptr;
-    const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
-    if (port_text.empty() || end == port_text.c_str() || *end != '\0' ||
-        port > 65535) {
+    // Strict digit-only parse: strtoul would accept leading whitespace and
+    // a '+' sign, so "tcp:host: 80" or "tcp:host:+80" would sneak through.
+    if (port_text.empty() || port_text.size() > 5) {
+      return Status::InvalidArgument("bad tcp port in '" + spec + "'");
+    }
+    unsigned long port = 0;
+    for (const char c : port_text) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("bad tcp port in '" + spec + "'");
+      }
+      port = port * 10 + static_cast<unsigned long>(c - '0');
+    }
+    if (port > 65535) {
       return Status::InvalidArgument("bad tcp port in '" + spec + "'");
     }
     endpoint.port = static_cast<uint16_t>(port);
@@ -195,7 +204,7 @@ Result<bool> Socket::RecvAll(void* data, size_t size, int deadline_ms) {
           std::chrono::steady_clock::now() - started);
       const int remaining = deadline_ms - static_cast<int>(elapsed.count());
       if (remaining <= 0) {
-        return Status::IoError("recv deadline exceeded mid-message");
+        return Status::DeadlineExceeded("recv deadline exceeded mid-message");
       }
       pollfd ready{};
       ready.fd = fd_;
@@ -206,13 +215,16 @@ Result<bool> Socket::RecvAll(void* data, size_t size, int deadline_ms) {
         return ErrnoStatus("poll");
       }
       if (polled == 0) {
-        return Status::IoError("recv deadline exceeded mid-message");
+        return Status::DeadlineExceeded("recv deadline exceeded mid-message");
       }
     }
     const ssize_t received = ::recv(fd_, cursor + got, size - got, 0);
     if (received < 0) {
       if (errno == EINTR) continue;
-      if (IsTimeout(errno)) return Status::IoError("recv timed out");
+      // SO_RCVTIMEO expiring is the same condition as the poll budget above:
+      // the peer idled past the bound. One code, so callers never have to
+      // substring-match status messages to tell a reap from an I/O fault.
+      if (IsTimeout(errno)) return Status::DeadlineExceeded("recv timed out");
       return ErrnoStatus("recv");
     }
     if (received == 0) {
@@ -224,7 +236,54 @@ Result<bool> Socket::RecvAll(void* data, size_t size, int deadline_ms) {
   return true;
 }
 
+Status Socket::SetNonBlocking() {
+  if (fd_ < 0) return Status::FailedPrecondition("socket is closed");
+  return net::SetNonBlocking(fd_);
+}
+
+Result<size_t> Socket::RecvSome(void* data, size_t size, bool* eof) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket is closed");
+  *eof = false;
+  while (true) {
+    const ssize_t received = ::recv(fd_, data, size, 0);
+    if (received < 0) {
+      if (errno == EINTR) continue;
+      if (IsTimeout(errno)) return size_t{0};  // would block
+      return ErrnoStatus("recv");
+    }
+    if (received == 0) {
+      *eof = true;
+      return size_t{0};
+    }
+    return static_cast<size_t>(received);
+  }
+}
+
+Result<size_t> Socket::SendSome(const void* data, size_t size) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket is closed");
+  while (true) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t sent = ::send(fd_, data, size, MSG_NOSIGNAL);
+#else
+    const ssize_t sent = ::send(fd_, data, size, 0);
+#endif
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (IsTimeout(errno)) return size_t{0};  // would block
+      return ErrnoStatus("send");
+    }
+    return static_cast<size_t>(sent);
+  }
+}
+
 Result<Socket> ConnectSocket(const Endpoint& endpoint) {
+  // Port 0 means "pick one for me" at bind time; as a connect target it can
+  // only be a parse of an endpoint that was never resolved. Refuse it here
+  // rather than let connect(2) produce a baffling OS-specific error.
+  if (endpoint.kind == Endpoint::Kind::kTcp && endpoint.port == 0) {
+    return Status::InvalidArgument("cannot connect to tcp port 0 (" +
+                                   endpoint.ToString() + ")");
+  }
   if (endpoint.kind == Endpoint::Kind::kUnix) {
     sockaddr_un address{};
     LDP_ASSIGN_OR_RETURN(address, UnixAddress(endpoint.path));
@@ -442,7 +501,40 @@ Result<Socket> Listener::Accept() {
       return ErrnoStatus("accept");
     }
     Socket socket(fd);
-    LDP_RETURN_IF_ERROR(SetCloseOnExec(fd));
+    // A failure to set FD_CLOEXEC poisons only this one descriptor — drop
+    // the connection and keep accepting, instead of surfacing an error that
+    // callers would read as "the listener died".
+    if (!SetCloseOnExec(fd).ok()) continue;
+    DisableSigpipe(fd);
+    if (endpoint_.kind == Endpoint::Kind::kTcp) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    return socket;
+  }
+}
+
+Result<Socket> Listener::TryAccept() {
+  while (true) {
+    if (fd_ < 0) return Status::FailedPrecondition("listener is closed");
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Nothing pending right now — the readiness loop will call back.
+      if (IsTimeout(errno) || errno == ECONNABORTED) return Socket();
+      // Momentary pressure (fd exhaustion, memory, the peer's handshake
+      // dying): report "nothing accepted" and let the loop retry later
+      // instead of treating the listener as dead.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM || errno == EPROTO || errno == ENETDOWN ||
+          errno == ENETUNREACH || errno == EHOSTDOWN ||
+          errno == EHOSTUNREACH || errno == ETIMEDOUT) {
+        return Socket();
+      }
+      return ErrnoStatus("accept");
+    }
+    Socket socket(fd);
+    if (!SetCloseOnExec(fd).ok()) continue;  // drop this one fd, keep going
     DisableSigpipe(fd);
     if (endpoint_.kind == Endpoint::Kind::kTcp) {
       const int one = 1;

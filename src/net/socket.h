@@ -60,7 +60,9 @@ class Socket {
   void Close();
 
   /// Bounds every subsequent recv/send (0 restores "wait forever"). A recv
-  /// that idles past the bound fails with kIoError mentioning "timed out".
+  /// that idles past the bound fails with kDeadlineExceeded — the same code
+  /// RecvAll's whole-message deadline uses, so callers distinguish a reap
+  /// from an I/O fault by status code, never by message text.
   Status SetIdleTimeout(int milliseconds);
 
   /// Sends the whole buffer, looping over short writes. SIGPIPE-safe.
@@ -78,6 +80,18 @@ class Socket {
   /// but cannot stretch this deadline — the classic slow-loris. 0 leaves
   /// only the per-recv idle timeout in force.
   Result<bool> RecvAll(void* data, size_t size, int deadline_ms = 0);
+
+  /// Marks the descriptor O_NONBLOCK for use under a readiness loop.
+  Status SetNonBlocking();
+
+  /// One non-blocking recv: returns the bytes read, or 0 when the socket
+  /// would block. A clean peer close sets *eof (and returns 0). Only real
+  /// I/O faults are errors.
+  Result<size_t> RecvSome(void* data, size_t size, bool* eof);
+
+  /// One non-blocking send: returns the bytes written, or 0 when the socket
+  /// would block. SIGPIPE-safe like SendAll.
+  Result<size_t> SendSome(const void* data, size_t size);
 
  private:
   int fd_ = -1;
@@ -111,6 +125,15 @@ class Listener {
   /// an invalid Socket (valid() == false) when Wake interrupted the wait or
   /// the listener was closed — the caller decides whether to loop.
   Result<Socket> Accept();
+
+  /// Non-blocking accept for readiness loops that poll fd() themselves:
+  /// returns an invalid Socket when nothing is pending or a momentary
+  /// accept-path failure (fd exhaustion, a dying handshake, a bad fresh fd)
+  /// cost one connection. Errors mean the listener itself is broken.
+  Result<Socket> TryAccept();
+
+  /// The listening descriptor, for registration in an external poll set.
+  int fd() const { return fd_; }
 
   /// Wakes every thread blocked in Accept (sticky until the listener dies).
   void Wake();

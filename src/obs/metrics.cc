@@ -283,6 +283,8 @@ NetServerMetrics NetServerMetrics::ForRegistry(MetricsRegistry* registry) {
       registry->GetCounter("ldp_net_shards_abandoned_total");
   metrics.snapshots_accepted =
       registry->GetCounter("ldp_net_snapshots_accepted_total");
+  metrics.snapshots_stale =
+      registry->GetCounter("ldp_net_snapshots_stale_total");
   metrics.snapshots_refused =
       registry->GetCounter("ldp_net_snapshots_refused_total");
   metrics.data_read_us = registry->GetHistogram("ldp_net_data_read_us");

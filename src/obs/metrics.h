@@ -270,6 +270,8 @@ struct NetServerMetrics {
   ///< ldp_net_shards_abandoned_total
   Counter* snapshots_accepted = nullptr;
   ///< ldp_net_snapshots_accepted_total
+  Counter* snapshots_stale = nullptr;
+  ///< ldp_net_snapshots_stale_total
   Counter* snapshots_refused = nullptr;
   ///< ldp_net_snapshots_refused_total
   Histogram* data_read_us = nullptr;   ///< ldp_net_data_read_us

@@ -69,9 +69,13 @@ MetricsServer::MetricsServer(net::Listener listener,
 void MetricsServer::Stop() {
   if (stopped_) return;
   stopped_ = true;
+  // Wake is sticky (the byte is never drained), so the accept loop's poll
+  // returns even if it re-enters. Close only after the join: closing a
+  // descriptor another thread is polling hands its number to whoever
+  // opens a descriptor next.
   listener_.Wake();
-  listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
 }
 
 void MetricsServer::AcceptLoop() {

@@ -22,6 +22,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kIoError,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Human-readable name of a StatusCode ("InvalidArgument", ...).
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -51,6 +51,20 @@ Status SendRawMessage(net::Socket* socket, net::MessageType type,
   return socket->SendAll(wire);
 }
 
+// DATA payloads carry a u32 channel prefix since protocol v2; these raw
+// speakers always use the connection's first channel (id 0).
+std::string OnChannelZero(const std::string& frames) {
+  std::string payload(net::kDataChannelPrefixBytes, '\0');
+  payload.append(frames);
+  return payload;
+}
+
+std::string CloseChannelZero() {
+  net::CloseShardMessage close;
+  close.channel = 0;
+  return net::EncodeCloseShard(close);
+}
+
 struct RawReply {
   net::MessageType type = net::MessageType::kError;
   std::string payload;
@@ -121,16 +135,16 @@ Result<WireVerdict> PlayStream(const net::Endpoint& endpoint,
   for (size_t offset = hello.header_bytes.size(); offset < bytes.size();
        offset += 4096) {
     const size_t take = std::min<size_t>(4096, bytes.size() - offset);
-    const Status sent = SendRawMessage(&socket.value(),
-                                       net::MessageType::kData,
-                                       bytes.substr(offset, take));
+    const Status sent =
+        SendRawMessage(&socket.value(), net::MessageType::kData,
+                       OnChannelZero(bytes.substr(offset, take)));
     if (!sent.ok()) {
       verdict.poisoned = true;
       return verdict;
     }
   }
-  const Status closing =
-      SendRawMessage(&socket.value(), net::MessageType::kCloseShard, "");
+  const Status closing = SendRawMessage(
+      &socket.value(), net::MessageType::kCloseShard, CloseChannelZero());
   if (!closing.ok()) {
     verdict.poisoned = true;
     return verdict;
@@ -246,8 +260,9 @@ TEST(NetFaultTest, MidFrameDisconnectAbandonsOnlyThatShard) {
     const size_t half = honest.size() / 2;
     ASSERT_TRUE(
         SendRawMessage(&socket.value(), net::MessageType::kData,
-                       honest.substr(stream::kStreamHeaderBytes,
-                                     half - stream::kStreamHeaderBytes))
+                       OnChannelZero(honest.substr(
+                           stream::kStreamHeaderBytes,
+                           half - stream::kStreamHeaderBytes)))
             .ok());
     // Socket destructor: abrupt disconnect, no CLOSE_SHARD.
   }

@@ -65,6 +65,38 @@ TEST(NetProtocolTest, EndpointParseRejectsMalformedSpecs) {
   EXPECT_FALSE(net::Endpoint::Parse("unix:").ok());
 }
 
+TEST(NetProtocolTest, EndpointParsePortIsStrictlyDigits) {
+  // strtoul-style parsing would tolerate all of these; the strict parser
+  // refuses anything that is not 1-5 bare digits in range.
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:host:").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:host: 80").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:host:+80").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:host:-80").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:host:80 ").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:host:80x").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:host:0x50").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:host:008080").ok());  // 6 digits
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:host:65536").ok());
+  EXPECT_FALSE(net::Endpoint::Parse("tcp:[::1]:+80").ok());
+
+  // Boundary values that must still parse.
+  auto max_port = net::Endpoint::Parse("tcp:host:65535");
+  ASSERT_TRUE(max_port.ok());
+  EXPECT_EQ(max_port.value().port, 65535);
+  auto padded = net::Endpoint::Parse("tcp:host:00080");
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(padded.value().port, 80);
+  // Port 0 parses (it is a valid *bind* spec: "pick a free port")...
+  auto wildcard = net::Endpoint::Parse("tcp:host:0");
+  ASSERT_TRUE(wildcard.ok());
+  EXPECT_EQ(wildcard.value().port, 0);
+  // ...but is refused as a *connect* target, where it can only be a
+  // never-resolved endpoint.
+  const auto refused = net::ConnectSocket(wildcard.value());
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(NetProtocolTest, MessageHeaderRoundTripsAndBounds) {
   std::string wire;
   ASSERT_TRUE(
@@ -162,6 +194,73 @@ TEST(NetProtocolTest, RepliesRoundTrip) {
       net::DecodeEpochAdvanced(net::EncodeEpochAdvanced(epoch));
   ASSERT_TRUE(epoch_decoded.ok());
   EXPECT_EQ(epoch_decoded.value().epoch, 6u);
+}
+
+TEST(NetProtocolTest, MultiplexingFieldsRoundTrip) {
+  // HELLO carries the channel id and flag bits that multiplex many shards
+  // over one connection.
+  net::HelloMessage hello;
+  hello.channel = 0xC0FFEE;
+  hello.flags = net::kHelloFlagDataAcks;
+  hello.ordinal = 9;
+  hello.header_bytes = "hdr";
+  auto hello_decoded = net::DecodeHello(net::EncodeHello(hello));
+  ASSERT_TRUE(hello_decoded.ok());
+  EXPECT_EQ(hello_decoded.value().channel, 0xC0FFEEu);
+  EXPECT_EQ(hello_decoded.value().flags, net::kHelloFlagDataAcks);
+  EXPECT_EQ(hello_decoded.value().ordinal, 9u);
+
+  // HELLO_OK and SHARD_CLOSED echo the channel so replies can be matched
+  // out of order.
+  net::HelloOkMessage ok;
+  ok.channel = 0xC0FFEE;
+  ok.shard = 5;
+  auto ok_decoded = net::DecodeHelloOk(net::EncodeHelloOk(ok));
+  ASSERT_TRUE(ok_decoded.ok());
+  EXPECT_EQ(ok_decoded.value().channel, 0xC0FFEEu);
+
+  net::ShardClosedMessage closed;
+  closed.channel = 3;
+  closed.code = 0;
+  auto closed_decoded = net::DecodeShardClosed(net::EncodeShardClosed(closed));
+  ASSERT_TRUE(closed_decoded.ok());
+  EXPECT_EQ(closed_decoded.value().channel, 3u);
+
+  net::CloseShardMessage close;
+  close.channel = 7;
+  auto close_decoded = net::DecodeCloseShard(net::EncodeCloseShard(close));
+  ASSERT_TRUE(close_decoded.ok());
+  EXPECT_EQ(close_decoded.value().channel, 7u);
+  EXPECT_FALSE(net::DecodeCloseShard("abc").ok());  // truncated
+  EXPECT_FALSE(
+      net::DecodeCloseShard(net::EncodeCloseShard(close) + "x").ok());
+}
+
+TEST(NetProtocolTest, DataAckRoundTripsAndRefusesHostileForms) {
+  net::DataAckMessage ack;
+  ack.entries.push_back({0, 1024});
+  ack.entries.push_back({17, 0xDEADBEEFULL});
+  const std::string wire = net::EncodeDataAck(ack);
+  auto decoded = net::DecodeDataAck(wire);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().entries.size(), 2u);
+  EXPECT_EQ(decoded.value().entries[0].channel, 0u);
+  EXPECT_EQ(decoded.value().entries[0].bytes, 1024u);
+  EXPECT_EQ(decoded.value().entries[1].channel, 17u);
+  EXPECT_EQ(decoded.value().entries[1].bytes, 0xDEADBEEFULL);
+
+  // Truncated entry list, trailing garbage, and an entry count that
+  // promises more entries than the payload holds.
+  EXPECT_FALSE(net::DecodeDataAck(wire.substr(0, wire.size() - 1)).ok());
+  EXPECT_FALSE(net::DecodeDataAck(wire + "x").ok());
+  std::string lying = wire;
+  lying[0] = '\x7F';  // count 2 -> 127
+  EXPECT_FALSE(net::DecodeDataAck(lying).ok());
+
+  net::DataAckMessage empty;
+  auto empty_decoded = net::DecodeDataAck(net::EncodeDataAck(empty));
+  ASSERT_TRUE(empty_decoded.ok());
+  EXPECT_TRUE(empty_decoded.value().entries.empty());
 }
 
 TEST(NetProtocolTest, SnapshotRoundTripsAndRefusesHostileForms) {

@@ -353,14 +353,17 @@ TEST(RelayTest, RetriesAndStaleSequencesAreIdempotent) {
   };
   // The full snapshot lands at seq 2, a duplicate retry of it is re-acked,
   // and a STALE seq-1 retry (the partial state) arrives last; highest seq
-  // must win regardless of arrival order.
+  // must win regardless of arrival order. Only the first arrival counts as
+  // accepted — the equal-seq retry and the stale seq-1 are acked (so the
+  // relay stops retrying) but tallied as stale, never as fresh progress.
   send(2, full.value().Snapshot());
   send(2, full.value().Snapshot());
   send(1, partial.value().Snapshot());
 
   root.value()->Stop(/*drain=*/true);
   ASSERT_TRUE(root.value()->FoldRelaySnapshots().ok());
-  EXPECT_EQ(root.value()->stats().snapshots_accepted, 3u);
+  EXPECT_EQ(root.value()->stats().snapshots_accepted, 1u);
+  EXPECT_EQ(root.value()->stats().snapshots_stale, 2u);
   EXPECT_EQ(root.value()->stats().nodes_folded, 1u);
   EXPECT_EQ(root_session.value().Snapshot(), full.value().Snapshot());
 }

@@ -231,6 +231,149 @@ TEST(ReportServerTest, ExpectedShardsBarrierHoldsForLateConnectors) {
   server2.value()->Stop(/*drain=*/false);
 }
 
+TEST(ReportServerTest, MultiplexedShardsOverOneConnectionAreBitIdentical) {
+  // All four shards ride ONE connection as interleaved channels; the
+  // event-driven server demultiplexes them and the merge barrier still
+  // produces the ordinal-ordered reference byte for byte.
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::vector<std::string> streams = MakeShardStreams(pipeline, 4);
+  const std::string reference = DirectSessionSnapshot(pipeline, streams);
+
+  auto session = pipeline.NewServer();
+  ASSERT_TRUE(session.ok());
+  net::ReportServerOptions options;
+  options.expected_shards = streams.size();
+  auto server =
+      net::ReportServer::Start(&session.value(), pipeline.header(),
+                               TestUdsEndpoint("multiplexed"), options);
+  ASSERT_TRUE(server.ok());
+
+  // Small flushes force many interleaved DATA messages per channel.
+  net::CollectorClientOptions client_options;
+  client_options.flush_bytes = 512;
+  auto client =
+      net::CollectorClient::Connect(server.value()->endpoint(),
+                                    pipeline.header(), /*ordinal=*/0,
+                                    client_options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  std::vector<uint32_t> channels = {0};
+  for (size_t s = 1; s < streams.size(); ++s) {
+    auto channel = client.value().OpenShard(pipeline.header(), s);
+    ASSERT_TRUE(channel.ok()) << channel.status().ToString();
+    channels.push_back(channel.value());
+  }
+  EXPECT_EQ(client.value().open_shards(), streams.size());
+
+  // Interleave: one chunk per shard, round-robin, until all are drained.
+  std::vector<size_t> offsets(streams.size(), stream::kStreamHeaderBytes);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (size_t s = 0; s < streams.size(); ++s) {
+      if (offsets[s] >= streams[s].size()) continue;
+      const size_t take = std::min<size_t>(1024, streams[s].size() - offsets[s]);
+      ASSERT_TRUE(client.value()
+                      .Send(channels[s], streams[s].data() + offsets[s], take)
+                      .ok());
+      offsets[s] += take;
+      progressed = true;
+    }
+  }
+  // Close in REVERSE ordinal order, pipelined: the verdicts come back in
+  // merge (ordinal) order and must still match up by channel.
+  for (size_t s = streams.size(); s-- > 0;) {
+    ASSERT_TRUE(client.value().CloseShardBegin(channels[s]).ok());
+  }
+  for (size_t s = 0; s < streams.size(); ++s) {
+    auto summary = client.value().AwaitShardClosed(channels[s]);
+    ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+    EXPECT_TRUE(summary.value().status.ok())
+        << summary.value().status.ToString();
+    EXPECT_EQ(summary.value().stats.accepted, kCorpusReports);
+  }
+  EXPECT_EQ(client.value().open_shards(), 0u);
+  server.value()->Stop(/*drain=*/true);
+
+  const net::ReportServerStats stats = server.value()->stats();
+  EXPECT_EQ(stats.connections, 1u);
+  EXPECT_EQ(stats.shards_merged, streams.size());
+  EXPECT_EQ(stats.shards_abandoned, 0u);
+  EXPECT_EQ(session.value().Snapshot(), reference);
+}
+
+TEST(ReportServerTest, PollBackendCampaignIsBitIdentical) {
+  // The portable poll(2) backend must be behaviorally indistinguishable
+  // from epoll — same campaign, same bytes.
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::vector<std::string> streams = MakeShardStreams(pipeline, 3);
+  const std::string reference = DirectSessionSnapshot(pipeline, streams);
+
+  api::ServerSessionOptions session_options;
+  auto session = pipeline.NewServer(session_options);
+  ASSERT_TRUE(session.ok());
+  net::ReportServerOptions options;
+  options.poller = net::PollerBackend::kPoll;
+  options.acceptors = 2;
+  options.expected_shards = streams.size();
+  auto server =
+      net::ReportServer::Start(&session.value(), pipeline.header(),
+                               TestUdsEndpoint("poll_backend"), options);
+  ASSERT_TRUE(server.ok());
+
+  std::vector<std::thread> reporters;
+  for (size_t s = 0; s < streams.size(); ++s) {
+    reporters.emplace_back([&, s] {
+      auto client = net::CollectorClient::Connect(server.value()->endpoint(),
+                                                  pipeline.header(), s);
+      ASSERT_TRUE(client.ok()) << client.status().ToString();
+      ASSERT_TRUE(client.value()
+                      .Send(streams[s].data() + stream::kStreamHeaderBytes,
+                            streams[s].size() - stream::kStreamHeaderBytes)
+                      .ok());
+      auto summary = client.value().Close();
+      ASSERT_TRUE(summary.ok());
+      EXPECT_TRUE(summary.value().status.ok());
+    });
+  }
+  for (std::thread& reporter : reporters) reporter.join();
+  server.value()->Stop(/*drain=*/true);
+  EXPECT_EQ(session.value().Snapshot(), reference);
+}
+
+TEST(ReportServerTest, ZeroFlushBytesIsClampedNotAnInfiniteLoop) {
+  // Regression: flush_bytes == 0 used to make CollectorClient::Send stage
+  // zero bytes per loop iteration and spin forever. It is clamped to 1 at
+  // Connect (degenerate one-byte DATA messages, but correct).
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::string stream = MakeHonestStream(pipeline, 830);
+
+  auto session = pipeline.NewServer();
+  ASSERT_TRUE(session.ok());
+  auto server =
+      net::ReportServer::Start(&session.value(), pipeline.header(),
+                               TestUdsEndpoint("zero_flush"),
+                               net::ReportServerOptions());
+  ASSERT_TRUE(server.ok());
+
+  net::CollectorClientOptions client_options;
+  client_options.flush_bytes = 0;
+  auto client = net::CollectorClient::Connect(server.value()->endpoint(),
+                                              pipeline.header(),
+                                              /*ordinal=*/0, client_options);
+  ASSERT_TRUE(client.ok());
+  // Send a slice spanning several "buffers" (every byte flushes) plus the
+  // remainder; the call must return, and the shard must merge intact.
+  ASSERT_TRUE(client.value()
+                  .Send(stream.data() + stream::kStreamHeaderBytes,
+                        stream.size() - stream::kStreamHeaderBytes)
+                  .ok());
+  auto summary = client.value().Close();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_TRUE(summary.value().status.ok());
+  EXPECT_EQ(summary.value().stats.accepted, kCorpusReports);
+  server.value()->Stop(/*drain=*/true);
+}
+
 TEST(ReportServerTest, NumericStreamCampaignMatchesDirectSession) {
   const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/true);
   ASSERT_EQ(pipeline.stream_kind(),

@@ -14,7 +14,8 @@
 //             [--expect-shards N] [--mechanism hm|pm]
 //             [--oracle oue|grr|sue|olh|he|the]
 //             [--stream auto|mixed|numeric] [--epochs N]
-//             [--acceptors N] [--threads T] [--strict] [--max-rejected N]
+//             [--acceptors N] [--poller epoll|poll] [--threads T]
+//             [--strict] [--max-rejected N]
 //             [--idle-timeout-ms N] [--confidence C]
 //             [--snapshot-out FILE] [--metrics ENDPOINT]
 //             [--stats-interval-s N] [--journal-out FILE]
@@ -87,8 +88,8 @@ void Usage() {
       "                 [--expect-shards N] [--mechanism hm|pm]\n"
       "                 [--oracle oue|grr|sue|olh|he|the]\n"
       "                 [--stream auto|mixed|numeric] [--epochs N]\n"
-      "                 [--acceptors N] [--threads T] [--strict]\n"
-      "                 [--max-rejected N] [--idle-timeout-ms N]\n"
+      "                 [--acceptors N] [--poller epoll|poll] [--threads T]\n"
+      "                 [--strict] [--max-rejected N] [--idle-timeout-ms N]\n"
       "                 [--confidence C] [--snapshot-out FILE]\n"
       "                 [--metrics ENDPOINT] [--stats-interval-s N]\n"
       "                 [--journal-out FILE] [--trace-out FILE]\n"
@@ -145,6 +146,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--acceptors") {
       server_options.acceptors =
           static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--poller") {
+      const std::string backend = next();
+      if (backend == "epoll") {
+        server_options.poller = net::PollerBackend::kEpoll;
+      } else if (backend == "poll") {
+        server_options.poller = net::PollerBackend::kPoll;
+      } else {
+        Usage();
+        return 2;
+      }
     } else if (arg == "--threads") {
       threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--idle-timeout-ms") {
@@ -333,7 +344,7 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGINT, HandleSignal);
   std::printf("listening on %s (%s stream, eps = %g/epoch, %u epoch plan, "
-              "%u acceptor(s), %u session thread(s))\n",
+              "%u event loop(s), %u session thread(s))\n",
               server.value()->endpoint().ToString().c_str(),
               stream::ReportStreamKindToString(pipeline.value().stream_kind()),
               epsilon, epochs, server_options.acceptors, threads);
@@ -350,7 +361,8 @@ int main(int argc, char** argv) {
   const obs::NetServerMetrics net_view =
       obs::NetServerMetrics::ForRegistry(&registry);
 
-  // The acceptors own all the work; this thread just waits for the signal.
+  // The event loops own all the work; this thread just waits for the
+  // signal.
   const auto stats_interval = std::chrono::seconds(
       stats_interval_s == 0 ? 0 : stats_interval_s);
   auto next_stats = std::chrono::steady_clock::now() + stats_interval;
