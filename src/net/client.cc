@@ -201,12 +201,15 @@ Status CollectorClient::Flush(uint32_t channel, ShardChannel& state) {
   const Status sent = socket_.SendAll(wire);
   if (!sent.ok()) {
     // A send failure usually means the server poisoned the shard and
-    // closed the connection; its pending ERROR names the real cause.
-    Status pending = PumpMessage();
-    if (!pending.ok() && pending.code() != StatusCode::kIoError) {
-      return pending;
+    // closed the connection; its pending ERROR names the real cause. With
+    // acks enabled a DATA_ACK (or an early verdict) may sit ahead of the
+    // ERROR in the reply stream, so pump until a verdict surfaces or the
+    // read side dies too.
+    while (true) {
+      Status pending = PumpMessage();
+      if (pending.ok()) continue;
+      return pending.code() == StatusCode::kIoError ? sent : pending;
     }
-    return sent;
   }
   state.sent_bytes += flushed;
   return Status::OK();

@@ -24,6 +24,12 @@ constexpr int kDispatchBudget = 64;
 // compacted away instead of waiting for a full drain.
 constexpr size_t kOutbufCompactBytes = 64u << 10;
 
+// Bound on a close-after-flush goodbye when idle_timeout_ms == 0: the
+// farewell (ERROR or final SHARD_CLOSED) must drain within this long or
+// the connection is torn down anyway — otherwise a peer that never reads
+// would pin the loop alive and Stop(drain) could hang forever.
+constexpr int kCloseFlushGraceMs = 30000;
+
 Status ErrnoStatus(const std::string& what) {
   return Status::IoError(what + ": " + std::strerror(errno));
 }
@@ -261,7 +267,14 @@ void ReportServer::LoopMain(size_t index) {
     }
     for (const auto& conn : adopts) AdoptConn(loop, conn);
     adopts.clear();
-    for (const auto& conn : flushes) FlushConn(loop, conn);
+    for (const auto& conn : flushes) {
+      // A scheduler reply just landed (merge verdict or drain goodbye):
+      // re-arm so a deadline that expired during the barrier wait cannot
+      // reap the connection before the reply flushes, and so a drain
+      // goodbye gets its bounded grace even with the idle timer off.
+      ArmDeadline(conn);
+      FlushConn(loop, conn);
+    }
     flushes.clear();
 
     bool stopping;
@@ -279,22 +292,25 @@ void ReportServer::LoopMain(size_t index) {
       continue;  // late arrivals: adopt them so they can be torn down
     }
 
-    // Sleep until the nearest connection deadline (the slow-loris budget),
-    // a readiness event, or a wake.
+    // Sleep until the nearest connection deadline (the slow-loris budget
+    // or a goodbye-flush grace), a readiness event, or a wake.
     int timeout_ms = -1;
-    if (options_.idle_timeout_ms > 0 && !loop.conns.empty()) {
+    if (!loop.conns.empty()) {
       SteadyTime nearest = SteadyTime::max();
       for (const auto& [fd, conn] : loop.conns) {
         nearest = std::min(nearest, conn->deadline);
       }
-      const auto now = std::chrono::steady_clock::now();
-      if (nearest <= now) {
-        timeout_ms = 0;
-      } else {
-        const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
-                               nearest - now)
-                               .count();
-        timeout_ms = static_cast<int>(std::min<long long>(until + 1, 60000));
+      if (nearest != SteadyTime::max()) {
+        const auto now = std::chrono::steady_clock::now();
+        if (nearest <= now) {
+          timeout_ms = 0;
+        } else {
+          const auto until =
+              std::chrono::duration_cast<std::chrono::milliseconds>(nearest -
+                                                                    now)
+                  .count();
+          timeout_ms = static_cast<int>(std::min<long long>(until + 1, 60000));
+        }
       }
     }
 
@@ -332,7 +348,7 @@ void ReportServer::LoopMain(size_t index) {
       if (event.writable && !conn->dead) FlushConn(loop, conn);
     }
 
-    if (options_.idle_timeout_ms > 0) {
+    if (!loop.conns.empty()) {
       const SteadyTime now = std::chrono::steady_clock::now();
       std::vector<std::shared_ptr<Conn>> expired;
       for (const auto& [fd, conn] : loop.conns) {
@@ -342,9 +358,37 @@ void ReportServer::LoopMain(size_t index) {
         if (conn->reads_closed) {
           // The poisoned reply could not be flushed within the budget.
           DestroyConn(loop, conn);
-        } else {
-          HandleConnFailure(loop, conn, /*clean_eof=*/false, /*reaped=*/true);
+          continue;
         }
+        bool goodbye_stuck;
+        bool barrier_wait;
+        {
+          std::lock_guard<std::mutex> conn_lock(conn->mutex);
+          goodbye_stuck = conn->close_after_flush;
+          barrier_wait = !conn->channels.empty();
+          for (const auto& [channel, state] : conn->channels) {
+            if (!state.closing) {
+              barrier_wait = false;
+              break;
+            }
+          }
+        }
+        if (goodbye_stuck) {
+          // A drain goodbye the peer never read: give up on delivery.
+          DestroyConn(loop, conn);
+          continue;
+        }
+        if (barrier_wait) {
+          // Every channel is awaiting its SHARD_CLOSED verdict: the wait
+          // belongs to the merge scheduler (bounded by
+          // merge_turn_timeout_ms, often longer than the idle budget) and
+          // the client has stopped sending on purpose — not a slow loris.
+          // Re-arm rather than reap, or an out-of-order campaign with
+          // skew beyond idle_timeout_ms would lose its merge verdicts.
+          ArmDeadline(conn);
+          continue;
+        }
+        HandleConnFailure(loop, conn, /*clean_eof=*/false, /*reaped=*/true);
       }
     }
   }
@@ -397,9 +441,23 @@ void ReportServer::AdoptConn(Loop& loop, const std::shared_ptr<Conn>& conn) {
 }
 
 void ReportServer::ArmDeadline(const std::shared_ptr<Conn>& conn) {
-  if (options_.idle_timeout_ms <= 0) return;
-  conn->deadline = std::chrono::steady_clock::now() +
-                   std::chrono::milliseconds(options_.idle_timeout_ms);
+  if (options_.idle_timeout_ms > 0) {
+    conn->deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(options_.idle_timeout_ms);
+    return;
+  }
+  // No idle timeout: the only bounded wait is a teardown's goodbye flush.
+  // Without it, Stop(drain) could hang on a peer that never reads its
+  // final reply.
+  bool closing = conn->reads_closed;
+  if (!closing) {
+    std::lock_guard<std::mutex> conn_lock(conn->mutex);
+    closing = conn->close_after_flush;
+  }
+  if (closing && conn->deadline == SteadyTime::max()) {
+    conn->deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(kCloseFlushGraceMs);
+  }
 }
 
 void ReportServer::HandleReadable(Loop& loop,
@@ -579,11 +637,10 @@ bool ReportServer::DispatchMessage(Loop& loop,
                    /*count_always=*/false);
         return false;
       }
-      // Ship the channel's final watermark before the close is queued so a
-      // windowing client's in-flight budget fully drains.
+      // Queue the channel's final watermark ahead of the eventual
+      // SHARD_CLOSED reply so a windowing client's in-flight budget fully
+      // drains. Queue only — no socket I/O yet.
       FlushPendingAcks(conn);
-      FlushConn(loop, conn);
-      if (conn->dead) return false;
       if (options_.journal != nullptr) {
         options_.journal->Record(obs::EventKind::kMergeEnter, state.ordinal);
       }
@@ -604,7 +661,14 @@ bool ReportServer::DispatchMessage(Loop& loop,
         pending_closes_.emplace(state.ordinal, std::move(pending));
       }
       merge_cv_.notify_all();
-      return true;
+      // Flush only after the close is scheduler-owned: a send failure here
+      // destroys the connection, and AbandonConnChannels skips closing
+      // channels — an un-enqueued close would leave the ordinal active
+      // forever and wedge the expected-shards barrier. With the close
+      // enqueued, a dead connection merely drops the reply; FinishOrdinal
+      // still runs in CompleteClose.
+      FlushConn(loop, conn);
+      return !conn->dead;
     }
     case MessageType::kAdvanceEpoch: {
       // The session refuses while any shard (this connection's included)
@@ -944,6 +1008,8 @@ void ReportServer::CloseAfterFlush(Loop& loop,
     // otherwise spin the loop until the flush finishes.
     (void)loop.poller.Update(conn->socket.fd(), false, conn->want_write);
   }
+  // Bound the goodbye even when the idle timer is off (see kCloseFlushGraceMs).
+  ArmDeadline(conn);
   FlushConn(loop, conn);
 }
 

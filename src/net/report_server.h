@@ -113,6 +113,11 @@ struct ReportServerOptions {
   /// message, or sits idle between messages this long (0 = wait forever).
   /// The budget covers a whole prefix or payload — partial reads do not
   /// reset it — which is what bounds slow-loris reporters trickling bytes.
+  /// A connection whose channels are all awaiting their SHARD_CLOSED
+  /// verdict is exempt: that wait belongs to the merge scheduler and is
+  /// bounded by merge_turn_timeout_ms, which may legitimately exceed this.
+  /// Even at 0, a teardown's goodbye flush stays bounded by a fixed grace
+  /// so Stop(drain) cannot hang on a peer that never reads its verdict.
   int idle_timeout_ms = 30000;
   /// When nonzero, the campaign's fleet size: every epoch expects shards
   /// with ordinals exactly 0..expected_shards-1, and ordinal k's merge
@@ -183,9 +188,11 @@ class ReportServer {
   ReportServer& operator=(const ReportServer&) = delete;
 
   /// Stops accepting new connections and joins the loops. With `drain`,
-  /// in-flight shards finish naturally (bounded by the idle timeout);
-  /// without, connections are shut down immediately and their open shards
-  /// abandoned. Idempotent; the first call wins.
+  /// in-flight shards finish naturally — bounded by the idle timeout, and
+  /// even with idle_timeout_ms == 0 a final reply a peer never reads is
+  /// given up on after a fixed grace, so a drain always terminates.
+  /// Without `drain`, connections are shut down immediately and their open
+  /// shards abandoned. Idempotent; the first call wins.
   void Stop(bool drain);
 
   /// The bound endpoint with any ephemeral TCP port resolved — what
@@ -240,8 +247,10 @@ class ReportServer {
     uint64_t data_started_ns = 0;
     /// When the current message (or the wait for the next one) must
     /// complete; re-armed at prefix completion and message completion,
-    /// never by partial reads. Unset when idle_timeout_ms == 0.
-    SteadyTime deadline{};
+    /// never by partial reads. max() means unarmed (no bound). With
+    /// idle_timeout_ms == 0 only goodbye flushes are armed (a bounded
+    /// grace, so Stop(drain) cannot hang on a peer that never reads).
+    SteadyTime deadline = SteadyTime::max();
     bool reads_closed = false;  ///< Poisoned: flush the outbuf, then die.
     bool wants_acks = false;    ///< Some HELLO set kHelloFlagDataAcks.
     uint64_t unacked_bytes = 0;

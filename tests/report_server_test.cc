@@ -231,6 +231,123 @@ TEST(ReportServerTest, ExpectedShardsBarrierHoldsForLateConnectors) {
   server2.value()->Stop(/*drain=*/false);
 }
 
+TEST(ReportServerTest, BarrierWaitIsExemptFromTheIdleReap) {
+  // Ordinal 1 reaches its CLOSE while ordinal 0 stays away for several
+  // idle-timeout periods. The wait for the SHARD_CLOSED verdict belongs to
+  // the merge scheduler (bounded by merge_turn_timeout_ms, not
+  // idle_timeout_ms), so the idle sweep must not reap the connection —
+  // the reporter still gets its verdict and the session stays bit-identical
+  // to the ordinal-ordered reference.
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::vector<std::string> streams = MakeShardStreams(pipeline, 2);
+  const std::string reference = DirectSessionSnapshot(pipeline, streams);
+
+  auto session = pipeline.NewServer();
+  ASSERT_TRUE(session.ok());
+  net::ReportServerOptions options;
+  options.expected_shards = 2;
+  options.idle_timeout_ms = 150;  // several sweeps elapse during the wait
+  auto server =
+      net::ReportServer::Start(&session.value(), pipeline.header(),
+                               TestUdsEndpoint("barrier_idle"), options);
+  ASSERT_TRUE(server.ok());
+  const net::Endpoint endpoint = server.value()->endpoint();
+
+  std::thread early([&] {
+    auto client = net::CollectorClient::Connect(endpoint, pipeline.header(),
+                                                /*ordinal=*/1);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client.value()
+                    .Send(streams[1].data() + stream::kStreamHeaderBytes,
+                          streams[1].size() - stream::kStreamHeaderBytes)
+                    .ok());
+    auto summary = client.value().Close();  // barrier wait >> idle timeout
+    ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+    EXPECT_TRUE(summary.value().status.ok())
+        << summary.value().status.ToString();
+  });
+  // Hold ordinal 0 back for ~4 idle-timeout periods.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  auto late = net::CollectorClient::Connect(endpoint, pipeline.header(),
+                                            /*ordinal=*/0);
+  ASSERT_TRUE(late.ok());
+  ASSERT_TRUE(late.value()
+                  .Send(streams[0].data() + stream::kStreamHeaderBytes,
+                        streams[0].size() - stream::kStreamHeaderBytes)
+                  .ok());
+  auto summary = late.value().Close();
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary.value().status.ok());
+  early.join();
+  server.value()->Stop(/*drain=*/true);
+
+  const net::ReportServerStats stats = server.value()->stats();
+  EXPECT_EQ(stats.shards_merged, 2u);
+  EXPECT_EQ(stats.shards_abandoned, 0u);
+  EXPECT_EQ(session.value().Snapshot(), reference);
+}
+
+TEST(ReportServerTest, ReporterDyingAfterCloseNeverWedgesTheBarrier) {
+  // Ordinal 0 sends its whole stream, issues CLOSE_SHARD, and vanishes
+  // without ever reading the verdict (its socket closes immediately, so
+  // the server's reply flush can fail at any point around the dispatch).
+  // Whatever interleaving the server loses — close enqueued with the reply
+  // dropped, or the disconnect seen first and the shard abandoned — the
+  // ordinal must finish, so ordinal 1's close merges promptly instead of
+  // timing out at a wedged frontier.
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::vector<std::string> streams = MakeShardStreams(pipeline, 2);
+
+  auto session = pipeline.NewServer();
+  ASSERT_TRUE(session.ok());
+  net::ReportServerOptions options;
+  options.expected_shards = 2;
+  // A wedged frontier would discard ordinal 1 at this bound: keep it well
+  // under the test timeout but far above the healthy-path latency.
+  options.merge_turn_timeout_ms = 2000;
+  auto server =
+      net::ReportServer::Start(&session.value(), pipeline.header(),
+                               TestUdsEndpoint("dying_closer"), options);
+  ASSERT_TRUE(server.ok());
+  const net::Endpoint endpoint = server.value()->endpoint();
+
+  {
+    // Acks enabled, so the server has watermarks to flush at close time.
+    net::CollectorClientOptions ack_options;
+    ack_options.window_bytes = 1;  // clamped up; enables DATA_ACK batches
+    auto doomed = net::CollectorClient::Connect(endpoint, pipeline.header(),
+                                                /*ordinal=*/0, ack_options);
+    ASSERT_TRUE(doomed.ok());
+    ASSERT_TRUE(doomed.value()
+                    .Send(streams[0].data() + stream::kStreamHeaderBytes,
+                          streams[0].size() - stream::kStreamHeaderBytes)
+                    .ok());
+    ASSERT_TRUE(doomed.value().CloseShardBegin(/*channel=*/0).ok());
+    // Scope exit closes the socket without awaiting SHARD_CLOSED.
+  }
+
+  auto survivor = net::CollectorClient::Connect(endpoint, pipeline.header(),
+                                                /*ordinal=*/1);
+  ASSERT_TRUE(survivor.ok());
+  ASSERT_TRUE(survivor.value()
+                  .Send(streams[1].data() + stream::kStreamHeaderBytes,
+                        streams[1].size() - stream::kStreamHeaderBytes)
+                  .ok());
+  auto summary = survivor.value().Close();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_TRUE(summary.value().status.ok())
+      << summary.value().status.ToString();
+  server.value()->Stop(/*drain=*/true);
+
+  const net::ReportServerStats stats = server.value()->stats();
+  EXPECT_EQ(stats.shards_merged + stats.shards_abandoned, 2u);
+  EXPECT_GE(stats.shards_merged, 1u);  // the survivor always merges
+  if (stats.shards_merged == 2) {
+    EXPECT_EQ(session.value().Snapshot(),
+              DirectSessionSnapshot(pipeline, streams));
+  }
+}
+
 TEST(ReportServerTest, MultiplexedShardsOverOneConnectionAreBitIdentical) {
   // All four shards ride ONE connection as interleaved channels; the
   // event-driven server demultiplexes them and the merge barrier still
