@@ -38,10 +38,10 @@ int main() {
               static_cast<unsigned long long>(base));
   const std::vector<double> numeric_scales = {0.25, 0.5, 1.0, 2.0, 4.0};
   ldp::bench::PrintColumns("method \\ n/base", numeric_scales);
-  std::vector<std::pair<const char*, ldp::aggregate::NumericStrategy>>
-      baselines = {{"Laplace", ldp::aggregate::NumericStrategy::kLaplaceSplit},
-                   {"SCDF", ldp::aggregate::NumericStrategy::kScdfSplit},
-                   {"Duchi", ldp::aggregate::NumericStrategy::kDuchiMulti}};
+  std::vector<std::pair<const char*, ldp::api::NumericStrategy>>
+      baselines = {{"Laplace", ldp::api::NumericStrategy::kLaplaceSplit},
+                   {"SCDF", ldp::api::NumericStrategy::kScdfSplit},
+                   {"Duchi", ldp::api::NumericStrategy::kDuchiMulti}};
   uint64_t seed = 100;
   for (const auto& [name, strategy] : baselines) {
     std::vector<double> row;
@@ -82,7 +82,7 @@ int main() {
         prefix(static_cast<uint64_t>(scale * base));
     oue_row.push_back(
         ldp::bench::AverageBaseline(subset, eps,
-                                    ldp::aggregate::NumericStrategy::kDuchiMulti,
+                                    ldp::api::NumericStrategy::kDuchiMulti,
                                     config.reps, seed)
             .categorical);
     proposed_row.push_back(

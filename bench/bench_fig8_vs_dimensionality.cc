@@ -58,10 +58,10 @@ int main() {
   std::printf("--- (a) numeric ---\n");
   ldp::bench::PrintColumns("method \\ d", dims);
   uint64_t seed = 100;
-  std::vector<std::pair<const char*, ldp::aggregate::NumericStrategy>>
-      baselines = {{"Laplace", ldp::aggregate::NumericStrategy::kLaplaceSplit},
-                   {"SCDF", ldp::aggregate::NumericStrategy::kScdfSplit},
-                   {"Duchi", ldp::aggregate::NumericStrategy::kDuchiMulti}};
+  std::vector<std::pair<const char*, ldp::api::NumericStrategy>>
+      baselines = {{"Laplace", ldp::api::NumericStrategy::kLaplaceSplit},
+                   {"SCDF", ldp::api::NumericStrategy::kScdfSplit},
+                   {"Duchi", ldp::api::NumericStrategy::kDuchiMulti}};
   for (const auto& [name, strategy] : baselines) {
     std::vector<double> row;
     for (const double d : dims) {
@@ -98,7 +98,7 @@ int main() {
         ProportionalSubset(normalized, static_cast<uint32_t>(d));
     oue_row.push_back(
         ldp::bench::AverageBaseline(subset, eps,
-                                    ldp::aggregate::NumericStrategy::kDuchiMulti,
+                                    ldp::api::NumericStrategy::kDuchiMulti,
                                     config.reps, seed)
             .categorical);
     proposed_row.push_back(

@@ -8,6 +8,14 @@
 //   uds            K CollectorClients over a loopback Unix-domain socket
 //                  into a ReportServer (K acceptors) wrapping an identical
 //                  session;
+//   uds_auth       uds under a campaign key: every HELLO carries a
+//                  reporter id and an HMAC-SHA256 tag the server verifies.
+//                  Authentication touches only the one HELLO per shard, so
+//                  this row's DATA-path latency quantiles should match the
+//                  anonymous uds row — the proof that HMAC verification
+//                  stays off the hot path. Checked against a file-based
+//                  keyed reference (OpenShard per reporter id), ledger
+//                  section included;
 //   tcp            the same over TCP loopback (adds the kernel TCP stack);
 //   uds_wal        uds with the write-ahead frame log on (--wal-dir): what
 //                  crash durability costs on the accepted-frame path;
@@ -185,11 +193,38 @@ double RunInProcess(const api::Pipeline& pipeline,
 // latency histogram); since the snapshot is compared against the
 // uninstrumented in-process run, this also re-checks that metrics never
 // perturb the estimates.
+// Campaign key for the authenticated row and its per-shard reporter ids.
+constexpr const char* kBenchCampaignKey = "bench-net-ingest-key";
+
+std::string BenchReporterId(size_t shard) {
+  return "bench-reporter-" + std::to_string(shard);
+}
+
+// The file-based reference for the authenticated row: the same shard bytes
+// opened under the same reporter ids, so the snapshot's ledger section is
+// part of the equality check.
+std::string AuthReferenceSnapshot(const api::Pipeline& pipeline,
+                                  const std::vector<std::string>& shards) {
+  auto session = pipeline.NewServer();
+  if (!session.ok()) std::exit(1);
+  const std::string header = stream::EncodeStreamHeader(pipeline.header());
+  for (size_t s = 0; s < shards.size(); ++s) {
+    auto shard = session.value().OpenShard(BenchReporterId(s));
+    if (!shard.ok() ||
+        !session.value().Feed(shard.value(), header).ok() ||
+        !session.value().Feed(shard.value(), shards[s]).ok() ||
+        !session.value().CloseShard(shard.value()).ok()) {
+      std::exit(1);
+    }
+  }
+  return session.value().Snapshot();
+}
+
 double RunNetworked(const api::Pipeline& pipeline,
                     const std::vector<std::string>& shards,
                     const net::Endpoint& endpoint, bool wal, bool relay,
-                    obs::MetricsRegistry* registry, std::string* snapshot,
-                    uint64_t* wal_bytes) {
+                    bool auth, obs::MetricsRegistry* registry,
+                    std::string* snapshot, uint64_t* wal_bytes) {
   api::ServerSessionOptions session_options;
   session_options.ingest_threads = 2;
   auto server_session = pipeline.NewServer(session_options);
@@ -240,6 +275,7 @@ double RunNetworked(const api::Pipeline& pipeline,
   // on merge order being independent of which reporter finishes first.
   server_options.expected_shards = shards.size();
   server_options.wal = frame_wal.get();
+  if (auth) server_options.campaign_key = kBenchCampaignKey;
   auto server = net::ReportServer::Start(
       &server_session.value(), pipeline.header(), endpoint, server_options);
   if (!server.ok()) {
@@ -264,8 +300,13 @@ double RunNetworked(const api::Pipeline& pipeline,
   std::vector<std::thread> reporters;
   for (size_t s = 0; s < shards.size(); ++s) {
     reporters.emplace_back([&, s] {
+      net::CollectorClientOptions client_options;
+      if (auth) {
+        client_options.reporter_id = BenchReporterId(s);
+        client_options.campaign_key = kBenchCampaignKey;
+      }
       auto connection = net::CollectorClient::Connect(
-          resolved, pipeline.header(), /*ordinal=*/s);
+          resolved, pipeline.header(), /*ordinal=*/s, client_options);
       if (!connection.ok()) {
         std::fprintf(stderr, "%s\n", connection.status().ToString().c_str());
         std::exit(1);
@@ -451,18 +492,23 @@ int main() {
   const net::Endpoint tcp = {net::Endpoint::Kind::kTcp, "127.0.0.1", 0, ""};
 
   std::string reference;
+  // The authenticated row carries per-reporter ledgers in its snapshot, so
+  // it has its own keyed file-based reference rather than the anonymous one.
+  const std::string auth_reference = AuthReferenceSnapshot(pipeline, shards);
   std::vector<RunResult> results;
   const struct {
     const char* name;
     const net::Endpoint* endpoint;  // null = in-process
     bool wal;
     bool relay;
-  } kPaths[] = {{"inproc", nullptr, false, false},
-                {"uds", &uds, false, false},
-                {"tcp", &tcp, false, false},
-                {"uds_wal", &uds, true, false},
-                {"uds_relay", &uds, false, true},
-                {"uds_relay_wal", &uds, true, true}};
+    bool auth;
+  } kPaths[] = {{"inproc", nullptr, false, false, false},
+                {"uds", &uds, false, false, false},
+                {"uds_auth", &uds, false, false, true},
+                {"tcp", &tcp, false, false, false},
+                {"uds_wal", &uds, true, false, false},
+                {"uds_relay", &uds, false, true, false},
+                {"uds_relay_wal", &uds, true, true, false}};
   for (const auto& path : kPaths) {
     std::string snapshot;
     obs::MetricsRegistry registry;
@@ -471,8 +517,16 @@ int main() {
         path.endpoint == nullptr
             ? RunInProcess(pipeline, shards, &snapshot)
             : RunNetworked(pipeline, shards, *path.endpoint, path.wal,
-                           path.relay, &registry, &snapshot, &wal_bytes);
-    if (reference.empty()) {
+                           path.relay, path.auth, &registry, &snapshot,
+                           &wal_bytes);
+    if (path.auth) {
+      if (snapshot != auth_reference) {
+        std::fprintf(stderr, "%s: session diverged from keyed file-based "
+                             "run\n",
+                     path.name);
+        return 1;
+      }
+    } else if (reference.empty()) {
       reference = snapshot;
     } else if (snapshot != reference) {
       std::fprintf(stderr, "%s: session diverged from in-process run\n",

@@ -15,8 +15,8 @@
 #include <thread>
 #include <vector>
 
-#include "aggregate/collector.h"
 #include "aggregate/metrics.h"
+#include "api/pipeline.h"
 #include "bench_util.h"
 #include "util/check.h"
 #include "util/threadpool.h"
@@ -27,6 +27,21 @@ inline ThreadPool* SharedPool() {
   static ThreadPool* pool =
       new ThreadPool(std::max(2u, std::thread::hardware_concurrency()));
   return pool;
+}
+
+/// Runs one seeded in-process collection through the session facade with the
+/// benchmark's schema filled in from the dataset.
+inline api::CollectionOutput CollectForBench(const data::Dataset& dataset,
+                                             api::PipelineConfig config,
+                                             uint64_t seed, ThreadPool* pool) {
+  auto attributes = api::AttributesFromSchema(dataset.schema());
+  LDP_CHECK_MSG(attributes.ok(), attributes.status().message().c_str());
+  config.attributes = std::move(attributes).value();
+  auto pipeline = api::Pipeline::Create(std::move(config));
+  LDP_CHECK_MSG(pipeline.ok(), pipeline.status().message().c_str());
+  auto output = pipeline.value().Collect(dataset, seed, pool);
+  LDP_CHECK_MSG(output.ok(), output.status().message().c_str());
+  return std::move(output).value();
 }
 
 /// Mean numeric and categorical MSE of the proposed pipeline over `reps`
@@ -41,27 +56,33 @@ inline MsePair AverageProposed(const data::Dataset& dataset, double epsilon,
                                uint64_t seed_base) {
   MsePair total;
   for (int rep = 0; rep < reps; ++rep) {
-    auto output = aggregate::CollectProposed(
-        dataset, epsilon, seed_base + rep, kind, FrequencyOracleKind::kOue,
-        SharedPool());
-    LDP_CHECK_MSG(output.ok(), output.status().message().c_str());
-    total.numeric += aggregate::NumericMse(output.value()) / reps;
-    total.categorical += aggregate::CategoricalMse(output.value()) / reps;
+    api::PipelineConfig config;
+    config.epsilon = epsilon;
+    config.mechanism = kind;
+    config.oracle = FrequencyOracleKind::kOue;
+    auto output =
+        CollectForBench(dataset, std::move(config), seed_base + rep,
+                        SharedPool());
+    total.numeric += aggregate::NumericMse(output) / reps;
+    total.categorical += aggregate::CategoricalMse(output) / reps;
   }
   return total;
 }
 
 inline MsePair AverageBaseline(const data::Dataset& dataset, double epsilon,
-                               aggregate::NumericStrategy strategy, int reps,
+                               api::NumericStrategy strategy, int reps,
                                uint64_t seed_base) {
   MsePair total;
   for (int rep = 0; rep < reps; ++rep) {
-    auto output = aggregate::CollectBaseline(
-        dataset, epsilon, seed_base + rep, strategy,
-        FrequencyOracleKind::kOue, SharedPool());
-    LDP_CHECK_MSG(output.ok(), output.status().message().c_str());
-    total.numeric += aggregate::NumericMse(output.value()) / reps;
-    total.categorical += aggregate::CategoricalMse(output.value()) / reps;
+    api::PipelineConfig config;
+    config.epsilon = epsilon;
+    config.oracle = FrequencyOracleKind::kOue;
+    config.baseline = strategy;
+    auto output =
+        CollectForBench(dataset, std::move(config), seed_base + rep,
+                        SharedPool());
+    total.numeric += aggregate::NumericMse(output) / reps;
+    total.categorical += aggregate::CategoricalMse(output) / reps;
   }
   return total;
 }
@@ -73,14 +94,14 @@ inline void PrintNumericComparison(const data::Dataset& dataset,
                                    const BenchConfig& config,
                                    bool include_staircase = false) {
   PrintColumns("method \\ eps", epsilons);
-  std::vector<std::pair<const char*, aggregate::NumericStrategy>> baselines =
-      {{"Laplace", aggregate::NumericStrategy::kLaplaceSplit},
-       {"SCDF", aggregate::NumericStrategy::kScdfSplit}};
+  std::vector<std::pair<const char*, api::NumericStrategy>> baselines =
+      {{"Laplace", api::NumericStrategy::kLaplaceSplit},
+       {"SCDF", api::NumericStrategy::kScdfSplit}};
   if (include_staircase) {
     baselines.emplace_back("Staircase",
-                           aggregate::NumericStrategy::kStaircaseSplit);
+                           api::NumericStrategy::kStaircaseSplit);
   }
-  baselines.emplace_back("Duchi", aggregate::NumericStrategy::kDuchiMulti);
+  baselines.emplace_back("Duchi", api::NumericStrategy::kDuchiMulti);
   uint64_t seed = 1000;
   for (const auto& [name, strategy] : baselines) {
     std::vector<double> row;
@@ -114,7 +135,7 @@ inline void PrintCategoricalComparison(const data::Dataset& dataset,
   std::vector<double> oue_row, proposed_row;
   for (const double eps : epsilons) {
     oue_row.push_back(AverageBaseline(dataset, eps,
-                                      aggregate::NumericStrategy::kDuchiMulti,
+                                      api::NumericStrategy::kDuchiMulti,
                                       config.reps, seed)
                           .categorical);
     proposed_row.push_back(AverageProposed(dataset, eps,

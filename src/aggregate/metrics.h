@@ -5,9 +5,13 @@
 #ifndef LDP_AGGREGATE_METRICS_H_
 #define LDP_AGGREGATE_METRICS_H_
 
-#include "aggregate/collector.h"
+#include "api/pipeline.h"
 
 namespace ldp::aggregate {
+
+/// Ground truth and LDP estimates from one collection run (the facade's
+/// output type; aliased here so the metric signatures read naturally).
+using CollectionOutput = api::CollectionOutput;
 
 /// Mean over numeric attributes of (estimated mean − true mean)²; 0 when the
 /// dataset has no numeric columns.

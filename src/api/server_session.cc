@@ -23,13 +23,27 @@ using internal_wire::PutU64;
 using internal_wire::PutU8;
 using internal_wire::Reader;
 
-// Every user reports once per epoch, so the population-wide per-user spend
-// is uniform; one representative key tracks it.
-constexpr uint64_t kPopulationUser = 0;
-
 // Matches core/accountant.cc kSlack: absorbs floating-point drift when the
 // plan spends exactly the lifetime budget.
 constexpr double kBudgetSlack = 1e-12;
+
+// Distinct reporter ids that get their own labeled metric series before new
+// ids collapse into {reporter="_other"} — keeps a campaign with millions of
+// reporters from exploding the exposition.
+constexpr size_t kMaxLabeledReporters = 8;
+
+// Exposition-safe label value: reporter ids are opaque bytes, label values
+// must stay printable.
+std::string SanitizeReporterLabel(const std::string& reporter_id) {
+  std::string label = reporter_id;
+  for (char& c : label) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                      c == '-';
+    if (!safe) c = '_';
+  }
+  return label;
+}
 
 // Parses and validates the fixed-size session preamble, leaving `reader`
 // positioned at the first epoch section.
@@ -41,7 +55,8 @@ Result<SessionSnapshotConfig> ReadSessionPreamble(Reader* reader) {
   }
   uint16_t version = 0;
   LDP_ASSIGN_OR_RETURN(version, reader->U16());
-  if (version != kSessionSnapshotVersion) {
+  if (version != kSessionSnapshotVersion &&
+      version != kSessionSnapshotLegacyVersion) {
     return Status::InvalidArgument("unsupported session snapshot version");
   }
   uint8_t kind = 0, mechanism = 0, oracle = 0;
@@ -59,6 +74,7 @@ Result<SessionSnapshotConfig> ReadSessionPreamble(Reader* reader) {
     return Status::InvalidArgument("unknown oracle kind in session snapshot");
   }
   SessionSnapshotConfig config;
+  config.version = version;
   config.kind = static_cast<stream::ReportStreamKind>(kind);
   config.mechanism = static_cast<MechanismKind>(mechanism);
   config.oracle = static_cast<FrequencyOracleKind>(oracle);
@@ -124,9 +140,14 @@ Result<ServerSession> Pipeline::NewServer(ServerSessionOptions options) const {
       PrivacyAccountant::Create(state_->lifetime_budget);
   if (!accountant.ok()) return accountant.status();
   // Opening a session opens epoch 0: its budget is committed to the
-  // population up front.
-  LDP_RETURN_IF_ERROR(
-      accountant.value().Charge(kPopulationUser, state_->config.epsilon));
+  // population (the anonymous plan ledger) up front.
+  Result<ChargeOutcome> charged = accountant.value().Charge(
+      kAnonymousReporter, /*epoch=*/0, state_->config.epsilon);
+  if (!charged.ok()) return charged.status();
+  if (!charged.value().accepted) {
+    return Status::FailedPrecondition(
+        "charge would exceed the user's lifetime budget");
+  }
   return ServerSession(state_, std::move(accountant).value(),
                        std::move(options));
 }
@@ -149,7 +170,7 @@ ServerSession::ServerSession(
   options_.ingest.metrics = obs::IngestMetrics::ForRegistry(options_.metrics);
   if (metrics_.enabled()) {
     metrics_.epochs_opened->Increment();  // epoch 0, charged by NewServer
-    metrics_.epsilon_spent->Set(accountant_.Spent(kPopulationUser));
+    metrics_.epsilon_spent->Set(accountant_.Spent(kAnonymousReporter));
   }
   if (options_.ingest_threads >= 2) {
     pool_ = std::make_unique<ThreadPool>(
@@ -177,20 +198,24 @@ Status ServerSession::AdvanceEpochLocked() {
     return Status::FailedPrecondition(
         "close every shard before advancing the epoch");
   }
-  const Status charged =
-      accountant_.Charge(kPopulationUser, state_->config.epsilon);
-  if (!charged.ok()) {
+  const Result<ChargeOutcome> charged =
+      accountant_.Charge(kAnonymousReporter,
+                         static_cast<uint32_t>(epochs_.size()),
+                         state_->config.epsilon);
+  if (!charged.ok()) return charged.status();
+  if (!charged.value().accepted) {
     if (metrics_.enabled()) metrics_.budget_refusals->Increment();
     if (options_.journal != nullptr) {
       options_.journal->Record(obs::EventKind::kAccountantRefuse,
                                epochs_.size() - 1);
     }
-    return charged;
+    return Status::FailedPrecondition(
+        "charge would exceed the user's lifetime budget");
   }
   epochs_.push_back(NewEpochAggregate());
   if (metrics_.enabled()) {
     metrics_.epochs_opened->Increment();
-    metrics_.epsilon_spent->Set(accountant_.Spent(kPopulationUser));
+    metrics_.epsilon_spent->Set(accountant_.Spent(kAnonymousReporter));
   }
   if (options_.journal != nullptr) {
     options_.journal->Record(obs::EventKind::kEpochAdvance, epochs_.size() - 1);
@@ -203,16 +228,60 @@ Status ServerSession::AdvanceEpochLocked() {
 
 double ServerSession::epsilon_spent() const {
   std::lock_guard<std::mutex> lock(*mutex_);
-  return accountant_.Spent(kPopulationUser);
+  return accountant_.Spent(kAnonymousReporter);
 }
 
-PrivacyAccountant ServerSession::accountant() const {
-  std::lock_guard<std::mutex> lock(*mutex_);
-  return accountant_;
+ServerSession::ReporterMetricHandles ServerSession::ReporterMetrics(
+    const std::string& reporter_id) {
+  ReporterMetricHandles handles;
+  if (options_.metrics == nullptr) return handles;
+  std::string label = SanitizeReporterLabel(reporter_id);
+  if (labeled_reporters_.count(label) == 0) {
+    if (labeled_reporters_.size() >= kMaxLabeledReporters) {
+      label = "_other";
+    } else {
+      labeled_reporters_.insert(label);
+    }
+  }
+  handles.refusals = options_.metrics->GetCounter(
+      "ldp_session_budget_refusals_total", {{"reporter", label}});
+  handles.spent = options_.metrics->GetGauge(
+      "ldp_session_reporter_epsilon_spent", {{"reporter", label}});
+  return handles;
 }
 
 size_t ServerSession::OpenShard() {
   std::lock_guard<std::mutex> lock(*mutex_);
+  return OpenShardLocked();
+}
+
+Result<size_t> ServerSession::OpenShard(const std::string& reporter_id) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  if (!reporter_id.empty()) {
+    // Charge the reporter's own ledger before anything opens. Idempotent
+    // per (reporter, epoch): reconnects and extra shards within the epoch
+    // are already paid for.
+    const Result<ChargeOutcome> charged = accountant_.Charge(
+        reporter_id, static_cast<uint32_t>(epochs_.size()) - 1,
+        state_->config.epsilon);
+    if (!charged.ok()) return charged.status();
+    const ReporterMetricHandles handles = ReporterMetrics(reporter_id);
+    if (!charged.value().accepted) {
+      if (metrics_.enabled()) metrics_.budget_refusals->Increment();
+      if (handles.refusals != nullptr) handles.refusals->Increment();
+      if (options_.journal != nullptr) {
+        options_.journal->Record(obs::EventKind::kAccountantRefuse,
+                                 epochs_.size() - 1);
+      }
+      return Status::FailedPrecondition(
+          "reporter's lifetime budget cannot afford this epoch");
+    }
+    if (handles.spent != nullptr) handles.spent->Set(charged.value().spent);
+  }
+  return OpenShardLocked();
+}
+
+size_t ServerSession::OpenShardLocked() {
   ShardState shard;
   shard.ingester = std::make_unique<stream::ShardIngester>(
       NewEpochAggregate(), options_.ingest);
@@ -602,7 +671,7 @@ Status ServerSession::MergeLocked(const std::string& snapshot_bytes) {
     const double extra =
         static_cast<double>(peer_epochs - epochs_.size()) *
         state_->config.epsilon;
-    if (accountant_.Remaining(kPopulationUser) + kBudgetSlack < extra) {
+    if (accountant_.Remaining(kAnonymousReporter) + kBudgetSlack < extra) {
       return Status::FailedPrecondition(
           "merging the session would exceed the lifetime budget");
     }
@@ -621,12 +690,64 @@ Status ServerSession::MergeLocked(const std::string& snapshot_bytes) {
         handle->MergeEncodedSnapshot(std::string(inner, inner_size)));
     staged.push_back(std::move(handle));
   }
+  // Stage the per-reporter ledger section (v2) before anything commits, so
+  // a truncated snapshot mutates nothing.
+  struct StagedLedger {
+    std::string reporter;
+    uint64_t refusals = 0;
+    std::vector<std::pair<uint32_t, double>> entries;
+  };
+  std::vector<StagedLedger> staged_ledgers;
+  if (peer.version >= kSessionSnapshotVersion) {
+    uint32_t num_reporters = 0;
+    LDP_ASSIGN_OR_RETURN(num_reporters, reader.U32());
+    staged_ledgers.reserve(
+        std::min<size_t>(num_reporters, 1u << 16));
+    for (uint32_t r = 0; r < num_reporters; ++r) {
+      StagedLedger ledger;
+      uint16_t id_length = 0;
+      LDP_ASSIGN_OR_RETURN(id_length, reader.U16());
+      const char* id = reader.TakeBytes(id_length);
+      if (id == nullptr) {
+        return Status::InvalidArgument(
+            "truncated reporter ledger in session snapshot");
+      }
+      ledger.reporter.assign(id, id_length);
+      LDP_ASSIGN_OR_RETURN(ledger.refusals, reader.U64());
+      uint32_t num_entries = 0;
+      LDP_ASSIGN_OR_RETURN(num_entries, reader.U32());
+      // 12 bytes per entry bounds a hostile count against the payload.
+      if (num_entries > (snapshot_bytes.size() / 12) + 1) {
+        return Status::InvalidArgument(
+            "reporter ledger entry count exceeds snapshot size");
+      }
+      ledger.entries.reserve(num_entries);
+      for (uint32_t i = 0; i < num_entries; ++i) {
+        uint32_t epoch = 0;
+        double spent = 0.0;
+        LDP_ASSIGN_OR_RETURN(epoch, reader.U32());
+        LDP_ASSIGN_OR_RETURN(spent, reader.F64());
+        ledger.entries.emplace_back(epoch, spent);
+      }
+      staged_ledgers.push_back(std::move(ledger));
+    }
+  }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after session snapshot");
   }
   for (uint32_t e = 0; e < peer_epochs; ++e) {
     if (e >= epochs_.size()) LDP_RETURN_IF_ERROR(AdvanceEpochLocked());
     LDP_RETURN_IF_ERROR(epochs_[e]->Merge(*staged[e]));
+  }
+  // Union the peer's ledgers by (reporter, epoch): a reporter both edges
+  // saw in an epoch is restored once, not summed — the exactly-once
+  // guarantee across relay edges. Refusal counters add.
+  for (const StagedLedger& ledger : staged_ledgers) {
+    for (const auto& [epoch, spent] : ledger.entries) {
+      LDP_RETURN_IF_ERROR(
+          accountant_.RestoreCharge(ledger.reporter, epoch, spent));
+    }
+    accountant_.RestoreRefusals(ledger.reporter, ledger.refusals);
   }
   return Status::OK();
 }
@@ -646,6 +767,21 @@ std::string ServerSession::Snapshot() const {
     const std::string inner = epoch->EncodeSnapshot();
     PutU64(&out, inner.size());
     out.append(inner);
+  }
+  // v2 ledger section: every reporter's spend history, in ascending id
+  // order (std::map iteration), so two sessions that saw the same charges
+  // serialize bit-identically.
+  const auto& ledgers = accountant_.ledgers();
+  PutU32(&out, static_cast<uint32_t>(ledgers.size()));
+  for (const auto& [reporter, ledger] : ledgers) {
+    PutU16(&out, static_cast<uint16_t>(reporter.size()));
+    out.append(reporter);
+    PutU64(&out, ledger.refusals);
+    PutU32(&out, static_cast<uint32_t>(ledger.epoch_spend.size()));
+    for (const auto& [epoch, spent] : ledger.epoch_spend) {
+      PutU32(&out, epoch);
+      PutF64(&out, spent);
+    }
   }
   return out;
 }

@@ -28,11 +28,16 @@
 // meaning.
 //
 // Accounting model: every user in the population reports once per epoch, so
-// the per-user ε spend is the same for the whole population; the accountant
-// tracks it under one representative key and charges the config's ε when an
-// epoch opens (epoch 0 at session creation, later ones at AdvanceEpoch).
-// When the lifetime budget cannot afford the next epoch, AdvanceEpoch fails
-// and the collection campaign is over.
+// the campaign-plan spend is charged to the anonymous ledger
+// (kAnonymousReporter) when an epoch opens (epoch 0 at session creation,
+// later ones at AdvanceEpoch). When the lifetime budget cannot afford the
+// next epoch, AdvanceEpoch fails and the collection campaign is over. On
+// top of that plan ledger, shards opened with an authenticated reporter id
+// (OpenShard(reporter_id), fed by protocol v3 HELLOs) charge that
+// reporter's own ledger — idempotently per (reporter, epoch), so a
+// reconnect, extra shard, or second relay edge never double-spends — and a
+// reporter whose lifetime budget cannot afford the epoch is refused before
+// a shard opens.
 
 #ifndef LDP_API_SERVER_SESSION_H_
 #define LDP_API_SERVER_SESSION_H_
@@ -42,6 +47,7 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -66,8 +72,16 @@ namespace ldp::api {
 ///   u64 schema_hash, f64 epsilon, u32 num_epochs, then per epoch:
 ///     u64 size, size bytes of that epoch's aggregator snapshot
 ///     (stream/snapshot.h 'LDPA' or 'LDPN').
+/// Version 2 appends the per-reporter privacy ledger section after the
+/// epochs:
+///   u32 num_reporters, then per reporter in ascending id order:
+///     u16 id_length, id bytes, u64 refusals, u32 num_epoch_entries,
+///     then per entry: u32 epoch, f64 epsilon spent.
+/// Version 1 snapshots (no ledger section) still merge; their charges are
+/// attributed to nobody beyond the anonymous plan ledger.
 inline constexpr uint32_t kSessionSnapshotMagic = 0x4550444cu;
-inline constexpr uint16_t kSessionSnapshotVersion = 1;
+inline constexpr uint16_t kSessionSnapshotVersion = 2;
+inline constexpr uint16_t kSessionSnapshotLegacyVersion = 1;
 
 /// True when `bytes` starts with the session snapshot magic.
 bool LooksLikeSessionSnapshot(const std::string& bytes);
@@ -76,6 +90,7 @@ bool LooksLikeSessionSnapshot(const std::string& bytes);
 /// is enough to rebuild the pipeline configuration (tools/ldp_aggregate
 /// does).
 struct SessionSnapshotConfig {
+  uint16_t version = kSessionSnapshotVersion;
   stream::ReportStreamKind kind = stream::ReportStreamKind::kMixed;
   MechanismKind mechanism = MechanismKind::kHybrid;
   FrequencyOracleKind oracle = FrequencyOracleKind::kOue;
@@ -132,9 +147,11 @@ class ServerSession {
   /// Total per-user ε spent across the epochs opened so far.
   double epsilon_spent() const;
 
-  /// A consistent copy of the accountant's state at the time of the call
-  /// (by value so it stays coherent while other threads advance epochs).
-  PrivacyAccountant accountant() const;
+  /// A const view of the accountant's per-reporter ledgers. The reference
+  /// stays valid for the session's lifetime, but reading it while another
+  /// thread advances epochs or opens identified shards races: take this
+  /// view only from a quiescent session (exit stats, post-drain reporting).
+  const PrivacyAccountant& accountant() const { return accountant_; }
 
   // --- feeding the current epoch -----------------------------------------
 
@@ -143,6 +160,16 @@ class ServerSession {
   /// a shard closed in an earlier epoch fails rather than landing in a new
   /// shard that happened to take the same slot.
   size_t OpenShard();
+
+  /// Opens a shard attributed to an authenticated reporter: charges the
+  /// config's ε to `reporter_id`'s ledger for the current epoch before
+  /// anything opens. The charge is idempotent per (reporter, epoch) — a
+  /// reporter reconnecting or opening several shards in one epoch spends ε
+  /// exactly once. Fails with FailedPrecondition (opening nothing, and
+  /// counting a refusal against the reporter) when the reporter's lifetime
+  /// budget cannot afford the epoch. An empty id is the anonymous shard,
+  /// charged to nobody beyond the plan ledger.
+  Result<size_t> OpenShard(const std::string& reporter_id);
 
   /// Feeds `size` bytes of shard `shard`'s stream; chunks may be arbitrary.
   /// Synchronous sessions consume in place and return the shard's sticky
@@ -248,6 +275,17 @@ class ServerSession {
   Status AdvanceEpochLocked();
   Status FeedLocked(size_t shard, const char* data, size_t size);
   Status MergeLocked(const std::string& snapshot_bytes);
+  size_t OpenShardLocked();
+
+  /// Resolves the per-reporter labeled metric handles (refusal counter,
+  /// spend gauge) for `reporter_id`, bounding exposition cardinality: after
+  /// kMaxLabeledReporters distinct ids, further reporters collapse into the
+  /// {reporter="_other"} series. Null handles when telemetry is off.
+  struct ReporterMetricHandles {
+    obs::Counter* refusals = nullptr;
+    obs::Gauge* spent = nullptr;
+  };
+  ReporterMetricHandles ReporterMetrics(const std::string& reporter_id);
 
   /// Blocks until shard `shard`'s queued chunks are decoded (no-op on
   /// synchronous sessions). Callers drop mutex_ for the wait so other
@@ -259,6 +297,9 @@ class ServerSession {
   PrivacyAccountant accountant_;
   ServerSessionOptions options_;
   obs::SessionMetrics metrics_;  // all-null when options_.metrics is null
+  /// Reporter ids granted their own labeled metric series (bounded; see
+  /// ReporterMetrics).
+  std::set<std::string> labeled_reporters_;
   /// Guards everything below plus accountant_. Worker tasks touch only
   /// their shard's ingester and AsyncShardError, never this mutex, so drain
   /// points may hold it while waiting. Heap-allocated to keep the session

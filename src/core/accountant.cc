@@ -1,13 +1,14 @@
 #include "core/accountant.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace ldp {
 
 namespace {
 
-// Absorbs floating-point drift when users spend exactly their budget across
-// several charges.
+// Absorbs floating-point drift when reporters spend exactly their budget
+// across several charges.
 constexpr double kSlack = 1e-12;
 
 }  // namespace
@@ -20,33 +21,92 @@ Result<PrivacyAccountant> PrivacyAccountant::Create(double lifetime_budget) {
   return PrivacyAccountant(lifetime_budget);
 }
 
-Status PrivacyAccountant::Charge(uint64_t user, double epsilon) {
+Result<ChargeOutcome> PrivacyAccountant::Charge(const std::string& reporter,
+                                                uint32_t epoch,
+                                                double epsilon) {
   if (!(std::isfinite(epsilon) && epsilon > 0.0)) {
     return Status::InvalidArgument("charge must be finite and positive");
   }
-  double& spent = spent_[user];
-  if (spent + epsilon > lifetime_budget_ + kSlack) {
-    return Status::FailedPrecondition(
-        "charge would exceed the user's lifetime budget");
+  Ledger& ledger = ledgers_[reporter];
+  ChargeOutcome outcome;
+  if (ledger.epoch_spend.count(epoch) > 0) {
+    // Idempotent repeat: the epoch is already paid for — a reconnect, an
+    // extra shard, or a second relay edge, never a second spend.
+    outcome.accepted = true;
+  } else if (ledger.spent + epsilon > lifetime_budget_ + kSlack) {
+    outcome.accepted = false;
+    ++ledger.refusals;
+  } else {
+    ledger.epoch_spend[epoch] = epsilon;
+    ledger.spent += epsilon;
+    outcome.accepted = true;
   }
-  spent += epsilon;
+  outcome.spent = ledger.spent;
+  outcome.remaining = std::max(0.0, lifetime_budget_ - ledger.spent);
+  outcome.refusals = ledger.refusals;
+  return outcome;
+}
+
+double PrivacyAccountant::Remaining(const std::string& reporter) const {
+  return std::max(0.0, lifetime_budget_ - Spent(reporter));
+}
+
+double PrivacyAccountant::Spent(const std::string& reporter) const {
+  const auto it = ledgers_.find(reporter);
+  return it == ledgers_.end() ? 0.0 : it->second.spent;
+}
+
+uint64_t PrivacyAccountant::Refusals(const std::string& reporter) const {
+  const auto it = ledgers_.find(reporter);
+  return it == ledgers_.end() ? 0 : it->second.refusals;
+}
+
+bool PrivacyAccountant::CanCharge(const std::string& reporter,
+                                  double epsilon) const {
+  if (!(std::isfinite(epsilon) && epsilon > 0.0)) return false;
+  return Spent(reporter) + epsilon <= lifetime_budget_ + kSlack;
+}
+
+uint64_t PrivacyAccountant::total_refusals() const {
+  uint64_t total = 0;
+  for (const auto& [reporter, ledger] : ledgers_) total += ledger.refusals;
+  return total;
+}
+
+Status PrivacyAccountant::RestoreCharge(const std::string& reporter,
+                                        uint32_t epoch, double epsilon) {
+  if (!(std::isfinite(epsilon) && epsilon > 0.0)) {
+    return Status::InvalidArgument("restored charge must be finite and "
+                                   "positive");
+  }
+  Ledger& ledger = ledgers_[reporter];
+  const auto it = ledger.epoch_spend.find(epoch);
+  if (it != ledger.epoch_spend.end()) {
+    if (it->second != epsilon) {
+      return Status::FailedPrecondition(
+          "per-reporter ledgers disagree about an epoch's spend");
+    }
+    return Status::OK();
+  }
+  ledger.epoch_spend[epoch] = epsilon;
+  ledger.spent += epsilon;
   return Status::OK();
 }
 
-double PrivacyAccountant::Remaining(uint64_t user) const {
-  const auto it = spent_.find(user);
-  const double spent = it == spent_.end() ? 0.0 : it->second;
-  return std::max(0.0, lifetime_budget_ - spent);
+void PrivacyAccountant::RestoreRefusals(const std::string& reporter,
+                                        uint64_t refusals) {
+  if (refusals == 0) return;
+  ledgers_[reporter].refusals += refusals;
 }
 
-double PrivacyAccountant::Spent(uint64_t user) const {
-  const auto it = spent_.find(user);
-  return it == spent_.end() ? 0.0 : it->second;
-}
-
-bool PrivacyAccountant::CanCharge(uint64_t user, double epsilon) const {
-  if (!(std::isfinite(epsilon) && epsilon > 0.0)) return false;
-  return Spent(user) + epsilon <= lifetime_budget_ + kSlack;
+Status PrivacyAccountant::MergeFrom(const PrivacyAccountant& other) {
+  for (const auto& [reporter, ledger] : other.ledgers_) {
+    for (const auto& [epoch, epsilon] : ledger.epoch_spend) {
+      LDP_RETURN_IF_ERROR(RestoreCharge(reporter, epoch, epsilon));
+    }
+    RestoreRefusals(reporter, ledger.refusals);
+  }
+  return Status::OK();
 }
 
 }  // namespace ldp

@@ -1,58 +1,125 @@
-// PrivacyAccountant: per-user budget bookkeeping under sequential
+// PrivacyAccountant: per-reporter budget bookkeeping under sequential
 // composition. An LDP deployment typically answers many collection rounds
 // against the same population; by the composition property of differential
 // privacy (Section V uses it for SGD), the budgets of everything one user
-// participates in add up. The accountant enforces a lifetime cap per user
-// and refuses charges that would exceed it — the control knob behind the
-// paper's observation that a user should power at most one SGD iteration.
+// participates in add up. The accountant keys one ledger per reporter id
+// (the authenticated identity protocol v3 HELLOs carry) and enforces a
+// lifetime ε cap per ledger — the control knob behind the paper's
+// observation that a user should power at most one SGD iteration.
+//
+// Charges are keyed by (reporter, epoch) and idempotent within that key: a
+// reporter who reconnects, opens more shards, or arrives via several relay
+// edges in the same epoch is charged exactly once, which is what the paper's
+// per-user guarantee actually promises. The pre-identity single-ledger
+// behavior is the anonymous reporter (kAnonymousReporter, the empty id).
 
 #ifndef LDP_CORE_ACCOUNTANT_H_
 #define LDP_CORE_ACCOUNTANT_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
+#include <string>
 
 #include "util/result.h"
 #include "util/status.h"
 
 namespace ldp {
 
-/// Tracks cumulative ε spent per user against a lifetime budget.
+/// The ledger id the legacy identity-free paths charge: every report is
+/// attributed to one representative population user.
+inline constexpr const char kAnonymousReporter[] = "";
+
+/// The typed result of one Charge call: what happened, and the reporter's
+/// ledger state after the call — no out-param follow-up queries needed.
+struct ChargeOutcome {
+  /// True when the epoch is covered (newly charged, or already charged —
+  /// the idempotent case). False when the lifetime budget refused it.
+  bool accepted = false;
+  /// Total ε this reporter has spent after the call.
+  double spent = 0.0;
+  /// Lifetime budget the reporter has left after the call.
+  double remaining = 0.0;
+  /// This reporter's cumulative refusal count after the call.
+  uint64_t refusals = 0;
+};
+
+/// Tracks cumulative ε spent per reporter against a lifetime budget.
 ///
 /// Thread-compatibility: not internally synchronised; guard with a mutex if
 /// charged from multiple threads.
 class PrivacyAccountant {
  public:
-  /// `lifetime_budget` is the maximum total ε any one user may spend; must
-  /// be positive and finite.
+  /// One reporter's spend history: ε per charged epoch, the cached total,
+  /// and how many charges the budget refused.
+  struct Ledger {
+    std::map<uint32_t, double> epoch_spend;
+    double spent = 0.0;
+    uint64_t refusals = 0;
+  };
+
+  /// `lifetime_budget` is the maximum total ε any one reporter may spend;
+  /// must be positive and finite.
   static Result<PrivacyAccountant> Create(double lifetime_budget);
 
-  /// Charges `epsilon` to `user`. Fails with FailedPrecondition (and charges
-  /// nothing) if the charge would push the user past the lifetime budget;
-  /// fails with InvalidArgument for a non-positive/non-finite epsilon.
-  Status Charge(uint64_t user, double epsilon);
+  /// Charges `epsilon` to `reporter` for `epoch`. Idempotent per
+  /// (reporter, epoch): a repeat charge for an already-covered epoch is
+  /// accepted without spending again. A charge the lifetime budget cannot
+  /// afford is refused — nothing is spent and the reporter's refusal count
+  /// increments. Fails with InvalidArgument (a caller bug, not a refusal)
+  /// for a non-positive/non-finite epsilon.
+  Result<ChargeOutcome> Charge(const std::string& reporter, uint32_t epoch,
+                               double epsilon);
 
-  /// The budget `user` has left (full budget for unseen users).
-  double Remaining(uint64_t user) const;
+  /// The budget `reporter` has left (full budget for unseen reporters).
+  double Remaining(const std::string& reporter) const;
 
-  /// Total ε charged to `user` so far (0 for unseen users).
-  double Spent(uint64_t user) const;
+  /// Total ε charged to `reporter` so far (0 for unseen reporters).
+  double Spent(const std::string& reporter) const;
 
-  /// True iff `user` can still afford a charge of `epsilon`.
-  bool CanCharge(uint64_t user, double epsilon) const;
+  /// Charges refused for `reporter` so far.
+  uint64_t Refusals(const std::string& reporter) const;
 
-  /// The per-user lifetime budget.
+  /// True iff `reporter` can still afford a charge of `epsilon` in an
+  /// epoch they have not already covered.
+  bool CanCharge(const std::string& reporter, double epsilon) const;
+
+  /// The per-reporter lifetime budget.
   double lifetime_budget() const { return lifetime_budget_; }
 
-  /// Number of users with a non-zero charge.
-  size_t num_charged_users() const { return spent_.size(); }
+  /// Number of reporters with a ledger (a charge or a refusal on record).
+  size_t num_charged_reporters() const { return ledgers_.size(); }
+
+  /// Refusals summed over every ledger.
+  uint64_t total_refusals() const;
+
+  /// Every ledger, keyed by reporter id in sorted order — the deterministic
+  /// iteration snapshots and stats serialize from.
+  const std::map<std::string, Ledger>& ledgers() const { return ledgers_; }
+
+  /// Restores one (reporter, epoch) entry exactly as recorded elsewhere —
+  /// the snapshot-merge / WAL-replay path. Restoring an entry that already
+  /// exists with the same spend is a no-op; a conflicting spend for the
+  /// same key fails with FailedPrecondition (two ledgers disagreeing about
+  /// one user's history means a corrupt or mismatched snapshot). Unlike
+  /// Charge, a restore may exceed this accountant's lifetime budget check —
+  /// the originating edge already enforced it.
+  Status RestoreCharge(const std::string& reporter, uint32_t epoch,
+                       double epsilon);
+
+  /// Folds refusal counts recorded elsewhere into `reporter`'s ledger.
+  void RestoreRefusals(const std::string& reporter, uint64_t refusals);
+
+  /// Merges every ledger of `other` into this accountant: epoch entries
+  /// union by (reporter, epoch) — the exactly-once guarantee across relay
+  /// edges — and refusal counts add. Fails if any shared entry conflicts.
+  Status MergeFrom(const PrivacyAccountant& other);
 
  private:
   explicit PrivacyAccountant(double lifetime_budget)
       : lifetime_budget_(lifetime_budget) {}
 
   double lifetime_budget_;
-  std::unordered_map<uint64_t, double> spent_;
+  std::map<std::string, Ledger> ledgers_;
 };
 
 }  // namespace ldp

@@ -10,14 +10,13 @@
 // collector), the frequency oracles, the dataset/encoding substrate, the
 // network transport (net::ReportServer / net::CollectorClient — the
 // TCP/UDS collector edge), the telemetry subsystem (obs::MetricsRegistry,
-// obs::EventJournal and the obs::MetricsServer scrape endpoint), the
-// legacy collection wrappers and the LDP-SGD trainer. Individual headers
-// remain includable on their own for faster builds.
+// obs::EventJournal and the obs::MetricsServer scrape endpoint), and the
+// LDP-SGD trainer. Individual headers remain includable on their own for
+// faster builds.
 
 #ifndef LDP_LDP_H_
 #define LDP_LDP_H_
 
-#include "aggregate/collector.h"
 #include "aggregate/confidence.h"
 #include "api/pipeline.h"
 #include "api/server_session.h"

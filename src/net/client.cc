@@ -26,6 +26,7 @@ Result<CollectorClient> CollectorClient::Connect(
   if (options.idle_timeout_ms > 0) {
     LDP_RETURN_IF_ERROR(client.socket_.SetIdleTimeout(options.idle_timeout_ms));
   }
+  client.epoch_ = options.epoch;
   const uint32_t channel = client.next_channel_++;
   LDP_RETURN_IF_ERROR(client.Negotiate(header, ordinal, channel));
   client.primary_ = channel;
@@ -39,6 +40,19 @@ Status CollectorClient::Negotiate(const stream::StreamHeader& header,
   hello.ordinal = ordinal;
   if (effective_window_ > 0) hello.flags |= kHelloFlagDataAcks;
   hello.header_bytes = stream::EncodeStreamHeader(header);
+  if (!options_.campaign_key.empty()) {
+    if (options_.reporter_id.empty()) {
+      return Status::InvalidArgument(
+          "authenticated campaigns require a non-empty reporter id");
+    }
+    if (options_.reporter_id.size() > kMaxReporterIdBytes) {
+      return Status::InvalidArgument("reporter id exceeds the protocol bound");
+    }
+    hello.reporter_id = options_.reporter_id;
+    hello.auth_tag =
+        ComputeHelloTag(options_.campaign_key, options_.reporter_id, channel,
+                        epoch_, hello.header_bytes);
+  }
   std::string wire;
   LDP_RETURN_IF_ERROR(
       AppendMessage(MessageType::kHello, EncodeHello(hello), &wire));

@@ -49,6 +49,19 @@ struct CollectorClientOptions {
   /// When nonzero, bound on unacknowledged in-flight bytes across all of
   /// the connection's channels (see the file comment). 0 disables acks.
   uint64_t window_bytes = 0;
+  /// Reporter identity for authenticated (protocol v3) campaigns. When
+  /// `campaign_key` is non-empty every HELLO carries `reporter_id` plus an
+  /// HMAC-SHA256 tag binding (key, id, channel, epoch, stream header); a
+  /// keyed collector refuses anything else. When empty the client speaks
+  /// the legacy v2 HELLO and a keyless collector accepts it unchanged.
+  std::string reporter_id;
+  std::string campaign_key;
+  /// The epoch this connection's first HELLO folds into. Authenticated
+  /// tags are epoch-bound, so a reporter joining (or reconnecting) after
+  /// the campaign advanced past epoch 0 must pass the current epoch here;
+  /// later HELLOs on the same connection track HELLO_OK / EPOCH_ADVANCED
+  /// replies automatically. Ignored for unauthenticated campaigns.
+  uint32_t epoch = 0;
 };
 
 /// The server's verdict on one closed shard.

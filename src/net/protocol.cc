@@ -1,6 +1,7 @@
 #include "net/protocol.h"
 
 #include "core/wire.h"
+#include "util/hmac.h"
 
 namespace ldp::net {
 
@@ -72,11 +73,20 @@ Result<MessageHeader> DecodeMessageHeader(const char* data, size_t size) {
 }
 
 std::string EncodeHello(const HelloMessage& hello) {
+  // An unauthenticated HELLO stays on the v2 layout so a client without a
+  // campaign key is byte-identical to the previous release.
+  const bool authenticated =
+      !hello.reporter_id.empty() || !hello.auth_tag.empty();
   std::string out;
-  PutU16(&out, hello.version);
+  PutU16(&out, authenticated ? kProtocolVersion : kLegacyProtocolVersion);
   PutU32(&out, hello.channel);
   PutU32(&out, hello.flags);
   PutU64(&out, hello.ordinal);
+  if (authenticated) {
+    PutU16(&out, static_cast<uint16_t>(hello.reporter_id.size()));
+    out.append(hello.reporter_id);
+    out.append(hello.auth_tag);
+  }
   out.append(hello.header_bytes);
   return out;
 }
@@ -85,15 +95,54 @@ Result<HelloMessage> DecodeHello(const std::string& payload) {
   Reader reader(payload.data(), payload.size());
   HelloMessage hello;
   LDP_ASSIGN_OR_RETURN(hello.version, reader.U16());
-  if (hello.version != kProtocolVersion) {
+  if (hello.version != kProtocolVersion &&
+      hello.version != kLegacyProtocolVersion) {
     return Status::InvalidArgument("unsupported protocol version " +
                                    std::to_string(hello.version));
   }
   LDP_ASSIGN_OR_RETURN(hello.channel, reader.U32());
   LDP_ASSIGN_OR_RETURN(hello.flags, reader.U32());
   LDP_ASSIGN_OR_RETURN(hello.ordinal, reader.U64());
+  if (hello.version == kProtocolVersion) {
+    uint16_t id_length = 0;
+    LDP_ASSIGN_OR_RETURN(id_length, reader.U16());
+    if (id_length == 0) {
+      return Status::InvalidArgument("v3 HELLO carries an empty reporter id");
+    }
+    if (id_length > kMaxReporterIdBytes) {
+      return Status::InvalidArgument(
+          "reporter id length " + std::to_string(id_length) +
+          " exceeds bound " + std::to_string(kMaxReporterIdBytes));
+    }
+    const char* id_bytes = reader.TakeBytes(id_length);
+    if (id_bytes == nullptr) {
+      return Status::InvalidArgument("truncated reporter id in HELLO");
+    }
+    hello.reporter_id.assign(id_bytes, id_length);
+    const char* tag_bytes = reader.TakeBytes(kHelloAuthTagBytes);
+    if (tag_bytes == nullptr) {
+      return Status::InvalidArgument("truncated auth tag in HELLO");
+    }
+    hello.auth_tag.assign(tag_bytes, kHelloAuthTagBytes);
+  }
   hello.header_bytes = TakeRest(payload, reader);
   return hello;
+}
+
+std::string ComputeHelloTag(const std::string& campaign_key,
+                            const std::string& reporter_id, uint32_t channel,
+                            uint32_t epoch, const std::string& header_bytes) {
+  // Canonical tag input: a domain-separation label, then every field
+  // length-delimited so no two distinct (id, channel, epoch, header) tuples
+  // share an encoding.
+  std::string canonical("ldp-hello-v3\0", 13);
+  PutU16(&canonical, static_cast<uint16_t>(reporter_id.size()));
+  canonical.append(reporter_id);
+  PutU32(&canonical, channel);
+  PutU32(&canonical, epoch);
+  PutU32(&canonical, static_cast<uint32_t>(header_bytes.size()));
+  canonical.append(header_bytes);
+  return util::HmacSha256(campaign_key, canonical);
 }
 
 std::string EncodeHelloOk(const HelloOkMessage& ok) {
@@ -179,7 +228,8 @@ Result<SnapshotMessage> DecodeSnapshot(const std::string& payload) {
   Reader reader(payload.data(), payload.size());
   SnapshotMessage snapshot;
   LDP_ASSIGN_OR_RETURN(snapshot.version, reader.U16());
-  if (snapshot.version != kProtocolVersion) {
+  if (snapshot.version != kProtocolVersion &&
+      snapshot.version != kLegacyProtocolVersion) {
     return Status::InvalidArgument("unsupported protocol version " +
                                    std::to_string(snapshot.version));
   }

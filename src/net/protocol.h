@@ -56,7 +56,23 @@
 
 namespace ldp::net {
 
-inline constexpr uint16_t kProtocolVersion = 2;
+/// Current protocol version. v3 added the authenticated HELLO: a reporter
+/// id plus an HMAC-SHA256 tag binding the id to the campaign key, stream
+/// header, channel, and epoch.
+inline constexpr uint16_t kProtocolVersion = 3;
+
+/// The pre-identity version. Keyless servers still accept it (and
+/// unauthenticated clients still emit it) so a v2 fleet keeps working
+/// unchanged; keyed servers refuse it.
+inline constexpr uint16_t kLegacyProtocolVersion = 2;
+
+/// Upper bound on a reporter id carried in a v3 HELLO. Ids are opaque
+/// client-chosen bytes; the bound keeps a hostile HELLO from smuggling a
+/// huge allocation through the id length field.
+inline constexpr size_t kMaxReporterIdBytes = 128;
+
+/// Size of the raw HMAC-SHA256 tag in a v3 HELLO.
+inline constexpr size_t kHelloAuthTagBytes = 32;
 
 /// HELLO flag bit: the client wants batched DATA_ACK messages (cumulative
 /// per-channel byte watermarks) so it can bound its in-flight window.
@@ -118,6 +134,13 @@ Result<MessageHeader> DecodeMessageHeader(const char* data, size_t size);
 // --- payloads --------------------------------------------------------------
 
 /// HELLO: the client introduces one shard-to-be on a fresh channel.
+///
+/// Two wire layouts share the message type. An unauthenticated HELLO
+/// (empty reporter_id and auth_tag) encodes the v2 layout, byte-identical
+/// to the previous release. An authenticated HELLO encodes v3: the fixed
+/// fields, then u16 id length, the id bytes, the raw 32-byte tag, then the
+/// stream header. DecodeHello dispatches on the leading version and fills
+/// `version` with what was actually on the wire.
 struct HelloMessage {
   uint16_t version = kProtocolVersion;
   /// Client-chosen id multiplexing this shard over the connection; must not
@@ -129,12 +152,27 @@ struct HelloMessage {
   /// The shard's merge position (see file comment). Clients streaming a
   /// single ad-hoc shard use 0.
   uint64_t ordinal = 0;
+  /// v3 only: the authenticated reporter identity (1..kMaxReporterIdBytes
+  /// opaque bytes) the server keys this shard's privacy ledger by.
+  std::string reporter_id;
+  /// v3 only: ComputeHelloTag(campaign key, ...) — raw kHelloAuthTagBytes.
+  std::string auth_tag;
   /// The serialized stream::StreamHeader the shard's bytes start with.
   std::string header_bytes;
 };
 
 std::string EncodeHello(const HelloMessage& hello);
 Result<HelloMessage> DecodeHello(const std::string& payload);
+
+/// The v3 HELLO authentication tag: HMAC-SHA256 over a canonical encoding
+/// of (reporter id, channel, epoch, stream header) under the campaign key.
+/// Binding the channel and the server's current epoch means a captured tag
+/// cannot be replayed onto another channel or into a later epoch; binding
+/// the header means the tag vouches for the exact schema/ε the reporter
+/// streams under.
+std::string ComputeHelloTag(const std::string& campaign_key,
+                            const std::string& reporter_id, uint32_t channel,
+                            uint32_t epoch, const std::string& header_bytes);
 
 /// HELLO_OK: the server accepted the shard.
 struct HelloOkMessage {

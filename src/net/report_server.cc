@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "obs/journal.h"
+#include "util/hmac.h"
 
 namespace ldp::net {
 
@@ -723,6 +724,50 @@ bool ReportServer::HandleHello(Loop& loop,
                /*count_always=*/false);
     return false;
   }
+  // The authentication gate runs before the stream header is decoded: a
+  // forged or unauthenticated HELLO is refused on the cheap fixed fields
+  // alone and never reaches the session.
+  Status auth = Status::OK();
+  if (options_.campaign_key.empty()) {
+    if (hello.value().version != kLegacyProtocolVersion) {
+      auth = Status::FailedPrecondition(
+          "this collector has no campaign key and refuses authenticated "
+          "HELLOs rather than skipping verification");
+    }
+  } else if (hello.value().version != kProtocolVersion) {
+    auth = Status::FailedPrecondition(
+        "this campaign requires an authenticated protocol v3 HELLO");
+  } else {
+    const std::string expected_tag = ComputeHelloTag(
+        options_.campaign_key, hello.value().reporter_id,
+        hello.value().channel, session_->current_epoch(),
+        hello.value().header_bytes);
+    if (!util::ConstantTimeEqual(expected_tag, hello.value().auth_tag)) {
+      auth = Status::FailedPrecondition(
+          "HELLO authentication tag does not verify for this campaign, "
+          "channel, and epoch");
+    }
+  }
+  if (!auth.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.hello_rejected;
+      ++stats_.hello_unauthenticated;
+    }
+    if (metrics_.enabled()) {
+      metrics_.hello_refused->Increment();
+      metrics_.hello_unauthenticated->Increment();
+    }
+    if (options_.journal != nullptr) {
+      options_.journal->Record(obs::EventKind::kAuthRefuse,
+                               hello.value().ordinal);
+    }
+    FlushPendingAcks(conn);
+    QueueMessage(conn, MessageType::kError, EncodeError(auth));
+    AbandonConnChannels(conn);
+    CloseAfterFlush(loop, conn);
+    return false;
+  }
   Result<stream::StreamHeader> peer =
       stream::DecodeStreamHeader(hello.value().header_bytes);
   Status refusal = peer.ok()
@@ -747,11 +792,6 @@ bool ReportServer::HandleHello(Loop& loop,
     CloseAfterFlush(loop, conn);
     return false;
   }
-  if (metrics_.enabled()) metrics_.hello_accepted->Increment();
-  if (options_.journal != nullptr) {
-    options_.journal->Record(obs::EventKind::kHelloAccept,
-                             hello.value().ordinal);
-  }
   // A WAL replay may have left this ordinal's shard open at the crash:
   // re-attach to it instead of opening anew, and tell the reporter how
   // many post-header bytes are already durable.
@@ -766,12 +806,44 @@ bool ReportServer::HandleHello(Loop& loop,
       resume_shards_.erase(found);
     }
   }
+  ChannelState state;
+  state.ordinal = hello.value().ordinal;
+  if (is_resume) {
+    state.shard = resumed.shard;
+  } else {
+    // Opening charges the reporter's privacy ledger for this epoch
+    // (idempotently — a reconnect is already paid for). A reporter whose
+    // lifetime budget cannot afford the epoch is refused here, shardless.
+    Result<size_t> opened = session_->OpenShard(hello.value().reporter_id);
+    if (!opened.ok()) {
+      // Release the ordinal the way an abandoned shard would: the campaign
+      // proceeds with this reporter's shard simply missing.
+      FinishOrdinal(state.ordinal);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.hello_rejected;
+      }
+      if (metrics_.enabled()) metrics_.hello_refused->Increment();
+      if (options_.journal != nullptr) {
+        options_.journal->Record(obs::EventKind::kHelloRefuse,
+                                 hello.value().ordinal);
+      }
+      FlushPendingAcks(conn);
+      QueueMessage(conn, MessageType::kError, EncodeError(opened.status()));
+      AbandonConnChannels(conn);
+      CloseAfterFlush(loop, conn);
+      return false;
+    }
+    state.shard = opened.value();
+  }
+  if (metrics_.enabled()) metrics_.hello_accepted->Increment();
+  if (options_.journal != nullptr) {
+    options_.journal->Record(obs::EventKind::kHelloAccept,
+                             hello.value().ordinal);
+  }
   if ((hello.value().flags & kHelloFlagDataAcks) != 0) {
     conn->wants_acks = true;
   }
-  ChannelState state;
-  state.ordinal = hello.value().ordinal;
-  state.shard = is_resume ? resumed.shard : session_->OpenShard();
   {
     std::lock_guard<std::mutex> conn_lock(conn->mutex);
     conn->channels.emplace(channel, state);
@@ -780,6 +852,7 @@ bool ReportServer::HandleHello(Loop& loop,
     if (options_.wal != nullptr) {
       options_.wal->OnShardOpen(state.shard, state.ordinal,
                                 session_->current_epoch(),
+                                hello.value().reporter_id,
                                 hello.value().header_bytes);
     }
     // The shard's byte stream is header + frames, exactly as on disk; the

@@ -10,11 +10,19 @@
 // disconnect, or a slow-loris timeout poisons/abandons exactly that
 // connection's shards; honest connections are untouched.
 //
-// Multiplexing: protocol v2 lets one connection carry many logical shards
+// Multiplexing: the protocol lets one connection carry many logical shards
 // concurrently, each on a client-chosen *channel* (HELLO opens one,
 // DATA/CLOSE_SHARD name one, SHARD_CLOSED echoes one). A HELLO may opt in
 // to batched DATA_ACK watermarks so a windowing client can bound its
 // in-flight bytes without one round trip per send.
+//
+// Identity: with Options::campaign_key set, every HELLO must be protocol
+// v3 — reporter id plus an HMAC-SHA256 tag over (id, channel, epoch,
+// header) — verified constant-time *before* the stream header is decoded;
+// a refused HELLO never opens a shard or touches the session. The id keys
+// the session's per-reporter privacy ledger, so a reporter reconnecting or
+// sharding across connections is charged ε once per epoch. Tag
+// verification is HELLO-only: the DATA hot path is untouched.
 //
 // Determinism: closed shards merge in ascending HELLO *ordinal* order, not
 // connection-completion order (floating-point accumulation makes merge
@@ -80,9 +88,12 @@ class ShardDurabilityHook {
  public:
   virtual ~ShardDurabilityHook() = default;
   /// A fresh shard opened for `ordinal` in `epoch`; `header_bytes` is the
-  /// validated stream header its byte stream starts with. Not called for
-  /// resumed shards (their log already holds the header).
+  /// validated stream header its byte stream starts with and `reporter_id`
+  /// the authenticated identity it was charged to (empty when anonymous) —
+  /// logged so a replay restores the exact per-reporter spend. Not called
+  /// for resumed shards (their log already holds the header).
   virtual void OnShardOpen(size_t shard, uint64_t ordinal, uint32_t epoch,
+                           const std::string& reporter_id,
                            const std::string& header_bytes) = 0;
   /// An accepted DATA payload, about to be fed to the session.
   virtual void OnShardData(size_t shard, const char* data, size_t size) = 0;
@@ -143,6 +154,13 @@ struct ReportServerOptions {
   /// mid-tier collector). Off by default: an edge collector should not let
   /// arbitrary peers inject whole aggregates.
   bool accept_snapshots = false;
+  /// When non-empty, the campaign's shared HMAC key: every HELLO must be a
+  /// protocol v3 HELLO whose tag verifies (constant-time) against this key
+  /// before the stream header is even decoded — an unauthenticated or
+  /// forged HELLO never reaches the session. When empty, only legacy v2
+  /// HELLOs are accepted; a v3 HELLO to a keyless server is refused loudly
+  /// rather than silently skipping verification.
+  std::string campaign_key;
   /// Optional write-ahead durability hook (relay::FrameWal). Must outlive
   /// the server.
   ShardDurabilityHook* wal = nullptr;
@@ -165,6 +183,9 @@ struct ReportServerStats {
   uint64_t shards_discarded = 0;  ///< Shards closed poisoned (contributed 0).
   uint64_t shards_abandoned = 0;  ///< Shards dropped by disconnect/timeouts.
   uint64_t hello_rejected = 0;    ///< Connections refused at HELLO.
+  uint64_t hello_unauthenticated = 0;
+  ///< HELLOs refused by the auth gate (bad tag, wrong version for the
+  ///< server's key state) — a subset of hello_rejected.
   uint64_t protocol_errors = 0;   ///< Connections killed by bad framing.
   uint64_t snapshots_accepted = 0;  ///< Relay SNAPSHOTs stored (fresh seq).
   uint64_t snapshots_stale = 0;     ///< Retries acked without replacing.

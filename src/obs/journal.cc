@@ -27,6 +27,7 @@ const char* EventKindToString(EventKind kind) {
     case EventKind::kRelayFold: return "relay_fold";
     case EventKind::kWalReplay: return "wal_replay";
     case EventKind::kWalCorrupt: return "wal_corrupt";
+    case EventKind::kAuthRefuse: return "auth_refuse";
   }
   return "unknown";
 }

@@ -36,6 +36,7 @@ enum class EventKind : uint8_t {
   kRelayFold,
   kWalReplay,
   kWalCorrupt,
+  kAuthRefuse,
 };
 
 const char* EventKindToString(EventKind kind);

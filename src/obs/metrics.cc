@@ -271,6 +271,8 @@ NetServerMetrics NetServerMetrics::ForRegistry(MetricsRegistry* registry) {
   metrics.hello_accepted =
       registry->GetCounter("ldp_net_hello_accepted_total");
   metrics.hello_refused = registry->GetCounter("ldp_net_hello_refused_total");
+  metrics.hello_unauthenticated =
+      registry->GetCounter("ldp_net_hello_unauthenticated_total");
   metrics.data_messages = registry->GetCounter("ldp_net_data_messages_total");
   metrics.slow_loris_reaped =
       registry->GetCounter("ldp_net_slow_loris_reaped_total");

@@ -259,6 +259,8 @@ struct NetServerMetrics {
   Counter* connections = nullptr;      ///< ldp_net_connections_total
   Counter* hello_accepted = nullptr;   ///< ldp_net_hello_accepted_total
   Counter* hello_refused = nullptr;    ///< ldp_net_hello_refused_total
+  Counter* hello_unauthenticated = nullptr;
+  ///< ldp_net_hello_unauthenticated_total
   Counter* data_messages = nullptr;    ///< ldp_net_data_messages_total
   Counter* slow_loris_reaped = nullptr;
   ///< ldp_net_slow_loris_reaped_total

@@ -76,6 +76,7 @@ struct Instance {
   uint64_t ordinal = 0;
   uint32_t generation = 0;
   std::string path;
+  std::string reporter_id;  // empty = anonymous (and all version-1 logs)
   std::string header_bytes;
   std::vector<std::string> chunks;  // DATA payloads, in append order
   uint64_t data_bytes = 0;
@@ -122,8 +123,12 @@ Status ReadInstance(const std::string& path, bool truncate,
     instance->abandoned = true;
     return Status::OK();
   }
-  if (LoadLe32(bytes.data()) != kWalMagic ||
-      LoadLe16(bytes.data() + 4) != kWalVersion) {
+  if (LoadLe32(bytes.data()) != kWalMagic) {
+    instance->corrupt = true;
+    return Status::OK();
+  }
+  const uint16_t version = LoadLe16(bytes.data() + 4);
+  if (version != kWalVersion && version != kWalLegacyVersion) {
     instance->corrupt = true;
     return Status::OK();
   }
@@ -161,7 +166,24 @@ Status ReadInstance(const std::string& path, bool truncate,
           instance->corrupt = true;
           return Status::OK();
         }
-        instance->header_bytes.assign(payload, length);
+        if (version == kWalLegacyVersion) {
+          // v1: the payload is the bare stream header (anonymous reporter).
+          instance->header_bytes.assign(payload, length);
+        } else {
+          // v2: u16 reporter-id length, the id, then the stream header.
+          if (length < 2) {
+            instance->corrupt = true;
+            return Status::OK();
+          }
+          const uint16_t id_length = LoadLe16(payload);
+          if (static_cast<size_t>(2) + id_length > length) {
+            instance->corrupt = true;
+            return Status::OK();
+          }
+          instance->reporter_id.assign(payload + 2, id_length);
+          instance->header_bytes.assign(payload + 2 + id_length,
+                                        length - 2 - id_length);
+        }
         break;
       case WalRecordType::kData:
         instance->chunks.emplace_back(payload, length);
@@ -311,7 +333,19 @@ Status ReplayInstances(std::vector<Instance>* instances,
           continue;
         }
       }
-      const size_t shard = session->OpenShard();
+      // Re-opening restores the reporter's idempotent per-epoch charge; a
+      // refusal here means the log asks for spend the budget cannot cover
+      // (tampering, or a mismatched session) — poison that shard alone.
+      Result<size_t> opened = session->OpenShard(instance.reporter_id);
+      if (!opened.ok()) {
+        ++summary->shards_corrupt;
+        if (journal != nullptr) {
+          journal->Record(obs::EventKind::kWalCorrupt, instance.ordinal,
+                          instance.epoch);
+        }
+        continue;
+      }
+      const size_t shard = opened.value();
       Status fed = session->Feed(shard, instance.header_bytes);
       for (const std::string& chunk : instance.chunks) {
         if (!fed.ok()) break;
@@ -506,6 +540,7 @@ void FrameWal::AppendRecord(int fd, WalRecordType type, const void* payload,
 }
 
 void FrameWal::OnShardOpen(size_t shard, uint64_t ordinal, uint32_t epoch,
+                           const std::string& reporter_id,
                            const std::string& header_bytes) {
   std::lock_guard<std::mutex> lock(mutex_);
   const uint32_t generation = next_generation_[{epoch, ordinal}]++;
@@ -528,8 +563,12 @@ void FrameWal::OnShardOpen(size_t shard, uint64_t ordinal, uint32_t epoch,
     LDP_CHECK_MSG(wrote > 0, "WAL file header write failed");
     sent += static_cast<size_t>(wrote);
   }
-  AppendRecord(fd, WalRecordType::kHeader, header_bytes.data(),
-               header_bytes.size());
+  std::string open_payload;
+  PutLe16(&open_payload, static_cast<uint16_t>(reporter_id.size()));
+  open_payload.append(reporter_id);
+  open_payload.append(header_bytes);
+  AppendRecord(fd, WalRecordType::kHeader, open_payload.data(),
+               open_payload.size());
   fds_[shard] = fd;
 }
 

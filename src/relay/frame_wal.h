@@ -13,10 +13,18 @@
 //     u32 magic 'LDPW', u16 version, u32 epoch, u64 ordinal        (header)
 //     then records:  u8 type, u32 len, u32 crc32(type||len||payload),
 //                    payload
-//       type 1  stream-header bytes (the HELLO header)
+//       type 1  shard open: u16 reporter-id length, the reporter id, then
+//               the stream-header bytes (the HELLO header). Version-1 logs
+//               carried the bare header bytes; they replay as the
+//               anonymous reporter.
 //       type 2  accepted DATA payload (one record per DATA message)
 //       type 3  close, payload = u64 close_seq (global merge order)
 //       type 4  abandon (the shard contributed nothing)
+//
+// The reporter id rides in the log because replay must restore the
+// per-reporter privacy ledger exactly: re-opening a shard charges the same
+// (reporter, epoch) cell the live run charged, and the idempotent charge
+// makes replay-after-replay exact rather than double-spending.
 //
 // `generation` disambiguates ordinal reuse (ad hoc mode may stream the
 // same ordinal several times per epoch); `close_seq` is a single counter
@@ -70,7 +78,10 @@ uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
 
 /// 'LDPW' little-endian.
 inline constexpr uint32_t kWalMagic = 0x5750444cu;
-inline constexpr uint16_t kWalVersion = 1;
+/// Version 2 prefixes the kHeader record with the reporter id; version-1
+/// logs are still replayed (as the anonymous reporter).
+inline constexpr uint16_t kWalVersion = 2;
+inline constexpr uint16_t kWalLegacyVersion = 1;
 
 /// u8 type + u32 len + u32 crc.
 inline constexpr size_t kWalRecordHeaderBytes = 9;
@@ -153,6 +164,7 @@ class FrameWal : public net::ShardDurabilityHook {
   // net::ShardDurabilityHook — called by ReportServer before the
   // corresponding session call.
   void OnShardOpen(size_t shard, uint64_t ordinal, uint32_t epoch,
+                   const std::string& reporter_id,
                    const std::string& header_bytes) override;
   void OnShardData(size_t shard, const char* data, size_t size) override;
   void OnShardClose(size_t shard) override;

@@ -1,0 +1,183 @@
+#include "util/hmac.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ldp::util {
+
+namespace {
+
+constexpr size_t kBlockBytes = 64;
+
+// FIPS 180-4 section 4.2.2: the first 32 bits of the fractional parts of
+// the cube roots of the first 64 primes.
+constexpr uint32_t kRoundConstants[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline uint32_t RotR(uint32_t x, unsigned n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+}  // namespace
+
+void Sha256::Reset() {
+  // First 32 bits of the fractional parts of the square roots of the first
+  // eight primes (FIPS 180-4 section 5.3.3).
+  state_[0] = 0x6a09e667;
+  state_[1] = 0xbb67ae85;
+  state_[2] = 0x3c6ef372;
+  state_[3] = 0xa54ff53a;
+  state_[4] = 0x510e527f;
+  state_[5] = 0x9b05688c;
+  state_[6] = 0x1f83d9ab;
+  state_[7] = 0x5be0cd19;
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha256::Compress(const uint8_t block[64]) {
+  uint32_t w[64];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<uint32_t>(block[t * 4]) << 24) |
+           (static_cast<uint32_t>(block[t * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[t * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[t * 4 + 3]);
+  }
+  for (int t = 16; t < 64; ++t) {
+    const uint32_t s0 =
+        RotR(w[t - 15], 7) ^ RotR(w[t - 15], 18) ^ (w[t - 15] >> 3);
+    const uint32_t s1 =
+        RotR(w[t - 2], 17) ^ RotR(w[t - 2], 19) ^ (w[t - 2] >> 10);
+    w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+  }
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (int t = 0; t < 64; ++t) {
+    const uint32_t sigma1 = RotR(e, 6) ^ RotR(e, 11) ^ RotR(e, 25);
+    const uint32_t ch = (e & f) ^ (~e & g);
+    const uint32_t temp1 = h + sigma1 + ch + kRoundConstants[t] + w[t];
+    const uint32_t sigma0 = RotR(a, 2) ^ RotR(a, 13) ^ RotR(a, 22);
+    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const uint32_t temp2 = sigma0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256::Update(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  total_bytes_ += size;
+  if (buffered_ > 0) {
+    const size_t take = std::min(size, kBlockBytes - buffered_);
+    std::memcpy(buffer_ + buffered_, bytes, take);
+    buffered_ += take;
+    bytes += take;
+    size -= take;
+    if (buffered_ < kBlockBytes) return;
+    Compress(buffer_);
+    buffered_ = 0;
+  }
+  while (size >= kBlockBytes) {
+    Compress(bytes);
+    bytes += kBlockBytes;
+    size -= kBlockBytes;
+  }
+  if (size > 0) {
+    std::memcpy(buffer_, bytes, size);
+    buffered_ = size;
+  }
+}
+
+void Sha256::Finish(uint8_t digest[kSha256DigestBytes]) {
+  const uint64_t bit_length = total_bytes_ * 8;
+  // Pad: 0x80, zeros to 56 mod 64, then the 64-bit big-endian bit length.
+  uint8_t pad = 0x80;
+  Update(&pad, 1);
+  const uint8_t zero = 0;
+  while (buffered_ != 56) Update(&zero, 1);
+  uint8_t length_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    length_bytes[i] = static_cast<uint8_t>(bit_length >> (56 - 8 * i));
+  }
+  Update(length_bytes, 8);
+  for (int i = 0; i < 8; ++i) {
+    digest[i * 4] = static_cast<uint8_t>(state_[i] >> 24);
+    digest[i * 4 + 1] = static_cast<uint8_t>(state_[i] >> 16);
+    digest[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 8);
+    digest[i * 4 + 3] = static_cast<uint8_t>(state_[i]);
+  }
+}
+
+std::string Sha256Digest(const void* data, size_t size) {
+  Sha256 hasher;
+  hasher.Update(data, size);
+  uint8_t digest[kSha256DigestBytes];
+  hasher.Finish(digest);
+  return std::string(reinterpret_cast<const char*>(digest),
+                     kSha256DigestBytes);
+}
+
+std::string HmacSha256(const std::string& key, const std::string& message) {
+  uint8_t key_block[kBlockBytes] = {0};
+  if (key.size() > kBlockBytes) {
+    const std::string hashed = Sha256Digest(key);
+    std::memcpy(key_block, hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+  uint8_t inner_pad[kBlockBytes];
+  uint8_t outer_pad[kBlockBytes];
+  for (size_t i = 0; i < kBlockBytes; ++i) {
+    inner_pad[i] = key_block[i] ^ 0x36;
+    outer_pad[i] = key_block[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.Update(inner_pad, kBlockBytes);
+  inner.Update(message.data(), message.size());
+  uint8_t inner_digest[kSha256DigestBytes];
+  inner.Finish(inner_digest);
+
+  Sha256 outer;
+  outer.Update(outer_pad, kBlockBytes);
+  outer.Update(inner_digest, kSha256DigestBytes);
+  uint8_t tag[kSha256DigestBytes];
+  outer.Finish(tag);
+  return std::string(reinterpret_cast<const char*>(tag), kSha256DigestBytes);
+}
+
+bool ConstantTimeEqual(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  unsigned char acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<unsigned char>(
+        acc | (static_cast<unsigned char>(a[i]) ^
+               static_cast<unsigned char>(b[i])));
+  }
+  return acc == 0;
+}
+
+}  // namespace ldp::util

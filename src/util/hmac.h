@@ -1,0 +1,66 @@
+// Dependency-free SHA-256 and HMAC-SHA256 (FIPS 180-4 / RFC 2104), plus the
+// constant-time comparison the authenticated-HELLO verifier needs. The wire
+// layer tags HELLO frames with HMAC-SHA256 over the campaign key; nothing
+// here depends on OpenSSL or any other external crypto library, keeping the
+// collector edge self-contained.
+//
+// Test vectors: tests/hmac_test.cc pins the FIPS 180-4 SHA-256 examples and
+// the RFC 4231 HMAC-SHA256 suite (including the truncated-key and
+// oversized-key cases), so a transcription slip in the compression function
+// fails loudly rather than producing tags nothing else can verify.
+
+#ifndef LDP_UTIL_HMAC_H_
+#define LDP_UTIL_HMAC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ldp::util {
+
+/// Digest size of SHA-256 (and therefore of HMAC-SHA256 tags).
+constexpr size_t kSha256DigestBytes = 32;
+
+/// Incremental SHA-256. Usage: Update() any number of times, then Finish()
+/// exactly once. Reset() returns the hasher to its initial state.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t size);
+  void Update(const std::string& data) { Update(data.data(), data.size()); }
+
+  /// Writes the 32-byte digest to `digest` and leaves the hasher finalized
+  /// (Reset() before reuse).
+  void Finish(uint8_t digest[kSha256DigestBytes]);
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t total_bytes_ = 0;
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;
+};
+
+/// One-shot SHA-256; returns the 32-byte digest as a binary string.
+std::string Sha256Digest(const void* data, size_t size);
+inline std::string Sha256Digest(const std::string& data) {
+  return Sha256Digest(data.data(), data.size());
+}
+
+/// HMAC-SHA256 per RFC 2104: keys longer than the 64-byte block are hashed
+/// first, shorter ones zero-padded. Returns the 32-byte tag as a binary
+/// string.
+std::string HmacSha256(const std::string& key, const std::string& message);
+
+/// Constant-time equality: the comparison time depends only on the lengths,
+/// never on where the first mismatching byte sits, so a verifier cannot be
+/// timed into leaking tag prefixes. Unequal lengths return false (length is
+/// public — tags are fixed-size).
+bool ConstantTimeEqual(const std::string& a, const std::string& b);
+
+}  // namespace ldp::util
+
+#endif  // LDP_UTIL_HMAC_H_

@@ -16,61 +16,96 @@ TEST(PrivacyAccountantTest, CreateValidatesBudget) {
           .ok());
 }
 
-TEST(PrivacyAccountantTest, UnseenUsersHaveFullBudget) {
+TEST(PrivacyAccountantTest, UnseenReportersHaveFullBudget) {
   auto accountant = PrivacyAccountant::Create(2.0);
   ASSERT_TRUE(accountant.ok());
-  EXPECT_DOUBLE_EQ(accountant.value().Remaining(42), 2.0);
-  EXPECT_DOUBLE_EQ(accountant.value().Spent(42), 0.0);
-  EXPECT_EQ(accountant.value().num_charged_users(), 0u);
+  EXPECT_DOUBLE_EQ(accountant.value().Remaining("alice"), 2.0);
+  EXPECT_DOUBLE_EQ(accountant.value().Spent("alice"), 0.0);
+  EXPECT_EQ(accountant.value().Refusals("alice"), 0u);
+  EXPECT_EQ(accountant.value().num_charged_reporters(), 0u);
 }
 
-TEST(PrivacyAccountantTest, ChargesAccumulatePerUser) {
+TEST(PrivacyAccountantTest, ChargesAccumulateAcrossEpochsPerReporter) {
   auto accountant = PrivacyAccountant::Create(2.0);
   ASSERT_TRUE(accountant.ok());
-  EXPECT_TRUE(accountant.value().Charge(1, 0.5).ok());
-  EXPECT_TRUE(accountant.value().Charge(1, 0.75).ok());
-  EXPECT_TRUE(accountant.value().Charge(2, 1.0).ok());
-  EXPECT_DOUBLE_EQ(accountant.value().Spent(1), 1.25);
-  EXPECT_DOUBLE_EQ(accountant.value().Remaining(1), 0.75);
-  EXPECT_DOUBLE_EQ(accountant.value().Spent(2), 1.0);
-  EXPECT_EQ(accountant.value().num_charged_users(), 2u);
+  auto first = accountant.value().Charge("alice", 0, 0.5);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value().accepted);
+  EXPECT_DOUBLE_EQ(first.value().spent, 0.5);
+  EXPECT_DOUBLE_EQ(first.value().remaining, 1.5);
+  auto second = accountant.value().Charge("alice", 1, 0.75);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().accepted);
+  EXPECT_DOUBLE_EQ(second.value().spent, 1.25);
+  auto other = accountant.value().Charge("bob", 0, 1.0);
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(other.value().accepted);
+  EXPECT_DOUBLE_EQ(accountant.value().Spent("alice"), 1.25);
+  EXPECT_DOUBLE_EQ(accountant.value().Remaining("alice"), 0.75);
+  EXPECT_DOUBLE_EQ(accountant.value().Spent("bob"), 1.0);
+  EXPECT_EQ(accountant.value().num_charged_reporters(), 2u);
 }
 
-TEST(PrivacyAccountantTest, RefusesOverdraftWithoutCharging) {
+TEST(PrivacyAccountantTest, SameEpochChargesExactlyOnce) {
+  // The paper's per-user guarantee: a reporter who reconnects, opens more
+  // shards, or arrives via two relay edges in one epoch spends ε once.
   auto accountant = PrivacyAccountant::Create(1.0);
   ASSERT_TRUE(accountant.ok());
-  EXPECT_TRUE(accountant.value().Charge(7, 0.8).ok());
-  const Status overdraft = accountant.value().Charge(7, 0.3);
-  EXPECT_EQ(overdraft.code(), StatusCode::kFailedPrecondition);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    auto outcome = accountant.value().Charge("alice", 0, 1.0);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome.value().accepted);
+    EXPECT_DOUBLE_EQ(outcome.value().spent, 1.0);
+    EXPECT_EQ(outcome.value().refusals, 0u);
+  }
+  EXPECT_DOUBLE_EQ(accountant.value().Spent("alice"), 1.0);
+}
+
+TEST(PrivacyAccountantTest, RefusesOverdraftWithoutChargingAndCountsIt) {
+  auto accountant = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(accountant.ok());
+  ASSERT_TRUE(accountant.value().Charge("carol", 0, 0.8).value().accepted);
+  auto overdraft = accountant.value().Charge("carol", 1, 0.3);
+  ASSERT_TRUE(overdraft.ok());
+  EXPECT_FALSE(overdraft.value().accepted);
+  EXPECT_EQ(overdraft.value().refusals, 1u);
   // The failed charge must not have consumed anything.
-  EXPECT_DOUBLE_EQ(accountant.value().Spent(7), 0.8);
-  // A smaller charge that fits still works.
-  EXPECT_TRUE(accountant.value().Charge(7, 0.2).ok());
-  EXPECT_NEAR(accountant.value().Remaining(7), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(overdraft.value().spent, 0.8);
+  EXPECT_DOUBLE_EQ(accountant.value().Spent("carol"), 0.8);
+  EXPECT_EQ(accountant.value().Refusals("carol"), 1u);
+  EXPECT_EQ(accountant.value().total_refusals(), 1u);
+  // A smaller charge that fits still works, in a fresh epoch.
+  EXPECT_TRUE(accountant.value().Charge("carol", 2, 0.2).value().accepted);
+  EXPECT_NEAR(accountant.value().Remaining("carol"), 0.0, 1e-12);
+  // Refusals are per reporter: another id is unaffected.
+  EXPECT_EQ(accountant.value().Refusals("dave"), 0u);
 }
 
-TEST(PrivacyAccountantTest, RejectsBadCharges) {
+TEST(PrivacyAccountantTest, RejectsBadChargesAsErrorsNotRefusals) {
   auto accountant = PrivacyAccountant::Create(1.0);
   ASSERT_TRUE(accountant.ok());
-  EXPECT_EQ(accountant.value().Charge(1, 0.0).code(),
+  EXPECT_EQ(accountant.value().Charge("x", 0, 0.0).status().code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(accountant.value().Charge(1, -0.5).code(),
+  EXPECT_EQ(accountant.value().Charge("x", 0, -0.5).status().code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(accountant.value()
-                .Charge(1, std::numeric_limits<double>::quiet_NaN())
+                .Charge("x", 0, std::numeric_limits<double>::quiet_NaN())
+                .status()
                 .code(),
             StatusCode::kInvalidArgument);
+  // Caller bugs never count as budget refusals.
+  EXPECT_EQ(accountant.value().Refusals("x"), 0u);
 }
 
 TEST(PrivacyAccountantTest, CanChargePredictsChargeOutcome) {
   auto accountant = PrivacyAccountant::Create(1.0);
   ASSERT_TRUE(accountant.ok());
-  EXPECT_TRUE(accountant.value().CanCharge(3, 1.0));
-  EXPECT_FALSE(accountant.value().CanCharge(3, 1.5));
-  EXPECT_FALSE(accountant.value().CanCharge(3, -1.0));
-  ASSERT_TRUE(accountant.value().Charge(3, 0.6).ok());
-  EXPECT_TRUE(accountant.value().CanCharge(3, 0.4));
-  EXPECT_FALSE(accountant.value().CanCharge(3, 0.5));
+  EXPECT_TRUE(accountant.value().CanCharge("eve", 1.0));
+  EXPECT_FALSE(accountant.value().CanCharge("eve", 1.5));
+  EXPECT_FALSE(accountant.value().CanCharge("eve", -1.0));
+  ASSERT_TRUE(accountant.value().Charge("eve", 0, 0.6).value().accepted);
+  EXPECT_TRUE(accountant.value().CanCharge("eve", 0.4));
+  EXPECT_FALSE(accountant.value().CanCharge("eve", 0.5));
 }
 
 TEST(PrivacyAccountantTest, ExactBudgetSpendingIsAllowed) {
@@ -78,21 +113,97 @@ TEST(PrivacyAccountantTest, ExactBudgetSpendingIsAllowed) {
   // floating-point drift.
   auto accountant = PrivacyAccountant::Create(1.0);
   ASSERT_TRUE(accountant.ok());
-  for (int i = 0; i < 10; ++i) {
-    EXPECT_TRUE(accountant.value().Charge(9, 0.1).ok()) << "slice " << i;
+  for (uint32_t epoch = 0; epoch < 10; ++epoch) {
+    auto outcome = accountant.value().Charge("frank", epoch, 0.1);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome.value().accepted) << "slice " << epoch;
   }
-  EXPECT_NEAR(accountant.value().Remaining(9), 0.0, 1e-9);
-  EXPECT_FALSE(accountant.value().Charge(9, 0.01).ok());
+  EXPECT_NEAR(accountant.value().Remaining("frank"), 0.0, 1e-9);
+  EXPECT_FALSE(accountant.value().Charge("frank", 10, 0.01).value().accepted);
+}
+
+TEST(PrivacyAccountantTest, AnonymousReporterIsTheLegacySingleLedger) {
+  // The identity-free paths charge kAnonymousReporter; its ledger behaves
+  // exactly like the old single-user accountant.
+  auto accountant = PrivacyAccountant::Create(2.0);
+  ASSERT_TRUE(accountant.ok());
+  ASSERT_TRUE(accountant.value()
+                  .Charge(kAnonymousReporter, 0, 1.0)
+                  .value()
+                  .accepted);
+  ASSERT_TRUE(accountant.value()
+                  .Charge(kAnonymousReporter, 1, 1.0)
+                  .value()
+                  .accepted);
+  EXPECT_DOUBLE_EQ(accountant.value().Spent(kAnonymousReporter), 2.0);
+  EXPECT_FALSE(accountant.value()
+                   .Charge(kAnonymousReporter, 2, 1.0)
+                   .value()
+                   .accepted);
 }
 
 TEST(PrivacyAccountantTest, SgdSingleParticipationPattern) {
   // The Section V rule: each user powers at most one iteration at the full
-  // budget. A second participation must be refused.
+  // budget. A second participation (a later epoch) must be refused.
   auto accountant = PrivacyAccountant::Create(1.0);
   ASSERT_TRUE(accountant.ok());
-  const double per_iteration = 1.0;
-  EXPECT_TRUE(accountant.value().Charge(100, per_iteration).ok());
-  EXPECT_FALSE(accountant.value().CanCharge(100, per_iteration));
+  EXPECT_TRUE(accountant.value().Charge("user-100", 0, 1.0).value().accepted);
+  EXPECT_FALSE(accountant.value().CanCharge("user-100", 1.0));
+  EXPECT_FALSE(accountant.value().Charge("user-100", 1, 1.0).value().accepted);
+}
+
+TEST(PrivacyAccountantTest, RestoreChargeIsExactAndConflictChecked) {
+  auto accountant = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(accountant.ok());
+  ASSERT_TRUE(accountant.value().RestoreCharge("alice", 0, 1.0).ok());
+  // Idempotent: the same entry restores cleanly (two relay edges both saw
+  // alice in epoch 0).
+  ASSERT_TRUE(accountant.value().RestoreCharge("alice", 0, 1.0).ok());
+  EXPECT_DOUBLE_EQ(accountant.value().Spent("alice"), 1.0);
+  // A conflicting spend for the same (reporter, epoch) is corruption.
+  EXPECT_EQ(accountant.value().RestoreCharge("alice", 0, 0.5).code(),
+            StatusCode::kFailedPrecondition);
+  // Restores bypass the lifetime check — the originating edge enforced it.
+  ASSERT_TRUE(accountant.value().RestoreCharge("alice", 1, 1.0).ok());
+  EXPECT_DOUBLE_EQ(accountant.value().Spent("alice"), 2.0);
+}
+
+TEST(PrivacyAccountantTest, MergeUnionsLedgersByReporterAndEpoch) {
+  auto left = PrivacyAccountant::Create(4.0);
+  auto right = PrivacyAccountant::Create(4.0);
+  ASSERT_TRUE(left.ok() && right.ok());
+  // Alice reported to both edges in epoch 0 (sharded across edges), and
+  // only to the right edge in epoch 1; bob only exists on the right.
+  ASSERT_TRUE(left.value().Charge("alice", 0, 1.0).value().accepted);
+  ASSERT_TRUE(right.value().Charge("alice", 0, 1.0).value().accepted);
+  ASSERT_TRUE(right.value().Charge("alice", 1, 1.0).value().accepted);
+  ASSERT_TRUE(right.value().Charge("bob", 0, 1.0).value().accepted);
+  right.value().RestoreRefusals("bob", 2);
+
+  ASSERT_TRUE(left.value().MergeFrom(right.value()).ok());
+  // Exactly-once across edges: epoch 0 merged, not summed.
+  EXPECT_DOUBLE_EQ(left.value().Spent("alice"), 2.0);
+  EXPECT_DOUBLE_EQ(left.value().Spent("bob"), 1.0);
+  EXPECT_EQ(left.value().Refusals("bob"), 2u);
+  EXPECT_EQ(left.value().num_charged_reporters(), 2u);
+
+  // Merging twice stays a no-op (idempotent fold at the relay root).
+  ASSERT_TRUE(left.value().MergeFrom(right.value()).ok());
+  EXPECT_DOUBLE_EQ(left.value().Spent("alice"), 2.0);
+  EXPECT_EQ(left.value().Refusals("bob"), 4u);  // refusal counters do add
+}
+
+TEST(PrivacyAccountantTest, LedgersIterateInSortedReporterOrder) {
+  auto accountant = PrivacyAccountant::Create(1.0);
+  ASSERT_TRUE(accountant.ok());
+  ASSERT_TRUE(accountant.value().Charge("zed", 0, 0.1).value().accepted);
+  ASSERT_TRUE(accountant.value().Charge("amy", 0, 0.1).value().accepted);
+  ASSERT_TRUE(accountant.value().Charge("mia", 0, 0.1).value().accepted);
+  std::vector<std::string> order;
+  for (const auto& [reporter, ledger] : accountant.value().ledgers()) {
+    order.push_back(reporter);
+  }
+  EXPECT_EQ(order, (std::vector<std::string>{"amy", "mia", "zed"}));
 }
 
 }  // namespace

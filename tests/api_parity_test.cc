@@ -1,16 +1,15 @@
-// The redesign contract of the api::Pipeline facade: the legacy free
-// functions CollectProposed / CollectBaseline are thin wrappers over
-// Pipeline::Collect and must stay BIT-IDENTICAL to the pre-redesign
-// implementations. The pre-redesign behavior is pinned here by re-running
-// the original per-user loops inline (collector.Perturb + UserRng +
-// chunk-ordered aggregation) and comparing every estimated bit.
+// The redesign contract of the api::Pipeline facade: Pipeline::Collect must
+// stay BIT-IDENTICAL to the paper's per-user collection loops. The golden
+// behavior is pinned by re-running the original loops inline
+// (collector.Perturb + UserRng + chunk-ordered aggregation) and comparing
+// every estimated bit against the facade's output.
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
 #include <vector>
 
-#include "aggregate/collector.h"
 #include "aggregate/estimators.h"
 #include "api/pipeline.h"
 #include "api/server_session.h"
@@ -32,8 +31,19 @@ data::Dataset MakeData() {
   return data::NormalizeNumeric(dataset.value());
 }
 
-// The original CollectProposed loop, spelled out: one aggregator, rows in
-// order, UserRng per row.
+// One facade collection run over `dataset` with the schema filled in.
+Result<api::CollectionOutput> CollectViaPipeline(const data::Dataset& dataset,
+                                                 api::PipelineConfig config,
+                                                 ThreadPool* pool = nullptr) {
+  LDP_ASSIGN_OR_RETURN(config.attributes,
+                       api::AttributesFromSchema(dataset.schema()));
+  Result<api::Pipeline> pipeline = api::Pipeline::Create(std::move(config));
+  if (!pipeline.ok()) return pipeline.status();
+  return pipeline.value().Collect(dataset, kSeed, pool);
+}
+
+// The paper's proposed loop, spelled out: one aggregator, rows in order,
+// UserRng per row.
 MixedAggregator DirectProposed(const data::Dataset& dataset,
                                const MixedTupleCollector& collector) {
   const data::Schema& schema = dataset.schema();
@@ -54,7 +64,7 @@ MixedAggregator DirectProposed(const data::Dataset& dataset,
   return aggregator;
 }
 
-TEST(ApiParityTest, CollectProposedMatchesDirectSimulationBitForBit) {
+TEST(ApiParityTest, PipelineCollectMatchesDirectSimulationBitForBit) {
   const data::Dataset dataset = MakeData();
   auto schema = api::AttributesFromSchema(dataset.schema());
   ASSERT_TRUE(schema.ok());
@@ -64,7 +74,9 @@ TEST(ApiParityTest, CollectProposedMatchesDirectSimulationBitForBit) {
   const MixedAggregator direct =
       DirectProposed(dataset, collector.value());
 
-  auto output = aggregate::CollectProposed(dataset, kEpsilon, kSeed);
+  api::PipelineConfig config;
+  config.epsilon = kEpsilon;
+  auto output = CollectViaPipeline(dataset, std::move(config));
   ASSERT_TRUE(output.ok());
   for (size_t j = 0; j < output.value().numeric_columns.size(); ++j) {
     auto mean = direct.EstimateMean(output.value().numeric_columns[j]);
@@ -79,7 +91,7 @@ TEST(ApiParityTest, CollectProposedMatchesDirectSimulationBitForBit) {
   }
 }
 
-TEST(ApiParityTest, CollectBaselineMatchesDirectSimulationBitForBit) {
+TEST(ApiParityTest, BaselineCollectMatchesDirectSimulationBitForBit) {
   const data::Dataset dataset = MakeData();
   const data::Schema& schema = dataset.schema();
   const std::vector<uint32_t> numeric_columns = schema.NumericColumnIndices();
@@ -91,7 +103,7 @@ TEST(ApiParityTest, CollectBaselineMatchesDirectSimulationBitForBit) {
   ASSERT_GT(dn, 0u);
   ASSERT_GT(dc, 0u);
 
-  // The original CollectBaseline loop for the Duchi strategy.
+  // The split-budget baseline loop for the Duchi strategy.
   DuchiMultiDimMechanism duchi(kEpsilon * dn / d, dn);
   std::vector<std::unique_ptr<FrequencyOracle>> oracles;
   for (const uint32_t col : categorical_columns) {
@@ -119,8 +131,10 @@ TEST(ApiParityTest, CollectBaselineMatchesDirectSimulationBitForBit) {
     }
   }
 
-  auto output = aggregate::CollectBaseline(
-      dataset, kEpsilon, kSeed, aggregate::NumericStrategy::kDuchiMulti);
+  api::PipelineConfig config;
+  config.epsilon = kEpsilon;
+  config.baseline = api::NumericStrategy::kDuchiMulti;
+  auto output = CollectViaPipeline(dataset, std::move(config));
   ASSERT_TRUE(output.ok());
   EXPECT_EQ(output.value().estimated_means, means.Estimate());
   for (uint32_t c = 0; c < dc; ++c) {
@@ -129,46 +143,35 @@ TEST(ApiParityTest, CollectBaselineMatchesDirectSimulationBitForBit) {
   }
 }
 
-TEST(ApiParityTest, PipelineCollectEqualsWrappers) {
+TEST(ApiParityTest, FromSchemaConfigMatchesHandBuiltConfig) {
+  // PipelineConfig::FromSchema and an explicitly assembled config must
+  // describe the same protocol, bit for bit.
   const data::Dataset dataset = MakeData();
   auto config =
       api::PipelineConfig::FromSchema(dataset.schema(), kEpsilon);
   ASSERT_TRUE(config.ok());
   auto pipeline = api::Pipeline::Create(config.value());
   ASSERT_TRUE(pipeline.ok());
-  auto via_pipeline = pipeline.value().Collect(dataset, kSeed);
-  auto via_wrapper = aggregate::CollectProposed(dataset, kEpsilon, kSeed);
-  ASSERT_TRUE(via_pipeline.ok());
-  ASSERT_TRUE(via_wrapper.ok());
-  EXPECT_EQ(via_pipeline.value().estimated_means,
-            via_wrapper.value().estimated_means);
-  EXPECT_EQ(via_pipeline.value().estimated_frequencies,
-            via_wrapper.value().estimated_frequencies);
-
-  config.value().baseline = api::NumericStrategy::kLaplaceSplit;
-  auto baseline_pipeline = api::Pipeline::Create(config.value());
-  ASSERT_TRUE(baseline_pipeline.ok());
-  auto baseline_via_pipeline =
-      baseline_pipeline.value().Collect(dataset, kSeed);
-  auto baseline_via_wrapper = aggregate::CollectBaseline(
-      dataset, kEpsilon, kSeed, aggregate::NumericStrategy::kLaplaceSplit);
-  ASSERT_TRUE(baseline_via_pipeline.ok());
-  ASSERT_TRUE(baseline_via_wrapper.ok());
-  EXPECT_EQ(baseline_via_pipeline.value().estimated_means,
-            baseline_via_wrapper.value().estimated_means);
-  EXPECT_EQ(baseline_via_pipeline.value().estimated_frequencies,
-            baseline_via_wrapper.value().estimated_frequencies);
+  auto via_from_schema = pipeline.value().Collect(dataset, kSeed);
+  api::PipelineConfig by_hand;
+  by_hand.epsilon = kEpsilon;
+  auto via_hand_built = CollectViaPipeline(dataset, std::move(by_hand));
+  ASSERT_TRUE(via_from_schema.ok());
+  ASSERT_TRUE(via_hand_built.ok());
+  EXPECT_EQ(via_from_schema.value().estimated_means,
+            via_hand_built.value().estimated_means);
+  EXPECT_EQ(via_from_schema.value().estimated_frequencies,
+            via_hand_built.value().estimated_frequencies);
 }
 
-TEST(ApiParityTest, PooledWrapperStaysBitDeterministic) {
+TEST(ApiParityTest, PooledCollectStaysBitDeterministic) {
   const data::Dataset dataset = MakeData();
   ThreadPool pool_a(3), pool_b(3);
-  auto a = aggregate::CollectProposed(dataset, kEpsilon, kSeed,
-                                      MechanismKind::kHybrid,
-                                      FrequencyOracleKind::kOue, &pool_a);
-  auto b = aggregate::CollectProposed(dataset, kEpsilon, kSeed,
-                                      MechanismKind::kHybrid,
-                                      FrequencyOracleKind::kOue, &pool_b);
+  api::PipelineConfig config_a;
+  config_a.epsilon = kEpsilon;
+  api::PipelineConfig config_b = config_a;
+  auto a = CollectViaPipeline(dataset, std::move(config_a), &pool_a);
+  auto b = CollectViaPipeline(dataset, std::move(config_b), &pool_b);
   ASSERT_TRUE(a.ok() && b.ok());
   EXPECT_EQ(a.value().estimated_means, b.value().estimated_means);
   EXPECT_EQ(a.value().estimated_frequencies, b.value().estimated_frequencies);

@@ -1,4 +1,9 @@
-#include "aggregate/collector.h"
+// In-process collection through the session facade (api::Pipeline::Collect):
+// the paper's proposed pipeline and the split-budget baselines, exercised
+// over the census generator. These were the aggregate::CollectProposed /
+// CollectBaseline wrapper tests before that surface was retired; they now
+// target the facade directly.
+#include "api/pipeline.h"
 
 #include <gtest/gtest.h>
 
@@ -7,7 +12,7 @@
 #include "data/encode.h"
 #include "data/generators.h"
 
-namespace ldp::aggregate {
+namespace ldp::api {
 namespace {
 
 data::Dataset SmallCensus(uint64_t n = 20000) {
@@ -16,9 +21,44 @@ data::Dataset SmallCensus(uint64_t n = 20000) {
   return data::NormalizeNumeric(census.value());
 }
 
-TEST(ToMixedSchemaTest, MapsColumnTypes) {
+// One config-driven collection run: schema from the dataset, then Collect.
+Result<CollectionOutput> Collect(const data::Dataset& dataset,
+                                 PipelineConfig config, uint64_t seed,
+                                 ThreadPool* pool = nullptr) {
+  LDP_ASSIGN_OR_RETURN(config.attributes,
+                       AttributesFromSchema(dataset.schema()));
+  Result<Pipeline> pipeline = Pipeline::Create(std::move(config));
+  if (!pipeline.ok()) return pipeline.status();
+  return pipeline.value().Collect(dataset, seed, pool);
+}
+
+Result<CollectionOutput> CollectProposed(
+    const data::Dataset& dataset, double epsilon, uint64_t seed,
+    MechanismKind numeric_kind = MechanismKind::kHybrid,
+    FrequencyOracleKind categorical_kind = FrequencyOracleKind::kOue,
+    ThreadPool* pool = nullptr) {
+  PipelineConfig config;
+  config.epsilon = epsilon;
+  config.mechanism = numeric_kind;
+  config.oracle = categorical_kind;
+  return Collect(dataset, std::move(config), seed, pool);
+}
+
+Result<CollectionOutput> CollectBaseline(
+    const data::Dataset& dataset, double epsilon, uint64_t seed,
+    NumericStrategy strategy,
+    FrequencyOracleKind categorical_kind = FrequencyOracleKind::kOue,
+    ThreadPool* pool = nullptr) {
+  PipelineConfig config;
+  config.epsilon = epsilon;
+  config.oracle = categorical_kind;
+  config.baseline = strategy;
+  return Collect(dataset, std::move(config), seed, pool);
+}
+
+TEST(AttributesFromSchemaTest, MapsColumnTypes) {
   const data::Dataset dataset = SmallCensus(10);
-  auto mixed = ToMixedSchema(dataset.schema());
+  auto mixed = AttributesFromSchema(dataset.schema());
   ASSERT_TRUE(mixed.ok());
   ASSERT_EQ(mixed.value().size(), 16u);
   EXPECT_EQ(mixed.value()[0].type, AttributeType::kNumeric);
@@ -27,11 +67,11 @@ TEST(ToMixedSchemaTest, MapsColumnTypes) {
             dataset.schema().column(6).domain_size);
 }
 
-TEST(ToMixedSchemaTest, RejectsEmptySchema) {
-  EXPECT_FALSE(ToMixedSchema(data::Schema()).ok());
+TEST(AttributesFromSchemaTest, RejectsEmptySchema) {
+  EXPECT_FALSE(AttributesFromSchema(data::Schema()).ok());
 }
 
-TEST(CollectProposedTest, RequiresNormalizedNumericColumns) {
+TEST(PipelineCollectTest, RequiresNormalizedNumericColumns) {
   auto census = data::MakeBrazilCensus(100, 1);
   ASSERT_TRUE(census.ok());
   auto result = CollectProposed(census.value(), 1.0, 1);
@@ -39,13 +79,13 @@ TEST(CollectProposedTest, RequiresNormalizedNumericColumns) {
   EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
 }
 
-TEST(CollectProposedTest, RejectsEmptyDatasetAndBadBudget) {
+TEST(PipelineCollectTest, RejectsEmptyDatasetAndBadBudget) {
   data::Dataset empty(SmallCensus(10).schema());
   EXPECT_FALSE(CollectProposed(empty, 1.0, 1).ok());
   EXPECT_FALSE(CollectProposed(SmallCensus(100), 0.0, 1).ok());
 }
 
-TEST(CollectProposedTest, OutputsEstimatesForEveryColumn) {
+TEST(PipelineCollectTest, OutputsEstimatesForEveryColumn) {
   const data::Dataset dataset = SmallCensus();
   auto result = CollectProposed(dataset, 4.0, 1);
   ASSERT_TRUE(result.ok());
@@ -60,15 +100,15 @@ TEST(CollectProposedTest, OutputsEstimatesForEveryColumn) {
   }
 }
 
-TEST(CollectProposedTest, EstimatesApproachTruthAtLargeBudget) {
+TEST(PipelineCollectTest, EstimatesApproachTruthAtLargeBudget) {
   const data::Dataset dataset = SmallCensus(50000);
   auto result = CollectProposed(dataset, 8.0, 2);
   ASSERT_TRUE(result.ok());
-  EXPECT_LT(NumericMse(result.value()), 0.01);
-  EXPECT_LT(CategoricalMse(result.value()), 0.01);
+  EXPECT_LT(aggregate::NumericMse(result.value()), 0.01);
+  EXPECT_LT(aggregate::CategoricalMse(result.value()), 0.01);
 }
 
-TEST(CollectProposedTest, DeterministicInSeedAndThreadCountInvariant) {
+TEST(PipelineCollectTest, DeterministicInSeedAndThreadCountInvariant) {
   const data::Dataset dataset = SmallCensus(5000);
   auto serial = CollectProposed(dataset, 1.0, 3);
   auto serial_again = CollectProposed(dataset, 1.0, 3);
@@ -85,7 +125,7 @@ TEST(CollectProposedTest, DeterministicInSeedAndThreadCountInvariant) {
   }
 }
 
-TEST(CollectProposedTest, DifferentSeedsGiveDifferentNoise) {
+TEST(PipelineCollectTest, DifferentSeedsGiveDifferentNoise) {
   const data::Dataset dataset = SmallCensus(2000);
   auto a = CollectProposed(dataset, 1.0, 1);
   auto b = CollectProposed(dataset, 1.0, 2);
@@ -93,7 +133,7 @@ TEST(CollectProposedTest, DifferentSeedsGiveDifferentNoise) {
   EXPECT_NE(a.value().estimated_means[0], b.value().estimated_means[0]);
 }
 
-TEST(CollectBaselineTest, AllStrategiesProduceEstimates) {
+TEST(PipelineBaselineTest, AllStrategiesProduceEstimates) {
   const data::Dataset dataset = SmallCensus(5000);
   for (const NumericStrategy strategy :
        {NumericStrategy::kLaplaceSplit, NumericStrategy::kScdfSplit,
@@ -105,7 +145,7 @@ TEST(CollectBaselineTest, AllStrategiesProduceEstimates) {
   }
 }
 
-TEST(CollectBaselineTest, NumericOnlyDataset) {
+TEST(PipelineBaselineTest, NumericOnlyDataset) {
   Rng rng(1);
   auto numeric = data::MakeUniform(4, 20000, &rng);
   ASSERT_TRUE(numeric.ok());
@@ -114,10 +154,10 @@ TEST(CollectBaselineTest, NumericOnlyDataset) {
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value().estimated_means.size(), 4u);
   EXPECT_TRUE(result.value().estimated_frequencies.empty());
-  EXPECT_LT(NumericMse(result.value()), 0.05);
+  EXPECT_LT(aggregate::NumericMse(result.value()), 0.05);
 }
 
-TEST(CollectBaselineTest, ParallelMatchesSerialIncludingCategorical) {
+TEST(PipelineBaselineTest, ParallelMatchesSerialIncludingCategorical) {
   // Regression test: chunk-local support tables must start from zero, not
   // from a racy copy of the partially merged totals.
   const data::Dataset dataset = SmallCensus(8000);
@@ -141,7 +181,7 @@ TEST(CollectBaselineTest, ParallelMatchesSerialIncludingCategorical) {
   }
 }
 
-TEST(CollectBaselineTest, StrategyNames) {
+TEST(PipelineBaselineTest, StrategyNames) {
   EXPECT_STREQ(NumericStrategyToString(NumericStrategy::kLaplaceSplit),
                "Laplace");
   EXPECT_STREQ(NumericStrategyToString(NumericStrategy::kScdfSplit), "SCDF");
@@ -165,10 +205,10 @@ TEST(ProposedVsBaselineTest, ProposedWinsOnCensusData) {
     auto baseline =
         CollectBaseline(dataset, eps, 200 + rep, NumericStrategy::kDuchiMulti);
     ASSERT_TRUE(proposed.ok() && baseline.ok());
-    proposed_num += NumericMse(proposed.value()) / reps;
-    proposed_cat += CategoricalMse(proposed.value()) / reps;
-    baseline_num += NumericMse(baseline.value()) / reps;
-    baseline_cat += CategoricalMse(baseline.value()) / reps;
+    proposed_num += aggregate::NumericMse(proposed.value()) / reps;
+    proposed_cat += aggregate::CategoricalMse(proposed.value()) / reps;
+    baseline_num += aggregate::NumericMse(baseline.value()) / reps;
+    baseline_cat += aggregate::CategoricalMse(baseline.value()) / reps;
   }
   EXPECT_LT(proposed_num, baseline_num);
   EXPECT_LT(proposed_cat, baseline_cat);
@@ -179,8 +219,8 @@ TEST(ProposedTest, PmAndHmBothWork) {
   auto pm = CollectProposed(dataset, 1.0, 1, MechanismKind::kPiecewise);
   auto hm = CollectProposed(dataset, 1.0, 1, MechanismKind::kHybrid);
   ASSERT_TRUE(pm.ok() && hm.ok());
-  EXPECT_LT(NumericMse(pm.value()), 0.1);
-  EXPECT_LT(NumericMse(hm.value()), 0.1);
+  EXPECT_LT(aggregate::NumericMse(pm.value()), 0.1);
+  EXPECT_LT(aggregate::NumericMse(hm.value()), 0.1);
 }
 
 TEST(ProposedTest, MoreUsersReduceError) {
@@ -193,12 +233,12 @@ TEST(ProposedTest, MoreUsersReduceError) {
     auto small = CollectProposed(census_small, 1.0, 300 + rep);
     auto large = CollectProposed(census_large, 1.0, 400 + rep);
     ASSERT_TRUE(small.ok() && large.ok());
-    mse_small += NumericMse(small.value()) / reps;
-    mse_large += NumericMse(large.value()) / reps;
+    mse_small += aggregate::NumericMse(small.value()) / reps;
+    mse_large += aggregate::NumericMse(large.value()) / reps;
   }
   // 16x the users should cut MSE by ~16; allow wide slack for stability.
   EXPECT_LT(mse_large, mse_small / 4.0);
 }
 
 }  // namespace
-}  // namespace ldp::aggregate
+}  // namespace ldp::api

@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "aggregate/collector.h"
+#include "api/pipeline.h"
 #include "aggregate/metrics.h"
 #include "data/census.h"
 #include "data/encode.h"
@@ -15,12 +15,31 @@
 namespace ldp {
 namespace {
 
+// The retired CollectProposed wrapper, inlined over the session facade.
+Result<api::CollectionOutput> CollectProposed(
+    const data::Dataset& dataset, double epsilon, uint64_t seed,
+    MechanismKind numeric_kind = MechanismKind::kHybrid,
+    FrequencyOracleKind oracle_kind = FrequencyOracleKind::kOue,
+    ThreadPool* pool = nullptr) {
+  api::PipelineConfig config;
+  config.epsilon = epsilon;
+  config.mechanism = numeric_kind;
+  config.oracle = oracle_kind;
+  LDP_ASSIGN_OR_RETURN(config.attributes,
+                       api::AttributesFromSchema(dataset.schema()));
+  Result<api::Pipeline> pipeline =
+      api::Pipeline::Create(std::move(config));
+  if (!pipeline.ok()) return pipeline.status();
+  return pipeline.value().Collect(dataset, seed, pool);
+}
+
+
 TEST(EndToEndCollectionTest, CensusPipelineRecoverStatistics) {
   auto census = data::MakeMexicoCensus(40000, 1);
   ASSERT_TRUE(census.ok());
   const data::Dataset normalized = data::NormalizeNumeric(census.value());
 
-  auto output = aggregate::CollectProposed(normalized, 4.0, 2);
+  auto output = CollectProposed(normalized, 4.0, 2);
   ASSERT_TRUE(output.ok());
   // Every numeric mean within loose absolute error; frequencies too.
   EXPECT_LT(aggregate::NumericMaxAbsError(output.value()), 0.2);
@@ -38,7 +57,7 @@ TEST(EndToEndCollectionTest, EpsilonMonotonicity) {
     const int reps = 5;
     for (int rep = 0; rep < reps; ++rep) {
       auto output =
-          aggregate::CollectProposed(normalized, eps, 10 * rep + 1);
+          CollectProposed(normalized, eps, 10 * rep + 1);
       ASSERT_TRUE(output.ok());
       mse += aggregate::NumericMse(output.value()) / reps;
     }
@@ -147,7 +166,7 @@ TEST(EndToEndTest, DimensionalitySubsetsStillCollectCorrectly) {
   for (uint32_t j = 0; j < 10; ++j) first_ten[j] = j;
   auto subset = normalized.SelectColumns(first_ten);
   ASSERT_TRUE(subset.ok());
-  auto output = aggregate::CollectProposed(subset.value(), 1.0, 13);
+  auto output = CollectProposed(subset.value(), 1.0, 13);
   ASSERT_TRUE(output.ok());
   EXPECT_EQ(output.value().numeric_columns.size() +
                 output.value().categorical_columns.size(),

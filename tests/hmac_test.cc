@@ -1,0 +1,129 @@
+// Pins the dependency-free SHA-256 / HMAC-SHA256 implementation to the
+// published test vectors: FIPS 180-4 for the hash (empty, "abc", the
+// two-block message, and a million 'a's through the incremental path) and
+// RFC 4231 test cases 1-7 for the HMAC (covering short keys, the
+// 131-byte key that must be hashed down, and truncated-output case 5's
+// full-length tag). A constant-time-equality check rounds out the surface
+// the authenticated-HELLO verifier depends on.
+
+#include "util/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace ldp {
+namespace {
+
+std::string ToHex(const std::string& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string hex;
+  hex.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const unsigned char b = static_cast<unsigned char>(c);
+    hex.push_back(kDigits[b >> 4]);
+    hex.push_back(kDigits[b & 0xf]);
+  }
+  return hex;
+}
+
+TEST(Sha256Test, Fips180Vectors) {
+  EXPECT_EQ(
+      ToHex(util::Sha256Digest("")),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      ToHex(util::Sha256Digest("abc")),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      ToHex(util::Sha256Digest(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  // The FIPS long-message vector: one million 'a's, fed in uneven chunks so
+  // the buffered/unbuffered compression paths both run.
+  util::Sha256 hasher;
+  const std::string chunk(997, 'a');  // prime-sized: exercises misalignment
+  size_t remaining = 1000000;
+  while (remaining > 0) {
+    const size_t take = std::min(remaining, chunk.size());
+    hasher.Update(chunk.data(), take);
+    remaining -= take;
+  }
+  uint8_t digest[util::kSha256DigestBytes];
+  hasher.Finish(digest);
+  EXPECT_EQ(
+      ToHex(std::string(reinterpret_cast<const char*>(digest),
+                        util::kSha256DigestBytes)),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(HmacSha256Test, Rfc4231Vectors) {
+  // Case 1: 20-byte 0x0b key, "Hi There".
+  EXPECT_EQ(
+      ToHex(util::HmacSha256(std::string(20, '\x0b'), "Hi There")),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  // Case 2: text key shorter than the block size.
+  EXPECT_EQ(
+      ToHex(util::HmacSha256("Jefe", "what do ya want for nothing?")),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  // Case 3: 20-byte 0xaa key, 50 bytes of 0xdd.
+  EXPECT_EQ(
+      ToHex(util::HmacSha256(std::string(20, '\xaa'), std::string(50, '\xdd'))),
+      "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+  // Case 4: the 25-byte 0x01..0x19 key, 50 bytes of 0xcd.
+  std::string counting_key;
+  for (int i = 1; i <= 25; ++i) counting_key.push_back(static_cast<char>(i));
+  EXPECT_EQ(
+      ToHex(util::HmacSha256(counting_key, std::string(50, '\xcd'))),
+      "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+  // Case 5 (RFC truncates to 128 bits; the full tag's prefix must match).
+  EXPECT_EQ(ToHex(util::HmacSha256(std::string(20, '\x0c'),
+                                   "Test With Truncation"))
+                .substr(0, 32),
+            "a3b6167473100ee06e0c796c2955552b");
+  // Case 6: 131-byte key (hashed down to one block first).
+  EXPECT_EQ(
+      ToHex(util::HmacSha256(
+          std::string(131, '\xaa'),
+          "Test Using Larger Than Block-Size Key - Hash Key First")),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+  // Case 7: 131-byte key and a long message.
+  EXPECT_EQ(
+      ToHex(util::HmacSha256(
+          std::string(131, '\xaa'),
+          "This is a test using a larger than block-size key and a larger "
+          "than block-size data. The key needs to be hashed before being "
+          "used by the HMAC algorithm.")),
+      "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(HmacSha256Test, DistinctKeysDistinctTags) {
+  const std::string message = "campaign HELLO bytes";
+  EXPECT_NE(util::HmacSha256("key-a", message),
+            util::HmacSha256("key-b", message));
+  EXPECT_NE(util::HmacSha256("key-a", message),
+            util::HmacSha256("key-a", message + "x"));
+  EXPECT_EQ(util::HmacSha256("key-a", message).size(),
+            util::kSha256DigestBytes);
+}
+
+TEST(ConstantTimeEqualTest, ComparesContentNotTiming) {
+  EXPECT_TRUE(util::ConstantTimeEqual("", ""));
+  EXPECT_TRUE(util::ConstantTimeEqual("same-bytes", "same-bytes"));
+  EXPECT_FALSE(util::ConstantTimeEqual("same-bytes", "same-bytez"));
+  EXPECT_FALSE(util::ConstantTimeEqual("short", "longer string"));
+  // A flipped bit anywhere must fail, including in the first byte.
+  std::string tag = util::HmacSha256("k", "m");
+  std::string flipped = tag;
+  flipped[0] = static_cast<char>(flipped[0] ^ 0x01);
+  EXPECT_FALSE(util::ConstantTimeEqual(tag, flipped));
+  flipped = tag;
+  flipped[tag.size() - 1] = static_cast<char>(flipped[tag.size() - 1] ^ 0x80);
+  EXPECT_FALSE(util::ConstantTimeEqual(tag, flipped));
+}
+
+}  // namespace
+}  // namespace ldp

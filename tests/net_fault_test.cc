@@ -388,6 +388,236 @@ TEST(NetFaultTest, OversizedControlLengthPrefixKillsOnlyThatConnection) {
   EXPECT_EQ(reports.value(), kCorpusReports);
 }
 
+// Sends one HELLO on a fresh connection and returns the server's reply.
+Result<RawReply> SendLoneHello(const net::Endpoint& endpoint,
+                               const net::HelloMessage& hello) {
+  Result<net::Socket> socket = net::ConnectSocket(endpoint);
+  if (!socket.ok()) return socket.status();
+  LDP_RETURN_IF_ERROR(SendRawMessage(&socket.value(), net::MessageType::kHello,
+                                     net::EncodeHello(hello)));
+  return ReadRawReply(&socket.value());
+}
+
+// Expects `reply` to be the auth gate's FailedPrecondition refusal.
+void ExpectAuthRefusal(const Result<RawReply>& reply) {
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_FALSE(reply.value().eof);
+  ASSERT_EQ(reply.value().type, net::MessageType::kError);
+  auto error = net::DecodeErrorMessage(reply.value().payload);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(net::StatusFromWire(error.value().code, error.value().message)
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(NetFaultTest, KeyedServerRefusesForgedAndReplayedHellos) {
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::string honest = MakeHonestStream(pipeline, /*seed=*/960);
+  const std::string key = "fault-test-campaign-key";
+
+  auto session = pipeline.NewServer();
+  ASSERT_TRUE(session.ok());
+  net::ReportServerOptions options;
+  options.campaign_key = key;
+  auto server = net::ReportServer::Start(&session.value(), pipeline.header(),
+                                         FaultUdsEndpoint("authgate"),
+                                         options);
+  ASSERT_TRUE(server.ok());
+  const net::Endpoint endpoint = server.value()->endpoint();
+  const std::string header_bytes =
+      honest.substr(0, stream::kStreamHeaderBytes);
+
+  net::HelloMessage valid;
+  valid.ordinal = 0;
+  valid.reporter_id = "user-0";
+  valid.header_bytes = header_bytes;
+  valid.auth_tag = net::ComputeHelloTag(key, valid.reporter_id,
+                                        valid.channel, /*epoch=*/0,
+                                        header_bytes);
+
+  // A legacy v2 (unauthenticated) HELLO against the keyed server.
+  {
+    net::HelloMessage v2;
+    v2.ordinal = 0;
+    v2.header_bytes = header_bytes;
+    ExpectAuthRefusal(SendLoneHello(endpoint, v2));
+  }
+  // One flipped bit anywhere in the tag.
+  {
+    net::HelloMessage flipped = valid;
+    flipped.auth_tag[7] ^= 0x01;
+    ExpectAuthRefusal(SendLoneHello(endpoint, flipped));
+  }
+  // A valid tag replayed onto a different channel.
+  {
+    net::HelloMessage cross_channel = valid;
+    cross_channel.channel = 1;
+    ExpectAuthRefusal(SendLoneHello(endpoint, cross_channel));
+  }
+  // A tag minted for a different epoch (the server is at epoch 0).
+  {
+    net::HelloMessage cross_epoch = valid;
+    cross_epoch.auth_tag = net::ComputeHelloTag(
+        key, valid.reporter_id, valid.channel, /*epoch=*/1, header_bytes);
+    ExpectAuthRefusal(SendLoneHello(endpoint, cross_epoch));
+  }
+  // A tag minted under a different key.
+  {
+    net::HelloMessage wrong_key = valid;
+    wrong_key.auth_tag = net::ComputeHelloTag(
+        "not-the-key", valid.reporter_id, valid.channel, /*epoch=*/0,
+        header_bytes);
+    ExpectAuthRefusal(SendLoneHello(endpoint, wrong_key));
+  }
+  // A tag vouching for a different identity than the HELLO claims.
+  {
+    net::HelloMessage stolen = valid;
+    stolen.reporter_id = "user-1";
+    ExpectAuthRefusal(SendLoneHello(endpoint, stolen));
+  }
+
+  // The honest authenticated reporter is served through the wreckage —
+  // via the real client, covering its v3 HELLO path too.
+  net::CollectorClientOptions client_options;
+  client_options.reporter_id = "user-0";
+  client_options.campaign_key = key;
+  auto client = net::CollectorClient::Connect(endpoint, pipeline.header(),
+                                              /*ordinal=*/0, client_options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(client.value()
+                  .Send(honest.data() + stream::kStreamHeaderBytes,
+                        honest.size() - stream::kStreamHeaderBytes)
+                  .ok());
+  auto closed = client.value().Close();
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(closed.value().status.ok()) << closed.value().status.ToString();
+  EXPECT_EQ(closed.value().stats.accepted, kCorpusReports);
+
+  server.value()->Stop(/*drain=*/true);
+  const net::ReportServerStats stats = server.value()->stats();
+  EXPECT_EQ(stats.hello_unauthenticated, 6u);
+  EXPECT_EQ(stats.hello_rejected, 6u);
+  EXPECT_EQ(stats.shards_merged, 1u);
+  // None of the six refused HELLOs reached the session: no shard beyond
+  // the honest one ever opened, and only its reports exist.
+  auto reports = session.value().num_reports(0);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(reports.value(), kCorpusReports);
+  EXPECT_EQ(session.value().accountant().num_charged_reporters(), 2u)
+      << "anonymous plan ledger + user-0, nobody else";
+  EXPECT_EQ(session.value().accountant().Spent("user-0"),
+            pipeline.header().epsilon);
+}
+
+TEST(NetFaultTest, KeylessServerRefusesAuthenticatedHello) {
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::string honest = MakeHonestStream(pipeline, /*seed=*/970);
+
+  auto session = pipeline.NewServer();
+  ASSERT_TRUE(session.ok());
+  auto server = net::ReportServer::Start(&session.value(), pipeline.header(),
+                                         FaultUdsEndpoint("keyless"),
+                                         net::ReportServerOptions());
+  ASSERT_TRUE(server.ok());
+
+  // A v3 HELLO at a keyless collector: skipping verification silently
+  // would teach reporters their ids are being honored when they are not.
+  net::HelloMessage hello;
+  hello.ordinal = 0;
+  hello.reporter_id = "user-0";
+  hello.auth_tag = net::ComputeHelloTag("some-key", hello.reporter_id,
+                                        hello.channel, /*epoch=*/0,
+                                        honest.substr(
+                                            0, stream::kStreamHeaderBytes));
+  hello.header_bytes = honest.substr(0, stream::kStreamHeaderBytes);
+  ExpectAuthRefusal(SendLoneHello(server.value()->endpoint(), hello));
+
+  // The same client with no identity options connects fine (v2 path).
+  auto client = net::CollectorClient::Connect(server.value()->endpoint(),
+                                              pipeline.header(),
+                                              /*ordinal=*/0);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(client.value().Close().ok());
+
+  server.value()->Stop(/*drain=*/true);
+  const net::ReportServerStats stats = server.value()->stats();
+  EXPECT_EQ(stats.hello_unauthenticated, 1u);
+  EXPECT_EQ(stats.hello_rejected, 1u);
+  auto reports = session.value().num_reports(0);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(reports.value(), 0u);
+}
+
+TEST(NetFaultTest, MalformedIdentitySectionPoisonsOnlyThatConnection) {
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::string honest = MakeHonestStream(pipeline, /*seed=*/980);
+  const std::string key = "fault-test-campaign-key";
+
+  auto session = pipeline.NewServer();
+  ASSERT_TRUE(session.ok());
+  net::ReportServerOptions options;
+  options.campaign_key = key;
+  auto server = net::ReportServer::Start(&session.value(), pipeline.header(),
+                                         FaultUdsEndpoint("badid"),
+                                         options);
+  ASSERT_TRUE(server.ok());
+  const net::Endpoint endpoint = server.value()->endpoint();
+  const std::string header_bytes =
+      honest.substr(0, stream::kStreamHeaderBytes);
+
+  net::HelloMessage valid;
+  valid.ordinal = 0;
+  valid.reporter_id = "user-0";
+  valid.header_bytes = header_bytes;
+  valid.auth_tag = net::ComputeHelloTag(key, valid.reporter_id,
+                                        valid.channel, /*epoch=*/0,
+                                        header_bytes);
+  const std::string wire = net::EncodeHello(valid);
+  constexpr size_t kFixed = 2 + 4 + 4 + 8;
+
+  // Truncated mid-identity: the payload ends inside the reporter id.
+  {
+    Result<net::Socket> socket = net::ConnectSocket(endpoint);
+    ASSERT_TRUE(socket.ok());
+    ASSERT_TRUE(SendRawMessage(&socket.value(), net::MessageType::kHello,
+                               wire.substr(0, kFixed + 2 + 3))
+                    .ok());
+    auto reply = ReadRawReply(&socket.value());
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value().type, net::MessageType::kError);
+  }
+  // Oversized id length field backed by a huge payload.
+  {
+    std::string oversized = wire;
+    const uint16_t lying = net::kMaxReporterIdBytes + 1;
+    oversized[kFixed] = static_cast<char>(lying & 0xFF);
+    oversized[kFixed + 1] = static_cast<char>(lying >> 8);
+    oversized.append(1024, 'x');
+    Result<net::Socket> socket = net::ConnectSocket(endpoint);
+    ASSERT_TRUE(socket.ok());
+    ASSERT_TRUE(SendRawMessage(&socket.value(), net::MessageType::kHello,
+                               oversized)
+                    .ok());
+    auto reply = ReadRawReply(&socket.value());
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.value().type, net::MessageType::kError);
+  }
+
+  // The wreckage took nothing else down.
+  net::CollectorClientOptions client_options;
+  client_options.reporter_id = "user-0";
+  client_options.campaign_key = key;
+  auto client = net::CollectorClient::Connect(endpoint, pipeline.header(),
+                                              /*ordinal=*/0, client_options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(client.value().Close().ok());
+
+  server.value()->Stop(/*drain=*/true);
+  auto reports = session.value().num_reports(0);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(reports.value(), 0u);
+}
+
 TEST(NetFaultTest, HelloSchemaHashMismatchIsRefusedBeforeAnyReport) {
   const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
   const std::string honest = MakeHonestStream(pipeline, /*seed=*/950);

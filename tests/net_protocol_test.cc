@@ -138,14 +138,18 @@ TEST(NetProtocolTest, HelloRoundTripsAndChecksVersion) {
   header.k = 1;
   header.schema_hash = 0xDEADBEEFCAFEF00DULL;
 
+  // An unauthenticated HELLO stays on the legacy v2 layout — byte-identical
+  // to the pre-identity release, so keyless fleets interoperate unchanged.
   net::HelloMessage hello;
   hello.ordinal = 17;
   hello.header_bytes = stream::EncodeStreamHeader(header);
   auto decoded = net::DecodeHello(net::EncodeHello(hello));
   ASSERT_TRUE(decoded.ok());
-  EXPECT_EQ(decoded.value().version, net::kProtocolVersion);
+  EXPECT_EQ(decoded.value().version, net::kLegacyProtocolVersion);
   EXPECT_EQ(decoded.value().ordinal, 17u);
   EXPECT_EQ(decoded.value().header_bytes, hello.header_bytes);
+  EXPECT_TRUE(decoded.value().reporter_id.empty());
+  EXPECT_TRUE(decoded.value().auth_tag.empty());
 
   // A future protocol version is refused, not guessed at.
   std::string wire = net::EncodeHello(hello);
@@ -154,6 +158,98 @@ TEST(NetProtocolTest, HelloRoundTripsAndChecksVersion) {
 
   // Truncated fixed fields.
   EXPECT_FALSE(net::DecodeHello(wire.substr(0, 5)).ok());
+}
+
+TEST(NetProtocolTest, AuthenticatedHelloRoundTripsV3) {
+  stream::StreamHeader header;
+  header.kind = stream::ReportStreamKind::kMixed;
+  header.epsilon = 4.0;
+  header.dimension = 3;
+  header.k = 1;
+  header.schema_hash = 7;
+
+  net::HelloMessage hello;
+  hello.channel = 5;
+  hello.ordinal = 2;
+  hello.reporter_id = "user-42";
+  hello.header_bytes = stream::EncodeStreamHeader(header);
+  hello.auth_tag = net::ComputeHelloTag("campaign-secret", hello.reporter_id,
+                                        hello.channel, /*epoch=*/1,
+                                        hello.header_bytes);
+  ASSERT_EQ(hello.auth_tag.size(), net::kHelloAuthTagBytes);
+
+  auto decoded = net::DecodeHello(net::EncodeHello(hello));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().version, net::kProtocolVersion);
+  EXPECT_EQ(decoded.value().channel, 5u);
+  EXPECT_EQ(decoded.value().ordinal, 2u);
+  EXPECT_EQ(decoded.value().reporter_id, "user-42");
+  EXPECT_EQ(decoded.value().auth_tag, hello.auth_tag);
+  EXPECT_EQ(decoded.value().header_bytes, hello.header_bytes);
+}
+
+TEST(NetProtocolTest, HelloRefusesHostileIdentityForms) {
+  net::HelloMessage hello;
+  hello.reporter_id = "user-42";
+  hello.auth_tag.assign(net::kHelloAuthTagBytes, '\x5A');
+  hello.header_bytes = "hdr";
+  const std::string wire = net::EncodeHello(hello);
+
+  // Truncations anywhere inside the identity section: mid id-length field,
+  // mid id, mid tag.
+  constexpr size_t kFixed = 2 + 4 + 4 + 8;  // version, channel, flags, ordinal
+  EXPECT_FALSE(net::DecodeHello(wire.substr(0, kFixed + 1)).ok());
+  EXPECT_FALSE(net::DecodeHello(wire.substr(0, kFixed + 2 + 3)).ok());
+  EXPECT_FALSE(
+      net::DecodeHello(
+          wire.substr(0, kFixed + 2 + hello.reporter_id.size() + 10))
+          .ok());
+
+  // A v3 HELLO with a zero-length reporter id is malformed — anonymous
+  // clients must speak v2 instead.
+  std::string empty_id = wire;
+  empty_id[kFixed] = 0;
+  empty_id[kFixed + 1] = 0;
+  EXPECT_FALSE(net::DecodeHello(empty_id).ok());
+
+  // An id length above the protocol bound is refused before any allocation
+  // could happen, even when the payload is long enough to back it.
+  std::string oversized = wire;
+  const uint16_t lying = net::kMaxReporterIdBytes + 1;
+  oversized[kFixed] = static_cast<char>(lying & 0xFF);
+  oversized[kFixed + 1] = static_cast<char>(lying >> 8);
+  oversized.append(512, 'x');
+  EXPECT_FALSE(net::DecodeHello(oversized).ok());
+
+  // The longest legal id still round-trips.
+  net::HelloMessage max_id;
+  max_id.reporter_id.assign(net::kMaxReporterIdBytes, 'r');
+  max_id.auth_tag.assign(net::kHelloAuthTagBytes, '\x01');
+  max_id.header_bytes = "hdr";
+  auto decoded = net::DecodeHello(net::EncodeHello(max_id));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().reporter_id, max_id.reporter_id);
+}
+
+TEST(NetProtocolTest, HelloTagBindsEveryField) {
+  // The HMAC tag must change when any bound field changes — otherwise a
+  // captured tag could be replayed onto another channel, epoch, identity,
+  // or stream header, or verified under a different campaign key.
+  const std::string base =
+      net::ComputeHelloTag("key", "user-1", /*channel=*/0, /*epoch=*/0, "hdr");
+  EXPECT_EQ(base.size(), net::kHelloAuthTagBytes);
+  // Deterministic: same inputs, same tag.
+  EXPECT_EQ(base,
+            net::ComputeHelloTag("key", "user-1", 0, 0, "hdr"));
+  EXPECT_NE(base, net::ComputeHelloTag("KEY", "user-1", 0, 0, "hdr"));
+  EXPECT_NE(base, net::ComputeHelloTag("key", "user-2", 0, 0, "hdr"));
+  EXPECT_NE(base, net::ComputeHelloTag("key", "user-1", 1, 0, "hdr"));
+  EXPECT_NE(base, net::ComputeHelloTag("key", "user-1", 0, 1, "hdr"));
+  EXPECT_NE(base, net::ComputeHelloTag("key", "user-1", 0, 0, "hdr2"));
+  // Length-delimited canonicalization: shifting bytes between the id and
+  // the header must not collide.
+  EXPECT_NE(net::ComputeHelloTag("key", "ab", 0, 0, "c"),
+            net::ComputeHelloTag("key", "a", 0, 0, "bc"));
 }
 
 TEST(NetProtocolTest, RepliesRoundTrip) {

@@ -1,7 +1,7 @@
 // The Algorithm-4 numeric stream path: the zero-copy frame decoder, the
 // NumericAggregator and its snapshot codec, numeric ShardIngester streams,
 // and the headline parity contract — a sharded numeric run through
-// api::ServerSession reproduces the in-process CollectProposed simulation
+// api::ServerSession reproduces the in-process Pipeline::Collect simulation
 // BIT FOR BIT on an all-numeric schema (the mixed collector and Algorithm 4
 // draw the same randomness there), while adversarial frames are rejected
 // without aborting the stream.
@@ -12,7 +12,6 @@
 #include <string>
 #include <vector>
 
-#include "aggregate/collector.h"
 #include "api/pipeline.h"
 #include "api/server_session.h"
 #include "core/numeric_aggregator.h"
@@ -26,6 +25,25 @@
 
 namespace ldp {
 namespace {
+
+// The retired CollectProposed wrapper, inlined over the session facade.
+Result<api::CollectionOutput> CollectProposed(
+    const data::Dataset& dataset, double epsilon, uint64_t seed,
+    MechanismKind numeric_kind = MechanismKind::kHybrid,
+    FrequencyOracleKind oracle_kind = FrequencyOracleKind::kOue,
+    ThreadPool* pool = nullptr) {
+  api::PipelineConfig config;
+  config.epsilon = epsilon;
+  config.mechanism = numeric_kind;
+  config.oracle = oracle_kind;
+  LDP_ASSIGN_OR_RETURN(config.attributes,
+                       api::AttributesFromSchema(dataset.schema()));
+  Result<api::Pipeline> pipeline =
+      api::Pipeline::Create(std::move(config));
+  if (!pipeline.ok()) return pipeline.status();
+  return pipeline.value().Collect(dataset, seed, pool);
+}
+
 
 constexpr double kEpsilon = 8.0;  // k = 3 of 4: multi-entry reports
 constexpr uint32_t kDimension = 4;
@@ -187,7 +205,7 @@ TEST(NumericStreamTest, ShardedServerSessionReproducesCollectProposed) {
   // stream path has had since PR 1.
   constexpr unsigned kPoolThreads = 2;
   ThreadPool pool(kPoolThreads);
-  auto expected = aggregate::CollectProposed(dataset, kEpsilon, kSeed,
+  auto expected = CollectProposed(dataset, kEpsilon, kSeed,
                                              MechanismKind::kHybrid,
                                              FrequencyOracleKind::kOue, &pool);
   ASSERT_TRUE(expected.ok());
@@ -279,7 +297,7 @@ TEST(NumericStreamTest, TwoEpochNumericSessionMatchesCollectAndSumsEpsilon) {
 
   ThreadPool pool(kPoolThreads);
   for (uint32_t epoch = 0; epoch < 2; ++epoch) {
-    auto expected = aggregate::CollectProposed(
+    auto expected = CollectProposed(
         dataset, kEpsilon, kEpochSeeds[epoch], MechanismKind::kHybrid,
         FrequencyOracleKind::kOue, &pool);
     ASSERT_TRUE(expected.ok());
@@ -382,7 +400,7 @@ TEST(NumericStreamTest, HandleDriverIngestsNumericShardsInParallel) {
   EXPECT_EQ(summary.total_rejected, 0u);
 
   ThreadPool collect_pool(kPoolThreads);
-  auto expected = aggregate::CollectProposed(dataset, kEpsilon, kSeed,
+  auto expected = CollectProposed(dataset, kEpsilon, kSeed,
                                              MechanismKind::kHybrid,
                                              FrequencyOracleKind::kOue,
                                              &collect_pool);

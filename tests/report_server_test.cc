@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -584,7 +585,196 @@ TEST(ReportServerTest, MultiEpochCampaignOverOneConnection) {
   shard = direct.value().OpenShard();
   ASSERT_TRUE(direct.value().Feed(shard, epoch1).ok());
   ASSERT_TRUE(direct.value().CloseShard(shard).ok());
+  // The refused advance left a refusal count in the wire session's ledger;
+  // the v2 snapshot serializes it, so the reference run must refuse too.
+  EXPECT_FALSE(direct.value().AdvanceEpoch().ok());
   EXPECT_EQ(session.value().Snapshot(), direct.value().Snapshot());
+}
+
+TEST(ReportServerTest, KeyedCampaignChargesReporterOncePerEpoch) {
+  // The acceptance pin for per-reporter accounting: alice reconnects three
+  // times in one epoch (three connections, three shards), bob once. Every
+  // HELLO is authenticated; alice's ledger is charged exactly once, and
+  // the session — ledger section included — is bit-identical to feeding
+  // the same shards directly with the same reporter ids.
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::vector<std::string> streams = MakeShardStreams(pipeline, 4);
+  const char* kReporters[] = {"alice", "alice", "bob", "alice"};
+  const std::string kKey = "campaign-key-7";
+
+  auto direct = pipeline.NewServer();
+  ASSERT_TRUE(direct.ok());
+  for (size_t s = 0; s < streams.size(); ++s) {
+    auto shard = direct.value().OpenShard(kReporters[s]);
+    ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+    ASSERT_TRUE(direct.value().Feed(shard.value(), streams[s]).ok());
+    ASSERT_TRUE(direct.value().CloseShard(shard.value()).ok());
+  }
+  const std::string reference = direct.value().Snapshot();
+
+  auto session = pipeline.NewServer();
+  ASSERT_TRUE(session.ok());
+  net::ReportServerOptions options;
+  options.campaign_key = kKey;
+  auto server =
+      net::ReportServer::Start(&session.value(), pipeline.header(),
+                               TestUdsEndpoint("keyed_once"), options);
+  ASSERT_TRUE(server.ok());
+
+  for (size_t s = 0; s < streams.size(); ++s) {
+    net::CollectorClientOptions client_options;
+    client_options.reporter_id = kReporters[s];
+    client_options.campaign_key = kKey;
+    auto client =
+        net::CollectorClient::Connect(server.value()->endpoint(),
+                                      pipeline.header(), /*ordinal=*/s,
+                                      client_options);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    ASSERT_TRUE(client.value()
+                    .Send(streams[s].data() + stream::kStreamHeaderBytes,
+                          streams[s].size() - stream::kStreamHeaderBytes)
+                    .ok());
+    auto summary = client.value().Close();
+    ASSERT_TRUE(summary.ok());
+    EXPECT_TRUE(summary.value().status.ok());
+    EXPECT_EQ(summary.value().stats.accepted, kCorpusReports);
+  }
+  server.value()->Stop(/*drain=*/true);
+
+  const net::ReportServerStats stats = server.value()->stats();
+  EXPECT_EQ(stats.connections, streams.size());
+  EXPECT_EQ(stats.shards_merged, streams.size());
+  EXPECT_EQ(stats.hello_rejected, 0u);
+  EXPECT_EQ(stats.hello_unauthenticated, 0u);
+
+  // Three alice connections, one charge; the snapshot equality also pins
+  // the serialized ledger against the direct run.
+  EXPECT_EQ(session.value().accountant().Spent("alice"),
+            pipeline.header().epsilon);
+  EXPECT_EQ(session.value().accountant().Spent("bob"),
+            pipeline.header().epsilon);
+  EXPECT_EQ(session.value().accountant().num_charged_reporters(), 3u);
+  EXPECT_EQ(session.value().Snapshot(), reference);
+}
+
+TEST(ReportServerTest, ImportedLedgerSpendRefusesReporterAtHello) {
+  // A reporter's spend can arrive from another collection edge (snapshot
+  // merge / relay forwarding) before the reporter ever connects here. If
+  // that imported spend exhausts the lifetime budget, the authenticated
+  // HELLO must be refused shardless — and the refusal must release the
+  // ordinal so the campaign proceeds without the reporter.
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::string kKey = "campaign-key-7";
+  const double epsilon = pipeline.header().epsilon;
+
+  auto put16 = [](std::string* out, uint16_t v) {
+    out->push_back(static_cast<char>(v & 0xff));
+    out->push_back(static_cast<char>(v >> 8));
+  };
+  auto put32 = [](std::string* out, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  auto put64 = [&put32](std::string* out, uint64_t v) {
+    put32(out, static_cast<uint32_t>(v));
+    put32(out, static_cast<uint32_t>(v >> 32));
+  };
+  auto putf64 = [&put64](std::string* out, double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "f64 layout");
+    std::memcpy(&bits, &v, sizeof(bits));
+    put64(out, bits);
+  };
+
+  // Start from a real (empty, anonymous-only) snapshot and splice in a
+  // ledger section claiming user-0 already spent the whole budget at a
+  // foreign edge's later epochs. First pin the anonymous tail we are about
+  // to replace, so a layout change fails loudly here instead of merging
+  // garbage.
+  auto donor = pipeline.NewServer();
+  ASSERT_TRUE(donor.ok());
+  std::string snapshot = donor.value().Snapshot();
+  std::string anonymous_tail;
+  put32(&anonymous_tail, 1);   // one reporter: the anonymous plan
+  put16(&anonymous_tail, 0);   // empty id
+  put64(&anonymous_tail, 0);   // refusals
+  put32(&anonymous_tail, 1);   // one epoch entry
+  put32(&anonymous_tail, 0);   // epoch 0
+  putf64(&anonymous_tail, epsilon);
+  ASSERT_GT(snapshot.size(), anonymous_tail.size());
+  ASSERT_EQ(snapshot.substr(snapshot.size() - anonymous_tail.size()),
+            anonymous_tail);
+
+  std::string crafted_tail;
+  put32(&crafted_tail, 2);  // anonymous plan + user-0, ascending by id
+  put16(&crafted_tail, 0);
+  put64(&crafted_tail, 0);
+  put32(&crafted_tail, 1);
+  put32(&crafted_tail, 0);
+  putf64(&crafted_tail, epsilon);
+  const std::string reporter = "user-0";
+  put16(&crafted_tail, static_cast<uint16_t>(reporter.size()));
+  crafted_tail.append(reporter);
+  put64(&crafted_tail, 0);     // no refusals yet
+  put32(&crafted_tail, 1);     // one epoch entry...
+  put32(&crafted_tail, 7);     // ...at an epoch this session never opened
+  putf64(&crafted_tail, epsilon);  // the whole single-epoch budget
+  const std::string crafted =
+      snapshot.substr(0, snapshot.size() - anonymous_tail.size()) +
+      crafted_tail;
+
+  auto session = pipeline.NewServer();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value().Merge(crafted).ok());
+  EXPECT_EQ(session.value().accountant().Spent(reporter), epsilon);
+
+  net::ReportServerOptions options;
+  options.campaign_key = kKey;
+  auto server =
+      net::ReportServer::Start(&session.value(), pipeline.header(),
+                               TestUdsEndpoint("ledger_refusal"), options);
+  ASSERT_TRUE(server.ok());
+
+  // user-0's tag verifies, but the accountant cannot afford epoch 0: the
+  // HELLO is refused before any shard exists.
+  net::CollectorClientOptions exhausted;
+  exhausted.reporter_id = reporter;
+  exhausted.campaign_key = kKey;
+  auto refused = net::CollectorClient::Connect(
+      server.value()->endpoint(), pipeline.header(), /*ordinal=*/0,
+      exhausted);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+
+  // The refusal released ordinal 0: a solvent reporter reuses it and the
+  // campaign completes around the missing shard.
+  const std::string stream = MakeHonestStream(pipeline, 730);
+  net::CollectorClientOptions solvent;
+  solvent.reporter_id = "user-1";
+  solvent.campaign_key = kKey;
+  auto client = net::CollectorClient::Connect(
+      server.value()->endpoint(), pipeline.header(), /*ordinal=*/0, solvent);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(client.value()
+                  .Send(stream.data() + stream::kStreamHeaderBytes,
+                        stream.size() - stream::kStreamHeaderBytes)
+                  .ok());
+  auto summary = client.value().Close();
+  ASSERT_TRUE(summary.ok());
+  EXPECT_TRUE(summary.value().status.ok());
+  server.value()->Stop(/*drain=*/true);
+
+  const net::ReportServerStats stats = server.value()->stats();
+  EXPECT_EQ(stats.hello_rejected, 1u);
+  // The tag verified; this was a budget refusal, not an auth failure.
+  EXPECT_EQ(stats.hello_unauthenticated, 0u);
+  EXPECT_EQ(stats.shards_merged, 1u);
+  EXPECT_EQ(session.value().accountant().Refusals(reporter), 1u);
+  EXPECT_EQ(session.value().accountant().Spent("user-1"), epsilon);
+  auto reports = session.value().num_reports(0);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(reports.value(), kCorpusReports);
 }
 
 TEST(ReportServerTest, HardStopAbandonsInFlightShards) {

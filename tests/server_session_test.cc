@@ -238,6 +238,133 @@ TEST(ServerSessionTest, SessionSnapshotMergeRespectsTheLifetimeBudget) {
   EXPECT_EQ(receiver.value().epsilon_spent(), kEpsilon);
 }
 
+TEST(ServerSessionTest, ReporterLedgersRoundTripThroughSnapshotMerge) {
+  const data::Dataset dataset = MakeData();
+  const api::Pipeline pipeline = MakePipeline(dataset, 2);
+  auto client = pipeline.NewClient();
+  ASSERT_TRUE(client.ok());
+
+  // Epoch 0: alice ships two shards (one charge), bob one; epoch 1: alice
+  // alone. The ledger after this run is the object under test.
+  const std::vector<std::string> epoch0 =
+      WriteEpochShards(dataset, client.value(), kEpochSeeds[0], 3);
+  const std::vector<std::string> epoch1 =
+      WriteEpochShards(dataset, client.value(), kEpochSeeds[1], 1);
+  const char* kEpoch0Reporters[] = {"alice", "alice", "bob"};
+
+  auto donor = pipeline.NewServer();
+  ASSERT_TRUE(donor.ok());
+  for (size_t s = 0; s < epoch0.size(); ++s) {
+    auto shard = donor.value().OpenShard(kEpoch0Reporters[s]);
+    ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+    ASSERT_TRUE(donor.value().Feed(shard.value(), epoch0[s]).ok());
+    ASSERT_TRUE(donor.value().CloseShard(shard.value()).ok());
+  }
+  // Two alice shards in one epoch charge her ledger once.
+  EXPECT_EQ(donor.value().accountant().Spent("alice"), kEpsilon);
+  ASSERT_TRUE(donor.value().AdvanceEpoch().ok());
+  {
+    auto shard = donor.value().OpenShard("alice");
+    ASSERT_TRUE(shard.ok());
+    ASSERT_TRUE(donor.value().Feed(shard.value(), epoch1[0]).ok());
+    ASSERT_TRUE(donor.value().CloseShard(shard.value()).ok());
+  }
+  EXPECT_EQ(donor.value().accountant().Spent("alice"), 2 * kEpsilon);
+  EXPECT_EQ(donor.value().accountant().Spent("bob"), kEpsilon);
+  // anonymous plan + alice + bob
+  EXPECT_EQ(donor.value().accountant().num_charged_reporters(), 3u);
+
+  const std::string snapshot = donor.value().Snapshot();
+  auto restored = pipeline.NewServer();
+  ASSERT_TRUE(restored.ok());
+  ASSERT_TRUE(restored.value().Merge(snapshot).ok());
+  EXPECT_EQ(restored.value().accountant().Spent("alice"), 2 * kEpsilon);
+  EXPECT_EQ(restored.value().accountant().Spent("bob"), kEpsilon);
+  EXPECT_EQ(restored.value().accountant().Refusals("alice"), 0u);
+  // The v2 snapshot embeds the ledger section, so bit-equality here pins
+  // the whole restored state — aggregates and accounting both.
+  EXPECT_EQ(restored.value().Snapshot(), snapshot);
+
+  // A snapshot truncated inside the ledger section mutates nothing.
+  auto untouched = pipeline.NewServer();
+  ASSERT_TRUE(untouched.ok());
+  std::string torn = snapshot;
+  torn.resize(torn.size() - 5);
+  EXPECT_FALSE(untouched.value().Merge(torn).ok());
+  EXPECT_EQ(untouched.value().accountant().Spent("alice"), 0.0);
+  EXPECT_EQ(untouched.value().num_epochs(), 1u);
+}
+
+TEST(ServerSessionTest, MergedEdgesChargeAReporterOncePerEpoch) {
+  const data::Dataset dataset = MakeData();
+  const api::Pipeline pipeline = MakePipeline(dataset, 1);
+  auto client = pipeline.NewClient();
+  ASSERT_TRUE(client.ok());
+  const std::vector<std::string> shards =
+      WriteEpochShards(dataset, client.value(), kEpochSeeds[0], 2);
+
+  // alice reports through two different collection edges in one epoch (a
+  // reconnect that landed on another shard server). Each edge charges her
+  // once; the reducer's union must not sum the two charges.
+  auto left = pipeline.NewServer();
+  auto right = pipeline.NewServer();
+  ASSERT_TRUE(left.ok() && right.ok());
+  auto left_shard = left.value().OpenShard("alice");
+  ASSERT_TRUE(left_shard.ok());
+  ASSERT_TRUE(left.value().Feed(left_shard.value(), shards[0]).ok());
+  ASSERT_TRUE(left.value().CloseShard(left_shard.value()).ok());
+  auto right_shard = right.value().OpenShard("alice");
+  ASSERT_TRUE(right_shard.ok());
+  ASSERT_TRUE(right.value().Feed(right_shard.value(), shards[1]).ok());
+  ASSERT_TRUE(right.value().CloseShard(right_shard.value()).ok());
+
+  auto reducer = pipeline.NewServer();
+  ASSERT_TRUE(reducer.ok());
+  ASSERT_TRUE(reducer.value().Merge(left.value().Snapshot()).ok());
+  ASSERT_TRUE(reducer.value().Merge(right.value().Snapshot()).ok());
+  EXPECT_EQ(reducer.value().accountant().Spent("alice"), kEpsilon);
+  auto reports = reducer.value().num_reports(0);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(reports.value(), kRows);
+}
+
+TEST(ServerSessionTest, LegacyV1SnapshotStillMerges) {
+  const data::Dataset dataset = MakeData();
+  const api::Pipeline pipeline = MakePipeline(dataset, 1);
+  auto client = pipeline.NewClient();
+  ASSERT_TRUE(client.ok());
+  auto donor = pipeline.NewServer();
+  ASSERT_TRUE(donor.ok());
+  FeedEpoch(&donor.value(),
+            WriteEpochShards(dataset, client.value(), kEpochSeeds[0], 1));
+
+  // Fabricate the bytes a pre-ledger release would have written: version 1
+  // in the preamble and no trailing ledger section. The donor is fully
+  // anonymous, so its ledger section has a fixed shape we can strip: u32
+  // reporter count, u16 empty id, u64 refusals, u32 entry count, and one
+  // (u32 epoch, f64 spent) entry.
+  std::string v1 = donor.value().Snapshot();
+  constexpr size_t kAnonymousLedgerBytes = 4 + 2 + 8 + 4 + (4 + 8);
+  ASSERT_GT(v1.size(), kAnonymousLedgerBytes);
+  v1.resize(v1.size() - kAnonymousLedgerBytes);
+  v1[4] = static_cast<char>(api::kSessionSnapshotLegacyVersion);
+  v1[5] = 0;
+
+  auto receiver = pipeline.NewServer();
+  ASSERT_TRUE(receiver.ok());
+  ASSERT_TRUE(receiver.value().Merge(v1).ok());
+  auto merged = receiver.value().num_reports(0);
+  auto expected = donor.value().num_reports(0);
+  ASSERT_TRUE(merged.ok() && expected.ok());
+  EXPECT_EQ(merged.value(), expected.value());
+  // Only the anonymous plan ledger exists: v1 edges never carried ids.
+  EXPECT_EQ(receiver.value().accountant().num_charged_reporters(), 1u);
+  auto estimates = receiver.value().Estimate(0);
+  auto reference = donor.value().Estimate(0);
+  ASSERT_TRUE(estimates.ok() && reference.ok());
+  EXPECT_EQ(estimates.value().means, reference.value().means);
+}
+
 TEST(ServerSessionTest, EstimateChecksEpochBounds) {
   const data::Dataset dataset = MakeData();
   const api::Pipeline pipeline = MakePipeline(dataset, 1);

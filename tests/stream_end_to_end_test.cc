@@ -1,7 +1,7 @@
 // End-to-end equivalence of the deployment split: privatizing users into
 // framed shard streams (the ldp_report path), ingesting the shards
 // concurrently and reducing them in order (the ldp_aggregate path) must
-// reproduce the in-process CollectProposed simulation BIT FOR BIT — same
+// reproduce the in-process Pipeline::Collect simulation BIT FOR BIT — same
 // seeds, same chunk boundaries, same estimates, regardless of how many
 // threads either side uses.
 
@@ -11,7 +11,7 @@
 #include <sstream>
 #include <vector>
 
-#include "aggregate/collector.h"
+#include "api/pipeline.h"
 #include "data/census.h"
 #include "data/encode.h"
 #include "stream/parallel_ingest.h"
@@ -33,8 +33,26 @@ data::Dataset MakeData() {
   return data::NormalizeNumeric(dataset.value());
 }
 
+// The in-process golden run every deployment shape must reproduce, through
+// the session facade (the retired CollectProposed wrapper inlined).
+Result<api::CollectionOutput> CollectProposed(const data::Dataset& dataset,
+                                              double epsilon, uint64_t seed,
+                                              MechanismKind numeric_kind,
+                                              FrequencyOracleKind oracle_kind,
+                                              ThreadPool* pool) {
+  api::PipelineConfig config;
+  config.epsilon = epsilon;
+  config.mechanism = numeric_kind;
+  config.oracle = oracle_kind;
+  LDP_ASSIGN_OR_RETURN(config.attributes,
+                       api::AttributesFromSchema(dataset.schema()));
+  Result<api::Pipeline> pipeline = api::Pipeline::Create(std::move(config));
+  if (!pipeline.ok()) return pipeline.status();
+  return pipeline.value().Collect(dataset, seed, pool);
+}
+
 MixedTupleCollector MakeCollector(const data::Dataset& dataset) {
-  auto schema = aggregate::ToMixedSchema(dataset.schema());
+  auto schema = api::AttributesFromSchema(dataset.schema());
   EXPECT_TRUE(schema.ok());
   auto collector =
       MixedTupleCollector::Create(std::move(schema).value(), kEpsilon);
@@ -61,7 +79,7 @@ std::string WriteShard(const data::Dataset& dataset,
         tuple[col].category = dataset.category(row, col);
       }
     }
-    Rng rng = aggregate::UserRng(kSeed, row);
+    Rng rng = api::UserRng(kSeed, row);
     EXPECT_TRUE(
         writer.WriteMixedReport(collector.Perturb(tuple, &rng), collector)
             .ok());
@@ -83,7 +101,7 @@ std::vector<std::string> WriteShards(const data::Dataset& dataset,
 }
 
 void ExpectBitIdentical(const MixedAggregator& total,
-                        const aggregate::CollectionOutput& expected) {
+                        const api::CollectionOutput& expected) {
   for (size_t j = 0; j < expected.numeric_columns.size(); ++j) {
     auto mean = total.EstimateMean(expected.numeric_columns[j]);
     ASSERT_TRUE(mean.ok());
@@ -106,7 +124,7 @@ TEST(StreamEndToEndTest, ShardedIngestReproducesCollectProposedBitForBit) {
 
   constexpr unsigned kPoolThreads = 2;
   ThreadPool pool(kPoolThreads);
-  auto expected = aggregate::CollectProposed(dataset, kEpsilon, kSeed,
+  auto expected = CollectProposed(dataset, kEpsilon, kSeed,
                                              MechanismKind::kHybrid,
                                              FrequencyOracleKind::kOue, &pool);
   ASSERT_TRUE(expected.ok());
@@ -141,7 +159,7 @@ TEST(StreamEndToEndTest, SnapshotReductionReproducesCollectProposed) {
 
   constexpr unsigned kPoolThreads = 2;
   ThreadPool pool(kPoolThreads);
-  auto expected = aggregate::CollectProposed(dataset, kEpsilon, kSeed,
+  auto expected = CollectProposed(dataset, kEpsilon, kSeed,
                                              MechanismKind::kHybrid,
                                              FrequencyOracleKind::kOue, &pool);
   ASSERT_TRUE(expected.ok());
@@ -167,10 +185,10 @@ TEST(StreamEndToEndTest, SnapshotReductionReproducesCollectProposed) {
 TEST(StreamEndToEndTest, CollectProposedIsDeterministicPerThreadCount) {
   const data::Dataset dataset = MakeData();
   ThreadPool pool_a(3), pool_b(3);
-  auto run_a = aggregate::CollectProposed(dataset, kEpsilon, kSeed,
+  auto run_a = CollectProposed(dataset, kEpsilon, kSeed,
                                           MechanismKind::kHybrid,
                                           FrequencyOracleKind::kOue, &pool_a);
-  auto run_b = aggregate::CollectProposed(dataset, kEpsilon, kSeed,
+  auto run_b = CollectProposed(dataset, kEpsilon, kSeed,
                                           MechanismKind::kHybrid,
                                           FrequencyOracleKind::kOue, &pool_b);
   ASSERT_TRUE(run_a.ok());

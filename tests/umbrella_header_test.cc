@@ -31,8 +31,12 @@ TEST(UmbrellaHeaderTest, EndToEndThroughEverySubsystem) {
   const ldp::data::Dataset normalized =
       ldp::data::NormalizeNumeric(census.value());
 
-  // aggregate
-  auto output = ldp::aggregate::CollectProposed(normalized, 1.0, 3);
+  // api facade + aggregate metrics
+  auto config = ldp::api::PipelineConfig::FromSchema(normalized.schema(), 1.0);
+  ASSERT_TRUE(config.ok());
+  auto pipeline = ldp::api::Pipeline::Create(std::move(config).value());
+  ASSERT_TRUE(pipeline.ok());
+  auto output = pipeline.value().Collect(normalized, 3);
   ASSERT_TRUE(output.ok());
   EXPECT_GE(ldp::aggregate::NumericMse(output.value()), 0.0);
 

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 #include <dirent.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -74,7 +75,8 @@ void PlayShard(relay::FrameWal* wal, api::ServerSession* session,
                size_t* shard_out = nullptr) {
   const std::string header = stream.substr(0, stream::kStreamHeaderBytes);
   const size_t shard = session->OpenShard();
-  wal->OnShardOpen(shard, ordinal, session->current_epoch(), header);
+  wal->OnShardOpen(shard, ordinal, session->current_epoch(),
+                   /*reporter_id=*/"", header);
   ASSERT_TRUE(session->Feed(shard, header).ok());
   const char* data = stream.data() + stream::kStreamHeaderBytes;
   const size_t size = stream.size() - stream::kStreamHeaderBytes;
@@ -170,7 +172,8 @@ TEST(WalTest, OpenShardBecomesAResumeEntryWithExactDurableBytes) {
   const size_t partial = total / 3 + 1;
   const size_t open_shard = logged.value().OpenShard();
   wal.value()->OnShardOpen(open_shard, /*ordinal=*/1,
-                           logged.value().current_epoch(), header);
+                           logged.value().current_epoch(),
+                           /*reporter_id=*/"", header);
   ASSERT_TRUE(logged.value().Feed(open_shard, header).ok());
   wal.value()->OnShardData(open_shard, data, partial);
   ASSERT_TRUE(logged.value().Feed(open_shard, data, partial).ok());
@@ -367,7 +370,8 @@ TEST(WalTest, ReopeningTheLogContinuesGenerationsAndCloseOrder) {
     ASSERT_TRUE(wal.ok());
     const size_t shard = logged.value().OpenShard();
     wal.value()->OnShardOpen(shard, /*ordinal=*/0,
-                             logged.value().current_epoch(), header);
+                             logged.value().current_epoch(),
+                             /*reporter_id=*/"", header);
     ASSERT_TRUE(logged.value().Feed(shard, header).ok());
     wal.value()->OnShardData(shard, data, partial);
     ASSERT_TRUE(logged.value().Feed(shard, data, partial).ok());
@@ -437,7 +441,8 @@ TEST(WalTest, ServerResumeHandshakeContinuesACrashedCampaign) {
     ASSERT_TRUE(logged.value().CloseShard(shard).ok());
     const size_t cut = logged.value().OpenShard();
     wal.value()->OnShardOpen(cut, /*ordinal=*/1,
-                             logged.value().current_epoch(), header);
+                             logged.value().current_epoch(),
+                             /*reporter_id=*/"", header);
     ASSERT_TRUE(logged.value().Feed(cut, header).ok());
     wal.value()->OnShardData(cut, data, partial);
     ASSERT_TRUE(logged.value().Feed(cut, data, partial).ok());
@@ -523,6 +528,134 @@ TEST(WalTest, HeaderMismatchAgainstExpectedPoisonsTheShard) {
   auto reports = replayed.value().num_reports(0);
   ASSERT_TRUE(reports.ok());
   EXPECT_EQ(reports.value(), 0u);
+}
+
+TEST(WalTest, ReplayRestoresTheReporterLedgerExactly) {
+  // The reporter id rides in the v2 kHeader record so replay re-charges
+  // the same (reporter, epoch) cell the live run charged. After the crash
+  // the restored session must match the pre-crash one bit for bit — the
+  // v2 snapshot embeds the ledger section, so equality pins the spend.
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::string dir = TestWalDir("reporter_ledger");
+  const std::vector<std::string> streams = {MakeHonestStream(pipeline, 920),
+                                            MakeHonestStream(pipeline, 921)};
+
+  auto logged = pipeline.NewServer();
+  ASSERT_TRUE(logged.ok());
+  relay::WalReplaySummary empty;
+  auto wal = relay::FrameWal::Open(dir, &logged.value(),
+                                   relay::FrameWal::Options(), &empty);
+  ASSERT_TRUE(wal.ok());
+  // alice ships both shards: charged once, logged twice.
+  for (uint64_t s = 0; s < streams.size(); ++s) {
+    const std::string header =
+        streams[s].substr(0, stream::kStreamHeaderBytes);
+    auto opened = logged.value().OpenShard("alice");
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    const size_t shard = opened.value();
+    wal.value()->OnShardOpen(shard, s, logged.value().current_epoch(),
+                             /*reporter_id=*/"alice", header);
+    ASSERT_TRUE(logged.value().Feed(shard, streams[s]).ok());
+    wal.value()->OnShardData(shard,
+                             streams[s].data() + stream::kStreamHeaderBytes,
+                             streams[s].size() - stream::kStreamHeaderBytes);
+    wal.value()->OnShardClose(shard);
+    ASSERT_TRUE(logged.value().CloseShard(shard).ok());
+  }
+  EXPECT_EQ(logged.value().accountant().Spent("alice"),
+            pipeline.header().epsilon);
+  const std::string reference = logged.value().Snapshot();
+  wal.value().reset();  // crash
+
+  auto replayed = pipeline.NewServer();
+  ASSERT_TRUE(replayed.ok());
+  relay::WalReplaySummary summary;
+  ASSERT_TRUE(relay::ReplayWalDir(dir, &replayed.value(), nullptr, nullptr,
+                                  &summary)
+                  .ok());
+  EXPECT_EQ(summary.shards_replayed, 2u);
+  EXPECT_EQ(replayed.value().accountant().Spent("alice"),
+            pipeline.header().epsilon);
+  EXPECT_EQ(replayed.value().accountant().num_charged_reporters(), 2u);
+  EXPECT_EQ(replayed.value().Snapshot(), reference);
+
+  // Replay-after-replay is idempotent, not a double spend.
+  relay::WalReplaySummary again;
+  auto twice = pipeline.NewServer();
+  ASSERT_TRUE(twice.ok());
+  ASSERT_TRUE(
+      relay::ReplayWalDir(dir, &twice.value(), nullptr, nullptr, &again)
+          .ok());
+  EXPECT_EQ(twice.value().accountant().Spent("alice"),
+            pipeline.header().epsilon);
+}
+
+TEST(WalTest, LegacyV1LogReplaysAsTheAnonymousReporter) {
+  // A log written before reporter ids existed: version 1 in the file
+  // header, kHeader payload = bare stream-header bytes. Craft one byte by
+  // byte (framing documented in relay/frame_wal.h) and replay it.
+  const api::Pipeline pipeline = MakeCorpusPipeline(/*numeric=*/false);
+  const std::string stream = MakeHonestStream(pipeline, 930);
+  const std::string dir = TestWalDir("legacy_v1");
+  ::mkdir(dir.c_str(), 0755);
+
+  auto put16 = [](std::string* out, uint16_t v) {
+    out->push_back(static_cast<char>(v & 0xff));
+    out->push_back(static_cast<char>(v >> 8));
+  };
+  auto put32 = [](std::string* out, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  auto put64 = [&put32](std::string* out, uint64_t v) {
+    put32(out, static_cast<uint32_t>(v));
+    put32(out, static_cast<uint32_t>(v >> 32));
+  };
+  auto append_record = [&](std::string* out, uint8_t type,
+                           const std::string& payload) {
+    std::string head;
+    head.push_back(static_cast<char>(type));
+    put32(&head, static_cast<uint32_t>(payload.size()));
+    uint32_t crc = relay::Crc32(head.data(), head.size());
+    crc = relay::Crc32(payload.data(), payload.size(), crc);
+    out->append(head);
+    put32(out, crc);
+    out->append(payload);
+  };
+
+  std::string file;
+  put32(&file, relay::kWalMagic);
+  put16(&file, relay::kWalLegacyVersion);
+  put32(&file, 0);  // epoch
+  put64(&file, 0);  // ordinal
+  append_record(&file, /*kHeader=*/1,
+                stream.substr(0, stream::kStreamHeaderBytes));
+  append_record(&file, /*kData=*/2,
+                stream.substr(stream::kStreamHeaderBytes));
+  std::string close_payload;
+  put64(&close_payload, 1);  // close_seq
+  append_record(&file, /*kClose=*/3, close_payload);
+  {
+    std::ofstream out(dir + "/wal-e00000-o00000-g00001.ldpw",
+                      std::ios::binary);
+    ASSERT_TRUE(out.is_open());
+    out.write(file.data(), static_cast<std::streamsize>(file.size()));
+  }
+
+  auto replayed = pipeline.NewServer();
+  ASSERT_TRUE(replayed.ok());
+  relay::WalReplaySummary summary;
+  ASSERT_TRUE(relay::ReplayWalDir(dir, &replayed.value(), nullptr, nullptr,
+                                  &summary)
+                  .ok());
+  EXPECT_EQ(summary.shards_replayed, 1u);
+  EXPECT_EQ(summary.shards_corrupt, 0u);
+  auto reports = replayed.value().num_reports(0);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(reports.value(), kCorpusReports);
+  // No identity in the log: only the anonymous plan ledger exists.
+  EXPECT_EQ(replayed.value().accountant().num_charged_reporters(), 1u);
 }
 
 }  // namespace

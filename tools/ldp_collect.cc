@@ -55,9 +55,12 @@ void Usage() {
       "                   [--mechanism hm|pm] [--oracle "
       "oue|grr|sue|olh|he|the]\n"
       "                   [--seed S] [--confidence C] [--threads T]\n"
-      "                   [--metrics-out FILE] [--version]\n"
+      "                   [--reporter-id ID] [--metrics-out FILE]\n"
+      "                   [--version]\n"
       "--threads fixes the summation chunk boundaries for bit-compatible\n"
       "output with pooled/sharded runs; the streaming loop is sequential.\n"
+      "--reporter-id charges the run's privacy budget to that reporter's\n"
+      "ledger (once per epoch) instead of only the anonymous campaign plan.\n"
       "--metrics-out dumps the run's telemetry registry as JSON at exit.\n");
 }
 
@@ -72,6 +75,8 @@ int main(int argc, char** argv) {
   unsigned threads = 0;
   MechanismKind mechanism = MechanismKind::kHybrid;
   FrequencyOracleKind oracle = FrequencyOracleKind::kOue;
+  tools::IdentityFlags identity;
+  std::string identity_error;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -95,6 +100,13 @@ int main(int argc, char** argv) {
       threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--metrics-out") {
       metrics_out = next();
+    } else if (tools::ParseIdentityFlag(arg, next, tools::kFlagReporterId,
+                                        &identity, &identity_error)) {
+      if (!identity_error.empty()) {
+        std::fprintf(stderr, "%s\n", identity_error.c_str());
+        Usage();
+        return 2;
+      }
     } else if (arg == "--mechanism") {
       if (!tools::ParseMechanismFlag(next(), &mechanism)) {
         Usage();
@@ -176,7 +188,12 @@ int main(int argc, char** argv) {
   const std::string header_bytes = client.value().EncodeHeader();
   std::string buffer;
   for (const IndexRange& range : ranges) {
-    const size_t shard = session.OpenShard();
+    auto opened = session.OpenShard(identity.reporter_id);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    const size_t shard = opened.value();
     buffer.assign(header_bytes);
     for (uint64_t row = range.begin; row < range.end; ++row) {
       auto more = reader.value().NextRow(&numeric_row, &category_row);

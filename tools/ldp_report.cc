@@ -14,6 +14,7 @@
 //              [--shards N] [--shard-index I] [--mechanism hm|pm]
 //              [--oracle oue|grr|sue|olh|he|the]
 //              [--stream auto|mixed|numeric] [--seed S]
+//              [--reporter-id ID --campaign-key KEY]
 //
 // The stream kind follows the schema by default: mixed (Section IV-C) when
 // any column is categorical, the Algorithm-4 numeric kind when all columns
@@ -58,8 +59,12 @@ void Usage() {
       "                  [--shards N] [--shard-index I] [--mechanism hm|pm]\n"
       "                  [--oracle oue|grr|sue|olh|he|the]\n"
       "                  [--stream auto|mixed|numeric] [--seed S]\n"
+      "                  [--reporter-id ID --campaign-key KEY]\n"
       "                  [--metrics-out FILE] [--version]\n"
       "ENDPOINT is tcp:HOST:PORT or unix:PATH (an ldp_serve collector).\n"
+      "--reporter-id/--campaign-key authenticate --connect HELLOs (protocol\n"
+      "v3) so the collector charges this reporter's budget exactly once per\n"
+      "epoch; both must be given together and match the collector's key.\n"
       "--metrics-out dumps reporter-side telemetry as JSON at exit.\n");
 }
 
@@ -167,6 +172,8 @@ int main(int argc, char** argv) {
   MechanismKind mechanism = MechanismKind::kHybrid;
   FrequencyOracleKind oracle = FrequencyOracleKind::kOue;
   api::WirePreference wire = api::WirePreference::kAuto;
+  tools::IdentityFlags identity;
+  std::string identity_error;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -200,6 +207,14 @@ int main(int argc, char** argv) {
       seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--metrics-out") {
       metrics_out = next();
+    } else if (tools::ParseIdentityFlag(
+                   arg, next, tools::kFlagReporterId | tools::kFlagCampaignKey,
+                   &identity, &identity_error)) {
+      if (!identity_error.empty()) {
+        std::fprintf(stderr, "%s\n", identity_error.c_str());
+        Usage();
+        return 2;
+      }
     } else if (arg == "--mechanism") {
       if (!tools::ParseMechanismFlag(next(), &mechanism)) {
         Usage();
@@ -224,6 +239,18 @@ int main(int argc, char** argv) {
   if (schema_path.empty() || data_path.empty() || epsilon <= 0.0 ||
       shards == 0 || prefix.empty() != connect_mode ||
       (shard_index >= 0 && static_cast<uint64_t>(shard_index) >= shards)) {
+    Usage();
+    return 2;
+  }
+  if (!tools::CheckReporterIdentity(identity, &identity_error)) {
+    std::fprintf(stderr, "%s\n", identity_error.c_str());
+    Usage();
+    return 2;
+  }
+  if (!identity.campaign_key.empty() && !connect_mode) {
+    std::fprintf(stderr,
+                 "--campaign-key authenticates --connect HELLOs; file mode "
+                 "(--out) ships no HELLO to sign\n");
     Usage();
     return 2;
   }
@@ -308,8 +335,14 @@ int main(int argc, char** argv) {
     std::unique_ptr<ShardSink> sink;
     if (selected) {
       if (connect_mode) {
+        // Authenticated campaigns sign every shard's HELLO with the same
+        // reporter id — the collector's per-(reporter, epoch) charge is
+        // idempotent, so N shards spend this user's ε exactly once.
+        net::CollectorClientOptions client_options;
+        client_options.reporter_id = identity.reporter_id;
+        client_options.campaign_key = identity.campaign_key;
         auto connection = net::CollectorClient::Connect(
-            endpoint, client.value().header(), /*ordinal=*/s);
+            endpoint, client.value().header(), /*ordinal=*/s, client_options);
         if (!connection.ok()) {
           std::fprintf(stderr, "shard %zu: %s\n", s,
                        connection.status().ToString().c_str());

@@ -21,7 +21,7 @@
 //             [--stats-interval-s N] [--journal-out FILE]
 //             [--trace-out FILE] [--wal-dir DIR] [--wal-fsync]
 //             [--accept-snapshots] [--relay-to ENDPOINT] [--node-id N]
-//             [--relay-interval-s N] [--version]
+//             [--relay-interval-s N] [--campaign-key KEY] [--version]
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, let in-flight reporters
 // finish (bounded by the idle timeout), then write the session snapshot
@@ -95,9 +95,13 @@ void Usage() {
       "                 [--journal-out FILE] [--trace-out FILE]\n"
       "                 [--wal-dir DIR] [--wal-fsync] [--accept-snapshots]\n"
       "                 [--relay-to ENDPOINT] [--node-id N]\n"
-      "                 [--relay-interval-s N] [--version]\n"
+      "                 [--relay-interval-s N] [--campaign-key KEY]\n"
+      "                 [--version]\n"
       "ENDPOINT is tcp:HOST:PORT (port 0 = ephemeral, printed on stdout)\n"
       "or unix:PATH. SIGTERM drains and writes the snapshot/estimates.\n"
+      "--campaign-key requires protocol v3 HELLOs carrying a reporter id\n"
+      "authenticated with the shared key; spend is then accounted per\n"
+      "reporter and unauthenticated connections are refused.\n"
       "--metrics serves GET /metrics (Prometheus text), /metrics.json,\n"
       "/journal, /trace and /healthz on a second endpoint.\n"
       "--wal-dir journals accepted frames for exact crash replay;\n"
@@ -113,6 +117,8 @@ int main(int argc, char** argv) {
   std::string metrics_spec, journal_out, trace_out;
   std::string wal_dir, relay_spec;
   bool wal_fsync = false;
+  tools::IdentityFlags identity;
+  std::string identity_error;
   relay::RelayForwarderOptions relay_options;
   unsigned stats_interval_s = 0;
   double epsilon = 0.0;
@@ -186,8 +192,14 @@ int main(int argc, char** argv) {
       server_options.accept_snapshots = true;
     } else if (arg == "--relay-to") {
       relay_spec = next();
-    } else if (arg == "--node-id") {
-      relay_options.node_id = std::strtoull(next(), nullptr, 10);
+    } else if (tools::ParseIdentityFlag(
+                   arg, next, tools::kFlagCampaignKey | tools::kFlagNodeId,
+                   &identity, &identity_error)) {
+      if (!identity_error.empty()) {
+        std::fprintf(stderr, "%s\n", identity_error.c_str());
+        Usage();
+        return 2;
+      }
     } else if (arg == "--relay-interval-s") {
       relay_options.interval_ms =
           static_cast<int>(std::strtol(next(), nullptr, 10)) * 1000;
@@ -216,6 +228,8 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  relay_options.node_id = identity.node_id;
+  server_options.campaign_key = identity.campaign_key;
 
   auto endpoint = net::Endpoint::Parse(listen_spec);
   if (!endpoint.ok()) {
@@ -413,6 +427,19 @@ int main(int argc, char** argv) {
   // with what a live /metrics.json scrape would have returned at this
   // instant, so the two views cannot drift apart.
   std::printf("exit stats: %s\n", obs::ToJson(registry).c_str());
+
+  // Per-reporter budget accounting: one line per authenticated reporter id.
+  // The anonymous ledger (empty id) is the campaign plan itself — its spend
+  // is the session's epsilon_spent(), already covered by the estimates.
+  for (const auto& [reporter, ledger] : session.accountant().ledgers()) {
+    if (reporter == kAnonymousReporter) continue;
+    std::printf("reporter %s: eps spent %g of %g over %zu epoch(s), "
+                "%llu refusal(s)\n",
+                reporter.c_str(), ledger.spent,
+                session.accountant().lifetime_budget(),
+                ledger.epoch_spend.size(),
+                static_cast<unsigned long long>(ledger.refusals));
+  }
 
   if (!journal_out.empty()) {
     std::ofstream out(journal_out, std::ios::trunc);

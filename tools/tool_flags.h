@@ -1,12 +1,15 @@
-// Shared CLI flag parsers for the tools. `--oracle`, `--mechanism`, and
-// `--stream` must accept exactly the same vocabulary in every binary
-// (ldp_collect, ldp_report, ldp_serve); one parser per flag keeps a new
-// oracle or mechanism kind from being silently unreachable in one tool.
+// Shared CLI flag parsers for the tools. `--oracle`, `--mechanism`,
+// `--stream`, and the campaign-identity flags (`--reporter-id`,
+// `--campaign-key`, `--node-id`) must accept exactly the same vocabulary in
+// every binary (ldp_collect, ldp_report, ldp_serve); one parser per flag
+// keeps a new oracle kind — or an identity validation rule — from being
+// silently unreachable or different in one tool.
 
 #ifndef LDP_TOOLS_TOOL_FLAGS_H_
 #define LDP_TOOLS_TOOL_FLAGS_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -14,6 +17,7 @@
 #include "api/pipeline.h"
 #include "core/mechanism.h"
 #include "frequency/frequency_oracle.h"
+#include "net/protocol.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "util/build_info.h"
@@ -68,6 +72,77 @@ inline bool ParseMechanismFlag(const std::string& name, MechanismKind* kind) {
   else if (name == "pm") *kind = MechanismKind::kPiecewise;
   else return false;
   return true;
+}
+
+/// The campaign-identity flags (`--reporter-id`, `--campaign-key`,
+/// `--node-id`) parsed through one table so the validation rules — the
+/// protocol's reporter-id length bound, strict numeric node ids — cannot
+/// drift between ldp_report, ldp_serve, and ldp_collect.
+struct IdentityFlags {
+  std::string reporter_id;   ///< stable per-user id carried in v3 HELLOs
+  std::string campaign_key;  ///< shared HMAC secret; enables protocol v3
+  uint64_t node_id = 0;      ///< relay edge identity for snapshot folding
+};
+
+/// Which identity flags a given tool accepts (OR of these bits).
+enum IdentityFlagMask : unsigned {
+  kFlagReporterId = 1u << 0,
+  kFlagCampaignKey = 1u << 1,
+  kFlagNodeId = 1u << 2,
+};
+
+/// Consumes `arg` when it is one of the identity flags enabled in `allowed`,
+/// pulling the operand through the tool's `next()` callback. Returns false
+/// when `arg` is not an enabled identity flag (the caller keeps matching its
+/// own flags). On a malformed operand the flag is still consumed and *error
+/// says why; callers print it and exit with usage.
+template <typename NextFn>
+bool ParseIdentityFlag(const std::string& arg, NextFn&& next, unsigned allowed,
+                       IdentityFlags* flags, std::string* error) {
+  if (arg == "--reporter-id" && (allowed & kFlagReporterId) != 0) {
+    const std::string value = next();
+    if (value.empty()) {
+      *error = "--reporter-id must be non-empty";
+    } else if (value.size() > net::kMaxReporterIdBytes) {
+      *error = "--reporter-id exceeds the " +
+               std::to_string(net::kMaxReporterIdBytes) +
+               "-byte protocol bound";
+    } else {
+      flags->reporter_id = value;
+    }
+    return true;
+  }
+  if (arg == "--campaign-key" && (allowed & kFlagCampaignKey) != 0) {
+    const std::string value = next();
+    if (value.empty()) {
+      *error = "--campaign-key must be non-empty";
+    } else {
+      flags->campaign_key = value;
+    }
+    return true;
+  }
+  if (arg == "--node-id" && (allowed & kFlagNodeId) != 0) {
+    const char* value = next();
+    char* end = nullptr;
+    flags->node_id = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0') {
+      *error = "--node-id must be a non-negative integer";
+    }
+    return true;
+  }
+  return false;
+}
+
+/// Reporter-side pairing rule: the campaign key signs HELLOs *for* a
+/// reporter id, and an id without the key would leave the wire
+/// unauthenticated — both halves must be given together.
+inline bool CheckReporterIdentity(const IdentityFlags& flags,
+                                  std::string* error) {
+  if (flags.campaign_key.empty() == flags.reporter_id.empty()) return true;
+  *error = flags.campaign_key.empty()
+               ? "--reporter-id requires --campaign-key"
+               : "--campaign-key requires --reporter-id";
+  return false;
 }
 
 /// "auto" | "mixed" | "numeric".
